@@ -1,0 +1,324 @@
+// Package candle is the public API of the repository: a deep-learning-for-
+// biomedicine workload suite and the HPC substrates it runs on, reproducing
+// "Deep Learning in Cancer and Infectious Disease: Novel Driver Problems
+// for Future HPC Architecture" (Stevens, HPDC 2017).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - the six biomedical driver problems (Workloads) with deterministic
+//     synthetic data generators, reference models, and HPO objectives;
+//   - the neural-network stack (layers, losses, optimizers, Train);
+//   - reduced-precision emulation (fp32/bf16/fp16/int8, loss scaling);
+//   - parallel training regimes: data-parallel SGD over MPI-style
+//     collectives, model-parallel pipelines, and the data x model hybrid;
+//   - hyperparameter search: grid/random baselines and the intelligent
+//     strategies (Hyperband, genetic, TPE, RBF surrogate, generative);
+//   - the parameterised machine model (rooflines, collective costs,
+//     energy) and the tiered-storage/NVRAM staging simulator;
+//   - the E1-E9 experiment suite that reproduces each of the paper's
+//     architectural claims.
+//
+// Quick start:
+//
+//	w, _ := candle.WorkloadByName("tumor")
+//	train, test := w.Generate(candle.Small, candle.NewRNG(1))
+//	net := w.NewModel(w.DefaultConfig(), train.Dim(), train.OutDim(), candle.NewRNG(2))
+//	candle.Train(net, train.X, train.Y, candle.TrainConfig{
+//		Loss: candle.SoftmaxCELoss{}, Optimizer: candle.NewAdam(0.003),
+//		BatchSize: 32, Epochs: 20,
+//	})
+//	fmt.Println(candle.EvaluateClassifier(net, test.X, test.Labels))
+package candle
+
+import (
+	"repro/internal/biodata"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hpo"
+	"repro/internal/lowp"
+	"repro/internal/machine"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// ---- randomness ----------------------------------------------------------
+
+// RNG is a deterministic, splittable random stream.
+type RNG = rng.Stream
+
+// NewRNG returns a stream seeded with the given value.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// ---- tensors and networks --------------------------------------------------
+
+// Tensor is a dense row-major float64 array.
+type Tensor = tensor.Tensor
+
+// NewTensor allocates a zero tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// Net is an ordered layer stack trained end to end.
+type Net = nn.Net
+
+// Layer is one differentiable network stage.
+type Layer = nn.Layer
+
+// TrainConfig configures single-process training.
+type TrainConfig = nn.TrainConfig
+
+// TrainResult reports a training run.
+type TrainResult = nn.TrainResult
+
+// Losses.
+type (
+	// MSELoss is mean squared error.
+	MSELoss = nn.MSELoss
+	// MAELoss is mean absolute error.
+	MAELoss = nn.MAELoss
+	// SoftmaxCELoss is fused softmax cross-entropy over logits.
+	SoftmaxCELoss = nn.SoftmaxCELoss
+	// BCELoss is binary cross-entropy over a single logit.
+	BCELoss = nn.BCELoss
+)
+
+// MLP constructs a dense network (see nn.MLP).
+var MLP = nn.MLP
+
+// NewDense, activations, and friends.
+var (
+	NewDense      = nn.NewDense
+	NewActivation = nn.NewActivation
+	NewDropout    = nn.NewDropout
+	NewBatchNorm  = nn.NewBatchNorm
+	NewLayerNorm  = nn.NewLayerNorm
+	NewConv1D     = nn.NewConv1D
+	NewMaxPool1D  = nn.NewMaxPool1D
+	NewNet        = nn.NewNet
+	OneHot        = nn.OneHot
+)
+
+// Activation kinds.
+const (
+	ReLU      = nn.ReLU
+	LeakyReLU = nn.LeakyReLU
+	Sigmoid   = nn.Sigmoid
+	Tanh      = nn.Tanh
+	GELU      = nn.GELU
+)
+
+// Optimizers.
+var (
+	NewSGD      = nn.NewSGD
+	NewMomentum = nn.NewMomentum
+	NewAdam     = nn.NewAdam
+	NewAdamW    = nn.NewAdamW
+	NewRMSProp  = nn.NewRMSProp
+)
+
+// Optimizer applies parameter updates.
+type Optimizer = nn.Optimizer
+
+// Train runs mini-batch training (see nn.Train).
+var Train = nn.Train
+
+// Evaluation helpers.
+var (
+	EvaluateClassifier = nn.EvaluateClassifier
+	EvaluateRegression = nn.EvaluateRegression
+)
+
+// ---- precision --------------------------------------------------------------
+
+// Precision is an emulated numeric format.
+type Precision = lowp.Precision
+
+// Supported precisions.
+const (
+	FP64 = lowp.FP64
+	FP32 = lowp.FP32
+	BF16 = lowp.BF16
+	FP16 = lowp.FP16
+	INT8 = lowp.INT8
+)
+
+// ---- driver problems ---------------------------------------------------------
+
+// Workload is one biomedical driver problem.
+type Workload = core.Workload
+
+// Dataset is a generated problem instance.
+type Dataset = biodata.Dataset
+
+// Scale selects dataset sizing.
+type Scale = core.Scale
+
+// Dataset scales.
+const (
+	Tiny  = core.Tiny
+	Small = core.Small
+	Full  = core.Full
+)
+
+// Workloads returns the six driver problems.
+var Workloads = core.Workloads
+
+// WorkloadByName looks a workload up by name.
+var WorkloadByName = core.ByName
+
+// ---- hyperparameter search ----------------------------------------------------
+
+// SearchSpace is a typed hyperparameter space.
+type SearchSpace = hpo.Space
+
+// SearchConfig is a concrete hyperparameter assignment.
+type SearchConfig = hpo.Config
+
+// SearchOptions configures a search run.
+type SearchOptions = hpo.Options
+
+// SearchResult reports a search run.
+type SearchResult = hpo.Result
+
+// SearchStrategy is a search algorithm.
+type SearchStrategy = hpo.Strategy
+
+// Search strategies.
+type (
+	// RandomSearch is the naive uniform baseline.
+	RandomSearch = hpo.RandomSearch
+	// GridSearch is the naive grid baseline.
+	GridSearch = hpo.GridSearch
+	// Hyperband allocates budget adaptively with successive halving.
+	Hyperband = hpo.Hyperband
+	// Genetic evolves a population of configurations.
+	Genetic = hpo.Genetic
+	// TPE is tree-structured-Parzen-estimator-style density search.
+	TPE = hpo.TPE
+	// Surrogate is RBF-surrogate-guided search.
+	Surrogate = hpo.Surrogate
+	// Generative samples candidates from a learned generative model of
+	// the elite region — the paper's generative-search stand-in.
+	Generative = hpo.Generative
+)
+
+// AllStrategies returns one of each strategy with defaults.
+var AllStrategies = hpo.AllStrategies
+
+// ---- parallel training -----------------------------------------------------------
+
+// DataParallelConfig configures synchronous data-parallel SGD.
+type DataParallelConfig = parallel.DataParallelConfig
+
+// PipelineConfig configures model-parallel pipeline training.
+type PipelineConfig = parallel.PipelineConfig
+
+// HybridConfig configures data x model hybrid training.
+type HybridConfig = parallel.HybridConfig
+
+// Parallel trainers.
+var (
+	TrainDataParallel = parallel.TrainDataParallel
+	TrainPipeline     = parallel.TrainPipeline
+	TrainHybrid       = parallel.TrainHybrid
+)
+
+// Allreduce algorithms for gradient reduction.
+const (
+	ARRing              = comm.ARRing
+	ARRecursiveDoubling = comm.ARRecursiveDoubling
+	ARTree              = comm.ARTree
+	ARRabenseifner      = comm.ARRabenseifner
+)
+
+// ---- machine model and storage -----------------------------------------------------
+
+// Machine is a parameterised cluster model.
+type Machine = machine.Machine
+
+// Machine presets.
+var (
+	MachineCPU2017   = machine.CPU2017
+	MachineGPU2017   = machine.GPU2017
+	MachineFutureDNN = machine.FutureDNN
+)
+
+// StoragePolicy is a training-data staging strategy.
+type StoragePolicy = storage.Policy
+
+// StorageConfig describes a run's data demands.
+type StorageConfig = storage.Config
+
+// SimulateStorage runs the staging timeline simulator.
+var SimulateStorage = storage.Simulate
+
+// ---- experiments ------------------------------------------------------------------
+
+// Experiment is one paper-claim reproduction (E1-E9).
+type Experiment = experiments.Experiment
+
+// ExperimentConfig sizes an experiment run.
+type ExperimentConfig = experiments.Config
+
+// Experiments returns the full E1-E9 suite.
+var Experiments = experiments.All
+
+// ExperimentByID finds one experiment.
+var ExperimentByID = experiments.ByID
+
+// Table is an aligned-text result table.
+type Table = trace.Table
+
+// ---- extension layers and schedules ------------------------------------------
+
+// 2-D convolution stack (the histology imaging workload's layers).
+var (
+	NewConv2D    = nn.NewConv2D
+	NewMaxPool2D = nn.NewMaxPool2D
+)
+
+// LRSchedule scales the learning rate per epoch during Train.
+type LRSchedule = nn.LRSchedule
+
+// Learning-rate schedules.
+type (
+	// ConstantLR keeps the base rate.
+	ConstantLR = nn.ConstantLR
+	// StepDecay multiplies the rate by Gamma every StepEpochs.
+	StepDecay = nn.StepDecay
+	// CosineDecay anneals the rate to MinFactor over the run.
+	CosineDecay = nn.CosineDecay
+	// WarmupCosine ramps up linearly, then cosine-anneals (the large-batch
+	// recipe data parallelism requires).
+	WarmupCosine = nn.WarmupCosine
+)
+
+// EarlyStopper signals when validation loss stops improving.
+type EarlyStopper = nn.EarlyStopper
+
+// WorkloadExtensions returns the workloads beyond the paper's six core
+// drivers: "tumor-hard" and "histology".
+var WorkloadExtensions = core.Extensions
+
+// Ablations returns the design-choice ablation studies (A1-A3).
+var Ablations = experiments.Ablations
+
+// ---- asynchronous training and strategy comparison -----------------------------
+
+// AsyncConfig configures downpour-style asynchronous parameter-server
+// training.
+type AsyncConfig = parallel.AsyncConfig
+
+// TrainAsync trains with asynchronous workers against a parameter server.
+var TrainAsync = parallel.TrainAsync
+
+// CompareStrategies runs several search strategies over multiple seeds and
+// aggregates mean/std best losses and per-seed wins.
+var CompareStrategies = hpo.Compare
+
+// ComparisonRow is one strategy's multi-seed summary.
+type ComparisonRow = hpo.ComparisonRow

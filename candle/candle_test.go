@@ -1,0 +1,88 @@
+package candle_test
+
+import (
+	"testing"
+
+	"repro/candle"
+)
+
+// TestPublicAPIEndToEnd exercises the README quick-start path through the
+// public facade only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	w, err := candle.WorkloadByName("tumor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := w.Generate(candle.Tiny, candle.NewRNG(1))
+	net := w.NewModel(w.DefaultConfig(), train.Dim(), train.OutDim(), candle.NewRNG(2))
+	_, err = candle.Train(net, train.X, train.Y, candle.TrainConfig{
+		Loss: candle.SoftmaxCELoss{}, Optimizer: candle.NewAdam(0.003),
+		BatchSize: 32, Epochs: 10, Shuffle: true, RNG: candle.NewRNG(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := candle.EvaluateClassifier(net, test.X, test.Labels); acc < 0.5 {
+		t.Fatalf("quick-start accuracy %.3f", acc)
+	}
+}
+
+func TestPublicSearchAPI(t *testing.T) {
+	w, err := candle.WorkloadByName("mdsurrogate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (candle.Hyperband{}).Search(w.Objective(candle.Tiny), candle.SearchOptions{
+		Space: w.Space, TotalBudget: 4, Parallelism: 4, RNG: candle.NewRNG(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) == 0 {
+		t.Fatal("no trials")
+	}
+}
+
+func TestPublicParallelAPI(t *testing.T) {
+	r := candle.NewRNG(5)
+	x := candle.NewTensor(64, 8)
+	x.FillRandNorm(r, 1)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	y := candle.OneHot(labels, 2)
+	net := candle.MLP(8, []int{16}, 2, candle.Tanh, r.Split("init"))
+	_, err := candle.TrainDataParallel(net, x, y, candle.DataParallelConfig{
+		Replicas: 4, Algo: candle.ARRing,
+		Loss:         candle.SoftmaxCELoss{},
+		NewOptimizer: func() candle.Optimizer { return candle.NewSGD(0.1) },
+		GlobalBatch:  16, Epochs: 2, RNG: r.Split("train"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicMachineAndStorage(t *testing.T) {
+	m := candle.MachineGPU2017(64)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := candle.SimulateStorage(&m.Node, candle.StoragePolicy(0), candle.StorageConfig{
+		DatasetBytes: 1e9, BatchBytes: 1e6, StepsPerEpoch: 100, Epochs: 1,
+		ComputePerStep: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(candle.Experiments()) != 9 {
+		t.Fatal("experiment suite incomplete")
+	}
+	if candle.ExperimentByID("E1") == nil {
+		t.Fatal("E1 missing")
+	}
+}

@@ -1,0 +1,79 @@
+// Command candlebench runs the paper-reproduction experiment suite (E1-E9)
+// and prints one result table per experiment.
+//
+// Usage:
+//
+//	candlebench [-quick] [-seed N] [-only E3,E8] [-csv dir]
+//
+// Each experiment reproduces one architectural claim of Stevens' HPDC 2017
+// keynote; DESIGN.md maps claims to experiments and EXPERIMENTS.md records
+// the measured shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink budgets for a fast pass")
+	seed := flag.Uint64("seed", 1, "root seed for all experiments")
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E8); empty = all")
+	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
+	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1-A3")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	suite := experiments.All()
+	if *ablations {
+		suite = append(suite, experiments.Ablations()...)
+	}
+	ran := 0
+	for _, e := range suite {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("--- %s: %q\n", e.ID, e.Claim)
+		start := time.Now()
+		table := e.Run(cfg)
+		if err := table.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "candlebench: %s render: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "candlebench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := table.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "candlebench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "candlebench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "candlebench: no experiments matched -only")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,115 @@
+// Command candledata generates any driver-problem dataset and writes it as
+// CSV (features then label/target columns) for inspection or use outside
+// this repository.
+//
+// Usage:
+//
+//	candledata -workload amr -scale tiny -seed 1 -out amr.csv
+//	candledata -workload tumor -head 5          # preview to stdout
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/biodata"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func main() {
+	workload := flag.String("workload", "tumor", "driver problem name")
+	scaleFlag := flag.String("scale", "tiny", "dataset scale: tiny, small, full")
+	seed := flag.Uint64("seed", 1, "seed")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	head := flag.Int("head", 0, "write only the first N rows (0 = all)")
+	flag.Parse()
+
+	w, err := core.ByName(*workload)
+	if err != nil {
+		fail(err)
+	}
+	var scale core.Scale
+	switch *scaleFlag {
+	case "tiny":
+		scale = core.Tiny
+	case "small":
+		scale = core.Small
+	case "full":
+		scale = core.Full
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+	train, test := w.Generate(scale, rng.New(*seed))
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		dst = f
+	}
+	cw := csv.NewWriter(dst)
+	defer cw.Flush()
+
+	writeSplit := func(name string, ds *biodata.Dataset) error {
+		limit := ds.N()
+		if *head > 0 && *head < limit {
+			limit = *head
+		}
+		for i := 0; i < limit; i++ {
+			row := make([]string, 0, ds.Dim()+3)
+			row = append(row, name)
+			for _, v := range ds.X.Row(i).Data {
+				row = append(row, strconv.FormatFloat(v, 'g', 8, 64))
+			}
+			if ds.Labels != nil {
+				row = append(row, strconv.Itoa(ds.Labels[i]))
+			} else {
+				for _, v := range ds.Y.Row(i).Data {
+					row = append(row, strconv.FormatFloat(v, 'g', 8, 64))
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Header: split, f0..fD-1, label/target.
+	header := []string{"split"}
+	for j := 0; j < train.Dim(); j++ {
+		header = append(header, "f"+strconv.Itoa(j))
+	}
+	if train.Labels != nil {
+		header = append(header, "label")
+	} else {
+		for j := 0; j < train.OutDim(); j++ {
+			header = append(header, "y"+strconv.Itoa(j))
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		fail(err)
+	}
+	if err := writeSplit("train", train); err != nil {
+		fail(err)
+	}
+	if err := writeSplit("test", test); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "candledata: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command candlesearch runs a hyperparameter search campaign on one of the
+// driver problems, with a selectable strategy and parallel evaluation pool.
+//
+// Usage:
+//
+//	candlesearch -workload tumor -strategy hyperband [-budget 24]
+//	             [-parallel 4] [-scale tiny] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hpo"
+	"repro/internal/rng"
+)
+
+func main() {
+	workload := flag.String("workload", "tumor", "driver problem name")
+	strategy := flag.String("strategy", "hyperband",
+		"search strategy: random, grid, hyperband, genetic, tpe, surrogate, generative")
+	budget := flag.Float64("budget", 24, "search budget in full-training equivalents")
+	par := flag.Int("parallel", 4, "evaluation worker pool size")
+	scaleFlag := flag.String("scale", "tiny", "dataset scale: tiny, small, full")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	w, err := core.ByName(*workload)
+	if err != nil {
+		fail(err)
+	}
+	var scale core.Scale
+	switch *scaleFlag {
+	case "tiny":
+		scale = core.Tiny
+	case "small":
+		scale = core.Small
+	case "full":
+		scale = core.Full
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+	var strat hpo.Strategy
+	for _, s := range hpo.AllStrategies() {
+		if s.Name() == *strategy {
+			strat = s
+		}
+	}
+	if strat == nil {
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	fmt.Printf("searching %s with %s (budget %.0f, %d workers)\n",
+		w.Name, strat.Name(), *budget, *par)
+	start := time.Now()
+	res, err := strat.Search(w.Objective(scale), hpo.Options{
+		Space: w.Space, TotalBudget: *budget, Parallelism: *par,
+		RNG: rng.New(*seed),
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("done in %.1fs: %d trials, %.1f budget used\n",
+		time.Since(start).Seconds(), len(res.Trials), res.CostUsed)
+	fmt.Printf("best loss: %.4f\n", res.Best.Loss)
+	fmt.Printf("best config: %s\n", w.Space.FormatConfig(res.Best.Config))
+	fmt.Println("\nbest-so-far curve (cost, best):")
+	// Print at most 12 evenly spaced progress points.
+	stride := len(res.Progress)/12 + 1
+	for i := 0; i < len(res.Progress); i += stride {
+		p := res.Progress[i]
+		fmt.Printf("  %6.1f  %.4f\n", p.Cost, p.Best)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "candlesearch: %v\n", err)
+	os.Exit(1)
+}

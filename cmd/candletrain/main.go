@@ -1,0 +1,141 @@
+// Command candletrain trains one of the six driver problems and reports
+// train/test metrics, optionally with data-parallel replicas or a
+// model-parallel pipeline.
+//
+// Usage:
+//
+//	candletrain -workload tumor [-scale small] [-epochs 20] [-batch 32]
+//	            [-lr 0.003] [-replicas 4 | -stages 3] [-precision fp32]
+//	            [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/lowp"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+func main() {
+	workload := flag.String("workload", "tumor", "driver problem: tumor, drugresponse, expression-ae, medrecords, amr, mdsurrogate")
+	scaleFlag := flag.String("scale", "small", "dataset scale: tiny, small, full")
+	epochs := flag.Int("epochs", 20, "training epochs")
+	batch := flag.Int("batch", 32, "global batch size")
+	lr := flag.Float64("lr", 0.003, "learning rate")
+	replicas := flag.Int("replicas", 1, "data-parallel replicas (goroutines)")
+	stages := flag.Int("stages", 1, "model-parallel pipeline stages (goroutines)")
+	precision := flag.String("precision", "fp64", "emulated precision: fp64, fp32, bf16, fp16, int8")
+	lossScale := flag.Bool("lossscale", false, "enable dynamic loss scaling (for fp16)")
+	schedule := flag.String("schedule", "constant", "LR schedule: constant, step, cosine, warmup-cosine")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	w, err := core.ByName(*workload)
+	if err != nil {
+		fail(err)
+	}
+	var scale core.Scale
+	switch *scaleFlag {
+	case "tiny":
+		scale = core.Tiny
+	case "small":
+		scale = core.Small
+	case "full":
+		scale = core.Full
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scaleFlag))
+	}
+	prec, err := lowp.ParsePrecision(*precision)
+	if err != nil {
+		fail(err)
+	}
+	if *replicas > 1 && *stages > 1 {
+		fail(fmt.Errorf("use candlesearch/TrainHybrid for replicas x stages; pick one here"))
+	}
+	var sched nn.LRSchedule
+	switch *schedule {
+	case "constant":
+		sched = nn.ConstantLR{}
+	case "step":
+		sched = nn.StepDecay{StepEpochs: *epochs / 3, Gamma: 0.1}
+	case "cosine":
+		sched = nn.CosineDecay{MinFactor: 0.01}
+	case "warmup-cosine":
+		sched = nn.WarmupCosine{WarmupEpochs: *epochs / 10, MinFactor: 0.01}
+	default:
+		fail(fmt.Errorf("unknown schedule %q", *schedule))
+	}
+
+	root := rng.New(*seed)
+	train, test := w.Generate(scale, root.Split("data"))
+	fmt.Printf("workload: %s — %s\n", w.Name, w.Description)
+	fmt.Printf("data:     %v / test %d samples\n", train, test.N())
+
+	hp := w.DefaultConfig()
+	hp["lr"] = *lr
+	net := w.NewModel(hp, train.Dim(), train.OutDim(), root.Split("init"))
+	fmt.Printf("model:    %v\n", net)
+
+	var loss nn.Loss = nn.MSELoss{}
+	if w.Classification {
+		loss = nn.SoftmaxCELoss{}
+	}
+
+	start := time.Now()
+	switch {
+	case *replicas > 1:
+		res, err := parallel.TrainDataParallel(net, train.X, train.Y, parallel.DataParallelConfig{
+			Replicas: *replicas, Algo: comm.ARRing, Loss: loss,
+			NewOptimizer: func() nn.Optimizer { return nn.NewAdam(*lr) },
+			GlobalBatch:  *batch, Epochs: *epochs,
+			GradPrecision: prec, RNG: root.Split("train"),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trained:  %d steps on %d replicas, %.1f MB gradient traffic/rank\n",
+			res.Steps, *replicas, res.BytesPerRank/1e6)
+	case *stages > 1:
+		res, err := parallel.TrainPipeline(net, train.X, train.Y, parallel.PipelineConfig{
+			Stages: *stages, MicroBatches: 2, Loss: loss,
+			NewOptimizer: func() nn.Optimizer { return nn.NewAdam(*lr) },
+			GlobalBatch:  *batch, Epochs: *epochs, RNG: root.Split("train"),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trained:  %d steps on %d stages (params/stage %v)\n",
+			res.Steps, *stages, res.StageParams)
+	default:
+		res, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+			Loss: loss, Optimizer: nn.NewAdam(*lr),
+			BatchSize: *batch, Epochs: *epochs,
+			Precision: prec, LossScale: *lossScale, Schedule: sched,
+			Shuffle: true, RNG: root.Split("train"),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("trained:  %d steps (%d skipped), final loss %.4f\n",
+			res.Steps, res.SkippedSteps, res.FinalLoss)
+	}
+	fmt.Printf("time:     %.2fs\n", time.Since(start).Seconds())
+
+	if w.Classification {
+		fmt.Printf("test:     accuracy %.4f\n", nn.EvaluateClassifier(net, test.X, test.Labels))
+	} else {
+		fmt.Printf("test:     MSE %.6f\n", nn.EvaluateRegression(net, test.X, test.Y))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "candletrain: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,7 @@
+// Package repro reproduces "Deep Learning in Cancer and Infectious Disease:
+// Novel Driver Problems for Future HPC Architecture" (Stevens, HPDC 2017).
+//
+// The public API lives in repro/candle; executables in cmd/; runnable
+// examples in examples/. bench_test.go in this directory regenerates each
+// of the paper-claim experiments E1-E9 (see DESIGN.md and EXPERIMENTS.md).
+package repro

@@ -1,0 +1,52 @@
+// Drug response: the P1B3-shaped workload. Trains a dose-response
+// regressor, then runs a Hyperband hyperparameter search against a random-
+// search baseline at the same budget — the paper's "intelligent searching
+// strategies" in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/candle"
+)
+
+func main() {
+	w, err := candle.WorkloadByName("drugresponse")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload:", w.Description)
+
+	// Baseline: reference model at default hyperparameters.
+	r := candle.NewRNG(7)
+	train, test := w.Generate(candle.Tiny, r.Split("data"))
+	net := w.NewModel(w.DefaultConfig(), train.Dim(), train.OutDim(), r.Split("init"))
+	if _, err := candle.Train(net, train.X, train.Y, candle.TrainConfig{
+		Loss: candle.MSELoss{}, Optimizer: candle.NewAdam(0.003),
+		BatchSize: 32, Epochs: 20, Shuffle: true, RNG: r.Split("sh"),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("default config test MSE: %.5f\n\n",
+		candle.EvaluateRegression(net, test.X, test.Y))
+
+	// Search: Hyperband vs random at equal budget.
+	const budget = 12
+	for _, strat := range []candle.SearchStrategy{
+		candle.RandomSearch{}, candle.Hyperband{},
+	} {
+		res, err := strat.Search(w.Objective(candle.Tiny), candle.SearchOptions{
+			Space:       w.Space,
+			TotalBudget: budget,
+			Parallelism: 4,
+			RNG:         candle.NewRNG(99).Split(strat.Name()),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s best test MSE %.5f after %d trials (budget %.1f)\n",
+			strat.Name(), res.Best.Loss, len(res.Trials), res.CostUsed)
+		fmt.Printf("           config: %s\n", w.Space.FormatConfig(res.Best.Config))
+	}
+}

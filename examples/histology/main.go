@@ -1,0 +1,60 @@
+// Histology: the 2-D imaging extension workload. Trains the convolutional
+// tissue-patch classifier with a warmup-cosine learning-rate schedule and
+// early stopping, and contrasts it against a dense network of similar size —
+// the paper's "automated systems routinely out-performing human expertise"
+// diagnosis driver in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/candle"
+)
+
+func main() {
+	w, err := candle.WorkloadByName("histology")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload:", w.Description)
+
+	r := candle.NewRNG(7)
+	train, test := w.Generate(candle.Small, r.Split("data"))
+	fmt.Println("train:", train)
+
+	conv := w.NewModel(w.DefaultConfig(), train.Dim(), train.OutDim(), r.Split("conv"))
+	fmt.Println("conv model: ", conv)
+	dense := candle.MLP(train.Dim(), []int{64, 32}, train.OutDim(), candle.ReLU, r.Split("dense"))
+	fmt.Println("dense model:", dense)
+
+	trainModel := func(net *candle.Net, tag string) float64 {
+		var stopper candle.EarlyStopper
+		stopper.Patience = 6
+		res, err := candle.Train(net, train.X, train.Y, candle.TrainConfig{
+			Loss:      candle.SoftmaxCELoss{},
+			Optimizer: candle.NewAdam(0.002),
+			BatchSize: 32,
+			Epochs:    40,
+			Schedule:  candle.WarmupCosine{WarmupEpochs: 3, MinFactor: 0.05},
+			Shuffle:   true,
+			RNG:       r.Split("sh-" + tag),
+			OnEpoch: func(epoch int, loss float64) bool {
+				return !stopper.Observe(loss)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc := candle.EvaluateClassifier(net, test.X, test.Labels)
+		fmt.Printf("%-5s  epochs=%-3d final-loss=%.4f  test-accuracy=%.3f\n",
+			tag, len(res.EpochLoss), res.FinalLoss, acc)
+		return acc
+	}
+
+	convAcc := trainModel(conv, "conv")
+	denseAcc := trainModel(dense, "dense")
+	fmt.Printf("\nspatial structure advantage (conv - dense): %+.3f\n", convAcc-denseAcc)
+	fmt.Println("the per-pixel marginals are matched across classes, so the dense")
+	fmt.Println("model must memorise textures the convolution reads off directly")
+}

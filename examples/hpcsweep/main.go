@@ -1,0 +1,59 @@
+// HPC sweep: evaluates the architecture trade-offs the paper argues for on
+// the machine model — precision speedups, strong-vs-weak scaling, and
+// NVRAM staging — without training anything. This is the example to start
+// from when using candle as an architecture-exploration tool.
+package main
+
+import (
+	"fmt"
+
+	"repro/candle"
+	"repro/internal/comm"
+	"repro/internal/lowp"
+	"repro/internal/machine"
+	"repro/internal/storage"
+)
+
+func main() {
+	spec := machine.MLPSpec("candle-mlp", []int{4096, 2048, 2048, 1000})
+
+	// 1. Precision ladders on each machine preset.
+	fmt.Println("training-step time (ms) at batch 256 by precision:")
+	fmt.Printf("%-10s", "machine")
+	precs := []lowp.Precision{lowp.FP64, lowp.FP32, lowp.FP16, lowp.INT8}
+	for _, p := range precs {
+		fmt.Printf("  %8s", p)
+	}
+	fmt.Println()
+	for _, m := range machine.Presets(1) {
+		fmt.Printf("%-10s", m.Name)
+		for _, p := range precs {
+			fmt.Printf("  %8.3f", 1000*machine.StepComputeTime(m, spec, 256, p))
+		}
+		fmt.Println()
+	}
+
+	// 2. Strong scaling of data-parallel SGD.
+	fmt.Println("\nstrong scaling (global batch 1024, fp32, ring allreduce):")
+	m := candle.MachineGPU2017(1024)
+	conv := machine.ModelSpec{Name: "convnet", Params: 5e6,
+		FlopsPerSample: 4e9, ActivationsPerSample: 2e6, Layers: 12}
+	t1 := machine.DataParallelStepTime(m, conv, 1, 1024, lowp.FP32, lowp.FP32, comm.ARRing)
+	for _, p := range []int{1, 4, 16, 64, 256, 1024} {
+		tp := machine.DataParallelStepTime(m, conv, p, 1024, lowp.FP32, lowp.FP32, comm.ARRing)
+		fmt.Printf("  P=%-5d step %8.2f ms   speedup %7.1fx   efficiency %5.1f%%\n",
+			p, tp*1000, t1/tp, 100*t1/tp/float64(p))
+	}
+
+	// 3. NVRAM staging for a dataset that exceeds DRAM.
+	fmt.Println("\ndata staging for a 256 GB/node dataset (64 nodes sharing the PFS):")
+	node := m.Node
+	cfg := storage.Config{
+		DatasetBytes: 256 * machine.GB, BatchBytes: 16 * machine.MB,
+		StepsPerEpoch: 16384, Epochs: 4, ComputePerStep: 0.02,
+		SharedPFSNodes: 64,
+	}
+	for _, res := range storage.CompareAll(&node, cfg) {
+		fmt.Printf("  %v  efficiency %5.1f%%\n", res, 100*storage.Efficiency(res, cfg))
+	}
+}

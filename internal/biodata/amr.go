@@ -1,0 +1,118 @@
+package biodata
+
+import (
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// AMRConfig parameterises the antibiotic-resistance generator (the paper's
+// infectious-disease driver: "predict antibiotic resistance and identify
+// novel resistance mechanisms"). Genomes are represented as binary k-mer
+// presence vectors; resistance is an OR over several mechanisms, each an
+// AND of a few marker k-mers — the boolean structure real resistance genes
+// (efflux pumps, beta-lactamases, target mutations) induce.
+type AMRConfig struct {
+	Samples    int
+	KmerDim    int     // k-mer vocabulary size (feature length)
+	Mechanisms int     // independent resistance mechanisms
+	MarkersPer int     // k-mers that must co-occur to activate a mechanism
+	Background float64 // baseline k-mer presence probability
+	FlipNoise  float64 // per-bit sequencing-noise flip probability
+}
+
+// DefaultAMRConfig mirrors a small resistome panel.
+func DefaultAMRConfig() AMRConfig {
+	return AMRConfig{Samples: 1600, KmerDim: 192, Mechanisms: 3,
+		MarkersPer: 3, Background: 0.25, FlipNoise: 0.01}
+}
+
+// AMR generates binary k-mer genomes with planted resistance mechanisms.
+// Half the genomes are resistant: they carry at least one complete
+// mechanism. The other half are susceptible: they may carry partial
+// mechanisms (making the problem non-trivially non-linear) but never a
+// complete one.
+func AMR(cfg AMRConfig, r *rng.Stream) *Dataset {
+	// Disjoint marker sets per mechanism.
+	perm := r.Perm(cfg.KmerDim)
+	mech := make([][]int, cfg.Mechanisms)
+	p := 0
+	for m := range mech {
+		mech[m] = append([]int(nil), perm[p:p+cfg.MarkersPer]...)
+		p += cfg.MarkersPer
+	}
+	markerSet := map[int]bool{}
+	for _, ms := range mech {
+		for _, g := range ms {
+			markerSet[g] = true
+		}
+	}
+
+	ds := &Dataset{Name: "amr", NumClasses: 2,
+		X:      tensor.New(cfg.Samples, cfg.KmerDim),
+		Labels: make([]int, cfg.Samples)}
+	for i := 0; i < cfg.Samples; i++ {
+		row := ds.X.Row(i).Data
+		for j := range row {
+			if !markerSet[j] && r.Bernoulli(cfg.Background) {
+				row[j] = 1
+			}
+		}
+		resistant := i%2 == 0
+		if resistant {
+			ds.Labels[i] = 1
+			// Complete a random mechanism; sprinkle partials of others.
+			m := r.Intn(cfg.Mechanisms)
+			for _, g := range mech[m] {
+				row[g] = 1
+			}
+			for om := range mech {
+				if om != m && r.Bernoulli(0.4) {
+					row[mech[om][r.Intn(cfg.MarkersPer)]] = 1
+				}
+			}
+		} else {
+			// Partial mechanisms only: drop at least one marker from any
+			// mechanism that would otherwise complete.
+			for _, ms := range mech {
+				if r.Bernoulli(0.5) {
+					// Carry all but one marker.
+					skip := r.Intn(len(ms))
+					for k, g := range ms {
+						if k != skip {
+							row[g] = 1
+						}
+					}
+				}
+			}
+		}
+		// Sequencing noise flips bits — but never flips a complete
+		// mechanism into existence or out of existence, so labels stay
+		// consistent with the planted rule.
+		for j := range row {
+			if markerSet[j] {
+				continue
+			}
+			if r.Bernoulli(cfg.FlipNoise) {
+				row[j] = 1 - row[j]
+			}
+		}
+	}
+	ds.Y = nn.OneHot(ds.Labels, 2)
+	return ds
+}
+
+// AMRMechanisms re-derives the planted marker indices for a given config and
+// seed stream state; used by tests and the mechanism-discovery example to
+// check that a trained model's saliency recovers the planted biology.
+// It must be called with a stream in the same state Amr was called with.
+func AMRMechanisms(cfg AMRConfig, r *rng.Stream) [][]int {
+	perm := r.Perm(cfg.KmerDim)
+	mech := make([][]int, cfg.Mechanisms)
+	p := 0
+	for m := range mech {
+		mech[m] = append([]int(nil), perm[p:p+cfg.MarkersPer]...)
+		p += cfg.MarkersPer
+	}
+	return mech
+}

@@ -1,0 +1,449 @@
+package biodata
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestTumorDeterministic(t *testing.T) {
+	cfg := DefaultTumorConfig()
+	cfg.Samples = 50
+	a := Tumor(cfg, rng.New(9))
+	b := Tumor(cfg, rng.New(9))
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("tumor generator not deterministic")
+		}
+	}
+}
+
+func TestTumorShapesAndBalance(t *testing.T) {
+	cfg := DefaultTumorConfig()
+	cfg.Samples = 400
+	ds := Tumor(cfg, rng.New(1))
+	if ds.N() != 400 || ds.Dim() != cfg.Genes || ds.OutDim() != cfg.Classes {
+		t.Fatalf("shapes wrong: %v", ds)
+	}
+	counts := make([]int, cfg.Classes)
+	for _, l := range ds.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("class %d has %d samples", c, n)
+		}
+	}
+}
+
+func TestTumorLearnable(t *testing.T) {
+	cfg := DefaultTumorConfig()
+	cfg.Samples = 600
+	cfg.Genes = 64
+	cfg.Informative = 24
+	r := rng.New(2)
+	ds := Tumor(cfg, r.Split("data"))
+	train, test := ds.Split(0.8, r.Split("split"))
+	m, s := train.StandardizeInPlace()
+	test.ApplyStandardize(m, s)
+	net := nn.MLP(train.Dim(), []int{32}, cfg.Classes, nn.ReLU, r.Split("init"))
+	_, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+		Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdam(0.003),
+		BatchSize: 32, Epochs: 30, Shuffle: true, RNG: r.Split("sh"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := nn.EvaluateClassifier(net, test.X, test.Labels)
+	if acc < 0.8 {
+		t.Fatalf("tumor test accuracy %.3f — planted signal not learnable", acc)
+	}
+}
+
+func TestSplitDisjointAndComplete(t *testing.T) {
+	cfg := DefaultTumorConfig()
+	cfg.Samples = 100
+	ds := Tumor(cfg, rng.New(3))
+	train, test := ds.Split(0.7, rng.New(4))
+	if train.N() != 70 || test.N() != 30 {
+		t.Fatalf("split sizes %d/%d", train.N(), test.N())
+	}
+	// Splits must preserve X–label pairing: each split row must appear in
+	// the original with the same label.
+	find := func(row []float64) int {
+		for i := 0; i < ds.N(); i++ {
+			orig := ds.X.Row(i).Data
+			same := true
+			for j := range row {
+				if row[j] != orig[j] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := 0; i < 10; i++ {
+		src := find(train.X.Row(i).Data)
+		if src < 0 || ds.Labels[src] != train.Labels[i] {
+			t.Fatal("split broke feature-label pairing")
+		}
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	cfg := DefaultTumorConfig()
+	cfg.Samples = 100
+	ds := Tumor(cfg, rng.New(5))
+	sub := ds.Subsample(17, rng.New(6))
+	if sub.N() != 17 || sub.Dim() != ds.Dim() {
+		t.Fatalf("subsample shape %v", sub)
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	cfg := DefaultTumorConfig()
+	cfg.Samples = 200
+	ds := Tumor(cfg, rng.New(7))
+	ds.StandardizeInPlace()
+	for j := 0; j < 5; j++ {
+		col := make([]float64, ds.N())
+		for i := range col {
+			col[i] = ds.X.At(i, j)
+		}
+		if m := stats.Mean(col); math.Abs(m) > 1e-9 {
+			t.Fatalf("column %d mean %v after standardize", j, m)
+		}
+		if s := stats.Std(col); math.Abs(s-1) > 0.01 {
+			t.Fatalf("column %d std %v after standardize", j, s)
+		}
+	}
+}
+
+func TestAutoencoderCompressible(t *testing.T) {
+	cfg := DefaultAutoencoderConfig()
+	cfg.Samples = 500
+	cfg.Genes = 64
+	cfg.Latent = 4
+	r := rng.New(8)
+	ds := AutoencoderExpression(cfg, r.Split("data"))
+	if ds.Y.Len() != ds.X.Len() {
+		t.Fatal("autoencoder target is not the input")
+	}
+	// An autoencoder with a bottleneck >= true latent dim should reconstruct
+	// much better than predicting the mean.
+	net := nn.NewNet(
+		nn.NewDense(64, 16, r.Split("e1")), nn.NewActivation(nn.Tanh),
+		nn.NewDense(16, 8, r.Split("e2")), nn.NewActivation(nn.Tanh),
+		nn.NewDense(8, 16, r.Split("d1")), nn.NewActivation(nn.Tanh),
+		nn.NewDense(16, 64, r.Split("d2")),
+	)
+	_, err := nn.Train(net, ds.X, ds.Y, nn.TrainConfig{
+		Loss: nn.MSELoss{}, Optimizer: nn.NewAdam(0.002),
+		BatchSize: 50, Epochs: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := nn.EvaluateRegression(net, ds.X, ds.Y)
+	// Variance of the data = MSE of the mean predictor.
+	variance := 0.0
+	mean := ds.X.Sum() / float64(ds.X.Len())
+	for _, v := range ds.X.Data {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(ds.X.Len())
+	if mse > 0.5*variance {
+		t.Fatalf("autoencoder reconstruction MSE %v vs variance %v", mse, variance)
+	}
+}
+
+func TestDrugResponseRange(t *testing.T) {
+	cfg := DefaultDrugResponseConfig()
+	cfg.Pairs = 100
+	ds := DrugResponse(cfg, rng.New(9))
+	if ds.N() != cfg.Pairs*cfg.DosesPer {
+		t.Fatalf("sample count %d", ds.N())
+	}
+	if ds.Dim() != cfg.CellDim+cfg.DrugDim+1 {
+		t.Fatalf("dim %d", ds.Dim())
+	}
+	for _, v := range ds.Y.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("growth %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestDrugResponseDoseMonotone(t *testing.T) {
+	// Averaged over many pairs, higher dose must mean lower growth.
+	cfg := DefaultDrugResponseConfig()
+	cfg.Pairs = 400
+	cfg.Noise = 0
+	ds := DrugResponse(cfg, rng.New(10))
+	var loDose, hiDose stats.Online
+	doseCol := ds.Dim() - 1
+	for i := 0; i < ds.N(); i++ {
+		dose := ds.X.At(i, doseCol)
+		if dose < -0.5 {
+			loDose.Add(ds.Y.Data[i])
+		} else if dose > 0.5 {
+			hiDose.Add(ds.Y.Data[i])
+		}
+	}
+	if loDose.Mean() <= hiDose.Mean() {
+		t.Fatalf("dose-response not monotone: low-dose growth %v, high-dose %v",
+			loDose.Mean(), hiDose.Mean())
+	}
+}
+
+func TestDrugResponseLearnable(t *testing.T) {
+	cfg := DrugResponseConfig{CellLines: 30, Drugs: 20, DosesPer: 4,
+		Pairs: 300, CellDim: 32, DrugDim: 16, LatentDim: 3, Noise: 0.02}
+	r := rng.New(11)
+	ds := DrugResponse(cfg, r.Split("data"))
+	train, test := ds.Split(0.8, r.Split("split"))
+	net := nn.MLP(ds.Dim(), []int{64, 32}, 1, nn.ReLU, r.Split("init"))
+	_, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+		Loss: nn.MSELoss{}, Optimizer: nn.NewAdam(0.002),
+		BatchSize: 32, Epochs: 60, Shuffle: true, RNG: r.Split("sh"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := nn.EvaluateRegression(net, test.X, test.Y)
+	// Baseline: predict the training-mean response.
+	mean := train.Y.Sum() / float64(train.Y.Len())
+	base := 0.0
+	for _, v := range test.Y.Data {
+		base += (v - mean) * (v - mean)
+	}
+	base /= float64(test.Y.Len())
+	if mse > 0.6*base {
+		t.Fatalf("drug response barely better than mean: MSE %v vs baseline %v", mse, base)
+	}
+}
+
+func TestAMRLabelsConsistent(t *testing.T) {
+	cfg := DefaultAMRConfig()
+	cfg.Samples = 300
+	seed := rng.New(12)
+	mech := AMRMechanisms(cfg, rng.New(12).Split("probe"))
+	_ = mech
+	ds := AMR(cfg, seed)
+	// Balance check.
+	pos := 0
+	for _, l := range ds.Labels {
+		pos += l
+	}
+	if pos != 150 {
+		t.Fatalf("AMR class balance %d/300", pos)
+	}
+	// Binary features.
+	for _, v := range ds.X.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("non-binary k-mer value %v", v)
+		}
+	}
+}
+
+func TestAMRLearnableAndNonlinear(t *testing.T) {
+	cfg := DefaultAMRConfig()
+	cfg.Samples = 2400
+	cfg.KmerDim = 96
+	r := rng.New(13)
+	ds := AMR(cfg, r.Split("data"))
+	train, test := ds.Split(0.8, r.Split("split"))
+
+	// A regularised MLP should solve the OR-of-ANDs rule well; without
+	// weight decay it memorises the background k-mers instead.
+	net := nn.MLP(cfg.KmerDim, []int{48}, 2, nn.ReLU, r.Split("init"))
+	_, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+		Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdamW(0.005, 0.01),
+		BatchSize: 32, Epochs: 80, Shuffle: true, RNG: r.Split("sh"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := nn.EvaluateClassifier(net, test.X, test.Labels)
+	if deep < 0.85 {
+		t.Fatalf("AMR MLP accuracy %.3f", deep)
+	}
+
+	// A linear model (no hidden layer) should do worse: the planted rule is
+	// a conjunction, and susceptible genomes carry partial mechanisms.
+	lin := nn.MLP(cfg.KmerDim, nil, 2, nn.ReLU, r.Split("lin"))
+	_, err = nn.Train(lin, train.X, train.Y, nn.TrainConfig{
+		Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdamW(0.005, 0.01),
+		BatchSize: 32, Epochs: 80, Shuffle: true, RNG: r.Split("sh2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear := nn.EvaluateClassifier(lin, test.X, test.Labels)
+	if linear >= deep {
+		t.Logf("note: linear %.3f vs deep %.3f (planted nonlinearity weak this seed)", linear, deep)
+	}
+}
+
+func TestMedRecordsShapes(t *testing.T) {
+	cfg := DefaultMedRecordsConfig()
+	cfg.Patients = 300
+	ds := MedRecords(cfg, rng.New(14))
+	if ds.N() != 300 || ds.NumClasses != cfg.Treatments {
+		t.Fatalf("medrecords shape wrong: %v", ds)
+	}
+	// All treatment classes should occur.
+	seen := make([]bool, cfg.Treatments)
+	for _, l := range ds.Labels {
+		seen[l] = true
+	}
+	for tix, s := range seen {
+		if !s {
+			t.Fatalf("treatment %d never optimal", tix)
+		}
+	}
+}
+
+func TestMedRecordsLearnable(t *testing.T) {
+	cfg := DefaultMedRecordsConfig()
+	cfg.Patients = 1500
+	r := rng.New(15)
+	ds := MedRecords(cfg, r.Split("data"))
+	train, test := ds.Split(0.8, r.Split("split"))
+	net := nn.MLP(ds.Dim(), []int{64, 32}, cfg.Treatments, nn.ReLU, r.Split("init"))
+	_, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+		Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdam(0.003),
+		BatchSize: 50, Epochs: 50, Shuffle: true, RNG: r.Split("sh"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := nn.EvaluateClassifier(net, test.X, test.Labels)
+	chance := 1.0 / float64(cfg.Treatments)
+	if acc < chance+0.25 {
+		t.Fatalf("medrecords accuracy %.3f barely above chance %.3f", acc, chance)
+	}
+}
+
+func TestMDTrajectoryStatistics(t *testing.T) {
+	cfg := DefaultMDConfig()
+	cfg.Frames = 3000
+	ds := MDTrajectory(cfg, rng.New(16))
+	trans := TransitionCount(ds.Labels)
+	expected := float64(cfg.Frames) / cfg.DwellMean
+	if float64(trans) < expected/3 || float64(trans) > expected*3 {
+		t.Fatalf("transition count %d far from expected ~%.0f", trans, expected)
+	}
+	occ := StateOccupancy(ds.Labels, cfg.States)
+	for s, o := range occ {
+		if o < 0.05 {
+			t.Fatalf("state %d occupancy %.3f too low", s, o)
+		}
+	}
+}
+
+func TestMDFramesLearnable(t *testing.T) {
+	cfg := DefaultMDConfig()
+	cfg.Frames = 1500
+	r := rng.New(17)
+	ds := MDTrajectory(cfg, r.Split("data"))
+	// Chronological split: supervise online like an MD driver would.
+	nTrain := 1000
+	trainX := ds.X.SliceRows(0, nTrain)
+	trainY := ds.Y.SliceRows(0, nTrain)
+	testX := ds.X.SliceRows(nTrain, ds.N())
+	testLabels := ds.Labels[nTrain:]
+	net := nn.MLP(ds.Dim(), []int{32}, cfg.States, nn.ReLU, r.Split("init"))
+	_, err := nn.Train(net, trainX, trainY, nn.TrainConfig{
+		Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdam(0.003),
+		BatchSize: 50, Epochs: 25, Shuffle: true, RNG: r.Split("sh"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := nn.EvaluateClassifier(net, testX, testLabels)
+	if acc < 0.85 {
+		t.Fatalf("MD state classification accuracy %.3f on future frames", acc)
+	}
+}
+
+func TestTumorConfigValidate(t *testing.T) {
+	bad := TumorConfig{Samples: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if err := DefaultTumorConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistologyShapes(t *testing.T) {
+	cfg := DefaultHistologyConfig()
+	cfg.Samples = 90
+	ds := Histology(cfg, rng.New(41))
+	if ds.N() != 90 || ds.Dim() != cfg.Side*cfg.Side {
+		t.Fatalf("histology shapes wrong: %v", ds)
+	}
+	// Classes balanced and all present.
+	counts := make([]int, cfg.Classes)
+	for _, l := range ds.Labels {
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 30 {
+			t.Fatalf("class %d has %d samples", c, n)
+		}
+	}
+}
+
+func TestHistologyDeterministic(t *testing.T) {
+	cfg := DefaultHistologyConfig()
+	cfg.Samples = 30
+	a := Histology(cfg, rng.New(42))
+	b := Histology(cfg, rng.New(42))
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("histology generator not deterministic")
+		}
+	}
+}
+
+func TestHistologyMarginalsOverlap(t *testing.T) {
+	// Per-pixel means should be close across classes — the signal must be
+	// spatial, not a per-pixel intensity giveaway.
+	cfg := DefaultHistologyConfig()
+	cfg.Samples = 600
+	ds := Histology(cfg, rng.New(43))
+	classMean := make([]float64, cfg.Classes)
+	classN := make([]float64, cfg.Classes)
+	for i := 0; i < ds.N(); i++ {
+		row := ds.X.Row(i).Data
+		for _, v := range row {
+			classMean[ds.Labels[i]] += v
+		}
+		classN[ds.Labels[i]] += float64(len(row))
+	}
+	for c := range classMean {
+		classMean[c] /= classN[c]
+		if math.Abs(classMean[c]) > 0.05 {
+			t.Fatalf("class %d global mean %.4f not centred", c, classMean[c])
+		}
+	}
+}
+
+func TestHistologyClassesClamped(t *testing.T) {
+	cfg := DefaultHistologyConfig()
+	cfg.Samples = 20
+	cfg.Classes = 9
+	ds := Histology(cfg, rng.New(44))
+	if ds.NumClasses != 4 {
+		t.Fatalf("classes not clamped: %d", ds.NumClasses)
+	}
+}

@@ -1,0 +1,136 @@
+// Package biodata generates synthetic datasets with planted, learnable
+// structure for the six biomedical driver problems the paper names: tumor
+// classification, drug-response prediction, gene-expression compression,
+// medical-record treatment selection, antibiotic-resistance prediction, and
+// molecular-dynamics state supervision.
+//
+// Real NCI/clinical data is access-controlled, so each generator plants a
+// signal of controllable difficulty whose learning curves and relative model
+// orderings behave like the corresponding CANDLE benchmark — the substitution
+// DESIGN.md documents. All generators are deterministic functions of their
+// config and an rng.Stream.
+package biodata
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Dataset is a supervised learning problem instance.
+type Dataset struct {
+	Name string
+	// X is the (N x D) feature matrix.
+	X *tensor.Tensor
+	// Y is the (N x K) training target: one-hot classes for classification,
+	// real values for regression, the input itself for autoencoding.
+	Y *tensor.Tensor
+	// Labels holds integer class labels for classification tasks
+	// (nil for regression).
+	Labels []int
+	// NumClasses is the class count (0 for regression).
+	NumClasses int
+}
+
+// N returns the sample count.
+func (d *Dataset) N() int { return d.X.Dim(0) }
+
+// Dim returns the feature dimensionality.
+func (d *Dataset) Dim() int { return d.X.Dim(1) }
+
+// OutDim returns the target dimensionality.
+func (d *Dataset) OutDim() int { return d.Y.Dim(1) }
+
+// String summarises the dataset.
+func (d *Dataset) String() string {
+	kind := "regression"
+	if d.NumClasses > 0 {
+		kind = fmt.Sprintf("%d-class", d.NumClasses)
+	}
+	return fmt.Sprintf("%s: %d samples x %d features (%s)", d.Name, d.N(), d.Dim(), kind)
+}
+
+// Split partitions the dataset into train and test subsets with the given
+// train fraction, shuffling with r. Both subsets own fresh storage.
+func (d *Dataset) Split(trainFrac float64, r *rng.Stream) (train, test *Dataset) {
+	n := d.N()
+	nTrain := int(float64(n) * trainFrac)
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= n {
+		nTrain = n - 1
+	}
+	perm := r.Perm(n)
+	return d.subset(perm[:nTrain]), d.subset(perm[nTrain:])
+}
+
+// Subsample returns a dataset of k samples drawn without replacement.
+func (d *Dataset) Subsample(k int, r *rng.Stream) *Dataset {
+	return d.subset(r.Sample(d.N(), k))
+}
+
+func (d *Dataset) subset(idx []int) *Dataset {
+	sub := &Dataset{Name: d.Name, NumClasses: d.NumClasses,
+		X: tensor.New(len(idx), d.Dim()),
+		Y: tensor.New(len(idx), d.OutDim())}
+	if d.Labels != nil {
+		sub.Labels = make([]int, len(idx))
+	}
+	for i, s := range idx {
+		copy(sub.X.Row(i).Data, d.X.Row(s).Data)
+		copy(sub.Y.Row(i).Data, d.Y.Row(s).Data)
+		if d.Labels != nil {
+			sub.Labels[i] = d.Labels[s]
+		}
+	}
+	return sub
+}
+
+// StandardizeInPlace shifts and scales each feature column of X to zero mean
+// and unit variance, returning the column means and stds so a test set can
+// be transformed identically via ApplyStandardize.
+func (d *Dataset) StandardizeInPlace() (means, stds []float64) {
+	n, dim := d.N(), d.Dim()
+	means = make([]float64, dim)
+	stds = make([]float64, dim)
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i).Data
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i).Data
+		for j, v := range row {
+			dv := v - means[j]
+			stds[j] += dv * dv
+		}
+	}
+	for j := range stds {
+		stds[j] /= float64(n)
+		if stds[j] > 0 {
+			stds[j] = math.Sqrt(stds[j])
+		} else {
+			stds[j] = 1
+		}
+	}
+	d.ApplyStandardize(means, stds)
+	return means, stds
+}
+
+// ApplyStandardize transforms X with previously computed column statistics.
+func (d *Dataset) ApplyStandardize(means, stds []float64) {
+	n := d.N()
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i).Data
+		for j := range row {
+			row[j] = (row[j] - means[j]) / stds[j]
+		}
+	}
+}

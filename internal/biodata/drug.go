@@ -1,0 +1,118 @@
+package biodata
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// DrugResponseConfig parameterises the drug-response regression generator
+// (the P1B3/Combo-shaped problem: predict tumor growth response from a cell
+// line's expression profile, a compound's descriptors, and the dose).
+type DrugResponseConfig struct {
+	CellLines int // distinct cell lines
+	Drugs     int // distinct compounds
+	DosesPer  int // dose points per (cell, drug) pair sampled
+	Pairs     int // (cell, drug) pairs sampled
+	CellDim   int // expression feature length per cell line
+	DrugDim   int // descriptor length per drug
+	LatentDim int // dimensionality of the interaction latent space
+	Noise     float64
+}
+
+// DefaultDrugResponseConfig mirrors a small P1B3-like problem.
+func DefaultDrugResponseConfig() DrugResponseConfig {
+	return DrugResponseConfig{CellLines: 60, Drugs: 40, DosesPer: 5,
+		Pairs: 500, CellDim: 128, DrugDim: 64, LatentDim: 6, Noise: 0.05}
+}
+
+// DrugResponse generates dose-response observations. Each cell line and drug
+// carries a latent vector; their inner product sets the log-IC50 of a Hill
+// dose-response curve, and observed features are noisy nonlinear expansions
+// of the latents. The learning task is regression of the growth fraction in
+// [0,1] from [cell features, drug features, log-dose].
+func DrugResponse(cfg DrugResponseConfig, r *rng.Stream) *Dataset {
+	// Latents.
+	cellLat := randMat(r, cfg.CellLines, cfg.LatentDim, 1)
+	drugLat := randMat(r, cfg.Drugs, cfg.LatentDim, 1)
+	// Observation maps latent -> features (fixed random projections + tanh).
+	cellMap := randMat(r, cfg.LatentDim, cfg.CellDim, 1.0)
+	drugMap := randMat(r, cfg.LatentDim, cfg.DrugDim, 1.0)
+
+	cellFeat := expand(cellLat, cellMap, r, 0.1)
+	drugFeat := expand(drugLat, drugMap, r, 0.1)
+
+	n := cfg.Pairs * cfg.DosesPer
+	dim := cfg.CellDim + cfg.DrugDim + 1
+	ds := &Dataset{Name: "drug-response",
+		X: tensor.New(n, dim), Y: tensor.New(n, 1)}
+	row := 0
+	for p := 0; p < cfg.Pairs; p++ {
+		ci := r.Intn(cfg.CellLines)
+		di := r.Intn(cfg.Drugs)
+		// Sensitivity from latent interaction: dot product plus a bilinear
+		// quirk so the response surface is genuinely nonlinear.
+		dot := 0.0
+		quirk := 0.0
+		for k := 0; k < cfg.LatentDim; k++ {
+			dot += cellLat[ci][k] * drugLat[di][k]
+			if k+1 < cfg.LatentDim {
+				quirk += cellLat[ci][k] * drugLat[di][k+1]
+			}
+		}
+		logIC50 := 0.8*dot + 0.3*quirk // log10 µM units
+		hill := 1.0 + 0.5*math.Abs(quirk)
+		for d := 0; d < cfg.DosesPer; d++ {
+			logDose := r.Uniform(-3, 3)
+			// Hill equation: growth = 1 / (1 + (dose/IC50)^h)
+			growth := 1 / (1 + math.Pow(10, hill*(logDose-logIC50)))
+			growth += r.NormMeanStd(0, cfg.Noise)
+			x := ds.X.Row(row).Data
+			copy(x[:cfg.CellDim], cellFeat[ci])
+			copy(x[cfg.CellDim:cfg.CellDim+cfg.DrugDim], drugFeat[di])
+			x[dim-1] = logDose / 3 // scaled to ~[-1,1]
+			ds.Y.Data[row] = clamp01(growth)
+			row++
+		}
+	}
+	return ds
+}
+
+func randMat(r *rng.Stream, rows, cols int, std float64) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = r.NormMeanStd(0, std)
+		}
+	}
+	return m
+}
+
+// expand maps latent rows through a fixed random projection + tanh + noise.
+func expand(lat, proj [][]float64, r *rng.Stream, noise float64) [][]float64 {
+	out := make([][]float64, len(lat))
+	cols := len(proj[0])
+	for i, lrow := range lat {
+		out[i] = make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			s := 0.0
+			for k := range lrow {
+				s += lrow[k] * proj[k][j]
+			}
+			out[i][j] = math.Tanh(s) + r.NormMeanStd(0, noise)
+		}
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,156 @@
+package biodata
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TumorConfig parameterises the tumor-type classification generator
+// (the NT3/TC1-shaped problem: classify tumor type from an RNA expression
+// profile).
+type TumorConfig struct {
+	Samples     int     // total profiles
+	Genes       int     // profile length
+	Classes     int     // tumor types
+	Informative int     // genes carrying class signal (<= Genes)
+	Separation  float64 // centroid separation in noise-std units
+	Noise       float64 // per-gene measurement noise std
+	// PathwayBlocks adds correlated blocks mimicking co-regulated pathways.
+	PathwayBlocks int
+}
+
+// DefaultTumorConfig mirrors a small NT3-like problem.
+func DefaultTumorConfig() TumorConfig {
+	return TumorConfig{Samples: 1200, Genes: 256, Classes: 4,
+		Informative: 64, Separation: 1.4, Noise: 1.0, PathwayBlocks: 8}
+}
+
+// Tumor generates tumor expression profiles with class-dependent signatures
+// planted on a subset of genes plus correlated pathway structure.
+func Tumor(cfg TumorConfig, r *rng.Stream) *Dataset {
+	if cfg.Informative > cfg.Genes {
+		cfg.Informative = cfg.Genes
+	}
+	centro := make([][]float64, cfg.Classes)
+	genesPerClass := cfg.Informative
+	for c := range centro {
+		centro[c] = make([]float64, cfg.Genes)
+		for g := 0; g < genesPerClass; g++ {
+			// Sparse, class-specific up/down regulation.
+			gene := r.Intn(cfg.Genes)
+			if r.Bernoulli(0.5) {
+				centro[c][gene] += cfg.Separation
+			} else {
+				centro[c][gene] -= cfg.Separation
+			}
+		}
+	}
+	// Pathway blocks: random gene groups sharing a latent factor.
+	type block struct {
+		genes []int
+		load  []float64
+	}
+	blocks := make([]block, cfg.PathwayBlocks)
+	for b := range blocks {
+		size := 4 + r.Intn(12)
+		blocks[b].genes = r.Sample(cfg.Genes, size)
+		blocks[b].load = make([]float64, size)
+		for i := range blocks[b].load {
+			blocks[b].load[i] = r.NormMeanStd(0, 0.8)
+		}
+	}
+
+	ds := &Dataset{Name: "tumor", NumClasses: cfg.Classes,
+		X:      tensor.New(cfg.Samples, cfg.Genes),
+		Labels: make([]int, cfg.Samples)}
+	for i := 0; i < cfg.Samples; i++ {
+		c := i % cfg.Classes
+		ds.Labels[i] = c
+		row := ds.X.Row(i).Data
+		for g := range row {
+			row[g] = centro[c][g] + r.NormMeanStd(0, cfg.Noise)
+		}
+		for _, b := range blocks {
+			f := r.Norm()
+			for k, g := range b.genes {
+				row[g] += f * b.load[k]
+			}
+		}
+	}
+	ds.Y = nn.OneHot(ds.Labels, cfg.Classes)
+	return ds
+}
+
+// AutoencoderConfig parameterises the expression-compression generator
+// (the P1B1-shaped problem: learn a compact latent code of expression data).
+type AutoencoderConfig struct {
+	Samples int
+	Genes   int
+	// Latent is the true manifold dimensionality of the generated profiles.
+	Latent int
+	Noise  float64
+}
+
+// DefaultAutoencoderConfig mirrors a small P1B1-like problem.
+func DefaultAutoencoderConfig() AutoencoderConfig {
+	return AutoencoderConfig{Samples: 1500, Genes: 256, Latent: 12, Noise: 0.15}
+}
+
+// AutoencoderExpression generates profiles lying near a Latent-dimensional
+// nonlinear manifold embedded in gene space; Y equals X (reconstruction).
+func AutoencoderExpression(cfg AutoencoderConfig, r *rng.Stream) *Dataset {
+	// Random two-layer decoder: latent -> tanh(hidden) -> genes.
+	hidden := 2 * cfg.Latent
+	w1 := make([][]float64, cfg.Latent)
+	for i := range w1 {
+		w1[i] = make([]float64, hidden)
+		for j := range w1[i] {
+			w1[i][j] = r.NormMeanStd(0, 1.2)
+		}
+	}
+	w2 := make([][]float64, hidden)
+	for i := range w2 {
+		w2[i] = make([]float64, cfg.Genes)
+		for j := range w2[i] {
+			w2[i][j] = r.NormMeanStd(0, 0.9)
+		}
+	}
+	ds := &Dataset{Name: "expr-ae",
+		X: tensor.New(cfg.Samples, cfg.Genes)}
+	h := make([]float64, hidden)
+	for i := 0; i < cfg.Samples; i++ {
+		for j := range h {
+			h[j] = 0
+		}
+		for l := 0; l < cfg.Latent; l++ {
+			z := r.Norm()
+			for j := 0; j < hidden; j++ {
+				h[j] += z * w1[l][j]
+			}
+		}
+		row := ds.X.Row(i).Data
+		for j := 0; j < hidden; j++ {
+			hj := math.Tanh(h[j])
+			for g := 0; g < cfg.Genes; g++ {
+				row[g] += hj * w2[j][g]
+			}
+		}
+		for g := range row {
+			row[g] += r.NormMeanStd(0, cfg.Noise)
+		}
+	}
+	ds.Y = ds.X.Clone()
+	return ds
+}
+
+// Validate checks a TumorConfig for usability.
+func (c TumorConfig) Validate() error {
+	if c.Samples <= 0 || c.Genes <= 0 || c.Classes < 2 {
+		return fmt.Errorf("biodata: invalid TumorConfig %+v", c)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package biodata
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// MDConfig parameterises the molecular-dynamics surrogate generator (the
+// paper's basic-cancer-research driver: DL "supervising large-scale
+// multi-resolution molecular dynamics simulations used to explore cancer
+// gene signaling pathways"). A trajectory hops between metastable
+// conformational states of a model protein (RAS-like); each frame is
+// featurised as a residue-contact fingerprint. The supervision task is to
+// label each frame with its metastable state so the (simulated) MD driver
+// can decide where to spawn finer-resolution runs.
+type MDConfig struct {
+	Frames     int
+	Residues   int     // contact fingerprint is Residues*(Residues-1)/2 pairs subsampled to ContactDim
+	ContactDim int     // feature length
+	States     int     // metastable states
+	DwellMean  float64 // mean frames between transitions
+	Thermal    float64 // within-state thermal fluctuation
+}
+
+// DefaultMDConfig mirrors a small trajectory.
+func DefaultMDConfig() MDConfig {
+	return MDConfig{Frames: 2000, Residues: 24, ContactDim: 160,
+		States: 3, DwellMean: 40, Thermal: 0.35}
+}
+
+// MDTrajectory simulates a Markov-jump trajectory between metastable states,
+// each with its own characteristic contact fingerprint, and emits per-frame
+// features with thermal noise. Frames are ordered in time, so callers can
+// split chronologically (train on early frames, detect on later ones) the
+// way an online MD supervisor would.
+func MDTrajectory(cfg MDConfig, r *rng.Stream) *Dataset {
+	// Reference contact strength per state and contact.
+	ref := make([][]float64, cfg.States)
+	for s := range ref {
+		ref[s] = make([]float64, cfg.ContactDim)
+		for c := range ref[s] {
+			// Contacts are mostly shared (protein scaffold) with
+			// state-specific differences on a subset.
+			ref[s][c] = r.Uniform(0, 1)
+		}
+	}
+	// Make a fraction of contacts strongly state-discriminative.
+	for c := 0; c < cfg.ContactDim/6; c++ {
+		idx := r.Intn(cfg.ContactDim)
+		for s := range ref {
+			ref[s][idx] = float64(s) / float64(cfg.States-1)
+		}
+	}
+
+	ds := &Dataset{Name: "md-frames", NumClasses: cfg.States,
+		X:      tensor.New(cfg.Frames, cfg.ContactDim),
+		Labels: make([]int, cfg.Frames)}
+	state := 0
+	dwell := r.Poisson(cfg.DwellMean)
+	for f := 0; f < cfg.Frames; f++ {
+		if dwell <= 0 {
+			// Jump to a uniformly random different state.
+			next := r.Intn(cfg.States - 1)
+			if next >= state {
+				next++
+			}
+			state = next
+			dwell = r.Poisson(cfg.DwellMean)
+		}
+		dwell--
+		ds.Labels[f] = state
+		row := ds.X.Row(f).Data
+		for c := range row {
+			row[c] = ref[state][c] + r.NormMeanStd(0, cfg.Thermal)
+			if row[c] < 0 {
+				row[c] = 0
+			}
+		}
+	}
+	ds.Y = nn.OneHot(ds.Labels, cfg.States)
+	return ds
+}
+
+// TransitionCount returns the number of state transitions in a label
+// sequence — used to validate trajectory statistics.
+func TransitionCount(labels []int) int {
+	n := 0
+	for i := 1; i < len(labels); i++ {
+		if labels[i] != labels[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// StateOccupancy returns the fraction of frames spent in each state.
+func StateOccupancy(labels []int, states int) []float64 {
+	occ := make([]float64, states)
+	for _, l := range labels {
+		occ[l]++
+	}
+	for i := range occ {
+		occ[i] /= math.Max(1, float64(len(labels)))
+	}
+	return occ
+}

@@ -1,0 +1,89 @@
+package biodata
+
+import (
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// MedRecordsConfig parameterises the treatment-selection generator (the
+// paper's public-health driver: "interpret millions of medical records to
+// identify optimal treatment strategies"). Each record aggregates a
+// patient's history — demographics, comorbidity indicators, lab values,
+// prior-medication counts — and the target is which of several treatment
+// strategies maximises outcome for that patient.
+type MedRecordsConfig struct {
+	Patients   int
+	Labs       int // continuous lab-value features
+	Comorbid   int // binary comorbidity indicators
+	Treatments int // strategies to choose between
+	Noise      float64
+}
+
+// DefaultMedRecordsConfig mirrors a small cohort.
+func DefaultMedRecordsConfig() MedRecordsConfig {
+	return MedRecordsConfig{Patients: 2000, Labs: 24, Comorbid: 16,
+		Treatments: 3, Noise: 0.1}
+}
+
+// MedRecords generates patient records whose optimal treatment depends on
+// nonlinear interactions between risk factors: each treatment has a latent
+// benefit function over patient features, and the label is the argmax
+// benefit. Interaction terms (comorbidity x lab) make the rule non-linear.
+func MedRecords(cfg MedRecordsConfig, r *rng.Stream) *Dataset {
+	dim := 2 + cfg.Labs + cfg.Comorbid // age, sex + labs + comorbidities
+	// Per-treatment benefit model: linear + a few planted interactions.
+	type model struct {
+		w     []float64
+		bias  float64
+		inter [][2]int // feature index pairs whose product contributes
+		iw    []float64
+	}
+	models := make([]model, cfg.Treatments)
+	for t := range models {
+		m := model{w: make([]float64, dim), bias: r.NormMeanStd(0, 0.3)}
+		for j := range m.w {
+			m.w[j] = r.NormMeanStd(0, 0.5)
+		}
+		for k := 0; k < 4; k++ {
+			m.inter = append(m.inter, [2]int{r.Intn(dim), r.Intn(dim)})
+			m.iw = append(m.iw, r.NormMeanStd(0, 1.0))
+		}
+		models[t] = m
+	}
+
+	ds := &Dataset{Name: "medrecords", NumClasses: cfg.Treatments,
+		X:      tensor.New(cfg.Patients, dim),
+		Labels: make([]int, cfg.Patients)}
+	for i := 0; i < cfg.Patients; i++ {
+		row := ds.X.Row(i).Data
+		row[0] = r.Uniform(-1, 1) // age, scaled
+		if r.Bernoulli(0.5) {     // sex
+			row[1] = 1
+		}
+		for j := 0; j < cfg.Labs; j++ {
+			row[2+j] = r.NormMeanStd(0, 1)
+		}
+		for j := 0; j < cfg.Comorbid; j++ {
+			if r.Bernoulli(0.3) {
+				row[2+cfg.Labs+j] = 1
+			}
+		}
+		best, bestV := 0, -1e300
+		for t, m := range models {
+			v := m.bias + r.NormMeanStd(0, cfg.Noise)
+			for j, w := range m.w {
+				v += w * row[j]
+			}
+			for k, pair := range m.inter {
+				v += m.iw[k] * row[pair[0]] * row[pair[1]]
+			}
+			if v > bestV {
+				best, bestV = t, v
+			}
+		}
+		ds.Labels[i] = best
+	}
+	ds.Y = nn.OneHot(ds.Labels, cfg.Treatments)
+	return ds
+}

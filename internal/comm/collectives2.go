@@ -1,0 +1,137 @@
+package comm
+
+// Additional collectives: scatter, gather, and reduce-scatter. These round
+// out the MPI-style surface; the trainers mainly use AllReduce/AllGather,
+// but model-parallel weight distribution (scatter) and checkpoint assembly
+// (gather) use these.
+
+const (
+	tagScatter = 7 << 20
+	tagGather  = 8 << 20
+	tagRSc     = 9 << 20
+)
+
+// Scatter distributes root's data (length P*n) so rank i receives chunk i
+// (length n). Non-root callers pass nil and receive their chunk.
+func (r *Rank) Scatter(root int, data []float64) []float64 {
+	p := r.Size()
+	if p == 1 {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	if r.id == root {
+		if len(data)%p != 0 {
+			panic("comm: Scatter data not divisible by world size")
+		}
+		n := len(data) / p
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			r.Send(dst, tagScatter+dst, data[dst*n:(dst+1)*n])
+		}
+		out := make([]float64, n)
+		copy(out, data[root*n:(root+1)*n])
+		return out
+	}
+	return r.Recv(root, tagScatter+r.id)
+}
+
+// Gather collects each rank's equal-length data onto root in rank order
+// (root receives a P*n slice; others return nil).
+func (r *Rank) Gather(root int, data []float64) []float64 {
+	p := r.Size()
+	if p == 1 {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	if r.id != root {
+		r.Send(root, tagGather+r.id, data)
+		return nil
+	}
+	n := len(data)
+	out := make([]float64, p*n)
+	copy(out[root*n:(root+1)*n], data)
+	for src := 0; src < p; src++ {
+		if src == root {
+			continue
+		}
+		in := r.Recv(src, tagGather+src)
+		if len(in) != n {
+			panic("comm: Gather length mismatch")
+		}
+		copy(out[src*n:(src+1)*n], in)
+	}
+	return out
+}
+
+// ReduceScatter sums data (length divisible by P) elementwise across ranks
+// and returns chunk i of the sum to rank i — the first half of a ring
+// allreduce, exposed directly for gradient sharding (ZeRO-style uses).
+func (r *Rank) ReduceScatter(data []float64) []float64 {
+	p := r.Size()
+	if len(data)%p != 0 {
+		panic("comm: ReduceScatter data not divisible by world size")
+	}
+	n := len(data)
+	if p == 1 {
+		out := make([]float64, n)
+		copy(out, data)
+		return out
+	}
+	work := make([]float64, n)
+	copy(work, data)
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	chunk := n / p
+	for step := 0; step < p-1; step++ {
+		sendChunk := (r.id - step + p) % p
+		recvChunk := (r.id - step - 1 + p) % p
+		r.Send(right, tagRSc+step, work[sendChunk*chunk:(sendChunk+1)*chunk])
+		in := r.Recv(left, tagRSc+step)
+		off := recvChunk * chunk
+		for i := range in {
+			work[off+i] += in[i]
+		}
+	}
+	own := (r.id + 1) % p
+	out := make([]float64, chunk)
+	copy(out, work[own*chunk:(own+1)*chunk])
+	return out
+}
+
+const tagA2A = 10 << 20
+
+// AllToAll performs a personalized exchange: data holds P equal chunks,
+// chunk j destined for rank j; the result holds chunk i received from each
+// rank i, in rank order. Tensor-sharded model parallelism (transposes of
+// distributed activations) is the classic user.
+func (r *Rank) AllToAll(data []float64) []float64 {
+	p := r.Size()
+	if len(data)%p != 0 {
+		panic("comm: AllToAll data not divisible by world size")
+	}
+	n := len(data) / p
+	out := make([]float64, len(data))
+	copy(out[r.id*n:(r.id+1)*n], data[r.id*n:(r.id+1)*n])
+	if p == 1 {
+		return out
+	}
+	// Post all sends, then collect: buffered links make this safe.
+	for dst := 0; dst < p; dst++ {
+		if dst == r.id {
+			continue
+		}
+		r.Send(dst, tagA2A+r.id, data[dst*n:(dst+1)*n])
+	}
+	for src := 0; src < p; src++ {
+		if src == r.id {
+			continue
+		}
+		in := r.Recv(src, tagA2A+src)
+		copy(out[src*n:(src+1)*n], in)
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < p; root += 2 {
+			w := NewWorld(p)
+			w.Run(func(r *Rank) {
+				var data []float64
+				if r.ID() == root {
+					data = make([]float64, 2*p)
+					for i := range data {
+						data[i] = float64(i)
+					}
+				}
+				got := r.Scatter(root, data)
+				if len(got) != 2 {
+					t.Errorf("p=%d chunk length %d", p, len(got))
+					return
+				}
+				if got[0] != float64(2*r.ID()) || got[1] != float64(2*r.ID()+1) {
+					t.Errorf("p=%d root=%d rank=%d got %v", p, root, r.ID(), got)
+				}
+			})
+		}
+	}
+}
+
+func TestScatterIndivisiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indivisible scatter did not panic")
+		}
+	}()
+	// Only the root participates: the panic must fire before any send, so
+	// no peer may block on a receive (that would deadlock the world).
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Scatter(0, []float64{1, 2, 3})
+		}
+	})
+}
+
+func TestGather(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		for root := 0; root < p; root += 3 {
+			w := NewWorld(p)
+			w.Run(func(r *Rank) {
+				data := []float64{float64(r.ID() * 10), float64(r.ID()*10 + 1)}
+				got := r.Gather(root, data)
+				if r.ID() != root {
+					if got != nil {
+						t.Errorf("non-root got %v", got)
+					}
+					return
+				}
+				if len(got) != 2*p {
+					t.Errorf("gather length %d", len(got))
+					return
+				}
+				for id := 0; id < p; id++ {
+					if got[2*id] != float64(id*10) || got[2*id+1] != float64(id*10+1) {
+						t.Errorf("p=%d root=%d got %v", p, root, got)
+						return
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	const p = 6
+	w := NewWorld(p)
+	orig := make([]float64, 3*p)
+	for i := range orig {
+		orig[i] = float64(i * i)
+	}
+	w.Run(func(r *Rank) {
+		var data []float64
+		if r.ID() == 2 {
+			data = orig
+		}
+		chunk := r.Scatter(2, data)
+		back := r.Gather(2, chunk)
+		if r.ID() == 2 {
+			for i := range orig {
+				if back[i] != orig[i] {
+					t.Errorf("round trip mismatch at %d", i)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8} {
+		n := 3 * p
+		w := NewWorld(p)
+		w.Run(func(r *Rank) {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = float64(i) + float64(r.ID())*0.001
+			}
+			got := r.ReduceScatter(data)
+			if len(got) != 3 {
+				t.Errorf("p=%d chunk length %d", p, len(got))
+				return
+			}
+			// Sum over ranks of element (own*3 + i).
+			own := (r.ID() + 1) % p
+			if p == 1 {
+				own = 0
+			}
+			for i := range got {
+				idx := own*3 + i
+				want := float64(p)*float64(idx) + 0.001*float64(p*(p-1))/2
+				if math.Abs(got[i]-want) > 1e-9 {
+					t.Errorf("p=%d rank=%d elem %d: got %v want %v", p, r.ID(), i, got[i], want)
+					return
+				}
+			}
+		})
+	}
+}
+
+// Property: ReduceScatter chunks, allgathered, equal a full AllReduce.
+func TestQuickReduceScatterMatchesAllReduce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := 2 + r.Intn(6)
+		perChunk := 1 + r.Intn(5)
+		n := p * perChunk
+		vecs := make([][]float64, p)
+		for id := 0; id < p; id++ {
+			vecs[id] = make([]float64, n)
+			for i := range vecs[id] {
+				vecs[id][i] = r.Norm()
+			}
+		}
+		ok := true
+		w := NewWorld(p)
+		w.Run(func(rank *Rank) {
+			mine := append([]float64(nil), vecs[rank.ID()]...)
+			chunk := rank.ReduceScatter(mine)
+
+			full := append([]float64(nil), vecs[rank.ID()]...)
+			rank.AllReduce(full, ARTree)
+
+			own := (rank.ID() + 1) % p
+			for i := range chunk {
+				if math.Abs(chunk[i]-full[own*perChunk+i]) > 1e-9 {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		w := NewWorld(p)
+		w.Run(func(r *Rank) {
+			// Chunk j from rank i carries value i*100 + j.
+			data := make([]float64, 2*p)
+			for j := 0; j < p; j++ {
+				data[2*j] = float64(r.ID()*100 + j)
+				data[2*j+1] = -float64(r.ID()*100 + j)
+			}
+			out := r.AllToAll(data)
+			for i := 0; i < p; i++ {
+				want := float64(i*100 + r.ID())
+				if out[2*i] != want || out[2*i+1] != -want {
+					t.Errorf("p=%d rank=%d chunk %d: %v", p, r.ID(), i, out[2*i:2*i+2])
+					return
+				}
+			}
+		})
+	}
+}
+
+// Property: AllToAll applied twice restores the original data
+// (it is a transpose of the rank x chunk matrix).
+func TestQuickAllToAllInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := 1 + r.Intn(6)
+		n := 1 + r.Intn(4)
+		vecs := make([][]float64, p)
+		for id := 0; id < p; id++ {
+			vecs[id] = make([]float64, p*n)
+			for i := range vecs[id] {
+				vecs[id][i] = r.Norm()
+			}
+		}
+		ok := true
+		w := NewWorld(p)
+		w.Run(func(rank *Rank) {
+			once := rank.AllToAll(vecs[rank.ID()])
+			twice := rank.AllToAll(once)
+			for i := range twice {
+				if twice[i] != vecs[rank.ID()][i] {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,459 @@
+// Package comm is a message-passing runtime modelled on MPI: a World of P
+// ranks (goroutines) connected point-to-point by buffered channels, with the
+// collective algorithms distributed deep-learning actually uses — binomial
+// broadcast/reduce, ring and recursive-doubling and Rabenseifner allreduce,
+// allgather, and barriers.
+//
+// The collectives move the same messages, in the same pattern, as their MPI
+// counterparts, and each rank accounts bytes and message counts, so the
+// machine model (internal/machine) can convert a run's traffic into
+// simulated wall-clock on any fabric. Within a process the runtime also
+// serves as the real transport for the data-parallel trainer in
+// internal/parallel.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point transfer. Data is owned by the receiver
+// after delivery (senders copy).
+type message struct {
+	tag  int
+	data []float64
+}
+
+// World is a fixed-size group of communicating ranks.
+type World struct {
+	size  int
+	chans [][]chan message // chans[src][dst]
+	stats []Stats
+}
+
+// Stats accumulates per-rank traffic counters.
+type Stats struct {
+	MsgsSent  int
+	BytesSent int // payload bytes (8 per float64)
+}
+
+// NewWorld creates a world of p ranks with all-to-all buffered links.
+func NewWorld(p int) *World {
+	if p <= 0 {
+		panic("comm: world size must be positive")
+	}
+	w := &World{size: p, chans: make([][]chan message, p), stats: make([]Stats, p)}
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, p)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan message, 16)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Stats returns a copy of rank i's traffic counters. Call only after Run
+// returns (counters are owned by the rank goroutine during execution).
+func (w *World) Stats(i int) Stats { return w.stats[i] }
+
+// TotalBytes returns the total payload bytes sent by all ranks.
+func (w *World) TotalBytes() int {
+	total := 0
+	for i := range w.stats {
+		total += w.stats[i].BytesSent
+	}
+	return total
+}
+
+// Run executes fn concurrently on every rank and blocks until all return.
+// Panics inside a rank are re-raised on the caller after all ranks settle.
+func (w *World) Run(fn func(r *Rank)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.size)
+	for i := 0; i < w.size; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[id] = p
+				}
+			}()
+			fn(&Rank{world: w, id: id})
+		}(i)
+	}
+	wg.Wait()
+	for id, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("comm: rank %d panicked: %v", id, p))
+		}
+	}
+}
+
+// ExternalRank returns a rank handle for a caller-managed goroutine —
+// used when one goroutine participates in several worlds (e.g. a hybrid
+// trainer's pipeline world plus a per-stage reduce world). Exactly one
+// goroutine may use each rank id, and Stats/TotalBytes are only safe to
+// read after all such goroutines have finished.
+func (w *World) ExternalRank(id int) *Rank {
+	if id < 0 || id >= w.size {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", id, w.size))
+	}
+	return &Rank{world: w, id: id}
+}
+
+// Rank is one participant in a World. Rank methods must be called only from
+// the goroutine Run started for that rank.
+type Rank struct {
+	world *World
+	id    int
+}
+
+// ID returns this rank's index in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.size }
+
+// Send delivers a copy of data to dst with the given tag.
+func (r *Rank) Send(dst, tag int, data []float64) {
+	if dst == r.id {
+		panic("comm: send to self")
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	r.world.stats[r.id].MsgsSent++
+	r.world.stats[r.id].BytesSent += 8 * len(data)
+	r.world.chans[r.id][dst] <- message{tag: tag, data: cp}
+}
+
+// Recv blocks for the next message from src and checks its tag.
+func (r *Rank) Recv(src, tag int) []float64 {
+	m := <-r.world.chans[src][r.id]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d",
+			r.id, tag, src, m.tag))
+	}
+	return m.data
+}
+
+// SendRecv exchanges data with a partner (send to dst, receive from src),
+// posting the send first so symmetric exchanges cannot deadlock on the
+// buffered links.
+func (r *Rank) SendRecv(dst int, sendData []float64, src, tag int) []float64 {
+	r.Send(dst, tag, sendData)
+	return r.Recv(src, tag)
+}
+
+// collective tags; each collective round uses a distinct tag space so
+// mismatched calls fail loudly instead of corrupting data.
+const (
+	tagBarrier = 1 << 20
+	tagBcast   = 2 << 20
+	tagReduce  = 3 << 20
+	tagAR      = 4 << 20
+	tagAG      = 5 << 20
+	tagRS      = 6 << 20
+)
+
+// Barrier blocks until every rank has entered (dissemination barrier,
+// ⌈log2 P⌉ rounds).
+func (r *Rank) Barrier() {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	for round, dist := 0, 1; dist < p; round, dist = round+1, dist*2 {
+		dst := (r.id + dist) % p
+		src := (r.id - dist + p) % p
+		r.Send(dst, tagBarrier+round, nil)
+		r.Recv(src, tagBarrier+round)
+	}
+}
+
+// Broadcast distributes root's data to every rank via a binomial tree and
+// returns each rank's copy. Non-root callers may pass nil.
+func (r *Rank) Broadcast(root int, data []float64) []float64 {
+	p := r.Size()
+	if p == 1 {
+		return data
+	}
+	// Rotate so the root is virtual rank 0.
+	vr := (r.id - root + p) % p
+	if vr != 0 {
+		// Receive from parent.
+		mask := 1
+		for mask < p {
+			if vr&mask != 0 {
+				parent := ((vr - mask) + root) % p
+				data = r.Recv(parent, tagBcast+mask)
+				break
+			}
+			mask <<= 1
+		}
+		// Forward to children below the received mask.
+		recvMask := 1
+		for vr&recvMask == 0 {
+			recvMask <<= 1
+		}
+		for mask := recvMask >> 1; mask >= 1; mask >>= 1 {
+			child := vr | mask
+			if child < p {
+				r.Send((child+root)%p, tagBcast+mask, data)
+			}
+		}
+		return data
+	}
+	// Root: send to children at decreasing masks.
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	for mask := top >> 1; mask >= 1; mask >>= 1 {
+		child := mask
+		if child < p {
+			r.Send((child+root)%p, tagBcast+mask, data)
+		}
+	}
+	return data
+}
+
+// Reduce sums each rank's data elementwise onto root via a binomial tree.
+// Every rank must pass equal-length data; the root's return value holds the
+// sum, other ranks return nil.
+func (r *Rank) Reduce(root int, data []float64) []float64 {
+	p := r.Size()
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if p == 1 {
+		return acc
+	}
+	vr := (r.id - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			parent := ((vr &^ mask) + root) % p
+			r.Send(parent, tagReduce+mask, acc)
+			return nil
+		}
+		peer := vr | mask
+		if peer < p {
+			in := r.Recv((peer+root)%p, tagReduce+mask)
+			for i := range acc {
+				acc[i] += in[i]
+			}
+		}
+	}
+	return acc
+}
+
+// AllReduceAlgorithm selects the allreduce implementation.
+type AllReduceAlgorithm int
+
+// Available allreduce algorithms.
+const (
+	// ARRing: reduce-scatter + allgather around a ring. Bandwidth-optimal
+	// (2(P-1)/P · n bytes per rank), latency O(P).
+	ARRing AllReduceAlgorithm = iota
+	// ARRecursiveDoubling: log2 P rounds of pairwise full exchanges.
+	// Latency-optimal, bandwidth O(n log P). Requires power-of-two P.
+	ARRecursiveDoubling
+	// ARTree: binomial reduce to rank 0 then binomial broadcast.
+	ARTree
+	// ARRabenseifner: recursive-halving reduce-scatter + recursive-doubling
+	// allgather. Bandwidth-optimal with log P latency. Power-of-two P.
+	ARRabenseifner
+)
+
+// String names the algorithm.
+func (a AllReduceAlgorithm) String() string {
+	switch a {
+	case ARRing:
+		return "ring"
+	case ARRecursiveDoubling:
+		return "recursive-doubling"
+	case ARTree:
+		return "tree"
+	case ARRabenseifner:
+		return "rabenseifner"
+	default:
+		return "allreduce?"
+	}
+}
+
+// AllReduce sums data elementwise across all ranks in place using the given
+// algorithm. Falls back to ARTree when the algorithm's preconditions
+// (power-of-two size, length >= P) do not hold.
+func (r *Rank) AllReduce(data []float64, algo AllReduceAlgorithm) {
+	p := r.Size()
+	if p == 1 {
+		return
+	}
+	switch algo {
+	case ARRing:
+		if len(data) >= p {
+			r.allReduceRing(data)
+			return
+		}
+	case ARRecursiveDoubling:
+		if p&(p-1) == 0 {
+			r.allReduceRecDoubling(data)
+			return
+		}
+	case ARRabenseifner:
+		if p&(p-1) == 0 && len(data) >= p {
+			r.allReduceRabenseifner(data)
+			return
+		}
+	}
+	r.allReduceTree(data)
+}
+
+func (r *Rank) allReduceTree(data []float64) {
+	sum := r.Reduce(0, data)
+	out := r.Broadcast(0, sum)
+	copy(data, out)
+}
+
+func (r *Rank) allReduceRecDoubling(data []float64) {
+	p := r.Size()
+	for mask := 1; mask < p; mask <<= 1 {
+		peer := r.id ^ mask
+		in := r.SendRecv(peer, data, peer, tagAR+mask)
+		for i := range data {
+			data[i] += in[i]
+		}
+	}
+}
+
+// chunkBounds splits n elements into p nearly equal contiguous chunks.
+func chunkBounds(n, p, i int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func (r *Rank) allReduceRing(data []float64) {
+	p := r.Size()
+	n := len(data)
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	// Reduce-scatter: after P-1 steps rank i owns the fully reduced chunk
+	// (i+1) mod p.
+	for step := 0; step < p-1; step++ {
+		sendChunk := (r.id - step + p) % p
+		recvChunk := (r.id - step - 1 + p) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		r.Send(right, tagAR+step, data[slo:shi])
+		in := r.Recv(left, tagAR+step)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		for i := rlo; i < rhi; i++ {
+			data[i] += in[i-rlo]
+		}
+	}
+	// Allgather: circulate the reduced chunks.
+	for step := 0; step < p-1; step++ {
+		sendChunk := (r.id + 1 - step + p) % p
+		recvChunk := (r.id - step + p) % p
+		slo, shi := chunkBounds(n, p, sendChunk)
+		r.Send(right, tagAG+step, data[slo:shi])
+		in := r.Recv(left, tagAG+step)
+		rlo, rhi := chunkBounds(n, p, recvChunk)
+		copy(data[rlo:rhi], in)
+	}
+}
+
+func (r *Rank) allReduceRabenseifner(data []float64) {
+	p := r.Size()
+	n := len(data)
+	// Recursive halving reduce-scatter. Each round exchanges half the
+	// current window with the peer and reduces the kept half.
+	lo, hi := 0, n
+	round := 0
+	for mask := 1; mask < p; mask <<= 1 {
+		peer := r.id ^ mask
+		mid := lo + (hi-lo)/2
+		var sendLo, sendHi, keepLo, keepHi int
+		if r.id&mask == 0 {
+			// Keep lower half, send upper.
+			sendLo, sendHi, keepLo, keepHi = mid, hi, lo, mid
+		} else {
+			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
+		}
+		in := r.SendRecv(peer, data[sendLo:sendHi], peer, tagRS+round)
+		for i := keepLo; i < keepHi; i++ {
+			data[i] += in[i-keepLo]
+		}
+		lo, hi = keepLo, keepHi
+		round++
+	}
+	// Recursive doubling allgather, reversing the halving.
+	masks := []int{}
+	for mask := 1; mask < p; mask <<= 1 {
+		masks = append(masks, mask)
+	}
+	// Reconstruct window history to know what to exchange each round.
+	type win struct{ lo, hi int }
+	wins := make([]win, len(masks)+1)
+	wins[0] = win{0, n}
+	cl, ch := 0, n
+	for i, mask := range masks {
+		mid := cl + (ch-cl)/2
+		if r.id&mask == 0 {
+			ch = mid
+		} else {
+			cl = mid
+		}
+		wins[i+1] = win{cl, ch}
+	}
+	for i := len(masks) - 1; i >= 0; i-- {
+		mask := masks[i]
+		peer := r.id ^ mask
+		own := wins[i+1]
+		outer := wins[i]
+		r.Send(peer, tagAG+i, data[own.lo:own.hi])
+		in := r.Recv(peer, tagAG+i)
+		// Peer owned the other half of the outer window.
+		if own.lo == outer.lo {
+			copy(data[own.hi:outer.hi], in)
+		} else {
+			copy(data[outer.lo:own.lo], in)
+		}
+	}
+}
+
+// AllGather concatenates each rank's equal-length data in rank order and
+// returns the (P*len) result on every rank (ring algorithm).
+func (r *Rank) AllGather(data []float64) []float64 {
+	p := r.Size()
+	n := len(data)
+	out := make([]float64, p*n)
+	copy(out[r.id*n:(r.id+1)*n], data)
+	if p == 1 {
+		return out
+	}
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sendChunk := (r.id - step + p) % p
+		recvChunk := (r.id - step - 1 + p) % p
+		r.Send(right, tagAG+step, out[sendChunk*n:(sendChunk+1)*n])
+		in := r.Recv(left, tagAG+step)
+		copy(out[recvChunk*n:(recvChunk+1)*n], in)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

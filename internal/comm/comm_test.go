@@ -1,0 +1,313 @@
+package comm
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			got := r.Recv(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				t.Errorf("recv got %v", got)
+			}
+		}
+	})
+	if w.Stats(0).MsgsSent != 1 || w.Stats(0).BytesSent != 24 {
+		t.Fatalf("stats %+v", w.Stats(0))
+	}
+}
+
+func TestSendCopiesData(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			buf := []float64{1}
+			r.Send(1, 0, buf)
+			buf[0] = 99 // mutate after send; receiver must not see it
+		} else {
+			if got := r.Recv(0, 0); got[0] != 1 {
+				t.Errorf("send did not copy: %v", got)
+			}
+		}
+	})
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tag mismatch did not panic")
+		}
+	}()
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, nil)
+		} else {
+			r.Recv(0, 2)
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		w := NewWorld(p)
+		var before, after int64
+		w.Run(func(r *Rank) {
+			atomic.AddInt64(&before, 1)
+			r.Barrier()
+			if atomic.LoadInt64(&before) != int64(p) {
+				t.Errorf("rank %d passed barrier before all %d entered", r.ID(), p)
+			}
+			atomic.AddInt64(&after, 1)
+		})
+		if after != int64(p) {
+			t.Fatalf("only %d ranks finished", after)
+		}
+	}
+}
+
+func TestBroadcastAllSizesAndRoots(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 13} {
+		for root := 0; root < p; root += 2 {
+			w := NewWorld(p)
+			w.Run(func(r *Rank) {
+				var data []float64
+				if r.ID() == root {
+					data = []float64{3.5, -1, float64(root)}
+				}
+				got := r.Broadcast(root, data)
+				if len(got) != 3 || got[0] != 3.5 || got[2] != float64(root) {
+					t.Errorf("p=%d root=%d rank=%d got %v", p, root, r.ID(), got)
+				}
+			})
+		}
+	}
+}
+
+func TestReduceSums(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 8, 9} {
+		for root := 0; root < p; root += 3 {
+			w := NewWorld(p)
+			w.Run(func(r *Rank) {
+				data := []float64{float64(r.ID()), 1}
+				got := r.Reduce(root, data)
+				if r.ID() == root {
+					wantSum := float64(p*(p-1)) / 2
+					if got[0] != wantSum || got[1] != float64(p) {
+						t.Errorf("p=%d root=%d got %v", p, root, got)
+					}
+				} else if got != nil {
+					t.Errorf("non-root returned %v", got)
+				}
+			})
+		}
+	}
+}
+
+func checkAllReduce(t *testing.T, p, n int, algo AllReduceAlgorithm) {
+	t.Helper()
+	w := NewWorld(p)
+	// Reference: sum over ranks of rank-specific vectors.
+	want := make([]float64, n)
+	vecs := make([][]float64, p)
+	for id := 0; id < p; id++ {
+		r := rng.New(uint64(1000*p + 10*n + id))
+		vecs[id] = make([]float64, n)
+		for i := range vecs[id] {
+			vecs[id][i] = r.Uniform(-1, 1)
+			want[i] += vecs[id][i]
+		}
+	}
+	w.Run(func(r *Rank) {
+		data := make([]float64, n)
+		copy(data, vecs[r.ID()])
+		r.AllReduce(data, algo)
+		for i := range data {
+			if math.Abs(data[i]-want[i]) > 1e-9 {
+				t.Errorf("algo=%v p=%d n=%d rank=%d elem %d: got %v want %v",
+					algo, p, n, r.ID(), i, data[i], want[i])
+				return
+			}
+		}
+	})
+}
+
+func TestAllReduceAllAlgorithms(t *testing.T) {
+	algos := []AllReduceAlgorithm{ARRing, ARRecursiveDoubling, ARTree, ARRabenseifner}
+	for _, algo := range algos {
+		for _, p := range []int{1, 2, 3, 4, 5, 8, 16} {
+			for _, n := range []int{1, 3, 16, 33, 100} {
+				checkAllReduce(t, p, n, algo)
+			}
+		}
+	}
+}
+
+// Property: allreduce result equals elementwise sum for random sizes.
+func TestQuickAllReduce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := 1 + r.Intn(9)
+		n := 1 + r.Intn(50)
+		algo := AllReduceAlgorithm(r.Intn(4))
+		ok := true
+		w := NewWorld(p)
+		want := make([]float64, n)
+		vecs := make([][]float64, p)
+		for id := 0; id < p; id++ {
+			vecs[id] = make([]float64, n)
+			for i := range vecs[id] {
+				vecs[id][i] = r.Norm()
+				want[i] += vecs[id][i]
+			}
+		}
+		w.Run(func(rank *Rank) {
+			data := append([]float64(nil), vecs[rank.ID()]...)
+			rank.AllReduce(data, algo)
+			for i := range data {
+				if math.Abs(data[i]-want[i]) > 1e-9 {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		w := NewWorld(p)
+		w.Run(func(r *Rank) {
+			data := []float64{float64(r.ID()), float64(r.ID() * 10)}
+			out := r.AllGather(data)
+			if len(out) != 2*p {
+				t.Errorf("allgather length %d", len(out))
+				return
+			}
+			for id := 0; id < p; id++ {
+				if out[2*id] != float64(id) || out[2*id+1] != float64(id*10) {
+					t.Errorf("p=%d rank=%d out=%v", p, r.ID(), out)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestRingBandwidthOptimality(t *testing.T) {
+	// Ring allreduce should move ~2(P-1)/P * n floats per rank; tree moves
+	// more total traffic through the root. Check ring's per-rank bytes.
+	const p, n = 8, 800
+	w := NewWorld(p)
+	w.Run(func(r *Rank) {
+		data := make([]float64, n)
+		r.AllReduce(data, ARRing)
+	})
+	perRank := w.Stats(3).BytesSent
+	want := 8 * n * 2 * (p - 1) / p
+	if perRank != want {
+		t.Fatalf("ring per-rank bytes %d want %d", perRank, want)
+	}
+}
+
+func TestRecDoublingMessageCount(t *testing.T) {
+	const p, n = 8, 64
+	w := NewWorld(p)
+	w.Run(func(r *Rank) {
+		data := make([]float64, n)
+		r.AllReduce(data, ARRecursiveDoubling)
+	})
+	// log2(8)=3 rounds, one send per round per rank, n floats each.
+	if got := w.Stats(0).MsgsSent; got != 3 {
+		t.Fatalf("recursive doubling sent %d msgs, want 3", got)
+	}
+	if got := w.Stats(0).BytesSent; got != 3*8*n {
+		t.Fatalf("recursive doubling sent %d bytes, want %d", got, 3*8*n)
+	}
+}
+
+func TestFallbacks(t *testing.T) {
+	// Non-power-of-two world must still produce correct results for the
+	// power-of-two-only algorithms (they fall back to tree).
+	checkAllReduce(t, 6, 20, ARRecursiveDoubling)
+	checkAllReduce(t, 6, 20, ARRabenseifner)
+	// Tiny vectors fall back from ring.
+	checkAllReduce(t, 8, 3, ARRing)
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size world did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send-to-self did not panic")
+		}
+	}()
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(0, 0, nil)
+		}
+	})
+}
+
+func TestRankPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rank panic not propagated")
+		}
+	}()
+	w := NewWorld(2)
+	w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func BenchmarkAllReduceRing8x4096(b *testing.B) {
+	benchAllReduce(b, 8, 4096, ARRing)
+}
+
+func BenchmarkAllReduceRecDoubling8x4096(b *testing.B) {
+	benchAllReduce(b, 8, 4096, ARRecursiveDoubling)
+}
+
+func BenchmarkAllReduceTree8x4096(b *testing.B) {
+	benchAllReduce(b, 8, 4096, ARTree)
+}
+
+func BenchmarkAllReduceRabenseifner8x4096(b *testing.B) {
+	benchAllReduce(b, 8, 4096, ARRabenseifner)
+}
+
+func benchAllReduce(b *testing.B, p, n int, algo AllReduceAlgorithm) {
+	b.SetBytes(int64(8 * n))
+	for i := 0; i < b.N; i++ {
+		w := NewWorld(p)
+		w.Run(func(r *Rank) {
+			data := make([]float64, n)
+			r.AllReduce(data, algo)
+		})
+	}
+}

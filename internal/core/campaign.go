@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// SchedulerKind selects how a hyperparameter campaign's evaluations are
+// placed on nodes.
+type SchedulerKind int
+
+// Available campaign schedulers.
+const (
+	// StaticPartition assigns configs to nodes round-robin up front — the
+	// naive decomposition, stragglers and all.
+	StaticPartition SchedulerKind = iota
+	// DynamicQueue feeds nodes from one global FIFO work queue.
+	DynamicQueue
+	// HierarchicalQueue shards the queue across groups with one manager
+	// per group and work stealing between groups — the structure that
+	// scales to the paper's "tens of thousands of model configurations".
+	HierarchicalQueue
+)
+
+// String names the scheduler.
+func (s SchedulerKind) String() string {
+	switch s {
+	case StaticPartition:
+		return "static"
+	case DynamicQueue:
+		return "dynamic"
+	case HierarchicalQueue:
+		return "hierarchical"
+	default:
+		return "sched?"
+	}
+}
+
+// CampaignConfig describes a large-scale hyperparameter campaign on a
+// simulated machine.
+type CampaignConfig struct {
+	// Configs is the number of model configurations to evaluate.
+	Configs int
+	// Nodes is the machine size.
+	Nodes int
+	// GroupSize is the node-group size for the hierarchical scheduler.
+	GroupSize int
+	// MeanEvalTime is the mean per-evaluation wall-clock (seconds).
+	MeanEvalTime float64
+	// EvalTimeSigma is the lognormal sigma of evaluation durations —
+	// hyperparameter configs differ wildly in cost (layer widths, epochs).
+	EvalTimeSigma float64
+	// MaxEvalTime caps a single evaluation's duration (real campaigns bound
+	// training by a maximum epoch count). 0 means 10x MeanEvalTime.
+	MaxEvalTime float64
+	// DispatchOverhead is the scheduler's per-assignment latency: zero for
+	// static (decided up front), paid per task by the dynamic global queue,
+	// and paid per group-batch by the hierarchical scheduler.
+	DispatchOverhead float64
+	// Scheduler picks the placement policy.
+	Scheduler SchedulerKind
+	// RNG drives duration sampling.
+	RNG *rng.Stream
+}
+
+// CampaignResult reports a simulated campaign.
+type CampaignResult struct {
+	Scheduler   SchedulerKind
+	Makespan    float64
+	Utilization float64 // mean busy-node fraction over the makespan
+	TotalWork   float64 // sum of evaluation durations
+	// IdealMakespan is TotalWork/Nodes — the perfect-packing bound.
+	IdealMakespan float64
+}
+
+func (r CampaignResult) String() string {
+	return fmt.Sprintf("%-12s makespan=%9.1fs utilization=%5.1f%% (ideal %9.1fs)",
+		r.Scheduler, r.Makespan, 100*r.Utilization, r.IdealMakespan)
+}
+
+// RunCampaign simulates the campaign and returns makespan and utilization.
+func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
+	if cfg.Configs <= 0 || cfg.Nodes <= 0 {
+		return CampaignResult{}, fmt.Errorf("core: campaign needs configs and nodes")
+	}
+	if cfg.MeanEvalTime <= 0 {
+		return CampaignResult{}, fmt.Errorf("core: campaign needs positive eval time")
+	}
+	if cfg.RNG == nil {
+		return CampaignResult{}, fmt.Errorf("core: campaign needs RNG")
+	}
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = 64
+	}
+
+	// Sample heterogeneous durations: lognormal with the requested mean.
+	sigma := cfg.EvalTimeSigma
+	mu := math.Log(cfg.MeanEvalTime) - sigma*sigma/2
+	maxT := cfg.MaxEvalTime
+	if maxT <= 0 {
+		maxT = 10 * cfg.MeanEvalTime
+	}
+	durations := make([]float64, cfg.Configs)
+	total := 0.0
+	for i := range durations {
+		d := cfg.RNG.LogNormal(mu, sigma)
+		if d > maxT {
+			d = maxT
+		}
+		durations[i] = d
+		total += d
+	}
+
+	res := CampaignResult{
+		Scheduler: cfg.Scheduler, TotalWork: total,
+		IdealMakespan: total / float64(cfg.Nodes),
+	}
+
+	switch cfg.Scheduler {
+	case StaticPartition:
+		// Round-robin assignment; makespan = max per-node sum.
+		perNode := make([]float64, cfg.Nodes)
+		for i, d := range durations {
+			perNode[i%cfg.Nodes] += d
+		}
+		worst := 0.0
+		for _, t := range perNode {
+			if t > worst {
+				worst = t
+			}
+		}
+		res.Makespan = worst
+	case DynamicQueue:
+		// Single global FIFO: every task pays the dispatch overhead on the
+		// manager before a node runs it (the central-manager bottleneck).
+		eng := sim.NewEngine()
+		nodes := sim.NewResource(eng, cfg.Nodes)
+		manager := sim.NewResource(eng, 1)
+		for _, d := range durations {
+			d := d
+			manager.Acquire(func(releaseMgr func()) {
+				eng.Schedule(cfg.DispatchOverhead, func() {
+					releaseMgr()
+					nodes.Acquire(func(releaseNode func()) {
+						eng.Schedule(d, releaseNode)
+					})
+				})
+			})
+		}
+		res.Makespan = eng.Run()
+	case HierarchicalQueue:
+		// Groups pull batches of work from the root (one overhead per
+		// batch), then dispatch within the group for free; idle groups
+		// keep pulling until the root queue drains (work stealing).
+		eng := sim.NewEngine()
+		groups := (cfg.Nodes + cfg.GroupSize - 1) / cfg.GroupSize
+		next := 0
+		batch := cfg.GroupSize / 4
+		if batch < 1 {
+			batch = 1
+		}
+		root := sim.NewResource(eng, 1)
+		for g := 0; g < groups; g++ {
+			size := cfg.GroupSize
+			if (g+1)*cfg.GroupSize > cfg.Nodes {
+				size = cfg.Nodes - g*cfg.GroupSize
+			}
+			nodes := sim.NewResource(eng, size)
+			inGroup := 0 // tasks pulled into this group and not yet finished
+			pulling := false
+			var pull func()
+			pull = func() {
+				// Keep roughly two batches in flight per group so nodes
+				// never starve behind a straggler (no per-batch barrier).
+				if pulling || next >= len(durations) || inGroup > size {
+					return
+				}
+				pulling = true
+				root.Acquire(func(releaseRoot func()) {
+					if next >= len(durations) {
+						releaseRoot()
+						pulling = false
+						return
+					}
+					lo := next
+					hi := lo + batch
+					if hi > len(durations) {
+						hi = len(durations)
+					}
+					next = hi
+					eng.Schedule(cfg.DispatchOverhead, func() {
+						releaseRoot()
+						pulling = false
+						inGroup += hi - lo
+						for i := lo; i < hi; i++ {
+							d := durations[i]
+							nodes.Acquire(func(releaseNode func()) {
+								eng.Schedule(d, func() {
+									releaseNode()
+									inGroup--
+									pull()
+								})
+							})
+						}
+						pull()
+					})
+				})
+			}
+			pull()
+		}
+		res.Makespan = eng.Run()
+	default:
+		return CampaignResult{}, fmt.Errorf("core: unknown scheduler %d", cfg.Scheduler)
+	}
+
+	if res.Makespan > 0 {
+		res.Utilization = res.TotalWork / (res.Makespan * float64(cfg.Nodes))
+	}
+	return res, nil
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hpo"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestWorkloadsListAndLookup(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 6 {
+		t.Fatalf("expected 6 driver problems, got %d", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		if names[w.Name] {
+			t.Fatalf("duplicate workload %s", w.Name)
+		}
+		names[w.Name] = true
+		if w.Space == nil || w.Generate == nil || w.NewModel == nil {
+			t.Fatalf("workload %s incomplete", w.Name)
+		}
+	}
+	if _, err := ByName("tumor"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestAllWorkloadsGenerateAndEvaluate(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			train, test := w.Generate(Tiny, rng.New(1))
+			if train.N() == 0 || test.N() == 0 {
+				t.Fatal("empty split")
+			}
+			if train.Dim() != test.Dim() {
+				t.Fatal("train/test dims differ")
+			}
+			res := w.Evaluate(w.DefaultConfig(), Tiny, 0.3, 7)
+			if math.IsInf(res.Loss, 1) {
+				t.Fatal("evaluation failed")
+			}
+			if w.Classification {
+				if math.IsNaN(res.Accuracy) || res.Accuracy < 0 || res.Accuracy > 1 {
+					t.Fatalf("accuracy %v", res.Accuracy)
+				}
+			}
+			if res.Params <= 0 {
+				t.Fatal("no parameters")
+			}
+		})
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	w, _ := ByName("tumor")
+	a := w.Evaluate(w.DefaultConfig(), Tiny, 0.2, 9)
+	b := w.Evaluate(w.DefaultConfig(), Tiny, 0.2, 9)
+	if a.Loss != b.Loss || a.TrainLoss != b.TrainLoss {
+		t.Fatalf("evaluation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestMoreBudgetHelps(t *testing.T) {
+	// Full-budget training should beat a sliver of training on average.
+	w, _ := ByName("tumor")
+	cfg := w.DefaultConfig()
+	short := w.Evaluate(cfg, Tiny, 0.1, 3).Loss
+	long := w.Evaluate(cfg, Tiny, 1.0, 3).Loss
+	if long > short+0.02 {
+		t.Fatalf("more budget hurt: %.4f -> %.4f", short, long)
+	}
+}
+
+func TestObjectivePluggableIntoHPO(t *testing.T) {
+	w, _ := ByName("mdsurrogate")
+	res, err := (hpo.RandomSearch{}).Search(w.Objective(Tiny), hpo.Options{
+		Space: w.Space, TotalBudget: 3, Parallelism: 3, RNG: rng.New(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 3 {
+		t.Fatalf("expected 3 trials, got %d", len(res.Trials))
+	}
+	if res.Best.Loss < 0 || res.Best.Loss > 1 {
+		t.Fatalf("classification objective out of range: %v", res.Best.Loss)
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := RunCampaign(CampaignConfig{}); err == nil {
+		t.Fatal("empty campaign accepted")
+	}
+	if _, err := RunCampaign(CampaignConfig{Configs: 10, Nodes: 4, MeanEvalTime: 1}); err == nil {
+		t.Fatal("missing RNG accepted")
+	}
+}
+
+func TestCampaignSchedulers(t *testing.T) {
+	base := CampaignConfig{
+		Configs: 2000, Nodes: 128, GroupSize: 16,
+		MeanEvalTime: 60, EvalTimeSigma: 1.0, DispatchOverhead: 0.05,
+	}
+	results := map[SchedulerKind]CampaignResult{}
+	for _, s := range []SchedulerKind{StaticPartition, DynamicQueue, HierarchicalQueue} {
+		cfg := base
+		cfg.Scheduler = s
+		cfg.RNG = rng.New(11) // identical duration draws across schedulers
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < res.IdealMakespan*0.999 {
+			t.Fatalf("%v beat the perfect-packing bound", s)
+		}
+		if res.Utilization <= 0 || res.Utilization > 1.001 {
+			t.Fatalf("%v utilization %v", s, res.Utilization)
+		}
+		results[s] = res
+	}
+	// Dynamic scheduling must beat static partitioning on heterogeneous
+	// durations (stragglers dominate static).
+	if results[DynamicQueue].Makespan >= results[StaticPartition].Makespan {
+		t.Fatalf("dynamic (%v) not better than static (%v)",
+			results[DynamicQueue].Makespan, results[StaticPartition].Makespan)
+	}
+	if results[HierarchicalQueue].Makespan >= results[StaticPartition].Makespan {
+		t.Fatalf("hierarchical (%v) not better than static (%v)",
+			results[HierarchicalQueue].Makespan, results[StaticPartition].Makespan)
+	}
+}
+
+func TestCampaignDispatchBottleneck(t *testing.T) {
+	// With many nodes and short tasks, the single dynamic manager becomes
+	// the bottleneck; the hierarchical scheduler amortises dispatch across
+	// group batches and must win.
+	// Enough tasks per node that the FIFO drain tail (one long task
+	// starting near the end) is small relative to the ideal makespan.
+	base := CampaignConfig{
+		Configs: 60000, Nodes: 1024, GroupSize: 64,
+		MeanEvalTime: 10, EvalTimeSigma: 0.8, DispatchOverhead: 0.02,
+	}
+	run := func(s SchedulerKind) CampaignResult {
+		cfg := base
+		cfg.Scheduler = s
+		cfg.RNG = rng.New(7)
+		res, err := RunCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dyn := run(DynamicQueue)
+	hier := run(HierarchicalQueue)
+	if hier.Makespan >= dyn.Makespan {
+		t.Fatalf("hierarchical (%v) should beat central queue (%v) at scale",
+			hier.Makespan, dyn.Makespan)
+	}
+	if hier.Utilization < 0.7 {
+		t.Fatalf("hierarchical utilization %.2f too low", hier.Utilization)
+	}
+}
+
+func TestSchedulerStrings(t *testing.T) {
+	for _, s := range []SchedulerKind{StaticPartition, DynamicQueue, HierarchicalQueue} {
+		if s.String() == "sched?" {
+			t.Fatal("unnamed scheduler")
+		}
+	}
+	if Tiny.String() != "tiny" || Full.String() != "full" {
+		t.Fatal("scale names wrong")
+	}
+}
+
+func TestExtensionsWork(t *testing.T) {
+	for _, w := range Extensions() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := ByName(w.Name); err != nil {
+				t.Fatal(err)
+			}
+			res := w.Evaluate(w.DefaultConfig(), Tiny, 0.3, 5)
+			if math.IsInf(res.Loss, 1) {
+				t.Fatalf("%s evaluation failed", w.Name)
+			}
+			if res.Params <= 0 {
+				t.Fatal("no parameters")
+			}
+		})
+	}
+}
+
+func TestHistologyConvBeatsLinear(t *testing.T) {
+	// The spatial structure should give the conv model an edge over a
+	// linear model with the same budget — the reason the workload exists.
+	w, err := ByName("histology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	train, test := w.Generate(Tiny, r.Split("data"))
+	conv := w.NewModel(w.DefaultConfig(), train.Dim(), train.OutDim(), r.Split("conv"))
+	lin := nn.MLP(train.Dim(), nil, train.OutDim(), nn.ReLU, r.Split("lin"))
+	trainIt := func(net *nn.Net, tag string) float64 {
+		_, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+			Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdam(0.002),
+			BatchSize: 32, Epochs: 15, Shuffle: true, RNG: r.Split(tag),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nn.EvaluateClassifier(net, test.X, test.Labels)
+	}
+	convAcc := trainIt(conv, "c")
+	linAcc := trainIt(lin, "l")
+	if convAcc < 0.7 {
+		t.Fatalf("conv accuracy %.3f too low", convAcc)
+	}
+	if convAcc <= linAcc-0.02 {
+		t.Fatalf("conv (%.3f) lost to linear (%.3f)", convAcc, linAcc)
+	}
+}

@@ -1,0 +1,358 @@
+// Package core ties the substrates together into the paper's deliverable:
+// the six biomedical deep-learning driver problems as ready-to-run
+// workloads (data generator + reference model + search space + objective),
+// plus the large-scale hyperparameter campaign scheduler the paper argues
+// future HPC systems must support.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/biodata"
+	"repro/internal/hpo"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// Scale selects dataset/model sizing: Tiny for unit tests, Small for
+// benchmarks and examples, Full for the headline experiment runs.
+type Scale int
+
+// Available scales.
+const (
+	Tiny Scale = iota
+	Small
+	Full
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Full:
+		return "full"
+	default:
+		return "scale?"
+	}
+}
+
+// scaleMul maps a Scale to a sample-count multiplier relative to Small.
+func (s Scale) mul() float64 {
+	switch s {
+	case Tiny:
+		return 0.25
+	case Full:
+		return 2.5
+	default:
+		return 1
+	}
+}
+
+// Workload is one driver problem: deterministic data generation, a
+// hyperparameter space, a model builder, and an objective for HPO.
+type Workload struct {
+	Name        string
+	Description string
+	// Classification is true for classification tasks (accuracy metric),
+	// false for regression/reconstruction (MSE metric).
+	Classification bool
+	// Space is the hyperparameter search space of the reference model.
+	Space *hpo.Space
+	// Generate produces a train/test pair at the given scale.
+	Generate func(scale Scale, r *rng.Stream) (train, test *biodata.Dataset)
+	// NewModel builds a model for the given hyperparameters.
+	NewModel func(cfg hpo.Config, inDim, outDim int, r *rng.Stream) *nn.Net
+	// Epochs is the full-budget epoch count for objective evaluations.
+	Epochs int
+}
+
+// standardSpace is the shared MLP hyperparameter space.
+func standardSpace() *hpo.Space {
+	return hpo.MustSpace(
+		hpo.Param{Name: "lr", Kind: hpo.LogContinuous, Lo: 1e-4, Hi: 0.1},
+		hpo.Param{Name: "units1", Kind: hpo.Integer, Lo: 8, Hi: 128},
+		hpo.Param{Name: "units2", Kind: hpo.Integer, Lo: 4, Hi: 64},
+		hpo.Param{Name: "dropout", Kind: hpo.Continuous, Lo: 0, Hi: 0.6},
+		hpo.Param{Name: "act", Kind: hpo.Categorical, Choices: []string{"relu", "tanh", "gelu"}},
+		hpo.Param{Name: "decay", Kind: hpo.LogContinuous, Lo: 1e-6, Hi: 1e-2},
+	)
+}
+
+// standardModel builds a two-hidden-layer MLP from the standard space.
+func standardModel(cfg hpo.Config, space *hpo.Space, inDim, outDim int, r *rng.Stream) *nn.Net {
+	act, err := nn.ParseAct(space.Choice(cfg, "act"))
+	if err != nil {
+		act = nn.ReLU
+	}
+	u1, u2 := cfg.Int("units1"), cfg.Int("units2")
+	drop := cfg.Float("dropout")
+	layers := []nn.Layer{
+		nn.NewDense(inDim, u1, r.Split("d1")),
+		nn.NewActivation(act),
+	}
+	if drop > 0 {
+		layers = append(layers, nn.NewDropout(drop, r.Split("dr1")))
+	}
+	layers = append(layers,
+		nn.NewDense(u1, u2, r.Split("d2")),
+		nn.NewActivation(act),
+		nn.NewDense(u2, outDim, r.Split("d3")),
+	)
+	return nn.NewNet(layers...)
+}
+
+// optimizerFor builds the optimizer a config specifies.
+func optimizerFor(cfg hpo.Config) nn.Optimizer {
+	return nn.NewAdamW(cfg.Float("lr"), cfg.Float("decay"))
+}
+
+// Workloads returns the six driver problems the paper names.
+func Workloads() []*Workload {
+	mk := func(name, desc string, classification bool, epochs int,
+		gen func(scale Scale, r *rng.Stream) (train, test *biodata.Dataset)) *Workload {
+		space := standardSpace()
+		return &Workload{
+			Name: name, Description: desc, Classification: classification,
+			Space: space, Generate: gen, Epochs: epochs,
+			NewModel: func(cfg hpo.Config, inDim, outDim int, r *rng.Stream) *nn.Net {
+				return standardModel(cfg, space, inDim, outDim, r)
+			},
+		}
+	}
+	return []*Workload{
+		mk("tumor", "tumor type classification from expression profiles (NT3/TC1-shaped)",
+			true, 20, func(scale Scale, r *rng.Stream) (*biodata.Dataset, *biodata.Dataset) {
+				cfg := biodata.DefaultTumorConfig()
+				cfg.Samples = int(float64(cfg.Samples) * scale.mul())
+				return biodata.Tumor(cfg, r.Split("gen")).Split(0.8, r.Split("split"))
+			}),
+		mk("drugresponse", "dose-response regression for tumor/compound pairs (P1B3-shaped)",
+			false, 25, func(scale Scale, r *rng.Stream) (*biodata.Dataset, *biodata.Dataset) {
+				cfg := biodata.DefaultDrugResponseConfig()
+				cfg.Pairs = int(float64(cfg.Pairs) * scale.mul())
+				return biodata.DrugResponse(cfg, r.Split("gen")).Split(0.8, r.Split("split"))
+			}),
+		mk("expression-ae", "gene expression compression autoencoder (P1B1-shaped)",
+			false, 30, func(scale Scale, r *rng.Stream) (*biodata.Dataset, *biodata.Dataset) {
+				cfg := biodata.DefaultAutoencoderConfig()
+				cfg.Samples = int(float64(cfg.Samples) * scale.mul())
+				return biodata.AutoencoderExpression(cfg, r.Split("gen")).Split(0.8, r.Split("split"))
+			}),
+		mk("medrecords", "optimal treatment selection from medical records",
+			true, 25, func(scale Scale, r *rng.Stream) (*biodata.Dataset, *biodata.Dataset) {
+				cfg := biodata.DefaultMedRecordsConfig()
+				cfg.Patients = int(float64(cfg.Patients) * scale.mul())
+				return biodata.MedRecords(cfg, r.Split("gen")).Split(0.8, r.Split("split"))
+			}),
+		mk("amr", "antibiotic resistance prediction from genomic k-mers",
+			true, 30, func(scale Scale, r *rng.Stream) (*biodata.Dataset, *biodata.Dataset) {
+				cfg := biodata.DefaultAMRConfig()
+				cfg.Samples = int(float64(cfg.Samples) * scale.mul())
+				return biodata.AMR(cfg, r.Split("gen")).Split(0.8, r.Split("split"))
+			}),
+		mk("mdsurrogate", "metastable state labelling of MD trajectory frames",
+			true, 15, func(scale Scale, r *rng.Stream) (*biodata.Dataset, *biodata.Dataset) {
+				cfg := biodata.DefaultMDConfig()
+				cfg.Frames = int(float64(cfg.Frames) * scale.mul())
+				ds := biodata.MDTrajectory(cfg, r.Split("gen"))
+				// Chronological split, as an online MD supervisor sees data.
+				n := ds.N()
+				cut := n * 4 / 5
+				return chronoSplit(ds, cut)
+			}),
+	}
+}
+
+func chronoSplit(ds *biodata.Dataset, cut int) (*biodata.Dataset, *biodata.Dataset) {
+	train := &biodata.Dataset{Name: ds.Name, NumClasses: ds.NumClasses,
+		X: ds.X.SliceRows(0, cut).Clone(), Y: ds.Y.SliceRows(0, cut).Clone()}
+	test := &biodata.Dataset{Name: ds.Name, NumClasses: ds.NumClasses,
+		X: ds.X.SliceRows(cut, ds.N()).Clone(), Y: ds.Y.SliceRows(cut, ds.N()).Clone()}
+	if ds.Labels != nil {
+		train.Labels = append([]int(nil), ds.Labels[:cut]...)
+		test.Labels = append([]int(nil), ds.Labels[cut:]...)
+	}
+	return train, test
+}
+
+// HardTumor returns a deliberately difficult tumor-classification variant
+// (weak class separation, heavy noise, strong pathway confounders) used by
+// the precision and search experiments, where the default tumor problem is
+// too easy to discriminate between methods.
+func HardTumor() *Workload {
+	space := standardSpace()
+	return &Workload{
+		Name:           "tumor-hard",
+		Description:    "low-separation tumor classification (discriminative benchmark variant)",
+		Classification: true,
+		Space:          space,
+		Epochs:         20,
+		Generate: func(scale Scale, r *rng.Stream) (*biodata.Dataset, *biodata.Dataset) {
+			cfg := biodata.TumorConfig{Samples: 1600, Genes: 256, Classes: 4,
+				Informative: 20, Separation: 0.9, Noise: 1.2, PathwayBlocks: 16}
+			cfg.Samples = int(float64(cfg.Samples) * scale.mul())
+			return biodata.Tumor(cfg, r.Split("gen")).Split(0.8, r.Split("split"))
+		},
+		NewModel: func(cfg hpo.Config, inDim, outDim int, r *rng.Stream) *nn.Net {
+			return standardModel(cfg, space, inDim, outDim, r)
+		},
+	}
+}
+
+// Histology returns the 2-D imaging extension workload: tissue-patch
+// classification with a small convolutional network (the paper's image-
+// based tumor diagnosis driver). It is not one of the six core drivers but
+// exercises the Conv2D path end to end.
+func Histology() *Workload {
+	side := biodata.DefaultHistologyConfig().Side
+	space := hpo.MustSpace(
+		hpo.Param{Name: "lr", Kind: hpo.LogContinuous, Lo: 1e-4, Hi: 0.05},
+		hpo.Param{Name: "filters", Kind: hpo.Integer, Lo: 4, Hi: 16},
+		hpo.Param{Name: "kernel", Kind: hpo.Categorical, Choices: []string{"3", "5"}},
+		hpo.Param{Name: "dense", Kind: hpo.Integer, Lo: 8, Hi: 64},
+		hpo.Param{Name: "dropout", Kind: hpo.Continuous, Lo: 0, Hi: 0.5},
+		hpo.Param{Name: "decay", Kind: hpo.LogContinuous, Lo: 1e-6, Hi: 1e-2},
+	)
+	return &Workload{
+		Name:           "histology",
+		Description:    "tissue-patch classification with a convolutional network",
+		Classification: true,
+		Space:          space,
+		Epochs:         15,
+		Generate: func(scale Scale, r *rng.Stream) (*biodata.Dataset, *biodata.Dataset) {
+			cfg := biodata.DefaultHistologyConfig()
+			cfg.Samples = int(float64(cfg.Samples) * scale.mul())
+			return biodata.Histology(cfg, r.Split("gen")).Split(0.8, r.Split("split"))
+		},
+		NewModel: func(cfg hpo.Config, inDim, outDim int, r *rng.Stream) *nn.Net {
+			filters := cfg.Int("filters")
+			kernel := 3
+			if space.Choice(cfg, "kernel") == "5" {
+				kernel = 5
+			}
+			conv := nn.NewConv2D(1, side, side, filters, kernel, 1, kernel/2, r.Split("conv"))
+			oh, ow := conv.OutDims()
+			pool := nn.NewMaxPool2D(filters, oh, ow, 2, 0)
+			ph, pw := pool.OutDims()
+			layers := []nn.Layer{conv, nn.NewActivation(nn.ReLU), pool}
+			if d := cfg.Float("dropout"); d > 0 {
+				layers = append(layers, nn.NewDropout(d, r.Split("drop")))
+			}
+			layers = append(layers,
+				nn.NewDense(filters*ph*pw, cfg.Int("dense"), r.Split("fc1")),
+				nn.NewActivation(nn.ReLU),
+				nn.NewDense(cfg.Int("dense"), outDim, r.Split("fc2")))
+			return nn.NewNet(layers...)
+		},
+	}
+}
+
+// Extensions returns the workloads beyond the paper's six core drivers.
+func Extensions() []*Workload {
+	return []*Workload{HardTumor(), Histology()}
+}
+
+// ByName returns the named workload: the six driver problems plus the
+// extension variants ("tumor-hard", "histology").
+func ByName(name string) (*Workload, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range Extensions() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown workload %q", name)
+}
+
+// EvalResult reports one model evaluation.
+type EvalResult struct {
+	// Loss is the HPO objective: test error (1-accuracy) for
+	// classification, test MSE for regression.
+	Loss float64
+	// Accuracy is the test accuracy (classification only, else NaN).
+	Accuracy float64
+	// TrainLoss is the final training loss.
+	TrainLoss float64
+	// Params is the model's parameter count.
+	Params int
+}
+
+// Evaluate trains the workload's model for cfg at the given budget fraction
+// of full epochs and returns test metrics. Deterministic in (cfg, budget,
+// seed, scale).
+func (w *Workload) Evaluate(cfg hpo.Config, scale Scale, budget float64, seed uint64) EvalResult {
+	r := rng.New(seed)
+	// Data is regenerated per evaluation from a seed-independent stream so
+	// every trial sees the same datasets.
+	dataR := rng.New(0xDA7A).Split(w.Name + scale.String())
+	train, test := w.Generate(scale, dataR)
+	if !w.Classification {
+		// keep targets as-is
+	}
+	net := w.NewModel(cfg, train.Dim(), train.OutDim(), r.Split("model"))
+	epochs := int(math.Ceil(float64(w.Epochs) * budget))
+	if epochs < 1 {
+		epochs = 1
+	}
+	var loss nn.Loss
+	if w.Classification {
+		loss = nn.SoftmaxCELoss{}
+	} else {
+		loss = nn.MSELoss{}
+	}
+	res, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+		Loss: loss, Optimizer: optimizerFor(cfg),
+		BatchSize: 32, Epochs: epochs,
+		Shuffle: true, RNG: r.Split("shuffle"),
+	})
+	if err != nil {
+		return EvalResult{Loss: math.Inf(1), Accuracy: math.NaN()}
+	}
+	out := EvalResult{TrainLoss: res.FinalLoss, Params: net.NumParams(), Accuracy: math.NaN()}
+	if w.Classification {
+		acc := nn.EvaluateClassifier(net, test.X, test.Labels)
+		out.Accuracy = acc
+		out.Loss = 1 - acc
+	} else {
+		out.Loss = nn.EvaluateRegression(net, test.X, test.Y)
+	}
+	return out
+}
+
+// Objective adapts the workload into an hpo.Objective at the given scale.
+func (w *Workload) Objective(scale Scale) hpo.Objective {
+	return func(cfg hpo.Config, budget float64, seed uint64) float64 {
+		return w.Evaluate(cfg, scale, budget, seed).Loss
+	}
+}
+
+// DefaultConfig returns the mid-point of the workload's search space:
+// arithmetic midpoints for linear ranges, geometric midpoints for log
+// ranges, the first choice for categoricals, with dropout kept light.
+func (w *Workload) DefaultConfig() hpo.Config {
+	c := hpo.Config{}
+	for _, p := range w.Space.Params {
+		switch p.Kind {
+		case hpo.Continuous:
+			c[p.Name] = (p.Lo + p.Hi) / 2
+		case hpo.LogContinuous:
+			c[p.Name] = math.Exp((math.Log(p.Lo) + math.Log(p.Hi)) / 2)
+		case hpo.Integer:
+			c[p.Name] = math.Round((p.Lo + p.Hi) / 2)
+		case hpo.Categorical:
+			c[p.Name] = 0
+		}
+	}
+	if _, ok := c["dropout"]; ok {
+		c["dropout"] = 0.1
+	}
+	return c
+}

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runAblation(t *testing.T, id string) string {
+	t.Helper()
+	for _, e := range Ablations() {
+		if e.ID == id {
+			tb := e.Run(Config{Quick: true, Seed: 1})
+			if tb.NumRows() == 0 {
+				t.Fatalf("%s produced no rows", id)
+			}
+			return tb.String()
+		}
+	}
+	t.Fatalf("ablation %s missing", id)
+	return ""
+}
+
+func TestAblationRegistry(t *testing.T) {
+	abl := Ablations()
+	if len(abl) != 5 {
+		t.Fatalf("expected 5 ablations, got %d", len(abl))
+	}
+	for i, e := range abl {
+		want := "A" + strconv.Itoa(i+1)
+		if e.ID != want || e.Claim == "" || e.Run == nil {
+			t.Fatalf("ablation %d malformed: %+v", i, e.ID)
+		}
+	}
+}
+
+func TestA1Shape(t *testing.T) {
+	out := runAblation(t, "A1")
+	rows := tableRows(out)
+	// For the large payload, ring must move fewer bytes per rank than
+	// recursive doubling (bandwidth optimality), and the model must agree
+	// that ring's time beats recursive doubling.
+	var ringBytes, rdBytes float64
+	var ringModel, rdModel float64
+	for _, r := range rows {
+		if r[0] != "512.0" {
+			continue
+		}
+		switch r[2] {
+		case "ring":
+			ringBytes = f(t, r[3])
+			ringModel = f(t, r[5])
+		case "recursive-doubling":
+			rdBytes = f(t, r[3])
+			rdModel = f(t, r[5])
+		}
+	}
+	if ringBytes == 0 || rdBytes == 0 {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if ringBytes >= rdBytes {
+		t.Fatalf("ring bytes %v not below recursive doubling %v", ringBytes, rdBytes)
+	}
+	if ringModel >= rdModel {
+		t.Fatalf("modelled ring time %v not below recursive doubling %v", ringModel, rdModel)
+	}
+}
+
+func TestA2Shape(t *testing.T) {
+	out := runAblation(t, "A2")
+	rows := tableRows(out)
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 precisions, got %d", len(rows))
+	}
+	// Relative bytes must shrink with precision; fp32 and fp16 gradients
+	// must not destroy accuracy relative to fp64.
+	var acc64, acc16 float64
+	for _, r := range rows {
+		switch r[0] {
+		case "fp64":
+			if f(t, r[2]) != 1 {
+				t.Fatal("fp64 relative bytes != 1")
+			}
+			acc64 = f(t, r[4])
+		case "fp16":
+			if f(t, r[2]) != 0.25 {
+				t.Fatalf("fp16 relative bytes %v", f(t, r[2]))
+			}
+			acc16 = f(t, r[4])
+		}
+	}
+	if acc16 < acc64-0.15 {
+		t.Fatalf("fp16 gradients collapsed accuracy: %v vs %v", acc16, acc64)
+	}
+}
+
+func TestA3Shape(t *testing.T) {
+	out := runAblation(t, "A3")
+	rows := tableRows(out)
+	// Model: steps fall with batch but samples rise past the critical batch.
+	var steps8, steps512, samples8, samples512 float64
+	for _, r := range rows {
+		if r[0] == "8" {
+			steps8, samples8 = f(t, r[1]), f(t, r[2])
+		}
+		if r[0] == "512" {
+			steps512, samples512 = f(t, r[1]), f(t, r[2])
+		}
+	}
+	if steps512 >= steps8 {
+		t.Fatal("bigger batch should need fewer steps")
+	}
+	if samples512 <= samples8 {
+		t.Fatal("bigger batch should waste samples past the critical batch")
+	}
+	if !strings.Contains(out, "true") {
+		t.Fatal("no real run reached the target loss")
+	}
+}
+
+func TestA4Shape(t *testing.T) {
+	out := runAblation(t, "A4")
+	rows := tableRows(out)
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		acc := f(t, r[4])
+		if acc < 0.5 {
+			t.Fatalf("%s/%s accuracy %.3f below chance", r[0], r[1], acc)
+		}
+		if r[0] == "sync" && f(t, r[3]) != 0 {
+			t.Fatal("sync training reported staleness")
+		}
+	}
+}
+
+func TestA5Shape(t *testing.T) {
+	out := runAblation(t, "A5")
+	rows := tableRows(out)
+	if len(rows) != 7 {
+		t.Fatalf("expected 7 strategies, got %d", len(rows))
+	}
+	var randomTrials, hyperbandTrials int
+	for _, r := range rows {
+		if f(t, r[2]) <= 0 {
+			t.Fatalf("%s has no simulated time", r[0])
+		}
+		if best := f(t, r[3]); math.IsNaN(best) || best < 0 {
+			t.Fatalf("%s best loss %v", r[0], best)
+		}
+		switch r[0] {
+		case "random":
+			randomTrials, _ = strconv.Atoi(r[1])
+		case "hyperband":
+			hyperbandTrials, _ = strconv.Atoi(r[1])
+		}
+	}
+	// Hyperband's partial budgets buy far more trials from the same
+	// budget and therefore the same order of simulated time.
+	if hyperbandTrials <= randomTrials {
+		t.Fatalf("hyperband trials %d not above random %d", hyperbandTrials, randomTrials)
+	}
+}

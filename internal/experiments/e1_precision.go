@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lowp"
+	"repro/internal/machine"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// E1Precision trains the tumor classifier and the drug-response regressor
+// at every emulated precision, reporting learned quality (real training on
+// the host) and the training-step speedup/energy the machine model
+// attributes to each precision on a GPU2017 node.
+//
+// Expected shape (paper claim): fp32/bf16 match fp64 quality; fp16 needs
+// loss scaling; int8 degrades; modelled throughput and energy improve
+// monotonically as precision shrinks.
+func E1Precision(cfg Config) *trace.Table {
+	t := trace.NewTable("E1 precision sufficiency — quality vs modelled speed/energy",
+		"workload", "precision", "loss-scale", "test-metric", "train-loss",
+		"host-s", "model-step-ms", "model-speedup", "model-energy-J")
+
+	epochs := 12
+	if cfg.Quick {
+		epochs = 5
+	}
+	root := rng.New(cfg.Seed).Split("e1")
+	m := machine.GPU2017(1)
+
+	type job struct {
+		workload string
+		prec     lowp.Precision
+		scale    bool
+	}
+	jobs := []job{
+		{"tumor-hard", lowp.FP64, false},
+		{"tumor-hard", lowp.FP32, false},
+		{"tumor-hard", lowp.BF16, false},
+		{"tumor-hard", lowp.FP16, false},
+		{"tumor-hard", lowp.FP16, true},
+		{"tumor-hard", lowp.INT8, false},
+		{"drugresponse", lowp.FP64, false},
+		{"drugresponse", lowp.FP32, false},
+		{"drugresponse", lowp.BF16, false},
+		{"drugresponse", lowp.FP16, true},
+	}
+
+	// Modelled step time baseline at fp64 for the speedup column.
+	base := map[string]float64{}
+	for _, j := range jobs {
+		w, err := core.ByName(j.workload)
+		if err != nil {
+			panic(err)
+		}
+		train, test := w.Generate(core.Tiny, root.Split("data-"+w.Name))
+		hp := w.DefaultConfig()
+		net := w.NewModel(hp, train.Dim(), train.OutDim(), root.Split("init-"+w.Name))
+
+		var loss nn.Loss = nn.MSELoss{}
+		if w.Classification {
+			loss = nn.SoftmaxCELoss{}
+		}
+		start := time.Now()
+		res, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+			Loss: loss, Optimizer: nn.NewAdam(hp.Float("lr")),
+			BatchSize: 32, Epochs: epochs,
+			Precision: j.prec, LossScale: j.scale,
+			Shuffle: true, RNG: root.Split("sh-" + w.Name + j.prec.String()),
+		})
+		if err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start).Seconds()
+
+		metric := math.NaN()
+		if w.Classification {
+			metric = nn.EvaluateClassifier(net, test.X, test.Labels)
+		} else {
+			metric = nn.EvaluateRegression(net, test.X, test.Y)
+		}
+
+		spec := specForNet(w.Name, net)
+		stepT := machine.StepComputeTime(m, spec, 32, j.prec)
+		stepE := machine.StepComputeEnergy(m, spec, 32, j.prec)
+		if j.prec == lowp.FP64 {
+			base[w.Name] = stepT
+		}
+		speedup := base[w.Name] / stepT
+		scaleStr := "no"
+		if j.scale {
+			scaleStr = "yes"
+		}
+		t.AddRow(w.Name, j.prec.String(), scaleStr, metric, res.FinalLoss,
+			elapsed, stepT*1000, speedup, stepE)
+	}
+	return t
+}
+
+// specForNet derives a machine.ModelSpec from a real network's dense layers.
+func specForNet(name string, net *nn.Net) machine.ModelSpec {
+	spec := machine.ModelSpec{Name: name, Layers: len(net.Layers)}
+	for _, l := range net.Layers {
+		for _, p := range l.Params() {
+			spec.Params += float64(p.Len())
+		}
+		if d, ok := l.(*nn.Dense); ok {
+			spec.FlopsPerSample += 2 * float64(d.In) * float64(d.Out)
+			spec.ActivationsPerSample += float64(d.Out)
+		}
+	}
+	if spec.FlopsPerSample == 0 {
+		spec.FlopsPerSample = 2 * spec.Params
+		spec.ActivationsPerSample = spec.Params / 100
+	}
+	return spec
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/lowp"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// E2Roofline maps the arithmetic intensity of DNN kernels (GEMV, skinny
+// GEMM, square GEMM, conv-lowered GEMM) onto the roofline of each machine
+// preset, and cross-checks with measured host GEMM throughput.
+//
+// Expected shape (paper claim): matrix-matrix kernels sit at or above the
+// ridge (compute bound — they want "high compute density"); matrix-vector
+// kernels sit far below it (bandwidth bound — they want "high-bandwidth
+// memory").
+func E2Roofline(cfg Config) *trace.Table {
+	t := trace.NewTable("E2 roofline — DNN kernel intensity vs machine balance",
+		"kernel", "m", "k", "n", "intensity", "machine",
+		"attainable-TF", "peak-TF", "bound", "ridge")
+
+	type kernel struct {
+		name    string
+		m, k, n int
+	}
+	kernels := []kernel{
+		{"gemv(dense-infer)", 1, 4096, 4096},
+		{"skinny(batch=32)", 32, 4096, 4096},
+		{"gemm(batch=512)", 512, 4096, 4096},
+		{"gemm(square)", 4096, 4096, 4096},
+		{"conv-lowered", 256, 576, 12544}, // im2col'd 3x3x64 conv on 112^2
+	}
+	for _, k := range kernels {
+		flops := 2 * float64(k.m) * float64(k.k) * float64(k.n)
+		bytes := 4 * (float64(k.m)*float64(k.k) + float64(k.k)*float64(k.n) +
+			float64(k.m)*float64(k.n))
+		intensity := flops / bytes
+		for _, m := range machine.Presets(1) {
+			node := m.Node
+			tier := node.NearTier()
+			att := machine.Roofline(&node, tier, lowp.FP32, intensity)
+			ridge := machine.RidgeIntensity(&node, tier, lowp.FP32)
+			bound := "compute"
+			if intensity < ridge {
+				bound = "bandwidth"
+			}
+			t.AddRow(k.name, k.m, k.k, k.n, intensity, m.Name,
+				att/machine.TFlops, node.Peak(lowp.FP32)/machine.TFlops, bound, ridge)
+		}
+	}
+
+	// Measured host GEMM for grounding (not expected to hit modelled rates).
+	n := 512
+	if cfg.Quick {
+		n = 256
+	}
+	r := rng.New(cfg.Seed)
+	a := tensor.New(n, n)
+	b := tensor.New(n, n)
+	a.FillRandNorm(r, 1)
+	b.FillRandNorm(r, 1)
+	dst := tensor.New(n, n)
+	reps := 3
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		tensor.MatMul(dst, a, b)
+	}
+	el := time.Since(start).Seconds() / float64(reps)
+	gf := 2 * float64(n) * float64(n) * float64(n) / el / 1e9
+	t.AddRow("host-gemm-measured", n, n, n, float64(n)/12.0, "this-host",
+		gf/1000, gf/1000, "measured", 0.0)
+	return t
+}

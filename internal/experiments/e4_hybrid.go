@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/lowp"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// E4Hybrid sweeps every way of splitting a fixed 4096-worker machine across
+// model-parallel stages (S), data-parallel replicas (R), and concurrent
+// search evaluations (K), with S*R*K = 4096, and reports the wall-clock to
+// finish a 512-configuration hyperparameter campaign on a large model.
+//
+// The per-configuration training cost uses the critical-batch-size law
+// (total samples to target grows as 1 + B/Bcrit, so huge data-parallel
+// batches waste samples) plus the machine model's pipeline and allreduce
+// costs. The model is sized so it does NOT fit one node's HBM: pure data
+// parallelism is infeasible, and pure model parallelism wastes the machine.
+//
+// Expected shape (paper claim): the winner is a combination — modest S
+// (just enough stages to fit memory, on the fast group fabric), moderate R,
+// large K. "They rely on a combination of model, data and search
+// parallelism."
+func E4Hybrid(cfg Config) *trace.Table {
+	t := trace.NewTable("E4 model x data x search split of a 4096-worker machine",
+		"stages(S)", "replicas(R)", "search(K)", "fits-HBM", "step-time",
+		"steps-to-target", "per-config-h", "campaign-h")
+
+	const workers = 4096
+	const configs = 512
+	m := machine.GPU2017(workers)
+
+	// A model bigger than one node's HBM (16 GB): ~3B params fp32 ≈ 12 GB
+	// weights + optimizer state ≈ 48 GB -> needs >= 4 stages.
+	spec := machine.MLPSpec("large-candle-net", []int{
+		16384, 16384, 16384, 16384, 16384, 16384, 8192, 1000})
+	weightBytes := spec.Params * machine.BytesPerElement(lowp.FP32)
+	// Adam keeps weights + grads + two moments ≈ 4x weights resident.
+	residentBytes := 4 * weightBytes
+	hbm := m.Node.NearTier().CapacityBytes
+
+	// Critical-batch-size law: samplesToTarget(B) = Smin * (1 + B/Bcrit).
+	const (
+		sMin  = 2e6 // samples to target at tiny batch
+		bCrit = 2048
+		perB  = 8 // per-replica micro-batch
+	)
+
+	for s := 1; s <= workers; s *= 2 {
+		for r := 1; s*r <= workers; r *= 2 {
+			k := workers / (s * r)
+			if k < 1 {
+				continue
+			}
+			stageBytes := residentBytes / float64(s)
+			fits := stageBytes <= hbm
+			globalBatch := perB * r
+			steps := sMin * (1/float64(globalBatch) + 1.0/bCrit)
+
+			// One step: pipeline time for the per-replica batch, plus the
+			// cross-replica gradient allreduce of one stage's weights.
+			stepT := machine.ModelParallelStepTime(m, spec,
+				machine.PipelineConfig{Stages: s, MicroBatches: 4}, perB, lowp.FP16)
+			if r > 1 {
+				gradBytes := weightBytes / float64(s)
+				stepT += machine.CollectiveTime(m.FabricFor(r*s), comm.ARRing, r, gradBytes)
+			}
+			if !fits {
+				// Spilling to DRAM: every step pays the weight traffic at
+				// DRAM instead of HBM bandwidth — catastrophic but modelled.
+				dram, _ := m.Node.TierByName("DRAM")
+				stepT += (stageBytes - hbm) / dram.BandwidthBps
+			}
+			perConfig := steps * stepT
+			campaign := perConfig * math.Ceil(float64(configs)/float64(k))
+			if s*r*k == workers && (s <= 64) { // keep the table readable
+				t.AddRow(s, r, k, fits, stepT, steps, perConfig/3600, campaign/3600)
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"repro/internal/lowp"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// E5Memory sweeps the near-memory bandwidth of a GPU2017-class node from
+// 1/16x to 8x HBM and reports training-step time and energy for a CANDLE-
+// scale dense network, splitting energy into arithmetic and data motion.
+//
+// Expected shape (paper claim): below a knee the step is bandwidth-bound
+// and both time and energy are dominated by data motion; above it the
+// compute peak limits. "High-bandwidth memory physically close to
+// arithmetic units" buys performance exactly until that knee, and the
+// far-memory variants (DRAM-distance energy/byte) burn several times the
+// energy per step.
+func E5Memory(cfg Config) *trace.Table {
+	t := trace.NewTable("E5 near-memory bandwidth sensitivity of training steps",
+		"bandwidth-GBs", "x-HBM", "near?", "step-ms", "vs-best",
+		"flop-J", "data-J", "data-fraction", "bound")
+
+	spec := machine.MLPSpec("candle-mlp", []int{4096, 2048, 2048, 1000})
+	// Small per-rank batch: the regime strong scaling pushes training into
+	// (see E3), where weight streaming dominates arithmetic.
+	const batch = 16
+	base := machine.GPU2017(1)
+	hbm := base.Node.Tiers[0]
+
+	best := 0.0
+	type rowData struct {
+		bw, mult float64
+		near     bool
+		stepT    float64
+		flopJ    float64
+		dataJ    float64
+	}
+	var rows []rowData
+	for _, mult := range []float64{1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1, 2, 4, 8} {
+		m := machine.GPU2017(1)
+		m.Node.Tiers[0].BandwidthBps = hbm.BandwidthBps * mult
+		// Far memory also costs more energy per byte (the paper's "reduce
+		// costs of data motion" point): scale energy/byte inversely below 1x.
+		near := mult >= 1
+		if !near {
+			// Far memory (DDR over an interposer/PCIe distance) costs ~10x
+			// HBM's pJ/byte — the "costs of data motion" the paper cites.
+			m.Node.Tiers[0].EnergyPerByte = hbm.EnergyPerByte * 10
+		}
+		stepT := machine.StepComputeTime(m, spec, batch, lowp.FP16)
+		flops := spec.TrainFlopsPerStep(batch)
+		bytes := machine.BytesPerElement(lowp.FP16) * (5*spec.Params +
+			2*spec.ActivationsPerSample*float64(batch))
+		flopJ := flops * m.Node.EnergyPerFlop[lowp.FP16]
+		dataJ := bytes * m.Node.Tiers[0].EnergyPerByte
+		if best == 0 || stepT < best {
+			best = stepT
+		}
+		rows = append(rows, rowData{m.Node.Tiers[0].BandwidthBps, mult, near, stepT, flopJ, dataJ})
+	}
+	for _, r := range rows {
+		bound := "compute"
+		if r.stepT > best*1.01 {
+			bound = "bandwidth"
+		}
+		t.AddRow(r.bw/machine.GB, r.mult, r.near, r.stepT*1000, r.stepT/best,
+			r.flopJ, r.dataJ, r.dataJ/(r.dataJ+r.flopJ), bound)
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"repro/internal/lowp"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// E6Fabric sweeps pipeline depth (model-parallel group size) against fabric
+// bandwidth for a network too large for one node, reporting step time and
+// the fraction spent in activation handoffs.
+//
+// Expected shape (paper claim): within the fast group fabric, adding stages
+// helps until handoffs dominate; crossing into the slow global fabric is a
+// cliff. The sweet spot is a "modest scale" group (4-16 nodes) on a
+// high-bandwidth fabric — exactly the machine shape the paper advocates.
+func E6Fabric(cfg Config) *trace.Table {
+	t := trace.NewTable("E6 model-parallel group size vs fabric bandwidth",
+		"fabric-GBs", "stages", "fabric", "step-ms", "handoff-fraction",
+		"vs-1-stage", "feasible(HBM)")
+
+	spec := machine.MLPSpec("large-candle-net", []int{
+		16384, 16384, 16384, 16384, 8192, 1000})
+	weightBytes := spec.Params * machine.BytesPerElement(lowp.FP16)
+	const batch = 64
+
+	for _, bwGB := range []float64{10, 40, 80, 300} {
+		m := machine.GPU2017(64)
+		m.GroupSize = 16 // the "modest scale group" under study
+		m.GroupFabric.BandwidthBps = bwGB * machine.GB
+		base := 0.0
+		for _, s := range []int{1, 2, 4, 8, 16, 32} {
+			pcfg := machine.PipelineConfig{Stages: s, MicroBatches: 4}
+			stepT := machine.ModelParallelStepTime(m, spec, pcfg, batch, lowp.FP16)
+			// Handoff share: recompute with a free fabric to isolate compute.
+			free := *m
+			free.GroupFabric.BandwidthBps = 1e18
+			free.GroupFabric.LatencySec = 0
+			free.InterFabric.BandwidthBps = 1e18
+			free.InterFabric.LatencySec = 0
+			computeOnly := machine.ModelParallelStepTime(&free, spec, pcfg, batch, lowp.FP16)
+			handoff := (stepT - computeOnly) / stepT
+			if s == 1 {
+				base = stepT
+			}
+			fits := 4*weightBytes/float64(s) <= m.Node.NearTier().CapacityBytes
+			fabricName := m.GroupFabric.Name
+			if s > m.GroupSize {
+				fabricName = m.InterFabric.Name
+			}
+			t.AddRow(bwGB, s, fabricName, stepT*1000, handoff, base/stepT, fits)
+		}
+	}
+	return t
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"repro/internal/machine"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// E7NVRAM simulates a training epoch timeline under every staging policy at
+// three dataset sizes (fits DRAM; exceeds DRAM but fits NVRAM; exceeds
+// NVRAM), with 64 nodes contending for the parallel file system.
+//
+// Expected shape (paper claim): once the per-node training data exceeds
+// DRAM, node-local NVRAM staging with prefetch recovers most of the
+// DRAM-resident performance, while PFS-direct runs are stall-dominated —
+// "providing opportunities for NVRAM".
+func E7NVRAM(cfg Config) *trace.Table {
+	t := trace.NewTable("E7 training-data staging across the storage hierarchy",
+		"dataset-GB", "policy", "total-s", "stage-s", "stall-s",
+		"stall-frac", "efficiency")
+
+	node := machine.GPU2017(1).Node
+	// Shrink tiers so the three regimes appear at convenient sizes.
+	for i := range node.Tiers {
+		switch node.Tiers[i].Name {
+		case "DRAM":
+			node.Tiers[i].CapacityBytes = 64 * machine.GB
+		case "NVRAM":
+			node.Tiers[i].CapacityBytes = 1000 * machine.GB
+		}
+	}
+	epochs := 4
+	if cfg.Quick {
+		epochs = 2
+	}
+
+	for _, dsGB := range []float64{32, 256, 2000} {
+		batchMB := 16.0
+		steps := int(dsGB * 1024 / batchMB)
+		c := storage.Config{
+			DatasetBytes:   dsGB * machine.GB,
+			BatchBytes:     batchMB * machine.MB,
+			StepsPerEpoch:  steps,
+			Epochs:         epochs,
+			ComputePerStep: 0.02,
+			SharedPFSNodes: 64,
+		}
+		for _, p := range storage.AllPolicies() {
+			res, err := storage.Simulate(&node, p, c)
+			if err != nil {
+				t.AddRow(dsGB, p.String(), "infeasible", "-", "-", "-", "-")
+				continue
+			}
+			t.AddRow(dsGB, p.String(), res.TotalTime, res.StageTime,
+				res.StallTime, res.StallFraction, storage.Efficiency(res, c))
+		}
+	}
+	return t
+}

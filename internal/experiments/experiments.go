@@ -1,0 +1,54 @@
+// Package experiments implements the paper's reproduction suite E1-E9.
+//
+// The paper (an HPDC'17 keynote abstract) contains no numbered tables or
+// figures; DESIGN.md maps each of its falsifiable architectural claims to
+// one experiment here. Every experiment returns a trace.Table that
+// cmd/candlebench prints and bench_test.go regenerates; EXPERIMENTS.md
+// records claim-versus-measured for each.
+package experiments
+
+import (
+	"repro/internal/trace"
+)
+
+// Config controls experiment sizing.
+type Config struct {
+	// Quick shrinks budgets so the whole suite runs in tens of seconds
+	// (used by `go test -bench`); the default sizes are for candlebench.
+	Quick bool
+	// Seed makes every experiment reproducible.
+	Seed uint64
+}
+
+// Experiment is one claim-reproduction: an ID, the paper claim it tests,
+// and a runner.
+type Experiment struct {
+	ID    string
+	Claim string
+	Run   func(cfg Config) *trace.Table
+}
+
+// All returns the full suite in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "they rarely require 64bit or even 32bits of precision", E1Precision},
+		{"E2", "high compute density to support matrix-matrix and matrix-vector operations", E2Roofline},
+		{"E3", "DNNs in general do not have good strong scaling behavior", E3Scaling},
+		{"E4", "they rely on a combination of model, data and search parallelism", E4Hybrid},
+		{"E5", "power efficient DNNs require high-bandwidth memory be physically close to arithmetic units", E5Memory},
+		{"E6", "a high-bandwidth communication fabric between (perhaps modest scale) groups of processors to support network model parallelism", E6Fabric},
+		{"E7", "large-quantities of training data ... at each node, thus providing opportunities for NVRAM", E7NVRAM},
+		{"E8", "Naive searches are outperformed by various intelligent searching strategies, including new approaches that use generative neural networks", E8Search},
+		{"E9", "HPC architectures that can support these large-scale intelligent search methods ... are needed", E9Campaign},
+	}
+}
+
+// ByID returns the experiment with the given ID (nil if unknown).
+func ByID(id string) *Experiment {
+	for _, e := range All() {
+		if e.ID == id {
+			return &e
+		}
+	}
+	return nil
+}

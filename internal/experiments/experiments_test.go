@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runQuick executes an experiment in quick mode and returns its table text.
+func runQuick(t *testing.T, id string) (*Experiment, string) {
+	t.Helper()
+	e := ByID(id)
+	if e == nil {
+		t.Fatalf("experiment %s missing", id)
+	}
+	tb := e.Run(Config{Quick: true, Seed: 1})
+	if tb.NumRows() == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return e, tb.String()
+}
+
+func TestSuiteComplete(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("expected 9 experiments, got %d", len(all))
+	}
+	for i, e := range all {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Fatalf("experiment %d has ID %s", i, e.ID)
+		}
+		if e.Claim == "" {
+			t.Fatalf("%s has no claim", e.ID)
+		}
+	}
+	if ByID("E42") != nil {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+// parse pulls float columns out of a rendered table for shape assertions.
+func tableRows(s string) [][]string {
+	var rows [][]string
+	for i, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		if i < 3 || strings.TrimSpace(line) == "" { // title, header, sep
+			continue
+		}
+		rows = append(rows, strings.Fields(line))
+	}
+	return rows
+}
+
+func f(t *testing.T, s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q as float", s)
+	}
+	return v
+}
+
+func TestE1Shape(t *testing.T) {
+	_, out := runQuick(t, "E1")
+	rows := tableRows(out)
+	// Find tumor fp64 accuracy and fp32 accuracy: should be close; modelled
+	// speedup should be >= 1 and monotone non-decreasing with narrower types.
+	var acc64, acc32, sp64, sp16 float64
+	for _, r := range rows {
+		if r[0] == "tumor-hard" && r[1] == "fp64" {
+			acc64, sp64 = f(t, r[3]), f(t, r[7])
+		}
+		if r[0] == "tumor-hard" && r[1] == "fp32" {
+			acc32 = f(t, r[3])
+		}
+		if r[0] == "tumor-hard" && r[1] == "fp16" && r[2] == "yes" {
+			sp16 = f(t, r[7])
+		}
+	}
+	if math.Abs(acc64-acc32) > 0.1 {
+		t.Fatalf("fp32 accuracy %v far from fp64 %v", acc32, acc64)
+	}
+	if sp64 != 1 {
+		t.Fatalf("fp64 speedup %v != 1", sp64)
+	}
+	if sp16 <= 1.5 {
+		t.Fatalf("fp16 modelled speedup %v too small", sp16)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	_, out := runQuick(t, "E2")
+	rows := tableRows(out)
+	// GEMV rows must be bandwidth bound; square GEMM compute bound.
+	for _, r := range rows {
+		if strings.HasPrefix(r[0], "gemv") && r[8] != "bandwidth" {
+			t.Fatalf("GEMV classified as %s", r[8])
+		}
+		if strings.HasPrefix(r[0], "gemm(square)") && r[8] != "compute" {
+			t.Fatalf("square GEMM classified as %s", r[8])
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	_, out := runQuick(t, "E3")
+	rows := tableRows(out)
+	// Modelled strong efficiency at 256 ranks must be far below weak at 256.
+	var strong256, weak256 float64
+	for _, r := range rows {
+		if r[7] != "model" {
+			continue
+		}
+		if r[0] == "strong" && r[1] == "256" {
+			strong256 = f(t, r[5])
+		}
+		if r[0] == "weak" && r[1] == "256" {
+			weak256 = f(t, r[5])
+		}
+	}
+	if strong256 >= weak256 {
+		t.Fatalf("strong efficiency %v not below weak %v at 256 ranks", strong256, weak256)
+	}
+	if weak256 < 0.2 {
+		t.Fatalf("weak scaling collapsed too: %v", weak256)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	_, out := runQuick(t, "E4")
+	rows := tableRows(out)
+	// The best feasible configuration must be a true combination:
+	// S > 1 (model doesn't fit one node) and K > 1 (search parallelism).
+	bestTime := math.Inf(1)
+	var bestS, bestR, bestK int
+	for _, r := range rows {
+		if r[3] != "true" {
+			continue
+		}
+		ct := f(t, r[7])
+		if ct < bestTime {
+			bestTime = ct
+			bestS, _ = strconv.Atoi(r[0])
+			bestR, _ = strconv.Atoi(r[1])
+			bestK, _ = strconv.Atoi(r[2])
+		}
+	}
+	if bestS < 2 {
+		t.Fatalf("winner uses S=%d; model cannot fit one node", bestS)
+	}
+	if bestK < 2 {
+		t.Fatalf("winner uses no search parallelism (K=%d)", bestK)
+	}
+	if bestS*bestR*bestK != 4096 {
+		t.Fatalf("winner %dx%dx%d does not use the machine", bestS, bestR, bestK)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	_, out := runQuick(t, "E5")
+	rows := tableRows(out)
+	// Step time must be non-increasing with bandwidth, and the lowest
+	// bandwidth row must be bandwidth-bound with data-motion-dominated energy.
+	prev := math.Inf(1)
+	for i, r := range rows {
+		st := f(t, r[3])
+		if st > prev*1.0001 {
+			t.Fatalf("step time increased with bandwidth at row %d", i)
+		}
+		prev = st
+	}
+	first := rows[0]
+	if first[8] != "bandwidth" {
+		t.Fatalf("lowest bandwidth not bandwidth-bound: %v", first)
+	}
+	if f(t, first[7]) < 0.5 {
+		t.Fatalf("low-bandwidth energy not data-dominated: %v", first[7])
+	}
+	last := rows[len(rows)-1]
+	if last[8] != "compute" {
+		t.Fatalf("highest bandwidth not compute-bound: %v", last)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	_, out := runQuick(t, "E6")
+	rows := tableRows(out)
+	// At the highest fabric bandwidth, some multi-stage config must beat
+	// 1-stage (speedup > 1); at 10 GB/s the handoff fraction at 16 stages
+	// must exceed the 300 GB/s one.
+	var speed300 float64
+	var hand10, hand300 float64
+	for _, r := range rows {
+		bw := f(t, r[0])
+		stages, _ := strconv.Atoi(r[1])
+		if bw == 300 && stages == 8 {
+			speed300 = f(t, r[5])
+		}
+		if stages == 16 {
+			if bw == 10 {
+				hand10 = f(t, r[4])
+			}
+			if bw == 300 {
+				hand300 = f(t, r[4])
+			}
+		}
+	}
+	if speed300 <= 1 {
+		t.Fatalf("8-stage pipeline on fast fabric no faster than 1 stage: %v", speed300)
+	}
+	if hand10 <= hand300 {
+		t.Fatalf("slow fabric handoff fraction %v not above fast fabric %v", hand10, hand300)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	_, out := runQuick(t, "E7")
+	rows := tableRows(out)
+	// At the mid dataset (exceeds DRAM, fits NVRAM): resident-dram must be
+	// infeasible, prefetch-nvram must beat direct-pfs.
+	var direct, prefetchNV float64
+	residentInfeasible := false
+	for _, r := range rows {
+		if r[0] != "256.0" {
+			continue
+		}
+		switch r[1] {
+		case "direct-pfs":
+			direct = f(t, r[2])
+		case "prefetch-nvram":
+			prefetchNV = f(t, r[2])
+		case "resident-dram":
+			if r[2] == "infeasible" {
+				residentInfeasible = true
+			}
+		}
+	}
+	if !residentInfeasible {
+		t.Fatal("256 GB dataset should not fit 64 GB DRAM")
+	}
+	if prefetchNV >= direct {
+		t.Fatalf("NVRAM prefetch (%v) not faster than direct PFS (%v)", prefetchNV, direct)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	_, out := runQuick(t, "E8")
+	rows := tableRows(out)
+	if len(rows) < 7 {
+		t.Fatalf("expected one row per strategy, got %d", len(rows))
+	}
+	// All budget-used within the cap.
+	for _, r := range rows {
+		if used := f(t, r[2]); used > 8+1e-6 {
+			t.Fatalf("%s overspent: %v", r[1], used)
+		}
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	_, out := runQuick(t, "E9")
+	rows := tableRows(out)
+	// At high heterogeneity (sigma 1.2), hierarchical must beat static.
+	var static, hier float64
+	for _, r := range rows {
+		if r[1] == "1.2000" || r[1] == "1.2" {
+			if r[2] == "static" {
+				static = f(t, r[3])
+			}
+			if r[2] == "hierarchical" {
+				hier = f(t, r[3])
+			}
+		}
+	}
+	if static == 0 || hier == 0 {
+		t.Fatalf("missing scheduler rows:\n%s", out)
+	}
+	if hier >= static {
+		t.Fatalf("hierarchical (%v h) not better than static (%v h)", hier, static)
+	}
+}

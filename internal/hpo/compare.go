@@ -1,0 +1,66 @@
+package hpo
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// ComparisonRow summarises one strategy's performance over repeated seeds.
+type ComparisonRow struct {
+	Strategy string
+	// MeanBest and StdBest aggregate the best loss across seeds.
+	MeanBest, StdBest float64
+	// MeanCost is the average budget actually consumed.
+	MeanCost float64
+	// Wins counts seeds on which this strategy had the strictly lowest
+	// best loss among all compared strategies.
+	Wins int
+}
+
+// Compare runs every strategy on the objective once per seed at identical
+// options and aggregates results. Search stochasticity is the dominant
+// noise source in strategy comparisons, so multi-seed means are the honest
+// statistic (E8's caveat).
+func Compare(strategies []Strategy, obj Objective, opts Options, seeds []uint64) ([]ComparisonRow, error) {
+	if len(strategies) == 0 || len(seeds) == 0 {
+		return nil, fmt.Errorf("hpo: Compare needs strategies and seeds")
+	}
+	bests := make([][]float64, len(strategies))
+	costs := make([][]float64, len(strategies))
+	for si, strat := range strategies {
+		for _, seed := range seeds {
+			o := opts
+			o.RNG = rng.New(seed).Split(strat.Name())
+			res, err := strat.Search(obj, o)
+			if err != nil {
+				return nil, fmt.Errorf("hpo: %s: %w", strat.Name(), err)
+			}
+			bests[si] = append(bests[si], res.Best.Loss)
+			costs[si] = append(costs[si], res.CostUsed)
+		}
+	}
+	rows := make([]ComparisonRow, len(strategies))
+	for si, strat := range strategies {
+		rows[si] = ComparisonRow{
+			Strategy: strat.Name(),
+			MeanBest: stats.Mean(bests[si]),
+			StdBest:  stats.Std(bests[si]),
+			MeanCost: stats.Mean(costs[si]),
+		}
+	}
+	// Per-seed wins.
+	for seedIdx := range seeds {
+		bestVal := bests[0][seedIdx]
+		bestIdx := 0
+		for si := 1; si < len(strategies); si++ {
+			if bests[si][seedIdx] < bestVal {
+				bestVal = bests[si][seedIdx]
+				bestIdx = si
+			}
+		}
+		rows[bestIdx].Wins++
+	}
+	return rows, nil
+}

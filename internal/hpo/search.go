@@ -1,0 +1,206 @@
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Objective evaluates one configuration at a training budget in (0,1]
+// (fraction of full training) and returns a loss to minimise. seed makes
+// the evaluation reproducible. Implementations must be safe for concurrent
+// calls — the executor runs them on a worker pool.
+type Objective func(cfg Config, budget float64, seed uint64) float64
+
+// Trial records one completed evaluation.
+type Trial struct {
+	Config Config
+	Loss   float64
+	Budget float64 // fraction of full training spent
+	Seed   uint64
+}
+
+// ProgressPoint samples best-so-far loss against cumulative cost.
+type ProgressPoint struct {
+	Cost float64 // cumulative full-training equivalents
+	Best float64
+}
+
+// Result summarises a search run.
+type Result struct {
+	Strategy string
+	Best     Trial
+	Trials   []Trial
+	// Progress is the best-so-far curve versus budget consumed, recorded
+	// after every completed trial.
+	Progress []ProgressPoint
+	// CostUsed is the total budget consumed in full-training equivalents.
+	CostUsed float64
+	// SimTime is the simulated campaign wall-clock in seconds (0 unless
+	// Options.CostModel is set). Batches of concurrent evaluations cost
+	// their slowest member; waves beyond the parallelism width serialise.
+	SimTime float64
+}
+
+// BestAtCost returns the best loss achieved within the given cumulative
+// cost (infinity if nothing completed yet).
+func (r *Result) BestAtCost(cost float64) float64 {
+	best := math.Inf(1)
+	for _, p := range r.Progress {
+		if p.Cost > cost {
+			break
+		}
+		best = p.Best
+	}
+	return best
+}
+
+// Options configures a search run.
+type Options struct {
+	Space *Space
+	// TotalBudget is the search budget in full-training equivalents.
+	TotalBudget float64
+	// Parallelism is the evaluation worker-pool width (>=1).
+	Parallelism int
+	// RNG drives all strategy randomness.
+	RNG *rng.Stream
+	// CostModel, if non-nil, prices one evaluation in simulated seconds
+	// (e.g. from a machine model: bigger configurations and budgets train
+	// longer). When set, Result.SimTime accumulates the campaign's
+	// simulated wall-clock assuming Parallelism concurrent evaluators that
+	// synchronise per proposal batch.
+	CostModel func(cfg Config, budget float64) float64
+}
+
+func (o *Options) validate() error {
+	if o.Space == nil || len(o.Space.Params) == 0 {
+		return fmt.Errorf("hpo: empty search space")
+	}
+	if o.TotalBudget <= 0 {
+		return fmt.Errorf("hpo: non-positive budget")
+	}
+	if o.RNG == nil {
+		return fmt.Errorf("hpo: missing RNG")
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
+	return nil
+}
+
+// Strategy is a search algorithm.
+type Strategy interface {
+	Name() string
+	// Search runs until the budget is exhausted.
+	Search(obj Objective, opts Options) (*Result, error)
+}
+
+// run tracks shared bookkeeping for strategy implementations.
+type run struct {
+	obj    Objective
+	opts   Options
+	result *Result
+	mu     sync.Mutex
+	seedCt uint64
+}
+
+func newRun(name string, obj Objective, opts Options) (*run, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	return &run{obj: obj, opts: opts,
+		result: &Result{Strategy: name, Best: Trial{Loss: math.Inf(1)}}}, nil
+}
+
+// remaining returns the unconsumed budget.
+func (r *run) remaining() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.opts.TotalBudget - r.result.CostUsed
+}
+
+// evalBatch evaluates configs at the given per-trial budget on the worker
+// pool, stopping admission when the budget runs dry. It returns the
+// completed trials in input order (omitting unadmitted ones).
+func (r *run) evalBatch(configs []Config, budget float64) []Trial {
+	type slot struct {
+		idx int
+		cfg Config
+	}
+	var admitted []slot
+	r.mu.Lock()
+	for i, cfg := range configs {
+		if r.result.CostUsed+float64(len(admitted)+1)*budget > r.opts.TotalBudget+1e-9 {
+			break
+		}
+		admitted = append(admitted, slot{i, cfg})
+	}
+	seeds := make([]uint64, len(admitted))
+	for i := range seeds {
+		r.seedCt++
+		seeds[i] = r.seedCt
+	}
+	r.mu.Unlock()
+	if len(admitted) == 0 {
+		return nil
+	}
+
+	// Simulated time: pack admitted evaluations onto Parallelism slots in
+	// waves; each wave costs its slowest evaluation.
+	if r.opts.CostModel != nil {
+		waveMax := 0.0
+		inWave := 0
+		var simAdd float64
+		for _, s := range admitted {
+			d := r.opts.CostModel(s.cfg, budget)
+			if d > waveMax {
+				waveMax = d
+			}
+			inWave++
+			if inWave == r.opts.Parallelism {
+				simAdd += waveMax
+				waveMax, inWave = 0, 0
+			}
+		}
+		simAdd += waveMax
+		r.mu.Lock()
+		r.result.SimTime += simAdd
+		r.mu.Unlock()
+	}
+
+	trials := make([]Trial, len(admitted))
+	sem := make(chan struct{}, r.opts.Parallelism)
+	var wg sync.WaitGroup
+	for i, s := range admitted {
+		wg.Add(1)
+		go func(i int, s slot) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			loss := r.obj(s.cfg, budget, seeds[i])
+			trials[i] = Trial{Config: s.cfg, Loss: loss, Budget: budget, Seed: seeds[i]}
+		}(i, s)
+	}
+	wg.Wait()
+
+	r.mu.Lock()
+	for _, t := range trials {
+		r.result.CostUsed += t.Budget
+		r.result.Trials = append(r.result.Trials, t)
+		if !math.IsNaN(t.Loss) && t.Loss < r.result.Best.Loss && t.Budget >= budgetForBest {
+			r.result.Best = t
+		}
+		best := r.result.Best.Loss
+		r.result.Progress = append(r.result.Progress,
+			ProgressPoint{Cost: r.result.CostUsed, Best: best})
+	}
+	r.mu.Unlock()
+	return trials
+}
+
+// budgetForBest is the minimum trial budget eligible to be reported as the
+// incumbent best (partial Hyperband evaluations at tiny budgets are noisy
+// estimates, not results).
+const budgetForBest = 0.32

@@ -1,0 +1,564 @@
+package hpo
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// ---- Naive baselines ---------------------------------------------------
+
+// RandomSearch evaluates uniform random configurations at full budget.
+type RandomSearch struct{}
+
+// Name implements Strategy.
+func (RandomSearch) Name() string { return "random" }
+
+// Search implements Strategy.
+func (RandomSearch) Search(obj Objective, opts Options) (*Result, error) {
+	r, err := newRun("random", obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	for r.remaining() >= 1-1e-9 {
+		n := int(math.Min(float64(opts.Parallelism), r.remaining()))
+		if n < 1 {
+			break
+		}
+		configs := make([]Config, n)
+		for i := range configs {
+			configs[i] = opts.Space.Sample(opts.RNG)
+		}
+		if got := r.evalBatch(configs, 1.0); len(got) == 0 {
+			break
+		}
+	}
+	return r.result, nil
+}
+
+// GridSearch evaluates an axis-aligned grid sized to the budget.
+type GridSearch struct{}
+
+// Name implements Strategy.
+func (GridSearch) Name() string { return "grid" }
+
+// Search implements Strategy.
+func (GridSearch) Search(obj Objective, opts Options) (*Result, error) {
+	r, err := newRun("grid", obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	k := opts.Space.GridSize(int(opts.TotalBudget))
+	grid := opts.Space.Grid(k)
+	for lo := 0; lo < len(grid); lo += opts.Parallelism {
+		hi := lo + opts.Parallelism
+		if hi > len(grid) {
+			hi = len(grid)
+		}
+		if got := r.evalBatch(grid[lo:hi], 1.0); len(got) == 0 {
+			break
+		}
+	}
+	return r.result, nil
+}
+
+// ---- Successive halving / Hyperband --------------------------------------
+
+// Hyperband runs brackets of successive halving with different
+// aggressiveness, adaptively allocating budget to promising configurations.
+type Hyperband struct {
+	// Eta is the halving factor (default 3).
+	Eta float64
+	// MinBudget is the smallest per-trial budget fraction (default 1/27).
+	MinBudget float64
+}
+
+// Name implements Strategy.
+func (Hyperband) Name() string { return "hyperband" }
+
+// Search implements Strategy.
+func (h Hyperband) Search(obj Objective, opts Options) (*Result, error) {
+	eta := h.Eta
+	if eta <= 1 {
+		eta = 3
+	}
+	minB := h.MinBudget
+	if minB <= 0 || minB >= 1 {
+		minB = 1.0 / 27
+	}
+	r, err := newRun("hyperband", obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	sMax := int(math.Floor(math.Log(1/minB) / math.Log(eta)))
+	for r.remaining() > 1e-9 {
+		for s := sMax; s >= 0 && r.remaining() > 1e-9; s-- {
+			// Bracket s: n initial configs at budget eta^-s.
+			n := int(math.Ceil(float64(sMax+1) / float64(s+1) * math.Pow(eta, float64(s))))
+			budget := math.Pow(eta, -float64(s))
+			configs := make([]Config, n)
+			for i := range configs {
+				configs[i] = opts.Space.Sample(opts.RNG)
+			}
+			for rung := 0; rung <= s; rung++ {
+				trials := r.evalBatchChunked(configs, budget)
+				if len(trials) == 0 {
+					return r.result, nil
+				}
+				sortTrialsByLoss(trials)
+				keep := int(math.Floor(float64(len(trials)) / eta))
+				if keep < 1 {
+					break
+				}
+				configs = configs[:keep]
+				for i := 0; i < keep; i++ {
+					configs[i] = trials[i].Config
+				}
+				budget = math.Min(1, budget*eta)
+			}
+		}
+	}
+	return r.result, nil
+}
+
+// evalBatchChunked evaluates in parallelism-sized chunks so huge rungs
+// still respect the worker pool and budget admission.
+func (r *run) evalBatchChunked(configs []Config, budget float64) []Trial {
+	var out []Trial
+	for lo := 0; lo < len(configs); lo += r.opts.Parallelism {
+		hi := lo + r.opts.Parallelism
+		if hi > len(configs) {
+			hi = len(configs)
+		}
+		got := r.evalBatch(configs[lo:hi], budget)
+		out = append(out, got...)
+		if len(got) < hi-lo {
+			break // budget exhausted
+		}
+	}
+	return out
+}
+
+// ---- Genetic algorithm ---------------------------------------------------
+
+// Genetic evolves a population with tournament selection, blend crossover
+// and Gaussian mutation in the encoded space.
+type Genetic struct {
+	// PopSize is the population size (default 16).
+	PopSize int
+	// MutateStd is the mutation std in encoded [0,1] space (default 0.1).
+	MutateStd float64
+	// CrossProb is the crossover probability (default 0.9).
+	CrossProb float64
+}
+
+// Name implements Strategy.
+func (Genetic) Name() string { return "genetic" }
+
+// Search implements Strategy.
+func (g Genetic) Search(obj Objective, opts Options) (*Result, error) {
+	pop := g.PopSize
+	if pop <= 1 {
+		pop = 16
+	}
+	mstd := g.MutateStd
+	if mstd <= 0 {
+		mstd = 0.1
+	}
+	cross := g.CrossProb
+	if cross <= 0 {
+		cross = 0.9
+	}
+	r, err := newRun("genetic", obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Initial population.
+	configs := make([]Config, pop)
+	for i := range configs {
+		configs[i] = opts.Space.Sample(opts.RNG)
+	}
+	parents := r.evalBatchChunked(configs, 1.0)
+	for r.remaining() >= 1-1e-9 && len(parents) >= 2 {
+		children := make([]Config, 0, pop)
+		for len(children) < pop {
+			a := tournament(parents, opts.RNG)
+			b := tournament(parents, opts.RNG)
+			va := opts.Space.Encode(a.Config)
+			vb := opts.Space.Encode(b.Config)
+			child := make([]float64, len(va))
+			for i := range child {
+				if opts.RNG.Bernoulli(cross) {
+					w := opts.RNG.Float64()
+					child[i] = w*va[i] + (1-w)*vb[i]
+				} else {
+					child[i] = va[i]
+				}
+				child[i] += opts.RNG.NormMeanStd(0, mstd)
+			}
+			children = append(children, opts.Space.Clamp(opts.Space.Decode(child)))
+		}
+		got := r.evalBatchChunked(children, 1.0)
+		if len(got) == 0 {
+			break
+		}
+		// (mu + lambda) survival: best of parents+children.
+		all := append(parents, got...)
+		sortTrialsByLoss(all)
+		if len(all) > pop {
+			all = all[:pop]
+		}
+		parents = all
+	}
+	return r.result, nil
+}
+
+func tournament(ts []Trial, r *rng.Stream) Trial {
+	a := ts[r.Intn(len(ts))]
+	b := ts[r.Intn(len(ts))]
+	if b.Loss < a.Loss {
+		return b
+	}
+	return a
+}
+
+// ---- TPE-style density search ---------------------------------------------
+
+// TPE implements a Tree-structured-Parzen-Estimator-style search: split
+// history into good/bad by loss quantile, model each with a kernel density
+// estimate in the encoded space, and propose the candidate maximising the
+// good/bad density ratio.
+type TPE struct {
+	// Gamma is the good-fraction quantile (default 0.25).
+	Gamma float64
+	// Candidates sampled from the good model per proposal (default 24).
+	Candidates int
+	// Startup random trials before the model engages (default 10).
+	Startup int
+}
+
+// Name implements Strategy.
+func (TPE) Name() string { return "tpe" }
+
+// Search implements Strategy.
+func (t TPE) Search(obj Objective, opts Options) (*Result, error) {
+	gamma := t.Gamma
+	if gamma <= 0 || gamma >= 1 {
+		gamma = 0.25
+	}
+	cands := t.Candidates
+	if cands <= 0 {
+		cands = 24
+	}
+	startup := t.Startup
+	if startup <= 0 {
+		startup = 10
+	}
+	r, err := newRun("tpe", obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	var hist []Trial
+	for r.remaining() >= 1-1e-9 {
+		n := int(math.Min(float64(opts.Parallelism), r.remaining()))
+		configs := make([]Config, 0, n)
+		for i := 0; i < n; i++ {
+			if len(hist) < startup {
+				configs = append(configs, opts.Space.Sample(opts.RNG))
+				continue
+			}
+			configs = append(configs, t.propose(opts.Space, hist, gamma, cands, opts.RNG))
+		}
+		got := r.evalBatch(configs, 1.0)
+		if len(got) == 0 {
+			break
+		}
+		hist = append(hist, got...)
+	}
+	return r.result, nil
+}
+
+func (t TPE) propose(s *Space, hist []Trial, gamma float64, cands int, r *rng.Stream) Config {
+	sorted := append([]Trial(nil), hist...)
+	sortTrialsByLoss(sorted)
+	nGood := int(math.Ceil(gamma * float64(len(sorted))))
+	if nGood < 2 {
+		nGood = 2
+	}
+	if nGood > len(sorted) {
+		nGood = len(sorted)
+	}
+	good := encodeAll(s, sorted[:nGood])
+	bad := encodeAll(s, sorted[nGood:])
+	bw := kdeBandwidth(len(good), len(s.Params))
+
+	bestScore := math.Inf(-1)
+	var best []float64
+	for c := 0; c < cands; c++ {
+		// Sample from the good KDE: pick a good point, jitter.
+		base := good[r.Intn(len(good))]
+		x := make([]float64, len(base))
+		for i := range x {
+			x[i] = clamp01(base[i] + r.NormMeanStd(0, bw))
+		}
+		score := math.Log(kdeDensity(good, x, bw)+1e-300) -
+			math.Log(kdeDensity(bad, x, bw)+1e-300)
+		if score > bestScore {
+			bestScore = score
+			best = x
+		}
+	}
+	return s.Clamp(s.Decode(best))
+}
+
+// ---- RBF surrogate ---------------------------------------------------------
+
+// Surrogate fits a radial-basis-function interpolant to history and proposes
+// the random candidate with the best predicted loss (exploitation) plus an
+// exploration bonus for distance from known points.
+type Surrogate struct {
+	// Candidates scored per proposal (default 64).
+	Candidates int
+	// Startup random trials before the model engages (default 8).
+	Startup int
+	// Explore weights the distance bonus (default 0.3).
+	Explore float64
+}
+
+// Name implements Strategy.
+func (Surrogate) Name() string { return "surrogate" }
+
+// Search implements Strategy.
+func (sg Surrogate) Search(obj Objective, opts Options) (*Result, error) {
+	cands := sg.Candidates
+	if cands <= 0 {
+		cands = 64
+	}
+	startup := sg.Startup
+	if startup <= 0 {
+		startup = 8
+	}
+	explore := sg.Explore
+	if explore <= 0 {
+		explore = 0.3
+	}
+	r, err := newRun("surrogate", obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	var hist []Trial
+	for r.remaining() >= 1-1e-9 {
+		n := int(math.Min(float64(opts.Parallelism), r.remaining()))
+		configs := make([]Config, 0, n)
+		for i := 0; i < n; i++ {
+			if len(hist) < startup {
+				configs = append(configs, opts.Space.Sample(opts.RNG))
+				continue
+			}
+			configs = append(configs, sg.propose(opts.Space, hist, cands, explore, opts.RNG))
+		}
+		got := r.evalBatch(configs, 1.0)
+		if len(got) == 0 {
+			break
+		}
+		hist = append(hist, got...)
+	}
+	return r.result, nil
+}
+
+func (sg Surrogate) propose(s *Space, hist []Trial, cands int, explore float64, r *rng.Stream) Config {
+	pts := encodeAll(s, hist)
+	losses := make([]float64, len(hist))
+	lmin, lmax := math.Inf(1), math.Inf(-1)
+	for i, t := range hist {
+		losses[i] = t.Loss
+		if t.Loss < lmin {
+			lmin = t.Loss
+		}
+		if t.Loss > lmax {
+			lmax = t.Loss
+		}
+	}
+	scale := lmax - lmin
+	if scale == 0 {
+		scale = 1
+	}
+	bw := kdeBandwidth(len(pts), len(s.Params)) * 2
+	bestScore := math.Inf(1)
+	var best []float64
+	for c := 0; c < cands; c++ {
+		x := make([]float64, len(s.Params))
+		for i := range x {
+			x[i] = r.Float64()
+		}
+		// Nadaraya-Watson prediction (RBF-weighted mean of losses).
+		var wsum, lsum, dmin float64
+		dmin = math.Inf(1)
+		for i, p := range pts {
+			d2 := sqDist(p, x)
+			w := math.Exp(-d2 / (2 * bw * bw))
+			wsum += w
+			lsum += w * losses[i]
+			if d := math.Sqrt(d2); d < dmin {
+				dmin = d
+			}
+		}
+		pred := lmax
+		if wsum > 1e-12 {
+			pred = lsum / wsum
+		}
+		score := (pred-lmin)/scale - explore*dmin
+		if score < bestScore {
+			bestScore = score
+			best = x
+		}
+	}
+	return s.Clamp(s.Decode(best))
+}
+
+// ---- Generative search -------------------------------------------------------
+
+// Generative fits a generative model (a Gaussian kernel density over the
+// elite fraction of history) and samples new configurations from it,
+// annealing the kernel bandwidth as evidence accumulates. This is the
+// stand-in for the paper's "new approaches that use generative neural
+// networks to manage the search space": the model *generates* candidate
+// configurations rather than scoring externally proposed ones.
+type Generative struct {
+	// Elite is the fraction of history treated as the target
+	// distribution (default 0.2).
+	Elite float64
+	// Startup random trials before the model engages (default 10).
+	Startup int
+	// ExploreProb mixes in uniform samples to retain coverage (default 0.15).
+	ExploreProb float64
+}
+
+// Name implements Strategy.
+func (Generative) Name() string { return "generative" }
+
+// Search implements Strategy.
+func (g Generative) Search(obj Objective, opts Options) (*Result, error) {
+	elite := g.Elite
+	if elite <= 0 || elite >= 1 {
+		elite = 0.2
+	}
+	startup := g.Startup
+	if startup <= 0 {
+		startup = 10
+	}
+	exploreProb := g.ExploreProb
+	if exploreProb <= 0 {
+		exploreProb = 0.15
+	}
+	r, err := newRun("generative", obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	var hist []Trial
+	for r.remaining() >= 1-1e-9 {
+		n := int(math.Min(float64(opts.Parallelism), r.remaining()))
+		configs := make([]Config, 0, n)
+		for i := 0; i < n; i++ {
+			if len(hist) < startup || opts.RNG.Bernoulli(exploreProb) {
+				configs = append(configs, opts.Space.Sample(opts.RNG))
+				continue
+			}
+			configs = append(configs, g.generate(opts.Space, hist, elite, opts.RNG))
+		}
+		got := r.evalBatch(configs, 1.0)
+		if len(got) == 0 {
+			break
+		}
+		hist = append(hist, got...)
+	}
+	return r.result, nil
+}
+
+func (g Generative) generate(s *Space, hist []Trial, elite float64, r *rng.Stream) Config {
+	sorted := append([]Trial(nil), hist...)
+	sortTrialsByLoss(sorted)
+	nElite := int(math.Ceil(elite * float64(len(sorted))))
+	if nElite < 2 {
+		nElite = 2
+	}
+	if nElite > len(sorted) {
+		nElite = len(sorted)
+	}
+	pts := encodeAll(s, sorted[:nElite])
+	// Bandwidth anneals as 1/sqrt(evidence): early samples explore widely,
+	// late samples concentrate on the learned mode.
+	bw := kdeBandwidth(len(hist), len(s.Params))
+	base := pts[r.Intn(len(pts))]
+	x := make([]float64, len(base))
+	for i := range x {
+		x[i] = clamp01(base[i] + r.NormMeanStd(0, bw))
+	}
+	return s.Clamp(s.Decode(x))
+}
+
+// ---- shared helpers ---------------------------------------------------------
+
+func encodeAll(s *Space, ts []Trial) [][]float64 {
+	out := make([][]float64, len(ts))
+	for i, t := range ts {
+		out[i] = s.Encode(t.Config)
+	}
+	return out
+}
+
+// kdeBandwidth is a Scott's-rule-flavoured bandwidth in the unit cube.
+func kdeBandwidth(n, dims int) float64 {
+	if n < 2 {
+		return 0.3
+	}
+	return math.Max(0.02, math.Pow(float64(n), -1.0/(4+float64(dims)))*0.5)
+}
+
+func kdeDensity(pts [][]float64, x []float64, bw float64) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range pts {
+		sum += math.Exp(-sqDist(p, x) / (2 * bw * bw))
+	}
+	return sum / float64(len(pts))
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// AllStrategies returns one instance of every built-in strategy with
+// default settings, naive baselines first.
+func AllStrategies() []Strategy {
+	return []Strategy{
+		RandomSearch{}, GridSearch{},
+		Hyperband{}, Genetic{}, TPE{}, Surrogate{}, Generative{},
+	}
+}
+
+// sortTrialsCopy returns trials sorted ascending by loss without modifying
+// the input.
+func sortTrialsCopy(ts []Trial) []Trial {
+	out := append([]Trial(nil), ts...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Loss < out[j].Loss })
+	return out
+}

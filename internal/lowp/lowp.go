@@ -1,0 +1,365 @@
+// Package lowp emulates the reduced-precision arithmetic the paper argues
+// future DNN-oriented HPC architectures should provide ("they rarely require
+// 64bit or even 32bits of precision").
+//
+// Since the host has no fp16/bf16/int8 tensor units, the package emulates
+// the NUMERICS in software — IEEE-754 binary16, bfloat16, and int8 affine
+// quantisation, with round-to-nearest-even and optional stochastic rounding —
+// while the machine model (internal/machine) supplies the SPEED ratios such
+// hardware would deliver. Training "in precision p" means every weight,
+// activation, and gradient tensor is rounded through p after each kernel,
+// which reproduces the accuracy cliffs and loss-scaling behaviour of real
+// mixed-precision training.
+package lowp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Precision identifies a storage/compute precision.
+type Precision int
+
+// Supported precisions, widest first.
+const (
+	FP64 Precision = iota
+	FP32
+	BF16
+	FP16
+	INT8
+)
+
+// String returns the conventional name of the precision.
+func (p Precision) String() string {
+	switch p {
+	case FP64:
+		return "fp64"
+	case FP32:
+		return "fp32"
+	case BF16:
+		return "bf16"
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// Bits returns the storage width of the precision in bits.
+func (p Precision) Bits() int {
+	switch p {
+	case FP64:
+		return 64
+	case FP32:
+		return 32
+	case BF16, FP16:
+		return 16
+	case INT8:
+		return 8
+	default:
+		panic("lowp: unknown precision")
+	}
+}
+
+// ParsePrecision converts a name ("fp64", "fp32", "bf16", "fp16", "int8")
+// into a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "fp64":
+		return FP64, nil
+	case "fp32":
+		return FP32, nil
+	case "bf16":
+		return BF16, nil
+	case "fp16":
+		return FP16, nil
+	case "int8":
+		return INT8, nil
+	}
+	return FP64, fmt.Errorf("lowp: unknown precision %q", s)
+}
+
+// AllPrecisions lists every supported precision, widest first.
+func AllPrecisions() []Precision { return []Precision{FP64, FP32, BF16, FP16, INT8} }
+
+// ToFloat16 converts a float64 to IEEE-754 binary16 bits with
+// round-to-nearest-even, handling subnormals, overflow to infinity, and NaN.
+func ToFloat16(v float64) uint16 {
+	f := float32(v)
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23)&0xff - 127
+	mant := b & 0x7fffff
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00 // Inf
+	case exp > 15: // overflow -> Inf
+		return sign | 0x7c00
+	case exp >= -14: // normal range
+		// 10-bit mantissa; round to nearest even on the 13 dropped bits.
+		he := uint16(exp+15) << 10
+		hm := uint16(mant >> 13)
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && hm&1 == 1) {
+			hm++
+			if hm == 0x400 { // mantissa carry into exponent
+				hm = 0
+				he += 1 << 10
+				if he >= 0x7c00 {
+					return sign | 0x7c00
+				}
+			}
+		}
+		return sign | he | hm
+	case exp >= -24: // subnormal half
+		// Implicit leading 1 becomes explicit; shift by the deficit.
+		mant |= 0x800000
+		shift := uint32(-exp - 14 + 13)
+		hm := uint16(mant >> shift)
+		rem := mant & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && hm&1 == 1) {
+			hm++
+		}
+		return sign | hm
+	default: // underflow to signed zero
+		return sign
+	}
+}
+
+// FromFloat16 converts IEEE-754 binary16 bits to float64.
+func FromFloat16(h uint16) float64 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	mant := uint32(h & 0x3ff)
+	var b uint32
+	switch {
+	case exp == 0x1f: // Inf/NaN
+		b = sign | 0x7f800000 | mant<<13
+	case exp == 0: // zero or subnormal
+		if mant == 0 {
+			b = sign
+		} else {
+			// Normalise the subnormal.
+			e := int32(-15)
+			for mant&0x400 == 0 {
+				mant <<= 1
+				e--
+			}
+			mant &= 0x3ff
+			b = sign | uint32(e+1+127)<<23 | mant<<13
+		}
+	default:
+		b = sign | (exp-15+127)<<23 | mant<<13
+	}
+	return float64(math.Float32frombits(b))
+}
+
+// ToBFloat16 converts a float64 to bfloat16 bits (round-to-nearest-even of
+// the upper 16 bits of the float32 representation).
+func ToBFloat16(v float64) uint16 {
+	b := math.Float32bits(float32(v))
+	if b&0x7f800000 == 0x7f800000 && b&0x7fffff != 0 {
+		return uint16(b>>16) | 0x0040 // keep NaN quiet
+	}
+	rem := b & 0xffff
+	out := b >> 16
+	if rem > 0x8000 || (rem == 0x8000 && out&1 == 1) {
+		out++
+	}
+	return uint16(out)
+}
+
+// FromBFloat16 converts bfloat16 bits to float64.
+func FromBFloat16(h uint16) float64 {
+	return float64(math.Float32frombits(uint32(h) << 16))
+}
+
+// Round returns v stored-and-reloaded through the given precision with
+// round-to-nearest-even. INT8 is not representable without a tensor-level
+// scale; use QuantizeInt8 for that (Round(INT8) panics).
+func Round(v float64, p Precision) float64 {
+	switch p {
+	case FP64:
+		return v
+	case FP32:
+		return float64(float32(v))
+	case BF16:
+		return FromBFloat16(ToBFloat16(v))
+	case FP16:
+		return FromFloat16(ToFloat16(v))
+	default:
+		panic("lowp: Round does not support " + p.String())
+	}
+}
+
+// RoundTensor rounds every element of t in place through precision p.
+// For INT8 the tensor is affine-quantised against its own absolute maximum
+// and dequantised (symmetric, per-tensor scale).
+func RoundTensor(t *tensor.Tensor, p Precision) {
+	switch p {
+	case FP64:
+		return
+	case INT8:
+		q := QuantizeInt8(t)
+		q.DequantizeInto(t)
+	default:
+		for i, v := range t.Data {
+			t.Data[i] = Round(v, p)
+		}
+	}
+}
+
+// StochasticRound returns v rounded to precision p, choosing between the two
+// nearest representable values with probability proportional to proximity.
+// Stochastic rounding keeps small gradient updates from being systematically
+// lost in low precision.
+func StochasticRound(v float64, p Precision, r *rng.Stream) float64 {
+	if p == FP64 {
+		return v
+	}
+	lo := Round(v, p)
+	if lo == v || math.IsInf(lo, 0) || math.IsNaN(lo) {
+		return lo
+	}
+	// Find the representable value on the other side of v.
+	var hi float64
+	ulp := ulpAt(lo, p)
+	if lo < v {
+		hi = Round(lo+ulp, p)
+	} else {
+		lo, hi = Round(lo-ulp, p), lo
+	}
+	if hi == lo {
+		return lo
+	}
+	frac := (v - lo) / (hi - lo)
+	if r.Float64() < frac {
+		return hi
+	}
+	return lo
+}
+
+// ulpAt returns the spacing between representable values near x for p.
+func ulpAt(x float64, p Precision) float64 {
+	ax := math.Abs(x)
+	if ax == 0 {
+		switch p {
+		case FP16:
+			return math.Pow(2, -24)
+		case BF16:
+			return math.Pow(2, -133)
+		default:
+			return math.SmallestNonzeroFloat32
+		}
+	}
+	exp := math.Floor(math.Log2(ax))
+	var mantBits float64
+	switch p {
+	case FP32:
+		mantBits = 23
+	case BF16:
+		mantBits = 7
+	case FP16:
+		mantBits = 10
+	default:
+		mantBits = 52
+	}
+	return math.Pow(2, exp-mantBits)
+}
+
+// QuantizedInt8 holds a symmetric per-tensor int8 quantisation of a tensor.
+type QuantizedInt8 struct {
+	Data  []int8
+	Scale float64 // real = Scale * int8
+	shape []int
+}
+
+// QuantizeInt8 quantises t with a symmetric per-tensor scale chosen so the
+// largest magnitude maps to ±127.
+func QuantizeInt8(t *tensor.Tensor) *QuantizedInt8 {
+	m := t.AbsMax()
+	scale := m / 127
+	if scale == 0 {
+		scale = 1
+	}
+	q := &QuantizedInt8{Data: make([]int8, t.Len()), Scale: scale,
+		shape: append([]int(nil), t.Shape()...)}
+	inv := 1 / scale
+	for i, v := range t.Data {
+		x := math.Round(v * inv)
+		if x > 127 {
+			x = 127
+		} else if x < -127 {
+			x = -127
+		}
+		q.Data[i] = int8(x)
+	}
+	return q
+}
+
+// DequantizeInto writes the dequantised values into dst, which must have the
+// same element count.
+func (q *QuantizedInt8) DequantizeInto(dst *tensor.Tensor) {
+	if dst.Len() != len(q.Data) {
+		panic("lowp: DequantizeInto size mismatch")
+	}
+	for i, v := range q.Data {
+		dst.Data[i] = float64(v) * q.Scale
+	}
+}
+
+// Dequantize returns a fresh tensor with the dequantised values.
+func (q *QuantizedInt8) Dequantize() *tensor.Tensor {
+	dst := tensor.New(q.shape...)
+	q.DequantizeInto(dst)
+	return dst
+}
+
+// LossScaler implements dynamic loss scaling for low-precision training:
+// gradients are computed on a scaled loss so small values survive the
+// format's underflow threshold, then unscaled before the optimizer step.
+// On overflow (inf/nan in gradients) the step is skipped and the scale
+// halved; after GrowthInterval clean steps the scale doubles.
+type LossScaler struct {
+	Scale          float64
+	GrowthInterval int
+	MaxScale       float64
+	clean          int
+}
+
+// NewLossScaler returns a scaler with the conventional defaults
+// (initial scale 2^15, growth every 200 clean steps).
+func NewLossScaler() *LossScaler {
+	return &LossScaler{Scale: 1 << 15, GrowthInterval: 200, MaxScale: 1 << 24}
+}
+
+// Update inspects the (already unscaled-by-caller or raw) gradient tensors
+// for non-finite values and adapts the scale. It returns true when the step
+// should be applied and false when it must be skipped.
+func (s *LossScaler) Update(grads []*tensor.Tensor) bool {
+	for _, g := range grads {
+		for _, v := range g.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				s.Scale = math.Max(1, s.Scale/2)
+				s.clean = 0
+				return false
+			}
+		}
+	}
+	s.clean++
+	if s.clean >= s.GrowthInterval {
+		s.clean = 0
+		s.Scale = math.Min(s.MaxScale, s.Scale*2)
+	}
+	return true
+}

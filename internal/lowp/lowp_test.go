@@ -1,0 +1,296 @@
+package lowp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		v    float64
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                 // largest finite half
+		{math.Inf(1), 0x7c00},           //
+		{math.Inf(-1), 0xfc00},          //
+		{6.103515625e-05, 0x0400},       // smallest normal half
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal half
+	}
+	for _, c := range cases {
+		if got := ToFloat16(c.v); got != c.bits {
+			t.Errorf("ToFloat16(%v) = %#04x want %#04x", c.v, got, c.bits)
+		}
+		if back := FromFloat16(c.bits); back != c.v {
+			t.Errorf("FromFloat16(%#04x) = %v want %v", c.bits, back, c.v)
+		}
+	}
+}
+
+func TestFloat16Overflow(t *testing.T) {
+	if got := ToFloat16(70000); got != 0x7c00 {
+		t.Fatalf("70000 should overflow to +Inf, got %#04x", got)
+	}
+	if got := ToFloat16(-70000); got != 0xfc00 {
+		t.Fatalf("-70000 should overflow to -Inf, got %#04x", got)
+	}
+}
+
+func TestFloat16Underflow(t *testing.T) {
+	if got := ToFloat16(1e-10); got != 0 {
+		t.Fatalf("1e-10 should underflow to +0, got %#04x", got)
+	}
+	if got := FromFloat16(ToFloat16(-1e-10)); got != 0 || math.Signbit(got) == false {
+		t.Fatalf("-1e-10 should underflow to -0, got %v", got)
+	}
+}
+
+func TestFloat16NaN(t *testing.T) {
+	if !math.IsNaN(FromFloat16(ToFloat16(math.NaN()))) {
+		t.Fatal("NaN did not survive fp16 round trip")
+	}
+}
+
+// Property: fp16 round trip is exact for all 65536 bit patterns
+// (bits -> float64 -> bits), modulo NaN payloads.
+func TestFloat16ExhaustiveRoundTrip(t *testing.T) {
+	for b := 0; b < 1<<16; b++ {
+		h := uint16(b)
+		v := FromFloat16(h)
+		if math.IsNaN(v) {
+			if !math.IsNaN(FromFloat16(ToFloat16(v))) {
+				t.Fatalf("NaN pattern %#04x lost", h)
+			}
+			continue
+		}
+		got := ToFloat16(v)
+		if got != h {
+			t.Fatalf("bits %#04x -> %v -> %#04x", h, v, got)
+		}
+	}
+}
+
+// Property: rounding error of fp16 is within half an ULP for normal range.
+func TestQuickFloat16Error(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		v := r.Uniform(-60000, 60000)
+		got := FromFloat16(ToFloat16(v))
+		// Relative error bounded by 2^-11 in the normal range.
+		if math.Abs(v) > 6.2e-5 {
+			return math.Abs(got-v) <= math.Abs(v)*math.Pow(2, -11)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want float64
+	}{
+		{1, 1},
+		{-2, -2},
+		{0.5, 0.5},
+		{3.140625, 3.140625}, // exactly representable (1.5703125 * 2)
+	}
+	for _, c := range cases {
+		if got := FromBFloat16(ToBFloat16(c.v)); got != c.want {
+			t.Errorf("bf16 round trip of %v = %v", c.v, got)
+		}
+	}
+	// bf16 has fp32's range: 1e38 must survive.
+	if got := FromBFloat16(ToBFloat16(1e38)); math.IsInf(got, 0) {
+		t.Fatal("1e38 overflowed in bf16")
+	}
+	// and fp16 does not.
+	if got := FromFloat16(ToFloat16(1e38)); !math.IsInf(got, 1) {
+		t.Fatalf("1e38 should be +Inf in fp16, got %v", got)
+	}
+}
+
+func TestBFloat16NaN(t *testing.T) {
+	if !math.IsNaN(FromBFloat16(ToBFloat16(math.NaN()))) {
+		t.Fatal("NaN did not survive bf16")
+	}
+}
+
+// Property: bf16 relative error is bounded by 2^-8 for finite normal input.
+func TestQuickBFloat16Error(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		v := r.NormMeanStd(0, 100)
+		got := FromBFloat16(ToBFloat16(v))
+		return math.Abs(got-v) <= math.Abs(v)*math.Pow(2, -8)+1e-40
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundIdempotent(t *testing.T) {
+	r := rng.New(5)
+	for _, p := range []Precision{FP32, BF16, FP16} {
+		for i := 0; i < 200; i++ {
+			v := r.NormMeanStd(0, 10)
+			once := Round(v, p)
+			twice := Round(once, p)
+			if once != twice {
+				t.Fatalf("%v rounding not idempotent: %v -> %v -> %v", p, v, once, twice)
+			}
+		}
+	}
+}
+
+func TestRoundTensorInt8(t *testing.T) {
+	x := tensor.FromSlice([]float64{-1, 0, 0.5, 1}, 4)
+	RoundTensor(x, INT8)
+	if x.Data[0] != -1 || x.Data[3] != 1 {
+		t.Fatalf("int8 extremes distorted: %v", x.Data)
+	}
+	if math.Abs(x.Data[2]-0.5) > 1.0/127 {
+		t.Fatalf("int8 midpoint error too large: %v", x.Data[2])
+	}
+}
+
+func TestQuantizeInt8AllZero(t *testing.T) {
+	x := tensor.New(5)
+	q := QuantizeInt8(x)
+	y := q.Dequantize()
+	for _, v := range y.Data {
+		if v != 0 {
+			t.Fatal("all-zero tensor distorted by quantisation")
+		}
+	}
+}
+
+// Property: int8 quantisation error bounded by scale/2 per element.
+func TestQuickInt8Error(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(100)
+		x := tensor.New(n)
+		x.FillRandNorm(r, 3)
+		q := QuantizeInt8(x)
+		y := q.Dequantize()
+		for i := range x.Data {
+			if math.Abs(x.Data[i]-y.Data[i]) > q.Scale/2+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stochastic rounding is unbiased — the mean of many roundings
+// approaches the true value.
+func TestStochasticRoundUnbiased(t *testing.T) {
+	r := rng.New(77)
+	v := 1.0 + 1.0/3.0 // not representable in fp16
+	const n = 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += StochasticRound(v, FP16, r)
+	}
+	mean := sum / n
+	if math.Abs(mean-v) > 2e-4 {
+		t.Fatalf("stochastic rounding biased: mean %v want %v", mean, v)
+	}
+	// Deterministic rounding, by contrast, has a fixed offset.
+	det := Round(v, FP16)
+	if det == v {
+		t.Fatal("test value unexpectedly representable")
+	}
+}
+
+func TestStochasticRoundRepresentable(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		got := StochasticRound(0.5, FP16, r)
+		if got != 0.5 {
+			t.Fatalf("representable value changed: %v", got)
+		}
+	}
+}
+
+func TestLossScalerOverflowHalves(t *testing.T) {
+	s := NewLossScaler()
+	start := s.Scale
+	bad := tensor.FromSlice([]float64{1, math.Inf(1)}, 2)
+	if s.Update([]*tensor.Tensor{bad}) {
+		t.Fatal("overflowing step not skipped")
+	}
+	if s.Scale != start/2 {
+		t.Fatalf("scale %v want %v", s.Scale, start/2)
+	}
+}
+
+func TestLossScalerGrowth(t *testing.T) {
+	s := NewLossScaler()
+	s.GrowthInterval = 3
+	start := s.Scale
+	good := tensor.FromSlice([]float64{1, 2}, 2)
+	for i := 0; i < 3; i++ {
+		if !s.Update([]*tensor.Tensor{good}) {
+			t.Fatal("clean step skipped")
+		}
+	}
+	if s.Scale != start*2 {
+		t.Fatalf("scale did not grow: %v", s.Scale)
+	}
+}
+
+func TestLossScalerNaN(t *testing.T) {
+	s := NewLossScaler()
+	bad := tensor.FromSlice([]float64{math.NaN()}, 1)
+	if s.Update([]*tensor.Tensor{bad}) {
+		t.Fatal("NaN step not skipped")
+	}
+}
+
+func TestPrecisionStringBitsParse(t *testing.T) {
+	for _, p := range AllPrecisions() {
+		got, err := ParsePrecision(p.String())
+		if err != nil || got != p {
+			t.Fatalf("parse round trip failed for %v", p)
+		}
+	}
+	if FP64.Bits() != 64 || FP16.Bits() != 16 || INT8.Bits() != 8 {
+		t.Fatal("Bits wrong")
+	}
+	if _, err := ParsePrecision("fp8"); err == nil {
+		t.Fatal("unknown precision did not error")
+	}
+}
+
+func BenchmarkToFloat16(b *testing.B) {
+	var sink uint16
+	for i := 0; i < b.N; i++ {
+		sink = ToFloat16(float64(i) * 0.001)
+	}
+	_ = sink
+}
+
+func BenchmarkRoundTensorFP16(b *testing.B) {
+	x := tensor.New(4096)
+	x.FillRandNorm(rng.New(1), 1)
+	b.SetBytes(4096 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RoundTensor(x, FP16)
+	}
+}

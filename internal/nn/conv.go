@@ -1,0 +1,256 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv1D is a 1-D convolution over (N, C*L) inputs interpreted as C channels
+// of length L, producing (N, F*Lout). It lowers each sample through im2col
+// and computes the convolution as a GEMM, which is how production frameworks
+// map convolutions onto the dense matrix units the paper highlights.
+type Conv1D struct {
+	Channels, InLen int
+	Filters, Kernel int
+	Stride, Pad     int
+	W, B            *tensor.Tensor // W (F, C*K), B (F)
+	dW, dB          *tensor.Tensor
+	x               *tensor.Tensor
+	outLen          int
+	cols            []*tensor.Tensor // per-sample im2col buffers (reused)
+}
+
+// NewConv1D creates a 1-D convolution layer with He initialisation.
+func NewConv1D(channels, inLen, filters, kernel, stride, pad int, r *rng.Stream) *Conv1D {
+	outLen := tensor.Conv1DOutLen(inLen, kernel, stride, pad)
+	if outLen <= 0 {
+		panic(fmt.Sprintf("nn: Conv1D output length %d", outLen))
+	}
+	c := &Conv1D{Channels: channels, InLen: inLen, Filters: filters,
+		Kernel: kernel, Stride: stride, Pad: pad,
+		W:      tensor.New(filters, channels*kernel),
+		B:      tensor.New(filters),
+		dW:     tensor.New(filters, channels*kernel),
+		dB:     tensor.New(filters),
+		outLen: outLen}
+	HeNormal(c.W, channels*kernel, r)
+	return c
+}
+
+// OutLen returns the spatial output length.
+func (c *Conv1D) OutLen() int { return c.outLen }
+
+// Name implements Layer.
+func (c *Conv1D) Name() string {
+	return fmt.Sprintf("Conv1D(%dx%d→%d,k=%d,s=%d)", c.Channels, c.InLen, c.Filters, c.Kernel, c.Stride)
+}
+
+// OutDim implements Layer.
+func (c *Conv1D) OutDim(inDim int) int {
+	if inDim != c.Channels*c.InLen {
+		panic(fmt.Sprintf("nn: %s given input dim %d", c.Name(), inDim))
+	}
+	return c.Filters * c.outLen
+}
+
+// Forward implements Layer.
+func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	c.x = x
+	y := tensor.New(n, c.Filters*c.outLen)
+	if len(c.cols) < n {
+		c.cols = make([]*tensor.Tensor, n)
+	}
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if c.cols[s] == nil {
+				c.cols[s] = tensor.New(c.Channels*c.Kernel, c.outLen)
+			}
+			col := c.cols[s]
+			tensor.Im2Col1D(col, x.Row(s), c.Channels, c.InLen, c.Kernel, c.Stride, c.Pad)
+			out := y.Row(s).Reshape(c.Filters, c.outLen)
+			matMulSerial(out, c.W, col)
+			for f := 0; f < c.Filters; f++ {
+				b := c.B.Data[f]
+				row := out.Data[f*c.outLen : (f+1)*c.outLen]
+				for i := range row {
+					row[i] += b
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Dim(0)
+	dx := tensor.New(n, c.Channels*c.InLen)
+	// Parallel over samples with per-worker gradient accumulators merged at
+	// the end, so no locks appear in the hot loop.
+	type acc struct {
+		dW *tensor.Tensor
+		dB *tensor.Tensor
+	}
+	accs := make([]*acc, n)
+	tensor.ParallelFor(n, func(lo, hi int) {
+		a := &acc{dW: tensor.New(c.Filters, c.Channels*c.Kernel), dB: tensor.New(c.Filters)}
+		accs[lo] = a
+		for s := lo; s < hi; s++ {
+			dy := dout.Row(s).Reshape(c.Filters, c.outLen)
+			col := c.cols[s]
+			// dW += dy · colᵀ
+			dW := tensor.New(c.Filters, c.Channels*c.Kernel)
+			tensor.MatMulTransB(dW, dy, col)
+			tensor.AddScaled(a.dW, dW, 1)
+			for f := 0; f < c.Filters; f++ {
+				s2 := 0.0
+				row := dy.Data[f*c.outLen : (f+1)*c.outLen]
+				for _, v := range row {
+					s2 += v
+				}
+				a.dB.Data[f] += s2
+			}
+			// dcol = Wᵀ · dy ; dx via col2im
+			dcol := tensor.New(c.Channels*c.Kernel, c.outLen)
+			tensor.MatMulTransA(dcol, c.W, dy)
+			tensor.Col2Im1D(dx.Row(s), dcol, c.Channels, c.InLen, c.Kernel, c.Stride, c.Pad)
+		}
+	})
+	for _, a := range accs {
+		if a == nil {
+			continue
+		}
+		tensor.AddScaled(c.dW, a.dW, 1)
+		tensor.AddScaled(c.dB, a.dB, 1)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv1D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv1D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
+
+// Clone implements Layer.
+func (c *Conv1D) Clone() Layer {
+	return &Conv1D{Channels: c.Channels, InLen: c.InLen, Filters: c.Filters,
+		Kernel: c.Kernel, Stride: c.Stride, Pad: c.Pad,
+		W: c.W.Clone(), B: c.B.Clone(),
+		dW: tensor.New(c.Filters, c.Channels*c.Kernel), dB: tensor.New(c.Filters),
+		outLen: c.outLen}
+}
+
+// MaxPool1D max-pools (N, C*L) inputs channelwise with the given window and
+// stride (window == stride when stride is 0).
+type MaxPool1D struct {
+	Channels, InLen int
+	Window, Stride  int
+	outLen          int
+	argmax          []int
+}
+
+// NewMaxPool1D creates a max-pool layer. stride 0 means stride = window.
+func NewMaxPool1D(channels, inLen, window, stride int) *MaxPool1D {
+	if stride == 0 {
+		stride = window
+	}
+	outLen := (inLen-window)/stride + 1
+	if outLen <= 0 {
+		panic("nn: MaxPool1D output length <= 0")
+	}
+	return &MaxPool1D{Channels: channels, InLen: inLen, Window: window,
+		Stride: stride, outLen: outLen}
+}
+
+// OutLen returns the pooled spatial length.
+func (p *MaxPool1D) OutLen() int { return p.outLen }
+
+// Name implements Layer.
+func (p *MaxPool1D) Name() string {
+	return fmt.Sprintf("MaxPool1D(w=%d,s=%d)", p.Window, p.Stride)
+}
+
+// OutDim implements Layer.
+func (p *MaxPool1D) OutDim(inDim int) int {
+	if inDim != p.Channels*p.InLen {
+		panic(fmt.Sprintf("nn: %s given input dim %d", p.Name(), inDim))
+	}
+	return p.Channels * p.outLen
+}
+
+// Forward implements Layer.
+func (p *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	y := tensor.New(n, p.Channels*p.outLen)
+	if cap(p.argmax) < y.Len() {
+		p.argmax = make([]int, y.Len())
+	}
+	p.argmax = p.argmax[:y.Len()]
+	for s := 0; s < n; s++ {
+		for c := 0; c < p.Channels; c++ {
+			in := x.Data[s*p.Channels*p.InLen+c*p.InLen:]
+			for o := 0; o < p.outLen; o++ {
+				start := o * p.Stride
+				best, bi := in[start], start
+				for k := 1; k < p.Window; k++ {
+					if in[start+k] > best {
+						best, bi = in[start+k], start+k
+					}
+				}
+				oi := s*p.Channels*p.outLen + c*p.outLen + o
+				y.Data[oi] = best
+				p.argmax[oi] = s*p.Channels*p.InLen + c*p.InLen + bi
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Dim(0)
+	dx := tensor.New(n, p.Channels*p.InLen)
+	for i, v := range dout.Data {
+		dx.Data[p.argmax[i]] += v
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool1D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool1D) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (p *MaxPool1D) Clone() Layer {
+	return NewMaxPool1D(p.Channels, p.InLen, p.Window, p.Stride)
+}
+
+// matMulSerial is an unparallelised GEMM used inside already-parallel
+// per-sample loops to avoid nested-parallel oversubscription.
+func matMulSerial(dst, a, b *tensor.Tensor) {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic("nn: matMulSerial shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a square-kernel 2-D convolution over (N, C*H*W) inputs,
+// producing (N, F*OH*OW), lowered to GEMM via im2col like Conv1D.
+// Histology-image tumor classification is the paper's canonical 2-D
+// workload shape.
+type Conv2D struct {
+	Channels, H, W  int
+	Filters, Kernel int
+	Stride, Pad     int
+	Wt, B           *tensor.Tensor // Wt (F, C*K*K), B (F)
+	dW, dB          *tensor.Tensor
+	oh, ow          int
+	cols            []*tensor.Tensor
+}
+
+// NewConv2D creates a 2-D convolution layer with He initialisation.
+func NewConv2D(channels, h, w, filters, kernel, stride, pad int, r *rng.Stream) *Conv2D {
+	oh, ow := tensor.Conv2DOutDims(h, w, kernel, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D output %dx%d", oh, ow))
+	}
+	c := &Conv2D{Channels: channels, H: h, W: w, Filters: filters,
+		Kernel: kernel, Stride: stride, Pad: pad,
+		Wt: tensor.New(filters, channels*kernel*kernel),
+		B:  tensor.New(filters),
+		dW: tensor.New(filters, channels*kernel*kernel),
+		dB: tensor.New(filters),
+		oh: oh, ow: ow}
+	HeNormal(c.Wt, channels*kernel*kernel, r)
+	return c
+}
+
+// OutDims returns the spatial output height and width.
+func (c *Conv2D) OutDims() (oh, ow int) { return c.oh, c.ow }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%dx%dx%d→%d,k=%d,s=%d)", c.Channels, c.H, c.W, c.Filters, c.Kernel, c.Stride)
+}
+
+// OutDim implements Layer.
+func (c *Conv2D) OutDim(inDim int) int {
+	if inDim != c.Channels*c.H*c.W {
+		panic(fmt.Sprintf("nn: %s given input dim %d", c.Name(), inDim))
+	}
+	return c.Filters * c.oh * c.ow
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	y := tensor.New(n, c.Filters*c.oh*c.ow)
+	if len(c.cols) < n {
+		c.cols = make([]*tensor.Tensor, n)
+	}
+	kk := c.Channels * c.Kernel * c.Kernel
+	out2 := c.oh * c.ow
+	tensor.ParallelFor(n, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			if c.cols[s] == nil {
+				c.cols[s] = tensor.New(kk, out2)
+			}
+			col := c.cols[s]
+			tensor.Im2Col2D(col, x.Row(s), c.Channels, c.H, c.W, c.Kernel, c.Stride, c.Pad)
+			out := y.Row(s).Reshape(c.Filters, out2)
+			matMulSerial(out, c.Wt, col)
+			for f := 0; f < c.Filters; f++ {
+				b := c.B.Data[f]
+				row := out.Data[f*out2 : (f+1)*out2]
+				for i := range row {
+					row[i] += b
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Dim(0)
+	dx := tensor.New(n, c.Channels*c.H*c.W)
+	kk := c.Channels * c.Kernel * c.Kernel
+	out2 := c.oh * c.ow
+	type acc struct{ dW, dB *tensor.Tensor }
+	accs := make([]*acc, n)
+	tensor.ParallelFor(n, func(lo, hi int) {
+		a := &acc{dW: tensor.New(c.Filters, kk), dB: tensor.New(c.Filters)}
+		accs[lo] = a
+		dW := tensor.New(c.Filters, kk)
+		dcol := tensor.New(kk, out2)
+		for s := lo; s < hi; s++ {
+			dy := dout.Row(s).Reshape(c.Filters, out2)
+			col := c.cols[s]
+			tensor.MatMulTransB(dW, dy, col)
+			tensor.AddScaled(a.dW, dW, 1)
+			for f := 0; f < c.Filters; f++ {
+				sum := 0.0
+				row := dy.Data[f*out2 : (f+1)*out2]
+				for _, v := range row {
+					sum += v
+				}
+				a.dB.Data[f] += sum
+			}
+			tensor.MatMulTransA(dcol, c.Wt, dy)
+			tensor.Col2Im2D(dx.Row(s), dcol, c.Channels, c.H, c.W, c.Kernel, c.Stride, c.Pad)
+		}
+	})
+	for _, a := range accs {
+		if a == nil {
+			continue
+		}
+		tensor.AddScaled(c.dW, a.dW, 1)
+		tensor.AddScaled(c.dB, a.dB, 1)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.Wt, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
+
+// Clone implements Layer.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{Channels: c.Channels, H: c.H, W: c.W, Filters: c.Filters,
+		Kernel: c.Kernel, Stride: c.Stride, Pad: c.Pad,
+		Wt: c.Wt.Clone(), B: c.B.Clone(),
+		dW: tensor.New(c.Filters, c.Channels*c.Kernel*c.Kernel),
+		dB: tensor.New(c.Filters),
+		oh: c.oh, ow: c.ow}
+}
+
+// MaxPool2D max-pools (N, C*H*W) inputs channelwise with a square window.
+type MaxPool2D struct {
+	Channels, H, W int
+	Window, Stride int
+	oh, ow         int
+	argmax         []int
+}
+
+// NewMaxPool2D creates a 2-D max-pool layer. stride 0 means stride = window.
+func NewMaxPool2D(channels, h, w, window, stride int) *MaxPool2D {
+	if stride == 0 {
+		stride = window
+	}
+	oh := (h-window)/stride + 1
+	ow := (w-window)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic("nn: MaxPool2D output empty")
+	}
+	return &MaxPool2D{Channels: channels, H: h, W: w, Window: window,
+		Stride: stride, oh: oh, ow: ow}
+}
+
+// OutDims returns the pooled spatial dimensions.
+func (p *MaxPool2D) OutDims() (oh, ow int) { return p.oh, p.ow }
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string {
+	return fmt.Sprintf("MaxPool2D(w=%d,s=%d)", p.Window, p.Stride)
+}
+
+// OutDim implements Layer.
+func (p *MaxPool2D) OutDim(inDim int) int {
+	if inDim != p.Channels*p.H*p.W {
+		panic(fmt.Sprintf("nn: %s given input dim %d", p.Name(), inDim))
+	}
+	return p.Channels * p.oh * p.ow
+}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	y := tensor.New(n, p.Channels*p.oh*p.ow)
+	if cap(p.argmax) < y.Len() {
+		p.argmax = make([]int, y.Len())
+	}
+	p.argmax = p.argmax[:y.Len()]
+	chanIn := p.H * p.W
+	chanOut := p.oh * p.ow
+	for s := 0; s < n; s++ {
+		for c := 0; c < p.Channels; c++ {
+			inOff := s*p.Channels*chanIn + c*chanIn
+			outOff := s*p.Channels*chanOut + c*chanOut
+			for oy := 0; oy < p.oh; oy++ {
+				for ox := 0; ox < p.ow; ox++ {
+					sy, sx := oy*p.Stride, ox*p.Stride
+					bestIdx := inOff + sy*p.W + sx
+					best := x.Data[bestIdx]
+					for ky := 0; ky < p.Window; ky++ {
+						for kx := 0; kx < p.Window; kx++ {
+							idx := inOff + (sy+ky)*p.W + (sx + kx)
+							if x.Data[idx] > best {
+								best, bestIdx = x.Data[idx], idx
+							}
+						}
+					}
+					oi := outOff + oy*p.ow + ox
+					y.Data[oi] = best
+					p.argmax[oi] = bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Dim(0)
+	dx := tensor.New(n, p.Channels*p.H*p.W)
+	for i, v := range dout.Data {
+		dx.Data[p.argmax[i]] += v
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Layer.
+func (p *MaxPool2D) Clone() Layer {
+	return NewMaxPool2D(p.Channels, p.H, p.W, p.Window, p.Stride)
+}

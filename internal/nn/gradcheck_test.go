@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// numGrad computes the finite-difference gradient of lossFn with respect to
+// every element of param.
+func numGrad(param *tensor.Tensor, lossFn func() float64) []float64 {
+	const h = 1e-6
+	out := make([]float64, param.Len())
+	for i := range param.Data {
+		orig := param.Data[i]
+		param.Data[i] = orig + h
+		lp := lossFn()
+		param.Data[i] = orig - h
+		lm := lossFn()
+		param.Data[i] = orig
+		out[i] = (lp - lm) / (2 * h)
+	}
+	return out
+}
+
+// checkLayerGrads runs a full forward/backward through net with the given
+// loss and compares analytic parameter and input gradients against finite
+// differences.
+func checkLayerGrads(t *testing.T, net *Net, loss Loss, x, y *tensor.Tensor, tol float64) {
+	t.Helper()
+	lossFn := func() float64 {
+		out := net.Forward(x, true)
+		return loss.Loss(out, y)
+	}
+
+	// Analytic gradients. The forward inside lossFn perturbs dropout-free
+	// deterministic layers identically, so run once more to set caches.
+	net.ZeroGrads()
+	out := net.Forward(x, true)
+	dout := tensor.New(out.Shape()...)
+	loss.Grad(dout, out, y)
+	dx := net.Backward(dout)
+
+	for pi, p := range net.Params() {
+		analytic := net.Grads()[pi]
+		numeric := numGrad(p, lossFn)
+		// Re-establish caches consumed by numGrad's forwards.
+		net.ZeroGrads()
+		out = net.Forward(x, true)
+		loss.Grad(dout, out, y)
+		net.Backward(dout)
+		for i := range numeric {
+			diff := math.Abs(analytic.Data[i] - numeric[i])
+			scale := math.Max(1, math.Abs(numeric[i]))
+			if diff > tol*scale {
+				t.Fatalf("param %d elem %d: analytic %v numeric %v",
+					pi, i, analytic.Data[i], numeric[i])
+			}
+		}
+	}
+
+	// Input gradient check.
+	numeric := numGrad(x, lossFn)
+	for i := range numeric {
+		diff := math.Abs(dx.Data[i] - numeric[i])
+		scale := math.Max(1, math.Abs(numeric[i]))
+		if diff > tol*scale {
+			t.Fatalf("input elem %d: analytic %v numeric %v", i, dx.Data[i], numeric[i])
+		}
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	r := rng.New(1)
+	net := NewNet(NewDense(5, 4, r), NewActivation(Tanh), NewDense(4, 3, r))
+	x := tensor.New(6, 5)
+	x.FillRandNorm(r, 1)
+	y := tensor.New(6, 3)
+	y.FillRandNorm(r, 1)
+	checkLayerGrads(t, net, MSELoss{}, x, y, 1e-5)
+}
+
+func TestSoftmaxCEGradCheck(t *testing.T) {
+	r := rng.New(2)
+	net := NewNet(NewDense(4, 8, r), NewActivation(ReLU), NewDense(8, 3, r))
+	x := tensor.New(5, 4)
+	x.FillRandNorm(r, 1)
+	labels := []int{0, 2, 1, 0, 2}
+	y := OneHot(labels, 3)
+	checkLayerGrads(t, net, SoftmaxCELoss{}, x, y, 1e-5)
+}
+
+func TestActivationGradChecks(t *testing.T) {
+	for _, kind := range []ActKind{ReLU, LeakyReLU, Sigmoid, Tanh, GELU} {
+		t.Run(kind.String(), func(t *testing.T) {
+			r := rng.New(uint64(kind) + 10)
+			net := NewNet(NewDense(3, 4, r), NewActivation(kind), NewDense(4, 2, r))
+			x := tensor.New(4, 3)
+			// Keep activations away from ReLU kinks for finite differences.
+			x.FillRandNorm(r, 1)
+			for i := range x.Data {
+				if math.Abs(x.Data[i]) < 0.05 {
+					x.Data[i] += 0.1
+				}
+			}
+			y := tensor.New(4, 2)
+			y.FillRandNorm(r, 1)
+			checkLayerGrads(t, net, MSELoss{}, x, y, 1e-4)
+		})
+	}
+}
+
+func TestConv1DGradCheck(t *testing.T) {
+	r := rng.New(3)
+	conv := NewConv1D(2, 10, 3, 3, 1, 1, r)
+	net := NewNet(conv, NewActivation(Tanh),
+		NewDense(3*conv.OutLen(), 2, r))
+	x := tensor.New(3, 2*10)
+	x.FillRandNorm(r, 1)
+	y := tensor.New(3, 2)
+	y.FillRandNorm(r, 1)
+	checkLayerGrads(t, net, MSELoss{}, x, y, 1e-4)
+}
+
+func TestConv1DStridedGradCheck(t *testing.T) {
+	r := rng.New(4)
+	conv := NewConv1D(1, 12, 2, 4, 2, 0, r)
+	net := NewNet(conv, NewDense(2*conv.OutLen(), 1, r))
+	x := tensor.New(2, 12)
+	x.FillRandNorm(r, 1)
+	y := tensor.New(2, 1)
+	y.FillRandNorm(r, 1)
+	checkLayerGrads(t, net, MSELoss{}, x, y, 1e-4)
+}
+
+func TestMaxPoolGradCheck(t *testing.T) {
+	r := rng.New(5)
+	pool := NewMaxPool1D(2, 8, 2, 0)
+	net := NewNet(pool, NewDense(2*pool.OutLen(), 2, r))
+	x := tensor.New(3, 16)
+	x.FillRandNorm(r, 1)
+	// Separate elements so the argmax does not flip under h-perturbation.
+	for i := range x.Data {
+		x.Data[i] = math.Round(x.Data[i]*100) / 10
+	}
+	y := tensor.New(3, 2)
+	y.FillRandNorm(r, 1)
+	checkLayerGrads(t, net, MSELoss{}, x, y, 1e-4)
+}
+
+func TestBatchNormGradCheck(t *testing.T) {
+	r := rng.New(6)
+	net := NewNet(NewDense(4, 5, r), NewBatchNorm(5), NewActivation(Tanh), NewDense(5, 2, r))
+	x := tensor.New(8, 4)
+	x.FillRandNorm(r, 1)
+	y := tensor.New(8, 2)
+	y.FillRandNorm(r, 1)
+	checkLayerGrads(t, net, MSELoss{}, x, y, 1e-4)
+}
+
+func TestBCEGradCheck(t *testing.T) {
+	r := rng.New(7)
+	net := NewNet(NewDense(3, 4, r), NewActivation(Tanh), NewDense(4, 1, r))
+	x := tensor.New(6, 3)
+	x.FillRandNorm(r, 1)
+	y := tensor.New(6, 1)
+	for i := range y.Data {
+		if r.Bernoulli(0.5) {
+			y.Data[i] = 1
+		}
+	}
+	checkLayerGrads(t, net, BCELoss{}, x, y, 1e-5)
+}
+
+func TestMAEGradCheck(t *testing.T) {
+	r := rng.New(8)
+	net := NewNet(NewDense(3, 2, r))
+	x := tensor.New(4, 3)
+	x.FillRandNorm(r, 1)
+	y := tensor.New(4, 2)
+	// Keep pred != target so MAE is differentiable at the evaluation point.
+	y.Fill(100)
+	checkLayerGrads(t, net, MAELoss{}, x, y, 1e-5)
+}

@@ -1,0 +1,26 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// HeNormal fills w with N(0, sqrt(2/fanIn)) variates — the standard
+// initialisation for ReLU-family networks.
+func HeNormal(w *tensor.Tensor, fanIn int, r *rng.Stream) {
+	w.FillRandNorm(r, math.Sqrt(2/float64(fanIn)))
+}
+
+// GlorotUniform fills w with Uniform(±sqrt(6/(fanIn+fanOut))) variates —
+// the standard initialisation for tanh/sigmoid networks.
+func GlorotUniform(w *tensor.Tensor, fanIn, fanOut int, r *rng.Stream) {
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	w.FillRandUniform(r, -limit, limit)
+}
+
+// LeCunNormal fills w with N(0, sqrt(1/fanIn)) variates.
+func LeCunNormal(w *tensor.Tensor, fanIn int, r *rng.Stream) {
+	w.FillRandNorm(r, math.Sqrt(1/float64(fanIn)))
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LayerNorm normalises each sample over its features, then applies a
+// learned affine transform. Unlike BatchNorm it is independent of batch
+// composition, which matters for the tiny per-rank batches strong scaling
+// forces (E3) and for pipeline micro-batches (no cross-micro-batch
+// statistics to synchronise).
+type LayerNorm struct {
+	Dim int
+	Eps float64
+
+	Gamma, Beta   *tensor.Tensor
+	dGamma, dBeta *tensor.Tensor
+
+	xhat *tensor.Tensor
+	std  []float64
+}
+
+// NewLayerNorm creates a layer-norm over dim features.
+func NewLayerNorm(dim int) *LayerNorm {
+	ln := &LayerNorm{Dim: dim, Eps: 1e-5,
+		Gamma: tensor.New(dim), Beta: tensor.New(dim),
+		dGamma: tensor.New(dim), dBeta: tensor.New(dim)}
+	ln.Gamma.Fill(1)
+	return ln
+}
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return fmt.Sprintf("LayerNorm(%d)", l.Dim) }
+
+// OutDim implements Layer.
+func (l *LayerNorm) OutDim(inDim int) int {
+	if inDim != l.Dim {
+		panic(fmt.Sprintf("nn: %s given input dim %d", l.Name(), inDim))
+	}
+	return l.Dim
+}
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	d := l.Dim
+	y := tensor.New(n, d)
+	l.xhat = tensor.New(n, d)
+	l.std = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Data[i*d : (i+1)*d]
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(d)
+		variance := 0.0
+		for _, v := range row {
+			dv := v - mean
+			variance += dv * dv
+		}
+		variance /= float64(d)
+		std := math.Sqrt(variance + l.Eps)
+		l.std[i] = std
+		for j, v := range row {
+			xh := (v - mean) / std
+			l.xhat.Data[i*d+j] = xh
+			y.Data[i*d+j] = l.Gamma.Data[j]*xh + l.Beta.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n := dout.Dim(0)
+	d := l.Dim
+	fd := float64(d)
+	dx := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		var sumD, sumDX float64
+		for j := 0; j < d; j++ {
+			g := dout.Data[i*d+j]
+			dxh := g * l.Gamma.Data[j]
+			sumD += dxh
+			sumDX += dxh * l.xhat.Data[i*d+j]
+			l.dGamma.Data[j] += g * l.xhat.Data[i*d+j]
+			l.dBeta.Data[j] += g
+		}
+		for j := 0; j < d; j++ {
+			dxh := dout.Data[i*d+j] * l.Gamma.Data[j]
+			dx.Data[i*d+j] = (fd*dxh - sumD - l.xhat.Data[i*d+j]*sumDX) /
+				(fd * l.std[i])
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{l.Gamma, l.Beta} }
+
+// Grads implements Layer.
+func (l *LayerNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.dGamma, l.dBeta} }
+
+// Clone implements Layer.
+func (l *LayerNorm) Clone() Layer {
+	return &LayerNorm{Dim: l.Dim, Eps: l.Eps,
+		Gamma: l.Gamma.Clone(), Beta: l.Beta.Clone(),
+		dGamma: tensor.New(l.Dim), dBeta: tensor.New(l.Dim)}
+}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Loss scores a batch of predictions against targets and provides the
+// gradient of the mean loss with respect to the predictions.
+type Loss interface {
+	// Name identifies the loss for logging.
+	Name() string
+	// Loss returns the mean loss over the batch.
+	Loss(pred, target *tensor.Tensor) float64
+	// Grad writes dL/dpred (already averaged over the batch) into dst.
+	Grad(dst, pred, target *tensor.Tensor)
+}
+
+// MSELoss is mean squared error, averaged over every element.
+type MSELoss struct{}
+
+// Name implements Loss.
+func (MSELoss) Name() string { return "mse" }
+
+// Loss implements Loss.
+func (MSELoss) Loss(pred, target *tensor.Tensor) float64 {
+	if pred.Len() != target.Len() {
+		panic("nn: MSE size mismatch")
+	}
+	s := 0.0
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		s += d * d
+	}
+	return s / float64(pred.Len())
+}
+
+// Grad implements Loss.
+func (MSELoss) Grad(dst, pred, target *tensor.Tensor) {
+	inv := 2 / float64(pred.Len())
+	for i := range pred.Data {
+		dst.Data[i] = inv * (pred.Data[i] - target.Data[i])
+	}
+}
+
+// MAELoss is mean absolute error, averaged over every element.
+type MAELoss struct{}
+
+// Name implements Loss.
+func (MAELoss) Name() string { return "mae" }
+
+// Loss implements Loss.
+func (MAELoss) Loss(pred, target *tensor.Tensor) float64 {
+	if pred.Len() != target.Len() {
+		panic("nn: MAE size mismatch")
+	}
+	s := 0.0
+	for i := range pred.Data {
+		s += math.Abs(pred.Data[i] - target.Data[i])
+	}
+	return s / float64(pred.Len())
+}
+
+// Grad implements Loss.
+func (MAELoss) Grad(dst, pred, target *tensor.Tensor) {
+	inv := 1 / float64(pred.Len())
+	for i := range pred.Data {
+		switch {
+		case pred.Data[i] > target.Data[i]:
+			dst.Data[i] = inv
+		case pred.Data[i] < target.Data[i]:
+			dst.Data[i] = -inv
+		default:
+			dst.Data[i] = 0
+		}
+	}
+}
+
+// SoftmaxCELoss is softmax cross-entropy over logits (N x C) against one-hot
+// targets (N x C). The softmax and cross-entropy are fused so the gradient
+// is the numerically benign (softmax - target)/N.
+type SoftmaxCELoss struct{}
+
+// Name implements Loss.
+func (SoftmaxCELoss) Name() string { return "softmax_ce" }
+
+// Loss implements Loss.
+func (SoftmaxCELoss) Loss(pred, target *tensor.Tensor) float64 {
+	n, c := pred.Dim(0), pred.Dim(1)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		row := pred.Data[i*c : (i+1)*c]
+		trow := target.Data[i*c : (i+1)*c]
+		mx := row[0]
+		for _, v := range row[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		lse := 0.0
+		for _, v := range row {
+			lse += math.Exp(v - mx)
+		}
+		lse = math.Log(lse) + mx
+		for j, t := range trow {
+			if t != 0 {
+				total += t * (lse - row[j])
+			}
+		}
+	}
+	return total / float64(n)
+}
+
+// Grad implements Loss.
+func (SoftmaxCELoss) Grad(dst, pred, target *tensor.Tensor) {
+	n := pred.Dim(0)
+	tensor.SoftmaxRows(dst, pred)
+	inv := 1 / float64(n)
+	for i := range dst.Data {
+		dst.Data[i] = (dst.Data[i] - target.Data[i]) * inv
+	}
+}
+
+// BCELoss is binary cross-entropy over a single logit per sample
+// (pred N x 1 logits, target N x 1 in {0,1}), computed in the
+// numerically-stable log-sum-exp form.
+type BCELoss struct{}
+
+// Name implements Loss.
+func (BCELoss) Name() string { return "bce" }
+
+// Loss implements Loss.
+func (BCELoss) Loss(pred, target *tensor.Tensor) float64 {
+	if pred.Len() != target.Len() {
+		panic("nn: BCE size mismatch")
+	}
+	s := 0.0
+	for i := range pred.Data {
+		z, y := pred.Data[i], target.Data[i]
+		// max(z,0) - z*y + log(1+exp(-|z|))
+		s += math.Max(z, 0) - z*y + math.Log1p(math.Exp(-math.Abs(z)))
+	}
+	return s / float64(pred.Len())
+}
+
+// Grad implements Loss.
+func (BCELoss) Grad(dst, pred, target *tensor.Tensor) {
+	inv := 1 / float64(pred.Len())
+	for i := range pred.Data {
+		sig := 1 / (1 + math.Exp(-pred.Data[i]))
+		dst.Data[i] = (sig - target.Data[i]) * inv
+	}
+}
+
+// OneHot encodes integer labels into an (N x classes) one-hot tensor.
+func OneHot(labels []int, classes int) *tensor.Tensor {
+	t := tensor.New(len(labels), classes)
+	for i, l := range labels {
+		if l < 0 || l >= classes {
+			panic("nn: OneHot label out of range")
+		}
+		t.Set(1, i, l)
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Net is an ordered sequence of layers trained end to end.
+type Net struct {
+	Layers []Layer
+}
+
+// NewNet builds a network from the given layers.
+func NewNet(layers ...Layer) *Net { return &Net{Layers: layers} }
+
+// MLP constructs a standard multilayer perceptron: Dense+activation per
+// hidden width, then a final Dense to outDim (no output activation — pair
+// with SoftmaxCELoss or a regression loss).
+func MLP(inDim int, hidden []int, outDim int, act ActKind, r *rng.Stream) *Net {
+	var layers []Layer
+	prev := inDim
+	for i, h := range hidden {
+		layers = append(layers, NewDense(prev, h, r.Split(fmt.Sprintf("dense%d", i))))
+		layers = append(layers, NewActivation(act))
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, outDim, r.Split("dense_out")))
+	return NewNet(layers...)
+}
+
+// Forward runs the network on batch x.
+func (n *Net) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates dout through the network in reverse, accumulating
+// parameter gradients, and returns dL/dinput.
+func (n *Net) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dout = n.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns every trainable parameter tensor in layer order.
+func (n *Net) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns every gradient tensor, parallel to Params.
+func (n *Net) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range n.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Net) ZeroGrads() {
+	for _, g := range n.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total trainable parameter count.
+func (n *Net) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Len()
+	}
+	return total
+}
+
+// Clone returns an independent replica with copied parameter values and
+// fresh gradient buffers.
+func (n *Net) Clone() *Net {
+	layers := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		layers[i] = l.Clone()
+	}
+	return &Net{Layers: layers}
+}
+
+// String summarises the architecture.
+func (n *Net) String() string {
+	var sb strings.Builder
+	for i, l := range n.Layers {
+		if i > 0 {
+			sb.WriteString(" → ")
+		}
+		sb.WriteString(l.Name())
+	}
+	fmt.Fprintf(&sb, " [%d params]", n.NumParams())
+	return sb.String()
+}
+
+// MarshalWeights serialises the parameter values (not the architecture).
+func (n *Net) MarshalWeights() ([]byte, error) {
+	var flat [][]float64
+	for _, p := range n.Params() {
+		flat = append(flat, p.Data)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(flat); err != nil {
+		return nil, fmt.Errorf("nn: marshal weights: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalWeights loads parameter values previously produced by
+// MarshalWeights into a structurally identical network.
+func (n *Net) UnmarshalWeights(b []byte) error {
+	var flat [][]float64
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&flat); err != nil {
+		return fmt.Errorf("nn: unmarshal weights: %w", err)
+	}
+	ps := n.Params()
+	if len(flat) != len(ps) {
+		return fmt.Errorf("nn: weight blob has %d tensors, net has %d", len(flat), len(ps))
+	}
+	for i, p := range ps {
+		if len(flat[i]) != p.Len() {
+			return fmt.Errorf("nn: tensor %d has %d elements, net expects %d",
+				i, len(flat[i]), p.Len())
+		}
+		copy(p.Data, flat[i])
+	}
+	return nil
+}
+
+// PredictClasses runs inference and returns the arg-max class per sample.
+func (n *Net) PredictClasses(x *tensor.Tensor) []int {
+	out := n.Forward(x, false)
+	return tensor.ArgMaxRows(out)
+}

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BatchNorm normalises each feature over the batch dimension, then applies
+// a learned affine transform (gamma, beta). During training it uses batch
+// statistics and maintains exponential running averages; at inference it
+// uses the running statistics.
+type BatchNorm struct {
+	Dim      int
+	Momentum float64
+	Eps      float64
+
+	Gamma, Beta     *tensor.Tensor
+	dGamma, dBeta   *tensor.Tensor
+	RunMean, RunVar *tensor.Tensor
+
+	// forward caches
+	xhat *tensor.Tensor
+	std  []float64
+}
+
+// NewBatchNorm creates a batch-norm layer over dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	bn := &BatchNorm{Dim: dim, Momentum: 0.9, Eps: 1e-5,
+		Gamma: tensor.New(dim), Beta: tensor.New(dim),
+		dGamma: tensor.New(dim), dBeta: tensor.New(dim),
+		RunMean: tensor.New(dim), RunVar: tensor.New(dim)}
+	bn.Gamma.Fill(1)
+	bn.RunVar.Fill(1)
+	return bn
+}
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return fmt.Sprintf("BatchNorm(%d)", b.Dim) }
+
+// OutDim implements Layer.
+func (b *BatchNorm) OutDim(inDim int) int {
+	if inDim != b.Dim {
+		panic(fmt.Sprintf("nn: %s given input dim %d", b.Name(), inDim))
+	}
+	return b.Dim
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Dim(0)
+	d := b.Dim
+	y := tensor.New(n, d)
+	if train && n > 1 {
+		mean := make([]float64, d)
+		for i := 0; i < n; i++ {
+			row := x.Data[i*d : (i+1)*d]
+			for j := 0; j < d; j++ {
+				mean[j] += row[j]
+			}
+		}
+		for j := range mean {
+			mean[j] /= float64(n)
+		}
+		variance := make([]float64, d)
+		for i := 0; i < n; i++ {
+			row := x.Data[i*d : (i+1)*d]
+			for j := 0; j < d; j++ {
+				dv := row[j] - mean[j]
+				variance[j] += dv * dv
+			}
+		}
+		for j := range variance {
+			variance[j] /= float64(n)
+		}
+		b.std = make([]float64, d)
+		for j := range b.std {
+			b.std[j] = math.Sqrt(variance[j] + b.Eps)
+		}
+		b.xhat = tensor.New(n, d)
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				c := x.Data[i*d+j] - mean[j]
+				xh := c / b.std[j]
+				b.xhat.Data[i*d+j] = xh
+				y.Data[i*d+j] = b.Gamma.Data[j]*xh + b.Beta.Data[j]
+			}
+		}
+		m := b.Momentum
+		for j := 0; j < d; j++ {
+			b.RunMean.Data[j] = m*b.RunMean.Data[j] + (1-m)*mean[j]
+			b.RunVar.Data[j] = m*b.RunVar.Data[j] + (1-m)*variance[j]
+		}
+		return y
+	}
+	// Inference (or degenerate batch): use running statistics.
+	b.xhat = nil
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			xh := (x.Data[i*d+j] - b.RunMean.Data[j]) /
+				math.Sqrt(b.RunVar.Data[j]+b.Eps)
+			y.Data[i*d+j] = b.Gamma.Data[j]*xh + b.Beta.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer. It must follow a training-mode Forward.
+func (b *BatchNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if b.xhat == nil {
+		panic("nn: BatchNorm.Backward without training Forward")
+	}
+	n := dout.Dim(0)
+	d := b.Dim
+	fn := float64(n)
+	dx := tensor.New(n, d)
+	// Standard batch-norm backward:
+	// dxhat = dout * gamma
+	// dx = (1/(n*std)) * (n*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+	sumD := make([]float64, d)
+	sumDX := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			dxh := dout.Data[i*d+j] * b.Gamma.Data[j]
+			sumD[j] += dxh
+			sumDX[j] += dxh * b.xhat.Data[i*d+j]
+			b.dGamma.Data[j] += dout.Data[i*d+j] * b.xhat.Data[i*d+j]
+			b.dBeta.Data[j] += dout.Data[i*d+j]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			dxh := dout.Data[i*d+j] * b.Gamma.Data[j]
+			dx.Data[i*d+j] = (fn*dxh - sumD[j] - b.xhat.Data[i*d+j]*sumDX[j]) /
+				(fn * b.std[j])
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{b.Gamma, b.Beta} }
+
+// Grads implements Layer.
+func (b *BatchNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{b.dGamma, b.dBeta} }
+
+// Clone implements Layer.
+func (b *BatchNorm) Clone() Layer {
+	return &BatchNorm{Dim: b.Dim, Momentum: b.Momentum, Eps: b.Eps,
+		Gamma: b.Gamma.Clone(), Beta: b.Beta.Clone(),
+		dGamma: tensor.New(b.Dim), dBeta: tensor.New(b.Dim),
+		RunMean: b.RunMean.Clone(), RunVar: b.RunVar.Clone()}
+}

@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer applies one update step given parameter and gradient tensor
+// lists (parallel slices). Implementations keep per-parameter state keyed by
+// position, so the same optimizer must always be called with the same
+// parameter list.
+type Optimizer interface {
+	// Name identifies the optimizer for logging.
+	Name() string
+	// Step updates params in place from grads.
+	Step(params, grads []*tensor.Tensor)
+	// Reset clears internal state (moments, step counters).
+	Reset()
+}
+
+// SGD is plain stochastic gradient descent with optional momentum /
+// Nesterov momentum and decoupled weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	Nesterov    bool
+	WeightDecay float64
+	vel         []*tensor.Tensor
+}
+
+// NewSGD returns plain SGD with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// NewMomentum returns SGD with classical momentum.
+func NewMomentum(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Name implements Optimizer.
+func (s *SGD) Name() string {
+	if s.Momentum == 0 {
+		return "sgd"
+	}
+	if s.Nesterov {
+		return "nesterov"
+	}
+	return "momentum"
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic("nn: SGD param/grad length mismatch")
+	}
+	if s.Momentum == 0 {
+		for i, p := range params {
+			g := grads[i]
+			for j := range p.Data {
+				d := g.Data[j] + s.WeightDecay*p.Data[j]
+				p.Data[j] -= s.LR * d
+			}
+		}
+		return
+	}
+	if s.vel == nil {
+		s.vel = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.vel[i] = tensor.New(p.Shape()...)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		v := s.vel[i]
+		for j := range p.Data {
+			d := g.Data[j] + s.WeightDecay*p.Data[j]
+			v.Data[j] = s.Momentum*v.Data[j] - s.LR*d
+			if s.Nesterov {
+				p.Data[j] += s.Momentum*v.Data[j] - s.LR*d
+			} else {
+				p.Data[j] += v.Data[j]
+			}
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (s *SGD) Reset() { s.vel = nil }
+
+// Adam implements Adam and (with Decoupled=true) AdamW.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+	Decoupled             bool // AdamW-style decay applied directly to weights
+	m, v                  []*tensor.Tensor
+	t                     int
+}
+
+// NewAdam returns Adam with conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// NewAdamW returns AdamW with decoupled weight decay.
+func NewAdamW(lr, decay float64) *Adam {
+	a := NewAdam(lr)
+	a.WeightDecay = decay
+	a.Decoupled = true
+	return a
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string {
+	if a.Decoupled {
+		return "adamw"
+	}
+	return "adam"
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic("nn: Adam param/grad length mismatch")
+	}
+	if a.m == nil {
+		a.m = make([]*tensor.Tensor, len(params))
+		a.v = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.New(p.Shape()...)
+			a.v[i] = tensor.New(p.Shape()...)
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			if a.WeightDecay != 0 && !a.Decoupled {
+				gj += a.WeightDecay * p.Data[j]
+			}
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*gj
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*gj*gj
+			mh := m.Data[j] / bc1
+			vh := v.Data[j] / bc2
+			upd := a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			if a.Decoupled && a.WeightDecay != 0 {
+				upd += a.LR * a.WeightDecay * p.Data[j]
+			}
+			p.Data[j] -= upd
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
+
+// RMSProp implements the RMSProp optimizer.
+type RMSProp struct {
+	LR, Decay, Eps float64
+	sq             []*tensor.Tensor
+}
+
+// NewRMSProp returns RMSProp with conventional defaults.
+func NewRMSProp(lr float64) *RMSProp {
+	return &RMSProp{LR: lr, Decay: 0.9, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (r *RMSProp) Name() string { return "rmsprop" }
+
+// Step implements Optimizer.
+func (r *RMSProp) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic("nn: RMSProp param/grad length mismatch")
+	}
+	if r.sq == nil {
+		r.sq = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			r.sq[i] = tensor.New(p.Shape()...)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		sq := r.sq[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			sq.Data[j] = r.Decay*sq.Data[j] + (1-r.Decay)*gj*gj
+			p.Data[j] -= r.LR * gj / (math.Sqrt(sq.Data[j]) + r.Eps)
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (r *RMSProp) Reset() { r.sq = nil }

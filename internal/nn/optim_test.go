@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Property: a plain SGD step is exactly p' = p - lr*g.
+func TestQuickSGDStepExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(20)
+		lr := r.Uniform(1e-4, 1)
+		p := tensor.New(n)
+		p.FillRandNorm(r, 1)
+		g := tensor.New(n)
+		g.FillRandNorm(r, 1)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = p.Data[i] - lr*g.Data[i]
+		}
+		NewSGD(lr).Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+		for i := range want {
+			if math.Abs(p.Data[i]-want[i]) > 1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: each Adam parameter update is bounded by ~lr (the bias-corrected
+// update magnitude bound |Δ| <= lr * (1-β1)⁻¹-ish; conservatively 3*lr).
+func TestQuickAdamStepBounded(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(20)
+		lr := r.Uniform(1e-4, 0.1)
+		opt := NewAdam(lr)
+		p := tensor.New(n)
+		p.FillRandNorm(r, 1)
+		g := tensor.New(n)
+		for step := 0; step < 10; step++ {
+			before := append([]float64(nil), p.Data...)
+			g.FillRandNorm(r, r.Uniform(0.001, 100)) // wildly varying scale
+			opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+			for i := range p.Data {
+				if math.Abs(p.Data[i]-before[i]) > 3*lr {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: zero gradients leave SGD/RMSProp parameters unchanged, and a
+// momentum-free optimizer is stateless across Reset.
+func TestQuickZeroGradNoChange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(10)
+		p := tensor.New(n)
+		p.FillRandNorm(r, 1)
+		orig := append([]float64(nil), p.Data...)
+		g := tensor.New(n) // zeros
+		for _, opt := range []Optimizer{NewSGD(0.1), NewRMSProp(0.1)} {
+			opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+			for i := range orig {
+				if p.Data[i] != orig[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMomentumAcceleratesOnConstantGradient(t *testing.T) {
+	// With a constant gradient, momentum's effective step grows toward
+	// lr/(1-mu); plain SGD's stays at lr.
+	p1 := tensor.FromSlice([]float64{0}, 1)
+	p2 := tensor.FromSlice([]float64{0}, 1)
+	g := tensor.FromSlice([]float64{1}, 1)
+	sgd := NewSGD(0.1)
+	mom := NewMomentum(0.1, 0.9)
+	for i := 0; i < 30; i++ {
+		sgd.Step([]*tensor.Tensor{p1}, []*tensor.Tensor{g})
+		mom.Step([]*tensor.Tensor{p2}, []*tensor.Tensor{g})
+	}
+	if !(p2.Data[0] < p1.Data[0]) { // both negative; momentum further
+		t.Fatalf("momentum (%v) did not outpace SGD (%v)", p2.Data[0], p1.Data[0])
+	}
+	if p2.Data[0] > -2*3 { // bounded by lr/(1-mu)*steps = 1*30
+		// just sanity: finite
+	}
+	if math.IsNaN(p2.Data[0]) {
+		t.Fatal("momentum diverged")
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	// With zero gradient, decoupled weight decay must shrink weights
+	// geometrically.
+	p := tensor.FromSlice([]float64{1}, 1)
+	g := tensor.New(1)
+	opt := NewAdamW(0.1, 0.5)
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	want := 1 - 0.1*0.5
+	if math.Abs(p.Data[0]-want) > 1e-12 {
+		t.Fatalf("AdamW decay: got %v want %v", p.Data[0], want)
+	}
+}
+
+func TestOptimizerReset(t *testing.T) {
+	// After Reset, the first step must match a fresh optimizer's first step.
+	g := tensor.FromSlice([]float64{1, -2}, 2)
+	step := func(opt Optimizer) []float64 {
+		p := tensor.FromSlice([]float64{0, 0}, 2)
+		opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+		return append([]float64(nil), p.Data...)
+	}
+	for _, mk := range []func() Optimizer{
+		func() Optimizer { return NewMomentum(0.1, 0.9) },
+		func() Optimizer { return NewAdam(0.01) },
+		func() Optimizer { return NewRMSProp(0.01) },
+	} {
+		used := mk()
+		fresh := step(mk())
+		// Burn some state, then reset.
+		burn := tensor.FromSlice([]float64{0, 0}, 2)
+		for i := 0; i < 5; i++ {
+			used.Step([]*tensor.Tensor{burn}, []*tensor.Tensor{g})
+		}
+		used.Reset()
+		after := step(used)
+		for i := range fresh {
+			if math.Abs(fresh[i]-after[i]) > 1e-15 {
+				t.Fatalf("%s: reset state differs: %v vs %v", used.Name(), after, fresh)
+			}
+		}
+	}
+}
+
+func TestOptimizerLengthMismatchPanics(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.1), NewAdam(0.01), NewRMSProp(0.01)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted mismatched params/grads", opt.Name())
+				}
+			}()
+			opt.Step([]*tensor.Tensor{tensor.New(2)}, nil)
+		}()
+	}
+}

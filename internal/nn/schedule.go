@@ -1,0 +1,150 @@
+package nn
+
+import "math"
+
+// LRSchedule maps an epoch index to a learning-rate multiplier (1 = base
+// rate). Schedules compose with any optimizer exposing a settable LR via
+// SetLR.
+type LRSchedule interface {
+	// Name identifies the schedule for logging.
+	Name() string
+	// Factor returns the LR multiplier at the given epoch of totalEpochs.
+	Factor(epoch, totalEpochs int) float64
+}
+
+// ConstantLR keeps the base rate.
+type ConstantLR struct{}
+
+// Name implements LRSchedule.
+func (ConstantLR) Name() string { return "constant" }
+
+// Factor implements LRSchedule.
+func (ConstantLR) Factor(epoch, totalEpochs int) float64 { return 1 }
+
+// StepDecay multiplies the rate by Gamma every StepEpochs epochs.
+type StepDecay struct {
+	StepEpochs int
+	Gamma      float64
+}
+
+// Name implements LRSchedule.
+func (StepDecay) Name() string { return "step" }
+
+// Factor implements LRSchedule.
+func (s StepDecay) Factor(epoch, totalEpochs int) float64 {
+	step := s.StepEpochs
+	if step <= 0 {
+		step = 10
+	}
+	g := s.Gamma
+	if g <= 0 || g >= 1 {
+		g = 0.1
+	}
+	return math.Pow(g, float64(epoch/step))
+}
+
+// CosineDecay anneals the rate from 1 to MinFactor over the run.
+type CosineDecay struct {
+	MinFactor float64
+}
+
+// Name implements LRSchedule.
+func (CosineDecay) Name() string { return "cosine" }
+
+// Factor implements LRSchedule.
+func (c CosineDecay) Factor(epoch, totalEpochs int) float64 {
+	if totalEpochs <= 1 {
+		return 1
+	}
+	frac := float64(epoch) / float64(totalEpochs-1)
+	return c.MinFactor + (1-c.MinFactor)*0.5*(1+math.Cos(math.Pi*frac))
+}
+
+// WarmupCosine ramps linearly for WarmupEpochs then cosine-anneals —
+// the standard recipe for the very large batches data parallelism forces
+// (goyal-style warmup compensates for the sharp early gradient scale).
+type WarmupCosine struct {
+	WarmupEpochs int
+	MinFactor    float64
+}
+
+// Name implements LRSchedule.
+func (WarmupCosine) Name() string { return "warmup-cosine" }
+
+// Factor implements LRSchedule.
+func (w WarmupCosine) Factor(epoch, totalEpochs int) float64 {
+	if w.WarmupEpochs > 0 && epoch < w.WarmupEpochs {
+		return float64(epoch+1) / float64(w.WarmupEpochs)
+	}
+	rest := totalEpochs - w.WarmupEpochs
+	if rest <= 1 {
+		return 1
+	}
+	frac := float64(epoch-w.WarmupEpochs) / float64(rest-1)
+	return w.MinFactor + (1-w.MinFactor)*0.5*(1+math.Cos(math.Pi*frac))
+}
+
+// SetLR adjusts an optimizer's learning rate if its concrete type supports
+// it, returning whether it did.
+func SetLR(opt Optimizer, lr float64) bool {
+	switch o := opt.(type) {
+	case *SGD:
+		o.LR = lr
+	case *Adam:
+		o.LR = lr
+	case *RMSProp:
+		o.LR = lr
+	default:
+		return false
+	}
+	return true
+}
+
+// BaseLR reads an optimizer's current learning rate (NaN if unsupported).
+func BaseLR(opt Optimizer) float64 {
+	switch o := opt.(type) {
+	case *SGD:
+		return o.LR
+	case *Adam:
+		return o.LR
+	case *RMSProp:
+		return o.LR
+	}
+	return math.NaN()
+}
+
+// EarlyStopper tracks validation loss and signals when to stop: after
+// Patience consecutive epochs without an improvement of at least MinDelta.
+// The zero value uses Patience 5 and MinDelta 0.
+type EarlyStopper struct {
+	Patience int
+	MinDelta float64
+	best     float64
+	bad      int
+	started  bool
+}
+
+// Observe records one validation loss and returns true when training should
+// stop.
+func (e *EarlyStopper) Observe(loss float64) bool {
+	patience := e.Patience
+	if patience <= 0 {
+		patience = 5
+	}
+	if !e.started || loss < e.best-e.MinDelta {
+		e.best = loss
+		e.bad = 0
+		e.started = true
+		return false
+	}
+	e.bad++
+	return e.bad >= patience
+}
+
+// Best returns the best loss seen (+Inf before any observation).
+func (e *EarlyStopper) Best() float64 {
+	if !e.started {
+		return math.Inf(1)
+	}
+	return e.best
+}

@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestStepDecayFactors(t *testing.T) {
+	s := StepDecay{StepEpochs: 5, Gamma: 0.5}
+	if s.Factor(0, 20) != 1 || s.Factor(4, 20) != 1 {
+		t.Fatal("pre-step factor wrong")
+	}
+	if s.Factor(5, 20) != 0.5 || s.Factor(10, 20) != 0.25 {
+		t.Fatal("decayed factor wrong")
+	}
+}
+
+func TestCosineDecayEndpoints(t *testing.T) {
+	c := CosineDecay{MinFactor: 0.1}
+	if f := c.Factor(0, 10); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("start factor %v", f)
+	}
+	if f := c.Factor(9, 10); math.Abs(f-0.1) > 1e-12 {
+		t.Fatalf("end factor %v", f)
+	}
+	// Monotone decreasing.
+	prev := 2.0
+	for e := 0; e < 10; e++ {
+		f := c.Factor(e, 10)
+		if f > prev {
+			t.Fatal("cosine not monotone")
+		}
+		prev = f
+	}
+}
+
+func TestWarmupCosine(t *testing.T) {
+	w := WarmupCosine{WarmupEpochs: 4, MinFactor: 0}
+	if f := w.Factor(0, 20); math.Abs(f-0.25) > 1e-12 {
+		t.Fatalf("warmup start %v", f)
+	}
+	if f := w.Factor(3, 20); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("warmup end %v", f)
+	}
+	if f := w.Factor(19, 20); f > 1e-9 {
+		t.Fatalf("final factor %v", f)
+	}
+}
+
+func TestSetAndBaseLR(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.1), NewAdam(0.01), NewRMSProp(0.005)} {
+		base := BaseLR(opt)
+		if math.IsNaN(base) {
+			t.Fatalf("%s has no readable LR", opt.Name())
+		}
+		if !SetLR(opt, base*0.5) {
+			t.Fatalf("%s LR not settable", opt.Name())
+		}
+		if BaseLR(opt) != base*0.5 {
+			t.Fatalf("%s LR not updated", opt.Name())
+		}
+	}
+}
+
+func TestScheduledTrainingChangesLR(t *testing.T) {
+	r := rng.New(71)
+	x := tensor.New(40, 4)
+	x.FillRandNorm(r, 1)
+	y := tensor.New(40, 1)
+	y.FillRandNorm(r, 1)
+	net := MLP(4, []int{8}, 1, Tanh, r.Split("i"))
+	opt := NewAdam(0.01)
+	var lastLR float64
+	_, err := Train(net, x, y, TrainConfig{
+		Loss: MSELoss{}, Optimizer: opt, BatchSize: 20, Epochs: 10,
+		Schedule: CosineDecay{MinFactor: 0.01},
+		OnEpoch: func(epoch int, loss float64) bool {
+			lastLR = BaseLR(opt)
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastLR >= 0.01*0.5 {
+		t.Fatalf("final LR %v not annealed", lastLR)
+	}
+}
+
+func TestEarlyStopper(t *testing.T) {
+	e := EarlyStopper{Patience: 3}
+	losses := []float64{1.0, 0.8, 0.7, 0.71, 0.72, 0.73}
+	stops := make([]bool, len(losses))
+	for i, l := range losses {
+		stops[i] = e.Observe(l)
+	}
+	for i := 0; i < 5; i++ {
+		if stops[i] {
+			t.Fatalf("stopped too early at %d", i)
+		}
+	}
+	if !stops[5] {
+		t.Fatal("did not stop after patience exhausted")
+	}
+	if e.Best() != 0.7 {
+		t.Fatalf("best %v", e.Best())
+	}
+}
+
+func TestEarlyStopperMinDelta(t *testing.T) {
+	e := EarlyStopper{Patience: 2, MinDelta: 0.1}
+	// Improvements smaller than MinDelta do not reset patience.
+	if e.Observe(1.0) {
+		t.Fatal("stopped on first observation")
+	}
+	if e.Observe(0.95) {
+		t.Fatal("stopped after one bad epoch")
+	}
+	if !e.Observe(0.93) {
+		t.Fatal("tiny improvements should exhaust patience")
+	}
+}
+
+func TestEarlyStopperZeroValue(t *testing.T) {
+	var e EarlyStopper
+	if !math.IsInf(e.Best(), 1) {
+		t.Fatal("zero-value Best not +Inf")
+	}
+	for i := 0; i < 4; i++ {
+		if e.Observe(1.0 - float64(i)*0.1) {
+			t.Fatal("stopped while improving")
+		}
+	}
+}
+
+func TestLayerNormGradCheck(t *testing.T) {
+	r := rng.New(81)
+	net := NewNet(NewDense(4, 6, r), NewLayerNorm(6), NewActivation(Tanh), NewDense(6, 2, r))
+	x := tensor.New(5, 4)
+	x.FillRandNorm(r, 1)
+	y := tensor.New(5, 2)
+	y.FillRandNorm(r, 1)
+	checkLayerGrads(t, net, MSELoss{}, x, y, 1e-4)
+}
+
+func TestLayerNormNormalisesPerSample(t *testing.T) {
+	ln := NewLayerNorm(8)
+	r := rng.New(82)
+	x := tensor.New(3, 8)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 8; j++ {
+			x.Set(r.NormMeanStd(float64(i*5), float64(i+1)), i, j)
+		}
+	}
+	y := ln.Forward(x, true)
+	for i := 0; i < 3; i++ {
+		mean, sq := 0.0, 0.0
+		for j := 0; j < 8; j++ {
+			mean += y.At(i, j)
+		}
+		mean /= 8
+		for j := 0; j < 8; j++ {
+			d := y.At(i, j) - mean
+			sq += d * d
+		}
+		std := math.Sqrt(sq / 8)
+		if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-3 {
+			t.Fatalf("sample %d mean=%v std=%v", i, mean, std)
+		}
+	}
+}
+
+func TestLayerNormBatchIndependence(t *testing.T) {
+	// A sample's output must not depend on what else is in the batch —
+	// the property that makes LayerNorm safe for tiny per-rank batches.
+	ln := NewLayerNorm(4)
+	r := rng.New(83)
+	a := tensor.New(1, 4)
+	a.FillRandNorm(r, 1)
+	solo := ln.Forward(a, true).Clone()
+
+	batch := tensor.New(3, 4)
+	copy(batch.Row(0).Data, a.Data)
+	batch.Row(1).FillRandNorm(r, 5)
+	batch.Row(2).FillRandNorm(r, 9)
+	joint := ln.Forward(batch, true)
+	for j := 0; j < 4; j++ {
+		if math.Abs(solo.At(0, j)-joint.At(0, j)) > 1e-12 {
+			t.Fatal("LayerNorm output depends on batch composition")
+		}
+	}
+}

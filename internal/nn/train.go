@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lowp"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TrainConfig controls the single-process training loop.
+type TrainConfig struct {
+	Loss      Loss
+	Optimizer Optimizer
+	BatchSize int
+	Epochs    int
+	// Precision selects the emulated storage precision for weights,
+	// gradients, and activations at the loss boundary. FP64 (the zero
+	// value) disables emulation.
+	Precision lowp.Precision
+	// LossScale enables dynamic loss scaling (meaningful for FP16).
+	LossScale bool
+	// ClipNorm, when > 0, clips the global gradient norm per step.
+	ClipNorm float64
+	// Shuffle reshuffles the sample order each epoch using RNG.
+	Shuffle bool
+	// RNG supplies shuffling randomness; required when Shuffle is set.
+	RNG *rng.Stream
+	// Schedule, if non-nil, scales the optimizer's learning rate per epoch
+	// (requires an optimizer with a settable rate: SGD, Adam, RMSProp).
+	Schedule LRSchedule
+	// OnEpoch, if non-nil, is called after each epoch with the epoch
+	// index and mean training loss; returning false stops early.
+	OnEpoch func(epoch int, loss float64) bool
+}
+
+// TrainResult summarises a training run.
+type TrainResult struct {
+	EpochLoss    []float64 // mean training loss per epoch
+	Steps        int       // optimizer steps applied
+	SkippedSteps int       // steps skipped by the loss scaler
+	FinalLoss    float64
+}
+
+// Train runs mini-batch gradient descent on (x, y) and returns per-epoch
+// statistics. x and y are rank-2 with matching sample counts.
+func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error) {
+	n := x.Dim(0)
+	if y.Dim(0) != n {
+		return nil, fmt.Errorf("nn: %d inputs but %d targets", n, y.Dim(0))
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.Loss == nil || cfg.Optimizer == nil {
+		return nil, fmt.Errorf("nn: TrainConfig requires Loss and Optimizer")
+	}
+	if cfg.Shuffle && cfg.RNG == nil {
+		return nil, fmt.Errorf("nn: Shuffle requires RNG")
+	}
+
+	var scaler *lowp.LossScaler
+	if cfg.LossScale {
+		scaler = lowp.NewLossScaler()
+	}
+	res := &TrainResult{}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	xb := tensor.New(cfg.BatchSize, x.Len()/n)
+	yb := tensor.New(cfg.BatchSize, y.Len()/n)
+
+	baseLR := BaseLR(cfg.Optimizer)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Schedule != nil && !math.IsNaN(baseLR) {
+			SetLR(cfg.Optimizer, baseLR*cfg.Schedule.Factor(epoch, cfg.Epochs))
+		}
+		if cfg.Shuffle {
+			cfg.RNG.ShuffleInts(order)
+		}
+		epochLoss := 0.0
+		batches := 0
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			bx, by := gatherBatch(xb, yb, x, y, order[start:end])
+			loss := TrainStep(net, bx, by, cfg, scaler, res)
+			epochLoss += loss
+			batches++
+		}
+		epochLoss /= float64(batches)
+		res.EpochLoss = append(res.EpochLoss, epochLoss)
+		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, epochLoss) {
+			break
+		}
+	}
+	if len(res.EpochLoss) > 0 {
+		res.FinalLoss = res.EpochLoss[len(res.EpochLoss)-1]
+	}
+	return res, nil
+}
+
+// gatherBatch copies the selected rows of x and y into the batch buffers,
+// returning views sized to the actual batch.
+func gatherBatch(xb, yb, x, y *tensor.Tensor, idx []int) (*tensor.Tensor, *tensor.Tensor) {
+	bx := xb.SliceRows(0, len(idx))
+	by := yb.SliceRows(0, len(idx))
+	for i, s := range idx {
+		copy(bx.Row(i).Data, x.Row(s).Data)
+		copy(by.Row(i).Data, y.Row(s).Data)
+	}
+	return bx, by
+}
+
+// TrainStep performs one forward/backward/update cycle on a batch and
+// returns the (unscaled) batch loss. scaler and res may be nil.
+func TrainStep(net *Net, bx, by *tensor.Tensor, cfg TrainConfig, scaler *lowp.LossScaler, res *TrainResult) float64 {
+	net.ZeroGrads()
+	out := net.Forward(bx, true)
+	if cfg.Precision != lowp.FP64 {
+		lowp.RoundTensor(out, cfg.Precision)
+	}
+	loss := cfg.Loss.Loss(out, by)
+	dout := tensor.New(out.Shape()...)
+	cfg.Loss.Grad(dout, out, by)
+	if scaler != nil {
+		tensor.Scale(dout, dout, scaler.Scale)
+	}
+	if cfg.Precision != lowp.FP64 {
+		lowp.RoundTensor(dout, cfg.Precision)
+	}
+	net.Backward(dout)
+
+	grads := net.Grads()
+	if cfg.Precision != lowp.FP64 {
+		for _, g := range grads {
+			lowp.RoundTensor(g, cfg.Precision)
+		}
+	}
+	if scaler != nil {
+		// Unscale, then decide whether to apply.
+		inv := 1 / scaler.Scale
+		for _, g := range grads {
+			tensor.Scale(g, g, inv)
+		}
+		if !scaler.Update(grads) {
+			if res != nil {
+				res.SkippedSteps++
+			}
+			return loss
+		}
+	} else if hasNonFinite(grads) {
+		// Without a scaler a poisoned step is dropped to keep training alive;
+		// this mirrors frameworks' skip-on-overflow behaviour.
+		if res != nil {
+			res.SkippedSteps++
+		}
+		return loss
+	}
+	if cfg.ClipNorm > 0 {
+		clipGlobalNorm(grads, cfg.ClipNorm)
+	}
+	cfg.Optimizer.Step(net.Params(), grads)
+	if cfg.Precision != lowp.FP64 {
+		for _, p := range net.Params() {
+			lowp.RoundTensor(p, cfg.Precision)
+		}
+	}
+	if res != nil {
+		res.Steps++
+	}
+	return loss
+}
+
+func hasNonFinite(grads []*tensor.Tensor) bool {
+	for _, g := range grads {
+		for _, v := range g.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// clipGlobalNorm rescales all gradients together so their joint Euclidean
+// norm does not exceed maxNorm.
+func clipGlobalNorm(grads []*tensor.Tensor, maxNorm float64) {
+	total := 0.0
+	for _, g := range grads {
+		for _, v := range g.Data {
+			total += v * v
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	s := maxNorm / norm
+	for _, g := range grads {
+		tensor.Scale(g, g, s)
+	}
+}
+
+// EvaluateClassifier returns accuracy of net on (x, labels).
+func EvaluateClassifier(net *Net, x *tensor.Tensor, labels []int) float64 {
+	pred := net.PredictClasses(x)
+	hit := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			hit++
+		}
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	return float64(hit) / float64(len(pred))
+}
+
+// EvaluateRegression returns the MSE of net's predictions against y.
+func EvaluateRegression(net *Net, x, y *tensor.Tensor) float64 {
+	out := net.Forward(x, false)
+	return MSELoss{}.Loss(out, y)
+}

@@ -1,0 +1,145 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// AsyncConfig configures asynchronous parameter-server training (downpour-
+// style): workers pull the latest weights, compute a gradient on their own
+// batch, and push it without waiting for each other. Asynchrony removes the
+// allreduce barrier that caps strong scaling (E3) at the cost of gradient
+// staleness — the 2017-era trade-off synchronous allreduce ultimately won.
+type AsyncConfig struct {
+	Workers      int
+	Loss         nn.Loss
+	NewOptimizer func() nn.Optimizer // applied at the server
+	// BatchPerWorker is each worker's batch size per update.
+	BatchPerWorker int
+	// StepsPerWorker is how many updates each worker pushes.
+	StepsPerWorker int
+	RNG            *rng.Stream
+}
+
+// AsyncResult reports an asynchronous run.
+type AsyncResult struct {
+	Updates int
+	// MeanStaleness is the average number of server updates that occurred
+	// between a worker's pull and its corresponding push.
+	MeanStaleness float64
+	MaxStaleness  int
+	FinalLoss     float64
+}
+
+// TrainAsync trains net with a sharded-lock parameter server and
+// asynchronous workers. net is updated in place with the server's final
+// weights.
+func TrainAsync(net *nn.Net, x, y *tensor.Tensor, cfg AsyncConfig) (*AsyncResult, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("parallel: need >=1 worker")
+	}
+	if cfg.Loss == nil || cfg.NewOptimizer == nil {
+		return nil, fmt.Errorf("parallel: Loss and NewOptimizer required")
+	}
+	if cfg.BatchPerWorker < 1 || cfg.StepsPerWorker < 1 {
+		return nil, fmt.Errorf("parallel: batch and steps must be positive")
+	}
+	if cfg.RNG == nil {
+		return nil, fmt.Errorf("parallel: RNG required")
+	}
+	n := x.Dim(0)
+	if y.Dim(0) != n {
+		return nil, fmt.Errorf("parallel: %d inputs vs %d targets", n, y.Dim(0))
+	}
+
+	// The server owns the canonical parameters (net itself) behind a lock.
+	var mu sync.Mutex
+	version := 0
+	opt := cfg.NewOptimizer()
+	serverParams := net.Params()
+
+	// Pre-split per-worker RNG streams and replicas.
+	type workerState struct {
+		replica *nn.Net
+		stream  *rng.Stream
+	}
+	workers := make([]workerState, cfg.Workers)
+	for i := range workers {
+		workers[i] = workerState{
+			replica: net.Clone(),
+			stream:  cfg.RNG.SplitN(i),
+		}
+	}
+
+	var (
+		wg           sync.WaitGroup
+		staleSum     int64
+		staleMax     int
+		totalUpdates int
+		lastLossMu   sync.Mutex
+		lastLoss     float64
+	)
+	for wi := range workers {
+		wg.Add(1)
+		go func(w workerState) {
+			defer wg.Done()
+			params := w.replica.Params()
+			grads := w.replica.Grads()
+			for s := 0; s < cfg.StepsPerWorker; s++ {
+				// Pull: copy server weights and note the version.
+				mu.Lock()
+				for i, p := range params {
+					copy(p.Data, serverParams[i].Data)
+				}
+				pulled := version
+				mu.Unlock()
+
+				// Local gradient on a random batch.
+				idx := w.stream.Sample(n, cfg.BatchPerWorker)
+				bx, by := gather(x, y, idx)
+				w.replica.ZeroGrads()
+				out := w.replica.Forward(bx, true)
+				loss := cfg.Loss.Loss(out, by)
+				dout := tensor.New(out.Shape()...)
+				cfg.Loss.Grad(dout, out, by)
+				w.replica.Backward(dout)
+				// Yield between compute and push so workers interleave even
+				// on few cores — on real clusters the (long) compute phase
+				// is when peer pushes land.
+				runtime.Gosched()
+
+				// Push: apply the (possibly stale) gradient at the server.
+				mu.Lock()
+				stale := version - pulled
+				staleSum += int64(stale)
+				if stale > staleMax {
+					staleMax = stale
+				}
+				opt.Step(serverParams, grads)
+				version++
+				totalUpdates++
+				mu.Unlock()
+
+				lastLossMu.Lock()
+				lastLoss = loss
+				lastLossMu.Unlock()
+			}
+		}(workers[wi])
+	}
+	wg.Wait()
+
+	res := &AsyncResult{
+		Updates:      totalUpdates,
+		MaxStaleness: staleMax,
+		FinalLoss:    lastLoss,
+	}
+	if totalUpdates > 0 {
+		res.MeanStaleness = float64(staleSum) / float64(totalUpdates)
+	}
+	return res, nil
+}

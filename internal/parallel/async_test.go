@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestAsyncValidation(t *testing.T) {
+	x, y, _, net := makeProblem(91, 64, 4, 2)
+	if _, err := TrainAsync(net, x, y, AsyncConfig{Workers: 0}); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := TrainAsync(net, x, y, AsyncConfig{
+		Workers: 2, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer:   func() nn.Optimizer { return nn.NewSGD(0.1) },
+		BatchPerWorker: 8, StepsPerWorker: 4}); err == nil {
+		t.Fatal("missing RNG accepted")
+	}
+}
+
+func TestAsyncSingleWorkerLearns(t *testing.T) {
+	x, y, labels, net := makeProblem(92, 256, 8, 2)
+	res, err := TrainAsync(net, x, y, AsyncConfig{
+		Workers: 1, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer:   func() nn.Optimizer { return nn.NewAdam(0.01) },
+		BatchPerWorker: 32, StepsPerWorker: 120, RNG: rng.New(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 120 {
+		t.Fatalf("updates %d", res.Updates)
+	}
+	// With one worker there is no staleness by construction.
+	if res.MeanStaleness != 0 || res.MaxStaleness != 0 {
+		t.Fatalf("single worker staleness %v/%v", res.MeanStaleness, res.MaxStaleness)
+	}
+	if acc := nn.EvaluateClassifier(net, x, labels); acc < 0.6 {
+		t.Fatalf("async accuracy %.3f", acc)
+	}
+}
+
+func TestAsyncMultiWorkerLearnsDespiteStaleness(t *testing.T) {
+	x, y, labels, net := makeProblem(93, 256, 8, 2)
+	res, err := TrainAsync(net, x, y, AsyncConfig{
+		Workers: 4, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer:   func() nn.Optimizer { return nn.NewAdam(0.005) },
+		BatchPerWorker: 32, StepsPerWorker: 60, RNG: rng.New(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 240 {
+		t.Fatalf("updates %d", res.Updates)
+	}
+	if acc := nn.EvaluateClassifier(net, x, labels); acc < 0.6 {
+		t.Fatalf("async accuracy %.3f with staleness %.2f", acc, res.MeanStaleness)
+	}
+	// Weights must be finite.
+	for _, p := range net.Params() {
+		for _, v := range p.Data {
+			if v != v {
+				t.Fatal("NaN weights after async training")
+			}
+		}
+	}
+}
+
+func TestAsyncStalenessAccounting(t *testing.T) {
+	// Staleness counters must be self-consistent: mean <= max, max less
+	// than total updates.
+	x, y, _, net := makeProblem(94, 128, 6, 2)
+	res, err := TrainAsync(net, x, y, AsyncConfig{
+		Workers: 8, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer:   func() nn.Optimizer { return nn.NewSGD(0.02) },
+		BatchPerWorker: 16, StepsPerWorker: 20, RNG: rng.New(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanStaleness < 0 || float64(res.MaxStaleness) < res.MeanStaleness {
+		t.Fatalf("staleness accounting inconsistent: mean %v max %v",
+			res.MeanStaleness, res.MaxStaleness)
+	}
+	if res.MaxStaleness >= res.Updates {
+		t.Fatalf("staleness %d exceeds total updates %d", res.MaxStaleness, res.Updates)
+	}
+}

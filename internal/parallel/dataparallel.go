@@ -1,0 +1,223 @@
+// Package parallel implements the paper's three parallelism regimes as real
+// concurrent programs: synchronous data-parallel SGD over allreduce, layer-
+// partitioned model-parallel pipelines over point-to-point activations, and
+// the data x model hybrid. Search parallelism lives in internal/hpo's worker
+// pool; internal/machine prices all three regimes on modelled hardware.
+//
+// Ranks are goroutines communicating through internal/comm, so the message
+// patterns (and the per-rank byte counts the machine model consumes) are
+// the same as an MPI implementation's.
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/lowp"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// DataParallelConfig configures synchronous data-parallel training.
+type DataParallelConfig struct {
+	// Replicas is the number of model replicas (ranks).
+	Replicas int
+	// Algo selects the gradient allreduce algorithm.
+	Algo comm.AllReduceAlgorithm
+	// Loss and NewOptimizer define the training objective; NewOptimizer is
+	// called once per rank so every replica steps identically.
+	Loss         nn.Loss
+	NewOptimizer func() nn.Optimizer
+	// GlobalBatch is the total batch per step, sharded across replicas.
+	GlobalBatch int
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// GradPrecision optionally compresses gradients before the allreduce
+	// (FP64 = no compression) — the knob for the paper's "future DNNs may
+	// rely less on dense communication patterns".
+	GradPrecision lowp.Precision
+	// RNG shuffles the data each epoch.
+	RNG *rng.Stream
+}
+
+// DataParallelResult reports a data-parallel run.
+type DataParallelResult struct {
+	EpochLoss []float64
+	Steps     int
+	// BytesPerRank is the mean communication volume per rank.
+	BytesPerRank float64
+	// TotalBytes is the total bytes all ranks sent.
+	TotalBytes int
+}
+
+// TrainDataParallel trains net on (x, y) with synchronous data-parallel SGD
+// and returns the result; net is updated in place with the final (identical
+// on every replica) weights.
+func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig) (*DataParallelResult, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("parallel: need >=1 replica")
+	}
+	if cfg.Loss == nil || cfg.NewOptimizer == nil {
+		return nil, fmt.Errorf("parallel: Loss and NewOptimizer required")
+	}
+	if cfg.GlobalBatch < cfg.Replicas {
+		return nil, fmt.Errorf("parallel: global batch %d < replicas %d", cfg.GlobalBatch, cfg.Replicas)
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	if cfg.RNG == nil {
+		return nil, fmt.Errorf("parallel: RNG required")
+	}
+	n := x.Dim(0)
+	if y.Dim(0) != n {
+		return nil, fmt.Errorf("parallel: %d inputs vs %d targets", n, y.Dim(0))
+	}
+
+	p := cfg.Replicas
+	replicas := make([]*nn.Net, p)
+	opts := make([]nn.Optimizer, p)
+	for i := range replicas {
+		if i == 0 {
+			replicas[i] = net
+		} else {
+			replicas[i] = net.Clone()
+		}
+		opts[i] = cfg.NewOptimizer()
+	}
+
+	// Precompute the epoch orders once so all ranks agree.
+	orders := make([][]int, cfg.Epochs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for e := range orders {
+		cfg.RNG.ShuffleInts(order)
+		orders[e] = append([]int(nil), order...)
+	}
+
+	perRank := cfg.GlobalBatch / p
+	stepsPerEpoch := n / (perRank * p)
+	if stepsPerEpoch == 0 {
+		stepsPerEpoch = 1
+	}
+
+	world := comm.NewWorld(p)
+	epochLoss := make([][]float64, p)
+	res := &DataParallelResult{}
+
+	world.Run(func(rank *comm.Rank) {
+		id := rank.ID()
+		model := replicas[id]
+		opt := opts[id]
+		params := model.Params()
+		grads := model.Grads()
+		flat := flatSize(grads)
+		buf := make([]float64, flat)
+		losses := make([]float64, 0, cfg.Epochs)
+
+		for e := 0; e < cfg.Epochs; e++ {
+			ord := orders[e]
+			epochTotal := 0.0
+			for s := 0; s < stepsPerEpoch; s++ {
+				base := s * perRank * p
+				lo := base + id*perRank
+				hi := lo + perRank
+				if hi > n {
+					hi = n
+				}
+				bx, by := gather(x, y, ord[lo:hi])
+				model.ZeroGrads()
+				out := model.Forward(bx, true)
+				loss := cfg.Loss.Loss(out, by)
+				dout := tensor.New(out.Shape()...)
+				cfg.Loss.Grad(dout, out, by)
+				model.Backward(dout)
+
+				// Optional gradient compression before the wire.
+				if cfg.GradPrecision != lowp.FP64 {
+					for _, g := range grads {
+						lowp.RoundTensor(g, cfg.GradPrecision)
+					}
+				}
+				flatten(grads, buf)
+				rank.AllReduce(buf, cfg.Algo)
+				scale := 1 / float64(p)
+				for i := range buf {
+					buf[i] *= scale
+				}
+				unflatten(buf, grads)
+				opt.Step(params, grads)
+				epochTotal += loss
+			}
+			losses = append(losses, epochTotal/float64(stepsPerEpoch))
+		}
+		epochLoss[id] = losses
+	})
+
+	res.EpochLoss = epochLoss[0]
+	res.Steps = stepsPerEpoch * cfg.Epochs
+	res.TotalBytes = world.TotalBytes()
+	res.BytesPerRank = float64(res.TotalBytes) / float64(p)
+	return res, nil
+}
+
+// VerifyReplicasInSync returns the maximum parameter divergence between
+// replica nets — should be ~0 after synchronous training.
+func VerifyReplicasInSync(nets []*nn.Net) float64 {
+	if len(nets) < 2 {
+		return 0
+	}
+	ref := nets[0].Params()
+	worst := 0.0
+	for _, other := range nets[1:] {
+		ps := other.Params()
+		for i, p := range ps {
+			for j := range p.Data {
+				if d := math.Abs(p.Data[j] - ref[i].Data[j]); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst
+}
+
+func flatSize(ts []*tensor.Tensor) int {
+	n := 0
+	for _, t := range ts {
+		n += t.Len()
+	}
+	return n
+}
+
+func flatten(ts []*tensor.Tensor, buf []float64) {
+	off := 0
+	for _, t := range ts {
+		copy(buf[off:off+t.Len()], t.Data)
+		off += t.Len()
+	}
+}
+
+func unflatten(buf []float64, ts []*tensor.Tensor) {
+	off := 0
+	for _, t := range ts {
+		copy(t.Data, buf[off:off+t.Len()])
+		off += t.Len()
+	}
+}
+
+func gather(x, y *tensor.Tensor, idx []int) (*tensor.Tensor, *tensor.Tensor) {
+	dx := x.Len() / x.Dim(0)
+	dy := y.Len() / y.Dim(0)
+	bx := tensor.New(len(idx), dx)
+	by := tensor.New(len(idx), dy)
+	for i, s := range idx {
+		copy(bx.Row(i).Data, x.Row(s).Data)
+		copy(by.Row(i).Data, y.Row(s).Data)
+	}
+	return bx, by
+}

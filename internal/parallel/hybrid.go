@@ -1,0 +1,213 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// HybridConfig configures data x model hybrid training: R data-parallel
+// replicas, each an S-stage model-parallel pipeline, with per-stage gradient
+// allreduce across replicas — the decomposition the paper says large-scale
+// DNN training must combine.
+type HybridConfig struct {
+	Replicas     int // data-parallel width R
+	Stages       int // model-parallel depth S
+	MicroBatches int
+	Loss         nn.Loss
+	NewOptimizer func() nn.Optimizer
+	GlobalBatch  int // across all replicas
+	Epochs       int
+	Algo         comm.AllReduceAlgorithm
+	RNG          *rng.Stream
+}
+
+// HybridResult reports a hybrid run.
+type HybridResult struct {
+	EpochLoss     []float64
+	Steps         int
+	TotalBytes    int
+	PipelineBytes int // activation/gradient traffic within pipelines
+	ReduceBytes   int // gradient allreduce traffic across replicas
+}
+
+// TrainHybrid trains net with R x S workers. net is updated in place with
+// the final weights (identical across replicas).
+func TrainHybrid(net *nn.Net, x, y *tensor.Tensor, cfg HybridConfig) (*HybridResult, error) {
+	if cfg.Replicas < 1 || cfg.Stages < 1 {
+		return nil, fmt.Errorf("parallel: need >=1 replica and stage")
+	}
+	if cfg.Loss == nil || cfg.NewOptimizer == nil {
+		return nil, fmt.Errorf("parallel: Loss and NewOptimizer required")
+	}
+	if cfg.MicroBatches < 1 {
+		cfg.MicroBatches = 1
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	if cfg.RNG == nil {
+		return nil, fmt.Errorf("parallel: RNG required")
+	}
+	n := x.Dim(0)
+	if y.Dim(0) != n {
+		return nil, fmt.Errorf("parallel: %d inputs vs %d targets", n, y.Dim(0))
+	}
+	perReplica := cfg.GlobalBatch / cfg.Replicas
+	if perReplica < cfg.MicroBatches {
+		return nil, fmt.Errorf("parallel: per-replica batch %d < micro-batches %d",
+			perReplica, cfg.MicroBatches)
+	}
+	if cfg.GlobalBatch > n {
+		return nil, fmt.Errorf("parallel: batch %d > dataset %d", cfg.GlobalBatch, n)
+	}
+
+	r, s := cfg.Replicas, cfg.Stages
+	// Build R replica pipelines over clones sharing partition structure.
+	parts := PartitionLayers(net.Layers, s)
+	s = len(parts)
+	type worker struct {
+		stage *nn.Net
+		opt   nn.Optimizer
+	}
+	workers := make([][]worker, r) // [replica][stage]
+	for ri := 0; ri < r; ri++ {
+		var src *nn.Net
+		if ri == 0 {
+			src = net
+		} else {
+			src = net.Clone()
+		}
+		repParts := PartitionLayers(src.Layers, cfg.Stages)
+		workers[ri] = make([]worker, s)
+		for si := 0; si < s; si++ {
+			workers[ri][si] = worker{stage: nn.NewNet(repParts[si]...), opt: cfg.NewOptimizer()}
+		}
+	}
+
+	orders := make([][]int, cfg.Epochs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for e := range orders {
+		cfg.RNG.ShuffleInts(order)
+		orders[e] = append([]int(nil), order...)
+	}
+
+	steps := n / cfg.GlobalBatch
+	if steps == 0 {
+		steps = 1
+	}
+	mbSize := perReplica / cfg.MicroBatches
+
+	// Pipeline world: R*S ranks, rank = replica*S + stage.
+	// Reduce worlds: one per stage, R ranks each, for cross-replica allreduce.
+	pipeWorld := comm.NewWorld(r * s)
+	reduceWorlds := make([]*comm.World, s)
+	for si := 0; si < s; si++ {
+		reduceWorlds[si] = comm.NewWorld(r)
+	}
+
+	lossPerReplica := make([][]float64, r)
+	const (
+		tagAct  = 100
+		tagGrad = 300
+	)
+
+	pipeWorld.Run(func(rank *comm.Rank) {
+		ri := rank.ID() / s
+		si := rank.ID() % s
+		w := workers[ri][si]
+		redRank := reduceRank(reduceWorlds[si], ri)
+		first := si == 0
+		last := si == s-1
+		grads := w.stage.Grads()
+		buf := make([]float64, flatSize(grads))
+		var losses []float64
+
+		for e := 0; e < cfg.Epochs; e++ {
+			ord := orders[e]
+			epochTotal := 0.0
+			for st := 0; st < steps; st++ {
+				w.stage.ZeroGrads()
+				stepLoss := 0.0
+				for mb := 0; mb < cfg.MicroBatches; mb++ {
+					base := st*cfg.GlobalBatch + ri*perReplica + mb*mbSize
+					idx := ord[base : base+mbSize]
+					var act *tensor.Tensor
+					if first {
+						act, _ = gather(x, y, idx)
+					} else {
+						in := rank.Recv(rank.ID()-1, tagAct+mb)
+						act = tensor.FromSlice(in, mbSize, len(in)/mbSize)
+					}
+					out := w.stage.Forward(act, true)
+					if !last {
+						rank.Send(rank.ID()+1, tagAct+mb, out.Data)
+						gin := rank.Recv(rank.ID()+1, tagGrad+mb)
+						dout := tensor.FromSlice(gin, out.Shape()...)
+						dx := w.stage.Backward(dout)
+						if !first {
+							rank.Send(rank.ID()-1, tagGrad+mb, dx.Data)
+						}
+						continue
+					}
+					_, by := gather(x, y, idx)
+					stepLoss += cfg.Loss.Loss(out, by)
+					dout := tensor.New(out.Shape()...)
+					cfg.Loss.Grad(dout, out, by)
+					tensor.Scale(dout, dout, 1/float64(cfg.MicroBatches))
+					dx := w.stage.Backward(dout)
+					if !first {
+						rank.Send(rank.ID()-1, tagGrad+mb, dx.Data)
+					}
+				}
+				// Cross-replica gradient allreduce within this stage.
+				if r > 1 {
+					flatten(grads, buf)
+					redRank.AllReduce(buf, cfg.Algo)
+					inv := 1 / float64(r)
+					for i := range buf {
+						buf[i] *= inv
+					}
+					unflatten(buf, grads)
+				}
+				w.opt.Step(w.stage.Params(), w.stage.Grads())
+				if last {
+					epochTotal += stepLoss / float64(cfg.MicroBatches)
+				}
+			}
+			if last {
+				losses = append(losses, epochTotal/float64(steps))
+			}
+		}
+		if last {
+			lossPerReplica[ri] = losses
+		}
+	})
+
+	pipeBytes := pipeWorld.TotalBytes()
+	reduceBytes := 0
+	for _, rw := range reduceWorlds {
+		reduceBytes += rw.TotalBytes()
+	}
+	return &HybridResult{
+		EpochLoss:     lossPerReplica[0],
+		Steps:         steps * cfg.Epochs,
+		TotalBytes:    pipeBytes + reduceBytes,
+		PipelineBytes: pipeBytes,
+		ReduceBytes:   reduceBytes,
+	}, nil
+}
+
+// reduceRank gives the goroutine for pipeline rank (replica ri) its rank in
+// the per-stage reduce world. comm.World.Run normally creates ranks, so we
+// construct them directly here — safe because exactly one goroutine uses
+// each rank.
+func reduceRank(w *comm.World, id int) *comm.Rank {
+	return w.ExternalRank(id)
+}

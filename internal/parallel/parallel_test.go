@@ -1,0 +1,383 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/lowp"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// makeProblem builds a small classification dataset and a fresh network.
+func makeProblem(seed uint64, n, din, classes int) (*tensor.Tensor, *tensor.Tensor, []int, *nn.Net) {
+	r := rng.New(seed)
+	x := tensor.New(n, din)
+	labels := make([]int, n)
+	// Planted linear-ish rule with nonlinearity.
+	w := make([]float64, din)
+	for i := range w {
+		w[i] = r.Norm()
+	}
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < din; j++ {
+			v := r.Norm()
+			x.Set(v, i, j)
+			s += v * w[j]
+		}
+		if math.Sin(s) > 0 {
+			labels[i] = 1
+		}
+		if classes > 2 {
+			labels[i] = int(math.Mod(math.Abs(s*3), float64(classes)))
+		}
+	}
+	y := nn.OneHot(labels, classes)
+	net := nn.MLP(din, []int{16, 8}, classes, nn.Tanh, r.Split("init"))
+	return x, y, labels, net
+}
+
+// serialReference trains the same initial weights serially with the same
+// shuffle stream and global batch, for bitwise comparison.
+func serialReference(net *nn.Net, x, y *tensor.Tensor, globalBatch, epochs int, seed uint64) *nn.Net {
+	r := rng.New(seed)
+	n := x.Dim(0)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	opt := nn.NewSGD(0.1)
+	loss := nn.SoftmaxCELoss{}
+	steps := n / globalBatch
+	for e := 0; e < epochs; e++ {
+		r.ShuffleInts(order)
+		for s := 0; s < steps; s++ {
+			idx := order[s*globalBatch : (s+1)*globalBatch]
+			bx, by := gather(x, y, idx)
+			net.ZeroGrads()
+			out := net.Forward(bx, true)
+			dout := tensor.New(out.Shape()...)
+			loss.Grad(dout, out, by)
+			net.Backward(dout)
+			opt.Step(net.Params(), net.Grads())
+		}
+	}
+	return net
+}
+
+func TestDataParallelMatchesSerial(t *testing.T) {
+	// Synchronous data-parallel SGD with gradient averaging must compute
+	// (numerically) the same updates as serial large-batch SGD.
+	const seed = 42
+	x, y, _, netA := makeProblem(seed, 128, 6, 2)
+	netB := netA.Clone()
+
+	serialReference(netA, x, y, 32, 3, 7)
+
+	_, err := TrainDataParallel(netB, x, y, DataParallelConfig{
+		Replicas: 4, Algo: comm.ARRing,
+		Loss:         nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1) },
+		GlobalBatch:  32, Epochs: 3, RNG: rng.New(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := netA.Params(), netB.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if d := math.Abs(pa[i].Data[j] - pb[i].Data[j]); d > 1e-9 {
+				t.Fatalf("param %d elem %d diverged by %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestDataParallelAllAlgorithms(t *testing.T) {
+	for _, algo := range []comm.AllReduceAlgorithm{comm.ARRing, comm.ARRecursiveDoubling, comm.ARTree, comm.ARRabenseifner} {
+		x, y, labels, net := makeProblem(3, 256, 8, 2)
+		res, err := TrainDataParallel(net, x, y, DataParallelConfig{
+			Replicas: 4, Algo: algo,
+			Loss:         nn.SoftmaxCELoss{},
+			NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+			GlobalBatch:  32, Epochs: 10, RNG: rng.New(5),
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.EpochLoss[len(res.EpochLoss)-1] > 0.9*res.EpochLoss[0] {
+			t.Fatalf("%v: loss barely moved %v", algo, res.EpochLoss)
+		}
+		if acc := nn.EvaluateClassifier(net, x, labels); acc < 0.6 {
+			t.Fatalf("%v: accuracy %.3f", algo, acc)
+		}
+		if res.TotalBytes == 0 {
+			t.Fatalf("%v: no communication recorded", algo)
+		}
+	}
+}
+
+func TestDataParallelGradCompression(t *testing.T) {
+	x, y, _, net := makeProblem(11, 256, 8, 2)
+	res16, err := TrainDataParallel(net.Clone(), x, y, DataParallelConfig{
+		Replicas: 4, Algo: comm.ARRing,
+		Loss:         nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+		GlobalBatch:  32, Epochs: 5, GradPrecision: lowp.FP16, RNG: rng.New(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training must still make progress with fp16-rounded gradients.
+	if res16.EpochLoss[len(res16.EpochLoss)-1] > 0.9*res16.EpochLoss[0] {
+		t.Fatalf("fp16-gradient training stalled: %v", res16.EpochLoss)
+	}
+}
+
+func TestDataParallelValidation(t *testing.T) {
+	x, y, _, net := makeProblem(1, 64, 4, 2)
+	if _, err := TrainDataParallel(net, x, y, DataParallelConfig{Replicas: 0}); err == nil {
+		t.Fatal("0 replicas accepted")
+	}
+	if _, err := TrainDataParallel(net, x, y, DataParallelConfig{
+		Replicas: 8, GlobalBatch: 4,
+		Loss: nn.SoftmaxCELoss{}, NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1) },
+		RNG: rng.New(1)}); err == nil {
+		t.Fatal("batch < replicas accepted")
+	}
+	if _, err := TrainDataParallel(net, x, y, DataParallelConfig{
+		Replicas: 2, GlobalBatch: 8, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1) }}); err == nil {
+		t.Fatal("missing RNG accepted")
+	}
+}
+
+func TestPartitionLayers(t *testing.T) {
+	r := rng.New(1)
+	net := nn.MLP(10, []int{20, 20, 20}, 2, nn.ReLU, r)
+	// 7 layers (4 dense + 3 act) into 3 stages.
+	parts := PartitionLayers(net.Layers, 3)
+	if len(parts) != 3 {
+		t.Fatalf("got %d stages", len(parts))
+	}
+	total := 0
+	for _, p := range parts {
+		if len(p) == 0 {
+			t.Fatal("empty stage")
+		}
+		total += len(p)
+	}
+	if total != len(net.Layers) {
+		t.Fatalf("partition covers %d of %d layers", total, len(net.Layers))
+	}
+	// Degenerate cases.
+	if got := PartitionLayers(net.Layers, 1); len(got) != 1 {
+		t.Fatal("1-stage partition wrong")
+	}
+	if got := PartitionLayers(net.Layers[:2], 5); len(got) > 2 {
+		t.Fatal("more stages than layers")
+	}
+}
+
+// Property: partitions are contiguous, non-empty, and cover all layers.
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		depth := 1 + r.Intn(6)
+		hidden := make([]int, depth)
+		for i := range hidden {
+			hidden[i] = 4 + r.Intn(30)
+		}
+		net := nn.MLP(8, hidden, 3, nn.ReLU, r)
+		stages := 1 + r.Intn(6)
+		parts := PartitionLayers(net.Layers, stages)
+		idx := 0
+		for _, p := range parts {
+			if len(p) == 0 {
+				return false
+			}
+			for _, l := range p {
+				if l != net.Layers[idx] {
+					return false // not contiguous / out of order
+				}
+				idx++
+			}
+		}
+		return idx == len(net.Layers)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineMatchesSingleStage(t *testing.T) {
+	// A 3-stage pipeline with 1 micro-batch must produce identical weights
+	// to single-process training with the same order and optimizer.
+	x, y, _, netA := makeProblem(21, 96, 6, 2)
+	netB := netA.Clone()
+
+	serialReference(netA, x, y, 16, 2, 9)
+	_, err := TrainPipeline(netB, x, y, PipelineConfig{
+		Stages: 3, MicroBatches: 1,
+		Loss:         nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1) },
+		GlobalBatch:  16, Epochs: 2, RNG: rng.New(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := netA.Params(), netB.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if d := math.Abs(pa[i].Data[j] - pb[i].Data[j]); d > 1e-9 {
+				t.Fatalf("pipeline diverged from serial: param %d elem %d by %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestPipelineMicroBatchesEquivalent(t *testing.T) {
+	// Micro-batch gradient accumulation (4 micro-batches) must equal one
+	// full-batch step for SGD (gradients are linear in the batch).
+	x, y, _, netA := makeProblem(31, 64, 5, 2)
+	netB := netA.Clone()
+	_, err := TrainPipeline(netA, x, y, PipelineConfig{
+		Stages: 2, MicroBatches: 1,
+		Loss:         nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05) },
+		GlobalBatch:  16, Epochs: 1, RNG: rng.New(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = TrainPipeline(netB, x, y, PipelineConfig{
+		Stages: 2, MicroBatches: 4,
+		Loss:         nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05) },
+		GlobalBatch:  16, Epochs: 1, RNG: rng.New(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := netA.Params(), netB.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if d := math.Abs(pa[i].Data[j] - pb[i].Data[j]); d > 1e-8 {
+				t.Fatalf("micro-batching changed SGD result by %v", d)
+			}
+		}
+	}
+}
+
+func TestPipelineLearns(t *testing.T) {
+	x, y, labels, net := makeProblem(41, 256, 8, 2)
+	res, err := TrainPipeline(net, x, y, PipelineConfig{
+		Stages: 3, MicroBatches: 2,
+		Loss:         nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+		GlobalBatch:  32, Epochs: 12, RNG: rng.New(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := nn.EvaluateClassifier(net, x, labels); acc < 0.6 {
+		t.Fatalf("pipeline training accuracy %.3f", acc)
+	}
+	if res.TotalBytes == 0 {
+		t.Fatal("no pipeline traffic recorded")
+	}
+	if len(res.StageParams) != 3 {
+		t.Fatalf("stage params %v", res.StageParams)
+	}
+}
+
+func TestHybridMatchesDataParallel(t *testing.T) {
+	// R=2,S=2 hybrid with SGD must equal pure data-parallel R=2 (same
+	// global batch, same shuffles) because model partitioning does not
+	// change the math.
+	x, y, _, netA := makeProblem(51, 128, 6, 2)
+	netB := netA.Clone()
+	_, err := TrainDataParallel(netA, x, y, DataParallelConfig{
+		Replicas: 2, Algo: comm.ARRing,
+		Loss:         nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1) },
+		GlobalBatch:  16, Epochs: 2, RNG: rng.New(13),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = TrainHybrid(netB, x, y, HybridConfig{
+		Replicas: 2, Stages: 2, MicroBatches: 1,
+		Loss:         nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1) },
+		GlobalBatch:  16, Epochs: 2, Algo: comm.ARRing, RNG: rng.New(13),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := netA.Params(), netB.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if d := math.Abs(pa[i].Data[j] - pb[i].Data[j]); d > 1e-9 {
+				t.Fatalf("hybrid diverged from data-parallel by %v", d)
+			}
+		}
+	}
+}
+
+func TestHybridTrafficSplit(t *testing.T) {
+	x, y, _, net := makeProblem(61, 128, 6, 2)
+	res, err := TrainHybrid(net, x, y, HybridConfig{
+		Replicas: 2, Stages: 3, MicroBatches: 2,
+		Loss:         nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+		GlobalBatch:  32, Epochs: 2, Algo: comm.ARRing, RNG: rng.New(14),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PipelineBytes == 0 || res.ReduceBytes == 0 {
+		t.Fatalf("traffic split missing: pipe=%d reduce=%d", res.PipelineBytes, res.ReduceBytes)
+	}
+	if res.TotalBytes != res.PipelineBytes+res.ReduceBytes {
+		t.Fatal("traffic accounting inconsistent")
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	x, y, _, net := makeProblem(71, 64, 4, 2)
+	if _, err := TrainHybrid(net, x, y, HybridConfig{Replicas: 0, Stages: 1}); err == nil {
+		t.Fatal("0 replicas accepted")
+	}
+	if _, err := TrainHybrid(net, x, y, HybridConfig{
+		Replicas: 2, Stages: 2, MicroBatches: 8, GlobalBatch: 8,
+		Loss: nn.SoftmaxCELoss{}, NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1) },
+		RNG: rng.New(1)}); err == nil {
+		t.Fatal("micro-batches > per-replica batch accepted")
+	}
+}
+
+func TestCommunicationVolumeScalesWithModel(t *testing.T) {
+	// Data-parallel gradient traffic grows with parameter count.
+	x, y, _, small := makeProblem(81, 64, 4, 2)
+	big := nn.MLP(4, []int{64, 64}, 2, nn.Tanh, rng.New(1))
+	run := func(net *nn.Net) int {
+		res, err := TrainDataParallel(net, x, y, DataParallelConfig{
+			Replicas: 4, Algo: comm.ARRing,
+			Loss:         nn.SoftmaxCELoss{},
+			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1) },
+			GlobalBatch:  16, Epochs: 1, RNG: rng.New(2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalBytes
+	}
+	if run(big) <= run(small) {
+		t.Fatal("bigger model did not move more gradient bytes")
+	}
+}

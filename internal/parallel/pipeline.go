@@ -1,0 +1,220 @@
+package parallel
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// PipelineConfig configures layer-partitioned model-parallel training.
+type PipelineConfig struct {
+	// Stages is the number of pipeline stages (ranks); the network's layers
+	// are partitioned contiguously and as evenly as possible by parameter
+	// count.
+	Stages int
+	// MicroBatches splits each global batch into this many micro-batches;
+	// gradients accumulate across them before the step (GPipe-style).
+	MicroBatches int
+	Loss         nn.Loss
+	NewOptimizer func() nn.Optimizer
+	GlobalBatch  int
+	Epochs       int
+	RNG          *rng.Stream
+}
+
+// PipelineResult reports a model-parallel run.
+type PipelineResult struct {
+	EpochLoss    []float64
+	Steps        int
+	TotalBytes   int
+	BytesPerRank float64
+	// StageParams reports the parameter count per stage (balance check).
+	StageParams []int
+}
+
+// PartitionLayers splits layers into `stages` contiguous groups balanced by
+// parameter count (greedy: close each stage once it reaches the ideal
+// share, always leaving enough layers for the remaining stages).
+func PartitionLayers(layers []nn.Layer, stages int) [][]nn.Layer {
+	if stages <= 1 || len(layers) <= 1 {
+		return [][]nn.Layer{layers}
+	}
+	if stages > len(layers) {
+		stages = len(layers)
+	}
+	weights := make([]int, len(layers))
+	total := 0
+	for i, l := range layers {
+		w := 1 // even parameter-free layers cost something
+		for _, p := range l.Params() {
+			w += p.Len()
+		}
+		weights[i] = w
+		total += w
+	}
+	ideal := float64(total) / float64(stages)
+	var out [][]nn.Layer
+	start := 0
+	acc := 0
+	for i := range layers {
+		acc += weights[i]
+		stagesLeft := stages - len(out)
+		layersLeft := len(layers) - i - 1
+		if (float64(acc) >= ideal && stagesLeft > 1 && layersLeft >= stagesLeft-1) ||
+			layersLeft == stagesLeft-1 {
+			out = append(out, layers[start:i+1])
+			start = i + 1
+			acc = 0
+			if len(out) == stages-1 {
+				break
+			}
+		}
+	}
+	out = append(out, layers[start:])
+	return out
+}
+
+// TrainPipeline trains net with GPipe-style model parallelism: each stage
+// (rank) owns a contiguous layer slice; micro-batches flow forward through
+// activation messages and backward through gradient messages, accumulating
+// parameter gradients, then every stage steps its own layers locally.
+// net is updated in place.
+//
+// Micro-batches are processed strictly in order (one in flight per stage),
+// so layer forward caches stay consistent; wall-clock pipelining overlap is
+// the machine model's concern (ModelParallelStepTime), while this function
+// provides the real distributed execution and its communication volume.
+func TrainPipeline(net *nn.Net, x, y *tensor.Tensor, cfg PipelineConfig) (*PipelineResult, error) {
+	if cfg.Stages < 1 {
+		return nil, fmt.Errorf("parallel: need >=1 stage")
+	}
+	if cfg.Loss == nil || cfg.NewOptimizer == nil {
+		return nil, fmt.Errorf("parallel: Loss and NewOptimizer required")
+	}
+	if cfg.MicroBatches < 1 {
+		cfg.MicroBatches = 1
+	}
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	if cfg.GlobalBatch < cfg.MicroBatches {
+		return nil, fmt.Errorf("parallel: batch %d < micro-batches %d", cfg.GlobalBatch, cfg.MicroBatches)
+	}
+	if cfg.RNG == nil {
+		return nil, fmt.Errorf("parallel: RNG required")
+	}
+	n := x.Dim(0)
+	if y.Dim(0) != n {
+		return nil, fmt.Errorf("parallel: %d inputs vs %d targets", n, y.Dim(0))
+	}
+	if cfg.GlobalBatch > n {
+		return nil, fmt.Errorf("parallel: batch %d > dataset %d", cfg.GlobalBatch, n)
+	}
+
+	parts := PartitionLayers(net.Layers, cfg.Stages)
+	s := len(parts)
+	stageNets := make([]*nn.Net, s)
+	stageOpts := make([]nn.Optimizer, s)
+	stageParams := make([]int, s)
+	for i, layers := range parts {
+		stageNets[i] = nn.NewNet(layers...)
+		stageOpts[i] = cfg.NewOptimizer()
+		stageParams[i] = stageNets[i].NumParams()
+	}
+
+	orders := make([][]int, cfg.Epochs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for e := range orders {
+		cfg.RNG.ShuffleInts(order)
+		orders[e] = append([]int(nil), order...)
+	}
+
+	steps := n / cfg.GlobalBatch
+	if steps == 0 {
+		steps = 1
+	}
+	mbSize := cfg.GlobalBatch / cfg.MicroBatches
+
+	world := comm.NewWorld(s)
+	lossLog := make([]float64, cfg.Epochs)
+	const (
+		tagAct  = 100
+		tagGrad = 200
+	)
+
+	world.Run(func(rank *comm.Rank) {
+		id := rank.ID()
+		stage := stageNets[id]
+		opt := stageOpts[id]
+		first := id == 0
+		last := id == s-1
+
+		for e := 0; e < cfg.Epochs; e++ {
+			ord := orders[e]
+			epochTotal := 0.0
+			for st := 0; st < steps; st++ {
+				stage.ZeroGrads()
+				stepLoss := 0.0
+				for mb := 0; mb < cfg.MicroBatches; mb++ {
+					base := st*cfg.GlobalBatch + mb*mbSize
+					idx := ord[base : base+mbSize]
+					// ---- forward ----
+					var act *tensor.Tensor
+					if first {
+						act, _ = gather(x, y, idx)
+					} else {
+						in := rank.Recv(id-1, tagAct+mb)
+						cols := len(in) / mbSize
+						act = tensor.FromSlice(in, mbSize, cols)
+					}
+					out := stage.Forward(act, true)
+					if !last {
+						rank.Send(id+1, tagAct+mb, out.Data)
+						// ---- backward (wait for grad from downstream) ----
+						gin := rank.Recv(id+1, tagGrad+mb)
+						dout := tensor.FromSlice(gin, out.Shape()...)
+						dx := stage.Backward(dout)
+						if !first {
+							rank.Send(id-1, tagGrad+mb, dx.Data)
+						}
+						continue
+					}
+					// Last stage computes the loss.
+					_, by := gather(x, y, idx)
+					stepLoss += cfg.Loss.Loss(out, by)
+					dout := tensor.New(out.Shape()...)
+					cfg.Loss.Grad(dout, out, by)
+					// Scale so accumulating micro-batch grads averages the
+					// full batch (Loss.Grad divides by mbSize, not batch).
+					tensor.Scale(dout, dout, 1/float64(cfg.MicroBatches))
+					dx := stage.Backward(dout)
+					if !first {
+						rank.Send(id-1, tagGrad+mb, dx.Data)
+					}
+				}
+				opt.Step(stage.Params(), stage.Grads())
+				if last {
+					epochTotal += stepLoss / float64(cfg.MicroBatches)
+				}
+			}
+			if last {
+				lossLog[e] = epochTotal / float64(steps)
+			}
+		}
+	})
+
+	res := &PipelineResult{
+		EpochLoss:   lossLog,
+		Steps:       steps * cfg.Epochs,
+		TotalBytes:  world.TotalBytes(),
+		StageParams: stageParams,
+	}
+	res.BytesPerRank = float64(res.TotalBytes) / float64(s)
+	return res, nil
+}

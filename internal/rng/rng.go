@@ -1,0 +1,291 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// streams for reproducible experiments.
+//
+// Every stochastic component in the repository (data generators, weight
+// initialisers, dropout masks, search strategies, simulated failure
+// injection) draws from an explicit *Stream rather than a global source, so
+// that any experiment can be replayed bit-for-bit from a single root seed.
+//
+// The generator is SplitMix64 for seeding combined with xoshiro256** for the
+// stream itself: fast, high quality, and trivially splittable by hashing a
+// child label into the parent's seed material.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Stream is a deterministic pseudo-random stream. It is NOT safe for
+// concurrent use; split one child stream per goroutine instead.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used only to expand seeds into full xoshiro state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a stream seeded from the given 64-bit seed.
+func New(seed uint64) *Stream {
+	st := &Stream{}
+	x := seed
+	for i := range st.s {
+		st.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start at the all-zero state.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 0x9e3779b97f4a7c15
+	}
+	return st
+}
+
+// Split derives an independent child stream identified by label.
+// Splitting is deterministic: the same parent state and label always yield
+// the same child. The parent is advanced once so successive anonymous
+// splits differ.
+func (r *Stream) Split(label string) *Stream {
+	h := r.Uint64() // advance parent
+	for _, b := range []byte(label) {
+		h ^= uint64(b)
+		h *= 0x100000001b3 // FNV-1a prime
+	}
+	return New(h)
+}
+
+// SplitN derives the i-th of a family of child streams.
+func (r *Stream) SplitN(i int) *Stream {
+	h := r.Uint64()
+	h ^= uint64(i) * 0x9e3779b97f4a7c15
+	return New(h)
+}
+
+// Uint64 returns the next 64 random bits (xoshiro256**).
+func (r *Stream) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0,1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method (unbiased).
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a non-negative random int64.
+func (r *Stream) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Uniform returns a uniform float64 in [lo,hi).
+func (r *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a standard normal variate (Marsaglia polar method).
+func (r *Stream) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// NormMeanStd returns a normal variate with the given mean and stddev.
+func (r *Stream) NormMeanStd(mean, std float64) float64 {
+	return mean + std*r.Norm()
+}
+
+// Exp returns an exponential variate with the given rate.
+func (r *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// LogNormal returns a log-normal variate whose underlying normal has the
+// given mu and sigma.
+func (r *Stream) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Bernoulli returns true with probability p.
+func (r *Stream) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Poisson returns a Poisson variate with the given mean (Knuth's method for
+// small means, normal approximation for large).
+func (r *Stream) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		v := int(math.Round(r.NormMeanStd(mean, math.Sqrt(mean))))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles an int slice in place (Fisher–Yates).
+func (r *Stream) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle shuffles n elements using the provided swap function.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Choice returns a uniformly random index weighted by w (w need not be
+// normalised; all weights must be non-negative with a positive sum).
+func (r *Stream) Choice(w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		if x < 0 || math.IsNaN(x) {
+			panic("rng: negative or NaN weight")
+		}
+		total += x
+	}
+	if total <= 0 {
+		panic("rng: weights sum to zero")
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if target < acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Sample returns k distinct indices from [0,n) (reservoir sampling).
+func (r *Stream) Sample(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	res := make([]int, k)
+	for i := 0; i < k; i++ {
+		res[i] = i
+	}
+	for i := k; i < n; i++ {
+		j := r.Intn(i + 1)
+		if j < k {
+			res[j] = i
+		}
+	}
+	return res
+}
+
+// Gamma returns a Gamma(shape, 1) variate (Marsaglia–Tsang).
+func (r *Stream) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+		return r.Gamma(shape+1) * math.Pow(r.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta returns a Beta(a,b) variate.
+func (r *Stream) Beta(a, b float64) float64 {
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	return x / (x + y)
+}
+
+// Dirichlet fills out with a Dirichlet(alpha,...,alpha) sample of len(out).
+func (r *Stream) Dirichlet(alpha float64, out []float64) {
+	sum := 0.0
+	for i := range out {
+		out[i] = r.Gamma(alpha)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}

@@ -1,0 +1,329 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(7).Split("child")
+	b := New(7).Split("child")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("split with identical label diverged")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	a := parent.Split("a")
+	b := parent.Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling splits matched %d/100 times", same)
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	p1 := New(9)
+	p2 := New(9)
+	a := p1.SplitN(3)
+	b := p2.SplitN(3)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitN not deterministic")
+	}
+	c := New(9).SplitN(4)
+	if c.Uint64() == New(9).SplitN(3).Uint64() {
+		t.Fatal("SplitN children for different indices identical")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(11)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	if math.Abs(sum/n-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean %v far from 0.5", sum/n)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(19)
+	for _, mean := range []float64{0.5, 4, 30, 100} {
+		const n = 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > 0.08*mean+0.1 {
+			t.Fatalf("Poisson(%v) mean %v", mean, got)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestChoiceWeights(t *testing.T) {
+	r := New(29)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[r.Choice(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio %v far from 3", ratio)
+	}
+}
+
+func TestChoicePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	New(1).Choice([]float64{1, -1})
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(31)
+	s := r.Sample(100, 10)
+	if len(s) != 10 {
+		t.Fatalf("Sample returned %d items", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid sample %v", s)
+		}
+		seen[v] = true
+	}
+	// k > n clamps.
+	if got := len(r.Sample(3, 10)); got != 3 {
+		t.Fatalf("Sample(3,10) returned %d items", got)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(37)
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		const n = 50000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		got := sum / n
+		if math.Abs(got-shape) > 0.05*shape+0.03 {
+			t.Fatalf("Gamma(%v) mean %v", shape, got)
+		}
+	}
+}
+
+func TestBetaRange(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 1000; i++ {
+		v := r.Beta(2, 5)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("Beta out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := New(43)
+	out := make([]float64, 8)
+	r.Dirichlet(0.7, out)
+	sum := 0.0
+	for _, v := range out {
+		if v < 0 {
+			t.Fatalf("negative Dirichlet component %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("Dirichlet sums to %v", sum)
+	}
+}
+
+// Property: Intn is always within range for any positive n and seed.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Uniform(lo,hi) stays within [lo,hi) for lo<hi.
+func TestQuickUniformInRange(t *testing.T) {
+	f := func(seed uint64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi-lo == 0 || math.IsInf(hi-lo, 0) {
+			return true
+		}
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Uniform(lo, hi)
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Norm()
+	}
+	_ = sink
+}

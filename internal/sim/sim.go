@@ -1,0 +1,172 @@
+// Package sim is a small deterministic discrete-event simulation kernel:
+// an event queue ordered by (time, insertion sequence), plus capacity-
+// constrained resources with FIFO wait queues. The storage-tier simulator
+// and the large-scale campaign scheduler are built on it.
+//
+// The kernel is callback-style (no goroutines), so runs are exactly
+// reproducible and cheap enough to simulate millions of events.
+package sim
+
+import "container/heap"
+
+// Engine owns simulated time and the pending event queue.
+type Engine struct {
+	now   float64
+	seq   int
+	queue eventHeap
+}
+
+type event struct {
+	time float64
+	seq  int // tiebreaker: FIFO among simultaneous events
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewEngine returns an engine at time 0 with an empty queue.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule queues fn to run delay time units from now. Negative delays
+// clamp to zero (run "now", after already-queued simultaneous events).
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At queues fn at absolute time t (clamped to now).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	heap.Push(&e.queue, event{time: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (e *Engine) Run() float64 {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.time
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= tEnd, advancing the clock to tEnd
+// (later events remain queued). It returns the number of events executed.
+func (e *Engine) RunUntil(tEnd float64) int {
+	executed := 0
+	for e.queue.Len() > 0 && e.queue[0].time <= tEnd {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.time
+		ev.fn()
+		executed++
+	}
+	if e.now < tEnd {
+		e.now = tEnd
+	}
+	return executed
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Resource is a capacity-limited resource with a FIFO wait queue.
+// Acquire hands the caller a release function; holding more than capacity
+// concurrently is impossible.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []func(release func())
+	// Busy integrates units-in-use over time for utilisation reporting.
+	busyIntegral float64
+	lastChange   float64
+}
+
+// NewResource creates a resource with the given capacity on engine e.
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: e, capacity: capacity}
+}
+
+// Acquire requests one unit. fn runs (as a scheduled event) once a unit is
+// available, receiving a release callback that must be invoked exactly once.
+// The unit is reserved synchronously, so capacity can never be oversubscribed
+// even when many acquisitions are issued before the engine runs.
+func (r *Resource) Acquire(fn func(release func())) {
+	if r.inUse < r.capacity {
+		r.grant(fn)
+	} else {
+		r.waiters = append(r.waiters, fn)
+	}
+}
+
+// waiters holds pending acquisition callbacks in FIFO order; grant reserves
+// a unit immediately and schedules the callback.
+func (r *Resource) grant(fn func(release func())) {
+	r.accumulate()
+	r.inUse++
+	released := false
+	release := func() {
+		if released {
+			panic("sim: double release")
+		}
+		released = true
+		r.accumulate()
+		r.inUse--
+		if len(r.waiters) > 0 {
+			next := r.waiters[0]
+			r.waiters = r.waiters[1:]
+			r.grant(next)
+		}
+	}
+	r.eng.Schedule(0, func() { fn(release) })
+}
+
+func (r *Resource) accumulate() {
+	now := r.eng.Now()
+	r.busyIntegral += float64(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// InUse returns the currently held unit count.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting acquisitions.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Utilization returns mean busy units / capacity over [0, now].
+func (r *Resource) Utilization() float64 {
+	r.accumulate()
+	now := r.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return r.busyIntegral / (now * float64(r.capacity))
+}

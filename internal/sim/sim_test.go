@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(5, func() { order = append(order, 2) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(9, func() { order = append(order, 3) })
+	end := e.Run()
+	if end != 9 {
+		t.Fatalf("end time %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(3, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times %v", times)
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5, func() {
+		e.Schedule(-3, func() {
+			ran = true
+			if e.Now() != 5 {
+				t.Errorf("negative delay ran at %v", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("clamped event never ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(float64(i), func() { count++ })
+	}
+	n := e.RunUntil(5)
+	if n != 5 || count != 5 {
+		t.Fatalf("RunUntil executed %d events (count %d)", n, count)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %v", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("%d events pending", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("final count %d", count)
+	}
+}
+
+func TestResourceCapacityNeverExceeded(t *testing.T) {
+	e := NewEngine()
+	res := NewResource(e, 3)
+	maxSeen := 0
+	for i := 0; i < 20; i++ {
+		res.Acquire(func(release func()) {
+			if res.InUse() > maxSeen {
+				maxSeen = res.InUse()
+			}
+			e.Schedule(2, release)
+		})
+	}
+	e.Run()
+	if maxSeen != 3 {
+		t.Fatalf("max concurrent %d want 3", maxSeen)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	res := NewResource(e, 1)
+	var order []int
+	for i := 0; i < 6; i++ {
+		i := i
+		res.Acquire(func(release func()) {
+			order = append(order, i)
+			e.Schedule(1, release)
+		})
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("resource grants out of order: %v", order)
+		}
+	}
+}
+
+func TestResourceTiming(t *testing.T) {
+	// Capacity 2, four 10-unit jobs: completion at t=20.
+	e := NewEngine()
+	res := NewResource(e, 2)
+	for i := 0; i < 4; i++ {
+		res.Acquire(func(release func()) {
+			e.Schedule(10, release)
+		})
+	}
+	if end := e.Run(); end != 20 {
+		t.Fatalf("makespan %v want 20", end)
+	}
+	// Utilisation: 2 units busy the whole time -> 1.0.
+	if u := res.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization %v", u)
+	}
+}
+
+func TestUtilizationPartial(t *testing.T) {
+	e := NewEngine()
+	res := NewResource(e, 2)
+	// One unit busy for 10 of 10 time units -> utilisation 0.5.
+	res.Acquire(func(release func()) {
+		e.Schedule(10, release)
+	})
+	e.Run()
+	if u := res.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization %v want 0.5", u)
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	e := NewEngine()
+	res := NewResource(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	res.Acquire(func(release func()) {
+		release()
+		release()
+	})
+	e.Run()
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewResource(NewEngine(), 0)
+}
+
+// Property: with capacity c and n jobs of duration d, makespan is
+// ceil(n/c)*d and the clock is always monotone.
+func TestQuickResourceMakespan(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := 1 + r.Intn(5)
+		n := 1 + r.Intn(30)
+		d := 1 + float64(r.Intn(10))
+		e := NewEngine()
+		res := NewResource(e, c)
+		last := -1.0
+		for i := 0; i < n; i++ {
+			res.Acquire(func(release func()) {
+				if e.Now() < last {
+					t.Fatal("clock went backwards")
+				}
+				last = e.Now()
+				e.Schedule(d, release)
+			})
+		}
+		end := e.Run()
+		waves := (n + c - 1) / c
+		return end == float64(waves)*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

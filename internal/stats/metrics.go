@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Accuracy returns the fraction of positions where pred == label.
+// It panics if the slices differ in length.
+func Accuracy(pred, label []int) float64 {
+	if len(pred) != len(label) {
+		panic("stats: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	hit := 0
+	for i := range pred {
+		if pred[i] == label[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}
+
+// MSE returns the mean squared error between prediction and target.
+func MSE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic("stats: MSE length mismatch")
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - target[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// MAE returns the mean absolute error between prediction and target.
+func MAE(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic("stats: MAE length mismatch")
+	}
+	if len(pred) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - target[i])
+	}
+	return s / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination of pred against target.
+func R2(pred, target []float64) float64 {
+	if len(pred) != len(target) {
+		panic("stats: R2 length mismatch")
+	}
+	if len(pred) < 2 {
+		return math.NaN()
+	}
+	mean := Mean(target)
+	ssRes, ssTot := 0.0, 0.0
+	for i := range pred {
+		d := target[i] - pred[i]
+		ssRes += d * d
+		t := target[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// AUC returns the area under the ROC curve for binary labels (0/1) and
+// real-valued scores, computed via the Mann–Whitney U statistic with
+// midrank tie handling.
+func AUC(score []float64, label []int) float64 {
+	if len(score) != len(label) {
+		panic("stats: AUC length mismatch")
+	}
+	n := len(score)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return score[idx[a]] < score[idx[b]] })
+	// Midranks.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && score[idx[j]] == score[idx[i]] {
+			j++
+		}
+		mid := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	nPos, nNeg := 0, 0
+	sumPos := 0.0
+	for i, l := range label {
+		if l == 1 {
+			nPos++
+			sumPos += ranks[i]
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// F1 returns the F1 score for binary predictions (positive class = 1).
+func F1(pred, label []int) float64 {
+	if len(pred) != len(label) {
+		panic("stats: F1 length mismatch")
+	}
+	tp, fp, fn := 0, 0, 0
+	for i := range pred {
+		switch {
+		case pred[i] == 1 && label[i] == 1:
+			tp++
+		case pred[i] == 1 && label[i] == 0:
+			fp++
+		case pred[i] == 0 && label[i] == 1:
+			fn++
+		}
+	}
+	if 2*tp+fp+fn == 0 {
+		return math.NaN()
+	}
+	return 2 * float64(tp) / float64(2*tp+fp+fn)
+}
+
+// ConfusionMatrix returns an nClass x nClass matrix m where m[t][p] counts
+// samples with true class t predicted as p.
+func ConfusionMatrix(pred, label []int, nClass int) [][]int {
+	if len(pred) != len(label) {
+		panic("stats: ConfusionMatrix length mismatch")
+	}
+	m := make([][]int, nClass)
+	for i := range m {
+		m[i] = make([]int, nClass)
+	}
+	for i := range pred {
+		m[label[i]][pred[i]]++
+	}
+	return m
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Pearson length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of x and y.
+func Spearman(x, y []float64) float64 {
+	return Pearson(midranks(x), midranks(y))
+}
+
+func midranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && x[idx[j]] == x[idx[i]] {
+			j++
+		}
+		mid := float64(i+j-1)/2 + 1
+		for k := i; k < j; k++ {
+			r[idx[k]] = mid
+		}
+		i = j
+	}
+	return r
+}

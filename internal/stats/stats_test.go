@@ -1,0 +1,269 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("mean=%v", m)
+	}
+	if v := Variance(xs); !approx(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance=%v", v)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) not NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of singleton not NaN")
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("Min/Max of empty wrong")
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Fatal("ArgMin/ArgMax of empty not -1")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile of empty not NaN")
+	}
+}
+
+func TestMinMaxArg(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("Min/Max wrong")
+	}
+	if ArgMin(xs) != 1 || ArgMax(xs) != 2 {
+		t.Fatal("ArgMin/ArgMax wrong")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if q := Quantile(xs, 0.5); !approx(q, 3, 1e-12) {
+		t.Fatalf("median=%v", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0=%v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1=%v", q)
+	}
+	if q := Quantile(xs, 0.25); !approx(q, 2, 1e-12) {
+		t.Fatalf("q.25=%v", q)
+	}
+	// Input must not be reordered.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, -2, 3.25, 0, 10, -4.5, 2}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if !approx(o.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("online mean %v vs %v", o.Mean(), Mean(xs))
+	}
+	if !approx(o.Variance(), Variance(xs), 1e-12) {
+		t.Fatalf("online var %v vs %v", o.Variance(), Variance(xs))
+	}
+	if o.Min() != Min(xs) || o.Max() != Max(xs) || o.N() != len(xs) {
+		t.Fatal("online min/max/n wrong")
+	}
+}
+
+func TestQuickOnlineMatchesBatch(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var o Online
+		for _, x := range xs {
+			o.Add(x)
+		}
+		scale := math.Max(1, math.Abs(Mean(xs)))
+		return approx(o.Mean(), Mean(xs), 1e-9*scale) &&
+			approx(o.Variance(), Variance(xs), 1e-6*math.Max(1, Variance(xs)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{1, 1, 1, 1}
+	m, hw := MeanCI(xs)
+	if m != 1 || hw != 0 {
+		t.Fatalf("constant data CI: mean=%v hw=%v", m, hw)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts=%v", h.Counts)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total=%d", h.Total())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); !approx(a, 2.0/3.0, 1e-12) {
+		t.Fatalf("acc=%v", a)
+	}
+}
+
+func TestMSEAndMAE(t *testing.T) {
+	p := []float64{1, 2}
+	y := []float64{3, 2}
+	if m := MSE(p, y); !approx(m, 2, 1e-12) {
+		t.Fatalf("mse=%v", m)
+	}
+	if m := MAE(p, y); !approx(m, 1, 1e-12) {
+		t.Fatalf("mae=%v", m)
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if r := R2(y, y); !approx(r, 1, 1e-12) {
+		t.Fatalf("perfect R2=%v", r)
+	}
+	mean := Mean(y)
+	pred := []float64{mean, mean, mean, mean}
+	if r := R2(pred, y); !approx(r, 0, 1e-12) {
+		t.Fatalf("mean-predictor R2=%v", r)
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfectly separated scores.
+	score := []float64{0.1, 0.2, 0.8, 0.9}
+	label := []int{0, 0, 1, 1}
+	if a := AUC(score, label); !approx(a, 1, 1e-12) {
+		t.Fatalf("AUC=%v", a)
+	}
+	// Anti-separated.
+	if a := AUC(score, []int{1, 1, 0, 0}); !approx(a, 0, 1e-12) {
+		t.Fatalf("AUC=%v", a)
+	}
+	// All-tied scores give 0.5.
+	if a := AUC([]float64{1, 1, 1, 1}, label); !approx(a, 0.5, 1e-12) {
+		t.Fatalf("tied AUC=%v", a)
+	}
+	// Degenerate labels give NaN.
+	if !math.IsNaN(AUC(score, []int{1, 1, 1, 1})) {
+		t.Fatal("single-class AUC not NaN")
+	}
+}
+
+func TestF1(t *testing.T) {
+	pred := []int{1, 1, 0, 0}
+	label := []int{1, 0, 1, 0}
+	// tp=1 fp=1 fn=1 -> F1 = 2/4 = .5
+	if f := F1(pred, label); !approx(f, 0.5, 1e-12) {
+		t.Fatalf("F1=%v", f)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	m := ConfusionMatrix([]int{0, 1, 1}, []int{0, 1, 0}, 2)
+	if m[0][0] != 1 || m[0][1] != 1 || m[1][1] != 1 || m[1][0] != 0 {
+		t.Fatalf("confusion=%v", m)
+	}
+}
+
+func TestPearsonSpearman(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if p := Pearson(x, y); !approx(p, 1, 1e-12) {
+		t.Fatalf("pearson=%v", p)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if p := Pearson(x, neg); !approx(p, -1, 1e-12) {
+		t.Fatalf("pearson=%v", p)
+	}
+	// Monotone nonlinear: Spearman 1, Pearson < 1.
+	cube := []float64{1, 8, 27, 64, 125}
+	if s := Spearman(x, cube); !approx(s, 1, 1e-12) {
+		t.Fatalf("spearman=%v", s)
+	}
+	if p := Pearson(x, cube); p >= 1 {
+		t.Fatalf("pearson on cube should be <1, got %v", p)
+	}
+}
+
+// Property: AUC is invariant to any strictly monotone transform of scores.
+func TestQuickAUCMonotoneInvariant(t *testing.T) {
+	f := func(raw []float64, labels []bool) bool {
+		n := len(raw)
+		if len(labels) < n {
+			n = len(labels)
+		}
+		if n < 4 {
+			return true
+		}
+		score := make([]float64, n)
+		lab := make([]int, n)
+		pos := 0
+		for i := 0; i < n; i++ {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			score[i] = math.Mod(v, 100)
+			if labels[i] {
+				lab[i] = 1
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			return true
+		}
+		a := AUC(score, lab)
+		tr := make([]float64, n)
+		for i, s := range score {
+			tr[i] = 3*s + 7 // strictly increasing
+		}
+		b := AUC(tr, lab)
+		return approx(a, b, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

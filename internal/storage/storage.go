@@ -1,0 +1,338 @@
+// Package storage simulates training-data placement across a node's memory
+// and storage tiers — the paper's "large quantities of training data to be
+// made available or generated at each node, thus providing opportunities
+// for NVRAM" claim, made quantitative.
+//
+// An epoch is modelled as a sequence of steps, each needing one batch of
+// bytes from some tier before its compute can run. Policies differ in where
+// the bytes live and whether reads overlap compute; the discrete-event
+// engine (internal/sim) produces exact timelines with per-step stall
+// accounting.
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Policy selects a data-staging strategy.
+type Policy int
+
+// Available staging policies.
+const (
+	// DirectPFS reads every batch synchronously from the parallel file
+	// system (the no-burst-buffer baseline).
+	DirectPFS Policy = iota
+	// StageNVRAM copies the dataset to node-local NVRAM once, then reads
+	// batches synchronously from NVRAM.
+	StageNVRAM
+	// PrefetchNVRAM stages to NVRAM and double-buffers batch reads so they
+	// overlap compute.
+	PrefetchNVRAM
+	// PrefetchPFS double-buffers directly against the PFS (no staging).
+	PrefetchPFS
+	// ResidentDRAM holds the whole dataset in DRAM (only valid when it
+	// fits); reads cost DRAM bandwidth and overlap compute.
+	ResidentDRAM
+	// ShardNVRAM stages 1/ShardNodes of the dataset into each node's NVRAM;
+	// batch reads are mostly remote over the fabric but avoid the PFS
+	// entirely after staging. Feasible even when the full dataset exceeds
+	// one node's NVRAM.
+	ShardNVRAM
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case DirectPFS:
+		return "direct-pfs"
+	case StageNVRAM:
+		return "stage-nvram"
+	case PrefetchNVRAM:
+		return "prefetch-nvram"
+	case PrefetchPFS:
+		return "prefetch-pfs"
+	case ResidentDRAM:
+		return "resident-dram"
+	case ShardNVRAM:
+		return "shard-nvram"
+	default:
+		return "policy?"
+	}
+}
+
+// AllPolicies lists every staging policy.
+func AllPolicies() []Policy {
+	return []Policy{DirectPFS, StageNVRAM, PrefetchNVRAM, PrefetchPFS, ResidentDRAM, ShardNVRAM}
+}
+
+// Config describes a training run's data demands.
+type Config struct {
+	// DatasetBytes is the full training set size per node.
+	DatasetBytes float64
+	// BatchBytes is the bytes consumed per training step.
+	BatchBytes float64
+	// StepsPerEpoch is the number of batches per epoch.
+	StepsPerEpoch int
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// ComputePerStep is the pure compute time of one step in seconds.
+	ComputePerStep float64
+	// SharedPFSNodes is the number of nodes concurrently hammering the
+	// parallel file system; each node sees 1/SharedPFSNodes of PFS
+	// bandwidth. 0 or 1 means a dedicated PFS. Node-local tiers (DRAM,
+	// NVRAM) are unaffected — this contention is exactly why the paper
+	// argues for node-local NVRAM.
+	SharedPFSNodes int
+	// ShardNodes is the number of nodes a ShardNVRAM policy spreads the
+	// dataset across (defaults to SharedPFSNodes, minimum 2).
+	ShardNodes int
+	// FabricBps is the node-to-node bandwidth remote shard reads use
+	// (defaults to 10 GB/s).
+	FabricBps float64
+}
+
+// EffectivePFS returns the node's PFS tier with bandwidth derated by the
+// configured sharing factor.
+func EffectivePFS(node *machine.Node, cfg Config) (machine.MemTier, bool) {
+	pfs, ok := node.TierByName("PFS")
+	if !ok {
+		return machine.MemTier{}, false
+	}
+	if cfg.SharedPFSNodes > 1 {
+		pfs.BandwidthBps /= float64(cfg.SharedPFSNodes)
+	}
+	return pfs, true
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.DatasetBytes <= 0 || c.BatchBytes <= 0 || c.StepsPerEpoch <= 0 ||
+		c.Epochs <= 0 || c.ComputePerStep < 0 {
+		return fmt.Errorf("storage: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Result summarises a simulated run.
+type Result struct {
+	Policy    Policy
+	TotalTime float64 // wall-clock seconds
+	StageTime float64 // one-time staging cost included in TotalTime
+	StallTime float64 // compute-idle time waiting on data
+	IOTime    float64 // total time spent moving batch data
+	// StallFraction is StallTime / TotalTime.
+	StallFraction float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-14s total=%8.2fs stage=%7.2fs stall=%8.2fs (%.1f%%)",
+		r.Policy, r.TotalTime, r.StageTime, r.StallTime, 100*r.StallFraction)
+}
+
+// readTime returns the synchronous read cost of `bytes` from tier t.
+func readTime(t machine.MemTier, bytes float64) float64 {
+	return t.LatencySec + bytes/t.BandwidthBps
+}
+
+// Simulate runs the configured training timeline on the given node under
+// the given policy and returns exact timing. It returns an error when the
+// policy's capacity preconditions do not hold (e.g. ResidentDRAM with a
+// dataset larger than DRAM).
+func Simulate(node *machine.Node, policy Policy, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	pfs, ok := EffectivePFS(node, cfg)
+	if !ok {
+		return Result{}, fmt.Errorf("storage: node %s has no PFS tier", node.Name)
+	}
+	res := Result{Policy: policy}
+
+	switch policy {
+	case DirectPFS:
+		simulateSync(&res, pfs, cfg)
+	case StageNVRAM, PrefetchNVRAM:
+		nvram, ok := node.TierByName("NVRAM")
+		if !ok {
+			return Result{}, fmt.Errorf("storage: node %s has no NVRAM tier", node.Name)
+		}
+		if cfg.DatasetBytes > nvram.CapacityBytes {
+			return Result{}, fmt.Errorf("storage: dataset (%.0f GB) exceeds NVRAM (%.0f GB)",
+				cfg.DatasetBytes/machine.GB, nvram.CapacityBytes/machine.GB)
+		}
+		res.StageTime = machine.StageDataTime(pfs, nvram, cfg.DatasetBytes)
+		if policy == StageNVRAM {
+			simulateSync(&res, nvram, cfg)
+		} else {
+			simulatePrefetch(&res, nvram, cfg)
+		}
+		res.TotalTime += res.StageTime
+	case PrefetchPFS:
+		simulatePrefetch(&res, pfs, cfg)
+	case ShardNVRAM:
+		nvram, ok := node.TierByName("NVRAM")
+		if !ok {
+			return Result{}, fmt.Errorf("storage: node %s has no NVRAM tier", node.Name)
+		}
+		shards := cfg.ShardNodes
+		if shards <= 0 {
+			shards = cfg.SharedPFSNodes
+		}
+		if shards < 2 {
+			shards = 2
+		}
+		perNode := cfg.DatasetBytes / float64(shards)
+		if perNode > nvram.CapacityBytes {
+			return Result{}, fmt.Errorf("storage: shard (%.0f GB) exceeds NVRAM (%.0f GB)",
+				perNode/machine.GB, nvram.CapacityBytes/machine.GB)
+		}
+		// Each node stages only its shard (the PFS contention applies).
+		res.StageTime = machine.StageDataTime(pfs, nvram, perNode)
+		// Per-step read: 1/shards local from NVRAM, the rest remote over
+		// the fabric from peer NVRAM (bounded by the slower of the two).
+		fabric := cfg.FabricBps
+		if fabric <= 0 {
+			fabric = 10 * machine.GB
+		}
+		remoteBps := math.Min(fabric, nvram.BandwidthBps)
+		effTier := machine.MemTier{
+			Name:       "shard-nvram",
+			LatencySec: nvram.LatencySec,
+			BandwidthBps: 1 / (1/float64(shards)/nvram.BandwidthBps +
+				(1-1/float64(shards))/remoteBps),
+			CapacityBytes: nvram.CapacityBytes * float64(shards),
+		}
+		simulatePrefetch(&res, effTier, cfg)
+		res.TotalTime += res.StageTime
+	case ResidentDRAM:
+		dram, ok := node.TierByName("DRAM")
+		if !ok {
+			return Result{}, fmt.Errorf("storage: node %s has no DRAM tier", node.Name)
+		}
+		if cfg.DatasetBytes > dram.CapacityBytes {
+			return Result{}, fmt.Errorf("storage: dataset (%.0f GB) exceeds DRAM (%.0f GB)",
+				cfg.DatasetBytes/machine.GB, dram.CapacityBytes/machine.GB)
+		}
+		res.StageTime = machine.StageDataTime(pfs, dram, cfg.DatasetBytes)
+		simulatePrefetch(&res, dram, cfg)
+		res.TotalTime += res.StageTime
+	default:
+		return Result{}, fmt.Errorf("storage: unknown policy %d", policy)
+	}
+	if res.TotalTime > 0 {
+		res.StallFraction = res.StallTime / res.TotalTime
+	}
+	return res, nil
+}
+
+// simulateSync models read-then-compute with no overlap.
+func simulateSync(res *Result, tier machine.MemTier, cfg Config) {
+	steps := cfg.StepsPerEpoch * cfg.Epochs
+	rt := readTime(tier, cfg.BatchBytes)
+	res.IOTime = rt * float64(steps)
+	res.StallTime = res.IOTime // every read blocks compute
+	res.TotalTime += float64(steps)*cfg.ComputePerStep + res.IOTime
+}
+
+// simulatePrefetch models a double-buffered loader: a reader fills a 2-slot
+// buffer from the tier while compute drains it. Implemented on the DES
+// engine for exact stall accounting.
+func simulatePrefetch(res *Result, tier machine.MemTier, cfg Config) {
+	eng := sim.NewEngine()
+	steps := cfg.StepsPerEpoch * cfg.Epochs
+	rt := readTime(tier, cfg.BatchBytes)
+
+	const slots = 2
+	ready := 0       // filled buffer slots
+	reading := false // reader busy
+	issued := 0      // batches read or being read
+	consumed := 0    // batches computed
+	computing := false
+	var stall, lastHungry float64
+	hungry := false // compute idle, waiting on data
+
+	var tryRead, tryCompute func()
+	tryRead = func() {
+		if reading || issued >= steps || ready+boolInt(reading) >= slots {
+			return
+		}
+		reading = true
+		issued++
+		res.IOTime += rt
+		eng.Schedule(rt, func() {
+			reading = false
+			ready++
+			tryCompute()
+			tryRead()
+		})
+	}
+	tryCompute = func() {
+		if computing || consumed >= steps {
+			return
+		}
+		if ready == 0 {
+			if !hungry {
+				hungry = true
+				lastHungry = eng.Now()
+			}
+			return
+		}
+		if hungry {
+			stall += eng.Now() - lastHungry
+			hungry = false
+		}
+		computing = true
+		ready--
+		tryRead()
+		eng.Schedule(cfg.ComputePerStep, func() {
+			computing = false
+			consumed++
+			tryCompute()
+		})
+	}
+	// Kick off: compute is hungry from t=0 until the first batch lands.
+	hungry = true
+	lastHungry = 0
+	tryRead()
+	end := eng.Run()
+	res.StallTime += stall
+	res.TotalTime += end
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CompareAll simulates every applicable policy and returns results in policy
+// order, skipping policies whose capacity preconditions fail.
+func CompareAll(node *machine.Node, cfg Config) []Result {
+	var out []Result
+	for _, p := range AllPolicies() {
+		r, err := Simulate(node, p, cfg)
+		if err != nil {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// IdealTime returns the data-free lower bound: pure compute.
+func IdealTime(cfg Config) float64 {
+	return float64(cfg.StepsPerEpoch*cfg.Epochs) * cfg.ComputePerStep
+}
+
+// Efficiency returns ideal/actual for a result (1 = no data overhead).
+func Efficiency(r Result, cfg Config) float64 {
+	if r.TotalTime == 0 {
+		return math.NaN()
+	}
+	return IdealTime(cfg) / r.TotalTime
+}

@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/rng"
+)
+
+// testCfg is internally consistent: StepsPerEpoch * BatchBytes covers the
+// dataset, and 16 nodes share the PFS (the contention that motivates
+// node-local NVRAM).
+func testCfg() Config {
+	return Config{
+		DatasetBytes:   20 * machine.GB,
+		BatchBytes:     10 * machine.MB,
+		StepsPerEpoch:  2000,
+		Epochs:         5,
+		ComputePerStep: 0.01,
+		SharedPFSNodes: 16,
+	}
+}
+
+func node() *machine.Node { return &machine.GPU2017(1).Node }
+
+func TestValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCfg()
+	bad.Epochs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := Simulate(node(), DirectPFS, bad); err == nil {
+		t.Fatal("Simulate accepted invalid config")
+	}
+}
+
+func TestDirectPFSStallsDominate(t *testing.T) {
+	cfg := testCfg()
+	r, err := Simulate(node(), DirectPFS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 MB per step at 1 GB/s = 10ms read vs 10ms compute: ~half stalled.
+	if r.StallFraction < 0.3 {
+		t.Fatalf("direct PFS stall fraction %.2f too low", r.StallFraction)
+	}
+	want := IdealTime(cfg) + r.StallTime
+	if math.Abs(r.TotalTime-want) > 1e-9 {
+		t.Fatalf("sync accounting: total %v want %v", r.TotalTime, want)
+	}
+}
+
+func TestNVRAMStagingBeatsDirectPFS(t *testing.T) {
+	cfg := testCfg()
+	direct, err := Simulate(node(), DirectPFS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staged, err := Simulate(node(), StageNVRAM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged.TotalTime >= direct.TotalTime {
+		t.Fatalf("NVRAM staging (%v) not faster than direct PFS (%v) over %d epochs",
+			staged.TotalTime, direct.TotalTime, cfg.Epochs)
+	}
+	if staged.StageTime <= 0 {
+		t.Fatal("staging cost missing")
+	}
+}
+
+func TestPrefetchHidesIO(t *testing.T) {
+	cfg := testCfg()
+	sync, err := Simulate(node(), StageNVRAM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := Simulate(node(), PrefetchNVRAM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.TotalTime >= sync.TotalTime {
+		t.Fatalf("prefetch (%v) not faster than sync reads (%v)", pre.TotalTime, sync.TotalTime)
+	}
+	// NVRAM read (10MB / 6GB/s ≈ 1.7ms) < compute (10ms): stalls ≈ only the
+	// initial fill.
+	if pre.StallTime > 0.1 {
+		t.Fatalf("prefetch stall %v should be near zero", pre.StallTime)
+	}
+}
+
+func TestPrefetchCannotBeatBandwidth(t *testing.T) {
+	// When reads are slower than compute, prefetch's makespan is
+	// read-bound: total >= steps * readTime.
+	cfg := testCfg()
+	cfg.ComputePerStep = 0.0001
+	r, err := Simulate(node(), PrefetchPFS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfs, _ := EffectivePFS(node(), cfg)
+	readT := pfs.LatencySec + cfg.BatchBytes/pfs.BandwidthBps
+	lower := float64(cfg.StepsPerEpoch*cfg.Epochs) * readT
+	if r.TotalTime < lower*0.999 {
+		t.Fatalf("prefetch total %v below IO lower bound %v", r.TotalTime, lower)
+	}
+}
+
+func TestResidentDRAMNearIdeal(t *testing.T) {
+	cfg := testCfg()
+	cfg.DatasetBytes = 10 * machine.GB // fits DRAM (256 GB)
+	r, err := Simulate(node(), ResidentDRAM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-staging, efficiency should be essentially 1.
+	postStage := r.TotalTime - r.StageTime
+	if postStage > IdealTime(cfg)*1.05 {
+		t.Fatalf("resident DRAM epoch time %v vs ideal %v", postStage, IdealTime(cfg))
+	}
+}
+
+func TestCapacityPreconditions(t *testing.T) {
+	cfg := testCfg()
+	cfg.DatasetBytes = 10 * machine.TB // exceeds NVRAM (1.5 TB) and DRAM
+	if _, err := Simulate(node(), StageNVRAM, cfg); err == nil {
+		t.Fatal("oversized dataset accepted for NVRAM staging")
+	}
+	if _, err := Simulate(node(), ResidentDRAM, cfg); err == nil {
+		t.Fatal("oversized dataset accepted for DRAM residency")
+	}
+	// Direct PFS still works.
+	if _, err := Simulate(node(), DirectPFS, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAllSkipsInfeasible(t *testing.T) {
+	cfg := testCfg()
+	cfg.DatasetBytes = 10 * machine.TB
+	results := CompareAll(node(), cfg)
+	for _, r := range results {
+		if r.Policy == StageNVRAM || r.Policy == ResidentDRAM || r.Policy == PrefetchNVRAM {
+			t.Fatalf("infeasible policy %v returned", r.Policy)
+		}
+	}
+	// direct-pfs, prefetch-pfs, and shard-nvram (10 TB / 16 nodes fits).
+	if len(results) != 3 {
+		t.Fatalf("expected 3 feasible policies, got %d", len(results))
+	}
+}
+
+func TestShardNVRAM(t *testing.T) {
+	// Dataset too big for one node's NVRAM but shardable across 16.
+	// Full epochs over the dataset (10 TB in 1 GB batches) so the one-time
+	// staging cost can amortise.
+	cfg := testCfg()
+	cfg.DatasetBytes = 10 * machine.TB
+	cfg.BatchBytes = 1 * machine.GB
+	cfg.StepsPerEpoch = 10000
+	if _, err := Simulate(node(), StageNVRAM, cfg); err == nil {
+		t.Fatal("full staging of 10 TB should be infeasible")
+	}
+	shard, err := Simulate(node(), ShardNVRAM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Simulate(node(), DirectPFS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.TotalTime >= direct.TotalTime {
+		t.Fatalf("sharded NVRAM (%v) not faster than direct PFS (%v)",
+			shard.TotalTime, direct.TotalTime)
+	}
+	if shard.StageTime <= 0 {
+		t.Fatal("shard staging cost missing")
+	}
+	// Sharding across more nodes must not slow staging down.
+	cfg2 := cfg
+	cfg2.ShardNodes = 64
+	shard64, err := Simulate(node(), ShardNVRAM, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard64.StageTime > shard.StageTime {
+		t.Fatalf("more shards increased staging: %v vs %v", shard64.StageTime, shard.StageTime)
+	}
+}
+
+func TestPolicyOrderingMatchesPaper(t *testing.T) {
+	// The paper's claim: node-local NVRAM recovers most of in-memory
+	// performance once data exceeds DRAM. Ordering by total time must be
+	// resident <= prefetch-nvram <= prefetch-pfs <= direct-pfs for an
+	// IO-heavy workload (allowing equality).
+	cfg := testCfg()
+	times := map[Policy]float64{}
+	for _, p := range AllPolicies() {
+		r, err := Simulate(node(), p, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		times[p] = r.TotalTime
+	}
+	if !(times[ResidentDRAM] <= times[PrefetchNVRAM]*1.001 &&
+		times[PrefetchNVRAM] <= times[PrefetchPFS]*1.001 &&
+		times[PrefetchPFS] <= times[DirectPFS]*1.001) {
+		t.Fatalf("policy ordering violated: %v", times)
+	}
+}
+
+// Property: total time always >= max(ideal compute, total IO when
+// unoverlapped is impossible) and stall fraction in [0,1].
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		cfg := Config{
+			DatasetBytes:   r.Uniform(1, 200) * machine.GB,
+			BatchBytes:     r.Uniform(0.1, 50) * machine.MB,
+			StepsPerEpoch:  1 + r.Intn(50),
+			Epochs:         1 + r.Intn(5),
+			ComputePerStep: r.Uniform(0.0001, 0.05),
+			SharedPFSNodes: 1 + r.Intn(32),
+		}
+		for _, p := range AllPolicies() {
+			res, err := Simulate(node(), p, cfg)
+			if err != nil {
+				continue
+			}
+			if res.TotalTime < IdealTime(cfg)*0.999 {
+				return false
+			}
+			if res.StallFraction < 0 || res.StallFraction > 1 {
+				return false
+			}
+			if e := Efficiency(res, cfg); e < 0 || e > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range AllPolicies() {
+		if p.String() == "policy?" {
+			t.Fatalf("policy %d has no name", p)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package tensor
+
+import "fmt"
+
+// Conv1DOutLen returns the output length of a 1-D convolution with the given
+// input length, kernel size, stride and symmetric zero padding.
+func Conv1DOutLen(inLen, kernel, stride, pad int) int {
+	return (inLen+2*pad-kernel)/stride + 1
+}
+
+// Im2Col1D lowers one sample of a 1-D convolution to a matrix.
+//
+// in is (C, L) flattened; the result col is (C*K, Lout) so that a weight
+// matrix W of shape (F, C*K) yields the convolution output as W @ col
+// (F, Lout). Positions outside [0,L) contribute zeros (zero padding).
+func Im2Col1D(col, in *Tensor, channels, inLen, kernel, stride, pad int) {
+	outLen := Conv1DOutLen(inLen, kernel, stride, pad)
+	if col.Len() != channels*kernel*outLen || in.Len() != channels*inLen {
+		panic(fmt.Sprintf("tensor: Im2Col1D sizes col=%d in=%d want %d,%d",
+			col.Len(), in.Len(), channels*kernel*outLen, channels*inLen))
+	}
+	for c := 0; c < channels; c++ {
+		for k := 0; k < kernel; k++ {
+			rowOff := (c*kernel + k) * outLen
+			for o := 0; o < outLen; o++ {
+				src := o*stride + k - pad
+				if src >= 0 && src < inLen {
+					col.Data[rowOff+o] = in.Data[c*inLen+src]
+				} else {
+					col.Data[rowOff+o] = 0
+				}
+			}
+		}
+	}
+}
+
+// Col2Im1D is the adjoint of Im2Col1D: it accumulates the columns matrix
+// back into the input gradient din (C, L). din is NOT zeroed first so
+// callers can accumulate across samples; zero it when that is not wanted.
+func Col2Im1D(din, col *Tensor, channels, inLen, kernel, stride, pad int) {
+	outLen := Conv1DOutLen(inLen, kernel, stride, pad)
+	if col.Len() != channels*kernel*outLen || din.Len() != channels*inLen {
+		panic("tensor: Col2Im1D size mismatch")
+	}
+	for c := 0; c < channels; c++ {
+		for k := 0; k < kernel; k++ {
+			rowOff := (c*kernel + k) * outLen
+			for o := 0; o < outLen; o++ {
+				src := o*stride + k - pad
+				if src >= 0 && src < inLen {
+					din.Data[c*inLen+src] += col.Data[rowOff+o]
+				}
+			}
+		}
+	}
+}
+
+// Conv2DOutDims returns output height/width of a 2-D convolution.
+func Conv2DOutDims(h, w, kernel, stride, pad int) (oh, ow int) {
+	return (h+2*pad-kernel)/stride + 1, (w+2*pad-kernel)/stride + 1
+}
+
+// Im2Col2D lowers one sample of a 2-D convolution (square kernel) to a
+// matrix of shape (C*K*K, OH*OW); a weight matrix (F, C*K*K) then yields
+// the output as W @ col (F, OH*OW). in is (C, H, W) flattened.
+func Im2Col2D(col, in *Tensor, channels, h, w, kernel, stride, pad int) {
+	oh, ow := Conv2DOutDims(h, w, kernel, stride, pad)
+	if col.Len() != channels*kernel*kernel*oh*ow || in.Len() != channels*h*w {
+		panic("tensor: Im2Col2D size mismatch")
+	}
+	for c := 0; c < channels; c++ {
+		for ky := 0; ky < kernel; ky++ {
+			for kx := 0; kx < kernel; kx++ {
+				rowOff := ((c*kernel+ky)*kernel + kx) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride + ky - pad
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride + kx - pad
+						dst := rowOff + oy*ow + ox
+						if sy >= 0 && sy < h && sx >= 0 && sx < w {
+							col.Data[dst] = in.Data[(c*h+sy)*w+sx]
+						} else {
+							col.Data[dst] = 0
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im2D is the adjoint of Im2Col2D, accumulating into din (C, H, W).
+func Col2Im2D(din, col *Tensor, channels, h, w, kernel, stride, pad int) {
+	oh, ow := Conv2DOutDims(h, w, kernel, stride, pad)
+	if col.Len() != channels*kernel*kernel*oh*ow || din.Len() != channels*h*w {
+		panic("tensor: Col2Im2D size mismatch")
+	}
+	for c := 0; c < channels; c++ {
+		for ky := 0; ky < kernel; ky++ {
+			for kx := 0; kx < kernel; kx++ {
+				rowOff := ((c*kernel+ky)*kernel + kx) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride + ky - pad
+					if sy < 0 || sy >= h {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride + kx - pad
+						if sx < 0 || sx >= w {
+							continue
+						}
+						din.Data[(c*h+sy)*w+sx] += col.Data[rowOff+oy*ow+ox]
+					}
+				}
+			}
+		}
+	}
+}

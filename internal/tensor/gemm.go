@@ -1,0 +1,194 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// blockM/blockN/blockK are the cache-blocking tile sizes for GEMM. They are
+// sized so one A tile plus one B tile fits comfortably in L2 on commodity
+// cores (64*64*8B*2 = 64 KiB).
+const (
+	blockM = 64
+	blockN = 64
+	blockK = 64
+)
+
+// MaxProcs bounds the goroutine parallelism of the tensor kernels. Zero
+// means runtime.GOMAXPROCS(0). It exists so benchmarks can pin kernel
+// parallelism independently of the Go runtime setting.
+var MaxProcs int
+
+func nWorkers() int {
+	if MaxProcs > 0 {
+		return MaxProcs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelFor runs fn(lo,hi) over a partition of [0,n) across the kernel
+// worker pool. It blocks until all chunks complete. Chunks are contiguous so
+// callers can exploit cache locality.
+func ParallelFor(n int, fn func(lo, hi int)) {
+	w := nWorkers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes dst = a @ b for a (M x K) and b (K x N), dst (M x N).
+// dst must not alias a or b. The kernel is cache-blocked and parallel over
+// row blocks.
+func MatMul(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(dst, a, b, false, false)
+	dst.Zero()
+	ParallelFor((m+blockM-1)/blockM, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			i0 := bi * blockM
+			i1 := min(i0+blockM, m)
+			for k0 := 0; k0 < k; k0 += blockK {
+				k1 := min(k0+blockK, k)
+				for j0 := 0; j0 < n; j0 += blockN {
+					j1 := min(j0+blockN, n)
+					gemmKernel(dst.Data, a.Data, b.Data, i0, i1, j0, j1, k0, k1, k, n)
+				}
+			}
+		}
+	})
+}
+
+// gemmKernel computes the dst tile [i0:i1, j0:j1] += A[i0:i1,k0:k1] @ B[k0:k1,j0:j1]
+// with an i-k-j loop order that streams both B and dst rows.
+func gemmKernel(dst, a, b []float64, i0, i1, j0, j1, k0, k1, lda, ldc int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*lda : i*lda+k1]
+		crow := dst[i*ldc : i*ldc+j1]
+		for kk := k0; kk < k1; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*ldc : kk*ldc+j1]
+			for j := j0; j < j1; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransA computes dst = aᵀ @ b for a (K x M) and b (K x N), dst (M x N).
+// dst must not alias a or b. Used for weight gradients (Xᵀ·dY).
+func MatMulTransA(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(dst, a, b, true, false)
+	dst.Zero()
+	// Parallelise over output row blocks; each worker owns disjoint dst rows.
+	ParallelFor((m+blockM-1)/blockM, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			i0 := bi * blockM
+			i1 := min(i0+blockM, m)
+			for kk := 0; kk < k; kk++ {
+				arow := a.Data[kk*m : (kk+1)*m]
+				brow := b.Data[kk*n : (kk+1)*n]
+				for i := i0; i < i1; i++ {
+					av := arow[i]
+					if av == 0 {
+						continue
+					}
+					crow := dst.Data[i*n : (i+1)*n]
+					for j := 0; j < n; j++ {
+						crow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransB computes dst = a @ bᵀ for a (M x K) and b (N x K), dst (M x N).
+// dst must not alias a or b. Used for input gradients (dY·Wᵀ).
+func MatMulTransB(dst, a, b *Tensor) {
+	m, k, n := checkMatMul(dst, a, b, false, true)
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := dst.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for kk := 0; kk < k; kk++ {
+					s += arow[kk] * brow[kk]
+				}
+				crow[j] = s
+			}
+		}
+	})
+}
+
+// MatVec computes dst = a @ x for a (M x K) and x (K), dst (M).
+func MatVec(dst, a, x *Tensor) {
+	if a.Rank() != 2 || a.Dim(1) != x.Len() || dst.Len() != a.Dim(0) {
+		panic(fmt.Sprintf("tensor: MatVec shapes %v %v %v", dst.shape, a.shape, x.shape))
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	ParallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*k : (i+1)*k]
+			s := 0.0
+			for j := 0; j < k; j++ {
+				s += row[j] * x.Data[j]
+			}
+			dst.Data[i] = s
+		}
+	})
+}
+
+// checkMatMul validates shapes and returns (M, K, N) given the transpose
+// flags, and panics on aliasing of dst with an input.
+func checkMatMul(dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
+	if dst.Rank() != 2 || a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 operands")
+	}
+	if transA {
+		k, m = a.Dim(0), a.Dim(1)
+	} else {
+		m, k = a.Dim(0), a.Dim(1)
+	}
+	var kb int
+	if transB {
+		n, kb = b.Dim(0), b.Dim(1)
+	} else {
+		kb, n = b.Dim(0), b.Dim(1)
+	}
+	if kb != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, kb))
+	}
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMul dst %v want [%d %d]", dst.shape, m, n))
+	}
+	if len(dst.Data) > 0 && len(a.Data) > 0 && len(b.Data) > 0 &&
+		(&dst.Data[0] == &a.Data[0] || &dst.Data[0] == &b.Data[0]) {
+		panic("tensor: MatMul dst aliases an input")
+	}
+	return m, k, n
+}

@@ -1,0 +1,181 @@
+// Package tensor implements the dense float64 tensor type and the numerical
+// kernels (blocked parallel GEMM, convolution lowering, reductions) that the
+// neural-network and benchmark layers are built on.
+//
+// Tensors are contiguous and row-major. Views share underlying storage;
+// Clone produces an independent copy. All kernels are pure Go with cache
+// blocking and goroutine-level parallelism, per the repository's stdlib-only
+// constraint.
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Tensor is a dense, contiguous, row-major n-dimensional array of float64.
+type Tensor struct {
+	Data  []float64
+	shape []int
+}
+
+// New allocates a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		n *= d
+	}
+	return &Tensor{Data: make([]float64, n), shape: append([]int(nil), shape...)}
+}
+
+// FromSlice wraps data (not copied) in a tensor with the given shape.
+// It panics if len(data) does not match the shape's element count.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Data: data, shape: append([]int(nil), shape...)}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d for shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Reshape returns a view of t with a new shape (same element count,
+// shared storage).
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &Tensor{Data: t.Data, shape: append([]int(nil), shape...)}
+}
+
+// Row returns a view of row i of a rank-2 tensor (shared storage).
+func (t *Tensor) Row(i int) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Row requires rank 2")
+	}
+	c := t.shape[1]
+	return &Tensor{Data: t.Data[i*c : (i+1)*c], shape: []int{c}}
+}
+
+// SliceRows returns a view of rows [lo,hi) along axis 0 (shared storage).
+func (t *Tensor) SliceRows(lo, hi int) *Tensor {
+	if len(t.shape) < 1 {
+		panic("tensor: SliceRows on scalar")
+	}
+	if lo < 0 || hi > t.shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows[%d:%d] out of range for axis size %d", lo, hi, t.shape[0]))
+	}
+	stride := 1
+	for _, d := range t.shape[1:] {
+		stride *= d
+	}
+	shape := append([]int{hi - lo}, t.shape[1:]...)
+	return &Tensor{Data: t.Data[lo*stride : hi*stride], shape: shape}
+}
+
+// Clone returns an independent deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float64, len(t.Data))
+	copy(d, t.Data)
+	return &Tensor{Data: d, shape: append([]int(nil), t.shape...)}
+}
+
+// CopyFrom copies u's elements into t (shapes must have equal length).
+func (t *Tensor) CopyFrom(u *Tensor) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.Data, u.Data)
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// FillRandNorm fills t with N(0, std) variates from r.
+func (t *Tensor) FillRandNorm(r *rng.Stream, std float64) {
+	for i := range t.Data {
+		t.Data[i] = r.Norm() * std
+	}
+}
+
+// FillRandUniform fills t with Uniform(lo,hi) variates from r.
+func (t *Tensor) FillRandUniform(r *rng.Stream, lo, hi float64) {
+	for i := range t.Data {
+		t.Data[i] = r.Uniform(lo, hi)
+	}
+}
+
+// String renders small tensors fully and large ones as a summary.
+func (t *Tensor) String() string {
+	if len(t.Data) <= 16 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.Data)
+	}
+	return fmt.Sprintf("Tensor%v[%d elems]", t.shape, len(t.Data))
+}

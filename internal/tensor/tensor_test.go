@@ -1,0 +1,497 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewShapeLen(t *testing.T) {
+	x := New(3, 4, 5)
+	if x.Len() != 60 || x.Rank() != 3 || x.Dim(1) != 4 {
+		t.Fatalf("shape bookkeeping wrong: %v", x)
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New not zero-filled")
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3)
+	x.Set(7.5, 1, 2)
+	if x.At(1, 2) != 7.5 {
+		t.Fatal("At/Set round trip failed")
+	}
+	if x.Data[5] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	x := New(2, 3)
+	for _, idx := range [][]int{{2, 0}, {0, 3}, {-1, 0}, {0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("index %v did not panic", idx)
+				}
+			}()
+			x.At(idx...)
+		}()
+	}
+}
+
+func TestFromSliceSharing(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	x.Set(9, 0, 0)
+	if d[0] != 9 {
+		t.Fatal("FromSlice should share storage")
+	}
+}
+
+func TestReshapeView(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Set(5, 2, 3)
+	if x.At(1, 5) != 5 {
+		t.Fatal("Reshape should be a view")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad reshape did not panic")
+		}
+	}()
+	x.Reshape(5, 5)
+}
+
+func TestRowAndSliceRows(t *testing.T) {
+	x := New(4, 3)
+	for i := 0; i < 12; i++ {
+		x.Data[i] = float64(i)
+	}
+	r := x.Row(2)
+	if r.Len() != 3 || r.Data[0] != 6 {
+		t.Fatalf("Row(2)=%v", r.Data)
+	}
+	s := x.SliceRows(1, 3)
+	if s.Dim(0) != 2 || s.At(0, 0) != 3 || s.At(1, 2) != 8 {
+		t.Fatalf("SliceRows wrong: %v", s.Data)
+	}
+	s.Set(-1, 0, 0)
+	if x.At(1, 0) != -1 {
+		t.Fatal("SliceRows should be a view")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := New(2, 2)
+	x.Fill(1)
+	y := x.Clone()
+	y.Fill(2)
+	if x.Data[0] != 1 {
+		t.Fatal("Clone not independent")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	dst := New(3)
+	Add(dst, a, b)
+	if dst.Data[2] != 9 {
+		t.Fatal("Add wrong")
+	}
+	Sub(dst, b, a)
+	if dst.Data[0] != 3 {
+		t.Fatal("Sub wrong")
+	}
+	MulElem(dst, a, b)
+	if dst.Data[1] != 10 {
+		t.Fatal("MulElem wrong")
+	}
+	Scale(dst, a, 2)
+	if dst.Data[2] != 6 {
+		t.Fatal("Scale wrong")
+	}
+	dst.Fill(1)
+	AddScaled(dst, a, 10)
+	if dst.Data[0] != 11 {
+		t.Fatal("AddScaled wrong")
+	}
+	Apply(dst, a, func(v float64) float64 { return -v })
+	if dst.Data[1] != -2 {
+		t.Fatal("Apply wrong")
+	}
+	if Dot(a, b) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if a.Sum() != 6 || a.Norm2() != math.Sqrt(14) {
+		t.Fatal("Sum/Norm2 wrong")
+	}
+}
+
+func TestAbsMax(t *testing.T) {
+	a := FromSlice([]float64{1, -5, 3}, 3)
+	if a.AbsMax() != 5 {
+		t.Fatal("AbsMax wrong")
+	}
+}
+
+func TestAddRowVectorSumRows(t *testing.T) {
+	m := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	v := FromSlice([]float64{10, 20}, 2)
+	dst := New(2, 2)
+	AddRowVector(dst, m, v)
+	want := []float64{11, 22, 13, 24}
+	for i := range want {
+		if dst.Data[i] != want[i] {
+			t.Fatalf("AddRowVector got %v", dst.Data)
+		}
+	}
+	s := New(2)
+	SumRows(s, m)
+	if s.Data[0] != 4 || s.Data[1] != 6 {
+		t.Fatalf("SumRows got %v", s.Data)
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	m := FromSlice([]float64{1, 5, 2, 9, 0, 3}, 2, 3)
+	got := ArgMaxRows(m)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRows got %v", got)
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	m := FromSlice([]float64{1, 2, 3, 1000, 1001, 1002}, 2, 3)
+	dst := New(2, 3)
+	SoftmaxRows(dst, m)
+	for i := 0; i < 2; i++ {
+		row := dst.Data[i*3 : (i+1)*3]
+		sum := row[0] + row[1] + row[2]
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("softmax row %d sums to %v", i, sum)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("softmax overflow (not numerically stable)")
+			}
+		}
+	}
+	// Both rows have the same offsets so equal softmax values.
+	if math.Abs(dst.At(0, 0)-dst.At(1, 0)) > 1e-12 {
+		t.Fatal("softmax not shift-invariant")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	dst := New(3, 2)
+	Transpose(dst, a)
+	if dst.At(0, 1) != 4 || dst.At(2, 0) != 3 {
+		t.Fatalf("Transpose got %v", dst.Data)
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	a := FromSlice([]float64{3, 4}, 2)
+	pre := a.ClipNorm(1)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %v", pre)
+	}
+	if math.Abs(a.Norm2()-1) > 1e-12 {
+		t.Fatalf("post-clip norm %v", a.Norm2())
+	}
+	b := FromSlice([]float64{0.1, 0.1}, 2)
+	b.ClipNorm(10)
+	if b.Data[0] != 0.1 {
+		t.Fatal("ClipNorm scaled a small tensor")
+	}
+}
+
+// naiveMatMul is the reference O(n^3) implementation used to validate the
+// blocked parallel kernels.
+func naiveMatMul(a, b *Tensor, transA, transB bool) *Tensor {
+	get := func(t *Tensor, i, j int, trans bool) float64 {
+		if trans {
+			return t.At(j, i)
+		}
+		return t.At(i, j)
+	}
+	var m, k, n int
+	if transA {
+		k, m = a.Dim(0), a.Dim(1)
+	} else {
+		m, k = a.Dim(0), a.Dim(1)
+	}
+	if transB {
+		n = b.Dim(0)
+	} else {
+		n = b.Dim(1)
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for kk := 0; kk < k; kk++ {
+				s += get(a, i, kk, transA) * get(b, kk, j, transB)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+func randT(r *rng.Stream, shape ...int) *Tensor {
+	t := New(shape...)
+	t.FillRandNorm(r, 1)
+	return t
+}
+
+func maxDiff(a, b *Tensor) float64 {
+	d := 0.0
+	for i := range a.Data {
+		if v := math.Abs(a.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	r := rng.New(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {64, 64, 64}, {65, 130, 67}, {200, 33, 90}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randT(r, m, k)
+		b := randT(r, k, n)
+		dst := New(m, n)
+		MatMul(dst, a, b)
+		want := naiveMatMul(a, b, false, false)
+		if d := maxDiff(dst, want); d > 1e-9 {
+			t.Fatalf("MatMul %v diff %v", dims, d)
+		}
+	}
+}
+
+func TestMatMulTransAAgainstNaive(t *testing.T) {
+	r := rng.New(2)
+	for _, dims := range [][3]int{{3, 5, 7}, {65, 129, 66}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randT(r, k, m) // stored transposed
+		b := randT(r, k, n)
+		dst := New(m, n)
+		MatMulTransA(dst, a, b)
+		want := naiveMatMul(a, b, true, false)
+		if d := maxDiff(dst, want); d > 1e-9 {
+			t.Fatalf("MatMulTransA %v diff %v", dims, d)
+		}
+	}
+}
+
+func TestMatMulTransBAgainstNaive(t *testing.T) {
+	r := rng.New(3)
+	for _, dims := range [][3]int{{3, 5, 7}, {66, 131, 65}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randT(r, m, k)
+		b := randT(r, n, k) // stored transposed
+		dst := New(m, n)
+		MatMulTransB(dst, a, b)
+		want := naiveMatMul(a, b, false, true)
+		if d := maxDiff(dst, want); d > 1e-9 {
+			t.Fatalf("MatMulTransB %v diff %v", dims, d)
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	r := rng.New(4)
+	a := randT(r, 37, 53)
+	x := randT(r, 53)
+	dst := New(37)
+	MatVec(dst, a, x)
+	want := naiveMatMul(a, x.Reshape(53, 1), false, false)
+	if d := maxDiff(dst, want.Reshape(37)); d > 1e-9 {
+		t.Fatalf("MatVec diff %v", d)
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(4, 2))
+}
+
+func TestMatMulAliasPanics(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliased dst did not panic")
+		}
+	}()
+	MatMul(a, a, New(2, 2))
+}
+
+// Property: (A@B)ᵀ == Bᵀ@Aᵀ for random small matrices.
+func TestQuickMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m, k, n := 1+r.Intn(20), 1+r.Intn(20), 1+r.Intn(20)
+		a := randT(r, m, k)
+		b := randT(r, k, n)
+		ab := New(m, n)
+		MatMul(ab, a, b)
+		abT := New(n, m)
+		Transpose(abT, ab)
+
+		aT := New(k, m)
+		Transpose(aT, a)
+		bT := New(n, k)
+		Transpose(bT, b)
+		btat := New(n, m)
+		MatMul(btat, bT, aT)
+		return maxDiff(abT, btat) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	out := make([]int, 1000)
+	ParallelFor(1000, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i]++
+		}
+	})
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+	// Zero-length range must not call fn.
+	ParallelFor(0, func(lo, hi int) { t.Fatal("fn called for empty range") })
+}
+
+func TestIm2Col1DBasic(t *testing.T) {
+	// 1 channel, length 4, kernel 2, stride 1, no pad: windows (a,b),(b,c),(c,d).
+	in := FromSlice([]float64{1, 2, 3, 4}, 4)
+	out := Conv1DOutLen(4, 2, 1, 0)
+	if out != 3 {
+		t.Fatalf("outLen=%d", out)
+	}
+	col := New(2, 3)
+	Im2Col1D(col, in, 1, 4, 2, 1, 0)
+	want := []float64{1, 2, 3, 2, 3, 4}
+	for i := range want {
+		if col.Data[i] != want[i] {
+			t.Fatalf("col=%v", col.Data)
+		}
+	}
+}
+
+func TestIm2Col1DPadding(t *testing.T) {
+	in := FromSlice([]float64{1, 2}, 2)
+	// kernel 3, pad 1, stride 1: outLen = (2+2-3)+1 = 2
+	col := New(3, 2)
+	Im2Col1D(col, in, 1, 2, 3, 1, 1)
+	// window at o=0 covers src -1,0,1 = (0,1,2); o=1 covers 0,1,2 = (1,2,0)
+	want := []float64{0, 1, 1, 2, 2, 0}
+	for i := range want {
+		if col.Data[i] != want[i] {
+			t.Fatalf("padded col=%v", col.Data)
+		}
+	}
+}
+
+// Property: Col2Im1D is the exact adjoint of Im2Col1D:
+// <im2col(x), y> == <x, col2im(y)> for all x, y.
+func TestQuickIm2ColAdjoint1D(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := 1 + r.Intn(3)
+		l := 4 + r.Intn(12)
+		k := 1 + r.Intn(3)
+		stride := 1 + r.Intn(2)
+		pad := r.Intn(2)
+		outLen := Conv1DOutLen(l, k, stride, pad)
+		if outLen <= 0 {
+			return true
+		}
+		x := randT(r, c*l)
+		y := randT(r, c*k*outLen)
+		colX := New(c * k * outLen)
+		Im2Col1D(colX, x, c, l, k, stride, pad)
+		lhs := Dot(colX, y)
+		adj := New(c * l)
+		Col2Im1D(adj, y, c, l, k, stride, pad)
+		rhs := Dot(x, adj)
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Col2Im2D is the exact adjoint of Im2Col2D.
+func TestQuickIm2ColAdjoint2D(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := 1 + r.Intn(2)
+		h := 4 + r.Intn(6)
+		w := 4 + r.Intn(6)
+		k := 1 + r.Intn(3)
+		stride := 1 + r.Intn(2)
+		pad := r.Intn(2)
+		oh, ow := Conv2DOutDims(h, w, k, stride, pad)
+		if oh <= 0 || ow <= 0 {
+			return true
+		}
+		x := randT(r, c*h*w)
+		y := randT(r, c*k*k*oh*ow)
+		colX := New(c * k * k * oh * ow)
+		Im2Col2D(colX, x, c, h, w, k, stride, pad)
+		lhs := Dot(colX, y)
+		adj := New(c * h * w)
+		Col2Im2D(adj, y, c, h, w, k, stride, pad)
+		rhs := Dot(x, adj)
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConv2DDims(t *testing.T) {
+	oh, ow := Conv2DOutDims(28, 28, 3, 1, 1)
+	if oh != 28 || ow != 28 {
+		t.Fatalf("same-pad conv dims %dx%d", oh, ow)
+	}
+	oh, ow = Conv2DOutDims(28, 28, 3, 2, 0)
+	if oh != 13 || ow != 13 {
+		t.Fatalf("strided conv dims %dx%d", oh, ow)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) { benchMatMul(b, 128) }
+func BenchmarkMatMul512(b *testing.B) { benchMatMul(b, 512) }
+
+func benchMatMul(b *testing.B, n int) {
+	r := rng.New(1)
+	a := randT(r, n, n)
+	c := randT(r, n, n)
+	dst := New(n, n)
+	b.SetBytes(int64(8 * n * n * 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, a, c)
+	}
+}

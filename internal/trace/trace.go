@@ -1,0 +1,190 @@
+// Package trace provides the experiment reporting primitives: aligned text
+// tables (what the benchmark harness prints for each experiment), CSV
+// export, and a timestamped event log for debugging long campaigns.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v. The row length must
+// match the column count.
+func (t *Table) AddRow(cells ...any) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("trace: row has %d cells, table has %d columns",
+			len(cells), len(t.Columns)))
+	}
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders floats compactly: scientific for extremes, fixed
+// otherwise.
+func formatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return fmt.Sprintf("trace: render failed: %v", err)
+	}
+	return sb.String()
+}
+
+// WriteCSV exports the table (header + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Log is a concurrency-safe event log keyed by category.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Seq      int
+	Category string
+	Message  string
+}
+
+// Add records an event.
+func (l *Log) Add(category, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{
+		Seq: len(l.events), Category: category,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns a copy of all events in order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Categories returns the distinct categories, sorted.
+func (l *Log) Categories() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	set := map[string]bool{}
+	for _, e := range l.events {
+		set[e.Category] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Filter returns events of one category.
+func (l *Log) Filter(category string) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.events {
+		if e.Category == category {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 12345678.9)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5000") {
+		t.Fatalf("row content missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.23e+07") {
+		t.Fatalf("large float not scientific:\n%s", out)
+	}
+	// Alignment: every line in the body has the same column start.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row length mismatch did not panic")
+		}
+	}()
+	tb.AddRow("only one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("v,with,commas", 2)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("csv header wrong: %q", got)
+	}
+	if !strings.Contains(got, `"v,with,commas"`) {
+		t.Fatalf("csv quoting wrong: %q", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.5000",
+		150:     "150.0",
+		1e7:     "1e+07",
+		0.00001: "1e-05",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v)=%q want %q", v, got, want)
+		}
+	}
+}
+
+func TestLogConcurrent(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Add("cat", "worker %d event %d", i, j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(l.Events()) != 800 {
+		t.Fatalf("lost events: %d", len(l.Events()))
+	}
+	// Sequence numbers are unique and dense.
+	seen := map[int]bool{}
+	for _, e := range l.Events() {
+		if seen[e.Seq] {
+			t.Fatal("duplicate sequence number")
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestLogFilterAndCategories(t *testing.T) {
+	var l Log
+	l.Add("a", "one")
+	l.Add("b", "two")
+	l.Add("a", "three")
+	if got := l.Filter("a"); len(got) != 2 {
+		t.Fatalf("filter returned %d", len(got))
+	}
+	cats := l.Categories()
+	if len(cats) != 2 || cats[0] != "a" || cats[1] != "b" {
+		t.Fatalf("categories %v", cats)
+	}
+}
