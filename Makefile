@@ -1,0 +1,29 @@
+# Development gate for the repository. `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: check vet build test bench-overhead bench clean
+
+check: vet build test bench-overhead
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Instrumentation overhead: trains the same network with no obs session,
+# a disabled one, and an enabled one. The disabled column must stay within
+# a few percent of the uninstrumented baseline (see BENCH_obs.json).
+bench-overhead:
+	$(GO) test ./internal/obs -run xxx -bench Overhead -benchtime 2s
+
+# Regenerate every experiment table + micro-benchmarks.
+bench:
+	$(GO) test -bench . -benchmem
+
+clean:
+	$(GO) clean ./...

@@ -3,22 +3,29 @@
 //
 // Usage:
 //
-//	candlebench [-quick] [-seed N] [-only E3,E8] [-csv dir]
+//	candlebench [-quick] [-seed N] [-only E3,E8] [-csv dir] [-json dir]
+//	            [-metrics m.jsonl] [-trace t.json]
 //
 // Each experiment reproduces one architectural claim of Stevens' HPDC 2017
 // keynote; DESIGN.md maps claims to experiments and EXPERIMENTS.md records
-// the measured shapes.
+// the measured shapes. -trace wraps every experiment in a phase span (with
+// trainer/collective/scheduler spans nested inside) and writes a
+// chrome://tracing-loadable JSON file; -metrics dumps the suite's counters,
+// gauges and timer histograms as JSON lines; -json writes each table as a
+// machine-readable JSON file next to the usual CSV export.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,7 +33,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "root seed for all experiments")
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E8); empty = all")
 	csvDir := flag.String("csv", "", "directory to also write per-experiment CSV files into")
+	jsonDir := flag.String("json", "", "directory to also write per-experiment JSON tables into")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1-A3")
+	metricsOut := flag.String("metrics", "", "write suite counters/gauges/timer histograms as JSONL to this file")
+	traceOut := flag.String("trace", "", "write a chrome://tracing span trace (JSON) to this file")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -36,7 +46,12 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	var sess *obs.Session
+	if *metricsOut != "" || *traceOut != "" {
+		sess = obs.NewSession()
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Obs: sess}
 	suite := experiments.All()
 	if *ablations {
 		suite = append(suite, experiments.Ablations()...)
@@ -48,27 +63,20 @@ func main() {
 		}
 		fmt.Printf("--- %s: %q\n", e.ID, e.Claim)
 		start := time.Now()
+		sp := sess.Span(0, e.ID)
+		sp.SetArg("claim", e.Claim)
 		table := e.Run(cfg)
+		sp.End()
 		if err := table.Render(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "candlebench: %s render: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		if *csvDir != "" {
-			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "candlebench: %v\n", err)
-				os.Exit(1)
-			}
-			if err := table.WriteCSV(f); err != nil {
-				fmt.Fprintf(os.Stderr, "candlebench: %v\n", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "candlebench: %v\n", err)
-				os.Exit(1)
-			}
+			writeTable(*csvDir, e.ID, ".csv", table.WriteCSV)
+		}
+		if *jsonDir != "" {
+			writeTable(*jsonDir, e.ID, ".json", table.WriteJSON)
 		}
 		ran++
 	}
@@ -76,4 +84,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "candlebench: no experiments matched -only")
 		os.Exit(1)
 	}
+	if *metricsOut != "" {
+		writeTo(*metricsOut, sess.WriteMetricsJSONL)
+		fmt.Printf("metrics: %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		writeTo(*traceOut, sess.WriteChromeTrace)
+		fmt.Printf("trace:   %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
+			*traceOut, sess.Tracer.NumEvents())
+	}
+}
+
+// writeTable writes one experiment table into dir/<id><ext> via fn.
+func writeTable(dir, id, ext string, fn func(w io.Writer) error) {
+	writeTo(filepath.Join(dir, strings.ToLower(id)+ext), fn)
+}
+
+// writeTo writes via fn into path, exiting the command on any error.
+func writeTo(path string, fn func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := fn(f); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "candlebench: %v\n", err)
+	os.Exit(1)
 }

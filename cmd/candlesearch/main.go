@@ -5,16 +5,23 @@
 //
 //	candlesearch -workload tumor -strategy hyperband [-budget 24]
 //	             [-parallel 4] [-scale tiny] [-seed 1]
+//	             [-metrics m.jsonl] [-trace t.json]
+//
+// -trace writes a chrome://tracing span trace with one span per trial
+// (tid 1000+worker); -metrics dumps trial counters and timer histograms
+// as JSON lines.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/hpo"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -26,7 +33,14 @@ func main() {
 	par := flag.Int("parallel", 4, "evaluation worker pool size")
 	scaleFlag := flag.String("scale", "tiny", "dataset scale: tiny, small, full")
 	seed := flag.Uint64("seed", 1, "seed")
+	metricsOut := flag.String("metrics", "", "write trial counters/timer histograms as JSONL to this file")
+	traceOut := flag.String("trace", "", "write a chrome://tracing span trace (JSON) to this file")
 	flag.Parse()
+
+	var sess *obs.Session
+	if *metricsOut != "" || *traceOut != "" {
+		sess = obs.NewSession()
+	}
 
 	w, err := core.ByName(*workload)
 	if err != nil {
@@ -58,7 +72,7 @@ func main() {
 	start := time.Now()
 	res, err := strat.Search(w.Objective(scale), hpo.Options{
 		Space: w.Space, TotalBudget: *budget, Parallelism: *par,
-		RNG: rng.New(*seed),
+		RNG: rng.New(*seed), Obs: sess,
 	})
 	if err != nil {
 		fail(err)
@@ -73,6 +87,30 @@ func main() {
 	for i := 0; i < len(res.Progress); i += stride {
 		p := res.Progress[i]
 		fmt.Printf("  %6.1f  %.4f\n", p.Cost, p.Best)
+	}
+
+	if *metricsOut != "" {
+		writeTo(*metricsOut, sess.WriteMetricsJSONL)
+		fmt.Printf("metrics: %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		writeTo(*traceOut, sess.WriteChromeTrace)
+		fmt.Printf("trace:   %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
+			*traceOut, sess.Tracer.NumEvents())
+	}
+}
+
+// writeTo writes via fn into path, exiting the command on any error.
+func writeTo(path string, fn func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := fn(f); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 

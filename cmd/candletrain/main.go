@@ -6,12 +6,18 @@
 //
 //	candletrain -workload tumor [-scale small] [-epochs 20] [-batch 32]
 //	            [-lr 0.003] [-replicas 4 | -stages 3] [-precision fp32]
-//	            [-seed 1]
+//	            [-seed 1] [-metrics m.jsonl] [-trace t.json]
+//
+// -metrics streams per-epoch losses and final counter/timer histograms as
+// JSON lines; -trace writes a chrome://tracing-loadable span trace of the
+// whole run (forward/backward/optimizer per step, allreduce per rank when
+// -replicas > 1).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -19,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lowp"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rng"
 )
@@ -35,7 +42,14 @@ func main() {
 	lossScale := flag.Bool("lossscale", false, "enable dynamic loss scaling (for fp16)")
 	schedule := flag.String("schedule", "constant", "LR schedule: constant, step, cosine, warmup-cosine")
 	seed := flag.Uint64("seed", 1, "seed")
+	metricsOut := flag.String("metrics", "", "write metrics (per-epoch loss, step-timer histograms) as JSONL to this file")
+	traceOut := flag.String("trace", "", "write a chrome://tracing span trace (JSON) to this file")
 	flag.Parse()
+
+	var sess *obs.Session
+	if *metricsOut != "" || *traceOut != "" {
+		sess = obs.NewSession()
+	}
 
 	w, err := core.ByName(*workload)
 	if err != nil {
@@ -96,29 +110,34 @@ func main() {
 			NewOptimizer: func() nn.Optimizer { return nn.NewAdam(*lr) },
 			GlobalBatch:  *batch, Epochs: *epochs,
 			GradPrecision: prec, RNG: root.Split("train"),
+			Obs: sess,
 		})
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("trained:  %d steps on %d replicas, %.1f MB gradient traffic/rank\n",
 			res.Steps, *replicas, res.BytesPerRank/1e6)
+		fmt.Printf("balance:  worker busy max/min %.3f\n", res.BusyImbalance)
 	case *stages > 1:
 		res, err := parallel.TrainPipeline(net, train.X, train.Y, parallel.PipelineConfig{
 			Stages: *stages, MicroBatches: 2, Loss: loss,
 			NewOptimizer: func() nn.Optimizer { return nn.NewAdam(*lr) },
 			GlobalBatch:  *batch, Epochs: *epochs, RNG: root.Split("train"),
+			Obs: sess,
 		})
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("trained:  %d steps on %d stages (params/stage %v)\n",
 			res.Steps, *stages, res.StageParams)
+		fmt.Printf("balance:  stage busy max/min %.3f\n", res.BusyImbalance)
 	default:
 		res, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
 			Loss: loss, Optimizer: nn.NewAdam(*lr),
 			BatchSize: *batch, Epochs: *epochs,
 			Precision: prec, LossScale: *lossScale, Schedule: sched,
 			Shuffle: true, RNG: root.Split("train"),
+			Obs: sess,
 		})
 		if err != nil {
 			fail(err)
@@ -129,9 +148,37 @@ func main() {
 	fmt.Printf("time:     %.2fs\n", time.Since(start).Seconds())
 
 	if w.Classification {
-		fmt.Printf("test:     accuracy %.4f\n", nn.EvaluateClassifier(net, test.X, test.Labels))
+		acc := nn.EvaluateClassifier(net, test.X, test.Labels)
+		sess.OnEval("test.accuracy", acc)
+		fmt.Printf("test:     accuracy %.4f\n", acc)
 	} else {
-		fmt.Printf("test:     MSE %.6f\n", nn.EvaluateRegression(net, test.X, test.Y))
+		mse := nn.EvaluateRegression(net, test.X, test.Y)
+		sess.OnEval("test.mse", mse)
+		fmt.Printf("test:     MSE %.6f\n", mse)
+	}
+
+	if *metricsOut != "" {
+		writeTo(*metricsOut, sess.WriteMetricsJSONL)
+		fmt.Printf("metrics:  %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		writeTo(*traceOut, sess.WriteChromeTrace)
+		fmt.Printf("trace:    %s (%d spans; open in chrome://tracing or ui.perfetto.dev)\n",
+			*traceOut, sess.Tracer.NumEvents())
+	}
+}
+
+// writeTo writes via fn into path, failing the command on any error.
+func writeTo(path string, fn func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := fn(f); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 

@@ -15,6 +15,9 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // message is one point-to-point transfer. Data is owned by the receiver
@@ -26,10 +29,22 @@ type message struct {
 
 // World is a fixed-size group of communicating ranks.
 type World struct {
-	size  int
-	chans [][]chan message // chans[src][dst]
-	stats []Stats
+	size   int
+	chans  [][]chan message // chans[src][dst]
+	stats  []Stats
+	obs    *obs.Session
+	obsTID func(rankID int) int
 }
+
+// SetObs attaches a telemetry session: collectives then record per-rank
+// spans (tid = rank id) and bytes/latency hooks. Call before Run; a nil or
+// disabled session keeps collectives on their uninstrumented fast path.
+func (w *World) SetObs(s *obs.Session) { w.obs = s }
+
+// SetObsTID remaps rank ids to trace tids — needed when one goroutine
+// participates in several worlds (hybrid training) so all its spans land on
+// the single tid that goroutine owns. Default is the identity.
+func (w *World) SetObsTID(f func(rankID int) int) { w.obsTID = f }
 
 // Stats accumulates per-rank traffic counters.
 type Stats struct {
@@ -181,6 +196,9 @@ func (r *Rank) Broadcast(root int, data []float64) []float64 {
 	if p == 1 {
 		return data
 	}
+	if r.world.obs.Enabled() {
+		defer r.endColl(r.beginColl("broadcast"))
+	}
 	// Rotate so the root is virtual rank 0.
 	vr := (r.id - root + p) % p
 	if vr != 0 {
@@ -230,6 +248,9 @@ func (r *Rank) Reduce(root int, data []float64) []float64 {
 	copy(acc, data)
 	if p == 1 {
 		return acc
+	}
+	if r.world.obs.Enabled() {
+		defer r.endColl(r.beginColl("reduce"))
 	}
 	vr := (r.id - root + p) % p
 	for mask := 1; mask < p; mask <<= 1 {
@@ -283,6 +304,36 @@ func (a AllReduceAlgorithm) String() string {
 	}
 }
 
+// collMark captures a collective's entry state for instrumentation.
+type collMark struct {
+	sp     *obs.Span
+	op     string
+	bytes0 int
+	t0     time.Time
+}
+
+// beginColl opens a per-rank span and notes the byte counter. Only call
+// when r.world.obs.Enabled() — callers gate so op-name construction is also
+// skipped when telemetry is off.
+func (r *Rank) beginColl(op string) collMark {
+	tid := r.id
+	if r.world.obsTID != nil {
+		tid = r.world.obsTID(r.id)
+	}
+	sp := r.world.obs.Span(tid, op)
+	return collMark{sp: sp, op: op,
+		bytes0: r.world.stats[r.id].BytesSent, t0: time.Now()}
+}
+
+// endColl closes the span and reports bytes moved and latency.
+func (r *Rank) endColl(m collMark) {
+	d := time.Since(m.t0)
+	sent := r.world.stats[r.id].BytesSent - m.bytes0
+	m.sp.SetArg("bytes", sent)
+	m.sp.End()
+	r.world.obs.OnCollective(m.op, sent, d)
+}
+
 // AllReduce sums data elementwise across all ranks in place using the given
 // algorithm. Falls back to ARTree when the algorithm's preconditions
 // (power-of-two size, length >= P) do not hold.
@@ -291,24 +342,34 @@ func (r *Rank) AllReduce(data []float64, algo AllReduceAlgorithm) {
 	if p == 1 {
 		return
 	}
+	// Resolve the fallback first so telemetry names the algorithm that ran.
 	switch algo {
 	case ARRing:
-		if len(data) >= p {
-			r.allReduceRing(data)
-			return
+		if len(data) < p {
+			algo = ARTree
 		}
 	case ARRecursiveDoubling:
-		if p&(p-1) == 0 {
-			r.allReduceRecDoubling(data)
-			return
+		if p&(p-1) != 0 {
+			algo = ARTree
 		}
 	case ARRabenseifner:
-		if p&(p-1) == 0 && len(data) >= p {
-			r.allReduceRabenseifner(data)
-			return
+		if p&(p-1) != 0 || len(data) < p {
+			algo = ARTree
 		}
 	}
-	r.allReduceTree(data)
+	if r.world.obs.Enabled() {
+		defer r.endColl(r.beginColl("allreduce." + algo.String()))
+	}
+	switch algo {
+	case ARRing:
+		r.allReduceRing(data)
+	case ARRecursiveDoubling:
+		r.allReduceRecDoubling(data)
+	case ARRabenseifner:
+		r.allReduceRabenseifner(data)
+	default:
+		r.allReduceTree(data)
+	}
 }
 
 func (r *Rank) allReduceTree(data []float64) {
@@ -438,6 +499,9 @@ func (r *Rank) AllGather(data []float64) []float64 {
 	copy(out[r.id*n:(r.id+1)*n], data)
 	if p == 1 {
 		return out
+	}
+	if r.world.obs.Enabled() {
+		defer r.endColl(r.beginColl("allgather"))
 	}
 	right := (r.id + 1) % p
 	left := (r.id - 1 + p) % p

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -64,6 +65,9 @@ type CampaignConfig struct {
 	Scheduler SchedulerKind
 	// RNG drives duration sampling.
 	RNG *rng.Stream
+	// Obs, if enabled, records dispatch/steal counters and busy/idle/
+	// utilization gauges for the run.
+	Obs *obs.Session
 }
 
 // CampaignResult reports a simulated campaign.
@@ -74,6 +78,20 @@ type CampaignResult struct {
 	TotalWork   float64 // sum of evaluation durations
 	// IdealMakespan is TotalWork/Nodes — the perfect-packing bound.
 	IdealMakespan float64
+	// Dispatches counts scheduler placement decisions (static: one per
+	// config; dynamic: one per task through the manager; hierarchical: one
+	// per group batch pull).
+	Dispatches int
+	// Steals counts hierarchical root pulls beyond each group's first —
+	// the work-stealing traffic that keeps groups busy past their initial
+	// share. Zero for the other schedulers.
+	Steals int
+	// NodeBusy is per-node busy seconds under static partitioning (the only
+	// scheduler where node identity is fixed up front); nil otherwise.
+	NodeBusy []float64
+	// IdleNodeSeconds is Nodes*Makespan - TotalWork: aggregate time nodes
+	// spent waiting on stragglers or the scheduler.
+	IdleNodeSeconds float64
 }
 
 func (r CampaignResult) String() string {
@@ -133,6 +151,8 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 			}
 		}
 		res.Makespan = worst
+		res.Dispatches = len(durations)
+		res.NodeBusy = perNode
 	case DynamicQueue:
 		// Single global FIFO: every task pays the dispatch overhead on the
 		// manager before a node runs it (the central-manager bottleneck).
@@ -151,6 +171,7 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 			})
 		}
 		res.Makespan = eng.Run()
+		res.Dispatches = len(durations)
 	case HierarchicalQueue:
 		// Groups pull batches of work from the root (one overhead per
 		// batch), then dispatch within the group for free; idle groups
@@ -163,6 +184,7 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 			batch = 1
 		}
 		root := sim.NewResource(eng, 1)
+		pullsPerGroup := make([]int, groups)
 		for g := 0; g < groups; g++ {
 			size := cfg.GroupSize
 			if (g+1)*cfg.GroupSize > cfg.Nodes {
@@ -191,6 +213,7 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 						hi = len(durations)
 					}
 					next = hi
+					pullsPerGroup[g]++
 					eng.Schedule(cfg.DispatchOverhead, func() {
 						releaseRoot()
 						pulling = false
@@ -212,12 +235,27 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 			pull()
 		}
 		res.Makespan = eng.Run()
+		for _, pulls := range pullsPerGroup {
+			res.Dispatches += pulls
+			if pulls > 1 {
+				res.Steals += pulls - 1
+			}
+		}
 	default:
 		return CampaignResult{}, fmt.Errorf("core: unknown scheduler %d", cfg.Scheduler)
 	}
 
 	if res.Makespan > 0 {
 		res.Utilization = res.TotalWork / (res.Makespan * float64(cfg.Nodes))
+	}
+	res.IdleNodeSeconds = res.Makespan*float64(cfg.Nodes) - res.TotalWork
+	if o := cfg.Obs; o.Enabled() {
+		prefix := "campaign." + cfg.Scheduler.String()
+		o.Count(prefix+".dispatches", int64(res.Dispatches))
+		o.Count(prefix+".steals", int64(res.Steals))
+		o.SetGauge(prefix+".busy_node_seconds", res.TotalWork)
+		o.SetGauge(prefix+".idle_node_seconds", res.IdleNodeSeconds)
+		o.OnEval(prefix+".utilization", res.Utilization)
 	}
 	return res, nil
 }

@@ -100,6 +100,7 @@ func E3Scaling(cfg Config) *trace.Table {
 			Loss:         nn.SoftmaxCELoss{},
 			NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05) },
 			GlobalBatch:  256, Epochs: epochs, RNG: rng.New(cfg.Seed + 1),
+			Obs: cfg.Obs,
 		})
 		if err != nil {
 			panic(err)

@@ -42,6 +42,7 @@ func E8Search(cfg Config) *trace.Table {
 				TotalBudget: budget,
 				Parallelism: 4,
 				RNG:         rng.New(cfg.Seed).Split("e8-" + wname + strat.Name()),
+				Obs:         cfg.Obs,
 			})
 			if err != nil {
 				panic(err)

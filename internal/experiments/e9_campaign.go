@@ -34,6 +34,7 @@ func E9Campaign(cfg Config) *trace.Table {
 				DispatchOverhead: 0.05,
 				Scheduler:        s,
 				RNG:              rng.New(cfg.Seed).Split("e9"),
+				Obs:              cfg.Obs,
 			})
 			if err != nil {
 				panic(err)

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -18,6 +19,10 @@ type Config struct {
 	Quick bool
 	// Seed makes every experiment reproducible.
 	Seed uint64
+	// Obs, if enabled, is threaded into each experiment's trainers and
+	// schedulers so a suite run can be regenerated alongside a span trace
+	// (candlebench additionally wraps every experiment in a phase span).
+	Obs *obs.Session
 }
 
 // Experiment is one claim-reproduction: an ID, the paper claim it tests,

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -72,6 +74,10 @@ type Options struct {
 	// simulated wall-clock assuming Parallelism concurrent evaluators that
 	// synchronise per proposal batch.
 	CostModel func(cfg Config, budget float64) float64
+	// Obs, if enabled, records one span per trial (tid = worker-pool slot
+	// offset by 1000 to avoid colliding with trainer rank tids), a trial
+	// counter, and the best-so-far loss after each batch.
+	Obs *obs.Session
 }
 
 func (o *Options) validate() error {
@@ -172,6 +178,7 @@ func (r *run) evalBatch(configs []Config, budget float64) []Trial {
 
 	trials := make([]Trial, len(admitted))
 	sem := make(chan struct{}, r.opts.Parallelism)
+	o := r.opts.Obs
 	var wg sync.WaitGroup
 	for i, s := range admitted {
 		wg.Add(1)
@@ -179,7 +186,22 @@ func (r *run) evalBatch(configs []Config, budget float64) []Trial {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var sp *obs.Span
+			var t0 time.Time
+			if o.Enabled() {
+				// Trials multiplex over pool slots, but span tids must be
+				// goroutine-unique, so key by admission index.
+				sp = o.Span(1000+i, "trial")
+				sp.SetArg("budget", budget)
+				t0 = time.Now()
+			}
 			loss := r.obj(s.cfg, budget, seeds[i])
+			if o.Enabled() {
+				sp.SetArg("loss", loss)
+				sp.End()
+				o.Count("hpo.trials", 1)
+				o.Observe("hpo.trial", time.Since(t0))
+			}
 			trials[i] = Trial{Config: s.cfg, Loss: loss, Budget: budget, Seed: seeds[i]}
 		}(i, s)
 	}
@@ -196,7 +218,11 @@ func (r *run) evalBatch(configs []Config, budget float64) []Trial {
 		r.result.Progress = append(r.result.Progress,
 			ProgressPoint{Cost: r.result.CostUsed, Best: best})
 	}
+	best := r.result.Best.Loss
 	r.mu.Unlock()
+	if o.Enabled() && !math.IsInf(best, 1) {
+		o.OnEval("hpo.best_loss", best)
+	}
 	return trials
 }
 

@@ -3,8 +3,10 @@ package nn
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/lowp"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -33,6 +35,10 @@ type TrainConfig struct {
 	// OnEpoch, if non-nil, is called after each epoch with the epoch
 	// index and mean training loss; returning false stops early.
 	OnEpoch func(epoch int, loss float64) bool
+	// Obs, if non-nil and enabled, receives step/epoch hooks and
+	// forward/backward/optimizer spans (tid 0). A nil session is fully
+	// disabled and costs one atomic check per instrumentation point.
+	Obs *obs.Session
 }
 
 // TrainResult summarises a training run.
@@ -76,12 +82,20 @@ func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error)
 	yb := tensor.New(cfg.BatchSize, y.Len()/n)
 
 	baseLR := BaseLR(cfg.Optimizer)
+	instr := cfg.Obs.Enabled()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.Schedule != nil && !math.IsNaN(baseLR) {
 			SetLR(cfg.Optimizer, baseLR*cfg.Schedule.Factor(epoch, cfg.Epochs))
 		}
 		if cfg.Shuffle {
 			cfg.RNG.ShuffleInts(order)
+		}
+		var epochStart time.Time
+		var epochSpan *obs.Span
+		if instr {
+			epochStart = time.Now()
+			epochSpan = cfg.Obs.Span(0, "epoch")
+			epochSpan.SetArg("epoch", epoch)
 		}
 		epochLoss := 0.0
 		batches := 0
@@ -97,6 +111,10 @@ func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error)
 		}
 		epochLoss /= float64(batches)
 		res.EpochLoss = append(res.EpochLoss, epochLoss)
+		if instr {
+			epochSpan.End()
+			cfg.Obs.OnEpoch(epoch, epochLoss, time.Since(epochStart))
+		}
 		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, epochLoss) {
 			break
 		}
@@ -122,12 +140,26 @@ func gatherBatch(xb, yb, x, y *tensor.Tensor, idx []int) (*tensor.Tensor, *tenso
 // TrainStep performs one forward/backward/update cycle on a batch and
 // returns the (unscaled) batch loss. scaler and res may be nil.
 func TrainStep(net *Net, bx, by *tensor.Tensor, cfg TrainConfig, scaler *lowp.LossScaler, res *TrainResult) float64 {
+	// One atomic check gates all instrumentation in this step; when off, the
+	// only cost below is predicted-false branches.
+	o := cfg.Obs
+	instr := o.Enabled()
+	var stepStart time.Time
+	var sp *obs.Span
+	if instr {
+		stepStart = time.Now()
+		sp = o.Span(0, "forward")
+	}
 	net.ZeroGrads()
 	out := net.Forward(bx, true)
 	if cfg.Precision != lowp.FP64 {
 		lowp.RoundTensor(out, cfg.Precision)
 	}
 	loss := cfg.Loss.Loss(out, by)
+	if instr {
+		sp.End()
+		sp = o.Span(0, "backward")
+	}
 	dout := tensor.New(out.Shape()...)
 	cfg.Loss.Grad(dout, out, by)
 	if scaler != nil {
@@ -137,6 +169,9 @@ func TrainStep(net *Net, bx, by *tensor.Tensor, cfg TrainConfig, scaler *lowp.Lo
 		lowp.RoundTensor(dout, cfg.Precision)
 	}
 	net.Backward(dout)
+	if instr {
+		sp.End()
+	}
 
 	grads := net.Grads()
 	if cfg.Precision != lowp.FP64 {
@@ -154,6 +189,7 @@ func TrainStep(net *Net, bx, by *tensor.Tensor, cfg TrainConfig, scaler *lowp.Lo
 			if res != nil {
 				res.SkippedSteps++
 			}
+			o.Count("train.skipped", 1)
 			return loss
 		}
 	} else if hasNonFinite(grads) {
@@ -162,7 +198,11 @@ func TrainStep(net *Net, bx, by *tensor.Tensor, cfg TrainConfig, scaler *lowp.Lo
 		if res != nil {
 			res.SkippedSteps++
 		}
+		o.Count("train.skipped", 1)
 		return loss
+	}
+	if instr {
+		sp = o.Span(0, "optimizer")
 	}
 	if cfg.ClipNorm > 0 {
 		clipGlobalNorm(grads, cfg.ClipNorm)
@@ -175,6 +215,14 @@ func TrainStep(net *Net, bx, by *tensor.Tensor, cfg TrainConfig, scaler *lowp.Lo
 	}
 	if res != nil {
 		res.Steps++
+	}
+	if instr {
+		sp.End()
+		step := 0
+		if res != nil {
+			step = res.Steps
+		}
+		o.OnStep(step, loss, time.Since(stepStart))
 	}
 	return loss
 }

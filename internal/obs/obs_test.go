@@ -1,0 +1,427 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock returns a clock that advances 1ms per call, starting at 0.
+func fakeClock() func() time.Duration {
+	n := 0
+	return func() time.Duration {
+		d := time.Duration(n) * time.Millisecond
+		n++
+		return d
+	}
+}
+
+// TestRegistryConcurrent hammers every instrument kind from many goroutines
+// while snapshots are taken concurrently; run with -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("steps").Add(1)
+				r.Gauge("loss").Set(float64(i))
+				r.Timer("step").ObserveSeconds(float64(i%10) * 1e-3)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := r.Counter("steps").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 || len(snap.Gauges) != 1 || len(snap.Timers) != 1 {
+		t.Fatalf("snapshot sizes = %d/%d/%d, want 1/1/1",
+			len(snap.Counters), len(snap.Gauges), len(snap.Timers))
+	}
+	ts := snap.Timers[0]
+	if ts.Count != workers*perWorker {
+		t.Errorf("timer count = %d, want %d", ts.Count, workers*perWorker)
+	}
+	if ts.Min != 0 || ts.Max != float64(9)*1e-3 {
+		t.Errorf("timer min/max = %g/%g, want 0/0.009", ts.Min, ts.Max)
+	}
+}
+
+// TestSessionConcurrent exercises the full session surface (spans on distinct
+// tids, hooks, points) under -race.
+func TestSessionConcurrent(t *testing.T) {
+	s := NewSession()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := s.Span(tid, "work")
+				inner := s.Span(tid, "inner")
+				inner.End()
+				sp.End()
+				s.OnStep(i, 0.5, time.Millisecond)
+				s.OnCollective("allreduce.ring", 1024, time.Microsecond)
+				s.Emit("x", float64(i), nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Registry.Counter("train.steps").Value(); got != 8*200 {
+		t.Errorf("train.steps = %d, want 1600", got)
+	}
+	if got := s.Tracer.NumEvents(); got != 8*200*2 {
+		t.Errorf("events = %d, want 3200", got)
+	}
+	if got := s.Registry.Counter("comm.allreduce.ring.bytes").Value(); got != 8*200*1024 {
+		t.Errorf("comm bytes = %d", got)
+	}
+}
+
+func TestTimerPercentiles(t *testing.T) {
+	tm := newTimer()
+	for i := 1; i <= 100; i++ {
+		tm.ObserveSeconds(float64(i))
+	}
+	s := tm.stats("t")
+	if s.Count != 100 || s.Sum != 5050 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("basic stats wrong: %+v", s)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-12 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	// Linear interpolation over 1..100: p50 = 50.5, p95 = 95.05, p99 = 99.01.
+	if math.Abs(s.P50-50.5) > 1e-9 || math.Abs(s.P95-95.05) > 1e-9 || math.Abs(s.P99-99.01) > 1e-9 {
+		t.Errorf("percentiles = %g/%g/%g", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestTimerReservoirBounded(t *testing.T) {
+	tm := newTimer()
+	for i := 0; i < 3*reservoirSize; i++ {
+		tm.ObserveSeconds(1)
+	}
+	if len(tm.reservoir) != reservoirSize {
+		t.Errorf("reservoir len = %d, want %d", len(tm.reservoir), reservoirSize)
+	}
+	if tm.count != 3*reservoirSize {
+		t.Errorf("count = %d", tm.count)
+	}
+}
+
+// TestNilSession checks the zero-overhead contract: every method on a nil
+// session (and the nil spans it hands out) is a safe no-op.
+func TestNilSession(t *testing.T) {
+	var s *Session
+	if s.Enabled() {
+		t.Fatal("nil session reports enabled")
+	}
+	s.Enable()
+	s.Disable()
+	s.AddHooks(nil)
+	s.Count("x", 1)
+	s.SetGauge("x", 1)
+	s.Observe("x", time.Second)
+	s.Emit("x", 1, nil)
+	s.OnStep(0, 0, 0)
+	s.OnEpoch(0, 0, 0)
+	s.OnCollective("op", 0, 0)
+	s.OnEval("x", 0)
+	sp := s.Span(0, "nothing")
+	if sp != nil {
+		t.Fatal("nil session returned a live span")
+	}
+	sp.SetArg("k", "v")
+	sp.End()
+	if s.Snapshot() != nil {
+		t.Fatal("nil session returned a snapshot")
+	}
+	if err := s.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("nil session WriteChromeTrace should error")
+	}
+	if err := s.WriteMetricsJSONL(&bytes.Buffer{}); err == nil {
+		t.Error("nil session WriteMetricsJSONL should error")
+	}
+}
+
+func TestDisabledSessionRecordsNothing(t *testing.T) {
+	s := NewSession()
+	s.Disable()
+	s.Count("x", 1)
+	s.Observe("x", time.Second)
+	s.OnStep(0, 1, time.Second)
+	if sp := s.Span(0, "off"); sp != nil {
+		t.Error("disabled session returned a live span")
+	}
+	snap := s.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Timers) != 0 {
+		t.Errorf("disabled session recorded: %+v", snap)
+	}
+	s.Enable()
+	s.Count("x", 1)
+	if s.Registry.Counter("x").Value() != 1 {
+		t.Error("re-enabled session did not record")
+	}
+}
+
+// TestSpanParents checks parent inference from per-tid open-span stacks and
+// isolation between tids.
+func TestSpanParents(t *testing.T) {
+	s := NewSession()
+	s.clock = fakeClock()
+	outer := s.Span(0, "outer")
+	mid := s.Span(0, "mid")
+	other := s.Span(7, "other") // separate tid: no parent
+	inner := s.Span(0, "inner")
+	inner.End()
+	mid.End()
+	other.End()
+	outer.End()
+
+	events := map[string]chromeEvent{}
+	for _, ev := range s.Tracer.events {
+		events[ev.Name] = ev
+	}
+	if p := events["inner"].Args["parent"]; p != uint64(2) {
+		t.Errorf("inner parent = %v, want 2 (mid)", p)
+	}
+	if p := events["mid"].Args["parent"]; p != uint64(1) {
+		t.Errorf("mid parent = %v, want 1 (outer)", p)
+	}
+	if _, has := events["other"].Args["parent"]; has {
+		t.Error("span on fresh tid should have no parent")
+	}
+	if _, has := events["outer"].Args["parent"]; has {
+		t.Error("root span should have no parent")
+	}
+	if events["other"].TID != 7 {
+		t.Errorf("other tid = %d, want 7", events["other"].TID)
+	}
+}
+
+func TestTracerEventCap(t *testing.T) {
+	s := NewSession()
+	s.Tracer.maxEvents = 3
+	for i := 0; i < 5; i++ {
+		s.Span(0, "s").End()
+	}
+	if got := s.Tracer.NumEvents(); got != 3 {
+		t.Errorf("events = %d, want 3", got)
+	}
+	if got := s.Tracer.Dropped(); got != 2 {
+		t.Errorf("dropped = %d, want 2", got)
+	}
+}
+
+// TestChromeTraceGolden pins the exact exported JSON shape (field names,
+// nesting, ordering) against a golden file. Regenerate with -update.
+func TestChromeTraceGolden(t *testing.T) {
+	s := NewSession()
+	s.clock = fakeClock()
+
+	epoch := s.Span(0, "epoch")
+	epoch.SetArg("epoch", 0)
+	fw := s.Span(0, "forward")
+	fw.End()
+	ar := s.Span(1, "allreduce.ring")
+	ar.SetArg("bytes", 4096)
+	ar.End()
+	epoch.End()
+
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./internal/obs -run Golden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// And independently of the golden bytes, assert the format contract:
+	// ph=X complete events with ts/dur/pid/tid, microsecond timestamps.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			PID  *int           `json:"pid"`
+			TID  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.TS == nil || ev.Dur == nil || ev.PID == nil || ev.TID == nil {
+			t.Errorf("event %q missing required chrome-trace fields", ev.Name)
+		}
+	}
+	// epoch: opened at t=0ms, closed after 5 clock ticks → 5000us duration.
+	last := doc.TraceEvents[2]
+	if last.Name != "epoch" || *last.TS != 0 || *last.Dur != 5000 {
+		t.Errorf("epoch event = %q ts=%v dur=%v, want epoch/0/5000",
+			last.Name, *last.TS, *last.Dur)
+	}
+}
+
+func TestEmptyTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewSession().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents": []`) {
+		t.Errorf("empty trace should serialise traceEvents as [], got %s", buf.String())
+	}
+}
+
+// recordingHooks captures forwarded callbacks.
+type recordingHooks struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (r *recordingHooks) note(s string) {
+	r.mu.Lock()
+	r.calls = append(r.calls, s)
+	r.mu.Unlock()
+}
+func (r *recordingHooks) OnStep(step int, loss float64, d time.Duration)     { r.note("step") }
+func (r *recordingHooks) OnEpoch(epoch int, loss float64, d time.Duration)   { r.note("epoch") }
+func (r *recordingHooks) OnCollective(op string, bytes int, d time.Duration) { r.note("coll:" + op) }
+func (r *recordingHooks) OnEval(name string, value float64)                  { r.note("eval:" + name) }
+
+func TestHooksForwarding(t *testing.T) {
+	s := NewSession()
+	rec := &recordingHooks{}
+	s.AddHooks(rec)
+	s.OnStep(1, 0.1, time.Millisecond)
+	s.OnEpoch(0, 0.1, time.Millisecond)
+	s.OnCollective("allreduce.tree", 8, time.Millisecond)
+	s.OnEval("test.accuracy", 0.9)
+	want := []string{"step", "epoch", "coll:allreduce.tree", "eval:test.accuracy"}
+	if len(rec.calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", rec.calls, want)
+	}
+	for i := range want {
+		if rec.calls[i] != want[i] {
+			t.Errorf("call[%d] = %q, want %q", i, rec.calls[i], want[i])
+		}
+	}
+}
+
+// TestMetricsJSONL checks the stream: typed lines, points before summary,
+// per-epoch losses present, timer histogram fields populated.
+func TestMetricsJSONL(t *testing.T) {
+	s := NewSession()
+	s.OnEpoch(0, 1.5, 10*time.Millisecond)
+	s.OnEpoch(1, 0.7, 12*time.Millisecond)
+	s.OnStep(0, 1.2, time.Millisecond)
+	s.OnEval("test.accuracy", 0.95)
+
+	var buf bytes.Buffer
+	if err := s.WriteMetricsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	byType := map[string]int{}
+	var epochLosses []float64
+	var timerNames []string
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		typ, _ := m["type"].(string)
+		byType[typ]++
+		if typ == "point" && m["name"] == "epoch.loss" {
+			epochLosses = append(epochLosses, m["value"].(float64))
+		}
+		if typ == "timer" {
+			timerNames = append(timerNames, m["name"].(string))
+			for _, k := range []string{"count", "sum", "min", "max", "mean", "p50", "p95", "p99"} {
+				if _, ok := m[k]; !ok {
+					t.Errorf("timer line missing %q: %s", k, line)
+				}
+			}
+		}
+	}
+	if byType["point"] != 3 { // 2 epoch losses + 1 eval
+		t.Errorf("points = %d, want 3", byType["point"])
+	}
+	if len(epochLosses) != 2 || epochLosses[0] != 1.5 || epochLosses[1] != 0.7 {
+		t.Errorf("epoch losses = %v", epochLosses)
+	}
+	if len(timerNames) != 2 { // train.epoch, train.step
+		t.Errorf("timers = %v", timerNames)
+	}
+	if byType["counter"] < 2 || byType["gauge"] != 1 {
+		t.Errorf("counters/gauges = %d/%d", byType["counter"], byType["gauge"])
+	}
+}
+
+func TestSnapshotTables(t *testing.T) {
+	s := NewSession()
+	s.Count("a", 2)
+	s.SetGauge("g", 0.5)
+	s.Observe("t", time.Second)
+	tables := s.Snapshot().Tables()
+	if len(tables) != 3 {
+		t.Fatalf("tables = %d, want 3", len(tables))
+	}
+	str := s.Snapshot().String()
+	for _, want := range []string{"a", "g", "t"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("summary missing %q:\n%s", want, str)
+		}
+	}
+}

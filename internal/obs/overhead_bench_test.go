@@ -1,0 +1,62 @@
+package obs_test
+
+// Overhead benchmark for the instrumentation layer: trains the same small
+// network three ways — no session (the seed configuration), a disabled
+// session, and a fully enabled session — so the cost of the disabled path
+// (one atomic check per instrumentation point) can be compared against the
+// uninstrumented baseline. ISSUE acceptance: disabled overhead <= 2%.
+//
+// Run: go test ./internal/obs -bench Overhead -benchtime 2s
+// The steps/sec numbers for BENCH_obs.json come from this benchmark.
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// benchProblem builds a fixed small classification problem.
+func benchProblem() (*tensor.Tensor, *tensor.Tensor) {
+	const n, din, classes = 256, 64, 4
+	r := rng.New(7)
+	x := tensor.New(n, din)
+	x.FillRandNorm(r.Split("x"), 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	return x, nn.OneHot(labels, classes)
+}
+
+// benchTrain runs one full epoch per iteration and reports steps/sec.
+func benchTrain(b *testing.B, sess *obs.Session) {
+	x, y := benchProblem()
+	net := nn.MLP(64, []int{128}, 4, nn.ReLU, rng.New(7))
+	cfg := nn.TrainConfig{
+		Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewSGD(0.01),
+		BatchSize: 32, Epochs: 1, Obs: sess,
+	}
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		res, err := nn.Train(net, x, y, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+func BenchmarkTrainOverheadNone(b *testing.B)     { benchTrain(b, nil) }
+func BenchmarkTrainOverheadDisabled(b *testing.B) { benchTrain(b, disabledSession()) }
+func BenchmarkTrainOverheadEnabled(b *testing.B)  { benchTrain(b, obs.NewSession()) }
+
+func disabledSession() *obs.Session {
+	s := obs.NewSession()
+	s.Disable()
+	return s
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a lock-cheap metrics store: counters and gauges are single
+// atomics, timers take one short mutex per observation. Instruments are
+// created on first use and live for the registry's lifetime, so hot paths
+// should hold on to the returned instrument instead of re-resolving by name.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it if needed.
+func (r *Registry) Timer(name string) *Timer {
+	r.mu.RLock()
+	t := r.timers[name]
+	r.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t = r.timers[name]; t == nil {
+		t = newTimer()
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float value (last write wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last stored value (0 before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// reservoirSize bounds a timer's sample memory; beyond it, observations
+// replace random slots so percentiles stay representative of the whole run.
+const reservoirSize = 2048
+
+// Timer aggregates durations: count/sum/min/max exactly, percentiles from a
+// bounded reservoir sample.
+type Timer struct {
+	mu        sync.Mutex
+	count     int64
+	sum       float64 // seconds
+	min, max  float64
+	reservoir []float64
+	rngState  uint64 // xorshift64 for reservoir replacement
+}
+
+func newTimer() *Timer {
+	return &Timer{min: math.Inf(1), max: math.Inf(-1), rngState: 0x9e3779b97f4a7c15}
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) { t.ObserveSeconds(d.Seconds()) }
+
+// ObserveSeconds records one duration given in seconds.
+func (t *Timer) ObserveSeconds(s float64) {
+	t.mu.Lock()
+	t.count++
+	t.sum += s
+	if s < t.min {
+		t.min = s
+	}
+	if s > t.max {
+		t.max = s
+	}
+	if len(t.reservoir) < reservoirSize {
+		t.reservoir = append(t.reservoir, s)
+	} else {
+		// Vitter's algorithm R: replace a random slot with probability
+		// reservoirSize/count.
+		t.rngState ^= t.rngState << 13
+		t.rngState ^= t.rngState >> 7
+		t.rngState ^= t.rngState << 17
+		if j := t.rngState % uint64(t.count); j < reservoirSize {
+			t.reservoir[j] = s
+		}
+	}
+	t.mu.Unlock()
+}
+
+// TimerStats is a point-in-time summary of one timer (seconds).
+type TimerStats struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// stats summarises the timer under its lock.
+func (t *Timer) stats(name string) TimerStats {
+	t.mu.Lock()
+	s := TimerStats{Name: name, Count: t.count, Sum: t.sum}
+	sample := append([]float64(nil), t.reservoir...)
+	t.mu.Unlock()
+	if s.Count == 0 {
+		return s
+	}
+	s.Min, s.Max = t.min, t.max
+	s.Mean = s.Sum / float64(s.Count)
+	sort.Float64s(sample)
+	s.P50 = quantile(sample, 0.50)
+	s.P95 = quantile(sample, 0.95)
+	s.P99 = quantile(sample, 0.99)
+	return s
+}
+
+// quantile returns the q-th quantile of sorted (nearest-rank with linear
+// interpolation between neighbours).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CounterSnap is one counter in a snapshot.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge in a snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a consistent-enough copy of every instrument (each instrument
+// is read atomically; the set is read under the registry lock).
+type Snapshot struct {
+	Counters []CounterSnap `json:"counters"`
+	Gauges   []GaugeSnap   `json:"gauges"`
+	Timers   []TimerStats  `json:"timers"`
+}
+
+// Snapshot summarises all instruments, sorted by name.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	r.mu.RUnlock()
+
+	snap := &Snapshot{}
+	for _, name := range sortedKeys(counters) {
+		snap.Counters = append(snap.Counters, CounterSnap{name, counters[name].Value()})
+	}
+	for _, name := range sortedKeys(gauges) {
+		snap.Gauges = append(snap.Gauges, GaugeSnap{name, gauges[name].Value()})
+	}
+	for _, name := range sortedKeys(timers) {
+		snap.Timers = append(snap.Timers, timers[name].stats(name))
+	}
+	return snap
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records hierarchical spans and exports them as a Chrome trace
+// (chrome://tracing / Perfetto "complete" events). Spans are cheap: one
+// mutex acquisition at start and one at end. Each tid (rank, worker, stage)
+// must be driven by a single goroutine at a time so parent inference from
+// the per-tid open-span stack is well defined.
+type Tracer struct {
+	mu        sync.Mutex
+	events    []chromeEvent
+	dropped   int
+	maxEvents int
+	nextID    uint64
+	open      map[int][]uint64 // per-tid stack of open span ids
+}
+
+// defaultMaxEvents caps trace memory; past it spans are counted but dropped.
+const defaultMaxEvents = 1 << 20
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{maxEvents: defaultMaxEvents, open: map[int][]uint64{}}
+}
+
+// chromeEvent is one Chrome-trace "complete" (ph=X) event. Timestamps and
+// durations are microseconds, per the trace-event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Span is one in-flight timed region. A nil *Span is inert: End and SetArg
+// on it are no-ops, so callers never need to check whether tracing is on.
+type Span struct {
+	tracer *Tracer
+	clock  func() time.Duration
+	tid    int
+	name   string
+	cat    string
+	id     uint64
+	parent uint64
+	start  time.Duration
+	args   map[string]any
+}
+
+// begin opens a span on tid; parent is the innermost open span on that tid.
+func (t *Tracer) begin(clock func() time.Duration, tid int, name, cat string) *Span {
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	var parent uint64
+	if stack := t.open[tid]; len(stack) > 0 {
+		parent = stack[len(stack)-1]
+	}
+	t.open[tid] = append(t.open[tid], id)
+	t.mu.Unlock()
+	return &Span{tracer: t, clock: clock, tid: tid, name: name, cat: cat,
+		id: id, parent: parent, start: clock()}
+}
+
+// SetArg attaches a key/value to the span (shown in the trace viewer).
+// Call only from the goroutine that started the span.
+func (sp *Span) SetArg(key string, value any) {
+	if sp == nil {
+		return
+	}
+	if sp.args == nil {
+		sp.args = map[string]any{}
+	}
+	sp.args[key] = value
+}
+
+// End closes the span and records its event. Safe on a nil span.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	end := sp.clock()
+	t := sp.tracer
+	args := sp.args
+	if args == nil {
+		args = map[string]any{}
+	}
+	args["id"] = sp.id
+	if sp.parent != 0 {
+		args["parent"] = sp.parent
+	}
+	ev := chromeEvent{
+		Name: sp.name, Cat: sp.cat, Ph: "X",
+		TS:  float64(sp.start) / float64(time.Microsecond),
+		Dur: float64(end-sp.start) / float64(time.Microsecond),
+		PID: 1, TID: sp.tid, Args: args,
+	}
+	t.mu.Lock()
+	// Pop this span from its tid stack (it is normally the top; search down
+	// to stay correct if spans end out of order).
+	stack := t.open[sp.tid]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == sp.id {
+			t.open[sp.tid] = append(stack[:i], stack[i+1:]...)
+			break
+		}
+	}
+	if len(t.events) < t.maxEvents {
+		t.events = append(t.events, ev)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// NumEvents returns the number of recorded (not dropped) events.
+func (t *Tracer) NumEvents() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many spans were discarded after the event cap.
+func (t *Tracer) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// chromeTrace is the exported JSON document shape.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace writes all recorded spans as a chrome://tracing-loadable
+// JSON object ({"traceEvents": [...]}) with ph/ts/dur/pid/tid fields.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]chromeEvent(nil), t.events...)
+	t.mu.Unlock()
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: events}
+	if doc.TraceEvents == nil {
+		doc.TraceEvents = []chromeEvent{}
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: chrome trace: %w", err)
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}

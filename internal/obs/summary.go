@@ -1,0 +1,45 @@
+package obs
+
+import "repro/internal/trace"
+
+// Tables renders a snapshot as trace tables (one per instrument kind, empty
+// kinds omitted) so telemetry summaries print and export exactly like
+// experiment tables — including trace's shared float formatting.
+func (s *Snapshot) Tables() []*trace.Table {
+	if s == nil {
+		return nil
+	}
+	var out []*trace.Table
+	if len(s.Counters) > 0 {
+		t := trace.NewTable("counters", "name", "value")
+		for _, c := range s.Counters {
+			t.AddRow(c.Name, c.Value)
+		}
+		out = append(out, t)
+	}
+	if len(s.Gauges) > 0 {
+		t := trace.NewTable("gauges", "name", "value")
+		for _, g := range s.Gauges {
+			t.AddRow(g.Name, g.Value)
+		}
+		out = append(out, t)
+	}
+	if len(s.Timers) > 0 {
+		t := trace.NewTable("timers (seconds)",
+			"name", "count", "mean", "p50", "p95", "p99", "max", "sum")
+		for _, ts := range s.Timers {
+			t.AddRow(ts.Name, ts.Count, ts.Mean, ts.P50, ts.P95, ts.P99, ts.Max, ts.Sum)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// String renders the snapshot via its tables.
+func (s *Snapshot) String() string {
+	out := ""
+	for _, t := range s.Tables() {
+		out += t.String()
+	}
+	return out
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -24,6 +26,9 @@ type AsyncConfig struct {
 	// StepsPerWorker is how many updates each worker pushes.
 	StepsPerWorker int
 	RNG            *rng.Stream
+	// Obs, if enabled, records per-worker compute/push spans (tid = worker)
+	// and a staleness gauge.
+	Obs *obs.Session
 }
 
 // AsyncResult reports an asynchronous run.
@@ -34,6 +39,11 @@ type AsyncResult struct {
 	MeanStaleness float64
 	MaxStaleness  int
 	FinalLoss     float64
+	// WorkerBusy is each worker's gradient-compute wall-time in seconds
+	// (excluding time blocked on the server lock).
+	WorkerBusy []float64
+	// BusyImbalance is max/min of WorkerBusy (1 = perfectly balanced).
+	BusyImbalance float64
 }
 
 // TrainAsync trains net with a sharded-lock parameter server and
@@ -84,10 +94,13 @@ func TrainAsync(net *nn.Net, x, y *tensor.Tensor, cfg AsyncConfig) (*AsyncResult
 		lastLossMu   sync.Mutex
 		lastLoss     float64
 	)
+	busy := make([]float64, cfg.Workers)
 	for wi := range workers {
 		wg.Add(1)
-		go func(w workerState) {
+		go func(wi int, w workerState) {
 			defer wg.Done()
+			o := cfg.Obs
+			instr := o.Enabled()
 			params := w.replica.Params()
 			grads := w.replica.Grads()
 			for s := 0; s < cfg.StepsPerWorker; s++ {
@@ -100,6 +113,11 @@ func TrainAsync(net *nn.Net, x, y *tensor.Tensor, cfg AsyncConfig) (*AsyncResult
 				mu.Unlock()
 
 				// Local gradient on a random batch.
+				work := time.Now()
+				var sp *obs.Span
+				if instr {
+					sp = o.Span(wi, "compute")
+				}
 				idx := w.stream.Sample(n, cfg.BatchPerWorker)
 				bx, by := gather(x, y, idx)
 				w.replica.ZeroGrads()
@@ -108,12 +126,19 @@ func TrainAsync(net *nn.Net, x, y *tensor.Tensor, cfg AsyncConfig) (*AsyncResult
 				dout := tensor.New(out.Shape()...)
 				cfg.Loss.Grad(dout, out, by)
 				w.replica.Backward(dout)
+				if instr {
+					sp.End()
+				}
+				busy[wi] += time.Since(work).Seconds()
 				// Yield between compute and push so workers interleave even
 				// on few cores — on real clusters the (long) compute phase
 				// is when peer pushes land.
 				runtime.Gosched()
 
 				// Push: apply the (possibly stale) gradient at the server.
+				if instr {
+					sp = o.Span(wi, "push")
+				}
 				mu.Lock()
 				stale := version - pulled
 				staleSum += int64(stale)
@@ -123,23 +148,32 @@ func TrainAsync(net *nn.Net, x, y *tensor.Tensor, cfg AsyncConfig) (*AsyncResult
 				opt.Step(serverParams, grads)
 				version++
 				totalUpdates++
+				upd := totalUpdates
 				mu.Unlock()
+				if instr {
+					sp.SetArg("staleness", stale)
+					sp.End()
+					o.OnStep(upd, loss, time.Since(work))
+				}
 
 				lastLossMu.Lock()
 				lastLoss = loss
 				lastLossMu.Unlock()
 			}
-		}(workers[wi])
+		}(wi, workers[wi])
 	}
 	wg.Wait()
 
 	res := &AsyncResult{
-		Updates:      totalUpdates,
-		MaxStaleness: staleMax,
-		FinalLoss:    lastLoss,
+		Updates:       totalUpdates,
+		MaxStaleness:  staleMax,
+		FinalLoss:     lastLoss,
+		WorkerBusy:    busy,
+		BusyImbalance: busyImbalance(busy),
 	}
 	if totalUpdates > 0 {
 		res.MeanStaleness = float64(staleSum) / float64(totalUpdates)
+		cfg.Obs.SetGauge("async.mean_staleness", res.MeanStaleness)
 	}
 	return res, nil
 }

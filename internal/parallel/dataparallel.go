@@ -12,13 +12,37 @@ package parallel
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/lowp"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
+
+// busyImbalance summarises per-worker busy seconds as max/min (1 = perfectly
+// balanced; 0 when undefined). Busy time excludes communication waits, so it
+// isolates compute stragglers from synchronisation cost.
+func busyImbalance(busy []float64) float64 {
+	if len(busy) == 0 {
+		return 0
+	}
+	minB, maxB := math.Inf(1), math.Inf(-1)
+	for _, b := range busy {
+		if b < minB {
+			minB = b
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	if minB <= 0 {
+		return 0
+	}
+	return maxB / minB
+}
 
 // DataParallelConfig configures synchronous data-parallel training.
 type DataParallelConfig struct {
@@ -40,6 +64,9 @@ type DataParallelConfig struct {
 	GradPrecision lowp.Precision
 	// RNG shuffles the data each epoch.
 	RNG *rng.Stream
+	// Obs, if enabled, records per-rank forward/backward/allreduce/optimizer
+	// spans (tid = rank), epoch hooks from rank 0, and collective telemetry.
+	Obs *obs.Session
 }
 
 // DataParallelResult reports a data-parallel run.
@@ -50,6 +77,12 @@ type DataParallelResult struct {
 	BytesPerRank float64
 	// TotalBytes is the total bytes all ranks sent.
 	TotalBytes int
+	// WorkerBusy is each rank's compute wall-time in seconds (forward,
+	// backward, optimizer — excluding the allreduce and its straggler wait).
+	WorkerBusy []float64
+	// BusyImbalance is max/min of WorkerBusy: 1 = perfectly balanced; the
+	// gap is the straggler effect the allreduce barrier turns into idle time.
+	BusyImbalance float64
 }
 
 // TrainDataParallel trains net on (x, y) with synchronous data-parallel SGD
@@ -106,11 +139,15 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 	}
 
 	world := comm.NewWorld(p)
+	world.SetObs(cfg.Obs)
 	epochLoss := make([][]float64, p)
+	busy := make([]float64, p)
 	res := &DataParallelResult{}
 
 	world.Run(func(rank *comm.Rank) {
 		id := rank.ID()
+		o := cfg.Obs
+		instr := o.Enabled()
 		model := replicas[id]
 		opt := opts[id]
 		params := model.Params()
@@ -122,6 +159,7 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 		for e := 0; e < cfg.Epochs; e++ {
 			ord := orders[e]
 			epochTotal := 0.0
+			epochStart := time.Now()
 			for s := 0; s < stepsPerEpoch; s++ {
 				base := s * perRank * p
 				lo := base + id*perRank
@@ -129,10 +167,20 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 				if hi > n {
 					hi = n
 				}
+				stepStart := time.Now()
+				computeStart := stepStart
+				var sp *obs.Span
+				if instr {
+					sp = o.Span(id, "forward")
+				}
 				bx, by := gather(x, y, ord[lo:hi])
 				model.ZeroGrads()
 				out := model.Forward(bx, true)
 				loss := cfg.Loss.Loss(out, by)
+				if instr {
+					sp.End()
+					sp = o.Span(id, "backward")
+				}
 				dout := tensor.New(out.Shape()...)
 				cfg.Loss.Grad(dout, out, by)
 				model.Backward(dout)
@@ -144,16 +192,34 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 					}
 				}
 				flatten(grads, buf)
+				if instr {
+					sp.End()
+				}
+				busy[id] += time.Since(computeStart).Seconds()
 				rank.AllReduce(buf, cfg.Algo)
+				computeStart = time.Now()
+				if instr {
+					sp = o.Span(id, "optimizer")
+				}
 				scale := 1 / float64(p)
 				for i := range buf {
 					buf[i] *= scale
 				}
 				unflatten(buf, grads)
 				opt.Step(params, grads)
+				if instr {
+					sp.End()
+				}
+				busy[id] += time.Since(computeStart).Seconds()
 				epochTotal += loss
+				if instr && id == 0 {
+					o.OnStep(e*stepsPerEpoch+s, loss, time.Since(stepStart))
+				}
 			}
 			losses = append(losses, epochTotal/float64(stepsPerEpoch))
+			if instr && id == 0 {
+				o.OnEpoch(e, losses[len(losses)-1], time.Since(epochStart))
+			}
 		}
 		epochLoss[id] = losses
 	})
@@ -162,6 +228,8 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 	res.Steps = stepsPerEpoch * cfg.Epochs
 	res.TotalBytes = world.TotalBytes()
 	res.BytesPerRank = float64(res.TotalBytes) / float64(p)
+	res.WorkerBusy = busy
+	res.BusyImbalance = busyImbalance(busy)
 	return res, nil
 }
 

@@ -2,9 +2,11 @@ package parallel
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -23,6 +25,9 @@ type HybridConfig struct {
 	Epochs       int
 	Algo         comm.AllReduceAlgorithm
 	RNG          *rng.Stream
+	// Obs, if enabled, records per-worker spans (tid = replica*S + stage)
+	// and collective telemetry for both the pipeline and reduce worlds.
+	Obs *obs.Session
 }
 
 // HybridResult reports a hybrid run.
@@ -32,6 +37,12 @@ type HybridResult struct {
 	TotalBytes    int
 	PipelineBytes int // activation/gradient traffic within pipelines
 	ReduceBytes   int // gradient allreduce traffic across replicas
+	// WorkerBusy is each worker's compute wall-time in seconds, indexed by
+	// pipeline rank (replica*S + stage); excludes activation waits and the
+	// cross-replica allreduce.
+	WorkerBusy []float64
+	// BusyImbalance is max/min of WorkerBusy (1 = perfectly balanced).
+	BusyImbalance float64
 }
 
 // TrainHybrid trains net with R x S workers. net is updated in place with
@@ -107,12 +118,19 @@ func TrainHybrid(net *nn.Net, x, y *tensor.Tensor, cfg HybridConfig) (*HybridRes
 	// Pipeline world: R*S ranks, rank = replica*S + stage.
 	// Reduce worlds: one per stage, R ranks each, for cross-replica allreduce.
 	pipeWorld := comm.NewWorld(r * s)
+	pipeWorld.SetObs(cfg.Obs)
 	reduceWorlds := make([]*comm.World, s)
 	for si := 0; si < s; si++ {
 		reduceWorlds[si] = comm.NewWorld(r)
+		reduceWorlds[si].SetObs(cfg.Obs)
+		// A reduce-world rank is driven by the pipeline-rank goroutine
+		// (replica*S + stage); point its spans at that goroutine's tid.
+		si := si
+		reduceWorlds[si].SetObsTID(func(id int) int { return id*s + si })
 	}
 
 	lossPerReplica := make([][]float64, r)
+	busy := make([]float64, r*s)
 	const (
 		tagAct  = 100
 		tagGrad = 300
@@ -121,6 +139,8 @@ func TrainHybrid(net *nn.Net, x, y *tensor.Tensor, cfg HybridConfig) (*HybridRes
 	pipeWorld.Run(func(rank *comm.Rank) {
 		ri := rank.ID() / s
 		si := rank.ID() % s
+		o := cfg.Obs
+		instr := o.Enabled()
 		w := workers[ri][si]
 		redRank := reduceRank(reduceWorlds[si], ri)
 		first := si == 0
@@ -128,10 +148,13 @@ func TrainHybrid(net *nn.Net, x, y *tensor.Tensor, cfg HybridConfig) (*HybridRes
 		grads := w.stage.Grads()
 		buf := make([]float64, flatSize(grads))
 		var losses []float64
+		var work time.Time
+		settle := func() { busy[rank.ID()] += time.Since(work).Seconds() }
 
 		for e := 0; e < cfg.Epochs; e++ {
 			ord := orders[e]
 			epochTotal := 0.0
+			epochStart := time.Now()
 			for st := 0; st < steps; st++ {
 				w.stage.ZeroGrads()
 				stepLoss := 0.0
@@ -145,16 +168,37 @@ func TrainHybrid(net *nn.Net, x, y *tensor.Tensor, cfg HybridConfig) (*HybridRes
 						in := rank.Recv(rank.ID()-1, tagAct+mb)
 						act = tensor.FromSlice(in, mbSize, len(in)/mbSize)
 					}
+					work = time.Now()
+					var sp *obs.Span
+					if instr {
+						sp = o.Span(rank.ID(), "forward")
+					}
 					out := w.stage.Forward(act, true)
+					if instr {
+						sp.End()
+					}
+					settle()
 					if !last {
 						rank.Send(rank.ID()+1, tagAct+mb, out.Data)
 						gin := rank.Recv(rank.ID()+1, tagGrad+mb)
+						work = time.Now()
+						if instr {
+							sp = o.Span(rank.ID(), "backward")
+						}
 						dout := tensor.FromSlice(gin, out.Shape()...)
 						dx := w.stage.Backward(dout)
+						if instr {
+							sp.End()
+						}
+						settle()
 						if !first {
 							rank.Send(rank.ID()-1, tagGrad+mb, dx.Data)
 						}
 						continue
+					}
+					work = time.Now()
+					if instr {
+						sp = o.Span(rank.ID(), "backward")
 					}
 					_, by := gather(x, y, idx)
 					stepLoss += cfg.Loss.Loss(out, by)
@@ -162,6 +206,10 @@ func TrainHybrid(net *nn.Net, x, y *tensor.Tensor, cfg HybridConfig) (*HybridRes
 					cfg.Loss.Grad(dout, out, by)
 					tensor.Scale(dout, dout, 1/float64(cfg.MicroBatches))
 					dx := w.stage.Backward(dout)
+					if instr {
+						sp.End()
+					}
+					settle()
 					if !first {
 						rank.Send(rank.ID()-1, tagGrad+mb, dx.Data)
 					}
@@ -176,13 +224,25 @@ func TrainHybrid(net *nn.Net, x, y *tensor.Tensor, cfg HybridConfig) (*HybridRes
 					}
 					unflatten(buf, grads)
 				}
+				work = time.Now()
+				var sp *obs.Span
+				if instr {
+					sp = o.Span(rank.ID(), "optimizer")
+				}
 				w.opt.Step(w.stage.Params(), w.stage.Grads())
+				if instr {
+					sp.End()
+				}
+				settle()
 				if last {
 					epochTotal += stepLoss / float64(cfg.MicroBatches)
 				}
 			}
 			if last {
 				losses = append(losses, epochTotal/float64(steps))
+				if instr && ri == 0 {
+					o.OnEpoch(e, losses[len(losses)-1], time.Since(epochStart))
+				}
 			}
 		}
 		if last {
@@ -201,6 +261,8 @@ func TrainHybrid(net *nn.Net, x, y *tensor.Tensor, cfg HybridConfig) (*HybridRes
 		TotalBytes:    pipeBytes + reduceBytes,
 		PipelineBytes: pipeBytes,
 		ReduceBytes:   reduceBytes,
+		WorkerBusy:    busy,
+		BusyImbalance: busyImbalance(busy),
 	}, nil
 }
 

@@ -1,0 +1,234 @@
+package parallel
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// traceSpanNames runs the session's Chrome-trace exporter and returns the
+// set of span names with the number of distinct tids they appear on.
+func traceSpanNames(t *testing.T, s *obs.Session) (map[string]bool, map[int]bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		names[ev.Name] = true
+		tids[ev.TID] = true
+	}
+	return names, tids
+}
+
+// TestDataParallelTraceAndBalance runs synchronous SGD on 2 replicas and
+// checks the acceptance-criteria span kinds (forward, backward, optimizer,
+// allreduce) plus the per-worker busy accounting in the result.
+func TestDataParallelTraceAndBalance(t *testing.T) {
+	x, y, _, net := makeProblem(3, 128, 16, 4)
+	sess := obs.NewSession()
+	res, err := TrainDataParallel(net, x, y, DataParallelConfig{
+		Replicas: 2, Algo: comm.ARRing, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05) },
+		GlobalBatch:  32, Epochs: 2, RNG: rng.New(3),
+		Obs: sess,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.WorkerBusy) != 2 {
+		t.Fatalf("WorkerBusy = %v, want 2 entries", res.WorkerBusy)
+	}
+	for i, b := range res.WorkerBusy {
+		if b <= 0 {
+			t.Errorf("WorkerBusy[%d] = %g, want > 0", i, b)
+		}
+	}
+	if res.BusyImbalance < 1 {
+		t.Errorf("BusyImbalance = %g, want >= 1 (max/min)", res.BusyImbalance)
+	}
+
+	names, tids := traceSpanNames(t, sess)
+	for _, want := range []string{"forward", "backward", "optimizer", "allreduce.ring"} {
+		if !names[want] {
+			t.Errorf("trace missing %q spans (have %v)", want, names)
+		}
+	}
+	if !tids[0] || !tids[1] {
+		t.Errorf("trace should cover both rank tids, got %v", tids)
+	}
+
+	// Per-rank step counting: both ranks' collectives are accounted.
+	snap := sess.Snapshot()
+	var arCalls, arBytes int64
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case "comm.allreduce.ring.calls":
+			arCalls = c.Value
+		case "comm.allreduce.ring.bytes":
+			arBytes = c.Value
+		}
+	}
+	if arCalls == 0 || arBytes == 0 {
+		t.Errorf("allreduce counters = %d calls / %d bytes, want > 0", arCalls, arBytes)
+	}
+	if float64(arBytes/2) != res.BytesPerRank {
+		t.Errorf("counted bytes/rank = %d, result says %g", arBytes/2, res.BytesPerRank)
+	}
+}
+
+func TestPipelineTraceAndBalance(t *testing.T) {
+	x, y, _, net := makeProblem(5, 96, 16, 4)
+	sess := obs.NewSession()
+	res, err := TrainPipeline(net, x, y, PipelineConfig{
+		Stages: 2, MicroBatches: 2, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05) },
+		GlobalBatch:  32, Epochs: 1, RNG: rng.New(5),
+		Obs: sess,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StageBusy) != 2 {
+		t.Fatalf("StageBusy = %v, want 2 entries", res.StageBusy)
+	}
+	for i, b := range res.StageBusy {
+		if b <= 0 {
+			t.Errorf("StageBusy[%d] = %g, want > 0", i, b)
+		}
+	}
+	if res.BusyImbalance < 1 {
+		t.Errorf("BusyImbalance = %g, want >= 1", res.BusyImbalance)
+	}
+	names, _ := traceSpanNames(t, sess)
+	for _, want := range []string{"forward", "backward", "optimizer"} {
+		if !names[want] {
+			t.Errorf("trace missing %q spans (have %v)", want, names)
+		}
+	}
+}
+
+func TestAsyncBalanceAndStalenessGauge(t *testing.T) {
+	x, y, _, net := makeProblem(9, 128, 16, 4)
+	sess := obs.NewSession()
+	res, err := TrainAsync(net, x, y, AsyncConfig{
+		Workers: 3, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer:   func() nn.Optimizer { return nn.NewSGD(0.05) },
+		BatchPerWorker: 16, StepsPerWorker: 6, RNG: rng.New(9),
+		Obs: sess,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorkerBusy) != 3 {
+		t.Fatalf("WorkerBusy = %v, want 3 entries", res.WorkerBusy)
+	}
+	if res.BusyImbalance < 1 {
+		t.Errorf("BusyImbalance = %g, want >= 1", res.BusyImbalance)
+	}
+	names, _ := traceSpanNames(t, sess)
+	for _, want := range []string{"compute", "push"} {
+		if !names[want] {
+			t.Errorf("trace missing %q spans (have %v)", want, names)
+		}
+	}
+	var found bool
+	for _, g := range sess.Snapshot().Gauges {
+		if g.Name == "async.mean_staleness" {
+			found = true
+			if g.Value != res.MeanStaleness {
+				t.Errorf("staleness gauge = %g, result = %g", g.Value, res.MeanStaleness)
+			}
+		}
+	}
+	if !found {
+		t.Error("async.mean_staleness gauge not recorded")
+	}
+}
+
+func TestHybridBalanceAndTidMapping(t *testing.T) {
+	x, y, _, net := makeProblem(11, 96, 16, 4)
+	sess := obs.NewSession()
+	res, err := TrainHybrid(net, x, y, HybridConfig{
+		Replicas: 2, Stages: 2, MicroBatches: 2, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05) },
+		GlobalBatch:  32, Epochs: 1, Algo: comm.ARRing, RNG: rng.New(11),
+		Obs: sess,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorkerBusy) != 4 { // replica*S + stage, R=S=2
+		t.Fatalf("WorkerBusy = %v, want 4 entries", res.WorkerBusy)
+	}
+	if res.BusyImbalance < 1 {
+		t.Errorf("BusyImbalance = %g, want >= 1", res.BusyImbalance)
+	}
+	names, tids := traceSpanNames(t, sess)
+	if !names["allreduce.ring"] {
+		t.Errorf("trace missing cross-replica allreduce spans (have %v)", names)
+	}
+	// Reduce-world spans must be remapped onto the 4 pipeline tids — never a
+	// tid outside [0, R*S), which would collide across goroutines.
+	for tid := range tids {
+		if tid < 0 || tid >= 4 {
+			t.Errorf("span on unexpected tid %d, want 0..3", tid)
+		}
+	}
+}
+
+// TestObsOffLeavesResultsClean makes sure the imbalance fields are populated
+// even without a session (they come from plain wall-clock accounting).
+func TestObsOffLeavesResultsClean(t *testing.T) {
+	x, y, _, net := makeProblem(13, 128, 16, 4)
+	res, err := TrainDataParallel(net, x, y, DataParallelConfig{
+		Replicas: 2, Algo: comm.ARRing, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.05) },
+		GlobalBatch:  32, Epochs: 1, RNG: rng.New(13),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorkerBusy) != 2 || res.BusyImbalance < 1 {
+		t.Errorf("busy accounting without obs: busy=%v imbalance=%g",
+			res.WorkerBusy, res.BusyImbalance)
+	}
+}
+
+func TestBusyImbalance(t *testing.T) {
+	cases := []struct {
+		busy []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{2, 2}, 1},
+		{[]float64{4, 2}, 2},
+		{[]float64{0, 2}, 0}, // degenerate: min 0 reported as 0, not Inf
+	}
+	for _, c := range cases {
+		if got := busyImbalance(c.busy); got != c.want {
+			t.Errorf("busyImbalance(%v) = %g, want %g", c.busy, got, c.want)
+		}
+	}
+}

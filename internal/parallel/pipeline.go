@@ -2,9 +2,11 @@ package parallel
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -23,6 +25,9 @@ type PipelineConfig struct {
 	GlobalBatch  int
 	Epochs       int
 	RNG          *rng.Stream
+	// Obs, if enabled, records per-stage forward/backward/optimizer spans
+	// (tid = stage) and epoch hooks from the last stage.
+	Obs *obs.Session
 }
 
 // PipelineResult reports a model-parallel run.
@@ -33,6 +38,12 @@ type PipelineResult struct {
 	BytesPerRank float64
 	// StageParams reports the parameter count per stage (balance check).
 	StageParams []int
+	// StageBusy is each stage's compute wall-time in seconds (forward,
+	// backward, optimizer — excluding waits for upstream/downstream ranks).
+	StageBusy []float64
+	// BusyImbalance is max/min of StageBusy; a high value means the layer
+	// partition left some stages idle behind the pipeline's slowest stage.
+	BusyImbalance float64
 }
 
 // PartitionLayers splits layers into `stages` contiguous groups balanced by
@@ -142,7 +153,9 @@ func TrainPipeline(net *nn.Net, x, y *tensor.Tensor, cfg PipelineConfig) (*Pipel
 	mbSize := cfg.GlobalBatch / cfg.MicroBatches
 
 	world := comm.NewWorld(s)
+	world.SetObs(cfg.Obs)
 	lossLog := make([]float64, cfg.Epochs)
+	busy := make([]float64, s)
 	const (
 		tagAct  = 100
 		tagGrad = 200
@@ -150,15 +163,23 @@ func TrainPipeline(net *nn.Net, x, y *tensor.Tensor, cfg PipelineConfig) (*Pipel
 
 	world.Run(func(rank *comm.Rank) {
 		id := rank.ID()
+		o := cfg.Obs
+		instr := o.Enabled()
 		stage := stageNets[id]
 		opt := stageOpts[id]
 		first := id == 0
 		last := id == s-1
+		// work marks the start of a compute segment; settle accumulates it
+		// into this stage's busy time, excluding Recv waits between segments.
+		var work time.Time
+		settle := func() { busy[id] += time.Since(work).Seconds() }
 
 		for e := 0; e < cfg.Epochs; e++ {
 			ord := orders[e]
 			epochTotal := 0.0
+			epochStart := time.Now()
 			for st := 0; st < steps; st++ {
+				stepStart := time.Now()
 				stage.ZeroGrads()
 				stepLoss := 0.0
 				for mb := 0; mb < cfg.MicroBatches; mb++ {
@@ -173,19 +194,43 @@ func TrainPipeline(net *nn.Net, x, y *tensor.Tensor, cfg PipelineConfig) (*Pipel
 						cols := len(in) / mbSize
 						act = tensor.FromSlice(in, mbSize, cols)
 					}
+					work = time.Now()
+					var sp *obs.Span
+					if instr {
+						sp = o.Span(id, "forward")
+						sp.SetArg("microbatch", mb)
+					}
 					out := stage.Forward(act, true)
+					if instr {
+						sp.End()
+					}
+					settle()
 					if !last {
 						rank.Send(id+1, tagAct+mb, out.Data)
 						// ---- backward (wait for grad from downstream) ----
 						gin := rank.Recv(id+1, tagGrad+mb)
+						work = time.Now()
+						if instr {
+							sp = o.Span(id, "backward")
+							sp.SetArg("microbatch", mb)
+						}
 						dout := tensor.FromSlice(gin, out.Shape()...)
 						dx := stage.Backward(dout)
+						if instr {
+							sp.End()
+						}
+						settle()
 						if !first {
 							rank.Send(id-1, tagGrad+mb, dx.Data)
 						}
 						continue
 					}
 					// Last stage computes the loss.
+					work = time.Now()
+					if instr {
+						sp = o.Span(id, "backward")
+						sp.SetArg("microbatch", mb)
+					}
 					_, by := gather(x, y, idx)
 					stepLoss += cfg.Loss.Loss(out, by)
 					dout := tensor.New(out.Shape()...)
@@ -194,17 +239,37 @@ func TrainPipeline(net *nn.Net, x, y *tensor.Tensor, cfg PipelineConfig) (*Pipel
 					// full batch (Loss.Grad divides by mbSize, not batch).
 					tensor.Scale(dout, dout, 1/float64(cfg.MicroBatches))
 					dx := stage.Backward(dout)
+					if instr {
+						sp.End()
+					}
+					settle()
 					if !first {
 						rank.Send(id-1, tagGrad+mb, dx.Data)
 					}
 				}
+				work = time.Now()
+				var sp *obs.Span
+				if instr {
+					sp = o.Span(id, "optimizer")
+				}
 				opt.Step(stage.Params(), stage.Grads())
+				if instr {
+					sp.End()
+				}
+				settle()
 				if last {
 					epochTotal += stepLoss / float64(cfg.MicroBatches)
+					if instr {
+						o.OnStep(e*steps+st, stepLoss/float64(cfg.MicroBatches),
+							time.Since(stepStart))
+					}
 				}
 			}
 			if last {
 				lossLog[e] = epochTotal / float64(steps)
+				if instr {
+					o.OnEpoch(e, lossLog[e], time.Since(epochStart))
+				}
 			}
 		}
 	})
@@ -214,7 +279,9 @@ func TrainPipeline(net *nn.Net, x, y *tensor.Tensor, cfg PipelineConfig) (*Pipel
 		Steps:       steps * cfg.Epochs,
 		TotalBytes:  world.TotalBytes(),
 		StageParams: stageParams,
+		StageBusy:   busy,
 	}
 	res.BytesPerRank = float64(res.TotalBytes) / float64(s)
+	res.BusyImbalance = busyImbalance(busy)
 	return res, nil
 }

@@ -5,8 +5,10 @@ package trace
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -17,6 +19,7 @@ type Table struct {
 	Title   string
 	Columns []string
 	rows    [][]string
+	raw     [][]any // original cell values, kept for typed JSON export
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -35,19 +38,21 @@ func (t *Table) AddRow(cells ...any) {
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = formatFloat(v)
+			row[i] = FormatFloat(v)
 		case float32:
-			row[i] = formatFloat(float64(v))
+			row[i] = FormatFloat(float64(v))
 		default:
 			row[i] = fmt.Sprintf("%v", c)
 		}
 	}
 	t.rows = append(t.rows, row)
+	t.raw = append(t.raw, append([]any(nil), cells...))
 }
 
-// formatFloat renders floats compactly: scientific for extremes, fixed
-// otherwise.
-func formatFloat(v float64) string {
+// FormatFloat renders floats compactly: scientific for extremes, fixed
+// otherwise. It is the one float formatter shared by experiment reporting
+// (this package) and telemetry summaries (internal/obs).
+func FormatFloat(v float64) string {
 	av := v
 	if av < 0 {
 		av = -av
@@ -128,6 +133,51 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteJSON exports the table as a JSON array of row objects keyed by
+// column name, preserving cell types (numbers stay numbers; everything
+// non-marshalable falls back to its %v string). Non-finite floats, which
+// JSON cannot represent, are exported as their FormatFloat strings.
+func (t *Table) WriteJSON(w io.Writer) error {
+	rows := make([]map[string]any, 0, len(t.raw))
+	for _, raw := range t.raw {
+		obj := make(map[string]any, len(t.Columns))
+		for i, col := range t.Columns {
+			obj[col] = jsonCell(raw[i])
+		}
+		rows = append(rows, obj)
+	}
+	doc := struct {
+		Title   string           `json:"title"`
+		Columns []string         `json:"columns"`
+		Rows    []map[string]any `json:"rows"`
+	}{t.Title, t.Columns, rows}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trace: json: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// jsonCell converts one cell to a JSON-marshalable value.
+func jsonCell(c any) any {
+	switch v := c.(type) {
+	case float64:
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return FormatFloat(v)
+		}
+		return v
+	case float32:
+		return jsonCell(float64(v))
+	case bool, string, int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64:
+		return v
+	default:
+		return fmt.Sprintf("%v", v)
+	}
 }
 
 // Log is a concurrency-safe event log keyed by category.

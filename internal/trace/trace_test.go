@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -62,8 +64,8 @@ func TestFormatFloat(t *testing.T) {
 		0.00001: "1e-05",
 	}
 	for v, want := range cases {
-		if got := formatFloat(v); got != want {
-			t.Errorf("formatFloat(%v)=%q want %q", v, got, want)
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v)=%q want %q", v, got, want)
 		}
 	}
 }
@@ -105,5 +107,38 @@ func TestLogFilterAndCategories(t *testing.T) {
 	cats := l.Categories()
 	if len(cats) != 2 || cats[0] != "a" || cats[1] != "b" {
 		t.Fatalf("categories %v", cats)
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tb := NewTable("scaling", "mode", "ranks", "eff")
+	tb.AddRow("strong", 8, 0.75)
+	tb.AddRow("weak", 16, math.NaN())
+	var sb strings.Builder
+	if err := tb.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string           `json:"title"`
+		Columns []string         `json:"columns"`
+		Rows    []map[string]any `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Title != "scaling" || len(doc.Columns) != 3 || len(doc.Rows) != 2 {
+		t.Fatalf("doc shape wrong: %+v", doc)
+	}
+	// Numbers must stay numbers, not strings.
+	if v, ok := doc.Rows[0]["ranks"].(float64); !ok || v != 8 {
+		t.Errorf("ranks = %#v, want number 8", doc.Rows[0]["ranks"])
+	}
+	if v, ok := doc.Rows[0]["eff"].(float64); !ok || v != 0.75 {
+		t.Errorf("eff = %#v, want number 0.75", doc.Rows[0]["eff"])
+	}
+	// NaN is not representable in JSON: it falls back to the shared
+	// FormatFloat string so the document stays loadable.
+	if v, ok := doc.Rows[1]["eff"].(string); !ok || v != FormatFloat(math.NaN()) {
+		t.Errorf("NaN cell = %#v, want %q", doc.Rows[1]["eff"], FormatFloat(math.NaN()))
 	}
 }
