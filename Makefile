@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test bench-overhead bench clean
+.PHONY: check vet build test chaos bench-overhead bench-checkpoint bench clean
 
-check: vet build test bench-overhead
+check: vet build test chaos bench-overhead
 
 vet:
 	$(GO) vet ./...
@@ -15,11 +15,28 @@ build:
 test:
 	$(GO) test -race ./...
 
+# Deterministic chaos suite under the race detector: failure-injection
+# schedules (internal/fault), checkpoint/resume bitwise-continue
+# (internal/nn), elastic worker-kill recovery (internal/parallel), and
+# campaign retry-with-requeue (internal/core). Redundant with `test` on a
+# full run, but kept as an explicit gate so the fault paths can be exercised
+# alone (`make chaos`) and stay race-clean.
+chaos:
+	$(GO) test -race ./internal/fault ./internal/core \
+		-run 'Fault|Campaign|Schedule|Attempt|Plan|Daly|Simulate'
+	$(GO) test -race ./internal/nn -run 'Resume|TrainState|Checkpoint'
+	$(GO) test -race ./internal/parallel -run 'Elastic'
+
 # Instrumentation overhead: trains the same network with no obs session,
 # a disabled one, and an enabled one. The disabled column must stay within
 # a few percent of the uninstrumented baseline (see BENCH_obs.json).
 bench-overhead:
 	$(GO) test ./internal/obs -run xxx -bench Overhead -benchtime 2s
+
+# Checkpoint overhead: the same training run with checkpointing off, every
+# epoch, and every other epoch (see BENCH_fault.json).
+bench-checkpoint:
+	$(GO) test ./internal/nn -run xxx -bench Checkpoint -benchtime 2s
 
 # Regenerate every experiment table + micro-benchmarks.
 bench:

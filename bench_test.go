@@ -32,15 +32,16 @@ func benchExperiment(b *testing.B, id string) {
 // One benchmark per experiment — the paper has no numbered tables/figures
 // (keynote abstract), so these are the regeneration targets for the nine
 // claim-reproductions DESIGN.md enumerates.
-func BenchmarkE1Precision(b *testing.B) { benchExperiment(b, "E1") }
-func BenchmarkE2Roofline(b *testing.B)  { benchExperiment(b, "E2") }
-func BenchmarkE3Scaling(b *testing.B)   { benchExperiment(b, "E3") }
-func BenchmarkE4Hybrid(b *testing.B)    { benchExperiment(b, "E4") }
-func BenchmarkE5Memory(b *testing.B)    { benchExperiment(b, "E5") }
-func BenchmarkE6Fabric(b *testing.B)    { benchExperiment(b, "E6") }
-func BenchmarkE7NVRAM(b *testing.B)     { benchExperiment(b, "E7") }
-func BenchmarkE8Search(b *testing.B)    { benchExperiment(b, "E8") }
-func BenchmarkE9Campaign(b *testing.B)  { benchExperiment(b, "E9") }
+func BenchmarkE1Precision(b *testing.B)   { benchExperiment(b, "E1") }
+func BenchmarkE2Roofline(b *testing.B)    { benchExperiment(b, "E2") }
+func BenchmarkE3Scaling(b *testing.B)     { benchExperiment(b, "E3") }
+func BenchmarkE4Hybrid(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5Memory(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6Fabric(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkE7NVRAM(b *testing.B)       { benchExperiment(b, "E7") }
+func BenchmarkE8Search(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9Campaign(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Checkpoint(b *testing.B) { benchExperiment(b, "E10") }
 
 // benchAblation regenerates one design-choice ablation table per iteration.
 func benchAblation(b *testing.B, id string) {

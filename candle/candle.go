@@ -15,7 +15,7 @@
 //     strategies (Hyperband, genetic, TPE, RBF surrogate, generative);
 //   - the parameterised machine model (rooflines, collective costs,
 //     energy) and the tiered-storage/NVRAM staging simulator;
-//   - the E1-E9 experiment suite that reproduces each of the paper's
+//   - the E1-E10 experiment suite that reproduces each of the paper's
 //     architectural claims.
 //
 // Quick start:
@@ -35,6 +35,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/hpo"
 	"repro/internal/lowp"
 	"repro/internal/machine"
@@ -220,11 +221,16 @@ type PipelineConfig = parallel.PipelineConfig
 // HybridConfig configures data x model hybrid training.
 type HybridConfig = parallel.HybridConfig
 
+// ElasticConfig configures elastic data-parallel SGD: synchronous training
+// that survives worker deaths by re-sharding the batch over survivors.
+type ElasticConfig = parallel.ElasticConfig
+
 // Parallel trainers.
 var (
 	TrainDataParallel = parallel.TrainDataParallel
 	TrainPipeline     = parallel.TrainPipeline
 	TrainHybrid       = parallel.TrainHybrid
+	TrainElastic      = parallel.TrainElastic
 )
 
 // Allreduce algorithms for gradient reduction.
@@ -234,6 +240,23 @@ const (
 	ARTree              = comm.ARTree
 	ARRabenseifner      = comm.ARRabenseifner
 )
+
+// ---- fault tolerance --------------------------------------------------------------
+
+// FaultPlan scripts deterministic worker kills, stalls, and transient
+// collective errors for the trainers (see ElasticConfig.Faults).
+type FaultPlan = fault.Plan
+
+// FaultProcess describes independent per-node failure processes
+// (see the campaign scheduler's Faults field).
+type FaultProcess = fault.Process
+
+// NewFaultPlan returns an empty failure plan.
+var NewFaultPlan = fault.NewPlan
+
+// DalyInterval is the first-order optimal checkpoint interval
+// sqrt(2*C*MTBF) - C that experiment E10 sweeps.
+var DalyInterval = fault.DalyInterval
 
 // ---- machine model and storage -----------------------------------------------------
 
@@ -258,13 +281,13 @@ var SimulateStorage = storage.Simulate
 
 // ---- experiments ------------------------------------------------------------------
 
-// Experiment is one paper-claim reproduction (E1-E9).
+// Experiment is one paper-claim reproduction (E1-E10).
 type Experiment = experiments.Experiment
 
 // ExperimentConfig sizes an experiment run.
 type ExperimentConfig = experiments.Config
 
-// Experiments returns the full E1-E9 suite.
+// Experiments returns the full E1-E10 suite.
 var Experiments = experiments.All
 
 // ExperimentByID finds one experiment.

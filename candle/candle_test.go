@@ -79,10 +79,40 @@ func TestPublicMachineAndStorage(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(candle.Experiments()) != 9 {
+	if len(candle.Experiments()) != 10 {
 		t.Fatal("experiment suite incomplete")
 	}
 	if candle.ExperimentByID("E1") == nil {
 		t.Fatal("E1 missing")
+	}
+	if candle.ExperimentByID("E10") == nil {
+		t.Fatal("E10 missing")
+	}
+}
+
+func TestPublicFaultAPI(t *testing.T) {
+	r := candle.NewRNG(6)
+	x := candle.NewTensor(64, 8)
+	x.FillRandNorm(r, 1)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	y := candle.OneHot(labels, 2)
+	net := candle.MLP(8, []int{16}, 2, candle.Tanh, r.Split("init"))
+	res, err := candle.TrainElastic(net, x, y, candle.ElasticConfig{
+		Workers: 3, Loss: candle.SoftmaxCELoss{},
+		NewOptimizer: func() candle.Optimizer { return candle.NewSGD(0.1) },
+		GlobalBatch:  16, Epochs: 3, RNG: r.Split("train"),
+		Faults: candle.NewFaultPlan().Kill(1, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 || res.LiveWorkers != 2 {
+		t.Fatalf("kill not reflected in result: %+v", res)
+	}
+	if d := candle.DalyInterval(60, 3600); d <= 0 {
+		t.Fatal("Daly interval not positive")
 	}
 }

@@ -7,11 +7,17 @@
 //	candletrain -workload tumor [-scale small] [-epochs 20] [-batch 32]
 //	            [-lr 0.003] [-replicas 4 | -stages 3] [-precision fp32]
 //	            [-seed 1] [-metrics m.jsonl] [-trace t.json]
+//	            [-checkpoint ck.bin [-checkpoint-every 5]] [-resume ck.bin]
 //
 // -metrics streams per-epoch losses and final counter/timer histograms as
 // JSON lines; -trace writes a chrome://tracing-loadable span trace of the
 // whole run (forward/backward/optimizer per step, allreduce per rank when
 // -replicas > 1).
+//
+// -checkpoint periodically snapshots the full training state (weights,
+// optimizer moments, LR-schedule position, shuffle RNG cursor) to a file;
+// -resume restores such a snapshot and continues training bitwise identical
+// to the run that was interrupted — same final loss, same test metric.
 package main
 
 import (
@@ -44,6 +50,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	metricsOut := flag.String("metrics", "", "write metrics (per-epoch loss, step-timer histograms) as JSONL to this file")
 	traceOut := flag.String("trace", "", "write a chrome://tracing span trace (JSON) to this file")
+	ckptPath := flag.String("checkpoint", "", "write periodic training-state checkpoints to this file (serial training only)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "epochs between checkpoints (with -checkpoint)")
+	resumePath := flag.String("resume", "", "resume from a checkpoint file written by -checkpoint; continues bitwise identical to the uninterrupted run")
 	flag.Parse()
 
 	var sess *obs.Session
@@ -72,6 +81,9 @@ func main() {
 	}
 	if *replicas > 1 && *stages > 1 {
 		fail(fmt.Errorf("use candlesearch/TrainHybrid for replicas x stages; pick one here"))
+	}
+	if (*ckptPath != "" || *resumePath != "") && (*replicas > 1 || *stages > 1) {
+		fail(fmt.Errorf("-checkpoint/-resume only apply to serial training (replicas=1, stages=1)"))
 	}
 	var sched nn.LRSchedule
 	switch *schedule {
@@ -132,18 +144,49 @@ func main() {
 			res.Steps, *stages, res.StageParams)
 		fmt.Printf("balance:  stage busy max/min %.3f\n", res.BusyImbalance)
 	default:
-		res, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+		cfg := nn.TrainConfig{
 			Loss: loss, Optimizer: nn.NewAdam(*lr),
 			BatchSize: *batch, Epochs: *epochs,
 			Precision: prec, LossScale: *lossScale, Schedule: sched,
 			Shuffle: true, RNG: root.Split("train"),
 			Obs: sess,
-		})
+		}
+		checkpoints := 0
+		if *ckptPath != "" {
+			cfg.CheckpointEvery = *ckptEvery
+			cfg.Checkpoint = func(epoch int, state []byte) error {
+				// Write-then-rename so a crash mid-write never corrupts the
+				// previous good checkpoint.
+				tmp := *ckptPath + ".tmp"
+				if err := os.WriteFile(tmp, state, 0o644); err != nil {
+					return err
+				}
+				if err := os.Rename(tmp, *ckptPath); err != nil {
+					return err
+				}
+				checkpoints++
+				return nil
+			}
+		}
+		if *resumePath != "" {
+			blob, err := os.ReadFile(*resumePath)
+			if err != nil {
+				fail(err)
+			}
+			cfg.Resume = blob
+		}
+		res, err := nn.Train(net, train.X, train.Y, cfg)
 		if err != nil {
 			fail(err)
 		}
+		if *resumePath != "" {
+			fmt.Printf("resumed:  %s\n", *resumePath)
+		}
 		fmt.Printf("trained:  %d steps (%d skipped), final loss %.4f\n",
 			res.Steps, res.SkippedSteps, res.FinalLoss)
+		if checkpoints > 0 {
+			fmt.Printf("ckpt:     %d checkpoints -> %s\n", checkpoints, *ckptPath)
+		}
 	}
 	fmt.Printf("time:     %.2fs\n", time.Since(start).Seconds())
 

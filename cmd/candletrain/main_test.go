@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCandletrain compiles the command once into a temp dir.
+func buildCandletrain(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "candletrain")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCandletrain(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("candletrain %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// lineWith returns the first output line containing the marker.
+func lineWith(t *testing.T, out, marker string) string {
+	t.Helper()
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, marker) {
+			return l
+		}
+	}
+	t.Fatalf("no %q line in output:\n%s", marker, out)
+	return ""
+}
+
+// TestCheckpointResumeMatchesUninterrupted is the end-to-end guarantee
+// behind -checkpoint/-resume: train 8 epochs straight through; then train 4
+// epochs with checkpointing, and resume the final checkpoint for the
+// remaining 4. The resumed run must report the identical step count, final
+// loss, and test metric — the checkpoint carries the full training state,
+// so interruption is invisible.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	bin := buildCandletrain(t)
+	ck := filepath.Join(t.TempDir(), "ck.bin")
+	base := []string{"-workload", "tumor", "-scale", "tiny", "-batch", "16", "-seed", "3"}
+
+	full := runCandletrain(t, bin, append([]string{"-epochs", "8"}, base...)...)
+
+	interrupted := runCandletrain(t, bin,
+		append([]string{"-epochs", "4", "-checkpoint", ck, "-checkpoint-every", "2"}, base...)...)
+	if !strings.Contains(interrupted, "2 checkpoints") {
+		t.Fatalf("expected 2 checkpoints in 4 epochs:\n%s", interrupted)
+	}
+
+	resumed := runCandletrain(t, bin, append([]string{"-epochs", "8", "-resume", ck}, base...)...)
+
+	for _, marker := range []string{"trained:", "test:"} {
+		want := lineWith(t, full, marker)
+		got := lineWith(t, resumed, marker)
+		if got != want {
+			t.Fatalf("resumed run diverged from uninterrupted run:\n  full:    %s\n  resumed: %s", want, got)
+		}
+	}
+}
+
+// A corrupted checkpoint must be rejected, not silently half-loaded.
+func TestResumeRejectsCorruptedCheckpoint(t *testing.T) {
+	bin := buildCandletrain(t)
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.bin")
+	base := []string{"-workload", "tumor", "-scale", "tiny", "-batch", "16", "-seed", "3"}
+	runCandletrain(t, bin, append([]string{"-epochs", "2", "-checkpoint", ck}, base...)...)
+
+	blob, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff // flip a payload byte: CRC must catch it
+	bad := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(bad, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, append([]string{"-epochs", "4", "-resume", bad}, base...)...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("corrupted checkpoint accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "train state") {
+		t.Fatalf("unhelpful error for corrupted checkpoint:\n%s", out)
+	}
+}

@@ -3,5 +3,5 @@
 //
 // The public API lives in repro/candle; executables in cmd/; runnable
 // examples in examples/. bench_test.go in this directory regenerates each
-// of the paper-claim experiments E1-E9 (see DESIGN.md and EXPERIMENTS.md).
+// of the paper-claim experiments E1-E10 (see DESIGN.md and EXPERIMENTS.md).
 package repro

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -63,6 +64,22 @@ type CampaignConfig struct {
 	DispatchOverhead float64
 	// Scheduler picks the placement policy.
 	Scheduler SchedulerKind
+	// Faults, if non-nil, subjects every evaluation to node crashes with the
+	// process's per-node MTBF: a crashed attempt loses its work and the
+	// evaluation restarts from scratch. Static and hierarchical schedulers
+	// restart locally (the owning node or group relaunches); the dynamic
+	// global queue requeues the evaluation through the manager, paying
+	// DispatchOverhead again per attempt. Attempt segments are sampled up
+	// front from a split stream, so the same seed yields the identical
+	// failure schedule under every scheduler.
+	Faults *fault.Process
+	// MaxRetries caps restarts per evaluation when Faults is set: 0 retries
+	// until the evaluation completes; k > 0 allows at most k restarts, after
+	// which the configuration is abandoned (counted, not re-run).
+	MaxRetries int
+	// RestartOverhead is the wall-clock cost of relaunching a crashed
+	// evaluation attempt (process restart + data restage), in seconds.
+	RestartOverhead float64
 	// RNG drives duration sampling.
 	RNG *rng.Stream
 	// Obs, if enabled, records dispatch/steal counters and busy/idle/
@@ -90,8 +107,19 @@ type CampaignResult struct {
 	// scheduler where node identity is fixed up front); nil otherwise.
 	NodeBusy []float64
 	// IdleNodeSeconds is Nodes*Makespan - TotalWork: aggregate time nodes
-	// spent waiting on stragglers or the scheduler.
+	// spent waiting on stragglers or the scheduler — and, under failure
+	// injection, re-running lost work.
 	IdleNodeSeconds float64
+	// Failures counts evaluation attempts killed by injected node crashes.
+	Failures int
+	// Retries counts attempts re-run after a crash (Failures minus the final
+	// crash of each abandoned configuration).
+	Retries int
+	// LostEvalSeconds is evaluation time burned by crashed attempts —
+	// node-seconds spent on work that had to be redone or was abandoned.
+	LostEvalSeconds float64
+	// AbandonedConfigs counts configurations dropped after MaxRetries.
+	AbandonedConfigs int
 }
 
 func (r CampaignResult) String() string {
@@ -137,12 +165,63 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		IdealMakespan: total / float64(cfg.Nodes),
 	}
 
+	// Under failure injection every evaluation becomes a retry loop: sample
+	// the attempt segments for all configs up front from a split stream so
+	// the failure schedule is a function of the seed alone, identical under
+	// every scheduler. attempts[i] is nil when config i runs failure-free.
+	attempts := make([][]float64, cfg.Configs)
+	if cfg.Faults != nil {
+		if cfg.Faults.MTBF <= 0 {
+			return CampaignResult{}, fmt.Errorf("core: campaign faults need MTBF > 0")
+		}
+		maxRetries := -1 // retry until completion
+		if cfg.MaxRetries > 0 {
+			maxRetries = cfg.MaxRetries
+		}
+		fr := cfg.RNG.Split("campaign-faults")
+		for i, d := range durations {
+			segs, completed := fault.AttemptSegments(fr, d, cfg.Faults.MTBF, maxRetries)
+			if len(segs) == 1 && completed {
+				continue // no crash touched this evaluation
+			}
+			attempts[i] = segs
+			res.Retries += len(segs) - 1
+			if completed {
+				res.Failures += len(segs) - 1
+				for _, s := range segs[:len(segs)-1] {
+					res.LostEvalSeconds += s
+				}
+			} else {
+				// Every attempt crashed and the retry budget ran out: the
+				// whole evaluation is lost work.
+				res.Failures += len(segs)
+				res.AbandonedConfigs++
+				for _, s := range segs {
+					res.LostEvalSeconds += s
+				}
+			}
+		}
+	}
+	// Effective node-seconds per config for schedulers that restart locally:
+	// all attempt segments plus one restart overhead per retry.
+	localCost := func(i int) float64 {
+		if attempts[i] == nil {
+			return durations[i]
+		}
+		c := float64(len(attempts[i])-1) * cfg.RestartOverhead
+		for _, s := range attempts[i] {
+			c += s
+		}
+		return c
+	}
+
 	switch cfg.Scheduler {
 	case StaticPartition:
-		// Round-robin assignment; makespan = max per-node sum.
+		// Round-robin assignment; makespan = max per-node sum. A crashed
+		// evaluation restarts on its assigned node.
 		perNode := make([]float64, cfg.Nodes)
-		for i, d := range durations {
-			perNode[i%cfg.Nodes] += d
+		for i := range durations {
+			perNode[i%cfg.Nodes] += localCost(i)
 		}
 		worst := 0.0
 		for _, t := range perNode {
@@ -156,22 +235,42 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	case DynamicQueue:
 		// Single global FIFO: every task pays the dispatch overhead on the
 		// manager before a node runs it (the central-manager bottleneck).
+		// A crashed attempt is requeued: the retry goes back through the
+		// manager and pays the dispatch overhead again.
 		eng := sim.NewEngine()
 		nodes := sim.NewResource(eng, cfg.Nodes)
 		manager := sim.NewResource(eng, 1)
-		for _, d := range durations {
-			d := d
+		dispatches := 0
+		var enqueue func(segs []float64, retry bool)
+		enqueue = func(segs []float64, retry bool) {
+			dispatches++
 			manager.Acquire(func(releaseMgr func()) {
 				eng.Schedule(cfg.DispatchOverhead, func() {
 					releaseMgr()
 					nodes.Acquire(func(releaseNode func()) {
-						eng.Schedule(d, releaseNode)
+						run := segs[0]
+						if retry {
+							run += cfg.RestartOverhead
+						}
+						eng.Schedule(run, func() {
+							releaseNode()
+							if len(segs) > 1 {
+								enqueue(segs[1:], true)
+							}
+						})
 					})
 				})
 			})
 		}
+		for i, d := range durations {
+			if attempts[i] != nil {
+				enqueue(attempts[i], false)
+			} else {
+				enqueue([]float64{d}, false)
+			}
+		}
 		res.Makespan = eng.Run()
-		res.Dispatches = len(durations)
+		res.Dispatches = dispatches
 	case HierarchicalQueue:
 		// Groups pull batches of work from the root (one overhead per
 		// batch), then dispatch within the group for free; idle groups
@@ -219,7 +318,9 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 						pulling = false
 						inGroup += hi - lo
 						for i := lo; i < hi; i++ {
-							d := durations[i]
+							// Crashed attempts restart inside the group: the
+							// group manager relaunches without a root pull.
+							d := localCost(i)
 							nodes.Acquire(func(releaseNode func()) {
 								eng.Schedule(d, func() {
 									releaseNode()
@@ -256,6 +357,12 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		o.SetGauge(prefix+".busy_node_seconds", res.TotalWork)
 		o.SetGauge(prefix+".idle_node_seconds", res.IdleNodeSeconds)
 		o.OnEval(prefix+".utilization", res.Utilization)
+		if cfg.Faults != nil {
+			o.Count(prefix+".failures", int64(res.Failures))
+			o.Count(prefix+".retries", int64(res.Retries))
+			o.Count(prefix+".abandoned", int64(res.AbandonedConfigs))
+			o.SetGauge(prefix+".lost_eval_seconds", res.LostEvalSeconds)
+		}
 	}
 	return res, nil
 }

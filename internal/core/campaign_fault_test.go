@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+func faultCampaign(sched SchedulerKind, seed uint64, proc *fault.Process) CampaignConfig {
+	return CampaignConfig{
+		Configs: 300, Nodes: 16, GroupSize: 8,
+		MeanEvalTime: 100, EvalTimeSigma: 0.8,
+		DispatchOverhead: 0.05, RestartOverhead: 2,
+		Scheduler: sched, Faults: proc,
+		RNG: rng.New(seed),
+	}
+}
+
+// nodeProc is a per-node failure process sized so a decent fraction of the
+// ~100 s evaluations crash at least once.
+func nodeProc(nodes int) *fault.Process {
+	return &fault.Process{Nodes: nodes, MTBF: 400, Horizon: 1e9}
+}
+
+// Chaos property (a): the same seed yields the identical failure schedule
+// and therefore the identical campaign result, for every scheduler.
+func TestCampaignFaultsDeterministic(t *testing.T) {
+	for _, sched := range []SchedulerKind{StaticPartition, DynamicQueue, HierarchicalQueue} {
+		t.Run(sched.String(), func(t *testing.T) {
+			a, err := RunCampaign(faultCampaign(sched, 11, nodeProc(16)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunCampaign(faultCampaign(sched, 11, nodeProc(16)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Makespan != b.Makespan || a.Failures != b.Failures ||
+				a.Retries != b.Retries || a.LostEvalSeconds != b.LostEvalSeconds ||
+				a.Dispatches != b.Dispatches {
+				t.Fatalf("same seed, different result:\n%+v\n%+v", a, b)
+			}
+			if a.Failures == 0 {
+				t.Fatal("MTBF 400 over ~100s evals produced zero failures")
+			}
+		})
+	}
+}
+
+// The failure schedule is sampled after durations from a split stream, so
+// failures only ever add time: the faulty makespan dominates the clean one,
+// and the lost eval-seconds are visible in the accounting.
+func TestCampaignFaultsCostTime(t *testing.T) {
+	for _, sched := range []SchedulerKind{StaticPartition, DynamicQueue, HierarchicalQueue} {
+		t.Run(sched.String(), func(t *testing.T) {
+			clean, err := RunCampaign(faultCampaign(sched, 7, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			faulty, err := RunCampaign(faultCampaign(sched, 7, nodeProc(16)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clean.Failures != 0 || clean.LostEvalSeconds != 0 {
+				t.Fatalf("fault-free run reports failures: %+v", clean)
+			}
+			if faulty.TotalWork != clean.TotalWork {
+				t.Fatalf("faults changed the sampled durations: %v vs %v",
+					faulty.TotalWork, clean.TotalWork)
+			}
+			if faulty.Makespan <= clean.Makespan {
+				t.Fatalf("failures did not extend makespan: %v vs %v",
+					faulty.Makespan, clean.Makespan)
+			}
+			if faulty.LostEvalSeconds <= 0 || faulty.Retries < faulty.AbandonedConfigs {
+				t.Fatalf("implausible fault accounting: %+v", faulty)
+			}
+			if faulty.Utilization >= clean.Utilization {
+				t.Fatalf("lost work did not lower utilization: %v vs %v",
+					faulty.Utilization, clean.Utilization)
+			}
+		})
+	}
+}
+
+// The dynamic queue requeues each retry through the manager, so its dispatch
+// count must exceed the config count by exactly the retry count.
+func TestCampaignDynamicRequeue(t *testing.T) {
+	res, err := RunCampaign(faultCampaign(DynamicQueue, 3, nodeProc(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("expected retries")
+	}
+	want := 300 + res.Retries
+	if res.Dispatches != want {
+		t.Fatalf("dispatches %d, want configs+retries = %d", res.Dispatches, want)
+	}
+}
+
+// A retry budget turns unbounded retry loops into abandoned configurations.
+func TestCampaignMaxRetriesAbandons(t *testing.T) {
+	cfg := faultCampaign(StaticPartition, 5, &fault.Process{Nodes: 16, MTBF: 20, Horizon: 1e9})
+	cfg.MaxRetries = 1
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AbandonedConfigs == 0 {
+		t.Fatal("MTBF 20 with MaxRetries 1 abandoned nothing")
+	}
+	// Bounded: at most MaxRetries+1 attempts per config.
+	if res.Failures > 300*2 {
+		t.Fatalf("failures %d exceed the attempt bound", res.Failures)
+	}
+	// With MaxRetries unset and a survivable MTBF, every config completes.
+	unlimited, err := RunCampaign(faultCampaign(StaticPartition, 5, nodeProc(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.AbandonedConfigs != 0 {
+		t.Fatalf("unlimited retries abandoned %d configs", unlimited.AbandonedConfigs)
+	}
+}
+
+// Failure events flow into the observability session as counters and gauges.
+func TestCampaignFaultObs(t *testing.T) {
+	sess := obs.NewSession()
+	cfg := faultCampaign(DynamicQueue, 9, nodeProc(16))
+	cfg.Obs = sess
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := sess.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["campaign.dynamic.failures"] != int64(res.Failures) {
+		t.Fatalf("failures counter %d != result %d",
+			counters["campaign.dynamic.failures"], res.Failures)
+	}
+	if counters["campaign.dynamic.retries"] != int64(res.Retries) {
+		t.Fatal("retries counter missing")
+	}
+}
+
+func TestCampaignFaultValidation(t *testing.T) {
+	cfg := faultCampaign(StaticPartition, 1, &fault.Process{Nodes: 16, MTBF: 0})
+	if _, err := RunCampaign(cfg); err == nil {
+		t.Fatal("zero-MTBF fault process accepted")
+	}
+}

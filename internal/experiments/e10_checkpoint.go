@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// E10Checkpoint sweeps the checkpoint interval for a long training job on
+// machines of increasing node count. Each node fails independently with a
+// fixed per-node MTBF, so the system MTBF shrinks linearly with scale;
+// checkpointing too rarely loses large amounts of work per failure, while
+// checkpointing too often drowns the job in checkpoint writes. The sweep
+// locates the empirical optimum for each machine size and compares it
+// against Daly's first-order analytic optimum sqrt(2*C*MTBF) - C.
+//
+// Expected shape (paper claim): at the scale the paper targets, failures
+// are routine rather than exceptional, so the machine must be provisioned
+// for checkpoint/restart traffic — the optimal interval falls with the
+// square root of the system MTBF, and the wall-clock penalty of ignoring
+// fault tolerance grows with node count.
+func E10Checkpoint(cfg Config) *trace.Table {
+	t := trace.NewTable("E10 optimal checkpoint interval vs machine size",
+		"nodes", "sys-mtbf-h", "interval-s", "daly-s", "wall-h",
+		"best", "overhead-vs-ideal")
+
+	const (
+		workSeconds    = 48 * 3600 // a two-day training job
+		nodeMTBF       = 30 * 24 * 3600
+		checkpointCost = 60.0
+		restartCost    = 120.0
+	)
+	trials := 200
+	if cfg.Quick {
+		trials = 40
+	}
+
+	for _, nodes := range []int{256, 1024, 4096} {
+		proc := fault.Process{Nodes: nodes, MTBF: nodeMTBF, Horizon: 1}
+		sysMTBF := proc.SystemMTBF()
+		daly := fault.DalyInterval(checkpointCost, sysMTBF)
+
+		// Sweep a geometric grid of intervals bracketing the analytic
+		// optimum, plus "never checkpoint" as the degenerate endpoint.
+		intervals := []float64{0} // 0 = never checkpoint
+		for f := 1.0 / 16; f <= 16; f *= 2 {
+			intervals = append(intervals, daly*f)
+		}
+
+		bestWall := math.Inf(1)
+		bestInterval := 0.0
+		walls := make([]float64, len(intervals))
+		for i, interval := range intervals {
+			r := rng.New(cfg.Seed).Split("e10").SplitN(nodes + i)
+			mean := 0.0
+			for trial := 0; trial < trials; trial++ {
+				mean += fault.SimulateCheckpointRun(r, fault.CheckpointRunConfig{
+					Work: workSeconds, MTBF: sysMTBF, Interval: interval,
+					CheckpointCost: checkpointCost, RestartCost: restartCost,
+				})
+			}
+			walls[i] = mean / float64(trials)
+			if walls[i] < bestWall {
+				bestWall = walls[i]
+				bestInterval = interval
+			}
+		}
+		for i, interval := range intervals {
+			mark := "-"
+			if interval == bestInterval {
+				mark = "*"
+			}
+			t.AddRow(nodes, sysMTBF/3600, interval, daly, walls[i]/3600,
+				mark, walls[i]/workSeconds-1)
+		}
+		if cfg.Obs.Enabled() {
+			cfg.Obs.SetGauge("e10.best_interval_s", bestInterval)
+			cfg.Obs.OnEval("e10.overhead_at_optimum", bestWall/workSeconds-1)
+		}
+	}
+	return t
+}

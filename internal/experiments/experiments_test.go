@@ -23,8 +23,8 @@ func runQuick(t *testing.T, id string) (*Experiment, string) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
-		t.Fatalf("expected 9 experiments, got %d", len(all))
+	if len(all) != 10 {
+		t.Fatalf("expected 10 experiments, got %d", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -277,5 +277,63 @@ func TestE9Shape(t *testing.T) {
 	}
 	if hier >= static {
 		t.Fatalf("hierarchical (%v h) not better than static (%v h)", hier, static)
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	_, out := runQuick(t, "E10")
+	rows := tableRows(out)
+	// Per machine size: the optimum must be finite and interior — some
+	// nonzero interval beats both never-checkpointing and the largest grid
+	// interval — and the optimal interval must shrink as the machine grows
+	// (system MTBF falls with node count).
+	type group struct {
+		bestInterval, bestWall float64
+		neverWall, maxInterval float64
+		maxIntervalWall, daly  float64
+	}
+	groups := map[string]*group{}
+	for _, r := range rows {
+		g := groups[r[0]]
+		if g == nil {
+			g = &group{}
+			groups[r[0]] = g
+		}
+		interval, wall := f(t, r[2]), f(t, r[4])
+		g.daly = f(t, r[3])
+		if interval == 0 {
+			g.neverWall = wall
+		}
+		if interval > g.maxInterval {
+			g.maxInterval, g.maxIntervalWall = interval, wall
+		}
+		if r[5] == "*" {
+			g.bestInterval, g.bestWall = interval, wall
+		}
+	}
+	if len(groups) != 3 {
+		t.Fatalf("expected 3 machine sizes, got %d:\n%s", len(groups), out)
+	}
+	for nodes, g := range groups {
+		if g.bestInterval <= 0 || math.IsInf(g.bestWall, 1) {
+			t.Fatalf("nodes=%s: no finite optimum (best interval %v wall %v)",
+				nodes, g.bestInterval, g.bestWall)
+		}
+		if g.bestWall >= g.neverWall {
+			t.Fatalf("nodes=%s: checkpointing (%v h) no better than never (%v h)",
+				nodes, g.bestWall, g.neverWall)
+		}
+		if g.bestInterval == g.maxInterval && g.bestWall >= g.maxIntervalWall {
+			t.Fatalf("nodes=%s: optimum sits on the grid edge", nodes)
+		}
+		// The empirical optimum brackets Daly's analytic one.
+		if g.bestInterval < g.daly/8 || g.bestInterval > g.daly*8 {
+			t.Fatalf("nodes=%s: empirical optimum %v far from Daly %v",
+				nodes, g.bestInterval, g.daly)
+		}
+	}
+	if groups["256"].bestInterval < groups["4096"].bestInterval {
+		t.Fatalf("optimal interval grew with machine size: 256→%v, 4096→%v",
+			groups["256"].bestInterval, groups["4096"].bestInterval)
 	}
 }

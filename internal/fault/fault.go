@@ -1,0 +1,335 @@
+// Package fault is the robustness subsystem: seeded, deterministic failure
+// injection for both the simulated campaign schedulers (internal/core) and
+// the real goroutine trainers (internal/parallel), plus the checkpoint-
+// interval mathematics (Young/Daly) that experiment E10 sweeps.
+//
+// At the scale the paper targets — tens of thousands of model
+// configurations across thousands of nodes — the system mean time between
+// failures is measured in minutes, so every layer above this package
+// assumes evaluations can die mid-flight. All randomness flows through an
+// explicit *rng.Stream: the same seed always yields the same failure
+// schedule, which is what makes the chaos tests reproducible.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Kind enumerates the injectable failure classes.
+type Kind int
+
+const (
+	// NodeCrash kills the node: work in flight is lost and must restart
+	// (from scratch or from the last checkpoint).
+	NodeCrash Kind = iota
+	// WorkerHang stalls a worker for Duration — the straggler case; work is
+	// not lost, just late.
+	WorkerHang
+	// CollectiveError is a transient failure of one gradient exchange; the
+	// step retries and succeeds.
+	CollectiveError
+)
+
+// String names the failure kind.
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "crash"
+	case WorkerHang:
+		return "hang"
+	case CollectiveError:
+		return "collective"
+	default:
+		return "fault?"
+	}
+}
+
+// Event is one scheduled failure.
+type Event struct {
+	// Time is seconds from the start of the run (simulated time).
+	Time float64
+	// Node identifies the failing node or worker rank.
+	Node int
+	// Kind is the failure class.
+	Kind Kind
+	// Duration is the stall length for WorkerHang events; 0 otherwise.
+	Duration float64
+}
+
+// Process describes independent per-node failure processes: each node fails
+// as a Poisson process with the given mean time between failures, over a
+// finite horizon.
+type Process struct {
+	// Nodes is the number of independent nodes.
+	Nodes int
+	// MTBF is the per-node mean time between failures in seconds.
+	MTBF float64
+	// Horizon bounds the schedule: no event is generated at or beyond it.
+	Horizon float64
+	// HangFraction is the probability a given event is a WorkerHang rather
+	// than a NodeCrash (0 = crashes only).
+	HangFraction float64
+	// MeanHang is the mean stall duration for hang events (seconds).
+	MeanHang float64
+}
+
+// Validate checks the process parameters.
+func (p Process) Validate() error {
+	if p.Nodes <= 0 {
+		return fmt.Errorf("fault: process needs nodes > 0, got %d", p.Nodes)
+	}
+	if p.MTBF <= 0 {
+		return fmt.Errorf("fault: process needs MTBF > 0, got %g", p.MTBF)
+	}
+	if p.Horizon <= 0 {
+		return fmt.Errorf("fault: process needs horizon > 0, got %g", p.Horizon)
+	}
+	if p.HangFraction < 0 || p.HangFraction > 1 {
+		return fmt.Errorf("fault: hang fraction %g outside [0,1]", p.HangFraction)
+	}
+	if p.HangFraction > 0 && p.MeanHang <= 0 {
+		return fmt.Errorf("fault: hang events need MeanHang > 0")
+	}
+	return nil
+}
+
+// SystemMTBF returns the whole-machine mean time between failures:
+// per-node MTBF divided by the node count.
+func (p Process) SystemMTBF() float64 { return p.MTBF / float64(p.Nodes) }
+
+// Schedule generates the deterministic failure schedule: exponential
+// inter-arrival times per node, merged and sorted by (time, node). The same
+// stream state always yields the identical schedule.
+func (p Process) Schedule(r *rng.Stream) ([]Event, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var events []Event
+	for n := 0; n < p.Nodes; n++ {
+		nr := r.SplitN(n)
+		t := nr.Exp(1 / p.MTBF)
+		for t < p.Horizon {
+			ev := Event{Time: t, Node: n, Kind: NodeCrash}
+			if p.HangFraction > 0 && nr.Bernoulli(p.HangFraction) {
+				ev.Kind = WorkerHang
+				ev.Duration = nr.Exp(1 / p.MeanHang)
+			}
+			events = append(events, ev)
+			t += nr.Exp(1 / p.MTBF)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Node < events[j].Node
+	})
+	return events, nil
+}
+
+// AttemptSegments splits one evaluation of useful length d into the
+// execution segments a fail-from-scratch retry loop produces on a node with
+// exponential failures of the given MTBF. Every returned segment except
+// possibly the last ends in a crash; the last equals d when completed is
+// true. maxRetries bounds the number of restarts (so at most maxRetries+1
+// segments); maxRetries < 0 means retry until completion — with a backstop
+// of 2^20 attempts, because when d >> MTBF the completion probability
+// e^(-d/MTBF) makes success astronomically unlikely and the loop would
+// otherwise spin effectively forever. Lost work is sum(segments) - d for a
+// completed evaluation.
+func AttemptSegments(r *rng.Stream, d, mtbf float64, maxRetries int) (segs []float64, completed bool) {
+	if d <= 0 {
+		return nil, true
+	}
+	if mtbf <= 0 {
+		return []float64{d}, true
+	}
+	const maxAttempts = 1 << 20
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		crash := r.Exp(1 / mtbf)
+		if crash >= d {
+			return append(segs, d), true
+		}
+		segs = append(segs, crash)
+		if maxRetries >= 0 && attempt >= maxRetries {
+			return segs, false
+		}
+	}
+	return segs, false
+}
+
+// CheckpointRunConfig describes one long training job under periodic
+// checkpointing on a failing machine — the Young/Daly setting E10 sweeps.
+type CheckpointRunConfig struct {
+	// Work is the useful compute the job needs, in seconds.
+	Work float64
+	// MTBF is the system mean time between failures (per-node MTBF divided
+	// by node count), in seconds.
+	MTBF float64
+	// Interval is the useful-work seconds between checkpoints. <= 0 means
+	// never checkpoint: a failure restarts the job from the beginning.
+	Interval float64
+	// CheckpointCost is the wall-clock cost of writing one checkpoint.
+	CheckpointCost float64
+	// RestartCost is the wall-clock cost of recovering after a failure
+	// (relaunch + read the last checkpoint).
+	RestartCost float64
+}
+
+// SimulateCheckpointRun plays the job forward against exponentially
+// distributed failures and returns the total wall-clock seconds. A failure
+// loses all work since the last completed checkpoint. Deterministic for a
+// given stream state.
+func SimulateCheckpointRun(r *rng.Stream, c CheckpointRunConfig) float64 {
+	interval := c.Interval
+	if interval <= 0 || interval > c.Work {
+		interval = c.Work
+	}
+	wall := 0.0
+	committed := 0.0
+	failAt := r.Exp(1 / c.MTBF)
+	// Cap the failure count so a pathological configuration (segment much
+	// longer than MTBF — e.g. never checkpointing a job that spans many
+	// system MTBFs) degrades to +Inf instead of spinning.
+	for failures := 0; failures < 100_000; {
+		seg := math.Min(interval, c.Work-committed)
+		segEnd := wall + seg
+		if committed+seg < c.Work {
+			segEnd += c.CheckpointCost // final segment needs no checkpoint
+		}
+		if failAt >= segEnd {
+			wall = segEnd
+			committed += seg
+			if committed >= c.Work {
+				return wall
+			}
+			continue
+		}
+		failures++
+		wall = failAt + c.RestartCost
+		failAt = wall + r.Exp(1/c.MTBF)
+	}
+	return math.Inf(1)
+}
+
+// DalyInterval returns Daly's first-order optimal checkpoint interval
+// sqrt(2 * checkpointCost * mtbf) - checkpointCost (clamped to be
+// positive), the analytic optimum E10's sweep should bracket.
+func DalyInterval(checkpointCost, mtbf float64) float64 {
+	opt := math.Sqrt(2*checkpointCost*mtbf) - checkpointCost
+	if opt < checkpointCost {
+		opt = checkpointCost
+	}
+	return opt
+}
+
+// Plan scripts deterministic failures for the real goroutine trainers:
+// which worker dies at which global step, who straggles and for how long,
+// and which steps suffer a transient collective error. Build the plan
+// before training starts; reads are then safe from any number of worker
+// goroutines because the plan is immutable during the run.
+type Plan struct {
+	kills map[int]int // worker -> global step at which it dies
+	hangs map[planKey]time.Duration
+	coll  map[int]bool // global step -> one transient collective failure
+}
+
+type planKey struct{ worker, step int }
+
+// NewPlan returns an empty failure plan (inject nothing).
+func NewPlan() *Plan {
+	return &Plan{
+		kills: map[int]int{},
+		hangs: map[planKey]time.Duration{},
+		coll:  map[int]bool{},
+	}
+}
+
+// Kill schedules worker to die at the given global step (it computes that
+// step's gradient, then disappears before contributing it). Returns the
+// plan for chaining.
+func (p *Plan) Kill(worker, step int) *Plan {
+	p.kills[worker] = step
+	return p
+}
+
+// Hang schedules worker to stall for d at the given global step.
+func (p *Plan) Hang(worker, step int, d time.Duration) *Plan {
+	p.hangs[planKey{worker, step}] = d
+	return p
+}
+
+// FailCollective schedules one transient gradient-exchange failure at the
+// given global step; the trainer retries the exchange and succeeds.
+func (p *Plan) FailCollective(step int) *Plan {
+	p.coll[step] = true
+	return p
+}
+
+// KillAt reports whether worker dies at this global step.
+func (p *Plan) KillAt(worker, step int) bool {
+	if p == nil {
+		return false
+	}
+	s, ok := p.kills[worker]
+	return ok && s == step
+}
+
+// HangAt returns the stall duration for worker at this step (0 = none).
+func (p *Plan) HangAt(worker, step int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.hangs[planKey{worker, step}]
+}
+
+// CollectiveFailsAt reports whether the step's first gradient exchange
+// fails transiently.
+func (p *Plan) CollectiveFailsAt(step int) bool {
+	return p != nil && p.coll[step]
+}
+
+// NumKills returns how many worker deaths the plan scripts.
+func (p *Plan) NumKills() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.kills)
+}
+
+// RandomPlan derives a plan from a failure process over a run of the given
+// worker count and step count: each scheduled NodeCrash whose node maps to
+// a live worker kills it at the step proportional to the event time, and
+// WorkerHang events become stalls. stepWall is the assumed wall-clock
+// seconds per step used to map event times onto steps. Deterministic for a
+// given stream state.
+func RandomPlan(r *rng.Stream, proc Process, steps int, stepWall float64) (*Plan, error) {
+	if steps <= 0 || stepWall <= 0 {
+		return nil, fmt.Errorf("fault: RandomPlan needs steps and stepWall > 0")
+	}
+	events, err := proc.Schedule(r)
+	if err != nil {
+		return nil, err
+	}
+	plan := NewPlan()
+	for _, ev := range events {
+		step := int(ev.Time / stepWall)
+		if step >= steps {
+			continue
+		}
+		switch ev.Kind {
+		case NodeCrash:
+			if _, dead := plan.kills[ev.Node]; !dead {
+				plan.Kill(ev.Node, step)
+			}
+		case WorkerHang:
+			plan.Hang(ev.Node, step, time.Duration(ev.Duration*float64(time.Second)))
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,299 @@
+package fault
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestProcessValidate(t *testing.T) {
+	good := Process{Nodes: 4, MTBF: 100, Horizon: 1000}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Process{
+		{Nodes: 0, MTBF: 100, Horizon: 1000},
+		{Nodes: 4, MTBF: 0, Horizon: 1000},
+		{Nodes: 4, MTBF: 100, Horizon: 0},
+		{Nodes: 4, MTBF: 100, Horizon: 1000, HangFraction: 1.5},
+		{Nodes: 4, MTBF: 100, Horizon: 1000, HangFraction: 0.5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid process accepted: %+v", bad)
+		}
+	}
+}
+
+// Same seed ⇒ identical schedule, event for event.
+func TestScheduleDeterministic(t *testing.T) {
+	p := Process{Nodes: 16, MTBF: 300, Horizon: 3600, HangFraction: 0.3, MeanHang: 5}
+	a, err := p.Schedule(rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Schedule(rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 {
+		t.Fatal("expected events over a 12x-MTBF horizon")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := p.Schedule(rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) == len(a) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical schedules")
+		}
+	}
+}
+
+// Property: event times are sorted and never exceed the horizon.
+func TestScheduleSortedWithinHorizon(t *testing.T) {
+	f := func(seed uint64, nodes8 uint8, mtbfMilli uint16, horizonMilli uint32) bool {
+		p := Process{
+			Nodes:   1 + int(nodes8%32),
+			MTBF:    0.001 + float64(mtbfMilli)/1000,
+			Horizon: 0.001 + float64(horizonMilli%100000)/1000,
+		}
+		events, err := p.Schedule(rng.New(seed))
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for _, ev := range events {
+			if ev.Time < prev || ev.Time >= p.Horizon {
+				return false
+			}
+			if ev.Node < 0 || ev.Node >= p.Nodes {
+				return false
+			}
+			prev = ev.Time
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the empirical mean inter-arrival time per node matches the MTBF
+// within tolerance once the horizon holds many failures.
+func TestScheduleRespectsMTBF(t *testing.T) {
+	f := func(seed uint64, mtbfTick uint8) bool {
+		mtbf := 10 + float64(mtbfTick%50)
+		p := Process{Nodes: 8, MTBF: mtbf, Horizon: mtbf * 2000}
+		events, err := p.Schedule(rng.New(seed))
+		if err != nil {
+			return false
+		}
+		// ~2000 failures expected per node; mean of n exponentials has
+		// relative sd 1/sqrt(n) ≈ 2.2%, so 10% is a safe bound.
+		perNode := make([]int, p.Nodes)
+		for _, ev := range events {
+			perNode[ev.Node]++
+		}
+		for _, c := range perNode {
+			got := p.Horizon / float64(c)
+			if math.Abs(got-mtbf)/mtbf > 0.10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleHangEvents(t *testing.T) {
+	p := Process{Nodes: 4, MTBF: 10, Horizon: 10000, HangFraction: 0.5, MeanHang: 3}
+	events, err := p.Schedule(rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashes, hangs := 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case NodeCrash:
+			crashes++
+			if ev.Duration != 0 {
+				t.Fatal("crash with nonzero duration")
+			}
+		case WorkerHang:
+			hangs++
+			if ev.Duration <= 0 {
+				t.Fatal("hang without duration")
+			}
+		}
+	}
+	if crashes == 0 || hangs == 0 {
+		t.Fatalf("expected both kinds, got %d crashes / %d hangs", crashes, hangs)
+	}
+	frac := float64(hangs) / float64(crashes+hangs)
+	if math.Abs(frac-0.5) > 0.1 {
+		t.Fatalf("hang fraction %.2f far from 0.5", frac)
+	}
+}
+
+// Property: attempt segments always end with the full duration when the
+// evaluation completes, every crash segment is shorter than d, and the
+// retry bound is respected.
+func TestAttemptSegmentsProperties(t *testing.T) {
+	f := func(seed uint64, dTick, mtbfTick uint8, maxRetries8 uint8) bool {
+		d := 1 + float64(dTick%60)
+		mtbf := 0.5 + float64(mtbfTick%40)
+		maxRetries := int(maxRetries8 % 6)
+		segs, completed := AttemptSegments(rng.New(seed), d, mtbf, maxRetries)
+		if len(segs) == 0 {
+			return false
+		}
+		if len(segs) > maxRetries+1 {
+			return false
+		}
+		for i, s := range segs {
+			last := i == len(segs)-1
+			if last && completed {
+				if s != d {
+					return false
+				}
+			} else if s >= d || s < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttemptSegmentsNoFaults(t *testing.T) {
+	segs, completed := AttemptSegments(rng.New(1), 5, 0, 3)
+	if !completed || len(segs) != 1 || segs[0] != 5 {
+		t.Fatalf("mtbf=0 should disable failures, got %v %v", segs, completed)
+	}
+	segs, completed = AttemptSegments(rng.New(1), 0, 10, 3)
+	if !completed || len(segs) != 0 {
+		t.Fatalf("d=0 should be trivially complete, got %v %v", segs, completed)
+	}
+}
+
+func TestSimulateCheckpointRunShape(t *testing.T) {
+	// Reliable machine: wall time = work + checkpoint writes, no restarts.
+	c := CheckpointRunConfig{Work: 1000, MTBF: 1e12, Interval: 100,
+		CheckpointCost: 2, RestartCost: 5}
+	wall := SimulateCheckpointRun(rng.New(1), c)
+	want := 1000 + 9*2.0 // 10 segments, final one needs no checkpoint
+	if math.Abs(wall-want) > 1e-9 {
+		t.Fatalf("failure-free wall %v want %v", wall, want)
+	}
+
+	// Failing machine: checkpointing must beat restart-from-scratch.
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	meanWall := func(interval float64) float64 {
+		total := 0.0
+		for _, s := range seeds {
+			cfg := c
+			cfg.MTBF = 400
+			cfg.Interval = interval
+			total += SimulateCheckpointRun(rng.New(s), cfg)
+		}
+		return total / float64(len(seeds))
+	}
+	if noCkpt, withCkpt := meanWall(0), meanWall(100); withCkpt >= noCkpt {
+		t.Fatalf("checkpointing (%v) not better than restart-from-scratch (%v)", withCkpt, noCkpt)
+	}
+}
+
+func TestSimulateCheckpointRunDeterministic(t *testing.T) {
+	c := CheckpointRunConfig{Work: 5000, MTBF: 300, Interval: 60,
+		CheckpointCost: 3, RestartCost: 10}
+	a := SimulateCheckpointRun(rng.New(9), c)
+	b := SimulateCheckpointRun(rng.New(9), c)
+	if a != b {
+		t.Fatalf("same seed gave %v then %v", a, b)
+	}
+	if a <= c.Work {
+		t.Fatalf("wall %v cannot be below useful work %v", a, c.Work)
+	}
+}
+
+func TestDalyInterval(t *testing.T) {
+	got := DalyInterval(10, 2000)
+	want := math.Sqrt(2*10*2000.0) - 10
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("daly interval %v want %v", got, want)
+	}
+	// Degenerate: never below the checkpoint cost itself.
+	if DalyInterval(10, 0.1) < 10 {
+		t.Fatal("daly interval collapsed below checkpoint cost")
+	}
+}
+
+func TestPlanLookups(t *testing.T) {
+	p := NewPlan().Kill(2, 7).Hang(1, 3, 40*1e6).FailCollective(5)
+	if !p.KillAt(2, 7) || p.KillAt(2, 6) || p.KillAt(1, 7) {
+		t.Fatal("KillAt wrong")
+	}
+	if p.HangAt(1, 3) == 0 || p.HangAt(1, 4) != 0 {
+		t.Fatal("HangAt wrong")
+	}
+	if !p.CollectiveFailsAt(5) || p.CollectiveFailsAt(6) {
+		t.Fatal("CollectiveFailsAt wrong")
+	}
+	if p.NumKills() != 1 {
+		t.Fatalf("NumKills %d want 1", p.NumKills())
+	}
+	var nilPlan *Plan
+	if nilPlan.KillAt(0, 0) || nilPlan.HangAt(0, 0) != 0 ||
+		nilPlan.CollectiveFailsAt(0) || nilPlan.NumKills() != 0 {
+		t.Fatal("nil plan must inject nothing")
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	proc := Process{Nodes: 8, MTBF: 50, Horizon: 500, HangFraction: 0.25, MeanHang: 1}
+	a, err := RandomPlan(rng.New(3), proc, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomPlan(rng.New(3), proc, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumKills() != b.NumKills() {
+		t.Fatalf("kill counts differ: %d vs %d", a.NumKills(), b.NumKills())
+	}
+	for w := 0; w < proc.Nodes; w++ {
+		for s := 0; s < 100; s++ {
+			if a.KillAt(w, s) != b.KillAt(w, s) || a.HangAt(w, s) != b.HangAt(w, s) {
+				t.Fatalf("plans diverge at worker %d step %d", w, s)
+			}
+		}
+	}
+	if a.NumKills() == 0 {
+		t.Fatal("10x-MTBF horizon should kill someone")
+	}
+	if _, err := RandomPlan(rng.New(3), proc, 0, 1.0); err == nil {
+		t.Fatal("steps=0 accepted")
+	}
+}

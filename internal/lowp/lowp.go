@@ -363,3 +363,14 @@ func (s *LossScaler) Update(grads []*tensor.Tensor) bool {
 	}
 	return true
 }
+
+// State returns the scaler's full dynamic state (current scale and clean
+// step count) so a checkpoint can capture it; restoring both is required
+// for a resumed run to grow/shrink the scale on the same schedule.
+func (s *LossScaler) State() (scale float64, clean int) { return s.Scale, s.clean }
+
+// Restore sets the dynamic state previously returned by State.
+func (s *LossScaler) Restore(scale float64, clean int) {
+	s.Scale = scale
+	s.clean = clean
+}

@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/lowp"
+	"repro/internal/rng"
+)
+
+// TrainState is the complete training state at an epoch boundary: enough to
+// resume Train and continue bitwise-identically to the uninterrupted run.
+// Beyond the weights it captures the optimizer's internal state (momentum /
+// Adam moments / step counter), the shuffle RNG cursor and the in-place
+// sample order it permutes, per-layer RNG cursors (dropout masks), the
+// dynamic loss-scaler state, and the result history accumulated so far.
+type TrainState struct {
+	// Version guards the blob layout.
+	Version int
+	// Epoch is the number of completed epochs; resume continues at Epoch.
+	Epoch int
+	// Weights holds every parameter tensor's values in Params() order.
+	Weights [][]float64
+	// OptName names the optimizer the state belongs to; resume refuses a
+	// mismatched optimizer rather than continuing with silently wrong state.
+	OptName string
+	// OptState is the optimizer's MarshalState blob (nil when the optimizer
+	// is not a StatefulOptimizer).
+	OptState []byte
+	// RNG is the shuffle stream's cursor (valid when HasRNG).
+	RNG    [4]uint64
+	HasRNG bool
+	// Order is the sample order after this epoch's in-place shuffle; the
+	// next epoch's shuffle permutes exactly this slice.
+	Order []int
+	// LayerRNG holds the cursor of every layer-owned stream (dropout), in
+	// layer order.
+	LayerRNG [][4]uint64
+	// Loss-scaler dynamic state (valid when HasScaler).
+	ScalerScale float64
+	ScalerClean int
+	HasScaler   bool
+	// Result history so the resumed TrainResult matches the uninterrupted one.
+	EpochLoss    []float64
+	Steps        int
+	SkippedSteps int
+}
+
+const (
+	trainStateVersion = 1
+	ckptMagic         = "CKPT"
+)
+
+// layerRNGState is implemented by layers owning their own random stream
+// (Dropout); their cursors ride along in the checkpoint.
+type layerRNGState interface {
+	RNGState() [4]uint64
+	SetRNGState([4]uint64)
+}
+
+// Encode serialises the state as a framed blob: a magic header, the CRC32
+// of the gob payload, then the payload. The checksum turns silent
+// corruption into a hard decode error.
+func (st *TrainState) Encode() ([]byte, error) {
+	st.Version = trainStateVersion
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(st); err != nil {
+		return nil, fmt.Errorf("nn: encode train state: %w", err)
+	}
+	out := make([]byte, 0, len(ckptMagic)+4+payload.Len())
+	out = append(out, ckptMagic...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload.Bytes()))
+	return append(out, payload.Bytes()...), nil
+}
+
+// DecodeTrainState parses a blob produced by Encode, rejecting truncated,
+// corrupted, or foreign data with a descriptive error.
+func DecodeTrainState(b []byte) (*TrainState, error) {
+	head := len(ckptMagic) + 4
+	if len(b) < head {
+		return nil, fmt.Errorf("nn: train state blob truncated (%d bytes)", len(b))
+	}
+	if string(b[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("nn: not a train state blob (bad magic)")
+	}
+	want := binary.BigEndian.Uint32(b[len(ckptMagic):head])
+	payload := b[head:]
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("nn: train state blob corrupted (crc %08x, want %08x)", got, want)
+	}
+	var st TrainState
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("nn: decode train state: %w", err)
+	}
+	if st.Version != trainStateVersion {
+		return nil, fmt.Errorf("nn: train state version %d, want %d", st.Version, trainStateVersion)
+	}
+	return &st, nil
+}
+
+// captureTrainState snapshots everything Train needs to continue from the
+// end of epoch (0-based) `epoch`.
+func captureTrainState(net *Net, cfg TrainConfig, scaler *lowp.LossScaler,
+	res *TrainResult, epoch int, order []int) (*TrainState, error) {
+
+	st := &TrainState{
+		Epoch:        epoch + 1,
+		OptName:      cfg.Optimizer.Name(),
+		Order:        append([]int(nil), order...),
+		EpochLoss:    append([]float64(nil), res.EpochLoss...),
+		Steps:        res.Steps,
+		SkippedSteps: res.SkippedSteps,
+	}
+	for _, p := range net.Params() {
+		st.Weights = append(st.Weights, append([]float64(nil), p.Data...))
+	}
+	if so, ok := cfg.Optimizer.(StatefulOptimizer); ok {
+		blob, err := so.MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		st.OptState = blob
+	}
+	if cfg.RNG != nil {
+		st.RNG = cfg.RNG.State()
+		st.HasRNG = true
+	}
+	for _, l := range net.Layers {
+		if lr, ok := l.(layerRNGState); ok {
+			st.LayerRNG = append(st.LayerRNG, lr.RNGState())
+		}
+	}
+	if scaler != nil {
+		st.ScalerScale, st.ScalerClean = scaler.State()
+		st.HasScaler = true
+	}
+	return st, nil
+}
+
+// restoreTrainState applies st to the training objects, returning the epoch
+// to continue from. It validates structural compatibility so a mismatched
+// net or optimizer fails loudly instead of training from garbage.
+func restoreTrainState(st *TrainState, net *Net, cfg TrainConfig,
+	scaler *lowp.LossScaler, res *TrainResult, order []int) (int, error) {
+
+	ps := net.Params()
+	if len(st.Weights) != len(ps) {
+		return 0, fmt.Errorf("nn: resume state has %d weight tensors, net has %d",
+			len(st.Weights), len(ps))
+	}
+	for i, w := range st.Weights {
+		if len(w) != ps[i].Len() {
+			return 0, fmt.Errorf("nn: resume weight tensor %d has %d elements, net expects %d",
+				i, len(w), ps[i].Len())
+		}
+	}
+	if st.OptName != cfg.Optimizer.Name() {
+		return 0, fmt.Errorf("nn: resume state is for optimizer %q, config has %q",
+			st.OptName, cfg.Optimizer.Name())
+	}
+	if len(st.Order) != len(order) {
+		return 0, fmt.Errorf("nn: resume order has %d samples, data has %d",
+			len(st.Order), len(order))
+	}
+	var layerRNGs []layerRNGState
+	for _, l := range net.Layers {
+		if lr, ok := l.(layerRNGState); ok {
+			layerRNGs = append(layerRNGs, lr)
+		}
+	}
+	if len(layerRNGs) != len(st.LayerRNG) {
+		return 0, fmt.Errorf("nn: resume state has %d layer RNG cursors, net has %d",
+			len(st.LayerRNG), len(layerRNGs))
+	}
+
+	// All checks passed — mutate.
+	for i, w := range st.Weights {
+		copy(ps[i].Data, w)
+	}
+	if st.OptState != nil {
+		if so, ok := cfg.Optimizer.(StatefulOptimizer); ok {
+			if err := so.UnmarshalState(st.OptState); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if st.HasRNG {
+		if cfg.RNG == nil {
+			return 0, fmt.Errorf("nn: resume state carries an RNG cursor but config has no RNG")
+		}
+		cfg.RNG.SetState(st.RNG)
+	}
+	copy(order, st.Order)
+	for i, lr := range layerRNGs {
+		lr.SetRNGState(st.LayerRNG[i])
+	}
+	if st.HasScaler && scaler != nil {
+		scaler.Restore(st.ScalerScale, st.ScalerClean)
+	}
+	res.EpochLoss = append(res.EpochLoss[:0], st.EpochLoss...)
+	res.Steps = st.Steps
+	res.SkippedSteps = st.SkippedSteps
+	return st.Epoch, nil
+}
+
+// MarshalTrainState captures and encodes a checkpoint outside of Train —
+// the building block CLI tools use between explicit training calls. The
+// supplied rng stream (may be nil) is recorded as the shuffle cursor.
+func MarshalTrainState(net *Net, opt Optimizer, r *rng.Stream, epoch int, history []float64) ([]byte, error) {
+	cfg := TrainConfig{Optimizer: opt, RNG: r}
+	res := &TrainResult{EpochLoss: history}
+	st, err := captureTrainState(net, cfg, nil, res, epoch-1, nil)
+	if err != nil {
+		return nil, err
+	}
+	return st.Encode()
+}

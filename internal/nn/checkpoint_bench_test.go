@@ -1,0 +1,68 @@
+package nn_test
+
+// Checkpoint-overhead benchmark: trains the same small network with
+// checkpointing off, every epoch, and every other epoch, so the wall-clock
+// cost of capturing + encoding the full training state (weights, Adam
+// moments, RNG cursors) can be compared against the checkpoint-free
+// baseline. The blob is encoded but discarded, isolating serialization cost
+// from disk I/O.
+//
+// Run: go test ./internal/nn -bench Checkpoint -benchtime 2s
+// The steps/sec numbers for BENCH_fault.json come from this benchmark.
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func ckptBenchProblem() (*tensor.Tensor, *tensor.Tensor) {
+	const n, din, classes = 256, 64, 4
+	r := rng.New(7)
+	x := tensor.New(n, din)
+	x.FillRandNorm(r.Split("x"), 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % classes
+	}
+	return x, nn.OneHot(labels, classes)
+}
+
+// benchCheckpoint runs 4 epochs per iteration, checkpointing every `every`
+// epochs (0 = never), and reports steps/sec plus the encoded blob size.
+func benchCheckpoint(b *testing.B, every int) {
+	x, y := ckptBenchProblem()
+	net := nn.MLP(64, []int{128}, 4, nn.ReLU, rng.New(7))
+	blobBytes := 0
+	cfg := nn.TrainConfig{
+		Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdam(0.01),
+		BatchSize: 32, Epochs: 4,
+		Shuffle: true, RNG: rng.New(11),
+	}
+	if every > 0 {
+		cfg.CheckpointEvery = every
+		cfg.Checkpoint = func(epoch int, state []byte) error {
+			blobBytes = len(state)
+			return nil
+		}
+	}
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		res, err := nn.Train(net, x, y, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
+	if blobBytes > 0 {
+		b.ReportMetric(float64(blobBytes), "blob-bytes")
+	}
+}
+
+func BenchmarkCheckpointNever(b *testing.B)      { benchCheckpoint(b, 0) }
+func BenchmarkCheckpointEveryEpoch(b *testing.B) { benchCheckpoint(b, 1) }
+func BenchmarkCheckpointEveryOther(b *testing.B) { benchCheckpoint(b, 2) }

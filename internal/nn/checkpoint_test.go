@@ -1,0 +1,309 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/lowp"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// ckptData builds a small deterministic classification problem.
+func ckptData(seed uint64) (*tensor.Tensor, *tensor.Tensor) {
+	r := rng.New(seed)
+	x := tensor.New(64, 6)
+	x.FillRandNorm(r, 1)
+	labels := make([]int, 64)
+	for i := range labels {
+		labels[i] = r.Intn(3)
+	}
+	return x, OneHot(labels, 3)
+}
+
+// ckptNet builds the model under test; withDropout adds a stochastic layer
+// so resume must also restore a layer-owned RNG cursor.
+func ckptNet(seed uint64, withDropout bool) *Net {
+	r := rng.New(seed)
+	layers := []Layer{NewDense(6, 12, r.Split("d1")), NewActivation(Tanh)}
+	if withDropout {
+		layers = append(layers, NewDropout(0.25, r.Split("drop")))
+	}
+	layers = append(layers, NewDense(12, 3, r.Split("d2")))
+	return NewNet(layers...)
+}
+
+// ckptConfig returns a fresh config whose RNG/optimizer are independent per
+// call, so interrupted and uninterrupted runs do not share mutable state.
+func ckptConfig(newOpt func() Optimizer, epochs int) TrainConfig {
+	return TrainConfig{
+		Loss: SoftmaxCELoss{}, Optimizer: newOpt(),
+		BatchSize: 16, Epochs: epochs,
+		Shuffle: true, RNG: rng.New(99),
+	}
+}
+
+func paramsEqual(t *testing.T, a, b *Net, context string) {
+	t.Helper()
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		t.Fatalf("%s: param count %d vs %d", context, len(pa), len(pb))
+	}
+	for i := range pa {
+		for j := range pa[i].Data {
+			if pa[i].Data[j] != pb[i].Data[j] {
+				t.Fatalf("%s: param %d elem %d differ: %v vs %v",
+					context, i, j, pa[i].Data[j], pb[i].Data[j])
+			}
+		}
+	}
+}
+
+// Checkpoint-resume at every epoch boundary reproduces the uninterrupted
+// run's final loss and weights bit-for-bit — the headline chaos property.
+func TestResumeBitwiseAtEveryEpochBoundary(t *testing.T) {
+	const epochs = 6
+	x, y := ckptData(1)
+	for _, opt := range []struct {
+		name string
+		mk   func() Optimizer
+	}{
+		{"adam", func() Optimizer { return NewAdam(0.01) }},
+		{"momentum", func() Optimizer { return NewMomentum(0.05, 0.9) }},
+		{"rmsprop", func() Optimizer { return NewRMSProp(0.005) }},
+	} {
+		t.Run(opt.name, func(t *testing.T) {
+			// Uninterrupted reference, checkpointing every epoch.
+			refNet := ckptNet(7, false)
+			blobs := map[int][]byte{}
+			cfg := ckptConfig(opt.mk, epochs)
+			cfg.CheckpointEvery = 1
+			cfg.Checkpoint = func(epoch int, state []byte) error {
+				blobs[epoch] = state
+				return nil
+			}
+			refRes, err := Train(refNet, x, y, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(blobs) != epochs {
+				t.Fatalf("expected %d checkpoints, got %d", epochs, len(blobs))
+			}
+
+			for at := 1; at < epochs; at++ {
+				resNet := ckptNet(7, false)
+				rcfg := ckptConfig(opt.mk, epochs)
+				rcfg.Resume = blobs[at]
+				resRes, err := Train(resNet, x, y, rcfg)
+				if err != nil {
+					t.Fatalf("resume at epoch %d: %v", at, err)
+				}
+				if resRes.FinalLoss != refRes.FinalLoss {
+					t.Fatalf("resume at %d: final loss %v != reference %v",
+						at, resRes.FinalLoss, refRes.FinalLoss)
+				}
+				if len(resRes.EpochLoss) != len(refRes.EpochLoss) {
+					t.Fatalf("resume at %d: %d epoch losses vs %d",
+						at, len(resRes.EpochLoss), len(refRes.EpochLoss))
+				}
+				for e := range refRes.EpochLoss {
+					if resRes.EpochLoss[e] != refRes.EpochLoss[e] {
+						t.Fatalf("resume at %d: epoch %d loss %v != %v",
+							at, e, resRes.EpochLoss[e], refRes.EpochLoss[e])
+					}
+				}
+				if resRes.Steps != refRes.Steps {
+					t.Fatalf("resume at %d: steps %d != %d", at, resRes.Steps, refRes.Steps)
+				}
+				paramsEqual(t, resNet, refNet, "resume weights")
+			}
+		})
+	}
+}
+
+// Resume must also restore layer-owned RNG cursors (dropout masks) and the
+// dynamic loss-scaler state.
+func TestResumeBitwiseWithDropoutAndLossScale(t *testing.T) {
+	const epochs = 4
+	x, y := ckptData(2)
+	run := func(resume []byte, every int, sink func(int, []byte) error) (*TrainResult, *Net) {
+		net := ckptNet(11, true)
+		cfg := ckptConfig(func() Optimizer { return NewAdam(0.01) }, epochs)
+		cfg.Precision = lowp.FP16
+		cfg.LossScale = true
+		cfg.CheckpointEvery = every
+		cfg.Checkpoint = sink
+		cfg.Resume = resume
+		res, err := Train(net, x, y, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, net
+	}
+	blobs := map[int][]byte{}
+	refRes, refNet := run(nil, 2, func(e int, b []byte) error { blobs[e] = b; return nil })
+	resRes, resNet := run(blobs[2], 0, nil)
+	if resRes.FinalLoss != refRes.FinalLoss {
+		t.Fatalf("final loss %v != %v", resRes.FinalLoss, refRes.FinalLoss)
+	}
+	if resRes.SkippedSteps != refRes.SkippedSteps {
+		t.Fatalf("skipped steps %d != %d", resRes.SkippedSteps, refRes.SkippedSteps)
+	}
+	paramsEqual(t, resNet, refNet, "dropout+scaler resume")
+}
+
+// Marshal → unmarshal → one more step equals the reference that never
+// serialised — the state round-trip is exact.
+func TestTrainStateRoundTripOneMoreStep(t *testing.T) {
+	x, y := ckptData(3)
+	net := ckptNet(5, false)
+	opt := NewAdam(0.02)
+	cfg := TrainConfig{Loss: SoftmaxCELoss{}, Optimizer: opt,
+		BatchSize: 16, Epochs: 2, Shuffle: true, RNG: rng.New(4)}
+	if _, err := Train(net, x, y, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := captureTrainState(net, cfg, nil, &TrainResult{}, 1, rng.New(1).Perm(x.Dim(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := DecodeTrainState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one more step on the live objects.
+	bx := x.SliceRows(0, 16)
+	by := y.SliceRows(0, 16)
+	refNet := net.Clone()
+	refOpt := NewAdam(0.02)
+	if err := refOpt.UnmarshalState(st.OptState); err != nil {
+		t.Fatal(err)
+	}
+	TrainStep(refNet, bx, by, TrainConfig{Loss: SoftmaxCELoss{}, Optimizer: refOpt}, nil, nil)
+
+	// Restored: same step from the decoded blob.
+	resNet := ckptNet(5, false)
+	resOpt := NewAdam(0.02)
+	resCfg := TrainConfig{Loss: SoftmaxCELoss{}, Optimizer: resOpt, RNG: rng.New(4)}
+	order := make([]int, x.Dim(0))
+	if _, err := restoreTrainState(st2, resNet, resCfg, nil, &TrainResult{}, order); err != nil {
+		t.Fatal(err)
+	}
+	TrainStep(resNet, bx, by, TrainConfig{Loss: SoftmaxCELoss{}, Optimizer: resOpt}, nil, nil)
+	paramsEqual(t, resNet, refNet, "one more step after round trip")
+}
+
+func TestDecodeTrainStateRejectsBadBlobs(t *testing.T) {
+	x, y := ckptData(4)
+	net := ckptNet(6, false)
+	var blob []byte
+	cfg := ckptConfig(func() Optimizer { return NewAdam(0.01) }, 2)
+	cfg.CheckpointEvery = 2
+	cfg.Checkpoint = func(e int, b []byte) error { blob = b; return nil }
+	if _, err := Train(net, x, y, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("no checkpoint captured")
+	}
+
+	if _, err := DecodeTrainState(blob); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     blob[:4],
+		"bad magic": append([]byte("NOPE"), blob[4:]...),
+		"truncated": blob[:len(blob)-7],
+	}
+	corrupt := append([]byte(nil), blob...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	cases["corrupted"] = corrupt
+	for name, b := range cases {
+		if _, err := DecodeTrainState(b); err == nil {
+			t.Fatalf("%s blob accepted", name)
+		}
+	}
+
+	// Resuming from a rejected blob fails Train up front.
+	bad := ckptConfig(func() Optimizer { return NewAdam(0.01) }, 2)
+	bad.Resume = corrupt
+	if _, err := Train(ckptNet(6, false), x, y, bad); err == nil {
+		t.Fatal("Train accepted corrupted resume blob")
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	x, y := ckptData(5)
+	var blob []byte
+	cfg := ckptConfig(func() Optimizer { return NewAdam(0.01) }, 2)
+	cfg.CheckpointEvery = 1
+	cfg.Checkpoint = func(e int, b []byte) error {
+		if blob == nil {
+			blob = b
+		}
+		return nil
+	}
+	if _, err := Train(ckptNet(8, false), x, y, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong optimizer.
+	wrongOpt := ckptConfig(func() Optimizer { return NewSGD(0.01) }, 2)
+	wrongOpt.Resume = blob
+	if _, err := Train(ckptNet(8, false), x, y, wrongOpt); err == nil ||
+		!strings.Contains(err.Error(), "optimizer") {
+		t.Fatalf("optimizer mismatch not caught: %v", err)
+	}
+
+	// Wrong architecture.
+	wrongNet := NewNet(NewDense(6, 3, rng.New(1)))
+	archCfg := ckptConfig(func() Optimizer { return NewAdam(0.01) }, 2)
+	archCfg.Resume = blob
+	if _, err := Train(wrongNet, x, y, archCfg); err == nil {
+		t.Fatal("architecture mismatch not caught")
+	}
+
+	// Checkpointing without a sink is a config error.
+	noSink := ckptConfig(func() Optimizer { return NewAdam(0.01) }, 2)
+	noSink.CheckpointEvery = 1
+	if _, err := Train(ckptNet(8, false), x, y, noSink); err == nil {
+		t.Fatal("CheckpointEvery without Checkpoint accepted")
+	}
+}
+
+// A state whose Epoch already covers cfg.Epochs trains zero further epochs
+// and reports the restored history.
+func TestResumeAtFinalEpochIsNoop(t *testing.T) {
+	x, y := ckptData(6)
+	blobs := map[int][]byte{}
+	cfg := ckptConfig(func() Optimizer { return NewAdam(0.01) }, 3)
+	cfg.CheckpointEvery = 3
+	cfg.Checkpoint = func(e int, b []byte) error { blobs[e] = b; return nil }
+	refNet := ckptNet(9, false)
+	refRes, err := Train(refNet, x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCfg := ckptConfig(func() Optimizer { return NewAdam(0.01) }, 3)
+	resCfg.Resume = blobs[3]
+	resNet := ckptNet(9, false)
+	resRes, err := Train(resNet, x, y, resCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRes.FinalLoss != refRes.FinalLoss || resRes.Steps != refRes.Steps {
+		t.Fatalf("noop resume diverged: %+v vs %+v", resRes, refRes)
+	}
+	paramsEqual(t, resNet, refNet, "noop resume")
+	if math.IsNaN(resRes.FinalLoss) {
+		t.Fatal("restored final loss is NaN")
+	}
+}

@@ -160,6 +160,66 @@ func TestBatchNormGradCheck(t *testing.T) {
 	checkLayerGrads(t, net, MSELoss{}, x, y, 1e-4)
 }
 
+// TestGradCheckTableExtraPaths covers the layer paths the per-file
+// gradchecks miss — checkpointed state is only trustworthy if every
+// backward path it reloads into is verified against finite differences:
+// LayerNorm as the first layer (its dL/dx feeding the loss directly and its
+// affine params the only ones before the head), Conv2D with stride and
+// padding combined (both index transforms active at once), the same under
+// softmax cross-entropy, and LayerNorm sandwiched between conv and head.
+func TestGradCheckTableExtraPaths(t *testing.T) {
+	type gc struct {
+		name  string
+		build func(r *rng.Stream) (*Net, *tensor.Tensor, *tensor.Tensor, Loss)
+		tol   float64
+	}
+	cases := []gc{
+		{"layernorm-first", func(r *rng.Stream) (*Net, *tensor.Tensor, *tensor.Tensor, Loss) {
+			net := NewNet(NewLayerNorm(5), NewDense(5, 2, r))
+			x := tensor.New(4, 5)
+			x.FillRandNorm(r, 1)
+			y := tensor.New(4, 2)
+			y.FillRandNorm(r, 1)
+			return net, x, y, MSELoss{}
+		}, 1e-4},
+		{"conv2d-stride2-pad1", func(r *rng.Stream) (*Net, *tensor.Tensor, *tensor.Tensor, Loss) {
+			conv := NewConv2D(2, 5, 5, 3, 3, 2, 1, r)
+			oh, ow := conv.OutDims()
+			net := NewNet(conv, NewActivation(Tanh), NewDense(3*oh*ow, 2, r))
+			x := tensor.New(2, 2*5*5)
+			x.FillRandNorm(r, 1)
+			y := tensor.New(2, 2)
+			y.FillRandNorm(r, 1)
+			return net, x, y, MSELoss{}
+		}, 1e-4},
+		{"conv2d-softmax-ce", func(r *rng.Stream) (*Net, *tensor.Tensor, *tensor.Tensor, Loss) {
+			conv := NewConv2D(1, 6, 6, 2, 3, 2, 1, r)
+			oh, ow := conv.OutDims()
+			net := NewNet(conv, NewActivation(GELU), NewDense(2*oh*ow, 3, r))
+			x := tensor.New(3, 36)
+			x.FillRandNorm(r, 1)
+			return net, x, OneHot([]int{0, 2, 1}, 3), SoftmaxCELoss{}
+		}, 1e-4},
+		{"conv2d-layernorm-head", func(r *rng.Stream) (*Net, *tensor.Tensor, *tensor.Tensor, Loss) {
+			conv := NewConv2D(1, 4, 4, 2, 2, 2, 0, r)
+			oh, ow := conv.OutDims()
+			dim := 2 * oh * ow
+			net := NewNet(conv, NewLayerNorm(dim), NewDense(dim, 1, r))
+			x := tensor.New(3, 16)
+			x.FillRandNorm(r, 1)
+			y := tensor.New(3, 1)
+			y.FillRandNorm(r, 1)
+			return net, x, y, MSELoss{}
+		}, 1e-4},
+	}
+	for i, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			net, x, y, loss := c.build(rng.New(uint64(20 + i)))
+			checkLayerGrads(t, net, loss, x, y, c.tol)
+		})
+	}
+}
+
 func TestBCEGradCheck(t *testing.T) {
 	r := rng.New(7)
 	net := NewNet(NewDense(3, 4, r), NewActivation(Tanh), NewDense(4, 1, r))

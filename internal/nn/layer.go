@@ -270,6 +270,12 @@ func NewDropout(rate float64, r *rng.Stream) *Dropout {
 // Name implements Layer.
 func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.Rate) }
 
+// RNGState exposes the mask stream's cursor for checkpointing.
+func (d *Dropout) RNGState() [4]uint64 { return d.rng.State() }
+
+// SetRNGState restores a mask-stream cursor captured by RNGState.
+func (d *Dropout) SetRNGState(s [4]uint64) { d.rng.SetState(s) }
+
 // OutDim implements Layer.
 func (d *Dropout) OutDim(inDim int) int { return inDim }
 

@@ -1,6 +1,9 @@
 package nn
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"math"
 
 	"repro/internal/tensor"
@@ -17,6 +20,65 @@ type Optimizer interface {
 	Step(params, grads []*tensor.Tensor)
 	// Reset clears internal state (moments, step counters).
 	Reset()
+}
+
+// StatefulOptimizer is implemented by optimizers whose internal state
+// (momentum buffers, Adam moments, step counters) must survive a
+// checkpoint/restart for training to continue bitwise-identically. All
+// optimizers in this package implement it.
+type StatefulOptimizer interface {
+	Optimizer
+	// MarshalState serialises the internal state (not the hyperparameters).
+	MarshalState() ([]byte, error)
+	// UnmarshalState restores state produced by MarshalState. The optimizer
+	// must be configured with the same hyperparameters and be stepped with
+	// the same parameter list as the one that was checkpointed.
+	UnmarshalState(b []byte) error
+}
+
+// flattenMoments copies moment tensors to plain slices for gob encoding.
+func flattenMoments(ts []*tensor.Tensor) [][]float64 {
+	if ts == nil {
+		return nil
+	}
+	out := make([][]float64, len(ts))
+	for i, t := range ts {
+		out[i] = append([]float64(nil), t.Data...)
+	}
+	return out
+}
+
+// restoreMoments rebuilds moment tensors from flattened values. Step only
+// ever indexes .Data on moment buffers, so rank-1 tensors of the right
+// length reproduce the exact update sequence.
+func restoreMoments(flat [][]float64) []*tensor.Tensor {
+	if flat == nil {
+		return nil
+	}
+	ts := make([]*tensor.Tensor, len(flat))
+	for i, vals := range flat {
+		ts[i] = tensor.New(len(vals))
+		copy(ts[i].Data, vals)
+	}
+	return ts
+}
+
+// gobEncodeState gob-encodes v with a small error wrapper shared by the
+// optimizer state marshalers.
+func gobEncodeState(name string, v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("nn: marshal %s state: %w", name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// gobDecodeState decodes b into v with a matching error wrapper.
+func gobDecodeState(name string, b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("nn: unmarshal %s state: %w", name, err)
+	}
+	return nil
 }
 
 // SGD is plain stochastic gradient descent with optional momentum /
@@ -84,6 +146,24 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 
 // Reset implements Optimizer.
 func (s *SGD) Reset() { s.vel = nil }
+
+// sgdState is the serialised form of SGD's momentum buffers.
+type sgdState struct{ Vel [][]float64 }
+
+// MarshalState implements StatefulOptimizer.
+func (s *SGD) MarshalState() ([]byte, error) {
+	return gobEncodeState("sgd", sgdState{Vel: flattenMoments(s.vel)})
+}
+
+// UnmarshalState implements StatefulOptimizer.
+func (s *SGD) UnmarshalState(b []byte) error {
+	var st sgdState
+	if err := gobDecodeState("sgd", b, &st); err != nil {
+		return err
+	}
+	s.vel = restoreMoments(st.Vel)
+	return nil
+}
 
 // Adam implements Adam and (with Decoupled=true) AdamW.
 type Adam struct {
@@ -155,6 +235,30 @@ func (a *Adam) Step(params, grads []*tensor.Tensor) {
 // Reset implements Optimizer.
 func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
 
+// adamState is the serialised form of Adam's moments and step counter.
+type adamState struct {
+	M, V [][]float64
+	T    int
+}
+
+// MarshalState implements StatefulOptimizer.
+func (a *Adam) MarshalState() ([]byte, error) {
+	return gobEncodeState(a.Name(), adamState{
+		M: flattenMoments(a.m), V: flattenMoments(a.v), T: a.t})
+}
+
+// UnmarshalState implements StatefulOptimizer.
+func (a *Adam) UnmarshalState(b []byte) error {
+	var st adamState
+	if err := gobDecodeState(a.Name(), b, &st); err != nil {
+		return err
+	}
+	a.m = restoreMoments(st.M)
+	a.v = restoreMoments(st.V)
+	a.t = st.T
+	return nil
+}
+
 // RMSProp implements the RMSProp optimizer.
 type RMSProp struct {
 	LR, Decay, Eps float64
@@ -193,3 +297,21 @@ func (r *RMSProp) Step(params, grads []*tensor.Tensor) {
 
 // Reset implements Optimizer.
 func (r *RMSProp) Reset() { r.sq = nil }
+
+// rmsState is the serialised form of RMSProp's squared-gradient average.
+type rmsState struct{ Sq [][]float64 }
+
+// MarshalState implements StatefulOptimizer.
+func (r *RMSProp) MarshalState() ([]byte, error) {
+	return gobEncodeState("rmsprop", rmsState{Sq: flattenMoments(r.sq)})
+}
+
+// UnmarshalState implements StatefulOptimizer.
+func (r *RMSProp) UnmarshalState(b []byte) error {
+	var st rmsState
+	if err := gobDecodeState("rmsprop", b, &st); err != nil {
+		return err
+	}
+	r.sq = restoreMoments(st.Sq)
+	return nil
+}

@@ -35,6 +35,17 @@ type TrainConfig struct {
 	// OnEpoch, if non-nil, is called after each epoch with the epoch
 	// index and mean training loss; returning false stops early.
 	OnEpoch func(epoch int, loss float64) bool
+	// CheckpointEvery, when > 0, captures the full training state every
+	// that many epochs and hands the encoded blob to Checkpoint.
+	CheckpointEvery int
+	// Checkpoint receives each periodic state blob; returning an error
+	// aborts training (a checkpoint that cannot be persisted is a failure,
+	// not a warning). Required when CheckpointEvery > 0.
+	Checkpoint func(epoch int, state []byte) error
+	// Resume, if non-nil, is a state blob from a previous run's Checkpoint;
+	// training restores it and continues at the recorded epoch, bitwise
+	// identical to the run that was interrupted.
+	Resume []byte
 	// Obs, if non-nil and enabled, receives step/epoch hooks and
 	// forward/backward/optimizer spans (tid 0). A nil session is fully
 	// disabled and costs one atomic check per instrumentation point.
@@ -68,6 +79,9 @@ func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error)
 	if cfg.Shuffle && cfg.RNG == nil {
 		return nil, fmt.Errorf("nn: Shuffle requires RNG")
 	}
+	if cfg.CheckpointEvery > 0 && cfg.Checkpoint == nil {
+		return nil, fmt.Errorf("nn: CheckpointEvery requires a Checkpoint func")
+	}
 
 	var scaler *lowp.LossScaler
 	if cfg.LossScale {
@@ -78,12 +92,23 @@ func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error)
 	for i := range order {
 		order[i] = i
 	}
+	startEpoch := 0
+	if cfg.Resume != nil {
+		st, err := DecodeTrainState(cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+		startEpoch, err = restoreTrainState(st, net, cfg, scaler, res, order)
+		if err != nil {
+			return nil, err
+		}
+	}
 	xb := tensor.New(cfg.BatchSize, x.Len()/n)
 	yb := tensor.New(cfg.BatchSize, y.Len()/n)
 
 	baseLR := BaseLR(cfg.Optimizer)
 	instr := cfg.Obs.Enabled()
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if cfg.Schedule != nil && !math.IsNaN(baseLR) {
 			SetLR(cfg.Optimizer, baseLR*cfg.Schedule.Factor(epoch, cfg.Epochs))
 		}
@@ -114,6 +139,20 @@ func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error)
 		if instr {
 			epochSpan.End()
 			cfg.Obs.OnEpoch(epoch, epochLoss, time.Since(epochStart))
+		}
+		if cfg.CheckpointEvery > 0 && (epoch+1)%cfg.CheckpointEvery == 0 {
+			st, err := captureTrainState(net, cfg, scaler, res, epoch, order)
+			if err != nil {
+				return nil, err
+			}
+			blob, err := st.Encode()
+			if err != nil {
+				return nil, err
+			}
+			cfg.Obs.Count("train.checkpoints", 1)
+			if err := cfg.Checkpoint(epoch+1, blob); err != nil {
+				return nil, fmt.Errorf("nn: checkpoint at epoch %d: %w", epoch+1, err)
+			}
 		}
 		if cfg.OnEpoch != nil && !cfg.OnEpoch(epoch, epochLoss) {
 			break

@@ -1,0 +1,226 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// elasticProblem builds a learnable regression task: targets are a fixed
+// linear map of the inputs plus small noise, so SGD must drive the loss
+// well below its starting value.
+func elasticProblem(seed uint64) (*tensor.Tensor, *tensor.Tensor) {
+	r := rng.New(seed)
+	n, d, out := 128, 4, 2
+	x := tensor.New(n, d)
+	x.FillRandNorm(r, 1)
+	w := tensor.New(d, out)
+	w.FillRandNorm(r, 1)
+	y := tensor.New(n, out)
+	for i := 0; i < n; i++ {
+		for j := 0; j < out; j++ {
+			v := 0.0
+			for k := 0; k < d; k++ {
+				v += x.At(i, k) * w.At(k, j)
+			}
+			y.Set(v+0.01*r.Norm(), i, j)
+		}
+	}
+	return x, y
+}
+
+func elasticNet(seed uint64) *nn.Net {
+	return nn.MLP(4, []int{16}, 2, nn.Tanh, rng.New(seed))
+}
+
+func elasticCfg(workers, epochs int, plan *fault.Plan) ElasticConfig {
+	return ElasticConfig{
+		Workers: workers, Loss: nn.MSELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewAdam(0.01) },
+		GlobalBatch:  32, Epochs: epochs,
+		RNG: rng.New(7), Faults: plan,
+	}
+}
+
+func runElastic(t *testing.T, plan *fault.Plan, epochs int) (*ElasticResult, *nn.Net) {
+	t.Helper()
+	x, y := elasticProblem(3)
+	net := elasticNet(5)
+	res, err := TrainElastic(net, x, y, elasticCfg(4, epochs, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, net
+}
+
+func TestElasticFaultFreeConverges(t *testing.T) {
+	res, _ := runElastic(t, nil, 15)
+	if res.LiveWorkers != 4 || res.Failures != 0 || res.Redistributions != 0 {
+		t.Fatalf("fault-free run reported faults: %+v", res)
+	}
+	first, last := res.EpochLoss[0], res.EpochLoss[len(res.EpochLoss)-1]
+	if last >= first/2 {
+		t.Fatalf("no convergence: first %v last %v", first, last)
+	}
+	if res.Steps != 15*4 {
+		t.Fatalf("steps %d want %d", res.Steps, 60)
+	}
+}
+
+// Chaos property (c): elastic data-parallel with one killed worker detects
+// the death, redistributes its shard, and still converges on the survivors.
+func TestElasticSurvivesWorkerKill(t *testing.T) {
+	sess := obs.NewSession()
+	x, y := elasticProblem(3)
+	net := elasticNet(5)
+	cfg := elasticCfg(4, 15, fault.NewPlan().Kill(2, 10))
+	cfg.Obs = sess
+	res, err := TrainElastic(net, x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 || res.LiveWorkers != 3 {
+		t.Fatalf("expected 1 failure / 3 survivors, got %+v", res)
+	}
+	if res.Redistributions < 1 {
+		t.Fatal("death did not trigger a redistribution")
+	}
+	first, last := res.EpochLoss[0], res.EpochLoss[len(res.EpochLoss)-1]
+	if last >= first/2 {
+		t.Fatalf("no convergence after kill: first %v last %v", first, last)
+	}
+	// The failure flowed into the obs session.
+	snap := sess.Snapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "fault.worker_killed" && c.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fault.worker_killed counter missing from obs session")
+	}
+}
+
+// Killing worker 0 (the caller's net) must promote a survivor's weights.
+func TestElasticKillWorkerZero(t *testing.T) {
+	res, net := runElastic(t, fault.NewPlan().Kill(0, 5), 12)
+	if res.Failures != 1 || res.LiveWorkers != 3 {
+		t.Fatalf("unexpected fault accounting: %+v", res)
+	}
+	x, y := elasticProblem(3)
+	final := nn.EvaluateRegression(net, x, y)
+	if final >= res.EpochLoss[0] {
+		t.Fatalf("promoted weights untrained: eval %v vs first epoch %v", final, res.EpochLoss[0])
+	}
+}
+
+// Chaos property (a): the same seed and plan give an identical run —
+// epoch losses and final weights bit-for-bit.
+func TestElasticDeterministic(t *testing.T) {
+	plan := fault.NewPlan().Kill(1, 7).Hang(3, 4, time.Millisecond)
+	resA, netA := runElastic(t, plan, 10)
+	resB, netB := runElastic(t, plan, 10)
+	if len(resA.EpochLoss) != len(resB.EpochLoss) {
+		t.Fatal("epoch counts differ")
+	}
+	for i := range resA.EpochLoss {
+		if resA.EpochLoss[i] != resB.EpochLoss[i] {
+			t.Fatalf("epoch %d loss differs: %v vs %v", i, resA.EpochLoss[i], resB.EpochLoss[i])
+		}
+	}
+	if resA.Failures != resB.Failures || resA.Redistributions != resB.Redistributions {
+		t.Fatalf("fault accounting differs: %+v vs %+v", resA, resB)
+	}
+	if d := VerifyReplicasInSync([]*nn.Net{netA, netB}); d != 0 {
+		t.Fatalf("final weights differ by %v", d)
+	}
+}
+
+// A transient collective error is retried and — because the retry recomputes
+// identical gradients — must not change the result at all.
+func TestElasticCollectiveRetryIsTransparent(t *testing.T) {
+	resFail, netFail := runElastic(t, fault.NewPlan().FailCollective(3), 8)
+	resClean, netClean := runElastic(t, nil, 8)
+	if resFail.CollectiveRetries != 1 {
+		t.Fatalf("expected 1 collective retry, got %d", resFail.CollectiveRetries)
+	}
+	for i := range resClean.EpochLoss {
+		if resFail.EpochLoss[i] != resClean.EpochLoss[i] {
+			t.Fatalf("retry changed epoch %d loss: %v vs %v",
+				i, resFail.EpochLoss[i], resClean.EpochLoss[i])
+		}
+	}
+	if d := VerifyReplicasInSync([]*nn.Net{netFail, netClean}); d != 0 {
+		t.Fatalf("retry changed final weights by %v", d)
+	}
+}
+
+// A straggler stalls the step but cannot change its mathematics.
+func TestElasticStragglerIsHarmless(t *testing.T) {
+	resHang, netHang := runElastic(t, fault.NewPlan().Hang(2, 5, 2*time.Millisecond), 8)
+	resClean, netClean := runElastic(t, nil, 8)
+	for i := range resClean.EpochLoss {
+		if resHang.EpochLoss[i] != resClean.EpochLoss[i] {
+			t.Fatalf("straggler changed epoch %d loss", i)
+		}
+	}
+	if d := VerifyReplicasInSync([]*nn.Net{netHang, netClean}); d != 0 {
+		t.Fatalf("straggler changed final weights by %v", d)
+	}
+	if resHang.Failures != 0 {
+		t.Fatal("straggler miscounted as a failure")
+	}
+}
+
+func TestElasticTwoKillsSameStep(t *testing.T) {
+	res, _ := runElastic(t, fault.NewPlan().Kill(1, 6).Kill(3, 6), 12)
+	if res.Failures != 2 || res.LiveWorkers != 2 {
+		t.Fatalf("expected 2 failures / 2 survivors, got %+v", res)
+	}
+	first, last := res.EpochLoss[0], res.EpochLoss[len(res.EpochLoss)-1]
+	if last >= first/2 {
+		t.Fatalf("no convergence after double kill: first %v last %v", first, last)
+	}
+}
+
+func TestElasticValidation(t *testing.T) {
+	x, y := elasticProblem(1)
+	net := elasticNet(1)
+
+	// A plan with no survivors is rejected up front.
+	killAll := fault.NewPlan()
+	for w := 0; w < 4; w++ {
+		killAll.Kill(w, w+1)
+	}
+	_, err := TrainElastic(net, x, y, elasticCfg(4, 2, killAll))
+	if err == nil || !strings.Contains(err.Error(), "survivors") {
+		t.Fatalf("kill-all plan accepted: %v", err)
+	}
+
+	bad := elasticCfg(4, 2, nil)
+	bad.GlobalBatch = 2
+	if _, err := TrainElastic(net, x, y, bad); err == nil {
+		t.Fatal("batch < workers accepted")
+	}
+	bad = elasticCfg(0, 2, nil)
+	if _, err := TrainElastic(net, x, y, bad); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	bad = elasticCfg(4, 2, nil)
+	bad.RNG = nil
+	if _, err := TrainElastic(net, x, y, bad); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+	bad = elasticCfg(4, 2, nil)
+	bad.Loss = nil
+	if _, err := TrainElastic(net, x, y, bad); err == nil {
+		t.Fatal("nil loss accepted")
+	}
+}

@@ -59,6 +59,20 @@ func (r *Stream) Split(label string) *Stream {
 	return New(h)
 }
 
+// State returns the stream's exact internal state. Together with SetState
+// it lets a checkpoint capture the RNG cursor so a resumed run draws the
+// identical sequence the uninterrupted run would have (bitwise continue).
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously returned by State. The all-zero
+// state is invalid for xoshiro and is rejected by panicking.
+func (r *Stream) SetState(s [4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("rng: SetState with all-zero state")
+	}
+	r.s = s
+}
+
 // SplitN derives the i-th of a family of child streams.
 func (r *Stream) SplitN(i int) *Stream {
 	h := r.Uint64()
