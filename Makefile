@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test chaos bench-overhead bench-checkpoint bench clean
+.PHONY: check vet build test chaos fuzz cover bench-overhead bench-checkpoint bench bench-serve clean
 
-check: vet build test chaos bench-overhead
+check: vet build test chaos cover bench-overhead
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,22 @@ chaos:
 		-run 'Fault|Campaign|Schedule|Attempt|Plan|Daly|Simulate'
 	$(GO) test -race ./internal/nn -run 'Resume|TrainState|Checkpoint'
 	$(GO) test -race ./internal/parallel -run 'Elastic'
+	$(GO) test -race ./internal/serve -run 'Chaos|Fault'
+
+# Fuzz the blocked tensor kernels against the naive references in
+# internal/tensor/ref_test.go. Short budgets per target: the seed corpus
+# already pins the block boundaries, so CI just buys a little exploration.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzMatMul$$' -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run '^$$' -fuzz '^FuzzMatMulTransA$$' -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run '^$$' -fuzz '^FuzzMatMulTransB$$' -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run '^$$' -fuzz '^FuzzConv$$' -fuzztime $(FUZZTIME) ./internal/tensor
+
+# Coverage gate: per-package floors (70% for internal/serve, internal/tensor,
+# internal/nn) with a coverage-vs-floor delta table. See scripts/cover.sh.
+cover:
+	bash scripts/cover.sh
 
 # Instrumentation overhead: trains the same network with no obs session,
 # a disabled one, and an enabled one. The disabled column must stay within
@@ -37,6 +53,13 @@ bench-overhead:
 # epoch, and every other epoch (see BENCH_fault.json).
 bench-checkpoint:
 	$(GO) test ./internal/nn -run xxx -bench Checkpoint -benchtime 2s
+
+# Regenerate the committed serving load-test artifact (BENCH_serve.json).
+# The simulator is deterministic, so this only changes when the serving
+# policy or the load profile does; TestCommittedBenchArtifactIsCurrent
+# fails if the committed copy drifts.
+bench-serve:
+	$(GO) run ./cmd/candleserve -bench -json BENCH_serve.json
 
 # Regenerate every experiment table + micro-benchmarks.
 bench:

@@ -42,6 +42,7 @@ func BenchmarkE7NVRAM(b *testing.B)       { benchExperiment(b, "E7") }
 func BenchmarkE8Search(b *testing.B)      { benchExperiment(b, "E8") }
 func BenchmarkE9Campaign(b *testing.B)    { benchExperiment(b, "E9") }
 func BenchmarkE10Checkpoint(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11Serving(b *testing.B)    { benchExperiment(b, "E11") }
 
 // benchAblation regenerates one design-choice ablation table per iteration.
 func benchAblation(b *testing.B, id string) {

@@ -15,7 +15,9 @@
 //     strategies (Hyperband, genetic, TPE, RBF surrogate, generative);
 //   - the parameterised machine model (rooflines, collective costs,
 //     energy) and the tiered-storage/NVRAM staging simulator;
-//   - the E1-E10 experiment suite that reproduces each of the paper's
+//   - the inference serving subsystem (dynamic micro-batching, replica
+//     pool, admission control) and its deterministic load simulator;
+//   - the E1-E11 experiment suite that reproduces each of the paper's
 //     architectural claims.
 //
 // Quick start:
@@ -42,6 +44,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/storage"
 	"repro/internal/tensor"
 	"repro/internal/trace"
@@ -281,13 +284,13 @@ var SimulateStorage = storage.Simulate
 
 // ---- experiments ------------------------------------------------------------------
 
-// Experiment is one paper-claim reproduction (E1-E10).
+// Experiment is one paper-claim reproduction (E1-E11).
 type Experiment = experiments.Experiment
 
 // ExperimentConfig sizes an experiment run.
 type ExperimentConfig = experiments.Config
 
-// Experiments returns the full E1-E10 suite.
+// Experiments returns the full E1-E11 suite.
 var Experiments = experiments.All
 
 // ExperimentByID finds one experiment.
@@ -329,6 +332,39 @@ var WorkloadExtensions = core.Extensions
 
 // Ablations returns the design-choice ablation studies (A1-A3).
 var Ablations = experiments.Ablations
+
+// ---- inference serving ---------------------------------------------------------
+
+// ServeConfig configures an inference Server: replica count, micro-batching
+// policy (MaxBatch/MaxLinger), and admission control (QueueCap,
+// MaxPendingBatches).
+type ServeConfig = serve.Config
+
+// Server is a dynamic micro-batching inference server over model replicas.
+type Server = serve.Server
+
+// NewServer starts a server for the given model.
+var NewServer = serve.New
+
+// Typed serving errors: load shedding and deadline misses are expected
+// outcomes under overload, not failures.
+var (
+	ErrOverloaded = serve.ErrOverloaded
+	ErrDeadline   = serve.ErrDeadline
+)
+
+// ServeLoadConfig describes a load-test profile (open or closed loop).
+type ServeLoadConfig = serve.LoadConfig
+
+// ServeLoadReport is a load-test result (the BENCH_serve.json schema).
+type ServeLoadReport = serve.LoadReport
+
+// RunServeLoad runs the deterministic discrete-event load simulator: same
+// seed, bit-identical report.
+var RunServeLoad = serve.RunLoad
+
+// RunServeLive replays a load profile against a real concurrent Server.
+var RunServeLive = serve.RunLive
 
 // ---- asynchronous training and strategy comparison -----------------------------
 

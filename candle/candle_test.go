@@ -79,14 +79,39 @@ func TestPublicMachineAndStorage(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(candle.Experiments()) != 10 {
+	if len(candle.Experiments()) != 11 {
 		t.Fatal("experiment suite incomplete")
 	}
 	if candle.ExperimentByID("E1") == nil {
 		t.Fatal("E1 missing")
 	}
-	if candle.ExperimentByID("E10") == nil {
-		t.Fatal("E10 missing")
+	if candle.ExperimentByID("E11") == nil {
+		t.Fatal("E11 missing")
+	}
+}
+
+func TestPublicServeAPI(t *testing.T) {
+	net := candle.MLP(8, []int{16}, 2, candle.ReLU, candle.NewRNG(3))
+	srv, err := candle.NewServer(net, candle.ServeConfig{InDim: 8, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	y, err := srv.Infer(make([]float64, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != 2 {
+		t.Fatalf("got %d outputs, want 2", len(y))
+	}
+	rep, err := candle.RunServeLoad(candle.ServeLoadConfig{
+		Requests: 500, RatePerSec: 1000, Replicas: 2, MaxBatch: 4, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed+rep.Shed+rep.Expired != 500 {
+		t.Fatalf("load accounting does not balance: %+v", rep)
 	}
 }
 

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildCandledata(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "candledata")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCandledata(t *testing.T, bin string, args ...string) []byte {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("candledata %v: %v\n%s", args, err, out)
+	}
+	return out
+}
+
+// TestCSVStructure checks the emitted CSV: a header naming every feature
+// column plus the label, a split tag on each row, and rectangular records
+// (csv.Reader enforces per-record field counts against the header).
+func TestCSVStructure(t *testing.T) {
+	bin := buildCandledata(t)
+	out := runCandledata(t, bin, "-workload", "tumor", "-scale", "tiny", "-seed", "5")
+	rows, err := csv.NewReader(bytes.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not rectangular CSV: %v", err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	header := rows[0]
+	if header[0] != "split" || header[1] != "f0" || header[len(header)-1] != "label" {
+		t.Fatalf("unexpected header %v", header)
+	}
+	train, test := 0, 0
+	for _, r := range rows[1:] {
+		switch r[0] {
+		case "train":
+			train++
+		case "test":
+			test++
+		default:
+			t.Fatalf("row tagged %q, want train or test", r[0])
+		}
+	}
+	if train == 0 || test == 0 {
+		t.Fatalf("missing a split: %d train, %d test rows", train, test)
+	}
+	if train <= test {
+		t.Fatalf("train split (%d) should dominate test (%d)", train, test)
+	}
+}
+
+// TestRegressionTargetsColumns: regression workloads emit y columns, not a
+// label column.
+func TestRegressionTargetColumns(t *testing.T) {
+	bin := buildCandledata(t)
+	out := runCandledata(t, bin, "-workload", "drugresponse", "-scale", "tiny", "-head", "3")
+	rows, err := csv.NewReader(bytes.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[0][len(rows[0])-1]
+	if !strings.HasPrefix(last, "y") {
+		t.Fatalf("regression header ends with %q, want a y column", last)
+	}
+}
+
+// TestSeedDeterminism: equal seeds must reproduce the file byte-for-byte;
+// different seeds must not.
+func TestSeedDeterminism(t *testing.T) {
+	bin := buildCandledata(t)
+	dir := t.TempDir()
+	p1, p2, p3 := filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv"), filepath.Join(dir, "c.csv")
+	runCandledata(t, bin, "-workload", "amr", "-scale", "tiny", "-seed", "7", "-out", p1)
+	runCandledata(t, bin, "-workload", "amr", "-scale", "tiny", "-seed", "7", "-out", p2)
+	runCandledata(t, bin, "-workload", "amr", "-scale", "tiny", "-seed", "8", "-out", p3)
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	b3, _ := os.ReadFile(p3)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("equal seeds produced different CSVs")
+	}
+	if bytes.Equal(b1, b3) {
+		t.Fatal("different seeds produced identical CSVs")
+	}
+}
+
+// TestHeadLimitsRows: -head N caps each split at N data rows.
+func TestHeadLimitsRows(t *testing.T) {
+	bin := buildCandledata(t)
+	out := runCandledata(t, bin, "-workload", "tumor", "-scale", "tiny", "-head", "4")
+	rows, err := csv.NewReader(bytes.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+4+4 {
+		t.Fatalf("got %d rows, want header + 4 train + 4 test", len(rows))
+	}
+}
+
+func TestRejectsUnknownWorkloadAndScale(t *testing.T) {
+	bin := buildCandledata(t)
+	if out, err := exec.Command(bin, "-workload", "nope").CombinedOutput(); err == nil {
+		t.Fatalf("accepted unknown workload:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-workload", "tumor", "-scale", "galactic").CombinedOutput(); err == nil {
+		t.Fatalf("accepted unknown scale:\n%s", out)
+	}
+}

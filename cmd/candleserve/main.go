@@ -1,0 +1,180 @@
+// Command candleserve load-tests the inference serving subsystem: the
+// dynamic micro-batcher, replica pool, and admission control of
+// internal/serve.
+//
+// The default engine is the deterministic discrete-event simulator — the
+// same batching policy as the real server, driven on virtual time — so a
+// given seed always produces a bit-identical report (this is what generates
+// the committed BENCH_serve.json). With -live the same load profile is
+// replayed against a real concurrent Server running actual forward passes
+// on the wall clock.
+//
+// Usage:
+//
+//	candleserve [-mode open|closed] [-requests N] [-rate RPS] [-clients N]
+//	            [-think D] [-deadline D] [-replicas N] [-max-batch N]
+//	            [-linger D] [-queue-cap N] [-max-pending N] [-seed N]
+//	            [-live] [-json FILE]
+//	candleserve -bench [-json BENCH_serve.json]
+//
+// -rate 0 (the default) resolves to 80% of the pool's analytic capacity —
+// just below the knee. -bench runs the committed two-point profile: a
+// 10k-request open loop below the knee (zero drops) and the same load at
+// 2.5x capacity (bounded tail, excess shed), written as one JSON document.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+func main() {
+	mode := flag.String("mode", "open", "load generator: open (Poisson arrivals, sheds) or closed (blocking clients)")
+	requests := flag.Int("requests", 10000, "total requests to issue")
+	rate := flag.Float64("rate", 0, "open-loop offered load in requests/sec (0 = 80% of capacity)")
+	clients := flag.Int("clients", 8, "closed-loop concurrent clients")
+	think := flag.Duration("think", time.Millisecond, "closed-loop mean think time")
+	deadline := flag.Duration("deadline", 0, "per-request completion deadline (0 = none)")
+	replicas := flag.Int("replicas", 2, "model replicas")
+	maxBatch := flag.Int("max-batch", 8, "micro-batcher size bound")
+	linger := flag.Duration("linger", 2*time.Millisecond, "micro-batcher linger bound")
+	queueCap := flag.Int("queue-cap", 64, "admission queue capacity")
+	maxPending := flag.Int("max-pending", 0, "pool backlog bound in batches (0 = 2*replicas)")
+	seed := flag.Uint64("seed", 1, "seed: same seed, same report (simulator engine)")
+	live := flag.Bool("live", false, "drive a real concurrent Server (wall clock) instead of the simulator")
+	bench := flag.Bool("bench", false, "run the committed below/above-knee benchmark profile")
+	jsonOut := flag.String("json", "", "write the report(s) as JSON to this file")
+	flag.Parse()
+
+	cfg := serve.LoadConfig{
+		Requests:          *requests,
+		Closed:            *mode == "closed",
+		RatePerSec:        *rate,
+		Clients:           *clients,
+		ThinkMean:         *think,
+		Deadline:          *deadline,
+		Replicas:          *replicas,
+		MaxBatch:          *maxBatch,
+		MaxLinger:         *linger,
+		QueueCap:          *queueCap,
+		MaxPendingBatches: *maxPending,
+		Service:           serve.DefaultServiceModel(),
+		Seed:              *seed,
+	}
+	switch *mode {
+	case "open", "closed":
+	default:
+		fail(fmt.Errorf("unknown -mode %q (want open or closed)", *mode))
+	}
+	capacity := cfg.Service.CapacityRPS(cfg.Replicas, cfg.MaxBatch)
+	if !cfg.Closed && cfg.RatePerSec <= 0 {
+		cfg.RatePerSec = 0.8 * capacity
+	}
+
+	if *bench {
+		runBench(cfg, capacity, *jsonOut)
+		return
+	}
+
+	rep := run(cfg, *live)
+	render(rep, capacity)
+	if *jsonOut != "" {
+		writeJSON(*jsonOut, rep)
+	}
+}
+
+// run executes one load test on the selected engine.
+func run(cfg serve.LoadConfig, live bool) *serve.LoadReport {
+	if live {
+		const inDim = 32
+		net := nn.MLP(inDim, []int{64}, 4, nn.ReLU, rng.New(cfg.Seed))
+		rep, err := serve.RunLive(net, inDim, cfg)
+		if err != nil {
+			fail(err)
+		}
+		return rep
+	}
+	rep, err := serve.RunLoad(cfg)
+	if err != nil {
+		fail(err)
+	}
+	return rep
+}
+
+// benchReport is the committed BENCH_serve.json document: one run just
+// below the serving knee, one well past it.
+type benchReport struct {
+	BelowKnee *serve.LoadReport `json:"below_knee"`
+	AboveKnee *serve.LoadReport `json:"above_knee"`
+}
+
+func runBench(cfg serve.LoadConfig, capacity float64, jsonOut string) {
+	below := cfg
+	below.Closed = false
+	below.RatePerSec = 0.8 * capacity
+	belowRep, err := serve.RunLoad(below)
+	if err != nil {
+		fail(err)
+	}
+	above := cfg
+	above.Closed = false
+	above.RatePerSec = 2.5 * capacity
+	aboveRep, err := serve.RunLoad(above)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("# below the knee (%.0f rps offered, capacity %.0f rps)\n",
+		below.RatePerSec, capacity)
+	render(belowRep, capacity)
+	fmt.Printf("\n# above the knee (%.0f rps offered)\n", above.RatePerSec)
+	render(aboveRep, capacity)
+
+	if belowRep.Shed != 0 {
+		fail(fmt.Errorf("bench profile broken: %d requests shed below the knee", belowRep.Shed))
+	}
+	if aboveRep.Shed == 0 {
+		fail(fmt.Errorf("bench profile broken: nothing shed at 2.5x capacity"))
+	}
+	if jsonOut != "" {
+		writeJSON(jsonOut, &benchReport{BelowKnee: belowRep, AboveKnee: aboveRep})
+	}
+}
+
+func render(rep *serve.LoadReport, capacity float64) {
+	fmt.Printf("mode=%s seed=%d requests=%d replicas=%d max-batch=%d linger=%.2gms\n",
+		rep.Mode, rep.Seed, rep.Requests, rep.Replicas, rep.MaxBatch, rep.LingerMs)
+	fmt.Printf("offered=%.1f rps  capacity=%.1f rps  throughput=%.1f rps  wall=%.3fs\n",
+		rep.OfferedRPS, capacity, rep.ThroughputRPS, rep.WallSeconds)
+	fmt.Printf("completed=%d shed=%d expired=%d batches=%d mean-batch=%.2f\n",
+		rep.Completed, rep.Shed, rep.Expired, rep.Batches, rep.MeanBatch)
+	fmt.Printf("latency-ms mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		rep.LatencyMeanMs, rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms, rep.LatencyMaxMs)
+}
+
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "candleserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCandleserve compiles the command once into a temp dir.
+func buildCandleserve(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "candleserve")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCandleserve(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("candleserve %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+type benchDoc struct {
+	BelowKnee struct {
+		Completed int `json:"completed"`
+		Shed      int `json:"shed"`
+		Requests  int `json:"requests"`
+	} `json:"below_knee"`
+	AboveKnee struct {
+		Completed    int     `json:"completed"`
+		Shed         int     `json:"shed"`
+		LatencyP99Ms float64 `json:"latency_p99_ms"`
+	} `json:"above_knee"`
+}
+
+// TestBenchProfileIsBitIdentical runs the committed benchmark profile twice
+// and requires byte-identical JSON — the property that lets BENCH_serve.json
+// live in the repository.
+func TestBenchProfileIsBitIdentical(t *testing.T) {
+	bin := buildCandleserve(t)
+	dir := t.TempDir()
+	j1 := filepath.Join(dir, "a.json")
+	j2 := filepath.Join(dir, "b.json")
+
+	runCandleserve(t, bin, "-bench", "-requests", "3000", "-json", j1)
+	runCandleserve(t, bin, "-bench", "-requests", "3000", "-json", j2)
+
+	b1, err := os.ReadFile(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed produced different bench JSON:\n%s\n---\n%s", b1, b2)
+	}
+
+	var doc benchDoc
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("bench JSON does not parse: %v", err)
+	}
+	if doc.BelowKnee.Shed != 0 || doc.BelowKnee.Completed != doc.BelowKnee.Requests {
+		t.Fatalf("below-knee run dropped requests: %+v", doc.BelowKnee)
+	}
+	if doc.AboveKnee.Shed == 0 {
+		t.Fatalf("above-knee run shed nothing: %+v", doc.AboveKnee)
+	}
+	if doc.AboveKnee.LatencyP99Ms <= 0 || doc.AboveKnee.LatencyP99Ms > 1000 {
+		t.Fatalf("above-knee p99 %vms is not a bounded tail", doc.AboveKnee.LatencyP99Ms)
+	}
+}
+
+// TestCommittedBenchArtifactIsCurrent regenerates BENCH_serve.json and
+// compares it byte-for-byte with the committed copy, so the artifact can
+// never drift from the code that claims to produce it.
+func TestCommittedBenchArtifactIsCurrent(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "BENCH_serve.json"))
+	if err != nil {
+		t.Skipf("no committed BENCH_serve.json: %v", err)
+	}
+	bin := buildCandleserve(t)
+	fresh := filepath.Join(t.TempDir(), "fresh.json")
+	runCandleserve(t, bin, "-bench", "-json", fresh)
+	got, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, got) {
+		t.Fatal("BENCH_serve.json is stale: regenerate with `make bench-serve`")
+	}
+}
+
+func TestClosedLoopMode(t *testing.T) {
+	bin := buildCandleserve(t)
+	out := runCandleserve(t, bin, "-mode", "closed", "-requests", "2000", "-clients", "16")
+	if !strings.Contains(out, "mode=closed") {
+		t.Fatalf("missing closed-mode marker:\n%s", out)
+	}
+	if !strings.Contains(out, "completed=2000 shed=0") {
+		t.Fatalf("closed loop must complete everything without shedding:\n%s", out)
+	}
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	bin := buildCandleserve(t)
+	if out, err := exec.Command(bin, "-mode", "sideways").CombinedOutput(); err == nil {
+		t.Fatalf("accepted bad -mode:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-requests", "0").CombinedOutput(); err == nil {
+		t.Fatalf("accepted zero -requests:\n%s", out)
+	}
+}
+
+// TestLiveEngineSmokes drives the real concurrent server briefly: the
+// numbers are wall-clock-dependent, so only the accounting is asserted.
+func TestLiveEngineSmokes(t *testing.T) {
+	bin := buildCandleserve(t)
+	out := runCandleserve(t, bin,
+		"-live", "-requests", "300", "-rate", "3000", "-replicas", "2")
+	if !strings.Contains(out, "mode=open-live") {
+		t.Fatalf("missing live-mode marker:\n%s", out)
+	}
+	out = runCandleserve(t, bin,
+		"-live", "-mode", "closed", "-requests", "300", "-clients", "8", "-think", "100us")
+	if !strings.Contains(out, "completed=300 shed=0") {
+		t.Fatalf("closed live run must complete everything:\n%s", out)
+	}
+}

@@ -1,0 +1,277 @@
+package biodata
+
+// Property tests over every generator in the package: determinism in the
+// seed, class separability of the planted signal, and exact partitioning by
+// Split. Unlike the per-generator tests in biodata_test.go these do not
+// train models — they check the properties directly, so they stay fast
+// enough to run on every generator at once.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// generators enumerates every dataset generator at a small, fast size as a
+// pure function of a seed.
+func generators() []struct {
+	name string
+	gen  func(seed uint64) *Dataset
+} {
+	return []struct {
+		name string
+		gen  func(seed uint64) *Dataset
+	}{
+		{"tumor", func(seed uint64) *Dataset {
+			cfg := DefaultTumorConfig()
+			cfg.Samples = 200
+			return Tumor(cfg, rng.New(seed))
+		}},
+		{"autoencoder", func(seed uint64) *Dataset {
+			cfg := DefaultAutoencoderConfig()
+			return AutoencoderExpression(cfg, rng.New(seed))
+		}},
+		{"drug", func(seed uint64) *Dataset {
+			cfg := DefaultDrugResponseConfig()
+			cfg.Pairs = 100
+			return DrugResponse(cfg, rng.New(seed))
+		}},
+		{"medrecords", func(seed uint64) *Dataset {
+			cfg := DefaultMedRecordsConfig()
+			cfg.Patients = 300
+			return MedRecords(cfg, rng.New(seed))
+		}},
+		{"amr", func(seed uint64) *Dataset {
+			cfg := DefaultAMRConfig()
+			cfg.Samples = 300
+			return AMR(cfg, rng.New(seed))
+		}},
+		{"md", func(seed uint64) *Dataset {
+			cfg := DefaultMDConfig()
+			cfg.Frames = 300
+			return MDTrajectory(cfg, rng.New(seed))
+		}},
+		{"histology", func(seed uint64) *Dataset {
+			cfg := DefaultHistologyConfig()
+			cfg.Samples = 200
+			return Histology(cfg, rng.New(seed))
+		}},
+	}
+}
+
+// TestGeneratorsDeterministicWithEqualSeeds: every generator is a pure
+// function of (config, seed) — equal seeds reproduce X, Y and Labels
+// bit-for-bit, and a different seed changes the data.
+func TestGeneratorsDeterministicWithEqualSeeds(t *testing.T) {
+	for _, g := range generators() {
+		a, b := g.gen(21), g.gen(21)
+		for i := range a.X.Data {
+			if a.X.Data[i] != b.X.Data[i] {
+				t.Fatalf("%s: X diverges at %d with equal seeds", g.name, i)
+			}
+		}
+		for i := range a.Y.Data {
+			if a.Y.Data[i] != b.Y.Data[i] {
+				t.Fatalf("%s: Y diverges at %d with equal seeds", g.name, i)
+			}
+		}
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				t.Fatalf("%s: labels diverge at %d with equal seeds", g.name, i)
+			}
+		}
+		c := g.gen(22)
+		same := true
+		for i := range a.X.Data {
+			if a.X.Data[i] != c.X.Data[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical data", g.name)
+		}
+	}
+}
+
+// nearestNeighborAcc classifies each test row by its closest training row.
+func nearestNeighborAcc(train, test *Dataset) float64 {
+	hit := 0
+	for i := 0; i < test.N(); i++ {
+		row := test.X.Row(i).Data
+		best, bd := -1, math.Inf(1)
+		for j := 0; j < train.N(); j++ {
+			tr := train.X.Row(j).Data
+			s := 0.0
+			for m, v := range row {
+				d := v - tr[m]
+				s += d * d
+			}
+			if s < bd {
+				bd, best = s, train.Labels[j]
+			}
+		}
+		if best == test.Labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(test.N())
+}
+
+// nearestCentroidAcc classifies each test row by its closest class centroid.
+func nearestCentroidAcc(train, test *Dataset) float64 {
+	k, d := train.NumClasses, train.Dim()
+	cent := make([][]float64, k)
+	cnt := make([]int, k)
+	for c := range cent {
+		cent[c] = make([]float64, d)
+	}
+	for i := 0; i < train.N(); i++ {
+		c := train.Labels[i]
+		cnt[c]++
+		for j, v := range train.X.Row(i).Data {
+			cent[c][j] += v
+		}
+	}
+	for c := range cent {
+		for j := range cent[c] {
+			cent[c][j] /= float64(cnt[c])
+		}
+	}
+	hit := 0
+	for i := 0; i < test.N(); i++ {
+		row := test.X.Row(i).Data
+		best, bd := -1, math.Inf(1)
+		for c := range cent {
+			s := 0.0
+			for j, v := range row {
+				dv := v - cent[c][j]
+				s += dv * dv
+			}
+			if s < bd {
+				bd, best = s, c
+			}
+		}
+		if best == test.Labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(test.N())
+}
+
+// TestClassSeparabilityProperty: the planted class signal must be visible
+// to a model-free classifier — nearest neighbor for the geometric
+// generators, nearest centroid for medrecords (whose latent benefit
+// functions have a strong linear component but noisy local geometry). AMR
+// is excluded here: its OR-of-ANDs rule is deliberately invisible to
+// distance classifiers and gets its own structural test below.
+func TestClassSeparabilityProperty(t *testing.T) {
+	cases := []struct {
+		name   string
+		acc    func(train, test *Dataset) float64
+		margin float64 // required accuracy above chance
+	}{
+		{"tumor", nearestNeighborAcc, 0.4},
+		{"md", nearestNeighborAcc, 0.4},
+		{"histology", nearestNeighborAcc, 0.3},
+		{"medrecords", nearestCentroidAcc, 0.2},
+	}
+	gens := map[string]func(seed uint64) *Dataset{}
+	for _, g := range generators() {
+		gens[g.name] = g.gen
+	}
+	for _, c := range cases {
+		for _, seed := range []uint64{31, 32, 33} {
+			ds := gens[c.name](seed)
+			train, test := ds.Split(0.8, rng.New(seed).Split("split"))
+			acc := c.acc(train, test)
+			chance := 1 / float64(ds.NumClasses)
+			if acc < chance+c.margin {
+				t.Errorf("%s seed=%d: accuracy %.3f below chance %.3f + margin %.2f",
+					c.name, seed, acc, chance, c.margin)
+			}
+		}
+	}
+}
+
+// TestAMRSeparableByPlantedMechanisms: AMR classes are exactly separable by
+// the planted rule — a genome is resistant iff it carries every marker of
+// at least one mechanism. Sequencing noise never touches marker k-mers, so
+// the rule must agree with the labels on every sample.
+func TestAMRSeparableByPlantedMechanisms(t *testing.T) {
+	for _, seed := range []uint64{41, 42, 43} {
+		cfg := DefaultAMRConfig()
+		cfg.Samples = 300
+		mech := AMRMechanisms(cfg, rng.New(seed))
+		ds := AMR(cfg, rng.New(seed))
+		for i := 0; i < ds.N(); i++ {
+			row := ds.X.Row(i).Data
+			resistant := 0
+			for _, ms := range mech {
+				complete := true
+				for _, g := range ms {
+					if row[g] != 1 {
+						complete = false
+						break
+					}
+				}
+				if complete {
+					resistant = 1
+					break
+				}
+			}
+			if resistant != ds.Labels[i] {
+				t.Fatalf("seed=%d sample %d: planted rule says %d, label %d",
+					seed, i, resistant, ds.Labels[i])
+			}
+		}
+	}
+}
+
+// rowKey serialises one sample (features + targets + label) for multiset
+// comparison.
+func rowKey(ds *Dataset, i int) string {
+	l := -1
+	if ds.Labels != nil {
+		l = ds.Labels[i]
+	}
+	return fmt.Sprintf("%v|%v|%d", ds.X.Row(i).Data, ds.Y.Row(i).Data, l)
+}
+
+// TestSplitDisjointnessProperty: Split is an exact partition — every
+// original sample lands in train or test exactly once, with its features,
+// targets and label intact, across generators, seeds and fractions.
+func TestSplitDisjointnessProperty(t *testing.T) {
+	for _, g := range generators() {
+		for _, frac := range []float64{0.5, 0.8} {
+			ds := g.gen(51)
+			train, test := ds.Split(frac, rng.New(52).Split("split"))
+			if train.N()+test.N() != ds.N() {
+				t.Fatalf("%s frac=%.1f: %d+%d != %d samples",
+					g.name, frac, train.N(), test.N(), ds.N())
+			}
+			counts := map[string]int{}
+			for i := 0; i < ds.N(); i++ {
+				counts[rowKey(ds, i)]++
+			}
+			for _, sub := range []*Dataset{train, test} {
+				for i := 0; i < sub.N(); i++ {
+					k := rowKey(sub, i)
+					if counts[k] == 0 {
+						t.Fatalf("%s frac=%.1f: split row not in original (or duplicated): %.40s",
+							g.name, frac, k)
+					}
+					counts[k]--
+				}
+			}
+			for k, c := range counts {
+				if c != 0 {
+					t.Fatalf("%s frac=%.1f: original row lost by split (%d left): %.40s",
+						g.name, frac, c, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// E11Serving sweeps the micro-batcher's MaxBatch and maps the serving
+// frontier: how much throughput dynamic batching buys against what it costs
+// in tail latency. Each batch size is probed twice with the deterministic
+// load simulator (identical seeds give bit-identical numbers):
+//
+//   - a saturation probe offering 2x the analytic capacity at that batch
+//     size, which measures sustainable throughput and shows admission
+//     control shedding the excess instead of letting latency run away;
+//   - a fixed-rate probe at a moderate load, which measures the latency the
+//     batching policy charges steady traffic.
+//
+// Expected shape (paper claim): inference traffic arrives one sample at a
+// time, but the kernels want batches — throughput rises with MaxBatch and
+// saturates as the per-batch overhead amortises away, while the fixed-rate
+// p99 inflects upward once MaxBatch crosses rate*linger (the batch can no
+// longer fill inside the linger bound, so requests start paying the full
+// linger wait on top of service).
+func E11Serving(cfg Config) *trace.Table {
+	t := trace.NewTable("E11 dynamic batching: throughput/latency frontier vs max batch size",
+		"max-batch", "capacity-rps", "sat-tput-rps", "sat-shed", "sat-p99-ms",
+		"fix-rps", "mean-batch", "p50-ms", "p99-ms")
+
+	const (
+		replicas = 4
+		linger   = 4 * time.Millisecond
+		fixedRPS = 1000 // rate*linger = 4: the frontier's inflection point
+	)
+	requests := 20000
+	if cfg.Quick {
+		requests = 4000
+	}
+	svc := serve.DefaultServiceModel()
+
+	base := serve.LoadConfig{
+		Requests:  requests,
+		Replicas:  replicas,
+		MaxBatch:  1,
+		MaxLinger: linger,
+		QueueCap:  64,
+		Seed:      cfg.Seed,
+		Service:   svc,
+	}
+
+	for _, mb := range []int{1, 2, 4, 8, 16, 32} {
+		capacity := svc.CapacityRPS(replicas, mb)
+
+		sat := base
+		sat.MaxBatch = mb
+		sat.RatePerSec = 2 * capacity
+		satRep, err := serve.RunLoad(sat)
+		if err != nil {
+			panic(err)
+		}
+
+		fix := base
+		fix.MaxBatch = mb
+		fix.RatePerSec = fixedRPS
+		fixRep, err := serve.RunLoad(fix)
+		if err != nil {
+			panic(err)
+		}
+
+		t.AddRow(mb, capacity, satRep.ThroughputRPS, satRep.Shed, satRep.LatencyP99Ms,
+			fixedRPS, fixRep.MeanBatch, fixRep.LatencyP50Ms, fixRep.LatencyP99Ms)
+
+		if cfg.Obs.Enabled() {
+			cfg.Obs.Emit("e11.frontier", satRep.ThroughputRPS, map[string]float64{
+				"max_batch": float64(mb),
+				"fix_p99":   fixRep.LatencyP99Ms,
+			})
+		}
+	}
+	return t
+}

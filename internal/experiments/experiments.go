@@ -1,4 +1,4 @@
-// Package experiments implements the paper's reproduction suite E1-E10.
+// Package experiments implements the paper's reproduction suite E1-E11.
 //
 // The paper (an HPDC'17 keynote abstract) contains no numbered tables or
 // figures; DESIGN.md maps each of its falsifiable architectural claims to
@@ -46,6 +46,7 @@ func All() []Experiment {
 		{"E8", "Naive searches are outperformed by various intelligent searching strategies, including new approaches that use generative neural networks", E8Search},
 		{"E9", "HPC architectures that can support these large-scale intelligent search methods ... are needed", E9Campaign},
 		{"E10", "at the paper's scale failures are routine: the machine must be provisioned for checkpoint/restart, with the optimal interval shrinking as sqrt of the system MTBF", E10Checkpoint},
+		{"E11", "inference traffic arrives one sample at a time but the kernels want batches: dynamic micro-batching trades bounded linger latency for amortised throughput", E11Serving},
 	}
 }
 

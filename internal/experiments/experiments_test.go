@@ -23,8 +23,8 @@ func runQuick(t *testing.T, id string) (*Experiment, string) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := All()
-	if len(all) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(all))
+	if len(all) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -335,5 +335,47 @@ func TestE10Shape(t *testing.T) {
 	if groups["256"].bestInterval < groups["4096"].bestInterval {
 		t.Fatalf("optimal interval grew with machine size: 256→%v, 4096→%v",
 			groups["256"].bestInterval, groups["4096"].bestInterval)
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	_, out := runQuick(t, "E11")
+	rows := tableRows(out)
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 batch sizes, got %d:\n%s", len(rows), out)
+	}
+	// Columns: max-batch capacity sat-tput sat-shed sat-p99 fix-rps
+	// mean-batch p50 p99.
+	var prevTput float64
+	for i, r := range rows {
+		tput, shed := f(t, r[2]), f(t, r[3])
+		if shed <= 0 {
+			t.Fatalf("row %s: saturation probe at 2x capacity shed nothing:\n%s", r[0], out)
+		}
+		// Throughput must rise (or hold, once saturated) with batch size.
+		if tput < prevTput*0.98 {
+			t.Fatalf("row %s: saturated throughput fell %v -> %v:\n%s", r[0], prevTput, tput, out)
+		}
+		prevTput = tput
+		_ = i
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if f(t, last[2]) < 2*f(t, first[2]) {
+		t.Fatalf("batching bought <2x throughput (%s -> %s rps):\n%s", first[2], last[2], out)
+	}
+	// Saturation: the last doubling of MaxBatch buys little extra throughput.
+	if f(t, last[2]) > 1.25*f(t, rows[len(rows)-2][2]) {
+		t.Fatalf("throughput still rising steeply at max batch size:\n%s", out)
+	}
+	// Fixed-rate p99 inflects upward once MaxBatch crosses rate*linger = 4:
+	// larger batches can no longer fill inside the linger bound.
+	if f(t, last[8]) <= f(t, first[8]) {
+		t.Fatalf("fixed-rate p99 did not inflect upward (%s -> %s ms):\n%s",
+			first[8], last[8], out)
+	}
+	// Past the inflection the batcher flushes on linger, so the mean batch
+	// pins near rate*linger instead of tracking MaxBatch.
+	if mb := f(t, last[6]); mb > 8 {
+		t.Fatalf("mean batch %v kept tracking MaxBatch past the linger bound:\n%s", mb, out)
 	}
 }

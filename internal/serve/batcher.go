@@ -1,0 +1,152 @@
+package serve
+
+import "time"
+
+// batchPolicy is the pure micro-batching state machine, isolated from
+// goroutines and channels so its flush decisions can be unit-tested with
+// explicit virtual timestamps. The concurrent batchLoop below and the
+// discrete-event load simulator (loadgen.go) both drive this one type, so a
+// policy proven deterministic in tests is the policy production runs.
+//
+// Policy: a batch is dispatched when it reaches maxBatch requests (size
+// flush), or when its oldest request has lingered maxLinger (time flush),
+// whichever comes first.
+type batchPolicy struct {
+	maxBatch  int
+	maxLinger time.Duration
+
+	forming []*request
+	firstAt time.Time
+}
+
+// admit adds one request at time now. It returns a non-nil batch exactly
+// when the admission fills the batch to maxBatch (size flush).
+func (p *batchPolicy) admit(r *request, now time.Time) []*request {
+	if len(p.forming) == 0 {
+		p.firstAt = now
+	}
+	p.forming = append(p.forming, r)
+	if len(p.forming) >= p.maxBatch {
+		return p.take()
+	}
+	return nil
+}
+
+// deadline returns the instant the forming batch must flush (time flush),
+// and whether a batch is forming at all.
+func (p *batchPolicy) deadline() (time.Time, bool) {
+	if len(p.forming) == 0 {
+		return time.Time{}, false
+	}
+	return p.firstAt.Add(p.maxLinger), true
+}
+
+// due reports whether the forming batch has lingered past its bound.
+func (p *batchPolicy) due(now time.Time) bool {
+	dl, ok := p.deadline()
+	return ok && !now.Before(dl)
+}
+
+// take removes and returns the forming batch (nil when empty).
+func (p *batchPolicy) take() []*request {
+	b := p.forming
+	p.forming = nil
+	return b
+}
+
+// pending returns the number of requests in the forming batch.
+func (p *batchPolicy) pending() int { return len(p.forming) }
+
+// batchLoop is the batcher goroutine: it drains the admission queue through
+// the batchPolicy and dispatches formed batches to the replica pool. All
+// waiting is on channels — the admission queue and a linger timer from the
+// injected clock — never on a sleep.
+func (s *Server) batchLoop() {
+	pol := &batchPolicy{maxBatch: s.cfg.MaxBatch, maxLinger: s.cfg.MaxLinger}
+	var lingerC <-chan time.Time
+
+	flush := func() {
+		b := pol.take()
+		lingerC = nil
+		if len(b) > 0 {
+			s.dispatch(b)
+		}
+	}
+
+	// sizeFlush dispatches a batch the policy already took on size flush.
+	sizeFlush := func(b []*request) {
+		lingerC = nil
+		s.dispatch(b)
+	}
+
+	for {
+		if pol.pending() == 0 {
+			// Idle: nothing forming, so no timer — just wait for work.
+			req, ok := <-s.in
+			if !ok {
+				return
+			}
+			if b := s.admit(pol, req); b != nil {
+				sizeFlush(b)
+			} else if pol.pending() > 0 {
+				// First request of a new batch: arm the linger timer once.
+				// BlockUntilWaiters(1) on a VirtualClock observes this arm,
+				// which is what makes the linger tests race-free.
+				lingerC = s.clock.After(s.cfg.MaxLinger)
+			}
+			continue
+		}
+		select {
+		case req, ok := <-s.in:
+			if !ok {
+				flush() // drain: the partial batch still ships
+				return
+			}
+			if b := s.admit(pol, req); b != nil {
+				sizeFlush(b)
+			}
+		case <-lingerC:
+			// The timer was armed at firstAt, so firing means the oldest
+			// request has lingered exactly MaxLinger.
+			flush()
+		}
+	}
+}
+
+// admit screens one request (deadline already missed while queued?) and
+// feeds it to the policy, returning the batch if the admission size-flushed.
+func (s *Server) admit(pol *batchPolicy, req *request) []*request {
+	if req.expired(s.clock.Now()) {
+		s.fail(req, ErrDeadline)
+		return nil
+	}
+	return pol.admit(req, s.clock.Now())
+}
+
+// dispatch ships one formed batch to the replica pool, dropping requests
+// whose deadline passed while the batch was forming. Blocks while the pool
+// backlog is at MaxPendingBatches — that stall is what backs pressure up
+// into the admission queue.
+func (s *Server) dispatch(reqs []*request) {
+	now := s.clock.Now()
+	alive := reqs[:0]
+	for _, r := range reqs {
+		if r.expired(now) {
+			s.fail(r, ErrDeadline)
+			continue
+		}
+		alive = append(alive, r)
+	}
+	if len(alive) == 0 {
+		return
+	}
+	s.nBatches.Add(1)
+	s.nSamples.Add(int64(len(alive)))
+	if s.obs.Enabled() {
+		s.obs.Count("serve.batches", 1)
+		// The batch-size histogram reuses the timer reservoir with the
+		// request count as the "seconds" value.
+		s.obs.Registry.Timer("serve.batch_size").ObserveSeconds(float64(len(alive)))
+	}
+	s.pool.push(&batch{reqs: alive})
+}

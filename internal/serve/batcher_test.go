@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// testNet builds a small deterministic model; the same (inDim, seed) always
+// yields bit-identical weights, so tests can rebuild it as a reference.
+func testNet(inDim int) *nn.Net {
+	return nn.MLP(inDim, []int{4}, 2, nn.ReLU, rng.New(11))
+}
+
+func polReq(id int) *request {
+	return &request{x: []float64{float64(id)}, done: make(chan Result, 1)}
+}
+
+// --- pure policy: exact compositions with explicit timestamps ---
+
+func TestPolicySizeFlushExactComposition(t *testing.T) {
+	t0 := time.Unix(0, 0).UTC()
+	pol := &batchPolicy{maxBatch: 3, maxLinger: time.Second}
+	a, b, c, d := polReq(0), polReq(1), polReq(2), polReq(3)
+
+	if got := pol.admit(a, t0); got != nil {
+		t.Fatalf("admit #1 flushed %d requests, want none", len(got))
+	}
+	if got := pol.admit(b, t0.Add(time.Millisecond)); got != nil {
+		t.Fatalf("admit #2 flushed %d requests, want none", len(got))
+	}
+	got := pol.admit(c, t0.Add(2*time.Millisecond))
+	if len(got) != 3 || got[0] != a || got[1] != b || got[2] != c {
+		t.Fatalf("size flush composition = %v, want exactly [a b c] in order", got)
+	}
+	if pol.pending() != 0 {
+		t.Fatalf("pending = %d after size flush, want 0", pol.pending())
+	}
+
+	// The next admission starts a fresh batch with a fresh linger deadline.
+	t1 := t0.Add(10 * time.Millisecond)
+	if got := pol.admit(d, t1); got != nil {
+		t.Fatalf("admit after flush flushed %d requests, want none", len(got))
+	}
+	dl, ok := pol.deadline()
+	if !ok || !dl.Equal(t1.Add(time.Second)) {
+		t.Fatalf("new batch deadline = %v ok=%v, want %v", dl, ok, t1.Add(time.Second))
+	}
+}
+
+func TestPolicyLingerDeadlineTracksOldestRequest(t *testing.T) {
+	t0 := time.Unix(0, 0).UTC()
+	pol := &batchPolicy{maxBatch: 8, maxLinger: 5 * time.Millisecond}
+	a, b := polReq(0), polReq(1)
+
+	pol.admit(a, t0)
+	pol.admit(b, t0.Add(3*time.Millisecond))
+	dl, ok := pol.deadline()
+	if !ok || !dl.Equal(t0.Add(5*time.Millisecond)) {
+		t.Fatalf("deadline = %v ok=%v, want %v (set by the oldest request)",
+			dl, ok, t0.Add(5*time.Millisecond))
+	}
+	if pol.due(t0.Add(5*time.Millisecond - time.Nanosecond)) {
+		t.Fatal("due one nanosecond before the linger bound")
+	}
+	if !pol.due(t0.Add(5 * time.Millisecond)) {
+		t.Fatal("not due exactly at the linger bound")
+	}
+	got := pol.take()
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("take composition = %v, want exactly [a b]", got)
+	}
+	if _, ok := pol.deadline(); ok {
+		t.Fatal("deadline still set after take")
+	}
+}
+
+// --- end-to-end on a VirtualClock: exact compositions, exact latencies ---
+
+// lingerServer builds a server on an unbuffered admission queue and a
+// virtual clock, the configuration under which every submit is a rendezvous
+// with the batcher and time only moves when the test advances it.
+func lingerServer(t *testing.T, cfg Config) (*Server, *VirtualClock) {
+	t.Helper()
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	cfg.InDim = 3
+	cfg.QueueCap = -1
+	cfg.Clock = vc
+	srv, err := New(testNet(3), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, vc
+}
+
+func TestServerLingerFlushExactComposition(t *testing.T) {
+	srv, vc := lingerServer(t, Config{MaxBatch: 8, MaxLinger: 5 * time.Millisecond})
+
+	x1 := []float64{1, 2, 3}
+	x2 := []float64{4, 5, 6}
+	ch1 := srv.submitBlocking(x1, time.Time{})
+	// The batcher arms its linger timer in the same loop iteration that
+	// admits the first request; once the timer is armed the request is
+	// provably inside the policy, so Advance cannot race the admission.
+	vc.BlockUntilWaiters(1)
+	ch2 := srv.submitBlocking(x2, time.Time{})
+
+	vc.Advance(5 * time.Millisecond)
+	res1, res2 := <-ch1, <-ch2
+	for i, res := range []Result{res1, res2} {
+		if res.Err != nil {
+			t.Fatalf("result %d: %v", i+1, res.Err)
+		}
+		if res.BatchSize != 2 {
+			t.Fatalf("result %d batch size = %d, want exactly 2 (linger flush coalesced both)",
+				i+1, res.BatchSize)
+		}
+		if res.Latency != 5*time.Millisecond {
+			t.Fatalf("result %d latency = %v, want exactly 5ms of virtual time", i+1, res.Latency)
+		}
+	}
+
+	// The batched forward must equal the reference single-row forward.
+	ref := testNet(3)
+	for i, x := range [][]float64{x1, x2} {
+		in := tensor.FromSlice(x, 1, len(x))
+		want := ref.Forward(in, false).Row(0).Data
+		got := []Result{res1, res2}[i].Y
+		if len(got) != len(want) {
+			t.Fatalf("result %d: output dim %d, want %d", i+1, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("result %d output[%d] = %v, want %v (batched != single-row forward)",
+					i+1, j, got[j], want[j])
+			}
+		}
+	}
+
+	st := srv.Stats()
+	if st.Batches != 1 || st.Completed != 2 || st.MeanBatch != 2 {
+		t.Fatalf("stats = %+v, want 1 batch / 2 completed / mean 2", st)
+	}
+}
+
+func TestServerSizeFlushExactComposition(t *testing.T) {
+	srv, vc := lingerServer(t, Config{MaxBatch: 2, MaxLinger: time.Hour})
+
+	ch1 := srv.submitBlocking([]float64{1, 0, 0}, time.Time{})
+	vc.BlockUntilWaiters(1)
+	ch2 := srv.submitBlocking([]float64{0, 1, 0}, time.Time{})
+
+	// No Advance: the batch must flush on size alone, at zero virtual time.
+	res1, res2 := <-ch1, <-ch2
+	for i, res := range []Result{res1, res2} {
+		if res.Err != nil {
+			t.Fatalf("result %d: %v", i+1, res.Err)
+		}
+		if res.BatchSize != 2 {
+			t.Fatalf("result %d batch size = %d, want exactly MaxBatch=2", i+1, res.BatchSize)
+		}
+		if res.Latency != 0 {
+			t.Fatalf("result %d latency = %v, want 0 (no virtual time passed)", i+1, res.Latency)
+		}
+	}
+	if st := srv.Stats(); st.Batches != 1 || st.MeanBatch != 2 {
+		t.Fatalf("stats = %+v, want exactly one batch of mean size 2", st)
+	}
+}
+
+func TestServerMixedSizeAndLingerFlushes(t *testing.T) {
+	srv, vc := lingerServer(t, Config{MaxBatch: 2, MaxLinger: 5 * time.Millisecond})
+
+	// r1+r2 size-flush as a pair; r3 is left forming and must go out alone
+	// when its linger expires.
+	ch1 := srv.submitBlocking([]float64{1, 0, 0}, time.Time{})
+	vc.BlockUntilWaiters(1)
+	ch2 := srv.submitBlocking([]float64{0, 1, 0}, time.Time{})
+	if res := <-ch1; res.BatchSize != 2 || res.Err != nil {
+		t.Fatalf("r1 = %+v, want success in a batch of 2", res)
+	}
+	if res := <-ch2; res.BatchSize != 2 || res.Err != nil {
+		t.Fatalf("r2 = %+v, want success in a batch of 2", res)
+	}
+
+	ch3 := srv.submitBlocking([]float64{0, 0, 1}, time.Time{})
+	// r1's abandoned linger timer is still armed on the virtual clock, so
+	// r3's fresh timer is the second waiter.
+	vc.BlockUntilWaiters(2)
+	vc.Advance(5 * time.Millisecond)
+	res3 := <-ch3
+	if res3.Err != nil || res3.BatchSize != 1 {
+		t.Fatalf("r3 = %+v, want success in a linger-flushed batch of exactly 1", res3)
+	}
+	if res3.Latency != 5*time.Millisecond {
+		t.Fatalf("r3 latency = %v, want exactly the 5ms linger", res3.Latency)
+	}
+
+	st := srv.Stats()
+	if st.Batches != 2 || st.Completed != 3 {
+		t.Fatalf("stats = %+v, want 2 batches / 3 completed", st)
+	}
+	if st.MeanBatch != 1.5 {
+		t.Fatalf("mean batch = %v, want 1.5", st.MeanBatch)
+	}
+}
+
+func TestServerCloseDrainsPartialBatch(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	srv, err := New(testNet(3), Config{
+		InDim: 3, MaxBatch: 8, MaxLinger: time.Hour, QueueCap: -1, Clock: vc,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	var chans []<-chan Result
+	for i := 0; i < 3; i++ {
+		chans = append(chans, srv.submitBlocking([]float64{float64(i), 0, 0}, time.Time{}))
+	}
+	srv.Close() // must flush the forming batch of 3, not drop it
+
+	for i, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			t.Fatalf("request %d after Close: %v", i, res.Err)
+		}
+		if res.BatchSize != 3 {
+			t.Fatalf("request %d batch size = %d, want the drained partial batch of 3",
+				i, res.BatchSize)
+		}
+	}
+	if st := srv.Stats(); st.Completed != 3 || st.Batches != 1 {
+		t.Fatalf("stats = %+v, want 3 completed in 1 batch", st)
+	}
+}

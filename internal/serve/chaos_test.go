@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// waitPending blocks (on the pool's condition variable, not a sleep) until
+// the pool backlog holds at least n batches.
+func waitPending(p *pool, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.pending < n {
+		p.cond.Wait()
+	}
+}
+
+// TestFaultReplicaKillRequeuesToSurvivor scripts a deterministic kill: with
+// sequential single-request batches, placement always tie-breaks to replica
+// 0, so the Kill(0, 2) plan fires exactly on the third request — which must
+// still succeed, re-homed to replica 1.
+func TestFaultReplicaKillRequeuesToSurvivor(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	srv, err := New(testNet(3), Config{
+		InDim:    3,
+		Replicas: 2,
+		MaxBatch: 1,
+		Clock:    vc,
+		Faults:   fault.NewPlan().Kill(0, 2),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	for i := 0; i < 6; i++ {
+		if _, err := srv.Infer([]float64{float64(i), 0, 0}); err != nil {
+			t.Fatalf("Infer %d: %v (a replica kill must never lose an admitted request)", i, err)
+		}
+	}
+
+	st := srv.Stats()
+	if st.ReplicaKills != 1 {
+		t.Fatalf("ReplicaKills = %d, want exactly 1", st.ReplicaKills)
+	}
+	if st.Requeued != 1 {
+		t.Fatalf("Requeued = %d, want 1 (the in-flight batch of the dying replica)", st.Requeued)
+	}
+	if st.LiveReplicas != 1 {
+		t.Fatalf("LiveReplicas = %d, want 1", st.LiveReplicas)
+	}
+	if st.Completed != 6 || st.Steals != 0 {
+		t.Fatalf("stats = %+v, want 6 completed with no steals", st)
+	}
+}
+
+// TestFaultHangThenStealRescuesBatch hangs both replicas, parks a batch in
+// busy replica 0's queue, then releases only replica 1 — which must steal
+// the parked batch rather than idle next to it. Every step synchronises on
+// virtual-clock waiters or the pool condition variable.
+func TestFaultHangThenStealRescuesBatch(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	srv, err := New(testNet(3), Config{
+		InDim:             3,
+		Replicas:          2,
+		MaxBatch:          1,
+		MaxPendingBatches: 4,
+		Clock:             vc,
+		Faults: fault.NewPlan().
+			Hang(0, 0, time.Hour).
+			Hang(1, 0, 10*time.Millisecond),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	x := []float64{1, 2, 3}
+	chA := srv.Submit(x, time.Time{}) // replica 0 takes it and hangs
+	vc.BlockUntilWaiters(1)
+	chB := srv.Submit(x, time.Time{}) // replica 1 takes it and hangs
+	vc.BlockUntilWaiters(2)
+	chC := srv.Submit(x, time.Time{}) // parks in a queue: both loads tie at 1
+	waitPending(srv.pool, 1)
+
+	vc.Advance(10 * time.Millisecond) // release only replica 1
+	if res := <-chB; res.Err != nil {
+		t.Fatalf("request B: %v", res.Err)
+	}
+	if res := <-chC; res.Err != nil {
+		t.Fatalf("request C (the batch that needed stealing): %v", res.Err)
+	}
+
+	vc.Advance(time.Hour) // release replica 0
+	if res := <-chA; res.Err != nil {
+		t.Fatalf("request A: %v", res.Err)
+	}
+	srv.Close()
+
+	st := srv.Stats()
+	if st.Steals != 1 {
+		t.Fatalf("Steals = %d, want exactly 1 (replica 1 rescued the parked batch)", st.Steals)
+	}
+	if st.Completed != 3 || st.ReplicaKills != 0 {
+		t.Fatalf("stats = %+v, want 3 completed and no kills", st)
+	}
+}
+
+// TestChaosConcurrentClientsSurviveKill is the -race suite: many closed-loop
+// clients hammer the server on the real scheduler while the fault plan kills
+// a replica mid-load. Admitted requests must all succeed; totals must
+// balance exactly.
+//
+// The plan also slows replicas 0 and 1 with scripted per-batch stalls. That
+// keeps them busy while the first wave of batches arrives, which forces the
+// least-loaded placement to route work to replica 2 — so its Kill(2, 1)
+// step is reached on every scheduler interleaving, not just lucky ones.
+func TestChaosConcurrentClientsSurviveKill(t *testing.T) {
+	const (
+		clients    = 16
+		perClient  = 25
+		totalInfer = clients * perClient
+	)
+	plan := fault.NewPlan().Kill(2, 1)
+	for step := 0; step < totalInfer; step++ {
+		plan.Hang(0, step, time.Millisecond)
+		plan.Hang(1, step, time.Millisecond)
+	}
+	srv, err := New(testNet(3), Config{
+		InDim:     3,
+		Replicas:  3,
+		MaxBatch:  4,
+		MaxLinger: 200 * time.Microsecond,
+		QueueCap:  32,
+		Faults:    plan,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, totalInfer)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				y, err := srv.Infer([]float64{float64(c), float64(i), 1})
+				if err != nil {
+					errs <- err
+				} else if len(y) != 2 {
+					errs <- errors.New("wrong output dim")
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	srv.Close()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("closed-loop Infer failed under chaos: %v", err)
+	}
+
+	st := srv.Stats()
+	if st.Completed != totalInfer {
+		t.Fatalf("completed = %d, want %d", st.Completed, totalInfer)
+	}
+	if st.Submitted != totalInfer {
+		t.Fatalf("submitted = %d, want %d (Infer never sheds)", st.Submitted, totalInfer)
+	}
+	if st.ReplicaKills != 1 || st.LiveReplicas != 2 {
+		t.Fatalf("kills=%d live=%d, want the scripted single kill", st.ReplicaKills, st.LiveReplicas)
+	}
+	if st.MeanBatch < 1 || st.MeanBatch > 4 {
+		t.Fatalf("mean batch = %v, want within [1, MaxBatch=4]", st.MeanBatch)
+	}
+}
+
+// TestChaosOpenLoopAccountingBalances floods Submit from many goroutines
+// with a tiny queue; whatever interleaving the scheduler picks, every
+// request must resolve and the counters must add up exactly.
+func TestChaosOpenLoopAccountingBalances(t *testing.T) {
+	srv, err := New(testNet(3), Config{
+		InDim:             3,
+		Replicas:          2,
+		MaxBatch:          4,
+		MaxLinger:         100 * time.Microsecond,
+		QueueCap:          4,
+		MaxPendingBatches: 1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	const (
+		senders = 8
+		each    = 100
+		total   = senders * each
+	)
+	results := make(chan Result, total)
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				results <- <-srv.Submit([]float64{float64(g), float64(i), 0}, time.Time{})
+			}
+		}(g)
+	}
+	wg.Wait()
+	srv.Close()
+	close(results)
+
+	var ok, shed int64
+	for res := range results {
+		switch {
+		case res.Err == nil:
+			ok++
+		case errors.Is(res.Err, ErrOverloaded):
+			shed++
+		default:
+			t.Fatalf("unexpected error: %v", res.Err)
+		}
+	}
+	if ok+shed != total {
+		t.Fatalf("ok(%d)+shed(%d) != %d", ok, shed, total)
+	}
+	st := srv.Stats()
+	if st.Completed != ok || st.Shed != shed {
+		t.Fatalf("stats %+v disagree with observed ok=%d shed=%d", st, ok, shed)
+	}
+	if st.Submitted != ok {
+		t.Fatalf("submitted = %d, want %d (every admitted request completed)", st.Submitted, ok)
+	}
+}

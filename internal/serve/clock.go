@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the serving layer. The production server runs on
+// the wall clock; every test that asserts a latency, a linger flush, or a
+// deadline runs on a *VirtualClock instead, so CI never sleeps and never
+// flakes. Only two operations are needed: reading now and arming a one-shot
+// timer.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that receives the clock's time once at least
+	// d has elapsed. The channel has capacity 1 so an abandoned timer never
+	// blocks the clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the wall clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// VirtualClock is a manually advanced clock for deterministic tests. Time
+// only moves when Advance is called; armed timers fire synchronously inside
+// Advance, in deadline order. BlockUntilWaiters gives tests an event (not
+// sleep) based way to wait for the server to arm its linger timer before
+// advancing past it.
+type VirtualClock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	waiters []vcWaiter
+}
+
+type vcWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	c := &VirtualClock{now: start}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After arms a one-shot timer d from the current virtual time. A timer with
+// d <= 0 fires immediately.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, vcWaiter{at: c.now.Add(d), ch: ch})
+	c.cond.Broadcast()
+	return ch
+}
+
+// Advance moves virtual time forward by d and fires every timer whose
+// deadline has been reached, in deadline order (ties fire in arming order).
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	sort.SliceStable(c.waiters, func(i, j int) bool {
+		return c.waiters[i].at.Before(c.waiters[j].at)
+	})
+	keep := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w.at.After(c.now) {
+			keep = append(keep, w)
+			continue
+		}
+		w.ch <- c.now
+	}
+	c.waiters = append([]vcWaiter(nil), keep...)
+}
+
+// Waiters returns the number of armed, not-yet-fired timers.
+func (c *VirtualClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// BlockUntilWaiters blocks until at least n timers are armed. It is the
+// synchronisation point tests use between "submit a request" and "advance
+// past the linger bound": once the batcher has armed its linger timer the
+// request is provably buffered, so an Advance cannot race the admission.
+func (c *VirtualClock) BlockUntilWaiters(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.waiters) < n {
+		c.cond.Wait()
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvanceFiresInDeadlineOrder(t *testing.T) {
+	t0 := time.Unix(0, 0).UTC()
+	c := NewVirtualClock(t0)
+	if !c.Now().Equal(t0) {
+		t.Fatalf("Now = %v, want %v", c.Now(), t0)
+	}
+
+	late := c.After(5 * time.Millisecond)
+	early := c.After(2 * time.Millisecond)
+	if n := c.Waiters(); n != 2 {
+		t.Fatalf("Waiters = %d, want 2", n)
+	}
+
+	c.Advance(3 * time.Millisecond)
+	select {
+	case at := <-early:
+		if want := t0.Add(3 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("early fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("early timer did not fire after Advance(3ms)")
+	}
+	select {
+	case <-late:
+		t.Fatal("late timer fired before its deadline")
+	default:
+	}
+	if n := c.Waiters(); n != 1 {
+		t.Fatalf("Waiters = %d after partial fire, want 1", n)
+	}
+
+	c.Advance(2 * time.Millisecond) // now exactly at the 5ms deadline
+	select {
+	case <-late:
+	default:
+		t.Fatal("late timer did not fire at its exact deadline")
+	}
+}
+
+func TestVirtualClockAfterNonPositiveFiresImmediately(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(negative) did not fire immediately")
+	}
+	if n := c.Waiters(); n != 0 {
+		t.Fatalf("Waiters = %d, want 0", n)
+	}
+}
+
+func TestVirtualClockBlockUntilWaiters(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0).UTC())
+	armed := make(chan struct{})
+	go func() {
+		c.BlockUntilWaiters(1)
+		close(armed)
+	}()
+	select {
+	case <-armed:
+		t.Fatal("BlockUntilWaiters returned before any timer was armed")
+	default:
+	}
+	c.After(time.Millisecond)
+	<-armed // must unblock now; the test hangs (and times out) if broken
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// RunLive executes one load test against a real concurrent Server — real
+// goroutines, real forward passes, the wall clock. It is the companion to
+// RunLoad: the simulator proves the policy's shape bit-deterministically,
+// the live run demonstrates the same server under true concurrency. Its
+// latencies are therefore NOT reproducible across runs; committed benchmark
+// artifacts come from RunLoad.
+func RunLive(net *nn.Net, inDim int, cfg LoadConfig) (*LoadReport, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	srv, err := New(net, Config{
+		Replicas:          cfg.Replicas,
+		MaxBatch:          cfg.MaxBatch,
+		MaxLinger:         cfg.MaxLinger,
+		QueueCap:          cfg.QueueCap,
+		MaxPendingBatches: cfg.MaxPendingBatches,
+		InDim:             inDim,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	r := rng.New(cfg.Seed).Split("serve-live")
+	x := make([]float64, inDim)
+	feat := r.Split("features")
+	for i := range x {
+		x[i] = feat.Float64()
+	}
+
+	start := time.Now()
+	results := make(chan Result, cfg.Requests)
+	var wg sync.WaitGroup
+
+	if cfg.Closed {
+		for c := 0; c < cfg.Clients; c++ {
+			n := cfg.Requests / cfg.Clients
+			if c < cfg.Requests%cfg.Clients {
+				n++
+			}
+			think := r.Split(fmt.Sprintf("think%d", c))
+			wg.Add(1)
+			go func(n int, think *rng.Stream) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					var dl time.Time
+					if cfg.Deadline > 0 {
+						dl = time.Now().Add(cfg.Deadline)
+					}
+					results <- <-srv.submitBlocking(x, dl)
+					if cfg.ThinkMean > 0 {
+						time.Sleep(time.Duration(think.Exp(1 / float64(cfg.ThinkMean))))
+					}
+				}
+			}(n, think)
+		}
+	} else {
+		arr := r.Split("arrivals")
+		for i := 0; i < cfg.Requests; i++ {
+			time.Sleep(time.Duration(arr.Exp(cfg.RatePerSec / float64(time.Second))))
+			var dl time.Time
+			if cfg.Deadline > 0 {
+				dl = time.Now().Add(cfg.Deadline)
+			}
+			ch := srv.Submit(x, dl)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results <- <-ch
+			}()
+		}
+	}
+	wg.Wait()
+	close(results)
+	wall := time.Since(start).Seconds()
+
+	rep := &LoadReport{
+		Seed:        cfg.Seed,
+		Requests:    cfg.Requests,
+		Replicas:    cfg.Replicas,
+		MaxBatch:    cfg.MaxBatch,
+		LingerMs:    float64(cfg.MaxLinger) / float64(time.Millisecond),
+		QueueCap:    cfg.QueueCap,
+		WallSeconds: wall,
+	}
+	rep.Mode = "open-live"
+	rep.OfferedRPS = cfg.RatePerSec
+	if cfg.Closed {
+		rep.Mode = "closed-live"
+		rep.OfferedRPS = 0
+	}
+	if cfg.Deadline > 0 {
+		rep.DeadlineMs = float64(cfg.Deadline) / float64(time.Millisecond)
+	}
+
+	var latencies []float64
+	for res := range results {
+		switch res.Err {
+		case nil:
+			rep.Completed++
+			latencies = append(latencies, res.Latency.Seconds())
+		case ErrOverloaded:
+			rep.Shed++
+		case ErrDeadline:
+			rep.Expired++
+		default:
+			return nil, fmt.Errorf("serve: live load run hit %w", res.Err)
+		}
+	}
+	srv.Close()
+	st := srv.Stats()
+	rep.Batches = int(st.Batches)
+	rep.MeanBatch = st.MeanBatch
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.Completed) / wall
+	}
+	fillLatencies(rep, latencies)
+	return rep, nil
+}
+
+// fillLatencies sorts the latency sample (seconds) into the report's
+// millisecond summary fields.
+func fillLatencies(rep *LoadReport, latencies []float64) {
+	if len(latencies) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, l := range sorted {
+		sum += l
+	}
+	rep.LatencyMeanMs = sum / float64(len(sorted)) * 1e3
+	rep.LatencyP50Ms = percentile(sorted, 0.50) * 1e3
+	rep.LatencyP95Ms = percentile(sorted, 0.95) * 1e3
+	rep.LatencyP99Ms = percentile(sorted, 0.99) * 1e3
+	rep.LatencyMaxMs = sorted[len(sorted)-1] * 1e3
+}

@@ -1,0 +1,495 @@
+package serve
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// This file is the deterministic load-test harness: a discrete-event
+// simulation of the serving pipeline on virtual time. It drives the same
+// batchPolicy state machine the concurrent server runs, with the same
+// stage caps (admission queue, pool backlog, replica count), so the batch
+// compositions and shedding behaviour it reports are the production
+// policy's — but arrivals, service times, and therefore every latency in
+// the report are pure functions of the seed. Identical seeds give
+// bit-identical reports, which is what lets CI assert p99s without flaking.
+//
+// The replica pool is modelled as R servers draining one shared FIFO; with
+// work stealing, per-replica queues behave identically (an idle replica
+// never sits next to a non-empty queue), so the collapse loses nothing.
+
+// ServiceModel is the deterministic cost of executing one batch on a
+// replica: Base + PerSample*batch, optionally scaled by seeded lognormal
+// jitter. It stands in for the real forward pass the way the machine model
+// stands in for real accelerators — the shapes (batching amortises Base)
+// are what matter.
+type ServiceModel struct {
+	// Base is the fixed per-batch overhead (dispatch, tensor assembly,
+	// kernel launch analogue).
+	Base time.Duration
+	// PerSample is the marginal cost of one more request in the batch.
+	PerSample time.Duration
+	// JitterSigma, when positive, multiplies each service time by a
+	// lognormal factor with the given sigma (median 1). Seeded, so still
+	// deterministic.
+	JitterSigma float64
+}
+
+// DefaultServiceModel is sized like a small MLP forward on one core:
+// batching amortises a dominant fixed overhead.
+func DefaultServiceModel() ServiceModel {
+	return ServiceModel{Base: 2 * time.Millisecond, PerSample: 250 * time.Microsecond}
+}
+
+// batchTime returns the service time for a batch of n requests.
+func (m ServiceModel) batchTime(n int, r *rng.Stream) time.Duration {
+	d := float64(m.Base) + float64(m.PerSample)*float64(n)
+	if m.JitterSigma > 0 {
+		d *= r.LogNormal(0, m.JitterSigma)
+	}
+	return time.Duration(d)
+}
+
+// CapacityRPS returns the analytic saturation throughput of the modelled
+// pool: replicas * maxBatch / batchTime(maxBatch), ignoring jitter. The
+// load-test "knee" sits at this rate.
+func (m ServiceModel) CapacityRPS(replicas, maxBatch int) float64 {
+	bt := float64(m.Base) + float64(m.PerSample)*float64(maxBatch)
+	return float64(replicas) * float64(maxBatch) / (bt / float64(time.Second))
+}
+
+// LoadConfig describes one deterministic load test.
+type LoadConfig struct {
+	// Requests is the total number of requests to issue.
+	Requests int
+	// Closed selects the generator: false = open loop (seeded Poisson
+	// arrivals at RatePerSec, shed when overloaded), true = closed loop
+	// (Clients concurrent callers, each blocking for its response and then
+	// thinking for an exponential ThinkMean before the next call).
+	Closed bool
+	// RatePerSec is the open-loop offered load.
+	RatePerSec float64
+	// Clients and ThinkMean parameterise the closed loop.
+	Clients   int
+	ThinkMean time.Duration
+	// Deadline, when positive, is each request's completion deadline.
+	Deadline time.Duration
+
+	// Server shape (same semantics as Config).
+	Replicas          int
+	MaxBatch          int
+	MaxLinger         time.Duration
+	QueueCap          int
+	MaxPendingBatches int
+
+	// Service is the replica cost model (zero value = DefaultServiceModel).
+	Service ServiceModel
+	// Seed makes the run reproducible bit-for-bit.
+	Seed uint64
+}
+
+func (c *LoadConfig) withDefaults() error {
+	if c.Requests <= 0 {
+		return fmt.Errorf("serve: load test needs Requests > 0")
+	}
+	if c.Closed {
+		if c.Clients <= 0 {
+			c.Clients = 8
+		}
+	} else if c.RatePerSec <= 0 {
+		return fmt.Errorf("serve: open-loop load test needs RatePerSec > 0")
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxLinger <= 0 {
+		c.MaxLinger = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.MaxPendingBatches <= 0 {
+		c.MaxPendingBatches = 2 * c.Replicas
+	}
+	if c.Service == (ServiceModel{}) {
+		c.Service = DefaultServiceModel()
+	}
+	return nil
+}
+
+// LoadReport summarises a load test. All fields are deterministic functions
+// of the LoadConfig (see BENCH_serve.json for a committed example).
+type LoadReport struct {
+	Mode          string  `json:"mode"`
+	Seed          uint64  `json:"seed"`
+	Requests      int     `json:"requests"`
+	Completed     int     `json:"completed"`
+	Shed          int     `json:"shed"`
+	Expired       int     `json:"expired"`
+	Batches       int     `json:"batches"`
+	MeanBatch     float64 `json:"mean_batch"`
+	OfferedRPS    float64 `json:"offered_rps"`
+	CapacityRPS   float64 `json:"capacity_rps"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	WallSeconds   float64 `json:"wall_seconds"`
+
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	LatencyMaxMs  float64 `json:"latency_max_ms"`
+
+	Replicas  int     `json:"replicas"`
+	MaxBatch  int     `json:"max_batch"`
+	LingerMs  float64 `json:"linger_ms"`
+	QueueCap  int     `json:"queue_cap"`
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+}
+
+// event kinds, ordered for deterministic tie-breaking at equal times.
+const (
+	evArrival = iota
+	evLinger
+	evDone
+)
+
+type simEvent struct {
+	at   time.Time
+	seq  int // arrival order; breaks time ties deterministically
+	kind int
+	req  *request // evArrival
+	gen  int      // evLinger: policy generation that armed this timer
+	b    []*request
+	cl   int // closed loop: client issuing/completing
+}
+
+type eventHeap []*simEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*simEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// loadSim is the simulation state: the pipeline stages of the real server
+// with the concurrency replaced by an event loop.
+type loadSim struct {
+	cfg   LoadConfig
+	r     *rng.Stream
+	now   time.Time
+	seq   int
+	queue eventHeap
+
+	admission []*request // bounded by QueueCap
+	blocked   []*simEvent // closed-loop arrivals waiting for admission space
+	pol       batchPolicy
+	polGen    int        // invalidates linger timers of flushed batches
+	batchQ    [][]*request
+	stalled   []*request // batch the batcher holds while the pool is full
+	freeRep   int
+
+	issued    int
+	completed int
+	shed      int
+	expired   int
+	batches   int
+	samples   int
+	latencies []float64 // seconds
+	lastDone  time.Time
+}
+
+// RunLoad executes one deterministic load test and returns its report.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	s := &loadSim{
+		cfg: cfg,
+		r:   rng.New(cfg.Seed).Split("serve-load"),
+		now: time.Unix(0, 0).UTC(),
+		pol: batchPolicy{maxBatch: cfg.MaxBatch, maxLinger: cfg.MaxLinger},
+		freeRep: cfg.Replicas,
+	}
+	s.seed()
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*simEvent)
+		s.now = e.at
+		switch e.kind {
+		case evArrival:
+			s.arrive(e)
+		case evLinger:
+			// A stalled batcher is blocked inside pool.push in the real
+			// server: it only sees the fired timer once unblocked, so the
+			// overdue flush happens in done() instead.
+			if e.gen == s.polGen && s.stalled == nil && s.pol.due(s.now) {
+				s.flush()
+				s.pump()
+			}
+		case evDone:
+			s.done(e)
+		}
+	}
+	return s.report(), nil
+}
+
+// seed schedules the initial arrivals.
+func (s *loadSim) seed() {
+	if s.cfg.Closed {
+		think := s.r.Split("think")
+		for c := 0; c < s.cfg.Clients && s.issued < s.cfg.Requests; c++ {
+			// Stagger client starts by one think time so they do not all
+			// collide at t=0.
+			at := s.now
+			if s.cfg.ThinkMean > 0 {
+				at = at.Add(time.Duration(think.Exp(1 / float64(s.cfg.ThinkMean))))
+			}
+			s.scheduleArrival(at, c)
+		}
+		return
+	}
+	arr := s.r.Split("arrivals")
+	t := s.now
+	for i := 0; i < s.cfg.Requests; i++ {
+		t = t.Add(time.Duration(arr.Exp(s.cfg.RatePerSec / float64(time.Second))))
+		s.scheduleArrival(t, -1)
+	}
+}
+
+func (s *loadSim) scheduleArrival(at time.Time, client int) {
+	if s.issued >= s.cfg.Requests {
+		return
+	}
+	s.issued++
+	s.push(&simEvent{at: at, kind: evArrival, cl: client})
+}
+
+func (s *loadSim) push(e *simEvent) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// arrive admits one request, shedding (open loop) or blocking the client
+// (closed loop) when the admission queue is full.
+func (s *loadSim) arrive(e *simEvent) {
+	req := &request{arrived: s.now, deadline: s.deadlineFrom(s.now)}
+	e.req = req
+	if len(s.admission) >= s.cfg.QueueCap {
+		if s.cfg.Closed {
+			s.blocked = append(s.blocked, e) // Infer blocks: backpressure
+			return
+		}
+		s.shed++ // Submit sheds: ErrOverloaded
+		return
+	}
+	s.admission = append(s.admission, req)
+	s.pump()
+}
+
+func (s *loadSim) deadlineFrom(t time.Time) time.Time {
+	if s.cfg.Deadline <= 0 {
+		return time.Time{}
+	}
+	return t.Add(s.cfg.Deadline)
+}
+
+// pump advances the batcher: it drains the admission queue through the
+// policy until the queue is empty or the batcher stalls on a full pool.
+func (s *loadSim) pump() {
+	for len(s.admission) > 0 && s.stalled == nil {
+		req := s.admission[0]
+		s.admission = s.admission[1:]
+		s.unblockOne()
+		if req.expired(s.now) {
+			s.expired++
+			continue
+		}
+		first := s.pol.pending() == 0
+		flushed := s.pol.admit(req, s.now)
+		if flushed != nil {
+			s.dispatch(flushed)
+			continue
+		}
+		if first {
+			s.push(&simEvent{at: s.now.Add(s.cfg.MaxLinger), kind: evLinger, gen: s.polGen})
+		}
+	}
+}
+
+// unblockOne moves the oldest blocked closed-loop arrival into the freed
+// admission slot.
+func (s *loadSim) unblockOne() {
+	if len(s.blocked) == 0 {
+		return
+	}
+	e := s.blocked[0]
+	s.blocked = s.blocked[1:]
+	s.admission = append(s.admission, e.req)
+}
+
+// flush force-dispatches the forming batch (linger fired).
+func (s *loadSim) flush() {
+	if b := s.pol.take(); len(b) > 0 {
+		s.dispatch(b)
+	}
+}
+
+// dispatch moves one formed batch toward the replicas, mirroring
+// Server.dispatch + pool.push: expired requests drop here, a free replica
+// starts service, a full pool stalls the batcher.
+func (s *loadSim) dispatch(b []*request) {
+	s.polGen++
+	alive := b[:0]
+	for _, r := range b {
+		if r.expired(s.now) {
+			s.expired++
+			continue
+		}
+		alive = append(alive, r)
+	}
+	if len(alive) == 0 {
+		return
+	}
+	s.batches++
+	s.samples += len(alive)
+	switch {
+	case s.freeRep > 0:
+		s.startService(alive)
+	case len(s.batchQ) < s.cfg.MaxPendingBatches:
+		s.batchQ = append(s.batchQ, alive)
+	default:
+		s.stalled = alive
+	}
+}
+
+// startService begins executing one batch on a free replica, re-checking
+// deadlines the way pool.execute does.
+func (s *loadSim) startService(b []*request) {
+	alive := b[:0]
+	for _, r := range b {
+		if r.expired(s.now) {
+			s.expired++
+			continue
+		}
+		alive = append(alive, r)
+	}
+	if len(alive) == 0 {
+		return
+	}
+	s.freeRep--
+	d := s.cfg.Service.batchTime(len(alive), s.r)
+	s.push(&simEvent{at: s.now.Add(d), kind: evDone, b: alive})
+}
+
+// done completes a batch: records latencies, frees the replica, and pulls
+// the next work item through the stalled-batcher / pool-queue stages.
+func (s *loadSim) done(e *simEvent) {
+	for _, req := range e.b {
+		s.completed++
+		s.latencies = append(s.latencies, s.now.Sub(req.arrived).Seconds())
+		s.clientNext(req)
+	}
+	s.lastDone = s.now
+	s.freeRep++
+	if s.stalled != nil {
+		b := s.stalled
+		s.stalled = nil
+		switch {
+		case s.freeRep > 0 && len(s.batchQ) == 0:
+			s.startService(b)
+		default:
+			s.batchQ = append(s.batchQ, b)
+		}
+	}
+	for s.freeRep > 0 && len(s.batchQ) > 0 {
+		b := s.batchQ[0]
+		s.batchQ = s.batchQ[1:]
+		s.startService(b)
+	}
+	if s.stalled == nil && s.pol.due(s.now) {
+		// The linger timer fired while the batcher was stalled; now that it
+		// is unblocked the overdue batch flushes immediately.
+		s.flush()
+	}
+	s.pump()
+}
+
+// clientNext schedules the closed-loop follow-up request after think time.
+func (s *loadSim) clientNext(req *request) {
+	if !s.cfg.Closed || s.issued >= s.cfg.Requests {
+		return
+	}
+	at := s.now
+	if s.cfg.ThinkMean > 0 {
+		at = at.Add(time.Duration(s.r.Exp(1 / float64(s.cfg.ThinkMean))))
+	}
+	s.scheduleArrival(at, 0)
+}
+
+func (s *loadSim) report() *LoadReport {
+	rep := &LoadReport{
+		Seed:     s.cfg.Seed,
+		Requests: s.cfg.Requests,
+		Completed: s.completed,
+		Shed:     s.shed,
+		Expired:  s.expired,
+		Batches:  s.batches,
+		Replicas: s.cfg.Replicas,
+		MaxBatch: s.cfg.MaxBatch,
+		LingerMs: float64(s.cfg.MaxLinger) / float64(time.Millisecond),
+		QueueCap: s.cfg.QueueCap,
+		CapacityRPS: s.cfg.Service.CapacityRPS(s.cfg.Replicas, s.cfg.MaxBatch),
+	}
+	rep.Mode = "open"
+	rep.OfferedRPS = s.cfg.RatePerSec
+	if s.cfg.Closed {
+		rep.Mode = "closed"
+		rep.OfferedRPS = 0
+	}
+	if s.cfg.Deadline > 0 {
+		rep.DeadlineMs = float64(s.cfg.Deadline) / float64(time.Millisecond)
+	}
+	if s.batches > 0 {
+		rep.MeanBatch = float64(s.samples) / float64(s.batches)
+	}
+	wall := s.lastDone.Sub(time.Unix(0, 0).UTC()).Seconds()
+	rep.WallSeconds = wall
+	if wall > 0 {
+		rep.ThroughputRPS = float64(s.completed) / wall
+	}
+	fillLatencies(rep, s.latencies)
+	return rep
+}
+
+// percentile returns the q-th quantile of sorted values (linear
+// interpolation between neighbouring ranks, matching internal/obs).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

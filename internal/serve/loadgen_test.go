@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func loadCfg(seed uint64) LoadConfig {
+	return LoadConfig{
+		Requests:          2000,
+		RatePerSec:        2000,
+		Replicas:          2,
+		MaxBatch:          8,
+		MaxLinger:         2 * time.Millisecond,
+		QueueCap:          64,
+		MaxPendingBatches: 4,
+		Seed:              seed,
+	}
+}
+
+func TestLoadReportBitIdenticalAcrossRuns(t *testing.T) {
+	a, err := RunLoad(loadCfg(42))
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	b, err := RunLoad(loadCfg(42))
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same seed produced different reports:\n%s\n%s", ja, jb)
+	}
+
+	c, err := RunLoad(loadCfg(43))
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	jc, _ := json.Marshal(c)
+	if bytes.Equal(ja, jc) {
+		t.Fatal("different seeds produced bit-identical reports — arrivals are not seeded")
+	}
+}
+
+func TestLoadOpenLoopBelowKneeNeverSheds(t *testing.T) {
+	cfg := loadCfg(7)
+	cfg.Service = DefaultServiceModel()
+	knee := cfg.Service.CapacityRPS(cfg.Replicas, cfg.MaxBatch)
+	cfg.RatePerSec = 0.5 * knee
+	rep, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Shed != 0 || rep.Expired != 0 {
+		t.Fatalf("below the knee: shed=%d expired=%d, want 0/0", rep.Shed, rep.Expired)
+	}
+	if rep.Completed != cfg.Requests {
+		t.Fatalf("completed = %d, want all %d", rep.Completed, cfg.Requests)
+	}
+	if rep.MeanBatch < 1 || rep.MeanBatch > float64(cfg.MaxBatch) {
+		t.Fatalf("mean batch = %v, want within [1, %d]", rep.MeanBatch, cfg.MaxBatch)
+	}
+}
+
+func TestLoadOpenLoopAboveKneeShedsWithBoundedTail(t *testing.T) {
+	cfg := loadCfg(7)
+	cfg.Service = DefaultServiceModel()
+	knee := cfg.Service.CapacityRPS(cfg.Replicas, cfg.MaxBatch)
+	cfg.RatePerSec = 3 * knee
+	rep, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("3x over capacity but nothing shed — admission control is not bounding load")
+	}
+	if rep.Completed+rep.Shed+rep.Expired != cfg.Requests {
+		t.Fatalf("accounting: %d+%d+%d != %d",
+			rep.Completed, rep.Shed, rep.Expired, cfg.Requests)
+	}
+	// The whole point of bounded queues: even infinitely offered load cannot
+	// push the p99 past the time to drain a full pipeline.
+	depth := float64(cfg.QueueCap + (cfg.MaxPendingBatches+cfg.Replicas+2)*cfg.MaxBatch)
+	boundMs := depth/knee*1e3 + float64(cfg.MaxLinger)/1e6 + 10
+	if rep.LatencyP99Ms > boundMs {
+		t.Fatalf("p99 = %vms above the knee, want < %vms (bounded by pipeline depth)",
+			rep.LatencyP99Ms, boundMs)
+	}
+	// Throughput saturates near capacity rather than collapsing.
+	if rep.ThroughputRPS < 0.8*knee {
+		t.Fatalf("throughput %v rps under overload, want >= 80%% of capacity %v",
+			rep.ThroughputRPS, knee)
+	}
+}
+
+func TestLoadClosedLoopBlocksInsteadOfShedding(t *testing.T) {
+	cfg := LoadConfig{
+		Requests:  1500,
+		Closed:    true,
+		Clients:   32,
+		ThinkMean: time.Millisecond,
+		Replicas:  2,
+		MaxBatch:  8,
+		MaxLinger: 2 * time.Millisecond,
+		QueueCap:  8, // tiny on purpose: clients must block, not shed
+		Seed:      5,
+	}
+	rep, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Shed != 0 {
+		t.Fatalf("closed loop shed %d requests — Infer must block, never shed", rep.Shed)
+	}
+	if rep.Completed != cfg.Requests {
+		t.Fatalf("completed = %d, want all %d", rep.Completed, cfg.Requests)
+	}
+	if rep.Mode != "closed" {
+		t.Fatalf("mode = %q, want closed", rep.Mode)
+	}
+}
+
+func TestLoadTrickleLatencyIsLingerPlusService(t *testing.T) {
+	cfg := loadCfg(11)
+	cfg.Service = DefaultServiceModel()
+	// ~20 rps against a multi-thousand-rps pool: requests are isolated, so
+	// each one waits out its full linger and rides in a batch of 1.
+	cfg.RatePerSec = 20
+	cfg.Requests = 400
+	rep, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	single := float64(cfg.Service.Base+cfg.Service.PerSample) / 1e6 // ms
+	lingerMs := float64(cfg.MaxLinger) / 1e6
+	if rep.LatencyP50Ms < single || rep.LatencyP50Ms > lingerMs+2*single {
+		t.Fatalf("trickle p50 = %vms, want about linger(%vms)+service(%vms)",
+			rep.LatencyP50Ms, lingerMs, single)
+	}
+	if rep.MeanBatch > 1.5 {
+		t.Fatalf("trickle mean batch = %v, want mostly singleton batches", rep.MeanBatch)
+	}
+	if rep.Shed != 0 || rep.Expired != 0 {
+		t.Fatalf("trickle shed=%d expired=%d, want none", rep.Shed, rep.Expired)
+	}
+}
+
+func TestLoadDeadlineExpiresUnderOverload(t *testing.T) {
+	cfg := loadCfg(13)
+	cfg.Service = DefaultServiceModel()
+	cfg.RatePerSec = 4 * cfg.Service.CapacityRPS(cfg.Replicas, cfg.MaxBatch)
+	cfg.Deadline = 3 * time.Millisecond // tighter than the queueing delay
+	rep, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Expired == 0 {
+		t.Fatal("overloaded with a tight deadline but nothing expired")
+	}
+	if rep.Completed+rep.Shed+rep.Expired != cfg.Requests {
+		t.Fatalf("accounting: %d+%d+%d != %d",
+			rep.Completed, rep.Shed, rep.Expired, cfg.Requests)
+	}
+}
+
+func TestLoadConfigValidation(t *testing.T) {
+	if _, err := RunLoad(LoadConfig{}); err == nil {
+		t.Fatal("RunLoad accepted zero Requests")
+	}
+	if _, err := RunLoad(LoadConfig{Requests: 10}); err == nil {
+		t.Fatal("RunLoad accepted an open-loop config without a rate")
+	}
+}

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// batch is one formed tensor batch travelling from the batcher to a replica.
+type batch struct {
+	reqs []*request
+}
+
+// pool runs the model replicas. Each replica is a goroutine owning one
+// nn.Net clone and one FIFO work queue; the batcher pushes to the least
+// loaded live replica, and an idle replica steals from the back of the
+// longest queue. A single mutex guards all queues — batches arrive at
+// micro-batch granularity, so queue operations are far off the hot path
+// compared to the forward passes they schedule.
+type pool struct {
+	s    *Server
+	nets []*nn.Net
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [][]*batch
+	inflight []int // 0 or 1 per replica, counted in the load metric
+	live     []bool
+	nLive    int
+	pending  int // formed-but-unstarted batches across all queues
+	closed   bool
+
+	kills    int64
+	requeued int64
+	steals   int64
+
+	wg sync.WaitGroup
+}
+
+func newPool(s *Server, net *nn.Net) *pool {
+	p := &pool{
+		s:        s,
+		nets:     make([]*nn.Net, s.cfg.Replicas),
+		queues:   make([][]*batch, s.cfg.Replicas),
+		inflight: make([]int, s.cfg.Replicas),
+		live:     make([]bool, s.cfg.Replicas),
+		nLive:    s.cfg.Replicas,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	// Fully initialise the shared state before the first goroutine starts:
+	// replicas read live[] and nets[] as soon as they run.
+	for r := 0; r < s.cfg.Replicas; r++ {
+		p.nets[r] = net.Clone()
+		p.live[r] = true
+	}
+	for r := 0; r < s.cfg.Replicas; r++ {
+		p.wg.Add(1)
+		go func(r int) {
+			defer p.wg.Done()
+			p.replica(r)
+		}(r)
+	}
+	return p
+}
+
+// push hands one batch to the least loaded live replica, blocking while the
+// pool backlog is at MaxPendingBatches. That block is the backpressure
+// chain's middle link: the batcher stalls here, the admission queue fills
+// behind the batcher, and Submit starts shedding.
+func (p *pool) push(b *batch) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.pending >= p.s.cfg.MaxPendingBatches && !p.closed {
+		p.cond.Wait()
+	}
+	if p.nLive == 0 || p.closed {
+		// done channels are buffered, so failing under the lock is safe.
+		for _, r := range b.reqs {
+			p.s.fail(r, ErrClosed)
+		}
+		return
+	}
+	p.enqueueLocked(b)
+	p.cond.Broadcast()
+}
+
+// enqueueLocked appends b to the least loaded live replica's queue
+// (load = queued batches + in-flight batch; ties go to the lowest id).
+func (p *pool) enqueueLocked(b *batch) {
+	best := -1
+	bestLoad := 0
+	for r := range p.queues {
+		if !p.live[r] {
+			continue
+		}
+		load := len(p.queues[r]) + p.inflight[r]
+		if best < 0 || load < bestLoad {
+			best, bestLoad = r, load
+		}
+	}
+	p.queues[best] = append(p.queues[best], b)
+	p.pending++
+	if p.s.obs.Enabled() {
+		p.s.obs.SetGauge("serve.pool_backlog", float64(p.pending))
+	}
+}
+
+// takeLocked returns work for replica r: the front of its own queue, or —
+// when idle — a batch stolen from the back of the longest other live queue.
+func (p *pool) takeLocked(r int) (b *batch, stolen bool) {
+	if q := p.queues[r]; len(q) > 0 {
+		b = q[0]
+		p.queues[r] = q[1:]
+	} else if v := p.victimLocked(r); v >= 0 {
+		q := p.queues[v]
+		b = q[len(q)-1]
+		p.queues[v] = q[:len(q)-1]
+		stolen = true
+	}
+	if b != nil {
+		p.pending--
+		p.inflight[r] = 1
+	}
+	return b, stolen
+}
+
+// victimLocked picks the steal victim: the live replica (other than r) with
+// the longest stealable queue, lowest id on ties. Returns -1 if none. A
+// single batch queued at an idle owner is not stealable — the owner is about
+// to take it anyway, so stealing it would be pure churn; stealing pays off
+// only when the owner is busy executing or backlogged.
+func (p *pool) victimLocked(r int) int {
+	best, bestLen := -1, 0
+	for v := range p.queues {
+		if v == r || !p.live[v] || len(p.queues[v]) == 0 {
+			continue
+		}
+		if len(p.queues[v]) == 1 && p.inflight[v] == 0 {
+			continue
+		}
+		if len(p.queues[v]) > bestLen {
+			best, bestLen = v, len(p.queues[v])
+		}
+	}
+	return best
+}
+
+// replica is one model replica's serving loop.
+func (p *pool) replica(r int) {
+	idx := 0 // per-replica batch index, the fault plan's "step"
+	for {
+		p.mu.Lock()
+		var b *batch
+		var stolen bool
+		for {
+			b, stolen = p.takeLocked(r)
+			if b != nil {
+				break
+			}
+			if p.closed && p.pending == 0 && p.inflightTotalLocked() == 0 {
+				// Drain complete. The in-flight check matters: a replica
+				// still executing could die and requeue its batch, so
+				// waiters may not exit while any batch is in flight.
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+		}
+		if stolen {
+			p.steals++
+			p.s.obs.Count("serve.steals", 1)
+		}
+		p.cond.Broadcast() // a backlog slot freed; wake a blocked push
+		p.mu.Unlock()
+
+		if p.s.cfg.Faults.KillAt(r, idx) {
+			p.die(r, b)
+			return
+		}
+		if d := p.s.cfg.Faults.HangAt(r, idx); d > 0 {
+			// Straggler injection: late but correct (clock-driven, so a
+			// VirtualClock test controls exactly how late).
+			<-p.s.clock.After(d)
+		}
+		idx++
+
+		p.execute(r, b)
+
+		p.mu.Lock()
+		p.inflight[r] = 0
+		if p.closed {
+			p.cond.Broadcast() // waiters blocked on the drain condition
+		}
+		p.mu.Unlock()
+	}
+}
+
+// inflightTotalLocked counts replicas currently executing a batch.
+func (p *pool) inflightTotalLocked() int {
+	total := 0
+	for _, f := range p.inflight {
+		total += f
+	}
+	return total
+}
+
+// die implements replica-kill tolerance, mirroring the elastic trainer's
+// re-shard: the dying replica hands its in-flight batch and queued backlog
+// to the surviving replicas, so an admitted request is never lost to a kill.
+func (p *pool) die(r int, inflight *batch) {
+	p.mu.Lock()
+	p.live[r] = false
+	p.nLive--
+	p.inflight[r] = 0
+	p.kills++
+	backlog := p.queues[r]
+	p.queues[r] = nil
+	p.pending -= len(backlog) // re-enqueue below re-counts them
+	toMove := append([]*batch{inflight}, backlog...)
+	var orphaned []*request
+	for _, b := range toMove {
+		if p.nLive == 0 {
+			orphaned = append(orphaned, b.reqs...)
+			continue
+		}
+		p.enqueueLocked(b)
+		p.requeued++
+	}
+	if p.s.obs.Enabled() {
+		p.s.obs.Count("serve.replica_killed", 1)
+		p.s.obs.SetGauge("serve.live_replicas", float64(p.nLive))
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, req := range orphaned {
+		p.s.fail(req, ErrClosed)
+	}
+}
+
+// execute runs one batch through replica r's model and answers each request
+// with its output row. Requests whose deadline passed while the batch sat in
+// the pool queue are failed without paying for their forward pass.
+func (p *pool) execute(r int, b *batch) {
+	now := p.s.clock.Now()
+	alive := b.reqs[:0]
+	for _, req := range b.reqs {
+		if req.expired(now) {
+			p.s.fail(req, ErrDeadline)
+			continue
+		}
+		alive = append(alive, req)
+	}
+	if len(alive) == 0 {
+		return
+	}
+	in := tensor.New(len(alive), p.s.cfg.InDim)
+	for i, req := range alive {
+		copy(in.Row(i).Data, req.x)
+	}
+	out := p.nets[r].Forward(in, false)
+	for i, req := range alive {
+		row := append([]float64(nil), out.Row(i).Data...)
+		p.s.complete(req, row, len(alive))
+	}
+}
+
+// close wakes every replica for the drain-and-exit path and waits for them.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// counters snapshots the pool's fault/steal accounting.
+func (p *pool) counters() (kills, requeued, steals int64, liveReplicas int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kills, p.requeued, p.steals, p.nLive
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// barePool fabricates pool state without running replica goroutines, so the
+// scheduling decisions (least-loaded placement, FIFO take, steal victim
+// choice) are tested as pure functions of the queue state.
+func barePool(replicas int) *pool {
+	p := &pool{
+		s:        &Server{cfg: Config{Replicas: replicas}},
+		queues:   make([][]*batch, replicas),
+		inflight: make([]int, replicas),
+		live:     make([]bool, replicas),
+		nLive:    replicas,
+	}
+	for r := range p.live {
+		p.live[r] = true
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func mkBatch(ids ...int) *batch {
+	b := &batch{}
+	for _, id := range ids {
+		b.reqs = append(b.reqs, polReq(id))
+	}
+	return b
+}
+
+func TestEnqueuePicksLeastLoadedReplica(t *testing.T) {
+	p := barePool(3)
+	p.queues[0] = []*batch{mkBatch(0)} // load 1
+	p.inflight[1] = 1                  // load 1: in-flight counts
+	b := mkBatch(9)
+	p.enqueueLocked(b)
+	if len(p.queues[2]) != 1 || p.queues[2][0] != b {
+		t.Fatalf("batch went to queues %v, want replica 2 (load 0)", p.queues)
+	}
+
+	// Ties break to the lowest id.
+	p2 := barePool(3)
+	b2 := mkBatch(1)
+	p2.enqueueLocked(b2)
+	if len(p2.queues[0]) != 1 || p2.queues[0][0] != b2 {
+		t.Fatalf("tie-break placed batch in %v, want replica 0", p2.queues)
+	}
+
+	// Dead replicas are never chosen, even when idle.
+	p3 := barePool(2)
+	p3.live[0] = false
+	p3.nLive = 1
+	p3.inflight[1] = 1
+	b3 := mkBatch(2)
+	p3.enqueueLocked(b3)
+	if len(p3.queues[1]) != 1 {
+		t.Fatalf("batch placed in %v, want busy-but-live replica 1", p3.queues)
+	}
+}
+
+func TestTakeOwnQueueIsFIFO(t *testing.T) {
+	p := barePool(2)
+	a, b := mkBatch(0), mkBatch(1)
+	p.queues[0] = []*batch{a, b}
+	p.pending = 2
+
+	got, stolen := p.takeLocked(0)
+	if got != a || stolen {
+		t.Fatalf("take = %v stolen=%v, want front batch a unstolen", got, stolen)
+	}
+	if p.inflight[0] != 1 || p.pending != 1 {
+		t.Fatalf("inflight=%d pending=%d after take, want 1/1", p.inflight[0], p.pending)
+	}
+	got, stolen = p.takeLocked(0)
+	if got != b || stolen {
+		t.Fatalf("second take = %v stolen=%v, want b unstolen", got, stolen)
+	}
+}
+
+func TestStealTakesBackOfLongestBusyQueue(t *testing.T) {
+	p := barePool(3)
+	a, b, c, d, e := mkBatch(0), mkBatch(1), mkBatch(2), mkBatch(3), mkBatch(4)
+	p.queues[1] = []*batch{a, b}
+	p.queues[2] = []*batch{c, d, e}
+	p.inflight[1] = 1
+	p.inflight[2] = 1
+	p.pending = 5
+
+	got, stolen := p.takeLocked(0)
+	if got != e || !stolen {
+		t.Fatalf("steal = %v stolen=%v, want e (back of replica 2's longer queue)", got, stolen)
+	}
+	if len(p.queues[2]) != 2 || p.queues[2][1] != d {
+		t.Fatalf("victim queue = %v, want [c d] with the back removed", p.queues[2])
+	}
+}
+
+func TestStealSkipsSingletonAtIdleOwner(t *testing.T) {
+	p := barePool(2)
+	a := mkBatch(0)
+	p.queues[1] = []*batch{a}
+	p.pending = 1
+
+	// Replica 1 is idle and about to take its own singleton: stealing it
+	// would be churn, so replica 0 must find no victim.
+	if v := p.victimLocked(0); v != -1 {
+		t.Fatalf("victim = %d, want -1 (singleton at idle owner is not stealable)", v)
+	}
+	got, stolen := p.takeLocked(0)
+	if got != nil || stolen {
+		t.Fatalf("take = %v stolen=%v, want nothing", got, stolen)
+	}
+
+	// Once the owner is busy, the same singleton becomes fair game.
+	p.inflight[1] = 1
+	if v := p.victimLocked(0); v != 1 {
+		t.Fatalf("victim = %d, want 1 (owner busy)", v)
+	}
+	got, stolen = p.takeLocked(0)
+	if got != a || !stolen {
+		t.Fatalf("take = %v stolen=%v, want the singleton stolen", got, stolen)
+	}
+
+	// Dead replicas are never victims.
+	p2 := barePool(2)
+	p2.queues[1] = []*batch{mkBatch(9)}
+	p2.inflight[1] = 1
+	p2.live[1] = false
+	p2.nLive = 1
+	if v := p2.victimLocked(0); v != -1 {
+		t.Fatalf("victim = %d, want -1 (dead replica)", v)
+	}
+}
+
+func TestDieRedistributesBacklogToSurvivors(t *testing.T) {
+	p := barePool(2)
+	inflight := mkBatch(0)
+	b1, b2 := mkBatch(1), mkBatch(2)
+	p.queues[0] = []*batch{b1, b2}
+	p.inflight[0] = 1
+	p.pending = 2
+
+	p.die(0, inflight)
+
+	if p.live[0] || p.nLive != 1 {
+		t.Fatalf("live=%v nLive=%d after die, want replica 0 dead", p.live, p.nLive)
+	}
+	if len(p.queues[0]) != 0 {
+		t.Fatalf("dead replica still holds %d batches", len(p.queues[0]))
+	}
+	if len(p.queues[1]) != 3 || p.pending != 3 {
+		t.Fatalf("survivor queue = %d batches, pending = %d; want all 3 re-homed",
+			len(p.queues[1]), p.pending)
+	}
+	// In-flight batch re-homes first: it has waited longest.
+	if p.queues[1][0] != inflight || p.queues[1][1] != b1 || p.queues[1][2] != b2 {
+		t.Fatalf("survivor queue order wrong: want [inflight b1 b2]")
+	}
+	if p.kills != 1 || p.requeued != 3 {
+		t.Fatalf("kills=%d requeued=%d, want 1/3", p.kills, p.requeued)
+	}
+}
+
+func TestDieWithNoSurvivorsFailsOrphans(t *testing.T) {
+	// Config validation forbids killing every replica, but die() itself must
+	// stay safe if it ever happens: orphaned requests fail, never hang.
+	p := barePool(1)
+	req := polReq(0)
+	p.inflight[0] = 1
+	p.die(0, &batch{reqs: []*request{req}})
+
+	select {
+	case res := <-req.done:
+		if !errors.Is(res.Err, ErrClosed) {
+			t.Fatalf("orphan err = %v, want ErrClosed", res.Err)
+		}
+	default:
+		t.Fatal("orphaned request was never failed")
+	}
+	if p.nLive != 0 {
+		t.Fatalf("nLive = %d, want 0", p.nLive)
+	}
+}

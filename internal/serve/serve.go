@@ -1,0 +1,333 @@
+// Package serve is the inference-serving subsystem: a production-shaped
+// request path over a trained nn.Net built from a dynamic micro-batcher, a
+// pool of model replicas with work stealing, and explicit admission control.
+//
+// The paper's driver problems do not end at training — a drug-response or
+// surveillance model must answer single-sample queries under heavy open-loop
+// traffic, and single-sample forward passes waste the GEMM kernels' blocking.
+// The batcher therefore coalesces requests into tensor batches under a
+// max-batch-size / max-linger policy; the replica pool runs N independent
+// model clones on goroutines; and a bounded admission queue sheds load with
+// typed errors (ErrOverloaded, ErrDeadline) instead of collapsing.
+//
+// Every time-dependent decision flows through an injected Clock, so the
+// whole pipeline — linger flushes, deadline expiry, latency accounting — is
+// testable on a VirtualClock with zero sleeps. Replica failures are scripted
+// through a fault.Plan exactly like the elastic trainer's worker kills: a
+// dying replica redistributes its backlog over the survivors, so no admitted
+// request is ever lost to a kill.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/nn"
+	"repro/internal/obs"
+)
+
+// Typed serving errors. Callers distinguish shed load (retry later, the
+// queue was full) from missed deadlines (the answer stopped mattering) from
+// shutdown.
+var (
+	// ErrOverloaded reports that the bounded admission queue was full at
+	// submit time; the request was shed without queuing.
+	ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+	// ErrDeadline reports that the request's deadline expired before a
+	// replica started executing its batch.
+	ErrDeadline = errors.New("serve: deadline exceeded before execution")
+	// ErrClosed reports a submit after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrBadInput reports a feature vector of the wrong dimensionality.
+	ErrBadInput = errors.New("serve: input has wrong dimension")
+)
+
+// Config parameterises a Server. The zero value of every optional field is
+// replaced by the documented default.
+type Config struct {
+	// Replicas is the number of independent model clones serving batches
+	// (default 1). Each replica is one goroutine with its own nn.Net, so
+	// forward passes never share layer caches.
+	Replicas int
+	// MaxBatch is the batch-size bound: a forming batch is dispatched as
+	// soon as it holds this many requests (default 8).
+	MaxBatch int
+	// MaxLinger is the latency bound of batching: a forming batch is
+	// dispatched once its oldest request has waited this long, full or not
+	// (default 2ms).
+	MaxLinger time.Duration
+	// QueueCap bounds the admission queue. Submit sheds (ErrOverloaded)
+	// when it is full; Infer blocks, which is the backpressure closed-loop
+	// clients feel (default 64). A negative value makes the queue
+	// unbuffered: a blocking submit then returns only at the rendezvous
+	// with the batcher, which is what the deterministic virtual-clock
+	// tests rely on.
+	QueueCap int
+	// MaxPendingBatches bounds the formed-but-unexecuted backlog across
+	// the replica pool; when it is full the batcher itself stalls and the
+	// admission queue fills behind it (default 2*Replicas).
+	MaxPendingBatches int
+	// InDim is the required feature dimensionality of every request.
+	InDim int
+	// Clock injects the time source (default the wall clock). Tests use a
+	// VirtualClock so linger and deadline behaviour is deterministic.
+	Clock Clock
+	// Obs, if enabled, records queue depth, batch-size and latency
+	// histograms, and shed/kill counters.
+	Obs *obs.Session
+	// Faults scripts replica kills and stalls: step n is the n-th batch
+	// the replica starts (the same Plan type the elastic trainer uses).
+	// A killed replica's backlog is redistributed over the survivors.
+	Faults *fault.Plan
+}
+
+func (c *Config) withDefaults() error {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxLinger <= 0 {
+		c.MaxLinger = 2 * time.Millisecond
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.QueueCap < 0 {
+		c.QueueCap = 0 // unbuffered: see the QueueCap doc
+	}
+	if c.MaxPendingBatches <= 0 {
+		c.MaxPendingBatches = 2 * c.Replicas
+	}
+	if c.InDim <= 0 {
+		return fmt.Errorf("serve: config needs InDim > 0, got %d", c.InDim)
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+	if c.Faults.NumKills() >= c.Replicas {
+		return fmt.Errorf("serve: plan kills %d of %d replicas — no survivors",
+			c.Faults.NumKills(), c.Replicas)
+	}
+	return nil
+}
+
+// Result is one request's outcome.
+type Result struct {
+	// Y is the model output row (nil when Err is set).
+	Y []float64
+	// Err is nil on success, else one of the typed serving errors.
+	Err error
+	// BatchSize is the size of the tensor batch this request rode in.
+	BatchSize int
+	// Latency is submit-to-completion time on the server's clock.
+	Latency time.Duration
+}
+
+// request is one in-flight inference.
+type request struct {
+	x        []float64
+	deadline time.Time // zero = none
+	arrived  time.Time
+	done     chan Result
+}
+
+func (r *request) expired(now time.Time) bool {
+	return !r.deadline.IsZero() && now.After(r.deadline)
+}
+
+// Server is the serving pipeline: admission queue -> micro-batcher ->
+// replica pool. Construct with New, stop with Close.
+type Server struct {
+	cfg   Config
+	clock Clock
+	obs   *obs.Session
+
+	in   chan *request
+	pool *pool
+
+	mu     sync.RWMutex // guards closed against concurrent sends on in
+	closed bool
+
+	batcherWG sync.WaitGroup
+
+	// counters (atomic; see Stats)
+	nSubmitted atomic.Int64
+	nShed      atomic.Int64
+	nExpired   atomic.Int64
+	nCompleted atomic.Int64
+	nBatches   atomic.Int64
+	nSamples   atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// Submitted counts requests accepted into the admission queue.
+	Submitted int64
+	// Shed counts requests rejected with ErrOverloaded.
+	Shed int64
+	// Expired counts requests failed with ErrDeadline.
+	Expired int64
+	// Completed counts requests answered successfully.
+	Completed int64
+	// Batches counts dispatched tensor batches; MeanBatch is the mean
+	// number of requests per batch.
+	Batches   int64
+	MeanBatch float64
+	// ReplicaKills counts replicas lost to the fault plan; Requeued counts
+	// batches a dying replica handed to survivors; Steals counts batches a
+	// replica took from another replica's queue.
+	ReplicaKills int64
+	Requeued     int64
+	Steals       int64
+	// LiveReplicas is the surviving replica count.
+	LiveReplicas int
+}
+
+// New builds a Server over net. The net is cloned once per replica; the
+// caller's net is not used after New returns, so it can keep training.
+func New(net *nn.Net, cfg Config) (*Server, error) {
+	if net == nil {
+		return nil, fmt.Errorf("serve: nil net")
+	}
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		clock: cfg.Clock,
+		obs:   cfg.Obs,
+		in:    make(chan *request, cfg.QueueCap),
+	}
+	s.pool = newPool(s, net)
+	s.batcherWG.Add(1)
+	go func() {
+		defer s.batcherWG.Done()
+		s.batchLoop()
+	}()
+	return s, nil
+}
+
+// Submit is the open-loop entry point: it never blocks. The returned channel
+// (capacity 1) delivers the Result; a full admission queue delivers
+// ErrOverloaded immediately.
+func (s *Server) Submit(x []float64, deadline time.Time) <-chan Result {
+	done := make(chan Result, 1)
+	req := &request{x: x, deadline: deadline, arrived: s.clock.Now(), done: done}
+	if len(x) != s.cfg.InDim {
+		done <- Result{Err: ErrBadInput}
+		return done
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		done <- Result{Err: ErrClosed}
+		return done
+	}
+	select {
+	case s.in <- req:
+		s.mu.RUnlock()
+		s.nSubmitted.Add(1)
+		s.observeQueueDepth()
+	default:
+		s.mu.RUnlock()
+		s.nShed.Add(1)
+		s.obs.Count("serve.shed", 1)
+		done <- Result{Err: ErrOverloaded}
+	}
+	return done
+}
+
+// Infer is the closed-loop entry point: it blocks for admission (the
+// backpressure path — a full queue delays the caller instead of shedding)
+// and then for the result.
+func (s *Server) Infer(x []float64) ([]float64, error) {
+	res := <-s.submitBlocking(x, time.Time{})
+	return res.Y, res.Err
+}
+
+// InferDeadline is Infer with a completion deadline on the server's clock.
+func (s *Server) InferDeadline(x []float64, deadline time.Time) Result {
+	return <-s.submitBlocking(x, deadline)
+}
+
+func (s *Server) submitBlocking(x []float64, deadline time.Time) <-chan Result {
+	done := make(chan Result, 1)
+	req := &request{x: x, deadline: deadline, arrived: s.clock.Now(), done: done}
+	if len(x) != s.cfg.InDim {
+		done <- Result{Err: ErrBadInput}
+		return done
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		done <- Result{Err: ErrClosed}
+		return done
+	}
+	s.in <- req // blocks under load: admission backpressure
+	s.mu.RUnlock()
+	s.nSubmitted.Add(1)
+	s.observeQueueDepth()
+	return done
+}
+
+// Close stops admission, drains every queued request through the pipeline,
+// and waits for the replicas to exit. Safe to call once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.in)
+	s.mu.Unlock()
+	s.batcherWG.Wait()
+	s.pool.close()
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Submitted: s.nSubmitted.Load(),
+		Shed:      s.nShed.Load(),
+		Expired:   s.nExpired.Load(),
+		Completed: s.nCompleted.Load(),
+		Batches:   s.nBatches.Load(),
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(s.nSamples.Load()) / float64(st.Batches)
+	}
+	st.ReplicaKills, st.Requeued, st.Steals, st.LiveReplicas = s.pool.counters()
+	return st
+}
+
+func (s *Server) observeQueueDepth() {
+	if s.obs.Enabled() {
+		s.obs.SetGauge("serve.queue_depth", float64(len(s.in)))
+	}
+}
+
+// fail completes a request with an error, accounting it.
+func (s *Server) fail(req *request, err error) {
+	if err == ErrDeadline {
+		s.nExpired.Add(1)
+		s.obs.Count("serve.deadline_missed", 1)
+	}
+	req.done <- Result{Err: err}
+}
+
+// complete answers one request with its output row.
+func (s *Server) complete(req *request, y []float64, batchSize int) {
+	lat := s.clock.Now().Sub(req.arrived)
+	s.nCompleted.Add(1)
+	if s.obs.Enabled() {
+		s.obs.Observe("serve.latency", lat)
+	}
+	req.done <- Result{Y: y, BatchSize: batchSize, Latency: lat}
+}

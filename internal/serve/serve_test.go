@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{InDim: 3}); err == nil {
+		t.Fatal("New accepted a nil net")
+	}
+	if _, err := New(testNet(3), Config{}); err == nil {
+		t.Fatal("New accepted a config without InDim")
+	}
+	plan := fault.NewPlan().Kill(0, 0).Kill(1, 0)
+	if _, err := New(testNet(3), Config{InDim: 3, Replicas: 2, Faults: plan}); err == nil {
+		t.Fatal("New accepted a plan that kills every replica")
+	}
+
+	cfg := Config{InDim: 3}
+	if err := cfg.withDefaults(); err != nil {
+		t.Fatalf("withDefaults: %v", err)
+	}
+	if cfg.Replicas != 1 || cfg.MaxBatch != 8 || cfg.MaxLinger != 2*time.Millisecond ||
+		cfg.QueueCap != 64 || cfg.MaxPendingBatches != 2 || cfg.Clock == nil {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestSubmitBadInput(t *testing.T) {
+	srv, _ := lingerServer(t, Config{MaxBatch: 1})
+	res := <-srv.Submit([]float64{1, 2}, time.Time{}) // InDim is 3
+	if !errors.Is(res.Err, ErrBadInput) {
+		t.Fatalf("err = %v, want ErrBadInput", res.Err)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	srv, err := New(testNet(3), Config{InDim: 3, Clock: vc})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+
+	if res := <-srv.Submit([]float64{1, 2, 3}, time.Time{}); !errors.Is(res.Err, ErrClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrClosed", res.Err)
+	}
+	if _, err := srv.Infer([]float64{1, 2, 3}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Infer after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestDeadlineAlreadyExpiredAtAdmission(t *testing.T) {
+	srv, vc := lingerServer(t, Config{MaxBatch: 8, MaxLinger: 5 * time.Millisecond})
+	past := vc.Now().Add(-time.Millisecond)
+	res := <-srv.submitBlocking([]float64{1, 2, 3}, past)
+	if !errors.Is(res.Err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline for an already-expired request", res.Err)
+	}
+	if st := srv.Stats(); st.Expired != 1 || st.Batches != 0 {
+		t.Fatalf("stats = %+v, want 1 expired and no batch dispatched", st)
+	}
+}
+
+func TestDeadlineExpiresWhileLingering(t *testing.T) {
+	srv, vc := lingerServer(t, Config{MaxBatch: 8, MaxLinger: 5 * time.Millisecond})
+	// Deadline at +3ms, linger flush at +5ms: by flush time the answer has
+	// stopped mattering, and the server must not spend a forward pass on it.
+	ch := srv.submitBlocking([]float64{1, 2, 3}, vc.Now().Add(3*time.Millisecond))
+	vc.BlockUntilWaiters(1)
+	vc.Advance(5 * time.Millisecond)
+	res := <-ch
+	if !errors.Is(res.Err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", res.Err)
+	}
+	if st := srv.Stats(); st.Expired != 1 || st.Completed != 0 || st.Batches != 0 {
+		t.Fatalf("stats = %+v, want the expired request dropped before dispatch", st)
+	}
+}
+
+// TestOverloadShedsWithTypedError freezes the single replica with a scripted
+// hang, fills every stage of the pipeline, and checks that further open-loop
+// submits shed with ErrOverloaded while every accepted request still
+// completes once the replica resumes. All waiting is on channels and the
+// virtual clock — no sleeps.
+func TestOverloadShedsWithTypedError(t *testing.T) {
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	sess := obs.NewSession()
+	sess.Enable()
+	srv, err := New(testNet(3), Config{
+		InDim:             3,
+		Replicas:          1,
+		MaxBatch:          1,
+		MaxLinger:         time.Millisecond,
+		QueueCap:          2,
+		MaxPendingBatches: 1,
+		Clock:             vc,
+		Obs:               sess,
+		Faults:            fault.NewPlan().Hang(0, 0, time.Hour),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	x := []float64{1, 2, 3}
+	first := srv.Submit(x, time.Time{})
+	// Once the hang timer is armed the replica holds the first batch in
+	// flight and nothing downstream can drain.
+	vc.BlockUntilWaiters(1)
+
+	// Pipeline capacity behind the hung replica: 1 batch in the pool
+	// backlog + 1 held by the stalled batcher + QueueCap(2) in admission.
+	// Everything past that must shed.
+	const burst = 20
+	var chans []<-chan Result
+	for i := 0; i < burst; i++ {
+		chans = append(chans, srv.Submit(x, time.Time{}))
+	}
+
+	shed := 0
+	var pendingChans []<-chan Result
+	for _, ch := range chans {
+		select {
+		case res := <-ch:
+			if !errors.Is(res.Err, ErrOverloaded) {
+				t.Fatalf("immediate result = %+v, want ErrOverloaded", res)
+			}
+			shed++
+		default:
+			pendingChans = append(pendingChans, ch)
+		}
+	}
+	if shed < burst-4 {
+		t.Fatalf("shed %d of %d, want at least %d (pipeline holds at most 4)",
+			shed, burst, burst-4)
+	}
+	if st := srv.Stats(); st.Shed != int64(shed) {
+		t.Fatalf("Stats.Shed = %d, want %d", st.Shed, shed)
+	}
+
+	// Release the replica: every accepted request must now complete.
+	vc.Advance(time.Hour)
+	if res := <-first; res.Err != nil {
+		t.Fatalf("first request after release: %v", res.Err)
+	}
+	for i, ch := range pendingChans {
+		if res := <-ch; res.Err != nil {
+			t.Fatalf("accepted request %d after release: %v", i, res.Err)
+		}
+	}
+	srv.Close()
+
+	st := srv.Stats()
+	if st.Completed != int64(1+len(pendingChans)) {
+		t.Fatalf("completed = %d, want %d", st.Completed, 1+len(pendingChans))
+	}
+	if st.Submitted+st.Shed != burst+1 {
+		t.Fatalf("submitted(%d)+shed(%d) != %d", st.Submitted, st.Shed, burst+1)
+	}
+
+	// The obs session saw the whole story: sheds counted, batches counted,
+	// latencies observed.
+	snap := sess.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["serve.shed"] != int64(shed) {
+		t.Fatalf("obs serve.shed = %d, want %d", counters["serve.shed"], shed)
+	}
+	if counters["serve.batches"] != st.Batches {
+		t.Fatalf("obs serve.batches = %d, want %d", counters["serve.batches"], st.Batches)
+	}
+	foundLatency := false
+	for _, tm := range snap.Timers {
+		if tm.Name == "serve.latency" && tm.Count == st.Completed {
+			foundLatency = true
+		}
+	}
+	if !foundLatency {
+		t.Fatalf("obs serve.latency timer missing or wrong count; timers = %+v", snap.Timers)
+	}
+}
+
+func TestStatsMeanBatch(t *testing.T) {
+	srv, vc := lingerServer(t, Config{MaxBatch: 2, MaxLinger: 5 * time.Millisecond})
+	ch1 := srv.submitBlocking([]float64{1, 0, 0}, time.Time{})
+	vc.BlockUntilWaiters(1)
+	ch2 := srv.submitBlocking([]float64{0, 1, 0}, time.Time{})
+	<-ch1
+	<-ch2
+	st := srv.Stats()
+	if st.MeanBatch != 2 || st.Submitted != 2 || st.LiveReplicas != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

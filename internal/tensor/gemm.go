@@ -58,8 +58,9 @@ func ParallelFor(n int, fn func(lo, hi int)) {
 }
 
 // MatMul computes dst = a @ b for a (M x K) and b (K x N), dst (M x N).
-// dst must not alias a or b. The kernel is cache-blocked and parallel over
-// row blocks.
+// dst must not alias a or b. dst is fully overwritten: prior contents
+// (including NaNs) never leak into the result, even for zero-size K.
+// The kernel is cache-blocked and parallel over row blocks.
 func MatMul(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(dst, a, b, false, false)
 	dst.Zero()
@@ -98,7 +99,8 @@ func gemmKernel(dst, a, b []float64, i0, i1, j0, j1, k0, k1, lda, ldc int) {
 }
 
 // MatMulTransA computes dst = aᵀ @ b for a (K x M) and b (K x N), dst (M x N).
-// dst must not alias a or b. Used for weight gradients (Xᵀ·dY).
+// dst must not alias a or b. dst is fully overwritten (same contract as
+// MatMul). Used for weight gradients (Xᵀ·dY).
 func MatMulTransA(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(dst, a, b, true, false)
 	dst.Zero()
@@ -126,9 +128,13 @@ func MatMulTransA(dst, a, b *Tensor) {
 }
 
 // MatMulTransB computes dst = a @ bᵀ for a (M x K) and b (N x K), dst (M x N).
-// dst must not alias a or b. Used for input gradients (dY·Wᵀ).
+// dst must not alias a or b. dst is fully overwritten (same zero-then-
+// accumulate contract as MatMul and MatMulTransA; this kernel used to rely
+// on plain overwrite, which silently diverged from its siblings for any
+// future blocked/partial-update variant). Used for input gradients (dY·Wᵀ).
 func MatMulTransB(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(dst, a, b, false, true)
+	dst.Zero()
 	ParallelFor(m, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			arow := a.Data[i*k : (i+1)*k]
@@ -139,13 +145,14 @@ func MatMulTransB(dst, a, b *Tensor) {
 				for kk := 0; kk < k; kk++ {
 					s += arow[kk] * brow[kk]
 				}
-				crow[j] = s
+				crow[j] += s
 			}
 		}
 	})
 }
 
 // MatVec computes dst = a @ x for a (M x K) and x (K), dst (M).
+// dst is fully overwritten.
 func MatVec(dst, a, x *Tensor) {
 	if a.Rank() != 2 || a.Dim(1) != x.Len() || dst.Len() != a.Dim(0) {
 		panic(fmt.Sprintf("tensor: MatVec shapes %v %v %v", dst.shape, a.shape, x.shape))
@@ -164,7 +171,10 @@ func MatVec(dst, a, x *Tensor) {
 }
 
 // checkMatMul validates shapes and returns (M, K, N) given the transpose
-// flags, and panics on aliasing of dst with an input.
+// flags, and panics on aliasing of dst with an input. The aliasing probe
+// compares backing-array addresses, so it must be (and is) skipped for any
+// zero-length operand: &t.Data[0] on an empty slice would itself panic,
+// and empty tensors cannot alias anything.
 func checkMatMul(dst, a, b *Tensor, transA, transB bool) (m, k, n int) {
 	if dst.Rank() != 2 || a.Rank() != 2 || b.Rank() != 2 {
 		panic("tensor: MatMul requires rank-2 operands")

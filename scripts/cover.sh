@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Coverage gate: runs `go test -cover` over every package, prints a coverage
+# table with the per-package floors, and fails if any floored package dips
+# below its floor. The delta column is (coverage - floor) for floored
+# packages, so regressions show up as a shrinking margin long before they
+# break the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO="${GO:-go}"
+
+# Per-package floors, in percent. The serving subsystem, the kernels it
+# calls, and the model layer are the packages where an uncovered branch is
+# most likely to hide a correctness bug.
+declare -A FLOOR=(
+  [repro/internal/serve]=70
+  [repro/internal/tensor]=70
+  [repro/internal/nn]=70
+)
+
+out="$("$GO" test -cover ./... 2>&1)" || { echo "$out"; exit 1; }
+
+fail=0
+printf '%-32s %9s %7s %7s\n' PACKAGE COVERAGE FLOOR DELTA
+while IFS= read -r line; do
+  case "$line" in
+    ok*coverage:*"% of statements"*) ;;
+    *) continue ;;
+  esac
+  pkg=$(awk '{print $2}' <<<"$line")
+  cov=$(sed -E 's/.*coverage: ([0-9.]+)% of statements.*/\1/' <<<"$line")
+  floor="${FLOOR[$pkg]:-}"
+  if [[ -n "$floor" ]]; then
+    delta=$(awk -v c="$cov" -v f="$floor" 'BEGIN{printf "%+.1f", c-f}')
+    printf '%-32s %8s%% %6s%% %7s\n' "$pkg" "$cov" "$floor" "$delta"
+    if awk -v c="$cov" -v f="$floor" 'BEGIN{exit !(c < f)}'; then
+      echo "FAIL: $pkg coverage ${cov}% is below the ${floor}% floor" >&2
+      fail=1
+    fi
+  else
+    printf '%-32s %8s%% %7s %7s\n' "$pkg" "$cov" - -
+  fi
+done <<<"$out"
+
+exit "$fail"
