@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test chaos fuzz cover bench-overhead bench-checkpoint bench bench-serve clean
+.PHONY: check vet build test chaos fuzz cover bench-overhead bench-checkpoint bench bench-serve bench-resil clean
 
 check: vet build test chaos cover bench-overhead
 
@@ -17,16 +17,26 @@ test:
 
 # Deterministic chaos suite under the race detector: failure-injection
 # schedules (internal/fault), checkpoint/resume bitwise-continue
-# (internal/nn), elastic worker-kill recovery (internal/parallel), and
-# campaign retry-with-requeue (internal/core). Redundant with `test` on a
-# full run, but kept as an explicit gate so the fault paths can be exercised
-# alone (`make chaos`) and stay race-clean.
+# (internal/nn), elastic worker-kill recovery (internal/parallel), campaign
+# retry/backoff/quarantine (internal/core), and the gray-failure suites —
+# degraded-replica ejection, hedged execution, retry budgets
+# (internal/serve), flaky-link collectives and CRC framing (internal/comm).
+# Redundant with `test` on a full run, but kept as an explicit gate so the
+# fault paths can be exercised alone (`make chaos`) and stay race-clean.
 chaos:
 	$(GO) test -race ./internal/fault ./internal/core \
-		-run 'Fault|Campaign|Schedule|Attempt|Plan|Daly|Simulate'
+		-run 'Fault|Campaign|Schedule|Attempt|Plan|Daly|Simulate|Gray|Link|Backoff|Quarantine|Poison'
 	$(GO) test -race ./internal/nn -run 'Resume|TrainState|Checkpoint'
 	$(GO) test -race ./internal/parallel -run 'Elastic'
-	$(GO) test -race ./internal/serve -run 'Chaos|Fault'
+	$(GO) test -race ./internal/serve -run 'Chaos|Fault|Gray|Retry|Hedge'
+	$(GO) test -race ./internal/comm -run 'Flaky|Frame|Watchdog|Timeout'
+
+# Regenerate the committed gray-failure resilience artifact
+# (BENCH_resil.json): the hedging frontier under a 10x degraded replica.
+# Deterministic like bench-serve; TestCommittedResilArtifactIsCurrent fails
+# if the committed copy drifts.
+bench-resil:
+	$(GO) run ./cmd/candleserve -resil -json BENCH_resil.json
 
 # Fuzz the blocked tensor kernels against the naive references in
 # internal/tensor/ref_test.go. Short budgets per target: the seed corpus
@@ -37,6 +47,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzMatMulTransA$$' -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz '^FuzzMatMulTransB$$' -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz '^FuzzConv$$' -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run '^$$' -fuzz '^FuzzCommFrame$$' -fuzztime $(FUZZTIME) ./internal/comm
 
 # Coverage gate: per-package floors (70% for internal/serve, internal/tensor,
 # internal/nn) with a coverage-vs-floor delta table. See scripts/cover.sh.

@@ -17,7 +17,7 @@
 //     energy) and the tiered-storage/NVRAM staging simulator;
 //   - the inference serving subsystem (dynamic micro-batching, replica
 //     pool, admission control) and its deterministic load simulator;
-//   - the E1-E11 experiment suite that reproduces each of the paper's
+//   - the E1-E12 experiment suite that reproduces each of the paper's
 //     architectural claims.
 //
 // Quick start:
@@ -261,6 +261,22 @@ var NewFaultPlan = fault.NewPlan
 // sqrt(2*C*MTBF) - C that experiment E10 sweeps.
 var DalyInterval = fault.DalyInterval
 
+// LinkFault describes seeded gray-failure rates for a communication link:
+// message drop, duplication, corruption, and delay
+// (see CommWorld.SetLinkFaults).
+type LinkFault = fault.LinkFault
+
+// CommWorld is a simulated communicator over in-process ranks; with
+// SetLinkFaults its point-to-point links become a lossy fabric that the
+// CRC-framed transport survives, with retransmit overhead in CommStats.
+type CommWorld = comm.World
+
+// NewCommWorld creates a communicator of the given size.
+var NewCommWorld = comm.NewWorld
+
+// CommStats reports per-rank traffic and fault-recovery counters.
+type CommStats = comm.Stats
+
 // ---- machine model and storage -----------------------------------------------------
 
 // Machine is a parameterised cluster model.
@@ -284,13 +300,13 @@ var SimulateStorage = storage.Simulate
 
 // ---- experiments ------------------------------------------------------------------
 
-// Experiment is one paper-claim reproduction (E1-E11).
+// Experiment is one paper-claim reproduction (E1-E12).
 type Experiment = experiments.Experiment
 
 // ExperimentConfig sizes an experiment run.
 type ExperimentConfig = experiments.Config
 
-// Experiments returns the full E1-E11 suite.
+// Experiments returns the full E1-E12 suite.
 var Experiments = experiments.All
 
 // ExperimentByID finds one experiment.
@@ -365,6 +381,25 @@ var RunServeLoad = serve.RunLoad
 
 // RunServeLive replays a load profile against a real concurrent Server.
 var RunServeLive = serve.RunLive
+
+// HedgeConfig enables tail-tolerant hedged requests: a request still
+// unserved after the budget elapses is duplicated to another replica and
+// the first result wins (see ServeConfig.Hedge).
+type HedgeConfig = serve.HedgeConfig
+
+// HealthConfig enables replica health scoring with ejection and
+// re-admission of gray-degraded replicas (see ServeConfig.Health).
+type HealthConfig = serve.HealthConfig
+
+// RetryPolicy bounds client retries with a token-bucket retry budget so
+// shed load cannot become a retry storm.
+type RetryPolicy = serve.RetryPolicy
+
+// Retrier retries Submit under a RetryPolicy.
+type Retrier = serve.Retrier
+
+// NewRetrier wraps a server in a budgeted retrier.
+var NewRetrier = serve.NewRetrier
 
 // ---- asynchronous training and strategy comparison -----------------------------
 

@@ -16,11 +16,17 @@
 //	            [-linger D] [-queue-cap N] [-max-pending N] [-seed N]
 //	            [-live] [-json FILE]
 //	candleserve -bench [-json BENCH_serve.json]
+//	candleserve -resil [-json BENCH_resil.json]
 //
 // -rate 0 (the default) resolves to 80% of the pool's analytic capacity —
 // just below the knee. -bench runs the committed two-point profile: a
 // 10k-request open loop below the knee (zero drops) and the same load at
 // 2.5x capacity (bounded tail, excess shed), written as one JSON document.
+// -resil runs the committed gray-failure profile: a clean calibration run
+// fixes the hedge budget at the healthy p95, then a fleet with one replica
+// degraded 10x is replayed unhedged and hedged at budgets on both sides of
+// the calibration point (0.5x, 1x, 2x, 4x p95), written as one JSON
+// document (this is what generates BENCH_resil.json).
 package main
 
 import (
@@ -50,6 +56,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed: same seed, same report (simulator engine)")
 	live := flag.Bool("live", false, "drive a real concurrent Server (wall clock) instead of the simulator")
 	bench := flag.Bool("bench", false, "run the committed below/above-knee benchmark profile")
+	resil := flag.Bool("resil", false, "run the committed gray-failure resilience profile (hedging frontier)")
 	jsonOut := flag.String("json", "", "write the report(s) as JSON to this file")
 	flag.Parse()
 
@@ -80,6 +87,10 @@ func main() {
 
 	if *bench {
 		runBench(cfg, capacity, *jsonOut)
+		return
+	}
+	if *resil {
+		runResil(cfg, *jsonOut)
 		return
 	}
 
@@ -145,6 +156,85 @@ func runBench(cfg serve.LoadConfig, capacity float64, jsonOut string) {
 	}
 	if jsonOut != "" {
 		writeJSON(jsonOut, &benchReport{BelowKnee: belowRep, AboveKnee: aboveRep})
+	}
+}
+
+// resilReport is the committed BENCH_resil.json document: a clean
+// calibration run, the gray-degraded fleet unhedged, and the same fleet
+// hedged at budgets on both sides of the calibrated healthy p95.
+type resilReport struct {
+	HedgeBudgetMs    float64             `json:"hedge_budget_ms"`
+	Clean            *serve.LoadReport   `json:"clean"`
+	DegradedUnhedged *serve.LoadReport   `json:"degraded_unhedged"`
+	Hedged           []*serve.LoadReport `json:"hedged"`
+}
+
+// runResil executes the gray-failure resilience profile. The fleet shape is
+// pinned (6 replicas, batch 8, 20% of capacity offered) so the committed
+// artifact depends only on -requests and -seed; only the scenario knobs —
+// degradation and hedge budget — vary across runs.
+func runResil(cfg serve.LoadConfig, jsonOut string) {
+	base := cfg
+	base.Closed = false
+	base.Deadline = 0
+	base.Replicas = 6
+	base.MaxBatch = 8
+	base.MaxLinger = 2 * time.Millisecond
+	base.QueueCap = 256
+	base.MaxPendingBatches = 0
+	capacity := base.Service.CapacityRPS(base.Replicas, base.MaxBatch)
+	base.RatePerSec = 0.2 * capacity
+
+	mustRun := func(c serve.LoadConfig) *serve.LoadReport {
+		rep, err := serve.RunLoad(c)
+		if err != nil {
+			fail(err)
+		}
+		return rep
+	}
+
+	clean := mustRun(base)
+	budget := time.Duration(clean.LatencyP95Ms * float64(time.Millisecond))
+
+	degraded := base
+	degraded.DegradeFactor = 10
+	degraded.DegradeReplica = 0
+	unhedged := mustRun(degraded)
+
+	doc := &resilReport{
+		HedgeBudgetMs:    float64(budget) / float64(time.Millisecond),
+		Clean:            clean,
+		DegradedUnhedged: unhedged,
+	}
+	fmt.Printf("# clean calibration (hedge budget = p95 = %.3fms)\n", doc.HedgeBudgetMs)
+	render(clean, capacity)
+	fmt.Printf("\n# degraded: replica 0 at 10x, unhedged\n")
+	render(unhedged, capacity)
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		hedged := degraded
+		hedged.HedgeAfter = time.Duration(float64(budget) * mult)
+		rep := mustRun(hedged)
+		doc.Hedged = append(doc.Hedged, rep)
+		fmt.Printf("\n# degraded, hedged at %gx p95 (%.3fms)\n",
+			mult, float64(hedged.HedgeAfter)/float64(time.Millisecond))
+		render(rep, capacity)
+		fmt.Printf("hedged=%d hedge-wins=%d dup-work=%.2f%%\n",
+			rep.Hedged, rep.HedgeWins, rep.DuplicatedWorkPct)
+	}
+
+	// The profile's reason to exist: hedging at the calibrated budget must
+	// buy the tail back cheaply. Fail loudly if the policy regresses.
+	atBudget := doc.Hedged[1]
+	if atBudget.LatencyP99Ms*2 > unhedged.LatencyP99Ms {
+		fail(fmt.Errorf("resil profile broken: hedging at p95 cut p99 only %.2fms -> %.2fms (< 2x)",
+			unhedged.LatencyP99Ms, atBudget.LatencyP99Ms))
+	}
+	if atBudget.DuplicatedWorkPct > 15 {
+		fail(fmt.Errorf("resil profile broken: %.1f%% duplicated work at the p95 budget (> 15%%)",
+			atBudget.DuplicatedWorkPct))
+	}
+	if jsonOut != "" {
+		writeJSON(jsonOut, doc)
 	}
 }
 

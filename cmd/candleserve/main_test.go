@@ -102,6 +102,95 @@ func TestCommittedBenchArtifactIsCurrent(t *testing.T) {
 	}
 }
 
+type resilDoc struct {
+	HedgeBudgetMs    float64 `json:"hedge_budget_ms"`
+	DegradedUnhedged struct {
+		Completed    int     `json:"completed"`
+		LatencyP99Ms float64 `json:"latency_p99_ms"`
+		Hedged       int     `json:"hedged"`
+	} `json:"degraded_unhedged"`
+	Hedged []struct {
+		Completed         int     `json:"completed"`
+		LatencyP99Ms      float64 `json:"latency_p99_ms"`
+		Hedged            int     `json:"hedged"`
+		HedgeWins         int     `json:"hedge_wins"`
+		DuplicatedWorkPct float64 `json:"duplicated_work_pct"`
+		HedgeAfterMs      float64 `json:"hedge_after_ms"`
+	} `json:"hedged"`
+}
+
+// TestResilProfileIsBitIdentical runs the gray-failure resilience profile
+// twice and requires byte-identical JSON, then checks the ISSUE's headline
+// numbers: with one replica degraded 10x, hedging at the healthy-p95 budget
+// must cut p99 at least 2x for at most 15% duplicated work, with runs on
+// both sides of the budget.
+func TestResilProfileIsBitIdentical(t *testing.T) {
+	bin := buildCandleserve(t)
+	dir := t.TempDir()
+	j1 := filepath.Join(dir, "a.json")
+	j2 := filepath.Join(dir, "b.json")
+
+	runCandleserve(t, bin, "-resil", "-requests", "3000", "-json", j1)
+	runCandleserve(t, bin, "-resil", "-requests", "3000", "-json", j2)
+
+	b1, err := os.ReadFile(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed produced different resil JSON:\n%s\n---\n%s", b1, b2)
+	}
+
+	var doc resilDoc
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("resil JSON does not parse: %v", err)
+	}
+	if doc.DegradedUnhedged.Hedged != 0 {
+		t.Fatalf("unhedged run hedged %d requests", doc.DegradedUnhedged.Hedged)
+	}
+	if len(doc.Hedged) != 4 {
+		t.Fatalf("want 4 hedged runs (0.5x, 1x, 2x, 4x p95), got %d", len(doc.Hedged))
+	}
+	if lo, hi := doc.Hedged[0].HedgeAfterMs, doc.Hedged[len(doc.Hedged)-1].HedgeAfterMs; !(lo < doc.HedgeBudgetMs && doc.HedgeBudgetMs < hi) {
+		t.Fatalf("hedged budgets [%v..%v]ms do not straddle the calibrated %vms",
+			lo, hi, doc.HedgeBudgetMs)
+	}
+	atBudget := doc.Hedged[1]
+	if atBudget.LatencyP99Ms*2 > doc.DegradedUnhedged.LatencyP99Ms {
+		t.Fatalf("hedging at p95 cut p99 only %.2fms -> %.2fms (< 2x)",
+			doc.DegradedUnhedged.LatencyP99Ms, atBudget.LatencyP99Ms)
+	}
+	if atBudget.DuplicatedWorkPct > 15 {
+		t.Fatalf("%.1f%% duplicated work at the p95 budget (> 15%%)", atBudget.DuplicatedWorkPct)
+	}
+	if atBudget.Hedged == 0 || atBudget.HedgeWins == 0 {
+		t.Fatalf("at-budget run never hedged or never won: %+v", atBudget)
+	}
+}
+
+// TestCommittedResilArtifactIsCurrent regenerates BENCH_resil.json and
+// compares it byte-for-byte with the committed copy.
+func TestCommittedResilArtifactIsCurrent(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "BENCH_resil.json"))
+	if err != nil {
+		t.Skipf("no committed BENCH_resil.json: %v", err)
+	}
+	bin := buildCandleserve(t)
+	fresh := filepath.Join(t.TempDir(), "fresh.json")
+	runCandleserve(t, bin, "-resil", "-json", fresh)
+	got, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, got) {
+		t.Fatal("BENCH_resil.json is stale: regenerate with `make bench-resil`")
+	}
+}
+
 func TestClosedLoopMode(t *testing.T) {
 	bin := buildCandleserve(t)
 	out := runCandleserve(t, bin, "-mode", "closed", "-requests", "2000", "-clients", "16")

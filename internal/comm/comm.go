@@ -21,19 +21,23 @@ import (
 )
 
 // message is one point-to-point transfer. Data is owned by the receiver
-// after delivery (senders copy).
+// after delivery (senders copy). On a fault-injected world the payload
+// travels CRC-framed in wire instead (see frame.go / faulty.go).
 type message struct {
 	tag  int
 	data []float64
+	wire []byte // CRC frame; non-nil exactly when link faults are enabled
 }
 
 // World is a fixed-size group of communicating ranks.
 type World struct {
-	size   int
-	chans  [][]chan message // chans[src][dst]
-	stats  []Stats
-	obs    *obs.Session
-	obsTID func(rankID int) int
+	size        int
+	chans       [][]chan message // chans[src][dst]
+	stats       []Stats
+	obs         *obs.Session
+	obsTID      func(rankID int) int
+	faults      *linkFaults   // nil = clean fabric, raw fast path
+	recvTimeout time.Duration // 0 = no receive watchdog
 }
 
 // SetObs attaches a telemetry session: collectives then record per-rank
@@ -46,10 +50,23 @@ func (w *World) SetObs(s *obs.Session) { w.obs = s }
 // the single tid that goroutine owns. Default is the identity.
 func (w *World) SetObsTID(f func(rankID int) int) { w.obsTID = f }
 
-// Stats accumulates per-rank traffic counters.
+// Stats accumulates per-rank traffic counters. MsgsSent/BytesSent count
+// every transmission put on the wire — including retransmits and injected
+// duplicates — so on a faulty fabric they measure delivered-plus-overhead
+// traffic; the fault counters below break the overhead out.
 type Stats struct {
 	MsgsSent  int
 	BytesSent int // payload bytes (8 per float64)
+
+	// Fault-aware transport counters; all zero unless SetLinkFaults is on.
+	Retransmits      int // frames re-sent after a drop or detected corruption
+	RetransmitBytes  int // payload bytes of those re-sends (the overhead)
+	FramesDropped    int // frames the injector destroyed in transit
+	FramesCorrupted  int // frames the injector bit-flipped in transit
+	FramesDuplicated int // extra copies the injector delivered
+	CorruptDetected  int // received frames rejected by CRC mismatch
+	DupsDropped      int // received duplicates discarded by the seq check
+	DelaysInjected   int // sender-side delay yields injected
 }
 
 // NewWorld creates a world of p ranks with all-to-all buffered links.
@@ -133,10 +150,16 @@ func (r *Rank) ID() int { return r.id }
 // Size returns the world size.
 func (r *Rank) Size() int { return r.world.size }
 
-// Send delivers a copy of data to dst with the given tag.
+// Send delivers a copy of data to dst with the given tag. On a
+// fault-injected world the copy travels CRC-framed through the link
+// injector, retransmitting around drops and corruption.
 func (r *Rank) Send(dst, tag int, data []float64) {
 	if dst == r.id {
 		panic("comm: send to self")
+	}
+	if f := r.world.faults; f != nil {
+		r.sendFramed(f, dst, tag, data)
+		return
 	}
 	cp := make([]float64, len(data))
 	copy(cp, data)
@@ -145,9 +168,14 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 	r.world.chans[r.id][dst] <- message{tag: tag, data: cp}
 }
 
-// Recv blocks for the next message from src and checks its tag.
+// Recv blocks for the next message from src and checks its tag. On a
+// fault-injected world it validates CRC framing, discarding corrupted
+// frames and duplicates until a clean fresh frame arrives.
 func (r *Rank) Recv(src, tag int) []float64 {
-	m := <-r.world.chans[src][r.id]
+	if f := r.world.faults; f != nil {
+		return r.recvFramed(f, src, tag)
+	}
+	m := r.recvMsg(src)
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d",
 			r.id, tag, src, m.tag))

@@ -1,0 +1,176 @@
+package comm
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+// Fault-aware transport: when a World has link faults enabled, every
+// point-to-point message travels CRC-framed (frame.go) through a seeded
+// per-link injector that can delay, drop, duplicate, or bit-flip frames in
+// transit. The receiver rejects corrupted frames by CRC mismatch and
+// deduplicates by per-link sequence number; the sender retransmits dropped
+// and corrupted frames (the in-process stand-in for an ack-timeout loop).
+// Collectives above Send/Recv are untouched: allreduce over a lossy fabric
+// delivers bit-identical sums, it just pays measured retransmit overhead
+// (Stats.Retransmits / RetransmitBytes).
+//
+// Determinism: each directed link (src, dst) owns one split rng stream, and
+// only rank src's goroutine draws from it, so a seed fully determines which
+// frames are dropped, duplicated, delayed, and which bit each corruption
+// flips — regardless of goroutine interleaving.
+
+// linkFaults is a World's fault-injection state.
+type linkFaults struct {
+	cfg   fault.LinkFault
+	links [][]*linkState // links[src][dst]
+}
+
+// linkState is one directed link's injector + protocol state. The sender
+// goroutine owns r and nextSeq; the receiver goroutine owns expect. The
+// fields are never shared across goroutines.
+type linkState struct {
+	r       *rng.Stream // sender-side fault draws
+	nextSeq int         // sender: next fresh sequence number
+	expect  int         // receiver: next sequence number not yet delivered
+}
+
+// SetLinkFaults enables the fault-aware framed transport on every link,
+// with faults drawn deterministically from the seed. Must be called before
+// Run (the transport mode may not change while messages are in flight).
+func (w *World) SetLinkFaults(lf fault.LinkFault, seed uint64) error {
+	if err := lf.Validate(); err != nil {
+		return err
+	}
+	f := &linkFaults{cfg: lf, links: make([][]*linkState, w.size)}
+	root := rng.New(seed).Split("comm-link-faults")
+	for i := range f.links {
+		f.links[i] = make([]*linkState, w.size)
+		for j := range f.links[i] {
+			f.links[i][j] = &linkState{r: root.SplitN(i*w.size + j)}
+		}
+	}
+	w.faults = f
+	return nil
+}
+
+// SetRecvTimeout arms a per-receive watchdog: any Recv (and therefore any
+// collective) that waits longer than d for a peer panics with a diagnostic
+// naming the waiting rank and the silent peer, instead of hanging the run
+// forever. 0 disables (the default). This is the gray-failure backstop: a
+// dead or wedged peer turns into a loud, attributable failure at the
+// synchronization barrier rather than an invisible stall.
+func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// maxSendAttempts bounds the retransmit loop; at the validated fault rates
+// the probability of exhausting it is negligible, so hitting it means the
+// link is effectively dead.
+const maxSendAttempts = 64
+
+// sendFramed is Send on a faulty link: encode, inject, retransmit until the
+// injector lets a clean (or at least deliverable) frame through.
+func (r *Rank) sendFramed(f *linkFaults, dst, tag int, data []float64) {
+	ls := f.links[r.id][dst]
+	seq := ls.nextSeq
+	ls.nextSeq++
+	wire := EncodeFrame(tag, seq, data)
+	st := &r.world.stats[r.id]
+	cfg := f.cfg
+	for attempt := 0; attempt < maxSendAttempts; attempt++ {
+		if attempt > 0 {
+			st.Retransmits++
+			st.RetransmitBytes += 8 * len(data)
+		}
+		st.MsgsSent++
+		st.BytesSent += 8 * len(data)
+		if cfg.DelayProb > 0 && ls.r.Bernoulli(cfg.DelayProb) {
+			// Links are FIFO in-process, so latency jitter cannot reorder
+			// frames; its observable effect is a perturbed interleaving.
+			st.DelaysInjected++
+			runtime.Gosched()
+		}
+		if cfg.DropProb > 0 && ls.r.Bernoulli(cfg.DropProb) {
+			// The fabric ate the frame: the sender's (modelled) ack timeout
+			// fires and the loop retransmits.
+			st.FramesDropped++
+			continue
+		}
+		if cfg.CorruptProb > 0 && ls.r.Bernoulli(cfg.CorruptProb) {
+			// Silent corruption: flip one seeded bit of a copy and deliver
+			// it anyway. The receiver's CRC check rejects it, and the clean
+			// retransmit follows right behind.
+			bad := append([]byte(nil), wire...)
+			bit := ls.r.Intn(8 * len(bad))
+			bad[bit/8] ^= 1 << (bit % 8)
+			st.FramesCorrupted++
+			r.deliver(dst, message{wire: bad})
+			continue
+		}
+		r.deliver(dst, message{wire: wire})
+		if cfg.DupProb > 0 && ls.r.Bernoulli(cfg.DupProb) {
+			st.FramesDuplicated++
+			st.MsgsSent++
+			st.BytesSent += 8 * len(data)
+			r.deliver(dst, message{wire: wire})
+		}
+		return
+	}
+	panic(fmt.Sprintf("comm: rank %d -> %d: link gave up after %d attempts (tag %d)",
+		r.id, dst, maxSendAttempts, tag))
+}
+
+// recvFramed is Recv on a faulty link: drain frames until one decodes clean
+// and is not a duplicate. Corrupted frames are counted and discarded — the
+// retransmit is already behind them — so a flipped bit can delay a message
+// but never deliver wrong floats.
+func (r *Rank) recvFramed(f *linkFaults, src, tag int) []float64 {
+	ls := f.links[src][r.id]
+	st := &r.world.stats[r.id]
+	for {
+		m := r.recvMsg(src)
+		gotTag, seq, data, err := DecodeFrame(m.wire)
+		if err != nil {
+			st.CorruptDetected++
+			continue
+		}
+		if seq < ls.expect {
+			st.DupsDropped++
+			continue
+		}
+		ls.expect = seq + 1
+		if gotTag != tag {
+			panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d",
+				r.id, tag, src, gotTag))
+		}
+		return data
+	}
+}
+
+// deliver puts one message on the directed link's channel.
+func (r *Rank) deliver(dst int, m message) {
+	r.world.chans[r.id][dst] <- m
+}
+
+// recvMsg blocks for the next message from src, honouring the receive
+// watchdog when one is armed.
+func (r *Rank) recvMsg(src int) message {
+	ch := r.world.chans[src][r.id]
+	to := r.world.recvTimeout
+	if to <= 0 {
+		return <-ch
+	}
+	timer := time.NewTimer(to)
+	defer timer.Stop()
+	select {
+	case m := <-ch:
+		return m
+	case <-timer.C:
+		panic(fmt.Sprintf(
+			"comm: rank %d timed out after %v waiting on rank %d (dead peer or wedged collective)",
+			r.id, to, src))
+	}
+}

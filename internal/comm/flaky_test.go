@@ -1,0 +1,201 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// testLinkFault is a lossy-but-survivable fabric: 5% drops, 5% duplicates,
+// 5% silent bit flips, 10% delays.
+func testLinkFault() fault.LinkFault {
+	return fault.LinkFault{DropProb: 0.05, DupProb: 0.05, CorruptProb: 0.05, DelayProb: 0.1}
+}
+
+// sumStats aggregates every rank's counters.
+func sumStats(w *World) Stats {
+	var total Stats
+	for i := 0; i < w.Size(); i++ {
+		st := w.Stats(i)
+		total.MsgsSent += st.MsgsSent
+		total.BytesSent += st.BytesSent
+		total.Retransmits += st.Retransmits
+		total.RetransmitBytes += st.RetransmitBytes
+		total.FramesDropped += st.FramesDropped
+		total.FramesCorrupted += st.FramesCorrupted
+		total.FramesDuplicated += st.FramesDuplicated
+		total.CorruptDetected += st.CorruptDetected
+		total.DupsDropped += st.DupsDropped
+		total.DelaysInjected += st.DelaysInjected
+	}
+	return total
+}
+
+// TestChaosFlakyLinkAllReduceExact runs every allreduce algorithm over a
+// lossy fabric: the sums must come out bit-exact on every rank — silent
+// corruption may cost retransmits, never wrong floats.
+func TestChaosFlakyLinkAllReduceExact(t *testing.T) {
+	const p, n = 8, 96
+	for _, algo := range []AllReduceAlgorithm{ARRing, ARRecursiveDoubling, ARTree, ARRabenseifner} {
+		t.Run(algo.String(), func(t *testing.T) {
+			w := NewWorld(p)
+			if err := w.SetLinkFaults(testLinkFault(), 42); err != nil {
+				t.Fatal(err)
+			}
+			results := make([][]float64, p)
+			w.Run(func(r *Rank) {
+				data := make([]float64, n)
+				for i := range data {
+					data[i] = float64(r.ID()*n + i)
+				}
+				r.AllReduce(data, algo)
+				results[r.ID()] = data
+			})
+			for i := 0; i < n; i++ {
+				want := 0.0
+				for rank := 0; rank < p; rank++ {
+					want += float64(rank*n + i)
+				}
+				for rank := 0; rank < p; rank++ {
+					if results[rank][i] != want {
+						t.Fatalf("%s: rank %d element %d = %v, want %v (corruption delivered silently)",
+							algo, rank, i, results[rank][i], want)
+					}
+				}
+			}
+			st := sumStats(w)
+			if st.FramesDropped == 0 || st.FramesCorrupted == 0 || st.FramesDuplicated == 0 {
+				t.Fatalf("injector idle on a 5%%/5%%/5%% fabric: %+v", st)
+			}
+			if st.Retransmits < st.FramesDropped+st.FramesCorrupted {
+				t.Fatalf("retransmits %d < injected losses %d: a loss went unrepaired",
+					st.Retransmits, st.FramesDropped+st.FramesCorrupted)
+			}
+			if st.CorruptDetected != st.FramesCorrupted {
+				t.Fatalf("receiver detected %d corruptions, injector made %d",
+					st.CorruptDetected, st.FramesCorrupted)
+			}
+			// A duplicate rides behind its accepted twin, so one injected on
+			// a link's final exchange may still sit in the channel at exit —
+			// but dedup must catch the mid-stream ones and never over-count.
+			if st.DupsDropped > st.FramesDuplicated {
+				t.Fatalf("receiver dropped %d dups, injector made only %d",
+					st.DupsDropped, st.FramesDuplicated)
+			}
+			if st.FramesDuplicated > 8 && st.DupsDropped == 0 {
+				t.Fatalf("%d duplicates injected, none deduplicated", st.FramesDuplicated)
+			}
+			if st.RetransmitBytes <= 0 {
+				t.Fatal("retransmit overhead not measured")
+			}
+		})
+	}
+}
+
+// TestChaosFlakyLinkBroadcastAndBarrier covers the remaining collectives on
+// the lossy fabric, including zero-length (barrier) frames.
+func TestChaosFlakyLinkBroadcastAndBarrier(t *testing.T) {
+	const p = 8
+	w := NewWorld(p)
+	if err := w.SetLinkFaults(testLinkFault(), 7); err != nil {
+		t.Fatal(err)
+	}
+	payload := []float64{3.25, -1e300, 0, 7}
+	got := make([][]float64, p)
+	gathered := make([][]float64, p)
+	w.Run(func(r *Rank) {
+		r.Barrier()
+		got[r.ID()] = r.Broadcast(2, append([]float64(nil), payload...))
+		r.Barrier()
+		gathered[r.ID()] = r.AllGather([]float64{float64(r.ID())})
+	})
+	for rank := 0; rank < p; rank++ {
+		for i, v := range payload {
+			if got[rank][i] != v {
+				t.Fatalf("broadcast on rank %d: element %d = %v, want %v", rank, i, got[rank][i], v)
+			}
+		}
+		for i := 0; i < p; i++ {
+			if gathered[rank][i] != float64(i) {
+				t.Fatalf("allgather on rank %d: slot %d = %v", rank, i, gathered[rank][i])
+			}
+		}
+	}
+}
+
+// TestFlakyLinkDeterministic: the same seed yields the identical fault
+// history (every counter), regardless of goroutine interleaving, because
+// each directed link owns its own split stream.
+func TestFlakyLinkDeterministic(t *testing.T) {
+	run := func() Stats {
+		w := NewWorld(4)
+		if err := w.SetLinkFaults(testLinkFault(), 1234); err != nil {
+			t.Fatal(err)
+		}
+		w.Run(func(r *Rank) {
+			data := make([]float64, 32)
+			for rep := 0; rep < 5; rep++ {
+				r.AllReduce(data, ARRing)
+				r.Barrier()
+			}
+		})
+		return sumStats(w)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault history:\n%+v\n%+v", a, b)
+	}
+	if a.Retransmits == 0 {
+		t.Fatal("fabric injected nothing")
+	}
+}
+
+// TestFlakyLinkValidation rejects impossible fault configurations.
+func TestFlakyLinkValidation(t *testing.T) {
+	w := NewWorld(2)
+	if err := w.SetLinkFaults(fault.LinkFault{DropProb: 1.5}, 1); err == nil {
+		t.Fatal("accepted DropProb 1.5")
+	}
+	if err := w.SetLinkFaults(fault.LinkFault{DropProb: 0.5, CorruptProb: 0.5}, 1); err == nil {
+		t.Fatal("accepted a fabric that can never deliver")
+	}
+}
+
+// TestRecvTimeoutWatchdog: a receive from a silent peer must fail loudly
+// with an attributable panic, not hang the collective forever.
+func TestRecvTimeoutWatchdog(t *testing.T) {
+	w := NewWorld(2)
+	w.SetRecvTimeout(20 * time.Millisecond)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("lost peer did not trip the watchdog")
+		}
+		msg := fmt.Sprint(p)
+		if !strings.Contains(msg, "timed out") || !strings.Contains(msg, "rank 1") {
+			t.Fatalf("watchdog panic does not name the stall: %v", msg)
+		}
+	}()
+	w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			r.Recv(0, 99) // rank 0 never sends: the gray hang
+		}
+	})
+}
+
+// TestRecvTimeoutDoesNotFireOnHealthyTraffic: the watchdog must be
+// invisible when peers answer in time.
+func TestRecvTimeoutDoesNotFireOnHealthyTraffic(t *testing.T) {
+	w := NewWorld(4)
+	w.SetRecvTimeout(5 * time.Second)
+	w.Run(func(r *Rank) {
+		data := []float64{float64(r.ID())}
+		r.AllReduce(data, ARTree)
+		if data[0] != 6 {
+			panic("wrong sum")
+		}
+	})
+}

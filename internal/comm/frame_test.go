@@ -1,0 +1,138 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]float64{
+		nil,
+		{},
+		{0},
+		{1.5, -2.25, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64},
+		make([]float64, 257),
+	}
+	for _, data := range payloads {
+		b := EncodeFrame(3<<20+7, 41, data)
+		tag, seq, got, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("clean frame rejected: %v", err)
+		}
+		if tag != 3<<20+7 || seq != 41 {
+			t.Fatalf("header mangled: tag=%d seq=%d", tag, seq)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("payload length %d, want %d", len(got), len(data))
+		}
+		for i := range data {
+			if math.Float64bits(got[i]) != math.Float64bits(data[i]) {
+				t.Fatalf("payload[%d] = %v, want %v", i, got[i], data[i])
+			}
+		}
+	}
+}
+
+// NaN payloads must round-trip bit-exactly (== comparison would lie).
+func TestFrameRoundTripNaN(t *testing.T) {
+	data := []float64{math.NaN(), 1}
+	_, _, got, err := DecodeFrame(EncodeFrame(1, 0, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got[0]) != math.Float64bits(data[0]) {
+		t.Fatal("NaN payload bits changed in flight")
+	}
+}
+
+// TestFrameDetectsEverySingleBitFlip: CRC-32 guarantees detection of any
+// single-bit error, which is exactly what the SilentCorruption injector
+// produces. Flip every bit of a frame and require a decode error each time.
+func TestFrameDetectsEverySingleBitFlip(t *testing.T) {
+	b := EncodeFrame(7, 3, []float64{1.25, -9.5, 1e-300})
+	for bit := 0; bit < 8*len(b); bit++ {
+		bad := append([]byte(nil), b...)
+		bad[bit/8] ^= 1 << (bit % 8)
+		if _, _, _, err := DecodeFrame(bad); err == nil {
+			t.Fatalf("flipping bit %d went undetected", bit)
+		}
+	}
+}
+
+func TestFrameRejectsTruncatedAndMismatched(t *testing.T) {
+	b := EncodeFrame(1, 2, []float64{3, 4})
+	if _, _, _, err := DecodeFrame(nil); !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("nil frame: %v, want ErrFrameTruncated", err)
+	}
+	if _, _, _, err := DecodeFrame(b[:frameHeaderLen-1]); !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	if _, _, _, err := DecodeFrame(b[:len(b)-3]); !errors.Is(err, ErrFrameTruncated) {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	if _, _, _, err := DecodeFrame(append(b, 0)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// FuzzCommFrame is the satellite fuzz target: arbitrary bytes through
+// DecodeFrame must never panic and never deliver silently-wrong data; valid
+// frames must round-trip canonically; and any single-bit corruption of a
+// valid frame must be rejected, because that is the recovery contract the
+// retransmitting transport depends on.
+func FuzzCommFrame(f *testing.F) {
+	f.Add([]byte{})                            // zero-length frame
+	f.Add(EncodeFrame(0, 0, nil))              // minimal valid frame
+	f.Add(EncodeFrame(1<<20, 5, []float64{1})) // small valid frame
+	flipped := EncodeFrame(2<<20, 9, []float64{2.5, -3})
+	flipped[12] ^= 0xff // flipped-CRC seed
+	f.Add(flipped)
+	f.Add(bytes.Repeat([]byte{0xaa}, 40))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// 1. Decoding arbitrary bytes must not panic; a successful decode
+		//    must re-encode to the identical bytes (canonical framing).
+		tag, seq, data, err := DecodeFrame(b)
+		if err == nil {
+			if re := EncodeFrame(tag, seq, data); !bytes.Equal(re, b) {
+				t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", b, re)
+			}
+		}
+
+		// 2. Treat the input as a payload: encode must decode exactly.
+		payload := make([]float64, len(b)/8)
+		for i := range payload {
+			var bits uint64
+			for j := 0; j < 8; j++ {
+				bits |= uint64(b[8*i+j]) << (8 * j)
+			}
+			payload[i] = math.Float64frombits(bits)
+		}
+		enc := EncodeFrame(int(uint32(len(b))), len(payload), payload)
+		tag2, seq2, got, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("fresh frame rejected: %v", err)
+		}
+		if tag2 != int(uint32(len(b))) || seq2 != len(payload) || len(got) != len(payload) {
+			t.Fatalf("fresh frame mangled: tag=%d seq=%d n=%d", tag2, seq2, len(got))
+		}
+		for i := range payload {
+			if math.Float64bits(got[i]) != math.Float64bits(payload[i]) {
+				t.Fatalf("payload[%d] bits changed", i)
+			}
+		}
+
+		// 3. One flipped bit (position derived from the input) must be
+		//    detected — never decoded as valid data.
+		if len(enc) > 0 {
+			bit := int(uint32(len(b))*2654435761) % (8 * len(enc))
+			bad := append([]byte(nil), enc...)
+			bad[bit/8] ^= 1 << (bit % 8)
+			if _, _, _, err := DecodeFrame(bad); err == nil {
+				t.Fatalf("single-bit flip at %d delivered silently", bit)
+			}
+		}
+	})
+}

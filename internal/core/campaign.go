@@ -80,6 +80,32 @@ type CampaignConfig struct {
 	// RestartOverhead is the wall-clock cost of relaunching a crashed
 	// evaluation attempt (process restart + data restage), in seconds.
 	RestartOverhead float64
+	// RetryBackoffBase, when positive, inserts a capped exponential backoff
+	// before each retry: min(Base*2^k, Cap) seconds before the k-th restart
+	// (k from 0), jittered by RetryBackoffJitter. Zero keeps the legacy
+	// immediate requeue. Backoffs are sampled up front from a split stream,
+	// so the same seed yields the same backoff schedule under every
+	// scheduler.
+	RetryBackoffBase float64
+	// RetryBackoffCap bounds the exponential backoff (0 = 8x the base).
+	RetryBackoffCap float64
+	// RetryBackoffJitter spreads each backoff uniformly over
+	// [1-J, 1+J] to de-synchronize retry waves; clamped to [0, 1).
+	RetryBackoffJitter float64
+	// QuarantineAfter, when positive, quarantines a configuration once it
+	// has crashed this many consecutive attempts: the scheduler stops
+	// burning nodes on a likely poison pill instead of retrying forever.
+	// Quarantined configs are counted in QuarantinedConfigs, not re-run.
+	QuarantineAfter int
+	// PoisonFraction marks a seeded fraction of configurations as poison
+	// pills: every attempt deterministically crashes partway through (a bad
+	// hyperparameter region that NaNs or OOMs every time), regardless of
+	// the node MTBF. Requires QuarantineAfter or MaxRetries to bound the
+	// retry loop — a poison pill never completes.
+	PoisonFraction float64
+	// PoisonRunFraction is the fraction of the evaluation's nominal
+	// duration a poison attempt burns before crashing (0 = 0.25).
+	PoisonRunFraction float64
 	// RNG drives duration sampling.
 	RNG *rng.Stream
 	// Obs, if enabled, records dispatch/steal counters and busy/idle/
@@ -120,11 +146,28 @@ type CampaignResult struct {
 	LostEvalSeconds float64
 	// AbandonedConfigs counts configurations dropped after MaxRetries.
 	AbandonedConfigs int
+	// BackoffSeconds is the total wall-clock spent waiting in retry
+	// backoff across all configurations.
+	BackoffSeconds float64
+	// QuarantinedConfigs counts configurations pulled from the campaign
+	// after QuarantineAfter consecutive crashed attempts.
+	QuarantinedConfigs int
+	// PoisonConfigs counts configurations the seeded poison draw marked as
+	// always-crashing (every one ends quarantined or abandoned).
+	PoisonConfigs int
 }
 
 func (r CampaignResult) String() string {
 	return fmt.Sprintf("%-12s makespan=%9.1fs utilization=%5.1f%% (ideal %9.1fs)",
 		r.Scheduler, r.Makespan, 100*r.Utilization, r.IdealMakespan)
+}
+
+// rest is boffs[1:] guarded against the no-backoff (nil) case.
+func rest(boffs []float64) []float64 {
+	if len(boffs) == 0 {
+		return nil
+	}
+	return boffs[1:]
 }
 
 // RunCampaign simulates the campaign and returns makespan and utilization.
@@ -168,21 +211,67 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	// Under failure injection every evaluation becomes a retry loop: sample
 	// the attempt segments for all configs up front from a split stream so
 	// the failure schedule is a function of the seed alone, identical under
-	// every scheduler. attempts[i] is nil when config i runs failure-free.
+	// every scheduler. attempts[i] is nil when config i runs failure-free;
+	// backoffs[i][k] is the wait before config i's k-th restart.
 	attempts := make([][]float64, cfg.Configs)
+	backoffs := make([][]float64, cfg.Configs)
 	if cfg.Faults != nil {
 		if cfg.Faults.MTBF <= 0 {
 			return CampaignResult{}, fmt.Errorf("core: campaign faults need MTBF > 0")
 		}
+		if cfg.PoisonFraction < 0 || cfg.PoisonFraction >= 1 {
+			return CampaignResult{}, fmt.Errorf("core: PoisonFraction %v outside [0, 1)", cfg.PoisonFraction)
+		}
+		if cfg.PoisonFraction > 0 && cfg.QuarantineAfter <= 0 && cfg.MaxRetries <= 0 {
+			return CampaignResult{}, fmt.Errorf("core: poison pills never complete; bound them with QuarantineAfter or MaxRetries")
+		}
+		// A retry budget and a quarantine threshold both cap attempts; the
+		// tighter one binds.
 		maxRetries := -1 // retry until completion
 		if cfg.MaxRetries > 0 {
 			maxRetries = cfg.MaxRetries
 		}
+		if q := cfg.QuarantineAfter; q > 0 && (maxRetries < 0 || q-1 < maxRetries) {
+			maxRetries = q - 1
+		}
+		jitter := cfg.RetryBackoffJitter
+		if jitter < 0 {
+			jitter = 0
+		} else if jitter >= 1 {
+			jitter = math.Nextafter(1, 0)
+		}
+		backoffCap := cfg.RetryBackoffCap
+		if backoffCap <= 0 {
+			backoffCap = 8 * cfg.RetryBackoffBase
+		}
+		poisonFrac := cfg.PoisonRunFraction
+		if poisonFrac <= 0 {
+			poisonFrac = 0.25
+		}
 		fr := cfg.RNG.Split("campaign-faults")
+		var pr, br *rng.Stream
+		if cfg.PoisonFraction > 0 {
+			pr = cfg.RNG.Split("campaign-poison")
+		}
+		if cfg.RetryBackoffBase > 0 {
+			br = cfg.RNG.Split("campaign-backoff")
+		}
 		for i, d := range durations {
-			segs, completed := fault.AttemptSegments(fr, d, cfg.Faults.MTBF, maxRetries)
-			if len(segs) == 1 && completed {
-				continue // no crash touched this evaluation
+			var segs []float64
+			completed := false
+			if pr != nil && pr.Bernoulli(cfg.PoisonFraction) {
+				// Poison pill: every attempt crashes at the same point, and
+				// the retry loop runs to whichever bound binds first.
+				res.PoisonConfigs++
+				segs = make([]float64, maxRetries+1)
+				for j := range segs {
+					segs[j] = poisonFrac * d
+				}
+			} else {
+				segs, completed = fault.AttemptSegments(fr, d, cfg.Faults.MTBF, maxRetries)
+				if len(segs) == 1 && completed {
+					continue // no crash touched this evaluation
+				}
 			}
 			attempts[i] = segs
 			res.Retries += len(segs) - 1
@@ -192,18 +281,40 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 					res.LostEvalSeconds += s
 				}
 			} else {
-				// Every attempt crashed and the retry budget ran out: the
-				// whole evaluation is lost work.
+				// Every attempt crashed and the retry loop gave up: the whole
+				// evaluation is lost work. Attribute the drop to quarantine
+				// when the quarantine threshold is what stopped the retries.
 				res.Failures += len(segs)
-				res.AbandonedConfigs++
+				if q := cfg.QuarantineAfter; q > 0 && len(segs) >= q {
+					res.QuarantinedConfigs++
+				} else {
+					res.AbandonedConfigs++
+				}
 				for _, s := range segs {
 					res.LostEvalSeconds += s
 				}
 			}
+			if br != nil && len(segs) > 1 {
+				bs := make([]float64, len(segs)-1)
+				for k := range bs {
+					b := cfg.RetryBackoffBase * math.Pow(2, float64(k))
+					if b > backoffCap {
+						b = backoffCap
+					}
+					if jitter > 0 {
+						b *= br.Uniform(1-jitter, 1+jitter)
+					}
+					bs[k] = b
+					res.BackoffSeconds += b
+				}
+				backoffs[i] = bs
+			}
 		}
 	}
 	// Effective node-seconds per config for schedulers that restart locally:
-	// all attempt segments plus one restart overhead per retry.
+	// all attempt segments plus one restart overhead per retry, plus the
+	// retry backoff (the relaunch is pinned to the owning node or group, so
+	// the slot waits out the backoff in place).
 	localCost := func(i int) float64 {
 		if attempts[i] == nil {
 			return durations[i]
@@ -211,6 +322,9 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		c := float64(len(attempts[i])-1) * cfg.RestartOverhead
 		for _, s := range attempts[i] {
 			c += s
+		}
+		for _, b := range backoffs[i] {
+			c += b
 		}
 		return c
 	}
@@ -235,14 +349,15 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	case DynamicQueue:
 		// Single global FIFO: every task pays the dispatch overhead on the
 		// manager before a node runs it (the central-manager bottleneck).
-		// A crashed attempt is requeued: the retry goes back through the
-		// manager and pays the dispatch overhead again.
+		// A crashed attempt is requeued: the retry waits out its backoff off
+		// the node (the slot is released and serves other work), then goes
+		// back through the manager and pays the dispatch overhead again.
 		eng := sim.NewEngine()
 		nodes := sim.NewResource(eng, cfg.Nodes)
 		manager := sim.NewResource(eng, 1)
 		dispatches := 0
-		var enqueue func(segs []float64, retry bool)
-		enqueue = func(segs []float64, retry bool) {
+		var enqueue func(segs, boffs []float64, retry bool)
+		enqueue = func(segs, boffs []float64, retry bool) {
 			dispatches++
 			manager.Acquire(func(releaseMgr func()) {
 				eng.Schedule(cfg.DispatchOverhead, func() {
@@ -255,7 +370,12 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 						eng.Schedule(run, func() {
 							releaseNode()
 							if len(segs) > 1 {
-								enqueue(segs[1:], true)
+								requeue := func() { enqueue(segs[1:], rest(boffs), true) }
+								if len(boffs) > 0 && boffs[0] > 0 {
+									eng.Schedule(boffs[0], requeue)
+								} else {
+									requeue()
+								}
 							}
 						})
 					})
@@ -264,9 +384,9 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		}
 		for i, d := range durations {
 			if attempts[i] != nil {
-				enqueue(attempts[i], false)
+				enqueue(attempts[i], backoffs[i], false)
 			} else {
-				enqueue([]float64{d}, false)
+				enqueue([]float64{d}, nil, false)
 			}
 		}
 		res.Makespan = eng.Run()
@@ -361,7 +481,10 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 			o.Count(prefix+".failures", int64(res.Failures))
 			o.Count(prefix+".retries", int64(res.Retries))
 			o.Count(prefix+".abandoned", int64(res.AbandonedConfigs))
+			o.Count(prefix+".quarantined", int64(res.QuarantinedConfigs))
+			o.Count(prefix+".poison", int64(res.PoisonConfigs))
 			o.SetGauge(prefix+".lost_eval_seconds", res.LostEvalSeconds)
+			o.SetGauge(prefix+".backoff_seconds", res.BackoffSeconds)
 		}
 	}
 	return res, nil

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// Backoff bugfix: retries used to requeue immediately; now each restart
+// waits out a capped exponential backoff, deterministically per seed, and
+// the total wait is surfaced in the result.
+func TestCampaignBackoffDeterministicAndAccounted(t *testing.T) {
+	for _, sched := range []SchedulerKind{StaticPartition, DynamicQueue, HierarchicalQueue} {
+		t.Run(sched.String(), func(t *testing.T) {
+			mk := func() CampaignConfig {
+				cfg := faultCampaign(sched, 11, nodeProc(16))
+				cfg.RetryBackoffBase = 1
+				cfg.RetryBackoffCap = 10
+				cfg.RetryBackoffJitter = 0.5
+				return cfg
+			}
+			a, err := RunCampaign(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunCampaign(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Makespan != b.Makespan || a.BackoffSeconds != b.BackoffSeconds {
+				t.Fatalf("same seed, different backoff schedule:\n%+v\n%+v", a, b)
+			}
+			if a.Retries == 0 || a.BackoffSeconds <= 0 {
+				t.Fatalf("retries without backoff: %+v", a)
+			}
+			// Capped exponential with +-50% jitter: every backoff lies in
+			// [0.5*base, 1.5*cap], so the total is bounded by the retry count.
+			if a.BackoffSeconds < 0.5*float64(a.Retries) || a.BackoffSeconds > 1.5*10*float64(a.Retries) {
+				t.Fatalf("backoff total %v out of range for %d retries", a.BackoffSeconds, a.Retries)
+			}
+
+			// Backoff only ever adds time over the immediate-requeue legacy.
+			legacy, err := RunCampaign(faultCampaign(sched, 11, nodeProc(16)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if legacy.BackoffSeconds != 0 {
+				t.Fatalf("legacy immediate requeue reports backoff: %+v", legacy)
+			}
+			if a.Makespan < legacy.Makespan {
+				t.Fatalf("backoff shrank the makespan: %v vs %v", a.Makespan, legacy.Makespan)
+			}
+		})
+	}
+}
+
+// Without jitter the backoff before retry k is exactly min(base*2^k, cap).
+func TestCampaignBackoffIsCappedExponential(t *testing.T) {
+	// MTBF 20 over ~100s evals forces long retry chains; retries are
+	// unbounded so chains reach the cap.
+	cfg := faultCampaign(StaticPartition, 5, &fault.Process{Nodes: 16, MTBF: 20, Horizon: 1e9})
+	cfg.RetryBackoffBase = 1
+	cfg.RetryBackoffCap = 4
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per config the first three backoffs are 1, 2, 4 and every later one
+	// is 4, so the average per retry lies in [1, 4].
+	if res.BackoffSeconds < float64(res.Retries) || res.BackoffSeconds > 4*float64(res.Retries) {
+		t.Fatalf("backoff %v for %d retries violates the [base, cap] envelope",
+			res.BackoffSeconds, res.Retries)
+	}
+}
+
+// Quarantine pulls configurations that keep crashing, bounding the work
+// burned on them even when retries are otherwise unlimited.
+func TestCampaignQuarantineBoundsRetries(t *testing.T) {
+	cfg := faultCampaign(StaticPartition, 5, &fault.Process{Nodes: 16, MTBF: 20, Horizon: 1e9})
+	cfg.QuarantineAfter = 2
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuarantinedConfigs == 0 {
+		t.Fatal("MTBF 20 with QuarantineAfter 2 quarantined nothing")
+	}
+	if res.AbandonedConfigs != 0 {
+		t.Fatalf("no MaxRetries set, yet %d configs counted abandoned", res.AbandonedConfigs)
+	}
+	// At most QuarantineAfter attempts per config.
+	if res.Failures > 300*2 {
+		t.Fatalf("failures %d exceed the quarantine attempt bound", res.Failures)
+	}
+}
+
+// Poison pills deterministically crash every attempt and always end up
+// quarantined; the rest of the campaign completes around them.
+func TestCampaignPoisonPillsQuarantined(t *testing.T) {
+	mk := func() CampaignConfig {
+		cfg := faultCampaign(DynamicQueue, 17, nodeProc(16))
+		cfg.PoisonFraction = 0.1
+		cfg.QuarantineAfter = 3
+		cfg.RetryBackoffBase = 0.5
+		return cfg
+	}
+	res, err := RunCampaign(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoisonConfigs == 0 {
+		t.Fatal("10% poison draw over 300 configs marked nothing")
+	}
+	if res.QuarantinedConfigs < res.PoisonConfigs {
+		t.Fatalf("%d poison configs but only %d quarantined",
+			res.PoisonConfigs, res.QuarantinedConfigs)
+	}
+	// Every poison config burns exactly QuarantineAfter attempts.
+	if res.Failures < 3*res.PoisonConfigs {
+		t.Fatalf("%d failures too few for %d poison pills at 3 attempts each",
+			res.Failures, res.PoisonConfigs)
+	}
+	// Deterministic: the poison draw comes from a split stream.
+	again, err := RunCampaign(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoisonConfigs != again.PoisonConfigs || res.Makespan != again.Makespan {
+		t.Fatalf("same seed, different poison campaign:\n%+v\n%+v", res, again)
+	}
+	// The dynamic queue still requeues each retry through the manager.
+	if res.Dispatches != 300+res.Retries {
+		t.Fatalf("dispatches %d, want configs+retries = %d", res.Dispatches, 300+res.Retries)
+	}
+}
+
+func TestCampaignResilValidation(t *testing.T) {
+	cfg := faultCampaign(StaticPartition, 1, nodeProc(16))
+	cfg.PoisonFraction = 0.1 // unbounded retry loop on a pill that never completes
+	if _, err := RunCampaign(cfg); err == nil {
+		t.Fatal("poison pills without QuarantineAfter or MaxRetries accepted")
+	}
+	cfg.PoisonFraction = 1.5
+	if _, err := RunCampaign(cfg); err == nil {
+		t.Fatal("PoisonFraction > 1 accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// E12Resilience maps the hedging frontier under a gray failure: one replica
+// of the serving fleet runs 10x slow (fault.DegradedWorker in the load
+// simulator's terms) while open-loop traffic arrives at a fraction of
+// capacity. The experiment first measures a clean fleet to calibrate the
+// hedge budget from a healthy latency quantile (p95), then replays the
+// degraded fleet unhedged and hedged at budgets on both sides of that
+// calibration point.
+//
+// Expected shape (paper claim): at 27k-GPU scale something is always slow,
+// and a single gray straggler poisons the tail — every request unlucky
+// enough to land on it inherits the 10x service time, so the unhedged p99
+// sits an order of magnitude above the clean one. Hedging at the healthy
+// p95 budget rescues exactly those requests (the duplicate lands on a
+// healthy replica and wins), collapsing p99 back toward clean levels for a
+// few percent of duplicated work. The budget knob trades the two: hedging
+// late (4x) saves work but leaves more of the straggler's tail standing,
+// while hedging too early (0.5x, below the healthy p50) is metastable —
+// every request hedges, the single-request hedge batches destroy batching
+// efficiency, and the duplicated load pushes the fleet past capacity. The
+// collapse in that row is the measurement, not a bug: it is why hedge
+// budgets are calibrated from a healthy quantile rather than set "low".
+func E12Resilience(cfg Config) *trace.Table {
+	t := trace.NewTable("E12 gray-failure resilience: hedging frontier under a 10x degraded replica",
+		"scenario", "budget-ms", "p50-ms", "p95-ms", "p99-ms", "max-ms",
+		"hedged", "hedge-wins", "dup-work-pct")
+
+	const (
+		replicas = 6
+		factor   = 10
+	)
+	requests := 20000
+	if cfg.Quick {
+		requests = 4000
+	}
+	svc := serve.DefaultServiceModel()
+
+	base := serve.LoadConfig{
+		Requests:   requests,
+		Replicas:   replicas,
+		MaxBatch:   8,
+		MaxLinger:  2 * time.Millisecond,
+		QueueCap:   256,
+		RatePerSec: 0.2 * svc.CapacityRPS(replicas, 8),
+		Seed:       cfg.Seed,
+		Service:    svc,
+	}
+
+	run := func(c serve.LoadConfig) *serve.LoadReport {
+		rep, err := serve.RunLoad(c)
+		if err != nil {
+			panic(err)
+		}
+		return rep
+	}
+	row := func(name string, budget time.Duration, rep *serve.LoadReport) {
+		t.AddRow(name, float64(budget)/float64(time.Millisecond),
+			rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms, rep.LatencyMaxMs,
+			rep.Hedged, rep.HedgeWins, rep.DuplicatedWorkPct)
+	}
+
+	// Calibration: the healthy fleet's p95 is the seeded hedge budget.
+	clean := run(base)
+	budget := time.Duration(clean.LatencyP95Ms * float64(time.Millisecond))
+	row("clean", 0, clean)
+
+	// The gray failure: replica 0 serves every batch 10x slow.
+	degraded := base
+	degraded.DegradeFactor = factor
+	degraded.DegradeReplica = 0
+	row("degraded-unhedged", 0, run(degraded))
+
+	// The frontier: hedge budgets on both sides of the calibrated p95.
+	for _, mult := range []float64{0.5, 1, 2, 4} {
+		hedged := degraded
+		hedged.HedgeAfter = time.Duration(float64(budget) * mult)
+		rep := run(hedged)
+		name := "hedged-0.5x-p95"
+		switch mult {
+		case 1:
+			name = "hedged-1x-p95"
+		case 2:
+			name = "hedged-2x-p95"
+		case 4:
+			name = "hedged-4x-p95"
+		}
+		row(name, hedged.HedgeAfter, rep)
+
+		if cfg.Obs.Enabled() {
+			cfg.Obs.Emit("e12.frontier", rep.LatencyP99Ms, map[string]float64{
+				"budget_ms":    float64(hedged.HedgeAfter) / float64(time.Millisecond),
+				"dup_work_pct": rep.DuplicatedWorkPct,
+			})
+		}
+	}
+	return t
+}

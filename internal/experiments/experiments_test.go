@@ -23,8 +23,8 @@ func runQuick(t *testing.T, id string) (*Experiment, string) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := All()
-	if len(all) != 11 {
-		t.Fatalf("expected 11 experiments, got %d", len(all))
+	if len(all) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -335,6 +335,51 @@ func TestE10Shape(t *testing.T) {
 	if groups["256"].bestInterval < groups["4096"].bestInterval {
 		t.Fatalf("optimal interval grew with machine size: 256→%v, 4096→%v",
 			groups["256"].bestInterval, groups["4096"].bestInterval)
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	_, out := runQuick(t, "E12")
+	rows := tableRows(out)
+	// Columns: scenario budget-ms p50 p95 p99 max hedged hedge-wins dup-pct.
+	if len(rows) != 6 {
+		t.Fatalf("expected clean + unhedged + 4 hedged rows, got %d:\n%s", len(rows), out)
+	}
+	byName := map[string][]string{}
+	for _, r := range rows {
+		byName[r[0]] = r
+	}
+	clean, unhedged := byName["clean"], byName["degraded-unhedged"]
+	early, atBudget, late := byName["hedged-0.5x-p95"], byName["hedged-1x-p95"], byName["hedged-4x-p95"]
+	if clean == nil || unhedged == nil || early == nil || atBudget == nil || late == nil {
+		t.Fatalf("missing scenario rows:\n%s", out)
+	}
+	// The gray straggler poisons the tail without hedging...
+	if f(t, unhedged[4]) < 3*f(t, clean[4]) {
+		t.Fatalf("10x straggler barely moved p99 (%s -> %s ms):\n%s", clean[4], unhedged[4], out)
+	}
+	// ...hedging at the healthy p95 buys it back 2x+ for <=15% extra work...
+	if 2*f(t, atBudget[4]) > f(t, unhedged[4]) {
+		t.Fatalf("hedging at p95 cut p99 only %s -> %s ms (< 2x):\n%s", unhedged[4], atBudget[4], out)
+	}
+	if f(t, atBudget[8]) > 15 {
+		t.Fatalf("%s%% duplicated work at the p95 budget (> 15%%):\n%s", atBudget[8], out)
+	}
+	if f(t, atBudget[6]) == 0 || f(t, atBudget[7]) == 0 {
+		t.Fatalf("at-budget run never hedged or never won:\n%s", out)
+	}
+	// ...hedging below the healthy p50 duplicates far more work...
+	if f(t, early[8]) <= 2*f(t, atBudget[8]) {
+		t.Fatalf("sub-p50 budget did not blow up duplicated work (%s%% vs %s%%):\n%s",
+			early[8], atBudget[8], out)
+	}
+	// ...and hedging late saves work but leaves more tail standing.
+	if f(t, late[8]) > f(t, atBudget[8]) {
+		t.Fatalf("4x budget duplicated more work than 1x (%s%% vs %s%%):\n%s",
+			late[8], atBudget[8], out)
+	}
+	if f(t, late[4]) <= f(t, atBudget[4]) {
+		t.Fatalf("4x budget p99 %s not above 1x budget p99 %s:\n%s", late[4], atBudget[4], out)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/rng"
@@ -45,7 +46,7 @@ func (k Kind) String() string {
 	case CollectiveError:
 		return "collective"
 	default:
-		return "fault?"
+		return grayString(k)
 	}
 }
 
@@ -237,6 +238,12 @@ type Plan struct {
 	kills map[int]int // worker -> global step at which it dies
 	hangs map[planKey]time.Duration
 	coll  map[int]bool // global step -> one transient collective failure
+
+	// degrade is guarded by degradeMu: unlike kills/hangs (scripted before a
+	// run starts), a gray slowdown may be repaired mid-run — the health
+	// re-admission tests clear it while replicas are still probing.
+	degradeMu sync.RWMutex
+	degrade   map[int]float64 // worker -> persistent gray slowdown factor
 }
 
 type planKey struct{ worker, step int }
@@ -244,9 +251,10 @@ type planKey struct{ worker, step int }
 // NewPlan returns an empty failure plan (inject nothing).
 func NewPlan() *Plan {
 	return &Plan{
-		kills: map[int]int{},
-		hangs: map[planKey]time.Duration{},
-		coll:  map[int]bool{},
+		kills:   map[int]int{},
+		hangs:   map[planKey]time.Duration{},
+		coll:    map[int]bool{},
+		degrade: map[int]float64{},
 	}
 }
 

@@ -1,0 +1,152 @@
+package fault
+
+import "fmt"
+
+// Gray failures — the taxonomy this file adds to the crash/hang/collective
+// kinds in fault.go — are the failures that do not kill anything. A worker
+// that is persistently 10x slower, a link that drops or duplicates one
+// message in twenty, a fabric that flips a bit in a payload: at the scale
+// the paper targets these cost more delivered throughput than outright
+// crashes, because nothing detects them for free. Patton et al. report that
+// sustaining 27k-GPU CANDLE runs hinges on tolerating exactly this class of
+// degradation.
+//
+// The taxonomy has three members:
+//
+//   - DegradedWorker: a worker (or serving replica) that stays alive but
+//     runs at a persistent seeded slowdown factor. Scripted per worker via
+//     Plan.Degrade; consumed by internal/serve (health scoring, hedging)
+//     and the serving load simulator.
+//   - FlakyLink: a point-to-point link that delays, drops, or duplicates
+//     frames. Described by LinkFault; consumed by internal/comm, which
+//     CRC-frames traffic and retransmits around the injected loss.
+//   - SilentCorruption: a bit flip in a payload in transit. Also part of
+//     LinkFault (CorruptProb); internal/comm detects it by CRC mismatch at
+//     the receiver and recovers by retransmission — the payload is never
+//     delivered silently wrong.
+//
+// Everything is seeded: the same seed produces the same degradation, the
+// same dropped frames, the same flipped bits, which is what keeps the gray
+// chaos suites deterministic under -race.
+
+// Gray-failure kinds, extending the crash taxonomy in fault.go. Process
+// schedules never emit these — they are persistent conditions scripted via
+// Plan.Degrade (DegradedWorker) or LinkFault (FlakyLink, SilentCorruption),
+// not point events — but they share the Kind namespace so observability and
+// reports can name every injected failure class uniformly.
+const (
+	// DegradedWorker marks a persistently slow (but alive and correct)
+	// worker: everything it does takes Factor times longer.
+	DegradedWorker Kind = iota + 100
+	// FlakyLink marks a lossy point-to-point link: frames may be delayed,
+	// dropped, or duplicated in transit.
+	FlakyLink
+	// SilentCorruption marks in-transit payload corruption: a bit flip that
+	// no layer reports unless the receiver checks for it.
+	SilentCorruption
+)
+
+// grayString names the gray kinds (called from Kind.String in fault.go).
+func grayString(k Kind) string {
+	switch k {
+	case DegradedWorker:
+		return "degraded"
+	case FlakyLink:
+		return "flaky-link"
+	case SilentCorruption:
+		return "silent-corruption"
+	default:
+		return "fault?"
+	}
+}
+
+// Degrade scripts a persistent gray slowdown: every unit of work worker
+// does takes factor times as long as a healthy worker's, for the whole run
+// (contrast Hang, which stalls one step). factor <= 1 clears the entry.
+// Returns the plan for chaining.
+func (p *Plan) Degrade(worker int, factor float64) *Plan {
+	p.degradeMu.Lock()
+	defer p.degradeMu.Unlock()
+	if factor <= 1 {
+		delete(p.degrade, worker)
+		return p
+	}
+	p.degrade[worker] = factor
+	return p
+}
+
+// DegradeFactor returns worker's slowdown factor (1 = healthy).
+func (p *Plan) DegradeFactor(worker int) float64 {
+	if p == nil {
+		return 1
+	}
+	p.degradeMu.RLock()
+	defer p.degradeMu.RUnlock()
+	if f, ok := p.degrade[worker]; ok {
+		return f
+	}
+	return 1
+}
+
+// NumDegraded returns how many workers the plan degrades.
+func (p *Plan) NumDegraded() int {
+	if p == nil {
+		return 0
+	}
+	p.degradeMu.RLock()
+	defer p.degradeMu.RUnlock()
+	return len(p.degrade)
+}
+
+// LinkFault describes a flaky point-to-point fabric: each frame in transit
+// is independently (and deterministically, per seeded link stream) subject
+// to delay, drop, duplication, and silent single-bit corruption. Consumed
+// by comm.World.SetLinkFaults, whose CRC framing turns SilentCorruption
+// into detected-and-retransmitted frames.
+type LinkFault struct {
+	// DropProb is the probability a frame is lost in transit. The sender's
+	// (modelled) ack timeout fires and the frame is retransmitted.
+	DropProb float64
+	// DupProb is the probability a frame is delivered twice. The receiver
+	// deduplicates by sequence number.
+	DupProb float64
+	// CorruptProb is the probability one seeded bit of the frame is flipped
+	// in transit. The receiver detects the flip by CRC mismatch, discards
+	// the frame, and the sender retransmits.
+	CorruptProb float64
+	// DelayProb is the probability a frame's delivery is delayed. Links are
+	// FIFO, so on an in-process fabric a delay cannot reorder frames; it is
+	// injected as scheduler yields at the sender, which perturbs goroutine
+	// interleavings (the observable effect of latency jitter here) and is
+	// counted in the link stats.
+	DelayProb float64
+}
+
+// Validate checks the link-fault probabilities. Each must sit in [0, 1),
+// and DropProb+CorruptProb must leave room for a frame to eventually get
+// through (retransmission would otherwise loop forever).
+func (l LinkFault) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropProb", l.DropProb},
+		{"DupProb", l.DupProb},
+		{"CorruptProb", l.CorruptProb},
+		{"DelayProb", l.DelayProb},
+	} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("fault: link %s %g outside [0,1)", p.name, p.v)
+		}
+	}
+	if l.DropProb+l.CorruptProb > 0.95 {
+		return fmt.Errorf("fault: link loses %g of frames — retransmission cannot make progress",
+			l.DropProb+l.CorruptProb)
+	}
+	return nil
+}
+
+// Active reports whether the link injects any fault at all.
+func (l LinkFault) Active() bool {
+	return l.DropProb > 0 || l.DupProb > 0 || l.CorruptProb > 0 || l.DelayProb > 0
+}

@@ -1,0 +1,73 @@
+package fault
+
+import "testing"
+
+func TestPlanDegrade(t *testing.T) {
+	p := NewPlan().Degrade(2, 10).Degrade(5, 1.5)
+	if got := p.DegradeFactor(2); got != 10 {
+		t.Fatalf("DegradeFactor(2) = %v, want 10", got)
+	}
+	if got := p.DegradeFactor(5); got != 1.5 {
+		t.Fatalf("DegradeFactor(5) = %v, want 1.5", got)
+	}
+	if got := p.DegradeFactor(0); got != 1 {
+		t.Fatalf("unscripted worker factor = %v, want 1", got)
+	}
+	if got := p.NumDegraded(); got != 2 {
+		t.Fatalf("NumDegraded = %d, want 2", got)
+	}
+	p.Degrade(2, 1) // factor <= 1 clears the entry
+	if got := p.DegradeFactor(2); got != 1 {
+		t.Fatalf("cleared worker factor = %v, want 1", got)
+	}
+	if got := p.NumDegraded(); got != 1 {
+		t.Fatalf("NumDegraded after clear = %d, want 1", got)
+	}
+}
+
+func TestPlanDegradeNilSafe(t *testing.T) {
+	var p *Plan
+	if p.DegradeFactor(0) != 1 || p.NumDegraded() != 0 {
+		t.Fatal("nil plan must report a healthy worker")
+	}
+}
+
+func TestGrayKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		DegradedWorker:   "degraded",
+		FlakyLink:        "flaky-link",
+		SilentCorruption: "silent-corruption",
+		NodeCrash:        "crash",
+		Kind(9999):       "fault?",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestLinkFaultValidate(t *testing.T) {
+	good := LinkFault{DropProb: 0.1, DupProb: 0.1, CorruptProb: 0.1, DelayProb: 0.2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid link fault rejected: %v", err)
+	}
+	if !good.Active() {
+		t.Fatal("non-zero link fault must be active")
+	}
+	if (LinkFault{}).Active() {
+		t.Fatal("zero link fault must be inactive")
+	}
+	for _, bad := range []LinkFault{
+		{DropProb: -0.1},
+		{DropProb: 1},
+		{DupProb: 1.5},
+		{CorruptProb: -1},
+		{DelayProb: 1},
+		{DropProb: 0.6, CorruptProb: 0.6}, // cannot make progress
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid link fault %+v accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package leakcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records what Check reports instead of failing the real test.
+type fakeTB struct {
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+func TestCheckPassesWhenGoroutinesQuiesce(t *testing.T) {
+	ft := &fakeTB{}
+	done := Check(ft)
+	ch := make(chan struct{})
+	go func() { <-ch }() // born after the snapshot...
+	close(ch)            // ...but quiesced before the check
+	done()
+	if ft.failed {
+		t.Fatalf("clean run flagged as leaking: %s", ft.msg)
+	}
+}
+
+func TestCheckFlagsParkedGoroutine(t *testing.T) {
+	old := grace
+	grace = 50 * time.Millisecond
+	defer func() { grace = old }()
+
+	ft := &fakeTB{}
+	done := Check(ft)
+	block := make(chan struct{})
+	go leakyWorker(block) // parks in repository code and never exits
+	done()
+	close(block)
+	if !ft.failed {
+		t.Fatal("parked goroutine in repository code went undetected")
+	}
+	if !strings.Contains(ft.msg, "leakyWorker") {
+		t.Fatalf("report does not name the leaked frame:\n%s", ft.msg)
+	}
+}
+
+// leakyWorker is a named function so the leak report's stack is assertable.
+func leakyWorker(block chan struct{}) { <-block }
+
+func TestCheckIgnoresPreexistingGoroutines(t *testing.T) {
+	block := make(chan struct{})
+	go leakyWorker(block) // alive before the snapshot: not this check's problem
+	defer close(block)
+
+	ft := &fakeTB{}
+	done := Check(ft)
+	done()
+	if ft.failed {
+		t.Fatalf("pre-existing goroutine misattributed to the checked region: %s", ft.msg)
+	}
+}

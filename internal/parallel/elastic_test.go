@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/leakcheck"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -76,6 +77,7 @@ func TestElasticFaultFreeConverges(t *testing.T) {
 // Chaos property (c): elastic data-parallel with one killed worker detects
 // the death, redistributes its shard, and still converges on the survivors.
 func TestElasticSurvivesWorkerKill(t *testing.T) {
+	defer leakcheck.Check(t)() // a killed worker's goroutines must all unwind
 	sess := obs.NewSession()
 	x, y := elasticProblem(3)
 	net := elasticNet(5)
@@ -110,6 +112,7 @@ func TestElasticSurvivesWorkerKill(t *testing.T) {
 
 // Killing worker 0 (the caller's net) must promote a survivor's weights.
 func TestElasticKillWorkerZero(t *testing.T) {
+	defer leakcheck.Check(t)()
 	res, net := runElastic(t, fault.NewPlan().Kill(0, 5), 12)
 	if res.Failures != 1 || res.LiveWorkers != 3 {
 		t.Fatalf("unexpected fault accounting: %+v", res)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/leakcheck"
 )
 
 // waitPending blocks (on the pool's condition variable, not a sleep) until
@@ -119,6 +120,7 @@ func TestFaultHangThenStealRescuesBatch(t *testing.T) {
 // least-loaded placement to route work to replica 2 — so its Kill(2, 1)
 // step is reached on every scheduler interleaving, not just lucky ones.
 func TestChaosConcurrentClientsSurviveKill(t *testing.T) {
+	defer leakcheck.Check(t)() // kills + drains must leave no goroutine behind
 	const (
 		clients    = 16
 		perClient  = 25
@@ -183,6 +185,7 @@ func TestChaosConcurrentClientsSurviveKill(t *testing.T) {
 // with a tiny queue; whatever interleaving the scheduler picks, every
 // request must resolve and the counters must add up exactly.
 func TestChaosOpenLoopAccountingBalances(t *testing.T) {
+	defer leakcheck.Check(t)()
 	srv, err := New(testNet(3), Config{
 		InDim:             3,
 		Replicas:          2,

@@ -1,0 +1,191 @@
+package serve
+
+// Replica health scoring: each replica keeps an EWMA of its per-batch
+// service time (measured on the server's Clock, so gray-straggler tests run
+// on virtual time). A replica whose EWMA rises to EjectFactor times the
+// median of its healthy peers is ejected — the placer stops routing batches
+// to it — but not killed: every ProbeEvery placements one batch is routed to
+// an ejected replica as a probe, and a probe that comes back fast re-admits
+// it. Ejection needs a sustained slowdown (MinSamples observations, an
+// absolute MinLatency floor, and at least one healthy survivor), re-admission
+// needs a measured recovery at half the ejection threshold — the hysteresis
+// that keeps a borderline replica from flapping in and out of the fleet.
+
+import (
+	"sort"
+	"time"
+)
+
+// HealthConfig parameterises replica health scoring. The zero value disables
+// scoring entirely; set EjectFactor > 1 to enable it.
+type HealthConfig struct {
+	// EjectFactor is the ejection threshold: a replica is ejected when its
+	// service-time EWMA exceeds EjectFactor times the median EWMA of the
+	// healthy live replicas. 0 disables health scoring.
+	EjectFactor float64
+	// MinSamples is how many batches a replica must have served before it
+	// can be ejected (default 8) — one slow batch is noise, a slow EWMA over
+	// MinSamples batches is a gray failure.
+	MinSamples int
+	// ProbeEvery routes every ProbeEvery-th batch placement to an ejected
+	// replica as a health probe (default 16). Probes are real traffic: a
+	// still-degraded replica serves them slowly, which is the evidence that
+	// keeps it ejected.
+	ProbeEvery int
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.2).
+	Alpha float64
+	// MinLatency is an absolute floor under the ejection test (default
+	// 100µs): a replica is never ejected while its EWMA sits below it, no
+	// matter the ratio to the median — at microsecond scale "4x the median"
+	// is scheduler noise, not degradation.
+	MinLatency time.Duration
+}
+
+func (h *HealthConfig) withDefaults() {
+	if !h.enabled() {
+		return
+	}
+	if h.MinSamples <= 0 {
+		h.MinSamples = 8
+	}
+	if h.ProbeEvery <= 0 {
+		h.ProbeEvery = 16
+	}
+	if h.Alpha <= 0 || h.Alpha > 1 {
+		h.Alpha = 0.2
+	}
+	if h.MinLatency <= 0 {
+		h.MinLatency = 100 * time.Microsecond
+	}
+}
+
+func (h HealthConfig) enabled() bool { return h.EjectFactor > 0 }
+
+// pickReplicaLocked chooses the replica for one batch placement. Health off:
+// least-loaded live replica. Health on: least-loaded healthy replica, except
+// that every ProbeEvery-th placement goes to an ejected replica (the probe),
+// and if every live replica is ejected the placer falls back to all of them —
+// degraded service beats no service.
+func (p *pool) pickReplicaLocked() int {
+	he := p.s.cfg.Health.enabled()
+	if he {
+		p.places++
+		if p.nEjected > 0 && p.places%p.s.cfg.Health.ProbeEvery == 0 {
+			for r := range p.queues {
+				if p.live[r] && p.ejected[r] {
+					return r
+				}
+			}
+		}
+	}
+	best, bestLoad := -1, 0
+	for r := range p.queues {
+		if !p.live[r] || (he && p.ejected[r]) {
+			continue
+		}
+		load := len(p.queues[r]) + p.inflight[r]
+		if best < 0 || load < bestLoad {
+			best, bestLoad = r, load
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Every live replica is ejected: place on the least loaded anyway.
+	for r := range p.queues {
+		if !p.live[r] {
+			continue
+		}
+		load := len(p.queues[r]) + p.inflight[r]
+		if best < 0 || load < bestLoad {
+			best, bestLoad = r, load
+		}
+	}
+	return best
+}
+
+// noteLatency records one batch's clock-measured service time for replica r
+// and applies the ejection / re-admission rules.
+func (p *pool) noteLatency(r int, elapsed time.Duration) {
+	h := p.s.cfg.Health
+	sample := elapsed.Seconds()
+	p.mu.Lock()
+	if p.nObs[r] == 0 {
+		p.ewma[r] = sample
+	} else {
+		p.ewma[r] = h.Alpha*sample + (1-h.Alpha)*p.ewma[r]
+	}
+	p.nObs[r]++
+
+	med, ok := p.healthyMedianLocked(r)
+	switch {
+	case !p.ejected[r]:
+		if ok && p.nObs[r] >= h.MinSamples &&
+			p.ewma[r] > h.EjectFactor*med &&
+			p.ewma[r] > h.MinLatency.Seconds() {
+			p.ejected[r] = true
+			p.nEjected++
+			p.ejections++
+			if p.s.obs.Enabled() {
+				p.s.obs.Count("serve.replica_ejected", 1)
+				p.s.obs.SetGauge("serve.healthy_replicas", float64(p.healthyLocked()))
+			}
+		}
+	default:
+		// Re-admission judges the raw probe sample, not the EWMA: the EWMA
+		// still carries the slow history that got the replica ejected, and a
+		// repaired replica should not serve out that sentence sample by
+		// sample. The raw sample must clear half the ejection threshold —
+		// the hysteresis gap — and on re-admission the EWMA restarts from it.
+		threshold := h.MinLatency.Seconds()
+		if ok && h.EjectFactor*med/2 > threshold {
+			threshold = h.EjectFactor * med / 2
+		}
+		if sample <= threshold {
+			p.ejected[r] = false
+			p.nEjected--
+			p.readmissions++
+			p.ewma[r] = sample
+			if p.s.obs.Enabled() {
+				p.s.obs.Count("serve.replica_readmitted", 1)
+				p.s.obs.SetGauge("serve.healthy_replicas", float64(p.healthyLocked()))
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// healthyMedianLocked returns the median service-time EWMA over the live,
+// non-ejected replicas other than r that have served at least one batch.
+func (p *pool) healthyMedianLocked(r int) (float64, bool) {
+	var vals []float64
+	for v := range p.queues {
+		if v == r || !p.live[v] || p.ejected[v] || p.nObs[v] == 0 {
+			continue
+		}
+		vals = append(vals, p.ewma[v])
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2], true
+}
+
+// healthyLocked counts live, non-ejected replicas.
+func (p *pool) healthyLocked() int {
+	n := 0
+	for r := range p.queues {
+		if p.live[r] && !p.ejected[r] {
+			n++
+		}
+	}
+	return n
+}
+
+// healthCounters snapshots the health-scoring accounting.
+func (p *pool) healthCounters() (ejections, readmissions int64, healthy int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ejections, p.readmissions, p.healthyLocked()
+}

@@ -1,0 +1,63 @@
+package serve
+
+// Hedged execution: a request that outlives a latency budget is duplicated
+// to a second replica, the first answer wins, and the loser is cancelled
+// before its forward pass whenever possible. This is the classic
+// tail-tolerant counter to the gray straggler — a replica that is alive but
+// persistently slow inflates p99 by exactly the requests unlucky enough to
+// land on it, and hedging converts that tail into a bounded amount of
+// duplicated work instead.
+//
+// The mechanism rides the existing pipeline: at admission each request arms
+// a watcher on the server's Clock; if the request is still unsettled when
+// the budget elapses, the watcher pushes a one-request hedge batch straight
+// to the replica pool (least-loaded placement naturally avoids the straggler
+// the original is stuck on). The settle CAS on the request arbitrates the
+// race; execute() drops copies whose twin already answered, so a cancelled
+// hedge costs a queue slot, not a forward pass.
+
+import "time"
+
+// HedgeConfig parameterises hedged execution.
+type HedgeConfig struct {
+	// After is the latency budget: a request still unanswered this long
+	// after admission is duplicated to a second replica. 0 disables hedging.
+	// Calibrate it from a healthy-fleet latency quantile (E12 uses the clean
+	// p95) — too low duplicates the whole workload, too high helps no one.
+	After time.Duration
+}
+
+func (h HedgeConfig) enabled() bool { return h.After > 0 }
+
+// armHedge starts the hedge watcher for an admitted request (no-op when
+// hedging is disabled).
+func (s *Server) armHedge(req *request) {
+	if !s.cfg.Hedge.enabled() {
+		return
+	}
+	s.hedgeWG.Add(1)
+	go s.hedgeWatch(req)
+}
+
+// hedgeWatch waits out the hedge budget, then duplicates the request to the
+// pool unless the original already answered. The settledCh case is what
+// keeps Close leak-free: settling a request wakes its watcher immediately,
+// so no watcher ever sits on a timer that a VirtualClock will never fire.
+func (s *Server) hedgeWatch(req *request) {
+	defer s.hedgeWG.Done()
+	select {
+	case <-req.settledCh:
+		return // answered within budget: no hedge
+	case <-s.clock.After(s.cfg.Hedge.After):
+	}
+	if req.settled.Load() {
+		return // answered while the timer fired: no hedge
+	}
+	s.nHedged.Add(1)
+	s.obs.Count("serve.hedged", 1)
+	// A one-request batch straight to the pool: least-loaded placement steers
+	// it away from the replica the original is queued or executing on. If the
+	// pool is closed or drained this push fails the request, which the settle
+	// CAS turns into a no-op when the original copy got there first.
+	s.pool.push(&batch{reqs: []*request{req}})
+}

@@ -90,6 +90,17 @@ type LoadConfig struct {
 	Service ServiceModel
 	// Seed makes the run reproducible bit-for-bit.
 	Seed uint64
+
+	// DegradeFactor > 1 makes replica DegradeReplica a gray straggler: every
+	// batch it serves takes DegradeFactor times the modelled service time
+	// (fault.DegradedWorker in simulation form). <= 1 disables.
+	DegradeFactor  float64
+	DegradeReplica int
+	// HedgeAfter > 0 enables hedged execution: a request still unanswered
+	// this long after admission is duplicated onto a free replica, first
+	// completion wins, and the loser is cancelled before service when
+	// possible. 0 disables.
+	HedgeAfter time.Duration
 }
 
 func (c *LoadConfig) withDefaults() error {
@@ -121,6 +132,12 @@ func (c *LoadConfig) withDefaults() error {
 	if c.Service == (ServiceModel{}) {
 		c.Service = DefaultServiceModel()
 	}
+	if c.DegradeFactor > 1 && (c.DegradeReplica < 0 || c.DegradeReplica >= c.Replicas) {
+		return fmt.Errorf("serve: degraded replica %d outside fleet of %d", c.DegradeReplica, c.Replicas)
+	}
+	if c.HedgeAfter < 0 {
+		return fmt.Errorf("serve: negative hedge budget %v", c.HedgeAfter)
+	}
 	return nil
 }
 
@@ -151,6 +168,22 @@ type LoadReport struct {
 	LingerMs  float64 `json:"linger_ms"`
 	QueueCap  int     `json:"queue_cap"`
 	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+
+	// Gray-failure fields (omitted when the corresponding knob is off, so
+	// pre-existing committed reports stay byte-identical).
+	DegradeFactor  float64 `json:"degrade_factor,omitempty"`
+	DegradeReplica int     `json:"degrade_replica,omitempty"`
+	HedgeAfterMs   float64 `json:"hedge_after_ms,omitempty"`
+	// Hedged counts duplicated requests; HedgeWins how many were answered by
+	// the duplicate copy; HedgeCancelled copies dropped before service;
+	// HedgeWasted copies serviced in full but beaten to the answer.
+	Hedged         int `json:"hedged,omitempty"`
+	HedgeWins      int `json:"hedge_wins,omitempty"`
+	HedgeCancelled int `json:"hedge_cancelled,omitempty"`
+	HedgeWasted    int `json:"hedge_wasted,omitempty"`
+	// DuplicatedWorkPct is serviced duplicate copies as a percentage of
+	// completed requests — the price paid for the hedged tail.
+	DuplicatedWorkPct float64 `json:"duplicated_work_pct,omitempty"`
 }
 
 // event kinds, ordered for deterministic tie-breaking at equal times.
@@ -158,16 +191,26 @@ const (
 	evArrival = iota
 	evLinger
 	evDone
+	evHedge
 )
 
 type simEvent struct {
 	at   time.Time
 	seq  int // arrival order; breaks time ties deterministically
 	kind int
-	req  *request // evArrival
+	req  *request // evArrival, evHedge
 	gen  int      // evLinger: policy generation that armed this timer
 	b    []*request
-	cl   int // closed loop: client issuing/completing
+	cl    int  // closed loop: client issuing/completing
+	rep   int  // evDone: replica that served the batch
+	hedge bool // evDone: the batch was a hedge duplicate
+}
+
+// simBatch is one pool-queue entry: the formed requests plus whether the
+// batch is a hedge duplicate (hedge batches skip the batcher).
+type simBatch struct {
+	reqs  []*request
+	hedge bool
 }
 
 type eventHeap []*simEvent
@@ -202,9 +245,10 @@ type loadSim struct {
 	blocked   []*simEvent // closed-loop arrivals waiting for admission space
 	pol       batchPolicy
 	polGen    int        // invalidates linger timers of flushed batches
-	batchQ    [][]*request
+	batchQ    []simBatch
 	stalled   []*request // batch the batcher holds while the pool is full
 	freeRep   int
+	busy      []bool // per-replica: replica identity matters once one is degraded
 
 	issued    int
 	completed int
@@ -214,6 +258,14 @@ type loadSim struct {
 	samples   int
 	latencies []float64 // seconds
 	lastDone  time.Time
+
+	// hedging state/accounting (all zero when HedgeAfter is off)
+	servedOnce     map[*request]bool
+	hedged         int
+	hedgeWins      int
+	hedgeCancelled int
+	hedgeWasted    int
+	dupServed      int
 }
 
 // RunLoad executes one deterministic load test and returns its report.
@@ -227,6 +279,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		now: time.Unix(0, 0).UTC(),
 		pol: batchPolicy{maxBatch: cfg.MaxBatch, maxLinger: cfg.MaxLinger},
 		freeRep: cfg.Replicas,
+		busy:    make([]bool, cfg.Replicas),
+	}
+	if cfg.HedgeAfter > 0 {
+		s.servedOnce = make(map[*request]bool, cfg.Requests)
 	}
 	s.seed()
 	for s.queue.Len() > 0 {
@@ -245,6 +301,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			}
 		case evDone:
 			s.done(e)
+		case evHedge:
+			s.fireHedge(e)
 		}
 	}
 	return s.report(), nil
@@ -301,7 +359,33 @@ func (s *loadSim) arrive(e *simEvent) {
 		return
 	}
 	s.admission = append(s.admission, req)
+	s.armHedge(req)
 	s.pump()
+}
+
+// armHedge schedules the hedge timer for one admitted request, mirroring
+// Server.armHedge: the budget runs from admission, not from dispatch.
+func (s *loadSim) armHedge(req *request) {
+	if s.cfg.HedgeAfter > 0 {
+		s.push(&simEvent{at: s.now.Add(s.cfg.HedgeAfter), kind: evHedge, req: req})
+	}
+}
+
+// fireHedge duplicates a request that outlived its budget, mirroring
+// Server.hedgeWatch: a one-request batch straight to the pool. The real
+// watcher's push blocks on a full pool; the simulation models that as the
+// duplicate joining the pool queue (it runs when a replica frees up).
+func (s *loadSim) fireHedge(e *simEvent) {
+	if e.req.settled.Load() {
+		return // answered within budget: no hedge
+	}
+	s.hedged++
+	b := simBatch{reqs: []*request{e.req}, hedge: true}
+	if s.freeRep > 0 {
+		s.startService(b)
+		return
+	}
+	s.batchQ = append(s.batchQ, b)
 }
 
 func (s *loadSim) deadlineFrom(t time.Time) time.Time {
@@ -343,6 +427,7 @@ func (s *loadSim) unblockOne() {
 	e := s.blocked[0]
 	s.blocked = s.blocked[1:]
 	s.admission = append(s.admission, e.req)
+	s.armHedge(e.req) // a blocked Infer is admitted now, so its budget starts now
 }
 
 // flush force-dispatches the forming batch (linger fired).
@@ -372,21 +457,27 @@ func (s *loadSim) dispatch(b []*request) {
 	s.samples += len(alive)
 	switch {
 	case s.freeRep > 0:
-		s.startService(alive)
+		s.startService(simBatch{reqs: alive})
 	case len(s.batchQ) < s.cfg.MaxPendingBatches:
-		s.batchQ = append(s.batchQ, alive)
+		s.batchQ = append(s.batchQ, simBatch{reqs: alive})
 	default:
 		s.stalled = alive
 	}
 }
 
-// startService begins executing one batch on a free replica, re-checking
-// deadlines the way pool.execute does.
-func (s *loadSim) startService(b []*request) {
-	alive := b[:0]
-	for _, r := range b {
+// startService begins executing one batch on the lowest-numbered free
+// replica, re-checking deadlines the way pool.execute does and cancelling
+// copies whose twin already answered. A degraded replica multiplies the
+// whole service time by its slowdown factor.
+func (s *loadSim) startService(b simBatch) {
+	alive := b.reqs[:0]
+	for _, r := range b.reqs {
 		if r.expired(s.now) {
 			s.expired++
+			continue
+		}
+		if r.settled.Load() {
+			s.hedgeCancelled++ // the other copy answered while this one queued
 			continue
 		}
 		alive = append(alive, r)
@@ -394,29 +485,56 @@ func (s *loadSim) startService(b []*request) {
 	if len(alive) == 0 {
 		return
 	}
+	rep := 0
+	for ; rep < len(s.busy); rep++ {
+		if !s.busy[rep] {
+			break
+		}
+	}
+	s.busy[rep] = true
 	s.freeRep--
+	if s.servedOnce != nil {
+		for _, r := range alive {
+			if s.servedOnce[r] {
+				s.dupServed++ // this copy's service is pure duplicated work
+			} else {
+				s.servedOnce[r] = true
+			}
+		}
+	}
 	d := s.cfg.Service.batchTime(len(alive), s.r)
-	s.push(&simEvent{at: s.now.Add(d), kind: evDone, b: alive})
+	if s.cfg.DegradeFactor > 1 && rep == s.cfg.DegradeReplica {
+		d = time.Duration(float64(d) * s.cfg.DegradeFactor)
+	}
+	s.push(&simEvent{at: s.now.Add(d), kind: evDone, b: alive, rep: rep, hedge: b.hedge})
 }
 
 // done completes a batch: records latencies, frees the replica, and pulls
 // the next work item through the stalled-batcher / pool-queue stages.
 func (s *loadSim) done(e *simEvent) {
 	for _, req := range e.b {
+		if !req.settled.CompareAndSwap(false, true) {
+			s.hedgeWasted++ // serviced in full, beaten to the answer
+			continue
+		}
 		s.completed++
+		if e.hedge {
+			s.hedgeWins++
+		}
 		s.latencies = append(s.latencies, s.now.Sub(req.arrived).Seconds())
 		s.clientNext(req)
 	}
 	s.lastDone = s.now
+	s.busy[e.rep] = false
 	s.freeRep++
 	if s.stalled != nil {
 		b := s.stalled
 		s.stalled = nil
 		switch {
 		case s.freeRep > 0 && len(s.batchQ) == 0:
-			s.startService(b)
+			s.startService(simBatch{reqs: b})
 		default:
-			s.batchQ = append(s.batchQ, b)
+			s.batchQ = append(s.batchQ, simBatch{reqs: b})
 		}
 	}
 	for s.freeRep > 0 && len(s.batchQ) > 0 {
@@ -469,6 +587,20 @@ func (s *loadSim) report() *LoadReport {
 	}
 	if s.batches > 0 {
 		rep.MeanBatch = float64(s.samples) / float64(s.batches)
+	}
+	if s.cfg.DegradeFactor > 1 {
+		rep.DegradeFactor = s.cfg.DegradeFactor
+		rep.DegradeReplica = s.cfg.DegradeReplica
+	}
+	if s.cfg.HedgeAfter > 0 {
+		rep.HedgeAfterMs = float64(s.cfg.HedgeAfter) / float64(time.Millisecond)
+		rep.Hedged = s.hedged
+		rep.HedgeWins = s.hedgeWins
+		rep.HedgeCancelled = s.hedgeCancelled
+		rep.HedgeWasted = s.hedgeWasted
+		if s.completed > 0 {
+			rep.DuplicatedWorkPct = 100 * float64(s.dupServed) / float64(s.completed)
+		}
 	}
 	wall := s.lastDone.Sub(time.Unix(0, 0).UTC()).Seconds()
 	rep.WallSeconds = wall

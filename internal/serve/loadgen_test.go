@@ -174,3 +174,108 @@ func TestLoadConfigValidation(t *testing.T) {
 		t.Fatal("RunLoad accepted an open-loop config without a rate")
 	}
 }
+
+// grayLoadCfg is the E12 fleet shape at test scale: 6 replicas, one degraded
+// 10x, offered load well below capacity so every latency shift is the
+// straggler's doing, not queueing.
+func grayLoadCfg(seed uint64) LoadConfig {
+	cfg := LoadConfig{
+		Requests:  4000,
+		Replicas:  6,
+		MaxBatch:  8,
+		MaxLinger: 2 * time.Millisecond,
+		QueueCap:  256,
+		Seed:      seed,
+		Service:   DefaultServiceModel(),
+	}
+	cfg.RatePerSec = 0.2 * cfg.Service.CapacityRPS(cfg.Replicas, cfg.MaxBatch)
+	return cfg
+}
+
+func TestLoadGrayHedgedReportBitIdentical(t *testing.T) {
+	cfg := grayLoadCfg(21)
+	cfg.DegradeFactor = 10
+	cfg.HedgeAfter = 6 * time.Millisecond
+	a, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	b, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same seed produced different hedged gray reports:\n%s\n%s", ja, jb)
+	}
+	if a.Hedged == 0 {
+		t.Fatal("degraded run at a tight budget never hedged")
+	}
+}
+
+// TestLoadGrayHedgingCutsTail mirrors the acceptance criterion: with one
+// replica degraded 10x, hedging at the clean fleet's p95 cuts p99 at least
+// 2x versus no hedging, for at most 15% duplicated work.
+func TestLoadGrayHedgingCutsTail(t *testing.T) {
+	clean, err := RunLoad(grayLoadCfg(21))
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+
+	degraded := grayLoadCfg(21)
+	degraded.DegradeFactor = 10
+	unhedged, err := RunLoad(degraded)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if unhedged.LatencyP99Ms < 3*clean.LatencyP99Ms {
+		t.Fatalf("straggler barely moved p99: clean %.2fms, degraded %.2fms",
+			clean.LatencyP99Ms, unhedged.LatencyP99Ms)
+	}
+	if unhedged.Hedged != 0 || unhedged.DuplicatedWorkPct != 0 {
+		t.Fatalf("unhedged run reports hedging: %+v", unhedged)
+	}
+
+	hedged := degraded
+	hedged.HedgeAfter = time.Duration(clean.LatencyP95Ms * float64(time.Millisecond))
+	rep, err := RunLoad(hedged)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if 2*rep.LatencyP99Ms > unhedged.LatencyP99Ms {
+		t.Fatalf("hedging at p95 cut p99 only %.2fms -> %.2fms (< 2x)",
+			unhedged.LatencyP99Ms, rep.LatencyP99Ms)
+	}
+	if rep.DuplicatedWorkPct > 15 {
+		t.Fatalf("%.1f%% duplicated work at the p95 budget (> 15%%)", rep.DuplicatedWorkPct)
+	}
+	if rep.HedgeWins == 0 {
+		t.Fatal("hedging cut the tail but no hedge ever won — accounting is wrong")
+	}
+	// Every hedge is either cancelled before service or produces exactly one
+	// losing copy (wasted) — whichever of the two copies finishes second.
+	if rep.HedgeCancelled+rep.HedgeWasted != rep.Hedged {
+		t.Fatalf("hedge ledger does not balance: %+v", rep)
+	}
+	if rep.HedgeWins > rep.Hedged {
+		t.Fatalf("more hedge wins than hedges launched: %+v", rep)
+	}
+	if rep.Completed != hedged.Requests {
+		t.Fatalf("completed %d of %d under hedging", rep.Completed, hedged.Requests)
+	}
+}
+
+func TestLoadGrayConfigValidation(t *testing.T) {
+	cfg := grayLoadCfg(1)
+	cfg.DegradeFactor = 10
+	cfg.DegradeReplica = cfg.Replicas // out of range
+	if _, err := RunLoad(cfg); err == nil {
+		t.Fatal("RunLoad accepted an out-of-range DegradeReplica")
+	}
+	cfg = grayLoadCfg(1)
+	cfg.HedgeAfter = -time.Millisecond
+	if _, err := RunLoad(cfg); err == nil {
+		t.Fatal("RunLoad accepted a negative HedgeAfter")
+	}
+}

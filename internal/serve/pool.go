@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -31,9 +32,18 @@ type pool struct {
 	pending  int // formed-but-unstarted batches across all queues
 	closed   bool
 
-	kills    int64
-	requeued int64
-	steals   int64
+	// health-scoring state (see health.go; active only when cfg.Health is)
+	ewma     []float64 // per-replica service-time EWMA, seconds
+	nObs     []int     // batches served per replica
+	ejected  []bool
+	nEjected int
+	places   int // placement counter driving the probe cadence
+
+	kills        int64
+	requeued     int64
+	steals       int64
+	ejections    int64
+	readmissions int64
 
 	wg sync.WaitGroup
 }
@@ -46,6 +56,9 @@ func newPool(s *Server, net *nn.Net) *pool {
 		inflight: make([]int, s.cfg.Replicas),
 		live:     make([]bool, s.cfg.Replicas),
 		nLive:    s.cfg.Replicas,
+		ewma:     make([]float64, s.cfg.Replicas),
+		nObs:     make([]int, s.cfg.Replicas),
+		ejected:  make([]bool, s.cfg.Replicas),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	// Fully initialise the shared state before the first goroutine starts:
@@ -85,20 +98,12 @@ func (p *pool) push(b *batch) {
 	p.cond.Broadcast()
 }
 
-// enqueueLocked appends b to the least loaded live replica's queue
-// (load = queued batches + in-flight batch; ties go to the lowest id).
+// enqueueLocked appends b to the chosen replica's queue: the least loaded
+// live replica (load = queued batches + in-flight batch; ties go to the
+// lowest id), filtered and probed by health scoring when it is enabled
+// (pickReplicaLocked in health.go).
 func (p *pool) enqueueLocked(b *batch) {
-	best := -1
-	bestLoad := 0
-	for r := range p.queues {
-		if !p.live[r] {
-			continue
-		}
-		load := len(p.queues[r]) + p.inflight[r]
-		if best < 0 || load < bestLoad {
-			best, bestLoad = r, load
-		}
-	}
+	best := p.pickReplicaLocked()
 	p.queues[best] = append(p.queues[best], b)
 	p.pending++
 	if p.s.obs.Enabled() {
@@ -112,6 +117,9 @@ func (p *pool) takeLocked(r int) (b *batch, stolen bool) {
 	if q := p.queues[r]; len(q) > 0 {
 		b = q[0]
 		p.queues[r] = q[1:]
+	} else if p.ejected[r] {
+		// An ejected replica serves only what the prober routes to it;
+		// letting it steal would route traffic around its own ejection.
 	} else if v := p.victimLocked(r); v >= 0 {
 		q := p.queues[v]
 		b = q[len(q)-1]
@@ -178,20 +186,32 @@ func (p *pool) replica(r int) {
 			p.die(r, b)
 			return
 		}
+		start := p.s.clock.Now()
 		if d := p.s.cfg.Faults.HangAt(r, idx); d > 0 {
 			// Straggler injection: late but correct (clock-driven, so a
 			// VirtualClock test controls exactly how late).
 			<-p.s.clock.After(d)
 		}
+		if f := p.s.cfg.Faults.DegradeFactor(r); f > 1 {
+			// Gray straggler: alive, correct, persistently slow. The stall
+			// is clock-driven and inside the measured service window, so
+			// health scoring sees exactly the injected slowdown.
+			<-p.s.clock.After(time.Duration(float64(p.s.cfg.DegradeUnit) * (f - 1)))
+		}
 		idx++
 
 		p.execute(r, b)
 
+		if p.s.cfg.Health.enabled() {
+			p.noteLatency(r, p.s.clock.Now().Sub(start))
+		}
+
 		p.mu.Lock()
 		p.inflight[r] = 0
-		if p.closed {
-			p.cond.Broadcast() // waiters blocked on the drain condition
-		}
+		// Wake drain waiters and anything observing pool state on the cond
+		// (the gray chaos tests wait on served-batch counts this way instead
+		// of sleeping).
+		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
 }
@@ -247,6 +267,13 @@ func (p *pool) execute(r int, b *batch) {
 	for _, req := range b.reqs {
 		if req.expired(now) {
 			p.s.fail(req, ErrDeadline)
+			continue
+		}
+		if req.settled.Load() {
+			// The other hedge copy already answered: cancel this one before
+			// it pays for a forward pass.
+			p.s.nHedgeCancelled.Add(1)
+			p.s.obs.Count("serve.hedge_cancelled", 1)
 			continue
 		}
 		alive = append(alive, req)

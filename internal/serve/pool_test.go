@@ -16,6 +16,9 @@ func barePool(replicas int) *pool {
 		inflight: make([]int, replicas),
 		live:     make([]bool, replicas),
 		nLive:    replicas,
+		ewma:     make([]float64, replicas),
+		nObs:     make([]int, replicas),
+		ejected:  make([]bool, replicas),
 	}
 	for r := range p.live {
 		p.live[r] = true

@@ -1,0 +1,173 @@
+package serve
+
+// Client-side retries with a token-bucket budget. Naive retry-on-shed is how
+// a brownout becomes an outage: every shed request comes straight back,
+// offered load doubles exactly when capacity halved, and the retry storm
+// keeps the queue pinned full (the metastable failure mode). The Retrier
+// bounds that amplification the way production RPC stacks do: retries spend
+// from a token bucket that only successes refill, so during a brownout the
+// bucket drains, further retries are denied, and total offered load stays
+// within a constant factor of demand no matter how hard the server sheds.
+//
+// Amplification bound: every retry costs one token, the bucket starts with
+// BudgetBurst tokens, and each success earns BudgetRatio. So across any
+// workload of N requests with S successes,
+//
+//	attempts  <=  N + BudgetBurst + BudgetRatio*S
+//
+// which the chaos suite asserts against a server wedged into permanent
+// overload. Backoff between attempts is capped-exponential with seeded
+// jitter on the server's Clock, so the suite is sleep-free and
+// deterministic.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// RetryPolicy parameterises a Retrier. Zero fields take the defaults noted.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, including the
+	// first (default 3).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; attempt k waits
+	// BaseBackoff*2^(k-1), capped at MaxBackoff (defaults 1ms, 50ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter spreads each backoff uniformly over [1-Jitter, 1+Jitter] times
+	// its nominal value (default 0.5, clamped to [0, 1]). Seeded: the same
+	// seed yields the same delays.
+	Jitter float64
+	// BudgetRatio is the fraction of a retry token each success earns
+	// (default 0.1: one retry per ten successes at steady state).
+	BudgetRatio float64
+	// BudgetBurst is the bucket capacity and initial balance (default 10).
+	BudgetBurst float64
+}
+
+func (p *RetryPolicy) withDefaults() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 50 * time.Millisecond
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.BudgetRatio <= 0 {
+		p.BudgetRatio = 0.1
+	}
+	if p.BudgetBurst <= 0 {
+		p.BudgetBurst = 10
+	}
+}
+
+// RetrierStats snapshots a Retrier's accounting.
+type RetrierStats struct {
+	// Attempts counts every submit, first tries and retries alike. Retries
+	// counts budget-approved re-submits; Denied counts retries the empty
+	// bucket refused (the request then failed with the server's error).
+	Attempts int64
+	Retries  int64
+	Denied   int64
+	// Tokens is the current bucket balance.
+	Tokens float64
+}
+
+// Retrier is a budgeted retrying client for one Server. Safe for concurrent
+// use; all goroutines share one budget, which is the point — the budget caps
+// the fleet's aggregate amplification, not each caller's.
+type Retrier struct {
+	s   *Server
+	pol RetryPolicy
+
+	mu      sync.Mutex
+	r       *rng.Stream
+	tokens  float64
+	att     int64
+	retries int64
+	denied  int64
+}
+
+// NewRetrier wraps s with a seeded retry budget.
+func NewRetrier(s *Server, pol RetryPolicy, seed uint64) *Retrier {
+	pol.withDefaults()
+	return &Retrier{
+		s:      s,
+		pol:    pol,
+		r:      rng.New(seed).Split("serve-retry"),
+		tokens: pol.BudgetBurst,
+	}
+}
+
+// retryable reports whether err is worth retrying: only shed load is — a
+// deadline miss is stale, a closed server is gone, bad input stays bad.
+func retryable(err error) bool { return err == ErrOverloaded }
+
+// Do submits one request through the budgeted retry loop and returns the
+// final Result: the first success, or the last error once attempts or budget
+// run out.
+func (rt *Retrier) Do(x []float64, deadline time.Time) Result {
+	var res Result
+	for attempt := 0; ; attempt++ {
+		rt.mu.Lock()
+		rt.att++
+		rt.mu.Unlock()
+		res = <-rt.s.Submit(x, deadline)
+		if res.Err == nil {
+			rt.mu.Lock()
+			rt.tokens += rt.pol.BudgetRatio
+			if rt.tokens > rt.pol.BudgetBurst {
+				rt.tokens = rt.pol.BudgetBurst
+			}
+			rt.mu.Unlock()
+			return res
+		}
+		if !retryable(res.Err) || attempt+1 >= rt.pol.MaxAttempts {
+			return res
+		}
+		rt.mu.Lock()
+		if rt.tokens < 1 {
+			rt.denied++
+			rt.mu.Unlock()
+			rt.s.obs.Count("serve.retry_denied", 1)
+			return res // budget exhausted: shed stays shed
+		}
+		rt.tokens--
+		rt.retries++
+		d := rt.backoffLocked(attempt)
+		rt.mu.Unlock()
+		rt.s.obs.Count("serve.retries", 1)
+		<-rt.s.clock.After(d)
+	}
+}
+
+// backoffLocked returns the jittered, capped-exponential delay before retry
+// number attempt+1 (attempt is 0-based).
+func (rt *Retrier) backoffLocked(attempt int) time.Duration {
+	d := rt.pol.BaseBackoff << attempt
+	if d <= 0 || d > rt.pol.MaxBackoff { // <=0: the shift overflowed
+		d = rt.pol.MaxBackoff
+	}
+	f := rt.r.Uniform(1-rt.pol.Jitter, 1+rt.pol.Jitter)
+	return time.Duration(float64(d) * f)
+}
+
+// Stats snapshots the retrier's counters and bucket balance.
+func (rt *Retrier) Stats() RetrierStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return RetrierStats{Attempts: rt.att, Retries: rt.retries, Denied: rt.denied, Tokens: rt.tokens}
+}

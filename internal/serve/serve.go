@@ -82,7 +82,19 @@ type Config struct {
 	// Faults scripts replica kills and stalls: step n is the n-th batch
 	// the replica starts (the same Plan type the elastic trainer uses).
 	// A killed replica's backlog is redistributed over the survivors.
+	// Plan.Degrade entries make a replica a gray straggler: every batch it
+	// runs stalls (factor-1)*DegradeUnit before executing.
 	Faults *fault.Plan
+	// DegradeUnit is the per-batch time unit a DegradedWorker's slowdown
+	// factor multiplies (default 1ms): a factor-10 replica stalls 9ms per
+	// batch. On a VirtualClock the stall is virtual, so gray-straggler tests
+	// stay sleep-free.
+	DegradeUnit time.Duration
+	// Hedge enables hedged execution (zero value: disabled). See HedgeConfig.
+	Hedge HedgeConfig
+	// Health enables replica health scoring with ejection and re-admission
+	// (zero value: disabled). See HealthConfig.
+	Health HealthConfig
 }
 
 func (c *Config) withDefaults() error {
@@ -114,6 +126,16 @@ func (c *Config) withDefaults() error {
 		return fmt.Errorf("serve: plan kills %d of %d replicas — no survivors",
 			c.Faults.NumKills(), c.Replicas)
 	}
+	if c.DegradeUnit <= 0 {
+		c.DegradeUnit = time.Millisecond
+	}
+	if c.Hedge.After < 0 {
+		return fmt.Errorf("serve: negative hedge budget %v", c.Hedge.After)
+	}
+	c.Health.withDefaults()
+	if c.Health.enabled() && c.Health.EjectFactor <= 1 {
+		return fmt.Errorf("serve: health EjectFactor must exceed 1, got %g", c.Health.EjectFactor)
+	}
 	return nil
 }
 
@@ -135,10 +157,30 @@ type request struct {
 	deadline time.Time // zero = none
 	arrived  time.Time
 	done     chan Result
+
+	// Hedged execution can put the same request in two batches on two
+	// replicas. settled arbitrates: the first fail/complete wins the CAS and
+	// answers the caller; the loser is dropped (and counted). settledCh is
+	// non-nil only when a hedge watcher is armed — settling closes it so the
+	// watcher can stand down without a timer tick.
+	settled   atomic.Bool
+	settledCh chan struct{}
 }
 
 func (r *request) expired(now time.Time) bool {
 	return !r.deadline.IsZero() && now.After(r.deadline)
+}
+
+// settle claims the exclusive right to answer this request. Exactly one
+// caller ever wins.
+func (r *request) settle() bool {
+	if !r.settled.CompareAndSwap(false, true) {
+		return false
+	}
+	if r.settledCh != nil {
+		close(r.settledCh)
+	}
+	return true
 }
 
 // Server is the serving pipeline: admission queue -> micro-batcher ->
@@ -155,14 +197,18 @@ type Server struct {
 	closed bool
 
 	batcherWG sync.WaitGroup
+	hedgeWG   sync.WaitGroup
 
 	// counters (atomic; see Stats)
-	nSubmitted atomic.Int64
-	nShed      atomic.Int64
-	nExpired   atomic.Int64
-	nCompleted atomic.Int64
-	nBatches   atomic.Int64
-	nSamples   atomic.Int64
+	nSubmitted      atomic.Int64
+	nShed           atomic.Int64
+	nExpired        atomic.Int64
+	nCompleted      atomic.Int64
+	nBatches        atomic.Int64
+	nSamples        atomic.Int64
+	nHedged         atomic.Int64
+	nHedgeCancelled atomic.Int64
+	nHedgeWasted    atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -187,6 +233,20 @@ type Stats struct {
 	Steals       int64
 	// LiveReplicas is the surviving replica count.
 	LiveReplicas int
+	// Hedged counts requests duplicated to a second replica after outliving
+	// the hedge budget. HedgeCancelled counts duplicate copies a replica
+	// discarded before the forward pass because the other copy had already
+	// answered; HedgeWasted counts copies whose forward pass completed only
+	// to lose the settle race (work truly burned twice).
+	Hedged         int64
+	HedgeCancelled int64
+	HedgeWasted    int64
+	// Ejections counts replicas ejected by health scoring, Readmissions how
+	// many probes brought one back, HealthyReplicas the live non-ejected
+	// count right now.
+	Ejections       int64
+	Readmissions    int64
+	HealthyReplicas int
 }
 
 // New builds a Server over net. The net is cloned once per replica; the
@@ -217,8 +277,8 @@ func New(net *nn.Net, cfg Config) (*Server, error) {
 // (capacity 1) delivers the Result; a full admission queue delivers
 // ErrOverloaded immediately.
 func (s *Server) Submit(x []float64, deadline time.Time) <-chan Result {
-	done := make(chan Result, 1)
-	req := &request{x: x, deadline: deadline, arrived: s.clock.Now(), done: done}
+	req := s.newRequest(x, deadline)
+	done := req.done
 	if len(x) != s.cfg.InDim {
 		done <- Result{Err: ErrBadInput}
 		return done
@@ -233,6 +293,7 @@ func (s *Server) Submit(x []float64, deadline time.Time) <-chan Result {
 	case s.in <- req:
 		s.mu.RUnlock()
 		s.nSubmitted.Add(1)
+		s.armHedge(req)
 		s.observeQueueDepth()
 	default:
 		s.mu.RUnlock()
@@ -257,8 +318,8 @@ func (s *Server) InferDeadline(x []float64, deadline time.Time) Result {
 }
 
 func (s *Server) submitBlocking(x []float64, deadline time.Time) <-chan Result {
-	done := make(chan Result, 1)
-	req := &request{x: x, deadline: deadline, arrived: s.clock.Now(), done: done}
+	req := s.newRequest(x, deadline)
+	done := req.done
 	if len(x) != s.cfg.InDim {
 		done <- Result{Err: ErrBadInput}
 		return done
@@ -272,8 +333,19 @@ func (s *Server) submitBlocking(x []float64, deadline time.Time) <-chan Result {
 	s.in <- req // blocks under load: admission backpressure
 	s.mu.RUnlock()
 	s.nSubmitted.Add(1)
+	s.armHedge(req)
 	s.observeQueueDepth()
 	return done
+}
+
+// newRequest builds one request; when hedging is enabled it carries a
+// settledCh so the hedge watcher can be cancelled by the first answer.
+func (s *Server) newRequest(x []float64, deadline time.Time) *request {
+	req := &request{x: x, deadline: deadline, arrived: s.clock.Now(), done: make(chan Result, 1)}
+	if s.cfg.Hedge.enabled() {
+		req.settledCh = make(chan struct{})
+	}
+	return req
 }
 
 // Close stops admission, drains every queued request through the pipeline,
@@ -289,6 +361,10 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.batcherWG.Wait()
 	s.pool.close()
+	// Every admitted request has now settled, so every hedge watcher has
+	// either stood down via settledCh or had its late push refused by the
+	// closed pool — the wait below cannot hang and leaves no goroutine behind.
+	s.hedgeWG.Wait()
 }
 
 // Stats snapshots the server's counters.
@@ -303,7 +379,11 @@ func (s *Server) Stats() Stats {
 	if st.Batches > 0 {
 		st.MeanBatch = float64(s.nSamples.Load()) / float64(st.Batches)
 	}
+	st.Hedged = s.nHedged.Load()
+	st.HedgeCancelled = s.nHedgeCancelled.Load()
+	st.HedgeWasted = s.nHedgeWasted.Load()
 	st.ReplicaKills, st.Requeued, st.Steals, st.LiveReplicas = s.pool.counters()
+	st.Ejections, st.Readmissions, st.HealthyReplicas = s.pool.healthCounters()
 	return st
 }
 
@@ -313,8 +393,13 @@ func (s *Server) observeQueueDepth() {
 	}
 }
 
-// fail completes a request with an error, accounting it.
+// fail completes a request with an error, accounting it. With hedging, two
+// copies of one request can both reach a failure path; only the settle
+// winner answers (and is counted).
 func (s *Server) fail(req *request, err error) {
+	if !req.settle() {
+		return
+	}
 	if err == ErrDeadline {
 		s.nExpired.Add(1)
 		s.obs.Count("serve.deadline_missed", 1)
@@ -322,8 +407,15 @@ func (s *Server) fail(req *request, err error) {
 	req.done <- Result{Err: err}
 }
 
-// complete answers one request with its output row.
+// complete answers one request with its output row. A hedge copy that loses
+// the settle race after paying for its forward pass is counted as wasted
+// duplicated work and dropped — the caller already has the answer.
 func (s *Server) complete(req *request, y []float64, batchSize int) {
+	if !req.settle() {
+		s.nHedgeWasted.Add(1)
+		s.obs.Count("serve.hedge_wasted", 1)
+		return
+	}
 	lat := s.clock.Now().Sub(req.arrived)
 	s.nCompleted.Add(1)
 	if s.obs.Enabled() {

@@ -11,11 +11,15 @@ GO="${GO:-go}"
 
 # Per-package floors, in percent. The serving subsystem, the kernels it
 # calls, and the model layer are the packages where an uncovered branch is
-# most likely to hide a correctness bug.
+# most likely to hide a correctness bug; the failure-injection and comm
+# layers are where an uncovered branch is a resilience hole (an untested
+# retransmit or ejection path only fires during an incident).
 declare -A FLOOR=(
   [repro/internal/serve]=70
   [repro/internal/tensor]=70
   [repro/internal/nn]=70
+  [repro/internal/fault]=70
+  [repro/internal/comm]=70
 )
 
 out="$("$GO" test -cover ./... 2>&1)" || { echo "$out"; exit 1; }
