@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test chaos fuzz cover bench-overhead bench-checkpoint bench bench-serve bench-resil clean
+.PHONY: check vet build test chaos fuzz cover bench-overhead bench-checkpoint bench bench-serve bench-resil bench-comm clean
 
 check: vet build test chaos cover bench-overhead
 
@@ -20,16 +20,18 @@ test:
 # (internal/nn), elastic worker-kill recovery (internal/parallel), campaign
 # retry/backoff/quarantine (internal/core), and the gray-failure suites —
 # degraded-replica ejection, hedged execution, retry budgets
-# (internal/serve), flaky-link collectives and CRC framing (internal/comm).
+# (internal/serve), flaky-link collectives and CRC framing (internal/comm),
+# and overlapped bucketed allreduce under worker kills and flaky links
+# (internal/parallel Chaos*, internal/comm Bucket*).
 # Redundant with `test` on a full run, but kept as an explicit gate so the
 # fault paths can be exercised alone (`make chaos`) and stay race-clean.
 chaos:
 	$(GO) test -race ./internal/fault ./internal/core \
 		-run 'Fault|Campaign|Schedule|Attempt|Plan|Daly|Simulate|Gray|Link|Backoff|Quarantine|Poison'
 	$(GO) test -race ./internal/nn -run 'Resume|TrainState|Checkpoint'
-	$(GO) test -race ./internal/parallel -run 'Elastic'
+	$(GO) test -race ./internal/parallel -run 'Elastic|Chaos|Overlapped|Bucket'
 	$(GO) test -race ./internal/serve -run 'Chaos|Fault|Gray|Retry|Hedge'
-	$(GO) test -race ./internal/comm -run 'Flaky|Frame|Watchdog|Timeout'
+	$(GO) test -race ./internal/comm -run 'Flaky|Frame|Watchdog|Timeout|Bucket'
 
 # Regenerate the committed gray-failure resilience artifact
 # (BENCH_resil.json): the hedging frontier under a 10x degraded replica.
@@ -48,9 +50,10 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzMatMulTransB$$' -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz '^FuzzConv$$' -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz '^FuzzCommFrame$$' -fuzztime $(FUZZTIME) ./internal/comm
+	$(GO) test -run '^$$' -fuzz '^FuzzCompressRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lowp
 
-# Coverage gate: per-package floors (70% for internal/serve, internal/tensor,
-# internal/nn) with a coverage-vs-floor delta table. See scripts/cover.sh.
+# Coverage gate: per-package floors (70% for serve, tensor, nn, fault, comm,
+# parallel, lowp) with a coverage-vs-floor delta table. See scripts/cover.sh.
 cover:
 	bash scripts/cover.sh
 
@@ -64,6 +67,13 @@ bench-overhead:
 # epoch, and every other epoch (see BENCH_fault.json).
 bench-checkpoint:
 	$(GO) test ./internal/nn -run xxx -bench Checkpoint -benchtime 2s
+
+# Regenerate the committed gradient-communication profile (BENCH_comm.json):
+# the modelled step-time frontier for bucketed overlapped allreduce and
+# error-feedback compression. Pure machine-model output, so byte-stable;
+# TestCommittedCommArtifactIsCurrent fails if the committed copy drifts.
+bench-comm:
+	$(GO) run ./cmd/candlebench -comm BENCH_comm.json
 
 # Regenerate the committed serving load-test artifact (BENCH_serve.json).
 # The simulator is deterministic, so this only changes when the serving

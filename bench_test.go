@@ -44,6 +44,7 @@ func BenchmarkE9Campaign(b *testing.B)    { benchExperiment(b, "E9") }
 func BenchmarkE10Checkpoint(b *testing.B) { benchExperiment(b, "E10") }
 func BenchmarkE11Serving(b *testing.B)    { benchExperiment(b, "E11") }
 func BenchmarkE12Resilience(b *testing.B) { benchExperiment(b, "E12") }
+func BenchmarkE13Comm(b *testing.B)       { benchExperiment(b, "E13") }
 
 // benchAblation regenerates one design-choice ablation table per iteration.
 func benchAblation(b *testing.B, id string) {

@@ -244,6 +244,32 @@ const (
 	ARRabenseifner      = comm.ARRabenseifner
 )
 
+// BucketReducer runs bucketed collectives asynchronously on a per-rank comm
+// goroutine so gradient communication overlaps backward compute
+// (see DataParallelConfig.BucketElems / Overlap).
+type BucketReducer = comm.BucketReducer
+
+// BucketHandle is the per-bucket completion handle a BucketReducer returns.
+type BucketHandle = comm.BucketHandle
+
+// CompressKind selects the gradient wire encoding for bucketed allreduce.
+type CompressKind = lowp.CompressKind
+
+// Gradient compression schemes (see DataParallelConfig.Compress).
+const (
+	CompressNone = lowp.CompressNone
+	CompressTopK = lowp.CompressTopK
+	CompressInt8 = lowp.CompressInt8
+)
+
+// GradCompressor is the error-feedback gradient codec: what a compressed
+// bucket drops this step is carried in a residual and re-injected next step,
+// conserving gradient mass exactly.
+type GradCompressor = lowp.GradCompressor
+
+// NewGradCompressor returns an error-feedback compressor of the given kind.
+var NewGradCompressor = lowp.NewGradCompressor
+
 // ---- fault tolerance --------------------------------------------------------------
 
 // FaultPlan scripts deterministic worker kills, stalls, and transient

@@ -79,14 +79,14 @@ func TestPublicMachineAndStorage(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(candle.Experiments()) != 12 {
+	if len(candle.Experiments()) != 13 {
 		t.Fatal("experiment suite incomplete")
 	}
 	if candle.ExperimentByID("E1") == nil {
 		t.Fatal("E1 missing")
 	}
-	if candle.ExperimentByID("E12") == nil {
-		t.Fatal("E12 missing")
+	if candle.ExperimentByID("E13") == nil {
+		t.Fatal("E13 missing")
 	}
 }
 

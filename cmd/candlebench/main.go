@@ -4,7 +4,7 @@
 // Usage:
 //
 //	candlebench [-quick] [-seed N] [-only E3,E8] [-csv dir] [-json dir]
-//	            [-metrics m.jsonl] [-trace t.json]
+//	            [-metrics m.jsonl] [-trace t.json] [-comm BENCH_comm.json]
 //
 // Each experiment reproduces one architectural claim of Stevens' HPDC 2017
 // keynote; DESIGN.md maps claims to experiments and EXPERIMENTS.md records
@@ -37,7 +37,16 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1-A3")
 	metricsOut := flag.String("metrics", "", "write suite counters/gauges/timer histograms as JSONL to this file")
 	traceOut := flag.String("trace", "", "write a chrome://tracing span trace (JSON) to this file")
+	commOut := flag.String("comm", "", "write the deterministic gradient-communication profile (BENCH_comm.json) to this file and exit")
 	flag.Parse()
+
+	if *commOut != "" {
+		// The committed profile is pure machine-model output: same binary,
+		// same bytes, so the artifact can be byte-compared in tests.
+		writeTo(*commOut, experiments.CommBench().WriteJSON)
+		fmt.Printf("comm profile: %s\n", *commOut)
+		return
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildCandlebench compiles the command once into a temp dir.
+func buildCandlebench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "candlebench")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runCandlebench(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("candlebench %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+type commDoc struct {
+	Ranks int `json:"ranks"`
+	Flat  struct {
+		StepMs  float64 `json:"step_ms"`
+		Overlap float64 `json:"overlap_fraction"`
+	} `json:"flat"`
+	Bucketed []struct {
+		Buckets int     `json:"buckets"`
+		StepMs  float64 `json:"step_ms"`
+		Overlap float64 `json:"overlap_fraction"`
+		Speedup float64 `json:"speedup_vs_flat"`
+	} `json:"bucketed"`
+	Compressed []struct {
+		Label     string  `json:"label"`
+		WireRatio float64 `json:"wire_ratio"`
+		StepMs    float64 `json:"step_ms"`
+	} `json:"compressed"`
+	BestSpeedup float64 `json:"best_speedup"`
+}
+
+// TestCommProfileIsBitIdentical generates the gradient-communication profile
+// twice and requires byte-identical JSON — the property that lets
+// BENCH_comm.json live in the repository — then checks the headline shape:
+// bucketed overlap must beat the flat allreduce, and both compressed
+// configurations must beat the uncompressed step.
+func TestCommProfileIsBitIdentical(t *testing.T) {
+	bin := buildCandlebench(t)
+	dir := t.TempDir()
+	j1 := filepath.Join(dir, "a.json")
+	j2 := filepath.Join(dir, "b.json")
+
+	runCandlebench(t, bin, "-comm", j1)
+	runCandlebench(t, bin, "-comm", j2)
+
+	b1, err := os.ReadFile(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two runs produced different comm JSON:\n%s\n---\n%s", b1, b2)
+	}
+
+	var doc commDoc
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("comm JSON does not parse: %v", err)
+	}
+	if doc.BestSpeedup <= 1 {
+		t.Fatalf("best bucketed speedup %v not above flat", doc.BestSpeedup)
+	}
+	if doc.Flat.Overlap != 0 {
+		t.Fatalf("flat allreduce reports overlap %v", doc.Flat.Overlap)
+	}
+	sawOverlap := false
+	for _, r := range doc.Bucketed {
+		if r.Overlap > 0 && r.StepMs < doc.Flat.StepMs {
+			sawOverlap = true
+		}
+	}
+	if !sawOverlap {
+		t.Fatalf("no bucketed row overlaps and beats flat: %+v", doc.Bucketed)
+	}
+	if len(doc.Compressed) < 2 {
+		t.Fatalf("expected top-k and int8 rows, got %+v", doc.Compressed)
+	}
+	for _, c := range doc.Compressed {
+		if c.WireRatio <= 1 {
+			t.Fatalf("%s wire ratio %v not above 1", c.Label, c.WireRatio)
+		}
+		if c.StepMs >= doc.Flat.StepMs {
+			t.Fatalf("%s step %vms not below flat %vms", c.Label, c.StepMs, doc.Flat.StepMs)
+		}
+	}
+}
+
+// TestCommittedCommArtifactIsCurrent regenerates BENCH_comm.json and
+// compares it byte-for-byte with the committed copy, so the artifact can
+// never drift from the code that claims to produce it.
+func TestCommittedCommArtifactIsCurrent(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "BENCH_comm.json"))
+	if err != nil {
+		t.Skipf("no committed BENCH_comm.json: %v", err)
+	}
+	bin := buildCandlebench(t)
+	fresh := filepath.Join(t.TempDir(), "fresh.json")
+	runCandlebench(t, bin, "-comm", fresh)
+	got, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, got) {
+		t.Fatal("BENCH_comm.json is stale: regenerate with `make bench-comm`")
+	}
+}

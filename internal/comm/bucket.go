@@ -1,0 +1,260 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Bucketed, overlapped collectives.
+//
+// A BucketReducer gives one rank an asynchronous submission queue for
+// gradient buckets: the training goroutine submits each bucket's buffer as
+// soon as its gradients are ready (layers finish backward in reverse order),
+// and a dedicated per-rank communication goroutine runs the collectives in
+// FIFO order while the trainer keeps computing. Because every rank submits
+// the same buckets in the same global order, the comm goroutines stay
+// pairwise matched and the point-to-point tag discipline holds — each bucket
+// gets its own tag window salted by its sequence number, so a mismatch
+// between ranks fails loudly instead of silently mixing buckets.
+//
+// Ownership contract: while a reducer is open, the comm goroutine owns the
+// rank's links, Stats counters, and (on a faulty world) the per-link
+// retransmit state. The rank goroutine that called NewBucketReducer must not
+// issue other comm operations until Close returns.
+
+// tagBucket opens the bucketed tag space above the flat collectives
+// (collectives2.go ends at 10<<20). Each in-flight bucket owns a window of
+// bucketTagWindow tags: the first half for the reduce/reduce-scatter phase,
+// the second half for the broadcast/allgather phase. Windows recycle after
+// bucketTagSlots buckets, which is safe because links are FIFO and buckets
+// complete in submission order on every rank.
+const (
+	tagBucket       = 11 << 20
+	bucketTagWindow = 8192
+	bucketTagSlots  = 128
+)
+
+// bucketTagBases returns the two tag bases for bucket sequence number seq.
+func bucketTagBases(seq int) (phase1, phase2 int) {
+	base := tagBucket + (seq%bucketTagSlots)*bucketTagWindow
+	return base, base + bucketTagWindow/2
+}
+
+// bucketOp is the collective a submitted bucket runs.
+type bucketOp int
+
+const (
+	opAllReduce bucketOp = iota
+	opAllGather
+)
+
+// bucketJob is one queue entry processed by the comm goroutine.
+type bucketJob struct {
+	op     bucketOp
+	data   []float64
+	handle *BucketHandle
+}
+
+// BucketHandle tracks one submitted bucket. Wait blocks until the bucket's
+// collective has completed on this rank (or the reducer failed).
+type BucketHandle struct {
+	done     chan struct{}
+	err      error
+	gathered []float64     // AllGather result; nil for AllReduce
+	commTime time.Duration // time the comm goroutine spent inside the collective
+}
+
+// Wait blocks until the bucket's collective completes and returns its error
+// (nil on success). For AllReduce buckets the submitted slice holds the
+// elementwise sum across ranks on return.
+func (h *BucketHandle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+// Gathered returns the AllGather result (P*len concatenation in rank order).
+// Only valid after Wait returns nil; nil for AllReduce buckets.
+func (h *BucketHandle) Gathered() []float64 { return h.gathered }
+
+// CommTime returns how long the comm goroutine spent inside this bucket's
+// collective, measured on the comm goroutine itself. Valid after Wait.
+func (h *BucketHandle) CommTime() time.Duration { return h.commTime }
+
+// BucketReducer runs this rank's bucket collectives on a dedicated
+// goroutine. Create one per rank per step (or reuse across steps — sequence
+// numbers keep counting), submit buckets in the same order on every rank,
+// Wait on the handles, then Close.
+type BucketReducer struct {
+	rank   *Rank
+	algo   AllReduceAlgorithm
+	jobs   chan bucketJob
+	closed chan struct{}
+
+	mu      sync.Mutex // guards closing vs late submissions
+	closing bool
+
+	// Owned by the comm goroutine while open, readable after Close.
+	seq       int
+	failed    error
+	commTotal time.Duration
+}
+
+// NewBucketReducer starts the comm goroutine. algo selects the allreduce
+// algorithm for AllReduce buckets (per-bucket fallback rules as in
+// Rank.AllReduce: short buckets fall back to tree, etc.).
+func (r *Rank) NewBucketReducer(algo AllReduceAlgorithm) *BucketReducer {
+	br := &BucketReducer{
+		rank:   r,
+		algo:   algo,
+		jobs:   make(chan bucketJob, bucketTagSlots),
+		closed: make(chan struct{}),
+	}
+	go br.loop()
+	return br
+}
+
+// SubmitAllReduce queues data for an elementwise sum across ranks. The
+// reducer owns data until the returned handle's Wait completes; the sum is
+// written in place.
+func (br *BucketReducer) SubmitAllReduce(data []float64) *BucketHandle {
+	return br.submit(bucketJob{op: opAllReduce, data: data})
+}
+
+// SubmitAllGather queues data for concatenation across ranks (each rank must
+// submit equal lengths for the same bucket). The result is available via the
+// handle's Gathered after Wait.
+func (br *BucketReducer) SubmitAllGather(data []float64) *BucketHandle {
+	return br.submit(bucketJob{op: opAllGather, data: data})
+}
+
+func (br *BucketReducer) submit(j bucketJob) *BucketHandle {
+	j.handle = &BucketHandle{done: make(chan struct{})}
+	br.mu.Lock()
+	if br.closing {
+		br.mu.Unlock()
+		j.handle.err = fmt.Errorf("comm: bucket submitted after Close on rank %d", br.rank.id)
+		close(j.handle.done)
+		return j.handle
+	}
+	// Holding the lock across the (possibly blocking) send is safe: the comm
+	// goroutine always drains the channel, and Close only closes it after
+	// taking the lock, so the channel cannot be closed under this send.
+	br.jobs <- j
+	br.mu.Unlock()
+	return j.handle
+}
+
+// Close drains the queue, stops the comm goroutine, and returns the sticky
+// error if any bucket failed. After Close the rank goroutine owns its links
+// again. Close must be called exactly once.
+func (br *BucketReducer) Close() error {
+	br.mu.Lock()
+	br.closing = true
+	br.mu.Unlock()
+	close(br.jobs)
+	<-br.closed
+	return br.failed
+}
+
+// CommSeconds returns the total time the comm goroutine spent inside
+// collectives. Only valid after Close (or after Wait on every handle).
+func (br *BucketReducer) CommSeconds() float64 { return br.commTotal.Seconds() }
+
+// loop is the comm goroutine: FIFO over submitted buckets. A panic inside a
+// collective (tag mismatch, dead peer watchdog, world re-raise) is captured
+// into the bucket's handle and poisons the reducer — subsequent buckets
+// complete immediately with the sticky error rather than touching the links,
+// so a chaos-killed peer surfaces as an error on every survivor instead of a
+// hang.
+func (br *BucketReducer) loop() {
+	defer close(br.closed)
+	for j := range br.jobs {
+		if br.failed != nil {
+			j.handle.err = br.failed
+			close(j.handle.done)
+			continue
+		}
+		br.runJob(j)
+	}
+}
+
+// runJob executes one bucket collective, converting panics to errors.
+func (br *BucketReducer) runJob(j bucketJob) {
+	defer func() {
+		if p := recover(); p != nil {
+			br.failed = fmt.Errorf("comm: bucket %d failed on rank %d: %v",
+				br.seq, br.rank.id, p)
+			j.handle.err = br.failed
+		}
+		br.seq++
+		close(j.handle.done)
+	}()
+	phase1, phase2 := bucketTagBases(br.seq)
+	var sp *obs.Span
+	if br.rank.world.obs.Enabled() {
+		sp = br.rank.world.obs.Span(br.obsTID(), fmt.Sprintf("bucket%d", br.seq))
+	}
+	t0 := time.Now()
+	switch j.op {
+	case opAllReduce:
+		br.bucketAllReduce(j.data, phase1, phase2)
+	case opAllGather:
+		j.handle.gathered = br.bucketAllGather(j.data, phase1)
+	}
+	j.handle.commTime = time.Since(t0)
+	br.commTotal += j.handle.commTime
+	if sp != nil {
+		sp.SetArg("elems", len(j.data))
+		sp.End()
+	}
+}
+
+func (br *BucketReducer) obsTID() int {
+	if f := br.rank.world.obsTID; f != nil {
+		return f(br.rank.id)
+	}
+	return br.rank.id
+}
+
+// bucketAllReduce is Rank.AllReduce over the bucket's salted tag windows.
+// Tree, recursive-doubling, and Rabenseifner sums are segmentation-invariant
+// (see reduceTo), so at full precision a bucketed allreduce is bitwise
+// identical to a flat one; ring is not (see allReduceRing).
+func (br *BucketReducer) bucketAllReduce(data []float64, phase1, phase2 int) {
+	r := br.rank
+	if r.Size() == 1 {
+		return
+	}
+	switch r.resolveAlgo(br.algo, len(data)) {
+	case ARRing:
+		r.allReduceRing(data, phase1, phase2)
+	case ARRecursiveDoubling:
+		r.allReduceRecDoubling(data, phase1)
+	case ARRabenseifner:
+		r.allReduceRabenseifner(data, phase1, phase2)
+	default:
+		r.allReduceTree(data, phase1, phase2)
+	}
+}
+
+// bucketAllGather is the ring allgather over the bucket's tag window.
+func (br *BucketReducer) bucketAllGather(data []float64, base int) []float64 {
+	r := br.rank
+	p := r.Size()
+	n := len(data)
+	out := make([]float64, p*n)
+	copy(out[r.id*n:(r.id+1)*n], data)
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sendChunk := (r.id - step + p) % p
+		recvChunk := (r.id - step - 1 + p) % p
+		r.Send(right, base+step, out[sendChunk*n:(sendChunk+1)*n])
+		in := r.Recv(left, base+step)
+		copy(out[recvChunk*n:(recvChunk+1)*n], in)
+	}
+	return out
+}

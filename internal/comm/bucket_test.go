@@ -1,0 +1,291 @@
+package comm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// fillRand fills buf with deterministic values spanning several magnitudes
+// so float addition order actually matters.
+func fillRand(r *rng.Stream, buf []float64) {
+	for i := range buf {
+		buf[i] = (r.Float64() - 0.5) * math.Pow(10, float64(i%7)-3)
+	}
+}
+
+// TestBucketAllReduceSums checks the bucketed path produces correct sums for
+// every algorithm and several world sizes / bucket lengths.
+func TestBucketAllReduceSums(t *testing.T) {
+	algos := []AllReduceAlgorithm{ARTree, ARRing, ARRecursiveDoubling, ARRabenseifner}
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		for _, algo := range algos {
+			lens := []int{1, 5, 64, 257}
+			w := NewWorld(p)
+			w.Run(func(r *Rank) {
+				br := r.NewBucketReducer(algo)
+				var handles []*BucketHandle
+				var bufs [][]float64
+				for b, n := range lens {
+					buf := make([]float64, n)
+					for i := range buf {
+						buf[i] = float64(r.ID()*1000 + b*100 + i)
+					}
+					bufs = append(bufs, buf)
+					handles = append(handles, br.SubmitAllReduce(buf))
+				}
+				for _, h := range handles {
+					if err := h.Wait(); err != nil {
+						t.Errorf("p=%d algo=%v: %v", p, algo, err)
+					}
+				}
+				if err := br.Close(); err != nil {
+					t.Errorf("p=%d algo=%v close: %v", p, algo, err)
+				}
+				for b, buf := range bufs {
+					for i := range buf {
+						want := 0.0
+						for rank := 0; rank < p; rank++ {
+							want += float64(rank*1000 + b*100 + i)
+						}
+						if buf[i] != want {
+							t.Fatalf("p=%d algo=%v bucket %d elem %d: got %v want %v",
+								p, algo, b, i, buf[i], want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBucketedBitwiseEqualsFlat is the segmentation-invariance differential:
+// for tree, recursive-doubling, and Rabenseifner, reducing a buffer in
+// buckets must be bitwise identical to one flat AllReduce of the whole
+// buffer — this is the property the overlapped trainer's bitwise-identity
+// guarantee rests on.
+func TestBucketedBitwiseEqualsFlat(t *testing.T) {
+	const n = 1003
+	algos := []AllReduceAlgorithm{ARTree, ARRecursiveDoubling, ARRabenseifner}
+	for _, p := range []int{2, 3, 4, 8} {
+		for _, algo := range algos {
+			for _, bucketLen := range []int{1, 7, 128, 500, n, 2 * n} {
+				// Flat reference.
+				flat := make([][]float64, p)
+				wf := NewWorld(p)
+				wf.Run(func(r *Rank) {
+					buf := make([]float64, n)
+					fillRand(rng.New(42).SplitN(r.ID()), buf)
+					r.AllReduce(buf, algo)
+					flat[r.ID()] = buf
+				})
+				// Bucketed.
+				wb := NewWorld(p)
+				wb.Run(func(r *Rank) {
+					buf := make([]float64, n)
+					fillRand(rng.New(42).SplitN(r.ID()), buf)
+					br := r.NewBucketReducer(algo)
+					var handles []*BucketHandle
+					for lo := 0; lo < n; lo += bucketLen {
+						hi := min(lo+bucketLen, n)
+						handles = append(handles, br.SubmitAllReduce(buf[lo:hi]))
+					}
+					for _, h := range handles {
+						if err := h.Wait(); err != nil {
+							t.Errorf("wait: %v", err)
+						}
+					}
+					if err := br.Close(); err != nil {
+						t.Errorf("close: %v", err)
+					}
+					for i := range buf {
+						if math.Float64bits(buf[i]) != math.Float64bits(flat[r.ID()][i]) {
+							t.Fatalf("p=%d algo=%v bucketLen=%d rank %d elem %d: bucketed %x flat %x",
+								p, algo, bucketLen, r.ID(), i,
+								math.Float64bits(buf[i]), math.Float64bits(flat[r.ID()][i]))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBucketedRingCloseToFlat: ring is not segmentation-invariant, so the
+// bucketed result may differ from flat by rounding — but only by rounding.
+func TestBucketedRingCloseToFlat(t *testing.T) {
+	const n = 1003
+	p := 4
+	flat := make([][]float64, p)
+	wf := NewWorld(p)
+	wf.Run(func(r *Rank) {
+		buf := make([]float64, n)
+		fillRand(rng.New(7).SplitN(r.ID()), buf)
+		r.AllReduce(buf, ARRing)
+		flat[r.ID()] = buf
+	})
+	wb := NewWorld(p)
+	wb.Run(func(r *Rank) {
+		buf := make([]float64, n)
+		fillRand(rng.New(7).SplitN(r.ID()), buf)
+		br := r.NewBucketReducer(ARRing)
+		var handles []*BucketHandle
+		for lo := 0; lo < n; lo += 100 {
+			handles = append(handles, br.SubmitAllReduce(buf[lo:min(lo+100, n)]))
+		}
+		for _, h := range handles {
+			if err := h.Wait(); err != nil {
+				t.Errorf("wait: %v", err)
+			}
+		}
+		if err := br.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		for i := range buf {
+			ref := flat[r.ID()][i]
+			tol := 1e-12 * (math.Abs(ref) + 1)
+			if math.Abs(buf[i]-ref) > tol {
+				t.Fatalf("rank %d elem %d: bucketed %v flat %v", r.ID(), i, buf[i], ref)
+			}
+		}
+	})
+}
+
+// TestBucketAllGather checks bucketed allgather concatenates in rank order
+// and interleaves correctly with allreduce buckets in the same queue.
+func TestBucketAllGather(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5} {
+		w := NewWorld(p)
+		w.Run(func(r *Rank) {
+			br := r.NewBucketReducer(ARTree)
+			seg := []float64{float64(r.ID()), float64(r.ID()) + 0.5}
+			red := []float64{1, 2, 3}
+			hg := br.SubmitAllGather(seg)
+			hr := br.SubmitAllReduce(red)
+			if err := hg.Wait(); err != nil {
+				t.Errorf("gather wait: %v", err)
+			}
+			if err := hr.Wait(); err != nil {
+				t.Errorf("reduce wait: %v", err)
+			}
+			if err := br.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			got := hg.Gathered()
+			if len(got) != 2*p {
+				t.Fatalf("gathered len %d want %d", len(got), 2*p)
+			}
+			for rank := 0; rank < p; rank++ {
+				if got[2*rank] != float64(rank) || got[2*rank+1] != float64(rank)+0.5 {
+					t.Fatalf("rank %d sees gathered %v", r.ID(), got)
+				}
+			}
+			for i, v := range red {
+				if v != float64(i+1)*float64(p) {
+					t.Fatalf("interleaved allreduce wrong: %v", red)
+				}
+			}
+		})
+	}
+}
+
+// TestBucketReducerManyBucketsTagRecycle pushes well past bucketTagSlots to
+// exercise tag-window recycling.
+func TestBucketReducerManyBucketsTagRecycle(t *testing.T) {
+	p := 3
+	nBuckets := bucketTagSlots*2 + 5
+	w := NewWorld(p)
+	w.Run(func(r *Rank) {
+		br := r.NewBucketReducer(ARTree)
+		bufs := make([][]float64, nBuckets)
+		handles := make([]*BucketHandle, nBuckets)
+		for b := range bufs {
+			bufs[b] = []float64{float64(b), float64(r.ID())}
+			handles[b] = br.SubmitAllReduce(bufs[b])
+		}
+		for b, h := range handles {
+			if err := h.Wait(); err != nil {
+				t.Errorf("bucket %d: %v", b, err)
+			}
+		}
+		if err := br.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		for b, buf := range bufs {
+			if buf[0] != float64(b*p) || buf[1] != float64(p*(p-1)/2) {
+				t.Fatalf("bucket %d wrong: %v", b, buf)
+			}
+		}
+	})
+}
+
+// TestBucketReducerErrorPoisoning: a failing collective must surface as an
+// error on the bucket's handle and poison later buckets instead of hanging
+// or corrupting links.
+func TestBucketReducerErrorPoisoning(t *testing.T) {
+	// Run a 2-rank world where rank 1 deliberately submits a mismatched
+	// bucket count; its reducer's extra bucket would block forever, so
+	// instead we simulate the failure mode the trainer actually hits: a
+	// dead peer detected by the recv watchdog.
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected world to re-raise the watchdog panic")
+		}
+		if !strings.Contains(eString(p), "rank") {
+			t.Fatalf("unexpected panic: %v", p)
+		}
+	}()
+	w := NewWorld(2)
+	w.SetRecvTimeout(50 * time.Millisecond)
+	w.Run(func(r *Rank) {
+		if r.ID() == 1 {
+			return // rank 1 dies before communicating
+		}
+		br := r.NewBucketReducer(ARTree)
+		h1 := br.SubmitAllReduce([]float64{1, 2})
+		h2 := br.SubmitAllReduce([]float64{3})
+		err1, err2 := h1.Wait(), h2.Wait()
+		if err1 == nil || err2 == nil {
+			t.Errorf("expected both buckets to fail: %v / %v", err1, err2)
+		}
+		if err2 != nil && !strings.Contains(err2.Error(), "failed") {
+			t.Errorf("sticky error missing: %v", err2)
+		}
+		closeErr := br.Close()
+		if closeErr == nil {
+			t.Error("Close should return the sticky error")
+		}
+		// Re-raise so the deferred check sees the expected panic path:
+		// in production the trainer propagates the reducer error.
+		panic(closeErr)
+	})
+}
+
+func eString(p any) string {
+	if s, ok := p.(string); ok {
+		return s
+	}
+	if e, ok := p.(error); ok {
+		return e.Error()
+	}
+	return ""
+}
+
+// TestBucketSubmitAfterClose: late submissions fail fast instead of hanging.
+func TestBucketSubmitAfterClose(t *testing.T) {
+	w := NewWorld(1)
+	w.Run(func(r *Rank) {
+		br := r.NewBucketReducer(ARTree)
+		if err := br.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		h := br.SubmitAllReduce([]float64{1})
+		if err := h.Wait(); err == nil {
+			t.Fatal("submit after close should error")
+		}
+	})
+}

@@ -220,12 +220,22 @@ func (r *Rank) Barrier() {
 // Broadcast distributes root's data to every rank via a binomial tree and
 // returns each rank's copy. Non-root callers may pass nil.
 func (r *Rank) Broadcast(root int, data []float64) []float64 {
-	p := r.Size()
-	if p == 1 {
+	if r.Size() == 1 {
 		return data
 	}
 	if r.world.obs.Enabled() {
 		defer r.endColl(r.beginColl("broadcast"))
+	}
+	return r.broadcastFrom(root, data, tagBcast)
+}
+
+// broadcastFrom is the binomial broadcast over an explicit tag base, shared
+// by Broadcast and the bucketed tree allreduce (which salts the base with
+// the bucket sequence number).
+func (r *Rank) broadcastFrom(root int, data []float64, base int) []float64 {
+	p := r.Size()
+	if p == 1 {
+		return data
 	}
 	// Rotate so the root is virtual rank 0.
 	vr := (r.id - root + p) % p
@@ -235,7 +245,7 @@ func (r *Rank) Broadcast(root int, data []float64) []float64 {
 		for mask < p {
 			if vr&mask != 0 {
 				parent := ((vr - mask) + root) % p
-				data = r.Recv(parent, tagBcast+mask)
+				data = r.Recv(parent, base+mask)
 				break
 			}
 			mask <<= 1
@@ -248,7 +258,7 @@ func (r *Rank) Broadcast(root int, data []float64) []float64 {
 		for mask := recvMask >> 1; mask >= 1; mask >>= 1 {
 			child := vr | mask
 			if child < p {
-				r.Send((child+root)%p, tagBcast+mask, data)
+				r.Send((child+root)%p, base+mask, data)
 			}
 		}
 		return data
@@ -261,7 +271,7 @@ func (r *Rank) Broadcast(root int, data []float64) []float64 {
 	for mask := top >> 1; mask >= 1; mask >>= 1 {
 		child := mask
 		if child < p {
-			r.Send((child+root)%p, tagBcast+mask, data)
+			r.Send((child+root)%p, base+mask, data)
 		}
 	}
 	return data
@@ -271,25 +281,35 @@ func (r *Rank) Broadcast(root int, data []float64) []float64 {
 // Every rank must pass equal-length data; the root's return value holds the
 // sum, other ranks return nil.
 func (r *Rank) Reduce(root int, data []float64) []float64 {
+	if r.Size() > 1 && r.world.obs.Enabled() {
+		defer r.endColl(r.beginColl("reduce"))
+	}
+	return r.reduceTo(root, data, tagReduce)
+}
+
+// reduceTo is the binomial reduce over an explicit tag base. The per-element
+// combination tree is the same binomial bracketing for every element
+// regardless of where it sits in the buffer, which is what makes tree (and
+// recursive-doubling, and Rabenseifner) allreduces segmentation-invariant:
+// reducing a buffer in buckets yields bitwise-identical sums to reducing it
+// flat. (The ring algorithm is the exception — see allReduceRing.)
+func (r *Rank) reduceTo(root int, data []float64, base int) []float64 {
 	p := r.Size()
 	acc := make([]float64, len(data))
 	copy(acc, data)
 	if p == 1 {
 		return acc
 	}
-	if r.world.obs.Enabled() {
-		defer r.endColl(r.beginColl("reduce"))
-	}
 	vr := (r.id - root + p) % p
 	for mask := 1; mask < p; mask <<= 1 {
 		if vr&mask != 0 {
 			parent := ((vr &^ mask) + root) % p
-			r.Send(parent, tagReduce+mask, acc)
+			r.Send(parent, base+mask, acc)
 			return nil
 		}
 		peer := vr | mask
 		if peer < p {
-			in := r.Recv((peer+root)%p, tagReduce+mask)
+			in := r.Recv((peer+root)%p, base+mask)
 			for i := range acc {
 				acc[i] += in[i]
 			}
@@ -371,46 +391,55 @@ func (r *Rank) AllReduce(data []float64, algo AllReduceAlgorithm) {
 		return
 	}
 	// Resolve the fallback first so telemetry names the algorithm that ran.
-	switch algo {
-	case ARRing:
-		if len(data) < p {
-			algo = ARTree
-		}
-	case ARRecursiveDoubling:
-		if p&(p-1) != 0 {
-			algo = ARTree
-		}
-	case ARRabenseifner:
-		if p&(p-1) != 0 || len(data) < p {
-			algo = ARTree
-		}
-	}
+	algo = r.resolveAlgo(algo, len(data))
 	if r.world.obs.Enabled() {
 		defer r.endColl(r.beginColl("allreduce." + algo.String()))
 	}
 	switch algo {
 	case ARRing:
-		r.allReduceRing(data)
+		r.allReduceRing(data, tagAR, tagAG)
 	case ARRecursiveDoubling:
-		r.allReduceRecDoubling(data)
+		r.allReduceRecDoubling(data, tagAR)
 	case ARRabenseifner:
-		r.allReduceRabenseifner(data)
+		r.allReduceRabenseifner(data, tagRS, tagAG)
 	default:
-		r.allReduceTree(data)
+		r.allReduceTree(data, tagReduce, tagBcast)
 	}
 }
 
-func (r *Rank) allReduceTree(data []float64) {
-	sum := r.Reduce(0, data)
-	out := r.Broadcast(0, sum)
+// resolveAlgo applies AllReduce's fallback rules for a buffer of n elements
+// so telemetry and the bucketed reducer both name the algorithm that
+// actually runs.
+func (r *Rank) resolveAlgo(algo AllReduceAlgorithm, n int) AllReduceAlgorithm {
+	p := r.Size()
+	switch algo {
+	case ARRing:
+		if n < p {
+			return ARTree
+		}
+	case ARRecursiveDoubling:
+		if p&(p-1) != 0 {
+			return ARTree
+		}
+	case ARRabenseifner:
+		if p&(p-1) != 0 || n < p {
+			return ARTree
+		}
+	}
+	return algo
+}
+
+func (r *Rank) allReduceTree(data []float64, reduceBase, bcastBase int) {
+	sum := r.reduceTo(0, data, reduceBase)
+	out := r.broadcastFrom(0, sum, bcastBase)
 	copy(data, out)
 }
 
-func (r *Rank) allReduceRecDoubling(data []float64) {
+func (r *Rank) allReduceRecDoubling(data []float64, base int) {
 	p := r.Size()
 	for mask := 1; mask < p; mask <<= 1 {
 		peer := r.id ^ mask
-		in := r.SendRecv(peer, data, peer, tagAR+mask)
+		in := r.SendRecv(peer, data, peer, base+mask)
 		for i := range data {
 			data[i] += in[i]
 		}
@@ -429,7 +458,14 @@ func chunkBounds(n, p, i int) (lo, hi int) {
 	return lo, hi
 }
 
-func (r *Rank) allReduceRing(data []float64) {
+// allReduceRing is the bandwidth-optimal ring: reduce-scatter then allgather.
+// NOTE: the per-element summation order depends on which chunk the element
+// lands in (a rotation of rank order), so ring sums are NOT segmentation-
+// invariant — reducing a buffer in buckets can differ from reducing it flat
+// by float rounding. Tree, recursive-doubling, and Rabenseifner are
+// invariant; differential tests that demand bitwise flat/bucketed identity
+// must use one of those.
+func (r *Rank) allReduceRing(data []float64, rsBase, agBase int) {
 	p := r.Size()
 	n := len(data)
 	right := (r.id + 1) % p
@@ -440,8 +476,8 @@ func (r *Rank) allReduceRing(data []float64) {
 		sendChunk := (r.id - step + p) % p
 		recvChunk := (r.id - step - 1 + p) % p
 		slo, shi := chunkBounds(n, p, sendChunk)
-		r.Send(right, tagAR+step, data[slo:shi])
-		in := r.Recv(left, tagAR+step)
+		r.Send(right, rsBase+step, data[slo:shi])
+		in := r.Recv(left, rsBase+step)
 		rlo, rhi := chunkBounds(n, p, recvChunk)
 		for i := rlo; i < rhi; i++ {
 			data[i] += in[i-rlo]
@@ -452,14 +488,14 @@ func (r *Rank) allReduceRing(data []float64) {
 		sendChunk := (r.id + 1 - step + p) % p
 		recvChunk := (r.id - step + p) % p
 		slo, shi := chunkBounds(n, p, sendChunk)
-		r.Send(right, tagAG+step, data[slo:shi])
-		in := r.Recv(left, tagAG+step)
+		r.Send(right, agBase+step, data[slo:shi])
+		in := r.Recv(left, agBase+step)
 		rlo, rhi := chunkBounds(n, p, recvChunk)
 		copy(data[rlo:rhi], in)
 	}
 }
 
-func (r *Rank) allReduceRabenseifner(data []float64) {
+func (r *Rank) allReduceRabenseifner(data []float64, rsBase, agBase int) {
 	p := r.Size()
 	n := len(data)
 	// Recursive halving reduce-scatter. Each round exchanges half the
@@ -476,7 +512,7 @@ func (r *Rank) allReduceRabenseifner(data []float64) {
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		in := r.SendRecv(peer, data[sendLo:sendHi], peer, tagRS+round)
+		in := r.SendRecv(peer, data[sendLo:sendHi], peer, rsBase+round)
 		for i := keepLo; i < keepHi; i++ {
 			data[i] += in[i-keepLo]
 		}
@@ -507,8 +543,8 @@ func (r *Rank) allReduceRabenseifner(data []float64) {
 		peer := r.id ^ mask
 		own := wins[i+1]
 		outer := wins[i]
-		r.Send(peer, tagAG+i, data[own.lo:own.hi])
-		in := r.Recv(peer, tagAG+i)
+		r.Send(peer, agBase+i, data[own.lo:own.hi])
+		in := r.Recv(peer, agBase+i)
 		// Peer owned the other half of the outer window.
 		if own.lo == outer.lo {
 			copy(data[own.hi:outer.hi], in)

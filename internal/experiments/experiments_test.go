@@ -23,8 +23,8 @@ func runQuick(t *testing.T, id string) (*Experiment, string) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(all))
+	if len(all) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -380,6 +380,55 @@ func TestE12Shape(t *testing.T) {
 	}
 	if f(t, late[4]) <= f(t, atBudget[4]) {
 		t.Fatalf("4x budget p99 %s not above 1x budget p99 %s:\n%s", late[4], atBudget[4], out)
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	_, out := runQuick(t, "E13")
+	rows := tableRows(out)
+	// Columns: engine scenario ranks buckets wire-ratio comm-ms exposed-ms
+	// overlap step-ms speedup.
+	var modelFlat, modelBest, hostOverlap, hostInt8 []string
+	for _, r := range rows {
+		switch {
+		case r[0] == "model" && r[1] == "flat-allreduce":
+			modelFlat = r
+		case r[0] == "model" && r[1] == "bucketed":
+			if modelBest == nil || f(t, r[9]) > f(t, modelBest[9]) {
+				modelBest = r
+			}
+		case r[0] == "host" && r[1] == "bucketed+overlap":
+			hostOverlap = r
+		case r[0] == "host" && r[1] == "overlap+int8":
+			hostInt8 = r
+		}
+	}
+	if modelFlat == nil || modelBest == nil || hostOverlap == nil || hostInt8 == nil {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// Model: flat hides nothing; the best bucketed config hides most of its
+	// comm and cuts the step time.
+	if f(t, modelFlat[9]) != 1 || f(t, modelFlat[7]) != 0 {
+		t.Fatalf("model flat row not the baseline:\n%s", out)
+	}
+	if sp := f(t, modelBest[9]); sp <= 1.1 {
+		t.Fatalf("best modelled bucketed speedup %v <= 1.1:\n%s", sp, out)
+	}
+	if ov := f(t, modelBest[7]); ov <= 0.5 {
+		t.Fatalf("best modelled overlap %v <= 0.5:\n%s", ov, out)
+	}
+	// Host: the measured overlap fraction must be positive, exposed comm must
+	// not exceed total comm, and compression must report its wire ratio.
+	// (Host magnitudes are hardware-dependent — only shapes are asserted.)
+	if ov := f(t, hostOverlap[7]); ov <= 0 || ov > 1 {
+		t.Fatalf("measured host overlap fraction %v not in (0, 1]:\n%s", ov, out)
+	}
+	if f(t, hostOverlap[6]) > f(t, hostOverlap[5]) {
+		t.Fatalf("host exposed comm %s above total comm %s:\n%s",
+			hostOverlap[6], hostOverlap[5], out)
+	}
+	if ratio := f(t, hostInt8[4]); ratio < 6 {
+		t.Fatalf("int8 wire ratio %v < 6:\n%s", ratio, out)
 	}
 }
 

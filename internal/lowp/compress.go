@@ -1,0 +1,266 @@
+package lowp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Gradient compression with error feedback (EF-SGD).
+//
+// Compressing gradients before the allreduce shrinks bytes on the wire, but
+// a biased compressor (top-k keeps big entries, int8 rounds small ones away)
+// silently discards signal every step. Error feedback fixes the bias: each
+// step compresses grad+residual instead of grad, and the part the compressor
+// dropped becomes the next step's residual. Nothing is ever lost — only
+// delayed — which is why EF-SGD provably matches plain SGD's convergence
+// rate while plain compressed SGD can stall.
+//
+// Wire format: every Compress output is a fixed-length []float64 whose
+// length depends only on the bucket length and the compressor settings —
+// never on the values — so all ranks produce equal-length payloads for the
+// same bucket and the payloads can ride the existing allgather collectives
+// (and the CRC-framed faulty transport, which round-trips exact bits via
+// math.Float64bits, making the packed-int8 encoding safe).
+
+// CompressKind selects the gradient compressor.
+type CompressKind int
+
+// Supported compressors.
+const (
+	// CompressNone sends raw float64 gradients (identity, no residual).
+	CompressNone CompressKind = iota
+	// CompressTopK keeps the K largest-magnitude entries per bucket and
+	// carries the rest in the error-feedback residual. Wire: [k values,
+	// k indices] as float64 — 2K words per bucket.
+	CompressTopK
+	// CompressInt8 quantises the bucket against a per-bucket symmetric
+	// scale, packing 8 int8 lanes per float64 word. Wire: [scale,
+	// ceil(n/8) packed words].
+	CompressInt8
+)
+
+// String names the compressor.
+func (k CompressKind) String() string {
+	switch k {
+	case CompressNone:
+		return "none"
+	case CompressTopK:
+		return "topk"
+	case CompressInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("CompressKind(%d)", int(k))
+	}
+}
+
+// GradCompressor compresses gradient buckets with per-bucket error-feedback
+// residuals. One compressor belongs to one rank; bucket ids key the residual
+// store, so call Compress with stable bucket ids across steps. Not safe for
+// concurrent use.
+type GradCompressor struct {
+	Kind CompressKind
+	// TopKRatio is the fraction of entries kept by CompressTopK
+	// (K = ceil(ratio*n), clamped to [1, n]). Ignored by other kinds.
+	TopKRatio float64
+
+	residuals map[int][]float64
+	rawWords  int // uncompressed float64 words seen
+	wireWords int // compressed float64 words produced
+}
+
+// NewGradCompressor returns a compressor of the given kind. ratio is the
+// top-k keep fraction (only read by CompressTopK).
+func NewGradCompressor(kind CompressKind, ratio float64) *GradCompressor {
+	return &GradCompressor{Kind: kind, TopKRatio: ratio,
+		residuals: make(map[int][]float64)}
+}
+
+// WireLen returns the compressed payload length in float64 words for a
+// bucket of n elements — a pure function of n and the settings, identical
+// across ranks.
+func (c *GradCompressor) WireLen(n int) int {
+	switch c.Kind {
+	case CompressNone:
+		return n
+	case CompressTopK:
+		return 2 * c.topK(n)
+	case CompressInt8:
+		return 1 + (n+7)/8
+	default:
+		panic("lowp: unknown CompressKind")
+	}
+}
+
+// topK returns K = ceil(ratio*n) clamped to [1, n] (0 for an empty bucket).
+func (c *GradCompressor) topK(n int) int {
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Ceil(c.TopKRatio * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Compress encodes bucket id's gradient buffer (residual added in) into a
+// fixed-length wire payload and updates the residual with what the encoding
+// dropped. grad is not modified.
+func (c *GradCompressor) Compress(bucket int, grad []float64) []float64 {
+	res := c.residuals[bucket]
+	if res == nil {
+		res = make([]float64, len(grad))
+		c.residuals[bucket] = res
+	}
+	if len(res) != len(grad) {
+		panic(fmt.Sprintf("lowp: bucket %d length changed %d -> %d",
+			bucket, len(res), len(grad)))
+	}
+	// v = grad + residual is what we try to transmit this step.
+	v := make([]float64, len(grad))
+	for i := range grad {
+		v[i] = grad[i] + res[i]
+	}
+	var wire []float64
+	switch c.Kind {
+	case CompressNone:
+		wire = append([]float64(nil), v...)
+	case CompressTopK:
+		wire = encodeTopK(v, c.topK(len(v)))
+	case CompressInt8:
+		wire = encodeInt8(v)
+	default:
+		panic("lowp: unknown CompressKind")
+	}
+	// residual = v - decode(wire): exactly what this step failed to send.
+	decoded := make([]float64, len(v))
+	c.decodeInto(wire, decoded)
+	for i := range res {
+		res[i] = v[i] - decoded[i]
+	}
+	c.rawWords += len(grad)
+	c.wireWords += len(wire)
+	return wire
+}
+
+// DecodeAccumulate decodes a wire payload and adds it elementwise into acc
+// (len(acc) must be the original bucket length).
+func (c *GradCompressor) DecodeAccumulate(wire, acc []float64) {
+	switch c.Kind {
+	case CompressNone:
+		if len(wire) != len(acc) {
+			panic("lowp: wire/bucket length mismatch")
+		}
+		for i, v := range wire {
+			acc[i] += v
+		}
+	case CompressTopK:
+		k := len(wire) / 2
+		for j := 0; j < k; j++ {
+			idx := int(wire[k+j])
+			if idx < 0 || idx >= len(acc) {
+				panic(fmt.Sprintf("lowp: top-k index %d out of range %d", idx, len(acc)))
+			}
+			acc[idx] += wire[j]
+		}
+	case CompressInt8:
+		scale := wire[0]
+		for i := range acc {
+			acc[i] += float64(unpackInt8(wire[1:], i)) * scale
+		}
+	default:
+		panic("lowp: unknown CompressKind")
+	}
+}
+
+// decodeInto writes the decoded payload over dst (dst zeroed first).
+func (c *GradCompressor) decodeInto(wire, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	c.DecodeAccumulate(wire, dst)
+}
+
+// CompressionRatio returns rawWords/wireWords over the compressor's
+// lifetime (1 for identity; 0 before any traffic).
+func (c *GradCompressor) CompressionRatio() float64 {
+	if c.wireWords == 0 {
+		return 0
+	}
+	return float64(c.rawWords) / float64(c.wireWords)
+}
+
+// encodeTopK keeps the k largest-|v| entries: [k values..., k indices...].
+// Indices are stored as float64 (exact for any realistic bucket length) in
+// increasing order so the encoding is deterministic; magnitude ties are
+// broken toward the lower index.
+func encodeTopK(v []float64, k int) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return math.Abs(v[idx[a]]) > math.Abs(v[idx[b]])
+	})
+	keep := idx[:k]
+	sort.Ints(keep)
+	wire := make([]float64, 2*k)
+	for j, i := range keep {
+		wire[j] = v[i]
+		wire[k+j] = float64(i)
+	}
+	return wire
+}
+
+// encodeInt8 quantises v against a per-bucket symmetric scale (absmax/127)
+// and packs 8 int8 lanes into each float64 word via its bit pattern:
+// [scale, packed...].
+func encodeInt8(v []float64) []float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	scale := m / 127
+	if scale == 0 {
+		scale = 1
+	}
+	inv := 1 / scale
+	wire := make([]float64, 1+(len(v)+7)/8)
+	wire[0] = scale
+	packed := wire[1:]
+	for i, x := range v {
+		q := math.Round(x * inv)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		packInt8(packed, i, int8(q))
+	}
+	return wire
+}
+
+// packInt8 stores b into lane i (8 lanes per float64 word, little-endian by
+// lane) of the packed region.
+func packInt8(packed []float64, i int, b int8) {
+	word := i / 8
+	shift := uint(i%8) * 8
+	bits := math.Float64bits(packed[word])
+	bits &^= uint64(0xff) << shift
+	bits |= uint64(uint8(b)) << shift
+	packed[word] = math.Float64frombits(bits)
+}
+
+// unpackInt8 reads lane i of the packed region.
+func unpackInt8(packed []float64, i int) int8 {
+	word := i / 8
+	shift := uint(i%8) * 8
+	return int8(uint8(math.Float64bits(packed[word]) >> shift))
+}

@@ -1,0 +1,221 @@
+package lowp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randBucket(seed uint64, n int) []float64 {
+	r := rng.New(seed)
+	buf := make([]float64, n)
+	for i := range buf {
+		buf[i] = (r.Float64() - 0.5) * math.Pow(10, float64(i%5)-2)
+	}
+	return buf
+}
+
+// TestCompressNoneIdentity: the identity compressor round-trips exactly and
+// leaves a zero residual.
+func TestCompressNoneIdentity(t *testing.T) {
+	c := NewGradCompressor(CompressNone, 0)
+	grad := randBucket(1, 33)
+	wire := c.Compress(0, grad)
+	if len(wire) != c.WireLen(len(grad)) {
+		t.Fatalf("wire len %d want %d", len(wire), c.WireLen(len(grad)))
+	}
+	acc := make([]float64, len(grad))
+	c.DecodeAccumulate(wire, acc)
+	for i := range grad {
+		if acc[i] != grad[i] {
+			t.Fatalf("elem %d: %v != %v", i, acc[i], grad[i])
+		}
+	}
+	for _, r := range c.residuals[0] {
+		if r != 0 {
+			t.Fatalf("identity residual nonzero: %v", r)
+		}
+	}
+	if got := c.CompressionRatio(); got != 1 {
+		t.Fatalf("identity ratio %v", got)
+	}
+}
+
+// TestCompressTopKKeepsLargest: with ratio 0.25 the wire carries exactly the
+// K largest-magnitude entries and the residual carries the rest.
+func TestCompressTopKKeepsLargest(t *testing.T) {
+	c := NewGradCompressor(CompressTopK, 0.25)
+	grad := []float64{0.1, -5, 0.2, 3, -0.05, 0.3, 7, -0.2}
+	wire := c.Compress(0, grad)
+	if len(wire) != 4 { // K = ceil(0.25*8) = 2 -> 2 values + 2 indices
+		t.Fatalf("wire len %d want 4", len(wire))
+	}
+	acc := make([]float64, len(grad))
+	c.DecodeAccumulate(wire, acc)
+	// The two largest are -5 (idx 1) and 7 (idx 6).
+	want := []float64{0, -5, 0, 0, 0, 0, 7, 0}
+	for i := range want {
+		if acc[i] != want[i] {
+			t.Fatalf("decoded %v want %v", acc, want)
+		}
+	}
+	// Residual holds exactly the dropped mass.
+	for i, r := range c.residuals[0] {
+		if r != grad[i]-acc[i] {
+			t.Fatalf("residual %d: %v want %v", i, r, grad[i]-acc[i])
+		}
+	}
+}
+
+// TestCompressTopKFullRatioIsIdentity: k >= len degenerates to identity.
+func TestCompressTopKFullRatioIsIdentity(t *testing.T) {
+	for _, ratio := range []float64{1.0, 1.5, 100} {
+		c := NewGradCompressor(CompressTopK, ratio)
+		grad := randBucket(3, 17)
+		wire := c.Compress(0, grad)
+		acc := make([]float64, len(grad))
+		c.DecodeAccumulate(wire, acc)
+		for i := range grad {
+			if acc[i] != grad[i] {
+				t.Fatalf("ratio %v elem %d: %v != %v", ratio, i, acc[i], grad[i])
+			}
+		}
+		for _, r := range c.residuals[0] {
+			if r != 0 {
+				t.Fatalf("ratio %v residual nonzero: %v", ratio, r)
+			}
+		}
+	}
+}
+
+// TestErrorFeedbackConservesMass: over many steps, decoded + residual always
+// equals the cumulative input exactly at the per-step level — decoded(t) +
+// residual(t) == grad(t) + residual(t-1) — for every compressor.
+func TestErrorFeedbackConservesMass(t *testing.T) {
+	kinds := []struct {
+		kind  CompressKind
+		ratio float64
+	}{{CompressNone, 0}, {CompressTopK, 0.1}, {CompressTopK, 0.5}, {CompressInt8, 0}}
+	for _, k := range kinds {
+		c := NewGradCompressor(k.kind, k.ratio)
+		n := 41
+		prevRes := make([]float64, n)
+		for step := 0; step < 20; step++ {
+			grad := randBucket(uint64(100+step), n)
+			wire := c.Compress(7, grad)
+			if len(wire) != c.WireLen(n) {
+				t.Fatalf("%v: wire len %d want %d", k.kind, len(wire), c.WireLen(n))
+			}
+			decoded := make([]float64, n)
+			c.DecodeAccumulate(wire, decoded)
+			for i := 0; i < n; i++ {
+				in := grad[i] + prevRes[i]
+				out := decoded[i] + c.residuals[7][i]
+				// residual is computed as in - decoded, so this must hold
+				// bit-for-bit.
+				if out != in {
+					t.Fatalf("%v step %d elem %d: decoded+res %v want %v",
+						k.kind, step, i, out, in)
+				}
+			}
+			copy(prevRes, c.residuals[7])
+		}
+	}
+}
+
+// TestCompressInt8Bounds: int8 decode error per element is at most half a
+// quantisation step, and the packed encoding round-trips lane-exactly.
+func TestCompressInt8Bounds(t *testing.T) {
+	c := NewGradCompressor(CompressInt8, 0)
+	grad := randBucket(11, 100)
+	wire := c.Compress(0, grad)
+	if len(wire) != 1+(100+7)/8 {
+		t.Fatalf("wire len %d", len(wire))
+	}
+	scale := wire[0]
+	acc := make([]float64, len(grad))
+	c.DecodeAccumulate(wire, acc)
+	for i := range grad {
+		if math.Abs(acc[i]-grad[i]) > scale/2+1e-15 {
+			t.Fatalf("elem %d: decode err %v > scale/2 %v", i,
+				math.Abs(acc[i]-grad[i]), scale/2)
+		}
+	}
+}
+
+// TestPackInt8RoundTrip: every lane value survives packing bit-exactly,
+// including patterns that make the carrier float64 a NaN.
+func TestPackInt8RoundTrip(t *testing.T) {
+	packed := make([]float64, 2)
+	vals := []int8{-128, -127, -1, 0, 1, 63, 127, -64, 5, -5, 100, -100, 2, -2, 77, -77}
+	for i, v := range vals {
+		packInt8(packed, i, v)
+	}
+	for i, v := range vals {
+		if got := unpackInt8(packed, i); got != v {
+			t.Fatalf("lane %d: got %d want %d", i, got, v)
+		}
+	}
+}
+
+// TestCompressWireLenIsValueIndependent: same length in, same wire length
+// out, regardless of the values — required for cross-rank allgather.
+func TestCompressWireLenIsValueIndependent(t *testing.T) {
+	for _, k := range []struct {
+		kind  CompressKind
+		ratio float64
+	}{{CompressTopK, 0.3}, {CompressInt8, 0}} {
+		c1 := NewGradCompressor(k.kind, k.ratio)
+		c2 := NewGradCompressor(k.kind, k.ratio)
+		a := randBucket(1, 57)
+		b := make([]float64, 57) // all zeros
+		if len(c1.Compress(0, a)) != len(c2.Compress(0, b)) {
+			t.Fatalf("%v: wire length depends on values", k.kind)
+		}
+	}
+}
+
+// TestCompressionRatioAccounting: top-k at 10% of a large bucket gives
+// roughly 5x (2K words for N), int8 roughly 8x.
+func TestCompressionRatioAccounting(t *testing.T) {
+	c := NewGradCompressor(CompressTopK, 0.1)
+	c.Compress(0, randBucket(2, 1000))
+	if r := c.CompressionRatio(); r < 4.9 || r > 5.1 {
+		t.Fatalf("top-k 10%% ratio %v want ~5", r)
+	}
+	c8 := NewGradCompressor(CompressInt8, 0)
+	c8.Compress(0, randBucket(2, 1000))
+	if r := c8.CompressionRatio(); r < 7.5 || r > 8.1 {
+		t.Fatalf("int8 ratio %v want ~8", r)
+	}
+}
+
+// TestCompressBucketLengthChangePanics: residuals are keyed by bucket id and
+// a length change means the caller's bucket plan drifted — fail loudly.
+func TestCompressBucketLengthChangePanics(t *testing.T) {
+	c := NewGradCompressor(CompressTopK, 0.5)
+	c.Compress(0, make([]float64, 10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bucket length change")
+		}
+	}()
+	c.Compress(0, make([]float64, 11))
+}
+
+// TestCompressEmptyBucket: zero-length buckets are legal no-ops.
+func TestCompressEmptyBucket(t *testing.T) {
+	for _, k := range []CompressKind{CompressNone, CompressTopK, CompressInt8} {
+		c := NewGradCompressor(k, 0.5)
+		wire := c.Compress(0, nil)
+		if k == CompressInt8 {
+			if len(wire) != 1 {
+				t.Fatalf("int8 empty wire len %d", len(wire))
+			}
+		} else if len(wire) != 0 {
+			t.Fatalf("%v empty wire len %d", k, len(wire))
+		}
+		c.DecodeAccumulate(wire, nil)
+	}
+}

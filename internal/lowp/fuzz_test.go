@@ -1,0 +1,81 @@
+package lowp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCompressRoundTrip drives every compressor with fuzzer-chosen buckets
+// and checks the error-feedback invariants that the trainer's correctness
+// rests on:
+//
+//  1. Mass conservation: decoded + residual == grad + previous residual,
+//     within 1 ulp per kept entry (the residual is computed by exact
+//     subtraction, so in practice this holds bit-for-bit — the ulp budget
+//     only covers the decoded+residual re-addition done here).
+//  2. Top-k with k >= len degenerates to the identity (zero residual,
+//     exact decode).
+//  3. Wire length always matches WireLen (value-independent).
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(8), int64(1), 0.25, 1.0)
+	f.Add(uint8(2), uint8(1), int64(2), 0.5, -3.5)
+	f.Add(uint8(1), uint8(17), int64(3), 1.0, 0.0)
+	f.Add(uint8(2), uint8(32), int64(4), 0.01, 1e12)
+	f.Add(uint8(0), uint8(5), int64(5), 0.9, -1e-12)
+	f.Add(uint8(1), uint8(64), int64(6), 2.0, 42.0)
+	f.Fuzz(func(t *testing.T, kindRaw, nRaw uint8, seed int64, ratio, scale float64) {
+		kind := CompressKind(int(kindRaw) % 3)
+		n := int(nRaw)%96 + 1
+		if math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+			ratio = 0.5
+		}
+		ratio = math.Abs(ratio)
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale == 0 {
+			scale = 1
+		}
+		if math.Abs(scale) > 1e100 || math.Abs(scale) < 1e-100 {
+			scale = math.Copysign(1, scale)
+		}
+		c := NewGradCompressor(kind, ratio)
+		// xorshift so the fuzzer's seed fans out into a full bucket.
+		x := uint64(seed)*2654435761 + 1
+		next := func() float64 {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			return (float64(x%2000000)/1000000 - 1) * scale
+		}
+		prevRes := make([]float64, n)
+		for step := 0; step < 4; step++ {
+			grad := make([]float64, n)
+			for i := range grad {
+				grad[i] = next()
+			}
+			wire := c.Compress(0, grad)
+			if len(wire) != c.WireLen(n) {
+				t.Fatalf("kind=%v n=%d: wire len %d want %d", kind, n, len(wire), c.WireLen(n))
+			}
+			decoded := make([]float64, n)
+			c.DecodeAccumulate(wire, decoded)
+			res := c.residuals[0]
+			for i := 0; i < n; i++ {
+				in := grad[i] + prevRes[i]
+				out := decoded[i] + res[i]
+				tol := math.Abs(in) * 1e-15 * float64(n) // ~1 ulp x K headroom
+				if math.Abs(out-in) > tol {
+					t.Fatalf("kind=%v n=%d step=%d elem %d: decoded+res=%v want %v (diff %g)",
+						kind, n, step, i, out, in, out-in)
+				}
+			}
+			if kind == CompressTopK && ratio >= 1 {
+				for i := 0; i < n; i++ {
+					if decoded[i] != grad[i]+prevRes[i] || res[i] != 0 {
+						t.Fatalf("top-k k>=len must be identity: elem %d decoded %v grad+res %v residual %v",
+							i, decoded[i], grad[i]+prevRes[i], res[i])
+					}
+				}
+			}
+			copy(prevRes, res)
+		}
+	})
+}

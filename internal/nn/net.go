@@ -44,8 +44,22 @@ func (n *Net) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward propagates dout through the network in reverse, accumulating
 // parameter gradients, and returns dL/dinput.
 func (n *Net) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return n.BackwardWithHook(dout, nil)
+}
+
+// BackwardWithHook is Backward with a per-layer gradient-ready hook: after
+// layer i's Backward returns — at which point that layer's parameter
+// gradients hold their final values for the step — onLayerDone(i) is invoked
+// on the calling goroutine. Layers complete in reverse order (deepest first),
+// which is what lets a data-parallel trainer start communicating early
+// buckets while shallower layers are still computing. A nil hook makes this
+// identical to Backward.
+func (n *Net) BackwardWithHook(dout *tensor.Tensor, onLayerDone func(layer int)) *tensor.Tensor {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		dout = n.Layers[i].Backward(dout)
+		if onLayerDone != nil {
+			onLayerDone(i)
+		}
 	}
 	return dout
 }

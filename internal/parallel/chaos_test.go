@@ -1,0 +1,209 @@
+package parallel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/fault"
+	"repro/internal/leakcheck"
+	"repro/internal/lowp"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// TestChaosOverlappedTrainingOnFlakyLinks: bucketed+overlapped training over
+// a lossy fabric (drops, duplicates, bit-flips, delays) must produce
+// parameters bitwise identical to the clean-fabric run — the CRC-framed
+// transport absorbs every fault via retransmission — while the retransmit
+// counters prove faults actually fired.
+func TestChaosOverlappedTrainingOnFlakyLinks(t *testing.T) {
+	defer leakcheck.Check(t)()
+	mk := func(lf *fault.LinkFault) (*nn.Net, *DataParallelResult) {
+		x, y, _, net := makeProblem(21, 128, 6, 2)
+		cfg := DataParallelConfig{
+			Replicas:      4,
+			Algo:          comm.ARTree,
+			Loss:          nn.SoftmaxCELoss{},
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1) },
+			GlobalBatch:   32,
+			Epochs:        3,
+			BucketElems:   50,
+			Overlap:       true,
+			LinkFaults:    lf,
+			LinkFaultSeed: 99,
+			RNG:           rng.New(17),
+		}
+		res, err := TrainDataParallel(net, x, y, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net, res
+	}
+	clean, cleanRes := mk(nil)
+	flaky, flakyRes := mk(&fault.LinkFault{
+		DropProb: 0.04, DupProb: 0.03, CorruptProb: 0.03, DelayProb: 0.05,
+	})
+	assertBitwiseEqual(t, clean, flaky, "flaky-vs-clean")
+	if cleanRes.Retransmits != 0 {
+		t.Fatalf("clean fabric retransmitted %d frames", cleanRes.Retransmits)
+	}
+	if flakyRes.Retransmits == 0 {
+		t.Fatal("flaky fabric injected no faults — chaos test is vacuous")
+	}
+}
+
+// TestChaosCompressedTrainingOnFlakyLinks: the packed-int8 wire encoding
+// rides the same CRC framing (bit-exact float64 round-trip), so compressed
+// training must also be deterministic under link faults.
+func TestChaosCompressedTrainingOnFlakyLinks(t *testing.T) {
+	defer leakcheck.Check(t)()
+	mk := func(lf *fault.LinkFault) *nn.Net {
+		x, y, _, net := makeProblem(22, 128, 6, 2)
+		cfg := DataParallelConfig{
+			Replicas:      4,
+			Algo:          comm.ARTree,
+			Loss:          nn.SoftmaxCELoss{},
+			NewOptimizer:  func() nn.Optimizer { return nn.NewSGD(0.1) },
+			GlobalBatch:   32,
+			Epochs:        2,
+			BucketElems:   60,
+			Overlap:       true,
+			Compress:      lowp.CompressInt8,
+			LinkFaults:    lf,
+			LinkFaultSeed: 5,
+			RNG:           rng.New(13),
+		}
+		res, err := TrainDataParallel(net, x, y, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CompressionRatio < 6 {
+			t.Fatalf("compression ratio %v", res.CompressionRatio)
+		}
+		return net
+	}
+	clean := mk(nil)
+	flaky := mk(&fault.LinkFault{DropProb: 0.05, CorruptProb: 0.04})
+	assertBitwiseEqual(t, clean, flaky, "compressed flaky-vs-clean")
+}
+
+// TestChaosOverlappedBucketWorkerKill: a fault.Plan-scripted rank death in
+// the middle of overlapped bucket traffic must surface as a loud watchdog
+// panic on the survivors (re-raised by World.Run), never a hang, and every
+// goroutine — including the per-rank comm goroutines — must unwind.
+func TestChaosOverlappedBucketWorkerKill(t *testing.T) {
+	defer leakcheck.Check(t)()
+	plan := fault.NewPlan().Kill(2, 1)
+	const p = 4
+	panicked := func() (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				if s, ok := r.(string); ok {
+					msg = s
+				} else {
+					msg = "panic"
+				}
+			}
+		}()
+		w := comm.NewWorld(p)
+		w.SetRecvTimeout(200 * time.Millisecond)
+		w.Run(func(r *comm.Rank) {
+			br := r.NewBucketReducer(comm.ARTree)
+			// A dying rank's reducer dies with it: Close before returning
+			// (the in-process stand-in for the whole process exiting).
+			defer br.Close()
+			for step := 0; ; step++ {
+				if plan.KillAt(r.ID(), step) {
+					return
+				}
+				bufA := []float64{float64(r.ID()), 1, 2}
+				bufB := []float64{3, 4}
+				ha := br.SubmitAllReduce(bufA)
+				hb := br.SubmitAllReduce(bufB)
+				if err := ha.Wait(); err != nil {
+					panic(err.Error())
+				}
+				if err := hb.Wait(); err != nil {
+					panic(err.Error())
+				}
+				if step == 0 {
+					// Before the kill, sums must be exact.
+					if bufA[0] != float64(p*(p-1)/2) || bufB[1] != 4*p {
+						panic("pre-kill sums wrong")
+					}
+				}
+			}
+		})
+		return ""
+	}()
+	if panicked == "" {
+		t.Fatal("expected the worker kill to raise a panic on survivors")
+	}
+	if !strings.Contains(panicked, "timed out") && !strings.Contains(panicked, "failed") {
+		t.Fatalf("unexpected panic message: %q", panicked)
+	}
+}
+
+// TestChaosBucketReducerFlakyLinksExact: bucketed collectives directly over
+// a lossy fabric deliver bit-exact sums with measured retransmits.
+func TestChaosBucketReducerFlakyLinksExact(t *testing.T) {
+	defer leakcheck.Check(t)()
+	const p, nBuckets, n = 4, 12, 97
+	want := make([][]float64, nBuckets)
+	for b := range want {
+		want[b] = make([]float64, n)
+		for rank := 0; rank < p; rank++ {
+			r := rng.New(uint64(1000 + rank)).SplitN(b)
+			for i := 0; i < n; i++ {
+				want[b][i] += (r.Float64() - 0.5) * math.Pow(2, float64(i%9))
+			}
+		}
+	}
+	w := comm.NewWorld(p)
+	if err := w.SetLinkFaults(fault.LinkFault{
+		DropProb: 0.05, DupProb: 0.04, CorruptProb: 0.04, DelayProb: 0.05,
+	}, 77); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(func(r *comm.Rank) {
+		br := r.NewBucketReducer(comm.ARRabenseifner)
+		bufs := make([][]float64, nBuckets)
+		handles := make([]*comm.BucketHandle, nBuckets)
+		for b := range bufs {
+			rs := rng.New(uint64(1000 + r.ID())).SplitN(b)
+			bufs[b] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				bufs[b][i] = (rs.Float64() - 0.5) * math.Pow(2, float64(i%9))
+			}
+			handles[b] = br.SubmitAllReduce(bufs[b])
+		}
+		for b, h := range handles {
+			if err := h.Wait(); err != nil {
+				t.Errorf("bucket %d: %v", b, err)
+			}
+		}
+		if err := br.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		for b := range bufs {
+			for i := range bufs[b] {
+				// The reference sums ranks in order 0..p-1, which matches
+				// no particular algorithm bracketing — compare to tight
+				// tolerance rather than bitwise.
+				if d := math.Abs(bufs[b][i] - want[b][i]); d > 1e-9 {
+					t.Fatalf("bucket %d elem %d: got %v want %v", b, i, bufs[b][i], want[b][i])
+				}
+			}
+		}
+	})
+	total := 0
+	for i := 0; i < p; i++ {
+		total += w.Stats(i).Retransmits
+	}
+	if total == 0 {
+		t.Fatal("no retransmits — fault injection did not engage")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/fault"
 	"repro/internal/lowp"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -62,6 +63,30 @@ type DataParallelConfig struct {
 	// (FP64 = no compression) — the knob for the paper's "future DNNs may
 	// rely less on dense communication patterns".
 	GradPrecision lowp.Precision
+	// BucketElems, when > 0, switches gradient sync to the bucketed path:
+	// gradient tensors are grouped (in backward-completion order) into
+	// buckets of at least this many elements and reduced independently.
+	// At full precision the result is bitwise identical to the flat path
+	// for the segmentation-invariant algorithms (tree, recursive-doubling,
+	// Rabenseifner); ring may differ by float rounding.
+	BucketElems int
+	// Overlap submits each bucket as soon as its last layer finishes
+	// backward, hiding communication behind the remaining compute.
+	// Requires BucketElems > 0.
+	Overlap bool
+	// Compress selects error-feedback gradient compression for the bucketed
+	// path (top-k sparsification or int8 quantisation; the compression
+	// error is carried forward as a residual, not lost). Requires
+	// BucketElems > 0.
+	Compress lowp.CompressKind
+	// TopKRatio is the keep fraction for Compress == CompressTopK.
+	TopKRatio float64
+	// LinkFaults, when non-nil, runs all gradient communication over the
+	// CRC-framed lossy transport with faults drawn from LinkFaultSeed.
+	// Results are unchanged — the transport retransmits around injected
+	// drops/corruption — only the traffic accounting moves (Retransmits).
+	LinkFaults    *fault.LinkFault
+	LinkFaultSeed uint64
 	// RNG shuffles the data each epoch.
 	RNG *rng.Stream
 	// Obs, if enabled, records per-rank forward/backward/allreduce/optimizer
@@ -83,6 +108,24 @@ type DataParallelResult struct {
 	// BusyImbalance is max/min of WorkerBusy: 1 = perfectly balanced; the
 	// gap is the straggler effect the allreduce barrier turns into idle time.
 	BusyImbalance float64
+
+	// Buckets is the number of gradient buckets per step (0 = flat path).
+	Buckets int
+	// CommSeconds is the mean per-rank time spent inside bucket collectives
+	// (measured on the comm goroutine, whether hidden or not).
+	CommSeconds float64
+	// ExposedCommSeconds is the mean per-rank time the trainer actually
+	// blocked waiting for buckets — the communication left on the critical
+	// path after overlap.
+	ExposedCommSeconds float64
+	// OverlapFraction is 1 - exposed/total comm time in [0, 1]: the share
+	// of communication hidden behind backward compute.
+	OverlapFraction float64
+	// CompressionRatio is raw/wire gradient words (0 when uncompressed).
+	CompressionRatio float64
+	// Retransmits counts frames re-sent by the fault-aware transport
+	// (always 0 on a clean fabric).
+	Retransmits int
 }
 
 // TrainDataParallel trains net on (x, y) with synchronous data-parallel SGD
@@ -103,6 +146,9 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 	}
 	if cfg.RNG == nil {
 		return nil, fmt.Errorf("parallel: RNG required")
+	}
+	if (cfg.Overlap || cfg.Compress != lowp.CompressNone) && cfg.BucketElems <= 0 {
+		return nil, fmt.Errorf("parallel: Overlap/Compress require BucketElems > 0")
 	}
 	n := x.Dim(0)
 	if y.Dim(0) != n {
@@ -140,9 +186,24 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 
 	world := comm.NewWorld(p)
 	world.SetObs(cfg.Obs)
+	if cfg.LinkFaults != nil {
+		if err := world.SetLinkFaults(*cfg.LinkFaults, cfg.LinkFaultSeed); err != nil {
+			return nil, err
+		}
+	}
 	epochLoss := make([][]float64, p)
 	busy := make([]float64, p)
 	res := &DataParallelResult{}
+
+	// The bucket plan is a pure function of the architecture, shared
+	// read-only by every rank so their bucket sequences line up.
+	var plan *bucketPlan
+	commSec := make([]float64, p)
+	exposedSec := make([]float64, p)
+	compRatio := make([]float64, p)
+	if cfg.BucketElems > 0 {
+		plan = buildBucketPlan(net, cfg.BucketElems)
+	}
 
 	world.Run(func(rank *comm.Rank) {
 		id := rank.ID()
@@ -155,6 +216,10 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 		flat := flatSize(grads)
 		buf := make([]float64, flat)
 		losses := make([]float64, 0, cfg.Epochs)
+		var bs *bucketSyncer
+		if plan != nil {
+			bs = newBucketSyncer(rank, plan, grads, cfg)
+		}
 
 		for e := 0; e < cfg.Epochs; e++ {
 			ord := orders[e]
@@ -183,30 +248,56 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 				}
 				dout := tensor.New(out.Shape()...)
 				cfg.Loss.Grad(dout, out, by)
-				model.Backward(dout)
-
-				// Optional gradient compression before the wire.
-				if cfg.GradPrecision != lowp.FP64 {
-					for _, g := range grads {
-						lowp.RoundTensor(g, cfg.GradPrecision)
+				if bs != nil {
+					// Bucketed path: overlap submits buckets from the
+					// backward hook; otherwise they all queue here. Either
+					// way drain leaves the averaged gradients in place.
+					var hook func(int)
+					if cfg.Overlap {
+						hook = bs.onLayerDone
 					}
+					model.BackwardWithHook(dout, hook)
+					bs.submitAll()
+					if instr {
+						sp.End()
+					}
+					busy[id] += time.Since(computeStart).Seconds()
+					e0 := bs.exposed
+					drainTotal := bs.drain()
+					// Decode/unflatten work inside drain is compute; only
+					// the blocked Wait portion is exposed communication.
+					busy[id] += (drainTotal - (bs.exposed - e0)).Seconds()
+					computeStart = time.Now()
+					if instr {
+						sp = o.Span(id, "optimizer")
+					}
+					opt.Step(params, grads)
+				} else {
+					model.Backward(dout)
+
+					// Optional gradient compression before the wire.
+					if cfg.GradPrecision != lowp.FP64 {
+						for _, g := range grads {
+							lowp.RoundTensor(g, cfg.GradPrecision)
+						}
+					}
+					flatten(grads, buf)
+					if instr {
+						sp.End()
+					}
+					busy[id] += time.Since(computeStart).Seconds()
+					rank.AllReduce(buf, cfg.Algo)
+					computeStart = time.Now()
+					if instr {
+						sp = o.Span(id, "optimizer")
+					}
+					scale := 1 / float64(p)
+					for i := range buf {
+						buf[i] *= scale
+					}
+					unflatten(buf, grads)
+					opt.Step(params, grads)
 				}
-				flatten(grads, buf)
-				if instr {
-					sp.End()
-				}
-				busy[id] += time.Since(computeStart).Seconds()
-				rank.AllReduce(buf, cfg.Algo)
-				computeStart = time.Now()
-				if instr {
-					sp = o.Span(id, "optimizer")
-				}
-				scale := 1 / float64(p)
-				for i := range buf {
-					buf[i] *= scale
-				}
-				unflatten(buf, grads)
-				opt.Step(params, grads)
 				if instr {
 					sp.End()
 				}
@@ -222,6 +313,16 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 			}
 		}
 		epochLoss[id] = losses
+		if bs != nil {
+			cs, es, err := bs.close()
+			if err != nil {
+				panic(err)
+			}
+			commSec[id], exposedSec[id] = cs, es
+			if bs.compressor != nil {
+				compRatio[id] = bs.compressor.CompressionRatio()
+			}
+		}
 	})
 
 	res.EpochLoss = epochLoss[0]
@@ -230,7 +331,31 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 	res.BytesPerRank = float64(res.TotalBytes) / float64(p)
 	res.WorkerBusy = busy
 	res.BusyImbalance = busyImbalance(busy)
+	for i := 0; i < p; i++ {
+		res.Retransmits += world.Stats(i).Retransmits
+	}
+	if plan != nil {
+		res.Buckets = len(plan.buckets)
+		res.CommSeconds = mean(commSec)
+		res.ExposedCommSeconds = mean(exposedSec)
+		res.OverlapFraction = overlapFraction(res.CommSeconds, res.ExposedCommSeconds)
+		res.CompressionRatio = compRatio[0]
+		cfg.Obs.SetGauge("parallel.overlap_fraction", res.OverlapFraction)
+		cfg.Obs.SetGauge("parallel.comm.exposed_seconds", res.ExposedCommSeconds)
+		cfg.Obs.SetGauge("parallel.comm.total_seconds", res.CommSeconds)
+	}
 	return res, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
 }
 
 // VerifyReplicasInSync returns the maximum parameter divergence between

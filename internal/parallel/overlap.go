@@ -1,0 +1,222 @@
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/lowp"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Overlapped bucketed gradient communication (DDP-style).
+//
+// The flat trainer serialises compute and communication: every byte of the
+// gradient allreduce sits on the step's critical path. The bucketed path
+// instead groups gradient tensors into buckets ordered the way backward
+// produces them (output layer first), and hands each bucket to a per-rank
+// comm.BucketReducer the moment its last layer finishes backward — so early
+// buckets cross the wire while the remaining layers are still computing.
+//
+// Correctness: tree, recursive-doubling, and Rabenseifner allreduces are
+// segmentation-invariant (see comm.Rank.reduceTo), so at full precision the
+// bucketed+overlapped run is bitwise identical to the flat run — the
+// differential tests in overlap_test.go assert exactly that. Under
+// error-feedback compression the runs are convergence-equivalent instead
+// (bounded final-loss delta), which the tests also pin.
+
+// bucket is one contiguous group of gradient tensors, communicated as a
+// single buffer.
+type bucket struct {
+	tensors []int // indices into the net's flat Grads() slice
+	elems   int
+	// readyLayer is the lowest layer index contributing to this bucket:
+	// backward runs layers in reverse, so once that layer's hook fires every
+	// tensor in the bucket holds its final gradient.
+	readyLayer int
+}
+
+// bucketPlan maps a net's gradient tensors onto buckets. The plan is a pure
+// function of the architecture and bucketElems, so every rank builds the
+// identical plan — which is what keeps the per-rank reducers' bucket
+// sequences aligned.
+type bucketPlan struct {
+	buckets []bucket
+	// layerFirstGrad[l] is the index of layer l's first grad tensor in the
+	// flat Grads() slice (len = #layers+1, last entry = total tensors).
+	layerFirstGrad []int
+}
+
+// buildBucketPlan walks the layers in reverse (the order backward completes
+// them) and packs their gradient tensors into buckets of at least
+// bucketElems elements (the last bucket may be smaller).
+func buildBucketPlan(net *nn.Net, bucketElems int) *bucketPlan {
+	plan := &bucketPlan{layerFirstGrad: make([]int, len(net.Layers)+1)}
+	for l, layer := range net.Layers {
+		plan.layerFirstGrad[l+1] = plan.layerFirstGrad[l] + len(layer.Grads())
+	}
+	cur := bucket{readyLayer: len(net.Layers)}
+	for l := len(net.Layers) - 1; l >= 0; l-- {
+		gs := net.Layers[l].Grads()
+		for gi := range gs {
+			cur.tensors = append(cur.tensors, plan.layerFirstGrad[l]+gi)
+			cur.elems += gs[gi].Len()
+		}
+		if len(gs) > 0 {
+			cur.readyLayer = l
+		}
+		if cur.elems >= bucketElems {
+			plan.buckets = append(plan.buckets, cur)
+			cur = bucket{readyLayer: l}
+		}
+	}
+	if cur.elems > 0 {
+		plan.buckets = append(plan.buckets, cur)
+	}
+	return plan
+}
+
+// bucketSyncer runs one rank's bucketed gradient synchronisation across a
+// step: buckets are submitted to the reducer as they become ready and
+// drained after backward, with exposed-vs-total comm time accounting.
+type bucketSyncer struct {
+	plan       *bucketPlan
+	reducer    *comm.BucketReducer
+	grads      []*tensor.Tensor
+	p          int
+	precision  lowp.Precision
+	compressor *lowp.GradCompressor // nil when uncompressed
+
+	bufs    [][]float64 // per-bucket flatten buffers, reused across steps
+	handles []*comm.BucketHandle
+	next    int // next bucket to submit this step
+
+	exposed time.Duration // time blocked in Wait after backward finished
+}
+
+func newBucketSyncer(rank *comm.Rank, plan *bucketPlan, grads []*tensor.Tensor,
+	cfg DataParallelConfig) *bucketSyncer {
+	bs := &bucketSyncer{
+		plan:      plan,
+		reducer:   rank.NewBucketReducer(cfg.Algo),
+		grads:     grads,
+		p:         rank.Size(),
+		precision: cfg.GradPrecision,
+		bufs:      make([][]float64, len(plan.buckets)),
+		handles:   make([]*comm.BucketHandle, len(plan.buckets)),
+	}
+	if cfg.Compress != lowp.CompressNone {
+		bs.compressor = lowp.NewGradCompressor(cfg.Compress, cfg.TopKRatio)
+	}
+	for b, bk := range plan.buckets {
+		bs.bufs[b] = make([]float64, bk.elems)
+	}
+	return bs
+}
+
+// onLayerDone is the nn.BackwardWithHook callback: submit every bucket whose
+// deepest contributing layer has now finished.
+func (bs *bucketSyncer) onLayerDone(layer int) {
+	for bs.next < len(bs.plan.buckets) && bs.plan.buckets[bs.next].readyLayer >= layer {
+		bs.submit(bs.next)
+		bs.next++
+	}
+}
+
+// submitAll queues every remaining bucket — the non-overlapped bucketed
+// path (and the tail in case a hook was never installed).
+func (bs *bucketSyncer) submitAll() {
+	for bs.next < len(bs.plan.buckets) {
+		bs.submit(bs.next)
+		bs.next++
+	}
+}
+
+// submit flattens bucket b's tensors (rounding through GradPrecision first,
+// like the flat path) and hands the buffer to the reducer — compressed
+// buckets travel as fixed-length allgather payloads, uncompressed ones as
+// in-place allreduces.
+func (bs *bucketSyncer) submit(b int) {
+	bk := bs.plan.buckets[b]
+	buf := bs.bufs[b]
+	off := 0
+	for _, ti := range bk.tensors {
+		g := bs.grads[ti]
+		if bs.precision != lowp.FP64 {
+			lowp.RoundTensor(g, bs.precision)
+		}
+		copy(buf[off:off+g.Len()], g.Data)
+		off += g.Len()
+	}
+	if bs.compressor != nil {
+		bs.handles[b] = bs.reducer.SubmitAllGather(bs.compressor.Compress(b, buf))
+	} else {
+		bs.handles[b] = bs.reducer.SubmitAllReduce(buf)
+	}
+}
+
+// drain waits for every bucket, averages across ranks, and writes the
+// synchronised gradients back into the tensors. It returns the total drain
+// time; the portion spent blocked in Wait accumulates into bs.exposed (the
+// decode/unflatten work between waits is compute, not communication).
+func (bs *bucketSyncer) drain() time.Duration {
+	start := time.Now()
+	scale := 1 / float64(bs.p)
+	for b := range bs.plan.buckets {
+		h := bs.handles[b]
+		w0 := time.Now()
+		err := h.Wait()
+		bs.exposed += time.Since(w0)
+		if err != nil {
+			panic(fmt.Sprintf("parallel: bucket %d sync failed: %v", b, err))
+		}
+		buf := bs.bufs[b]
+		if bs.compressor != nil {
+			// Decode and sum every rank's fixed-length segment in rank
+			// order — identical arithmetic on every rank, so replicas
+			// stay in lockstep.
+			gathered := h.Gathered()
+			wl := len(gathered) / bs.p
+			for i := range buf {
+				buf[i] = 0
+			}
+			for r := 0; r < bs.p; r++ {
+				bs.compressor.DecodeAccumulate(gathered[r*wl:(r+1)*wl], buf)
+			}
+		}
+		off := 0
+		for _, ti := range bs.plan.buckets[b].tensors {
+			g := bs.grads[ti]
+			for i := 0; i < g.Len(); i++ {
+				g.Data[i] = buf[off+i] * scale
+			}
+			off += g.Len()
+		}
+		bs.handles[b] = nil
+	}
+	bs.next = 0
+	return time.Since(start)
+}
+
+// close shuts the reducer down and reports the run's comm accounting.
+func (bs *bucketSyncer) close() (commSeconds, exposedSeconds float64, err error) {
+	err = bs.reducer.Close()
+	return bs.reducer.CommSeconds(), bs.exposed.Seconds(), err
+}
+
+// overlapFraction converts total vs exposed comm seconds into the fraction
+// of communication hidden behind compute, clamped to [0, 1].
+func overlapFraction(commSeconds, exposedSeconds float64) float64 {
+	if commSeconds <= 0 {
+		return 0
+	}
+	f := 1 - exposedSeconds/commSeconds
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

@@ -21,8 +21,10 @@ import (
 )
 
 // fuzzMaxDim bounds fuzzed dimensions so one naive reference evaluation
-// stays cheap; 97 keeps the 63/64/65 block boundary reachable.
-const fuzzMaxDim = 97
+// stays cheap; 131 keeps both the 63/64/65 block boundary and the
+// 127/128/129 second-tile boundary reachable (the blocked MatMulTransB
+// rewrite visits several tiles per dimension).
+const fuzzMaxDim = 131
 
 func clampDim(v int) int {
 	if v < 0 {
@@ -58,6 +60,12 @@ func addMatMulSeeds(f *testing.F) {
 				f.Add(m, k, n, uint64(1))
 			}
 		}
+	}
+	// Second-tile boundaries: several tiles per dimension, partial k sums.
+	for _, d := range []int{2*blockM - 1, 2 * blockM, 2*blockM + 1} {
+		f.Add(d, d, d, uint64(2))
+		f.Add(d, blockK+1, 1, uint64(3))
+		f.Add(1, d, blockN+1, uint64(4))
 	}
 }
 

@@ -129,26 +129,44 @@ func MatMulTransA(dst, a, b *Tensor) {
 
 // MatMulTransB computes dst = a @ bᵀ for a (M x K) and b (N x K), dst (M x N).
 // dst must not alias a or b. dst is fully overwritten (same zero-then-
-// accumulate contract as MatMul and MatMulTransA; this kernel used to rely
-// on plain overwrite, which silently diverged from its siblings for any
-// future blocked/partial-update variant). Used for input gradients (dY·Wᵀ).
+// accumulate contract as MatMul and MatMulTransA). Used for input gradients
+// (dY·Wᵀ). The kernel is cache-blocked like MatMul — workers own disjoint
+// dst row blocks, and the k dimension is tiled so one A tile and one B tile
+// stay resident while each dst tile accumulates.
 func MatMulTransB(dst, a, b *Tensor) {
 	m, k, n := checkMatMul(dst, a, b, false, true)
 	dst.Zero()
-	ParallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := dst.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				s := 0.0
-				for kk := 0; kk < k; kk++ {
-					s += arow[kk] * brow[kk]
+	ParallelFor((m+blockM-1)/blockM, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			i0 := bi * blockM
+			i1 := min(i0+blockM, m)
+			for k0 := 0; k0 < k; k0 += blockK {
+				k1 := min(k0+blockK, k)
+				for j0 := 0; j0 < n; j0 += blockN {
+					j1 := min(j0+blockN, n)
+					gemmKernelTransB(dst.Data, a.Data, b.Data, i0, i1, j0, j1, k0, k1, k, n)
 				}
-				crow[j] += s
 			}
 		}
 	})
+}
+
+// gemmKernelTransB computes the dst tile [i0:i1, j0:j1] +=
+// A[i0:i1,k0:k1] @ B[j0:j1,k0:k1]ᵀ. Both operands stream along k, so the
+// inner loop is a pure dot product over the k tile.
+func gemmKernelTransB(dst, a, b []float64, i0, i1, j0, j1, k0, k1, ldk, ldc int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*ldk+k0 : i*ldk+k1]
+		crow := dst[i*ldc : i*ldc+j1]
+		for j := j0; j < j1; j++ {
+			brow := b[j*ldk+k0 : j*ldk+k1]
+			s := 0.0
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			crow[j] += s
+		}
+	}
 }
 
 // MatVec computes dst = a @ x for a (M x K) and x (K), dst (M).

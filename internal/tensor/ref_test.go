@@ -170,6 +170,41 @@ func TestMatMulTransBEdgeShapes(t *testing.T) {
 	}
 }
 
+// multiTileDims straddle the SECOND block boundary, exercising kernels that
+// must visit several tiles per dimension and accumulate partial k-tile sums
+// — exactly what the blocked MatMulTransB rewrite added.
+var multiTileDims = []int{2*blockM - 1, 2 * blockM, 2*blockM + 1}
+
+func TestMatMulTransBMultiTileShapes(t *testing.T) {
+	r := rng.New(19)
+	for _, m := range multiTileDims {
+		for _, k := range multiTileDims {
+			for _, n := range multiTileDims {
+				a := randT(r, m, k)
+				b := randT(r, n, k)
+				dst := poisoned(m, n)
+				MatMulTransB(dst, a, b)
+				expectClose(t, dst, refMatMulTransB(a, b), 1e-9,
+					"MatMulTransB "+shapeLabel(m, k, n))
+			}
+		}
+	}
+}
+
+// TestMatMulTransBAccumulatesAcrossKTiles pins the blocked rewrite's
+// accumulate contract on a dirty dst: with K spanning several blockK tiles,
+// a kernel that overwrote instead of accumulating (or skipped a tile, or
+// forgot dst.Zero) produces a wrong or NaN result.
+func TestMatMulTransBAccumulatesAcrossKTiles(t *testing.T) {
+	r := rng.New(20)
+	k := 3*blockK + 5
+	a := randT(r, 7, k)
+	b := randT(r, 9, k)
+	dst := poisoned(7, 9)
+	MatMulTransB(dst, a, b)
+	expectClose(t, dst, refMatMulTransB(a, b), 1e-9, "MatMulTransB k-tiles")
+}
+
 func TestMatVecEdgeShapes(t *testing.T) {
 	r := rng.New(13)
 	for _, m := range edgeDims {

@@ -13,13 +13,17 @@ GO="${GO:-go}"
 # calls, and the model layer are the packages where an uncovered branch is
 # most likely to hide a correctness bug; the failure-injection and comm
 # layers are where an uncovered branch is a resilience hole (an untested
-# retransmit or ejection path only fires during an incident).
+# retransmit or ejection path only fires during an incident); the parallel
+# trainer and the compression codecs carry the bucketed-overlap equivalence
+# guarantees, where an uncovered branch is a silent-divergence hole.
 declare -A FLOOR=(
   [repro/internal/serve]=70
   [repro/internal/tensor]=70
   [repro/internal/nn]=70
   [repro/internal/fault]=70
   [repro/internal/comm]=70
+  [repro/internal/parallel]=70
+  [repro/internal/lowp]=70
 )
 
 out="$("$GO" test -cover ./... 2>&1)" || { echo "$out"; exit 1; }
