@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test chaos fuzz cover bench-overhead bench-checkpoint bench bench-serve bench-resil bench-comm clean
+.PHONY: check vet build test chaos fuzz cover bench-overhead bench-obs bench-checkpoint bench bench-serve bench-resil bench-comm clean
 
 check: vet build test chaos cover bench-overhead
 
@@ -62,6 +62,14 @@ cover:
 # a few percent of the uninstrumented baseline (see BENCH_obs.json).
 bench-overhead:
 	$(GO) test ./internal/obs -run xxx -bench Overhead -benchtime 2s
+
+# Full instrumentation-overhead sweep behind BENCH_obs.json: the training
+# benchmark above plus the serving-path one (request-scoped tracing call
+# sites: trace minting at admission, histogram exemplars on completion,
+# flight events on shed), 5 samples each. Paste the medians into
+# BENCH_obs.json; the disabled column must stay <=2% off the nil baseline.
+bench-obs:
+	$(GO) test ./internal/obs -run xxx -bench Overhead -benchtime 2s -count 5
 
 # Checkpoint overhead: the same training run with checkpointing off, every
 # epoch, and every other epoch (see BENCH_fault.json).

@@ -45,6 +45,7 @@ func BenchmarkE10Checkpoint(b *testing.B) { benchExperiment(b, "E10") }
 func BenchmarkE11Serving(b *testing.B)    { benchExperiment(b, "E11") }
 func BenchmarkE12Resilience(b *testing.B) { benchExperiment(b, "E12") }
 func BenchmarkE13Comm(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14SLO(b *testing.B)        { benchExperiment(b, "E14") }
 
 // benchAblation regenerates one design-choice ablation table per iteration.
 func benchAblation(b *testing.B, id string) {

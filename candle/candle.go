@@ -17,7 +17,7 @@
 //     energy) and the tiered-storage/NVRAM staging simulator;
 //   - the inference serving subsystem (dynamic micro-batching, replica
 //     pool, admission control) and its deterministic load simulator;
-//   - the E1-E12 experiment suite that reproduces each of the paper's
+//   - the E1-E14 experiment suite that reproduces each of the paper's
 //     architectural claims.
 //
 // Quick start:
@@ -326,13 +326,13 @@ var SimulateStorage = storage.Simulate
 
 // ---- experiments ------------------------------------------------------------------
 
-// Experiment is one paper-claim reproduction (E1-E12).
+// Experiment is one paper-claim reproduction (E1-E14).
 type Experiment = experiments.Experiment
 
 // ExperimentConfig sizes an experiment run.
 type ExperimentConfig = experiments.Config
 
-// Experiments returns the full E1-E12 suite.
+// Experiments returns the full E1-E14 suite.
 var Experiments = experiments.All
 
 // ExperimentByID finds one experiment.

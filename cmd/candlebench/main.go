@@ -1,4 +1,4 @@
-// Command candlebench runs the paper-reproduction experiment suite (E1-E10)
+// Command candlebench runs the paper-reproduction experiment suite (E1-E14)
 // and prints one result table per experiment.
 //
 // Usage:
@@ -36,6 +36,7 @@ func main() {
 	jsonDir := flag.String("json", "", "directory to also write per-experiment JSON tables into")
 	ablations := flag.Bool("ablations", false, "also run the design-choice ablations A1-A3")
 	metricsOut := flag.String("metrics", "", "write suite counters/gauges/timer histograms as JSONL to this file")
+	omOut := flag.String("metrics-out", "", "write suite counters/gauges/histograms in OpenMetrics (Prometheus) text format to this file")
 	traceOut := flag.String("trace", "", "write a chrome://tracing span trace (JSON) to this file")
 	commOut := flag.String("comm", "", "write the deterministic gradient-communication profile (BENCH_comm.json) to this file and exit")
 	flag.Parse()
@@ -56,7 +57,7 @@ func main() {
 	}
 
 	var sess *obs.Session
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *omOut != "" || *traceOut != "" {
 		sess = obs.NewSession()
 	}
 
@@ -96,6 +97,10 @@ func main() {
 	if *metricsOut != "" {
 		writeTo(*metricsOut, sess.WriteMetricsJSONL)
 		fmt.Printf("metrics: %s\n", *metricsOut)
+	}
+	if *omOut != "" {
+		writeTo(*omOut, sess.WriteOpenMetrics)
+		fmt.Printf("openmetrics: %s\n", *omOut)
 	}
 	if *traceOut != "" {
 		writeTo(*traceOut, sess.WriteChromeTrace)

@@ -14,7 +14,8 @@
 //	candleserve [-mode open|closed] [-requests N] [-rate RPS] [-clients N]
 //	            [-think D] [-deadline D] [-replicas N] [-max-batch N]
 //	            [-linger D] [-queue-cap N] [-max-pending N] [-seed N]
-//	            [-live] [-json FILE]
+//	            [-live] [-json FILE] [-slo SPEC] [-slo-window D]
+//	            [-metrics-out FILE]
 //	candleserve -bench [-json BENCH_serve.json]
 //	candleserve -resil [-json BENCH_resil.json]
 //
@@ -33,10 +34,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
 )
@@ -58,6 +61,9 @@ func main() {
 	bench := flag.Bool("bench", false, "run the committed below/above-knee benchmark profile")
 	resil := flag.Bool("resil", false, "run the committed gray-failure resilience profile (hedging frontier)")
 	jsonOut := flag.String("json", "", "write the report(s) as JSON to this file")
+	sloSpec := flag.String("slo", "", `attach SLO objectives, e.g. "avail=0.999,p99=25ms" (simulator engine only)`)
+	sloWindow := flag.Duration("slo-window", 0, "scale burn-rate alert windows to this horizon (0 = the classic hour-scale rules)")
+	metricsOut := flag.String("metrics-out", "", "write the run's counters and latency histogram in OpenMetrics (Prometheus) text format to this file")
 	flag.Parse()
 
 	cfg := serve.LoadConfig{
@@ -94,10 +100,70 @@ func main() {
 		return
 	}
 
+	if *sloSpec != "" {
+		if *live {
+			fail(fmt.Errorf("-slo needs the deterministic simulator (drop -live)"))
+		}
+		objs, err := obs.ParseSLOSpec(*sloSpec)
+		if err != nil {
+			fail(err)
+		}
+		cfg.SLO = objs
+		if *sloWindow > 0 {
+			cfg.SLORules = obs.ScaledBurnRules(*sloWindow)
+		}
+	}
+	var sess *obs.Session
+	if *metricsOut != "" {
+		if *live {
+			fail(fmt.Errorf("-metrics-out needs the deterministic simulator (drop -live)"))
+		}
+		sess = obs.NewSession()
+		cfg.Obs = sess
+	}
+
 	rep := run(cfg, *live)
 	render(rep, capacity)
+	renderSLO(rep)
 	if *jsonOut != "" {
 		writeJSON(*jsonOut, rep)
+	}
+	if *metricsOut != "" {
+		writeTo(*metricsOut, sess.WriteOpenMetrics)
+		fmt.Printf("openmetrics: %s\n", *metricsOut)
+	}
+}
+
+// renderSLO prints the objective compliance summary and the alert timeline
+// when the run carried an SLO monitor.
+func renderSLO(rep *serve.LoadReport) {
+	if len(rep.SLOStatus) == 0 {
+		return
+	}
+	for _, st := range rep.SLOStatus {
+		verdict := "MET"
+		if !st.Met {
+			verdict = "VIOLATED"
+		}
+		fmt.Printf("slo %-12s target=%g good=%d/%d ratio=%.6f %s\n",
+			st.Objective, st.Target, st.Good, st.Total, st.Ratio, verdict)
+	}
+	if err := obs.WriteAlertTimeline(os.Stdout, rep.SLOAlerts); err != nil {
+		fail(err)
+	}
+}
+
+// writeTo writes via fn into path, failing the command on any error.
+func writeTo(path string, fn func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := fn(f); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 

@@ -227,3 +227,47 @@ func TestLiveEngineSmokes(t *testing.T) {
 		t.Fatalf("closed live run must complete everything:\n%s", out)
 	}
 }
+
+// TestSLOAndMetricsOut drives the new observability flags: -slo attaches
+// burn-rate-monitored objectives to the simulated run and -metrics-out dumps
+// the OpenMetrics exposition. Overload at 1.5x capacity must violate both
+// objectives, fire at least one alert, and the exposition must carry the
+// counters and latency histogram.
+func TestSLOAndMetricsOut(t *testing.T) {
+	bin := buildCandleserve(t)
+	om := filepath.Join(t.TempDir(), "metrics.om")
+	out := runCandleserve(t, bin,
+		"-requests", "4000", "-rate", "6000",
+		"-slo", "avail=0.999,p99=25ms", "-slo-window", "1s",
+		"-metrics-out", om)
+	for _, want := range []string{
+		"slo availability", "slo latency_p99", "VIOLATED", "FIRE",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	exp, err := os.ReadFile(om)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"serve_submitted_total", "serve_shed_total",
+		"serve_latency_hist_seconds_bucket", "# EOF\n",
+	} {
+		if !strings.Contains(string(exp), want) {
+			t.Errorf("OpenMetrics dump missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+// TestSLORejectsLive pins that the SLO/metrics flags require the simulator.
+func TestSLORejectsLive(t *testing.T) {
+	bin := buildCandleserve(t)
+	if out, err := exec.Command(bin, "-live", "-slo", "avail=0.999").CombinedOutput(); err == nil {
+		t.Fatalf("accepted -slo with -live:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-slo", "bogus").CombinedOutput(); err == nil {
+		t.Fatalf("accepted malformed -slo spec:\n%s", out)
+	}
+}

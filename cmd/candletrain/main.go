@@ -49,6 +49,7 @@ func main() {
 	schedule := flag.String("schedule", "constant", "LR schedule: constant, step, cosine, warmup-cosine")
 	seed := flag.Uint64("seed", 1, "seed")
 	metricsOut := flag.String("metrics", "", "write metrics (per-epoch loss, step-timer histograms) as JSONL to this file")
+	omOut := flag.String("metrics-out", "", "write counters/gauges/histograms in OpenMetrics (Prometheus) text format to this file")
 	traceOut := flag.String("trace", "", "write a chrome://tracing span trace (JSON) to this file")
 	ckptPath := flag.String("checkpoint", "", "write periodic training-state checkpoints to this file (serial training only)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "epochs between checkpoints (with -checkpoint)")
@@ -56,7 +57,7 @@ func main() {
 	flag.Parse()
 
 	var sess *obs.Session
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *omOut != "" || *traceOut != "" {
 		sess = obs.NewSession()
 	}
 
@@ -203,6 +204,10 @@ func main() {
 	if *metricsOut != "" {
 		writeTo(*metricsOut, sess.WriteMetricsJSONL)
 		fmt.Printf("metrics:  %s\n", *metricsOut)
+	}
+	if *omOut != "" {
+		writeTo(*omOut, sess.WriteOpenMetrics)
+		fmt.Printf("metrics:  %s (OpenMetrics)\n", *omOut)
 	}
 	if *traceOut != "" {
 		writeTo(*traceOut, sess.WriteChromeTrace)

@@ -100,6 +100,27 @@ type BucketReducer struct {
 	seq       int
 	failed    error
 	commTotal time.Duration
+
+	// ctx is the trace context buckets run under (set by SetCtx from the
+	// training goroutine between steps; read by the comm goroutine).
+	ctxMu sync.Mutex
+	ctx   obs.Ctx
+}
+
+// SetCtx attaches a trace context to subsequent buckets: each bucket span
+// carries the trace id as an arg and each bucket's comm time lands in the
+// comm.bucket.time histogram with the trace as its exemplar. Call between
+// steps from the submitting goroutine; the zero Ctx detaches.
+func (br *BucketReducer) SetCtx(c obs.Ctx) {
+	br.ctxMu.Lock()
+	br.ctx = c
+	br.ctxMu.Unlock()
+}
+
+func (br *BucketReducer) curCtx() obs.Ctx {
+	br.ctxMu.Lock()
+	defer br.ctxMu.Unlock()
+	return br.ctx
 }
 
 // NewBucketReducer starts the comm goroutine. algo selects the allreduce
@@ -194,7 +215,9 @@ func (br *BucketReducer) runJob(j bucketJob) {
 	}()
 	phase1, phase2 := bucketTagBases(br.seq)
 	var sp *obs.Span
+	var ctx obs.Ctx
 	if br.rank.world.obs.Enabled() {
+		ctx = br.curCtx()
 		sp = br.rank.world.obs.Span(br.obsTID(), fmt.Sprintf("bucket%d", br.seq))
 	}
 	t0 := time.Now()
@@ -208,7 +231,11 @@ func (br *BucketReducer) runJob(j bucketJob) {
 	br.commTotal += j.handle.commTime
 	if sp != nil {
 		sp.SetArg("elems", len(j.data))
+		if ctx.Valid() {
+			sp.SetArg("trace", ctx.String())
+		}
 		sp.End()
+		br.rank.world.obs.ObserveLatencyTrace("comm.bucket.time", j.handle.commTime, ctx)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -109,8 +110,16 @@ type CampaignConfig struct {
 	// RNG drives duration sampling.
 	RNG *rng.Stream
 	// Obs, if enabled, records dispatch/steal counters and busy/idle/
-	// utilization gauges for the run.
+	// utilization gauges for the run, plus flight-recorder events for
+	// quarantined, abandoned, and poison configurations.
 	Obs *obs.Session
+	// SLO, when non-nil, receives one availability event per configuration
+	// at its virtual completion time (good = completed, bad = quarantined or
+	// abandoned) plus burn-rate evaluation ticks across the makespan, so a
+	// campaign's crash budget is monitored with the same machinery as the
+	// serving SLOs. Events are fed in virtual-time order under every
+	// scheduler, so the alert timeline is seed-deterministic.
+	SLO *obs.SLOMonitor
 }
 
 // CampaignResult reports a simulated campaign.
@@ -215,6 +224,12 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	// backoffs[i][k] is the wait before config i's k-th restart.
 	attempts := make([][]float64, cfg.Configs)
 	backoffs := make([][]float64, cfg.Configs)
+	// cfgOK[i] is config i's final outcome for the SLO monitor: false only
+	// when every attempt crashed (quarantined/abandoned/poison).
+	cfgOK := make([]bool, cfg.Configs)
+	for i := range cfgOK {
+		cfgOK[i] = true
+	}
 	if cfg.Faults != nil {
 		if cfg.Faults.MTBF <= 0 {
 			return CampaignResult{}, fmt.Errorf("core: campaign faults need MTBF > 0")
@@ -263,6 +278,8 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 				// Poison pill: every attempt crashes at the same point, and
 				// the retry loop runs to whichever bound binds first.
 				res.PoisonConfigs++
+				cfg.Obs.RecordFlight("poison", obs.Ctx{Trace: uint64(i + 1)},
+					fmt.Sprintf("config=%d attempts=%d", i, maxRetries+1))
 				segs = make([]float64, maxRetries+1)
 				for j := range segs {
 					segs[j] = poisonFrac * d
@@ -285,10 +302,15 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 				// evaluation is lost work. Attribute the drop to quarantine
 				// when the quarantine threshold is what stopped the retries.
 				res.Failures += len(segs)
+				cfgOK[i] = false
 				if q := cfg.QuarantineAfter; q > 0 && len(segs) >= q {
 					res.QuarantinedConfigs++
+					cfg.Obs.RecordFlight("quarantine", obs.Ctx{Trace: uint64(i + 1)},
+						fmt.Sprintf("config=%d crashes=%d", i, len(segs)))
 				} else {
 					res.AbandonedConfigs++
+					cfg.Obs.RecordFlight("abandoned", obs.Ctx{Trace: uint64(i + 1)},
+						fmt.Sprintf("config=%d crashes=%d", i, len(segs)))
 				}
 				for _, s := range segs {
 					res.LostEvalSeconds += s
@@ -329,6 +351,19 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		return c
 	}
 
+	// noteDone collects per-config completion events (virtual time, outcome)
+	// for the SLO monitor; each scheduler reports them as it finishes work.
+	type doneEvent struct {
+		t  float64
+		ok bool
+	}
+	var doneEvents []doneEvent
+	noteDone := func(t float64, ok bool) {
+		if cfg.SLO != nil {
+			doneEvents = append(doneEvents, doneEvent{t, ok})
+		}
+	}
+
 	switch cfg.Scheduler {
 	case StaticPartition:
 		// Round-robin assignment; makespan = max per-node sum. A crashed
@@ -336,6 +371,7 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		perNode := make([]float64, cfg.Nodes)
 		for i := range durations {
 			perNode[i%cfg.Nodes] += localCost(i)
+			noteDone(perNode[i%cfg.Nodes], cfgOK[i])
 		}
 		worst := 0.0
 		for _, t := range perNode {
@@ -356,8 +392,8 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		nodes := sim.NewResource(eng, cfg.Nodes)
 		manager := sim.NewResource(eng, 1)
 		dispatches := 0
-		var enqueue func(segs, boffs []float64, retry bool)
-		enqueue = func(segs, boffs []float64, retry bool) {
+		var enqueue func(idx int, segs, boffs []float64, retry bool)
+		enqueue = func(idx int, segs, boffs []float64, retry bool) {
 			dispatches++
 			manager.Acquire(func(releaseMgr func()) {
 				eng.Schedule(cfg.DispatchOverhead, func() {
@@ -370,12 +406,14 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 						eng.Schedule(run, func() {
 							releaseNode()
 							if len(segs) > 1 {
-								requeue := func() { enqueue(segs[1:], rest(boffs), true) }
+								requeue := func() { enqueue(idx, segs[1:], rest(boffs), true) }
 								if len(boffs) > 0 && boffs[0] > 0 {
 									eng.Schedule(boffs[0], requeue)
 								} else {
 									requeue()
 								}
+							} else {
+								noteDone(eng.Now(), cfgOK[idx])
 							}
 						})
 					})
@@ -384,9 +422,9 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		}
 		for i, d := range durations {
 			if attempts[i] != nil {
-				enqueue(attempts[i], backoffs[i], false)
+				enqueue(i, attempts[i], backoffs[i], false)
 			} else {
-				enqueue([]float64{d}, nil, false)
+				enqueue(i, []float64{d}, nil, false)
 			}
 		}
 		res.Makespan = eng.Run()
@@ -441,10 +479,12 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 							// Crashed attempts restart inside the group: the
 							// group manager relaunches without a root pull.
 							d := localCost(i)
+							idx := i
 							nodes.Acquire(func(releaseNode func()) {
 								eng.Schedule(d, func() {
 									releaseNode()
 									inGroup--
+									noteDone(eng.Now(), cfgOK[idx])
 									pull()
 								})
 							})
@@ -464,6 +504,23 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 		}
 	default:
 		return CampaignResult{}, fmt.Errorf("core: unknown scheduler %d", cfg.Scheduler)
+	}
+
+	// Replay config completions into the SLO monitor in virtual-time order,
+	// ticking the burn-rate evaluator on a fixed cadence across the makespan
+	// so alert windows see the campaign as a timeline rather than one batch.
+	if cfg.SLO != nil && len(doneEvents) > 0 {
+		sort.Slice(doneEvents, func(a, b int) bool { return doneEvents[a].t < doneEvents[b].t })
+		step := res.Makespan / 64
+		nextTick := step
+		for _, ev := range doneEvents {
+			for step > 0 && nextTick <= ev.t {
+				cfg.SLO.Tick(nextTick)
+				nextTick += step
+			}
+			cfg.SLO.RecordAvailability(ev.ok)
+		}
+		cfg.SLO.Tick(res.Makespan)
 	}
 
 	if res.Makespan > 0 {

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// sloCampaign is faultCampaign with quarantine and poison pills enabled so
+// some configs finish bad, plus an SLO monitor over config availability.
+func sloCampaign(sched SchedulerKind, seed uint64) (CampaignConfig, *obs.SLOMonitor) {
+	mon := obs.NewSLOMonitor(
+		[]obs.Objective{{Name: "config_availability", Target: 0.99}},
+		obs.ScaledBurnRules(500*time.Second))
+	cfg := faultCampaign(sched, seed, nodeProc(16))
+	cfg.QuarantineAfter = 2
+	cfg.PoisonFraction = 0.05
+	cfg.SLO = mon
+	return cfg, mon
+}
+
+// TestCampaignSLOCountsOutcomes checks the monitor sees exactly one
+// availability event per config, with bad = quarantined + abandoned, and
+// that the timeline is deterministic across runs.
+func TestCampaignSLOCountsOutcomes(t *testing.T) {
+	for _, sched := range []SchedulerKind{StaticPartition, DynamicQueue, HierarchicalQueue} {
+		t.Run(sched.String(), func(t *testing.T) {
+			cfg, mon := sloCampaign(sched, 11)
+			res, err := RunCampaign(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			status := mon.Status()
+			if len(status) != 1 {
+				t.Fatalf("status = %+v", status)
+			}
+			st := status[0]
+			if st.Total != uint64(cfg.Configs) {
+				t.Errorf("monitor saw %d events, want one per config (%d)", st.Total, cfg.Configs)
+			}
+			bad := res.QuarantinedConfigs + res.AbandonedConfigs
+			if bad == 0 {
+				t.Fatal("poison pills + quarantine produced no bad configs; test is vacuous")
+			}
+			if got := st.Total - st.Good; got != uint64(bad) {
+				t.Errorf("monitor bad = %d, result says quarantined+abandoned = %d", got, bad)
+			}
+
+			cfg2, mon2 := sloCampaign(sched, 11)
+			if _, err := RunCampaign(cfg2); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(mon.Timeline(), mon2.Timeline()) {
+				t.Errorf("same seed gave different alert timelines:\n%+v\n%+v",
+					mon.Timeline(), mon2.Timeline())
+			}
+		})
+	}
+}
+
+// TestCampaignFlightRecordsQuarantine checks the obs flight recorder dumps
+// on quarantine/poison triggers with the config index as the trace id.
+func TestCampaignFlightRecordsQuarantine(t *testing.T) {
+	sess := obs.NewSession()
+	sess.Flight.TriggerOn("quarantine", "poison")
+	cfg, _ := sloCampaign(DynamicQueue, 11)
+	cfg.Obs = sess
+	res, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range sess.Flight.Events() {
+		kinds[ev.Kind]++
+		if (ev.Kind == "quarantine" || ev.Kind == "poison") && ev.Trace == 0 {
+			t.Errorf("%s event has no trace id: %+v", ev.Kind, ev)
+		}
+	}
+	if res.QuarantinedConfigs > 0 && kinds["quarantine"] == 0 {
+		t.Errorf("%d quarantined configs but no quarantine flight events", res.QuarantinedConfigs)
+	}
+	if len(sess.Flight.Dumps()) == 0 {
+		t.Error("quarantine triggers produced no flight dumps")
+	}
+}
+
+// TestCampaignNilSLOIsFree pins that a nil SLO monitor costs nothing:
+// results are identical with and without the field set.
+func TestCampaignNilSLOIsFree(t *testing.T) {
+	mk := func(withNilSLO bool) CampaignConfig {
+		cfg := CampaignConfig{
+			Configs: 60, Nodes: 8, GroupSize: 4,
+			MeanEvalTime: 50, EvalTimeSigma: 0.5,
+			DispatchOverhead: 0.05, RestartOverhead: 1,
+			Scheduler: DynamicQueue, Faults: &fault.Process{Nodes: 8, MTBF: 300, Horizon: 1e9},
+			RNG: rng.New(5),
+		}
+		if withNilSLO {
+			cfg.SLO = nil // explicit: a nil monitor must change nothing
+		}
+		return cfg
+	}
+	a, err := RunCampaign(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCampaign(mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("nil SLO monitor changed the result:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// E14LoadConfig is the deterministic diurnal + flash-crowd load profile E14
+// runs: a piecewise-constant open-loop rate over a pool whose analytic
+// capacity is 4000 rps (2 replicas x batch 8 / 4ms). The flash-crowd phase
+// offers 2.25x capacity, so admission control sheds roughly half the traffic
+// and the queue pushes latencies past the p99 objective — both error budgets
+// burn fast enough for the multi-window rules to fire mid-phase and resolve
+// after recovery. Exported so the golden-timeline test byte-compares the
+// exact run the experiment reports.
+func E14LoadConfig(quick bool, seed uint64) serve.LoadConfig {
+	scale := time.Duration(1)
+	if quick {
+		scale = 2 // quick mode halves every phase
+	}
+	phases := []serve.LoadPhase{
+		{Duration: 6 * time.Second / scale, RatePerSec: 800},  // overnight trough
+		{Duration: 4 * time.Second / scale, RatePerSec: 2000}, // morning ramp
+		{Duration: 6 * time.Second / scale, RatePerSec: 3000}, // daytime plateau (75% load)
+		{Duration: 3 * time.Second / scale, RatePerSec: 9000}, // flash crowd (2.25x capacity)
+		{Duration: 3 * time.Second / scale, RatePerSec: 3000}, // recovery
+		{Duration: 6 * time.Second / scale, RatePerSec: 1600}, // evening decay
+	}
+	return serve.LoadConfig{
+		Phases:    phases,
+		Replicas:  2,
+		MaxBatch:  8,
+		MaxLinger: 2 * time.Millisecond,
+		QueueCap:  128,
+		Seed:      seed,
+		Service:   serve.DefaultServiceModel(),
+		SLO: []obs.Objective{
+			{Name: "availability", Target: 0.999},
+			{Name: "latency_p99", Target: 0.99, Latency: 0.025},
+		},
+		SLORules: obs.ScaledBurnRules(4 * time.Second / scale),
+	}
+}
+
+// E14SLO reproduces the operational half of the paper's serving story: an
+// inference service under a diurnal load curve with a flash crowd. Two
+// declarative objectives (99.9% availability, 99% of answers within 25ms)
+// are monitored by multi-window multi-burn-rate rules on the simulator's
+// virtual clock, so the alert timeline — which rule fires when the crowd
+// hits, and when it resolves after the crowd passes — is a pure function of
+// the seed and is pinned byte-for-byte by a golden file.
+//
+// Expected shape: both objectives' fast rules fire within the flash-crowd
+// phase (availability burns at ~500x budget while shedding, latency at
+// ~100x while the queue is deep) and resolve once the short window goes
+// clean during recovery; the calm phases fire nothing.
+func E14SLO(cfg Config) *trace.Table {
+	t := trace.NewTable("E14 SLO burn-rate alerting: diurnal + flash-crowd profile",
+		"objective", "target", "good", "total", "ratio", "met", "fires", "resolves")
+
+	rep, err := serve.RunLoad(E14LoadConfig(cfg.Quick, cfg.Seed))
+	if err != nil {
+		panic(err)
+	}
+
+	fires := map[string]int{}
+	resolves := map[string]int{}
+	for _, ev := range rep.SLOAlerts {
+		if ev.State == "fire" {
+			fires[ev.Objective]++
+		} else {
+			resolves[ev.Objective]++
+		}
+	}
+	for _, st := range rep.SLOStatus {
+		met := 0
+		if st.Met {
+			met = 1
+		}
+		t.AddRow(st.Objective, st.Target, st.Good, st.Total, st.Ratio, met,
+			fires[st.Objective], resolves[st.Objective])
+		if cfg.Obs.Enabled() {
+			cfg.Obs.Emit("e14.slo", st.Ratio, map[string]float64{
+				"target": st.Target,
+				"fires":  float64(fires[st.Objective]),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestE14AlertTimelineGolden pins the exact alert timeline of the quick E14
+// profile (the one the test suite and `go test -bench` run) byte-for-byte.
+// The simulator runs on virtual time, so the timeline is a pure function of
+// the seed; any drift here means the load model, the SLO engine, or the
+// burn-rate rules changed behaviour. Regenerate with -update.
+func TestE14AlertTimelineGolden(t *testing.T) {
+	rep, err := serve.RunLoad(E14LoadConfig(true, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteAlertTimeline(&buf, rep.SLOAlerts); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "e14_alerts.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./internal/experiments -run E14 -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("E14 alert timeline drifted from golden file:\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+
+	// Shape assertions independent of the golden bytes: the flash crowd must
+	// fire at least one rule per objective, and every fire must resolve.
+	open := map[string]int{}
+	fired := map[string]bool{}
+	for _, ev := range rep.SLOAlerts {
+		key := ev.Objective + "/" + ev.Rule
+		switch ev.State {
+		case "fire":
+			open[key]++
+			fired[ev.Objective] = true
+		case "resolve":
+			open[key]--
+		}
+	}
+	for _, objective := range []string{"availability", "latency_p99"} {
+		if !fired[objective] {
+			t.Errorf("flash crowd did not fire any rule for %s", objective)
+		}
+	}
+	for key, n := range open {
+		if n != 0 {
+			t.Errorf("alert %s left %d unresolved fire(s)", key, n)
+		}
+	}
+}
+
+// TestE14Deterministic re-runs the profile and demands identical reports:
+// same alerts, same status, same latency tail.
+func TestE14Deterministic(t *testing.T) {
+	a, err := serve.RunLoad(E14LoadConfig(true, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := serve.RunLoad(E14LoadConfig(true, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed gave different reports:\n%+v\n%+v", a, b)
+	}
+	c, err := serve.RunLoad(E14LoadConfig(true, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.SLOAlerts, c.SLOAlerts) && a.Completed == c.Completed {
+		t.Error("different seeds gave identical runs")
+	}
+}
+
+func TestE14Table(t *testing.T) {
+	_, s := runQuick(t, "E14")
+	rows := tableRows(s)
+	if len(rows) != 2 {
+		t.Fatalf("E14 rows = %d, want 2 (one per objective):\n%s", len(rows), s)
+	}
+	for _, row := range rows {
+		if met := row[5]; met != "0" {
+			t.Errorf("objective %s should be violated by the flash crowd, met=%s", row[0], met)
+		}
+		if fires := f(t, row[6]); fires < 1 {
+			t.Errorf("objective %s fired %v rules, want >= 1", row[0], fires)
+		}
+	}
+}

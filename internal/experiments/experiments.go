@@ -49,6 +49,7 @@ func All() []Experiment {
 		{"E11", "inference traffic arrives one sample at a time but the kernels want batches: dynamic micro-batching trades bounded linger latency for amortised throughput", E11Serving},
 		{"E12", "at the paper's scale something is always slow without being dead: a single gray straggler poisons the serving tail, and hedged execution buys the p99 back for a few percent of duplicated work", E12Resilience},
 		{"E13", "data-parallel gradient exchange need not sit on the critical path: bucketing the allreduce behind backward hides most of it, and error-feedback compression shrinks what is left", E13Comm},
+		{"E14", "a production inference service needs declarative SLOs: multi-window burn-rate monitors catch a flash crowd burning the error budget within seconds of onset and resolve once it passes — deterministically on the simulator's virtual clock", E14SLO},
 	}
 }
 

@@ -23,8 +23,8 @@ func runQuick(t *testing.T, id string) (*Experiment, string) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(all))
+	if len(all) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)

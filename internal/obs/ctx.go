@@ -1,0 +1,53 @@
+package obs
+
+import "fmt"
+
+// Ctx is a request-scoped trace context: a trace id minted at the edge of
+// the system (request admission, training step start) and carried through
+// every layer the request touches — batcher, replica, hedge duplicate,
+// gradient bucket — so a latency-histogram exemplar or a flight-recorder
+// event can point back at the exact trace that produced it.
+//
+// Ctx is a small value type passed by copy; the zero Ctx is "no trace" and
+// every consumer treats it as absent. Trace ids are allocated from a
+// session-scoped counter, not randomness, so a deterministic driver (the
+// discrete-event load simulator, a VirtualClock test) produces the same ids
+// on every run.
+type Ctx struct {
+	// Trace identifies the request end to end; 0 means no trace.
+	Trace uint64
+	// Span is the parent span id inside the trace (0 = the root).
+	Span uint64
+	// Baggage is a small free-form annotation propagated with the context
+	// (e.g. the workload name or priority class). Keep it short: it is
+	// copied into span args and flight events verbatim.
+	Baggage string
+}
+
+// Valid reports whether the context carries a trace.
+func (c Ctx) Valid() bool { return c.Trace != 0 }
+
+// String renders the trace id the way exemplars and flight dumps do.
+func (c Ctx) String() string {
+	if !c.Valid() {
+		return ""
+	}
+	return TraceID(c.Trace)
+}
+
+// Child returns the same trace with a new parent span id.
+func (c Ctx) Child(span uint64) Ctx { return Ctx{Trace: c.Trace, Span: span, Baggage: c.Baggage} }
+
+// TraceID formats a trace id as the fixed-width hex string used in
+// OpenMetrics exemplars and Chrome-trace args.
+func TraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// NewTrace mints the next trace context from the session's counter.
+// Returns the zero Ctx when the session is disabled, so callers can pass
+// the result down unconditionally.
+func (s *Session) NewTrace() Ctx {
+	if !s.Enabled() {
+		return Ctx{}
+	}
+	return Ctx{Trace: s.nextTrace.Add(1)}
+}

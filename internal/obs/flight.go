@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// FlightRecorder is a bounded ring buffer of structured events — the
+// "black box" of the serving and campaign layers. Subsystems record cheap
+// one-line events (a request admitted, a batch dispatched, a replica
+// ejected) continuously; the ring keeps only the last N, so the recorder
+// costs O(1) memory no matter how long the run. When an event whose kind is
+// registered as a trigger fires (a fault, an ejection, a quarantine), the
+// recorder snapshots the whole ring into a dump: the complete recent
+// history leading up to the incident, with trace ids to cross-reference
+// against exemplars and span traces.
+type FlightRecorder struct {
+	mu       sync.Mutex
+	capacity int
+	buf      []FlightEvent // ring, oldest overwritten first
+	start    int           // index of the oldest event
+	n        int           // events currently in the ring
+	seq      int64
+	triggers map[string]bool
+	dumps    []FlightDump
+	maxDumps int
+}
+
+// FlightEvent is one recorded event.
+type FlightEvent struct {
+	// Seq is the global event sequence number (never resets, so a dump
+	// shows how much history the ring has already shed).
+	Seq int64 `json:"seq"`
+	// T is seconds since the session (or recorder's driver) started.
+	T float64 `json:"t"`
+	// Kind names the event ("admit", "replica_ejected", "quarantine", ...).
+	Kind string `json:"kind"`
+	// Trace is the trace id of the request involved, 0 if none.
+	Trace uint64 `json:"trace,omitempty"`
+	// Detail is a short free-form annotation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// FlightDump is one triggered snapshot of the ring.
+type FlightDump struct {
+	// Reason is the kind of the event that triggered the dump.
+	Reason string `json:"reason"`
+	// At is the trigger event's timestamp.
+	At float64 `json:"at"`
+	// Events is the ring content at trigger time, oldest first (the
+	// trigger event itself is last).
+	Events []FlightEvent `json:"events"`
+}
+
+// defaultFlightCap bounds the ring; defaultMaxDumps bounds how many
+// triggered snapshots are kept (later triggers past the cap are counted in
+// the events but not snapshotted, so a trigger storm cannot exhaust memory).
+const (
+	defaultFlightCap = 256
+	defaultMaxDumps  = 8
+)
+
+// NewFlightRecorder creates a recorder holding the last capacity events
+// (<=0 selects the default of 256).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = defaultFlightCap
+	}
+	return &FlightRecorder{
+		capacity: capacity,
+		buf:      make([]FlightEvent, capacity),
+		triggers: map[string]bool{},
+		maxDumps: defaultMaxDumps,
+	}
+}
+
+// TriggerOn registers event kinds that snapshot the ring when recorded.
+func (f *FlightRecorder) TriggerOn(kinds ...string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	for _, k := range kinds {
+		f.triggers[k] = true
+	}
+	f.mu.Unlock()
+}
+
+// RecordAt appends one event with an explicit timestamp (seconds). Drivers
+// on a virtual clock pass virtual time so dumps are deterministic.
+func (f *FlightRecorder) RecordAt(t float64, kind string, trace uint64, detail string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	ev := FlightEvent{Seq: f.seq, T: t, Kind: kind, Trace: trace, Detail: detail}
+	f.seq++
+	i := (f.start + f.n) % f.capacity
+	f.buf[i] = ev
+	if f.n < f.capacity {
+		f.n++
+	} else {
+		f.start = (f.start + 1) % f.capacity
+	}
+	if f.triggers[kind] && len(f.dumps) < f.maxDumps {
+		f.dumps = append(f.dumps, FlightDump{Reason: kind, At: t, Events: f.eventsLocked()})
+	}
+	f.mu.Unlock()
+}
+
+// eventsLocked copies the ring oldest-first.
+func (f *FlightRecorder) eventsLocked() []FlightEvent {
+	out := make([]FlightEvent, f.n)
+	for i := 0; i < f.n; i++ {
+		out[i] = f.buf[(f.start+i)%f.capacity]
+	}
+	return out
+}
+
+// Events returns the current ring content, oldest first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eventsLocked()
+}
+
+// Dumps returns the triggered snapshots in trigger order.
+func (f *FlightRecorder) Dumps() []FlightDump {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FlightDump(nil), f.dumps...)
+}
+
+// Seq returns the total number of events ever recorded (recorded minus
+// retained = shed by the ring).
+func (f *FlightRecorder) Seq() int64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// WriteJSON writes the ring and every dump as one JSON document.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	if f == nil {
+		return fmt.Errorf("obs: nil flight recorder")
+	}
+	f.mu.Lock()
+	doc := struct {
+		Recorded int64         `json:"recorded"`
+		Events   []FlightEvent `json:"events"`
+		Dumps    []FlightDump  `json:"dumps,omitempty"`
+	}{f.seq, f.eventsLocked(), append([]FlightDump(nil), f.dumps...)}
+	f.mu.Unlock()
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: flight dump: %w", err)
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// RecordFlight appends one event to the session's flight recorder with the
+// session clock's timestamp. No-op when disabled.
+func (s *Session) RecordFlight(kind string, c Ctx, detail string) {
+	if !s.Enabled() {
+		return
+	}
+	s.Flight.RecordAt(s.clock().Seconds(), kind, c.Trace, detail)
+}

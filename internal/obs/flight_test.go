@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestFlightRingWrap(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.RecordAt(float64(i), fmt.Sprintf("ev%d", i), uint64(i), "")
+	}
+	if f.Seq() != 10 {
+		t.Errorf("seq = %d, want 10", f.Seq())
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := int64(6 + i) // oldest-first: ev6..ev9
+		if ev.Seq != want || ev.Kind != fmt.Sprintf("ev%d", want) {
+			t.Errorf("ring[%d] = %+v, want seq %d", i, ev, want)
+		}
+	}
+}
+
+func TestFlightTriggerDumps(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.TriggerOn("boom")
+	f.RecordAt(0, "admit", 1, "")
+	f.RecordAt(1, "admit", 2, "")
+	f.RecordAt(2, "boom", 2, "replica=0")
+	f.RecordAt(3, "admit", 3, "")
+	dumps := f.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.Reason != "boom" || d.At != 2 {
+		t.Errorf("dump header = %+v", d)
+	}
+	if len(d.Events) != 3 || d.Events[len(d.Events)-1].Kind != "boom" {
+		t.Errorf("dump events = %+v, want 3 ending in boom", d.Events)
+	}
+	// The post-trigger event is not in the dump but is in the ring.
+	if evs := f.Events(); len(evs) != 4 {
+		t.Errorf("ring = %d, want 4", len(evs))
+	}
+}
+
+func TestFlightDumpCap(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.maxDumps = 2
+	f.TriggerOn("boom")
+	for i := 0; i < 5; i++ {
+		f.RecordAt(float64(i), "boom", 0, "")
+	}
+	if got := len(f.Dumps()); got != 2 {
+		t.Errorf("dumps = %d, want capped at 2", got)
+	}
+	if f.Seq() != 5 {
+		t.Errorf("seq = %d; capped dumps must not drop events", f.Seq())
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.TriggerOn("fault")
+	f.RecordAt(0.5, "admit", 7, "q=3")
+	f.RecordAt(1.5, "fault", 7, "")
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Recorded int64         `json:"recorded"`
+		Events   []FlightEvent `json:"events"`
+		Dumps    []FlightDump  `json:"dumps"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Recorded != 2 || len(doc.Events) != 2 || len(doc.Dumps) != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+	if doc.Events[0].Trace != 7 || doc.Events[0].Detail != "q=3" {
+		t.Errorf("event = %+v", doc.Events[0])
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.TriggerOn("x")
+	f.RecordAt(0, "x", 0, "")
+	if f.Events() != nil || f.Dumps() != nil || f.Seq() != 0 {
+		t.Error("nil recorder returned data")
+	}
+	if err := f.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Error("nil recorder WriteJSON should error")
+	}
+}
+
+func TestSessionRecordFlight(t *testing.T) {
+	s := NewSession()
+	s.clock = fakeClock()
+	s.RecordFlight("shed", Ctx{Trace: 3}, "queue full")
+	evs := s.Flight.Events()
+	if len(evs) != 1 || evs[0].Kind != "shed" || evs[0].Trace != 3 {
+		t.Fatalf("events = %+v", evs)
+	}
+
+	s.Disable()
+	s.RecordFlight("shed", Ctx{}, "")
+	if len(s.Flight.Events()) != 1 {
+		t.Error("disabled session recorded a flight event")
+	}
+	var nilS *Session
+	nilS.RecordFlight("shed", Ctx{}, "") // must not panic
+}

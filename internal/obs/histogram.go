@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"sync"
+)
+
+// Histogram is a fixed-bucket latency histogram with per-bucket exemplars.
+// Unlike Timer (reservoir percentiles for human summaries), a Histogram has
+// explicit cumulative bucket boundaries so it can be exposed in the
+// OpenMetrics text format and consumed by SLO burn-rate rules; each bucket
+// remembers the last observation that landed in it together with its trace
+// id, which is the exemplar link from "p99 regressed" to "this exact
+// request's trace".
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds (seconds); +Inf bucket is implicit
+	counts []uint64  // per-bucket (non-cumulative), len(bounds)+1
+	exes   []Exemplar
+	count  uint64
+	sum    float64
+}
+
+// Exemplar is the last observation recorded in one bucket.
+type Exemplar struct {
+	Value float64 `json:"value"`
+	Trace uint64  `json:"trace"`
+}
+
+// DefLatencyBuckets is the default serving-latency bucket layout (seconds),
+// a decade ladder from 500µs to 10s.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]uint64, len(bs)+1),
+		exes:   make([]Exemplar, len(bs)+1),
+	}
+}
+
+// bucketIndex returns the index of the first bucket whose bound is >= v
+// (len(bounds) = the +Inf bucket).
+func (h *Histogram) bucketIndex(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one value with no exemplar.
+func (h *Histogram) Observe(v float64) { h.ObserveTrace(v, 0) }
+
+// ObserveTrace records one value and, when trace is non-zero, stores it as
+// the exemplar of the bucket it lands in.
+func (h *Histogram) ObserveTrace(v float64, trace uint64) {
+	h.mu.Lock()
+	i := h.bucketIndex(v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if trace != 0 {
+		h.exes[i] = Exemplar{Value: v, Trace: trace}
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// CountBelow returns how many observations were <= bound (the cumulative
+// count of every bucket whose upper bound is <= bound). Used by latency SLO
+// objectives: good events = CountBelow(threshold).
+func (h *Histogram) CountBelow(bound float64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n uint64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		n += h.counts[i]
+	}
+	return n
+}
+
+// Quantile estimates the q-th quantile by linear interpolation inside the
+// bucket where the cumulative count crosses q. Returns NaN on an empty
+// histogram. Values in the +Inf bucket clamp to the highest finite bound —
+// the estimate is a lower bound there, which is the standard Prometheus
+// histogram_quantile behaviour.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// BucketSnap is one cumulative bucket in a histogram snapshot. LE is the
+// upper bound pre-formatted the way OpenMetrics spells it ("0.005", "+Inf")
+// so snapshots marshal to JSON cleanly (+Inf is not a JSON number).
+type BucketSnap struct {
+	LE       string    `json:"le"`
+	Count    uint64    `json:"count"` // cumulative
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
+}
+
+// HistSnap is a point-in-time summary of one histogram.
+type HistSnap struct {
+	Name    string       `json:"name"`
+	Count   uint64       `json:"count"`
+	Sum     float64      `json:"sum"`
+	Buckets []BucketSnap `json:"buckets"`
+}
+
+// FormatBound renders a bucket bound the OpenMetrics way.
+func FormatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// snap summarises the histogram under its lock.
+func (h *Histogram) snap(name string) HistSnap {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnap{Name: name, Count: h.count, Sum: h.sum}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		b := BucketSnap{Count: cum}
+		if i < len(h.bounds) {
+			b.LE = FormatBound(h.bounds[i])
+		} else {
+			b.LE = "+Inf"
+		}
+		if h.exes[i].Trace != 0 {
+			e := h.exes[i]
+			b.Exemplar = &e
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s
+}

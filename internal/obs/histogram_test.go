@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Errorf("empty quantile = %g, want NaN", h.Quantile(0.5))
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("empty count/sum = %d/%g", h.Count(), h.Sum())
+	}
+	if h.CountBelow(10) != 0 {
+		t.Errorf("empty CountBelow = %d", h.CountBelow(10))
+	}
+	s := h.snap("x")
+	if len(s.Buckets) != 3 { // 0.1, 1, +Inf
+		t.Fatalf("buckets = %d, want 3", len(s.Buckets))
+	}
+	for _, b := range s.Buckets {
+		if b.Count != 0 || b.Exemplar != nil {
+			t.Errorf("empty bucket %q = %d exemplar=%v", b.LE, b.Count, b.Exemplar)
+		}
+	}
+	if s.Buckets[2].LE != "+Inf" {
+		t.Errorf("last bound = %q, want +Inf", s.Buckets[2].LE)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1})
+	h.Observe(0.5)
+	// All mass in the (0.1, 1] bucket: every quantile interpolates there.
+	if q := h.Quantile(0.5); q < 0.1 || q > 1 {
+		t.Errorf("p50 = %g, want within (0.1, 1]", q)
+	}
+	if q := h.Quantile(1); q != 1 {
+		t.Errorf("p100 = %g, want 1 (bucket upper bound)", q)
+	}
+	if h.CountBelow(1) != 1 || h.CountBelow(0.1) != 0 {
+		t.Errorf("CountBelow(1)/CountBelow(0.1) = %d/%d, want 1/0",
+			h.CountBelow(1), h.CountBelow(0.1))
+	}
+}
+
+// TestHistogramBoundaries pins the "value equal to a bound lands in that
+// bucket" convention (le = less-or-equal, matching Prometheus).
+func TestHistogramBoundaries(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(1) // exactly on the first bound → bucket le=1
+	h.Observe(2) // → bucket le=2
+	h.Observe(5) // above all bounds → +Inf bucket
+	s := h.snap("b")
+	wantCum := []uint64{1, 2, 2, 3}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket[%d] le=%s cum=%d, want %d", i, b.LE, b.Count, wantCum[i])
+		}
+	}
+	if h.CountBelow(2) != 2 {
+		t.Errorf("CountBelow(2) = %d, want 2", h.CountBelow(2))
+	}
+	// +Inf-bucket mass clamps the quantile to the highest finite bound.
+	if q := h.Quantile(1); q != 4 {
+		t.Errorf("p100 = %g, want 4 (clamp)", q)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{10, 20})
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // all in (0, 10]
+	}
+	// rank(p50) = 5 of 10 observations, all in the first bucket:
+	// lo=0, hi=10, frac=0.5 → 5.
+	if q := h.Quantile(0.5); math.Abs(q-5) > 1e-12 {
+		t.Errorf("p50 = %g, want 5", q)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.ObserveTrace(0.5, 0) // trace 0: no exemplar
+	if s := h.snap("e"); s.Buckets[0].Exemplar != nil {
+		t.Error("trace 0 should not leave an exemplar")
+	}
+	h.ObserveTrace(0.7, 7)
+	h.ObserveTrace(0.9, 9) // same bucket: last observation wins
+	h.ObserveTrace(1.5, 15)
+	s := h.snap("e")
+	if ex := s.Buckets[0].Exemplar; ex == nil || ex.Trace != 9 || ex.Value != 0.9 {
+		t.Errorf("bucket0 exemplar = %+v, want trace 9 value 0.9", ex)
+	}
+	if ex := s.Buckets[1].Exemplar; ex == nil || ex.Trace != 15 {
+		t.Errorf("bucket1 exemplar = %+v, want trace 15", ex)
+	}
+	if s.Buckets[2].Exemplar != nil {
+		t.Error("+Inf bucket should have no exemplar")
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("lat", []float64{1, 2})
+	h2 := r.Histogram("lat", []float64{99}) // same name: first bounds win
+	if h1 != h2 {
+		t.Fatal("same name returned different histograms")
+	}
+	h1.Observe(1.5)
+	snap := r.Snapshot()
+	if len(snap.Hists) != 1 || snap.Hists[0].Name != "lat" || snap.Hists[0].Count != 1 {
+		t.Fatalf("snapshot hists = %+v", snap.Hists)
+	}
+	if len(snap.Hists[0].Buckets) != 3 {
+		t.Errorf("buckets = %d, want 3 (first creation's bounds)", len(snap.Hists[0].Buckets))
+	}
+}
+
+func TestObserveLatencyTrace(t *testing.T) {
+	s := NewSession()
+	c := s.NewTrace()
+	if !c.Valid() || c.Trace != 1 {
+		t.Fatalf("first trace = %+v, want trace 1", c)
+	}
+	if c2 := s.NewTrace(); c2.Trace != 2 {
+		t.Fatalf("second trace = %+v, want trace 2", c2)
+	}
+	s.ObserveLatencyTrace("serve.latency.hist", 3*time.Millisecond, c)
+	h := s.Registry.Histogram("serve.latency.hist", DefLatencyBuckets)
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+	snap := h.snap("serve.latency.hist")
+	var found bool
+	for _, b := range snap.Buckets {
+		if b.Exemplar != nil {
+			found = true
+			if b.Exemplar.Trace != 1 {
+				t.Errorf("exemplar trace = %d, want 1", b.Exemplar.Trace)
+			}
+		}
+	}
+	if !found {
+		t.Error("no exemplar recorded")
+	}
+
+	// Disabled sessions mint no traces and record nothing.
+	s.Disable()
+	if c := s.NewTrace(); c.Valid() {
+		t.Errorf("disabled NewTrace = %+v, want zero", c)
+	}
+	s.ObserveLatencyTrace("serve.latency.hist", time.Millisecond, Ctx{Trace: 5})
+	if h.Count() != 1 {
+		t.Error("disabled session recorded a histogram observation")
+	}
+	var nilS *Session
+	if c := nilS.NewTrace(); c.Valid() {
+		t.Error("nil session minted a trace")
+	}
+	nilS.ObserveLatencyTrace("x", time.Millisecond, Ctx{})
+}
+
+func TestCtxHelpers(t *testing.T) {
+	var zero Ctx
+	if zero.Valid() || zero.String() != "" {
+		t.Errorf("zero ctx valid=%v str=%q", zero.Valid(), zero.String())
+	}
+	c := Ctx{Trace: 0xabc, Baggage: "rank0"}
+	if c.String() != "0000000000000abc" {
+		t.Errorf("TraceID = %q", c.String())
+	}
+	child := c.Child(7)
+	if child.Trace != c.Trace || child.Span != 7 || child.Baggage != "rank0" {
+		t.Errorf("Child = %+v", child)
+	}
+}

@@ -51,11 +51,13 @@ type Point struct {
 // metric points, and registered hooks. The zero of usefulness is a nil
 // *Session — all methods are nil-safe no-ops.
 type Session struct {
-	enabled  atomic.Bool
-	start    time.Time
-	clock    func() time.Duration // monotonic time since start
-	Registry *Registry
-	Tracer   *Tracer
+	enabled   atomic.Bool
+	start     time.Time
+	clock     func() time.Duration // monotonic time since start
+	nextTrace atomic.Uint64        // trace-id allocator (see NewTrace in ctx.go)
+	Registry  *Registry
+	Tracer    *Tracer
+	Flight    *FlightRecorder
 
 	mu     sync.Mutex
 	hooks  []Hooks
@@ -64,7 +66,8 @@ type Session struct {
 
 // NewSession creates an enabled session.
 func NewSession() *Session {
-	s := &Session{start: time.Now(), Registry: NewRegistry(), Tracer: NewTracer()}
+	s := &Session{start: time.Now(), Registry: NewRegistry(),
+		Tracer: NewTracer(), Flight: NewFlightRecorder(0)}
 	s.clock = func() time.Duration { return time.Since(s.start) }
 	s.enabled.Store(true)
 	return s
@@ -138,6 +141,45 @@ func (s *Session) Observe(name string, d time.Duration) {
 	if s.Enabled() {
 		s.Registry.Timer(name).Observe(d)
 	}
+}
+
+// ObserveLatencyTrace records d on the named histogram (default latency
+// buckets) with c's trace id as the bucket exemplar.
+func (s *Session) ObserveLatencyTrace(name string, d time.Duration, c Ctx) {
+	if s.Enabled() {
+		s.Registry.Histogram(name, DefLatencyBuckets).ObserveTrace(d.Seconds(), c.Trace)
+	}
+}
+
+// Instant records a zero-duration marker event on tid.
+func (s *Session) Instant(tid int, name string, c Ctx) {
+	if s.Enabled() {
+		s.Tracer.instant(s.clock, tid, name, c)
+	}
+}
+
+// FlowBegin opens a flow arrow (Chrome-trace ph="s") identified by id on
+// tid; FlowEnd with the same id on another tid draws the arrow between
+// them. Used to stitch a hedged request's primary and duplicate attempts.
+func (s *Session) FlowBegin(id uint64, tid int, name string) {
+	if s.Enabled() {
+		s.Tracer.flow(s.clock, "s", id, tid, name)
+	}
+}
+
+// FlowEnd terminates the flow arrow begun with FlowBegin(id, ...).
+func (s *Session) FlowEnd(id uint64, tid int, name string) {
+	if s.Enabled() {
+		s.Tracer.flow(s.clock, "f", id, tid, name)
+	}
+}
+
+// WriteOpenMetrics writes the registry in the OpenMetrics text format.
+func (s *Session) WriteOpenMetrics(w io.Writer) error {
+	if s == nil {
+		return fmt.Errorf("obs: nil session has no metrics")
+	}
+	return s.Registry.WriteOpenMetrics(w)
 }
 
 // forward fans a callback out to registered hooks.
@@ -262,6 +304,14 @@ func (s *Session) WriteMetricsJSONL(w io.Writer) error {
 			typed
 			TimerStats
 		}{typed{"timer"}, t}); err != nil {
+			return err
+		}
+	}
+	for _, h := range snap.Hists {
+		if err := write(struct {
+			typed
+			HistSnap
+		}{typed{"histogram"}, h}); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteOpenMetrics writes every instrument in the OpenMetrics text format
+// (the Prometheus exposition format plus exemplars and the "# EOF"
+// terminator). Output is deterministic: families are emitted counters,
+// gauges, timers (as summaries), then histograms, each sorted by name.
+//
+// Instrument names like "serve.hedge_wasted" are sanitised to
+// "serve_hedge_wasted"; counters get the conventional "_total" suffix.
+// Histogram bucket exemplars carry the trace id recorded by ObserveTrace,
+// which is the link a dashboard follows from a latency bucket to the
+// request trace that landed there.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+
+	for _, c := range snap.Counters {
+		name := sanitizeMetricName(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+		fmt.Fprintf(&b, "%s_total %d\n", name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		name := sanitizeMetricName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(&b, "%s %s\n", name, formatOMValue(g.Value))
+	}
+	for _, t := range snap.Timers {
+		name := sanitizeMetricName(t.Name) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+		for _, q := range [...]struct {
+			label string
+			v     float64
+		}{{"0.5", t.P50}, {"0.95", t.P95}, {"0.99", t.P99}} {
+			if t.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%s{quantile=\"%s\"} %s\n", name, q.label, formatOMValue(q.v))
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", name, formatOMValue(t.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, t.Count)
+	}
+	for _, h := range snap.Hists {
+		name := sanitizeMetricName(h.Name) + "_seconds"
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d", name, bk.LE, bk.Count)
+			if bk.Exemplar != nil {
+				fmt.Fprintf(&b, " # {trace_id=\"%s\"} %s",
+					TraceID(bk.Exemplar.Trace), formatOMValue(bk.Exemplar.Value))
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", name, formatOMValue(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeMetricName maps instrument names onto the OpenMetrics charset
+// [a-zA-Z0-9_:], replacing everything else (dots, dashes) with underscores.
+func sanitizeMetricName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// formatOMValue renders a float sample value ("+Inf"/"-Inf"/"NaN" spelled
+// the OpenMetrics way).
+func formatOMValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOpenMetricsGolden pins the exact exposition bytes (family order,
+// sanitised names, suffixes, exemplar syntax, EOF terminator) against a
+// golden file. Regenerate with -update.
+func TestOpenMetricsGolden(t *testing.T) {
+	s := NewSession()
+	s.Count("serve.submitted", 42)
+	s.Count("serve.shed", 3)
+	s.SetGauge("pool.live_replicas", 4)
+	s.Observe("serve.latency", 10*time.Millisecond)
+	s.Observe("serve.latency", 20*time.Millisecond)
+	s.ObserveLatencyTrace("serve.latency.hist", 3*time.Millisecond, Ctx{Trace: 0xbeef})
+	s.ObserveLatencyTrace("serve.latency.hist", 700*time.Millisecond, Ctx{Trace: 0xcafe})
+	s.Registry.Histogram("serve.latency.hist", nil).Observe(0.004) // no exemplar
+
+	var buf bytes.Buffer
+	if err := s.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "openmetrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./internal/obs -run OpenMetrics -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("openmetrics drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Format contract independent of the golden bytes.
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE serve_submitted counter\n",
+		"serve_submitted_total 42\n",
+		"# TYPE pool_live_replicas gauge\n",
+		"# TYPE serve_latency_seconds summary\n",
+		`serve_latency_seconds{quantile="0.5"}`,
+		"# TYPE serve_latency_hist_seconds histogram\n",
+		`serve_latency_hist_seconds_bucket{le="0.005"} 2 # {trace_id="000000000000beef"} 0.003`,
+		`serve_latency_hist_seconds_bucket{le="+Inf"} 3`,
+		"serve_latency_hist_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Error("output must end with # EOF")
+	}
+}
+
+func TestOpenMetricsEmptyRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "# EOF\n" {
+		t.Errorf("empty registry = %q, want just EOF", buf.String())
+	}
+}
+
+// TestOpenMetricsEmptyTimer checks that a zero-count summary emits no
+// quantile samples (their value would be meaningless) but keeps sum/count.
+func TestOpenMetricsEmptyTimer(t *testing.T) {
+	r := NewRegistry()
+	r.Timer("idle")
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "quantile") {
+		t.Errorf("empty timer emitted quantiles:\n%s", out)
+	}
+	if !strings.Contains(out, "idle_seconds_count 0\n") {
+		t.Errorf("empty timer missing count:\n%s", out)
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve.latency":    "serve_latency",
+		"comm.ring-algo":   "comm_ring_algo",
+		"9lives":           "_9lives",
+		"already_ok:colon": "already_ok:colon",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatOMValue(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+		{math.NaN(), "NaN"},
+		{0.25, "0.25"},
+		{3, "3"},
+	} {
+		if got := formatOMValue(tc.v); got != tc.want {
+			t.Errorf("formatOMValue(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestFlowAndInstantEvents checks the Chrome-trace shapes of the new event
+// kinds: flow s/f pairs carry an id and bp=e on the finish, instants carry
+// thread scope; none of them touch the per-tid span stacks.
+func TestFlowAndInstantEvents(t *testing.T) {
+	s := NewSession()
+	s.clock = fakeClock()
+	outer := s.Span(0, "outer")
+	s.Instant(0, "marker", Ctx{Trace: 5})
+	s.FlowBegin(5, 0, "hedge")
+	s.FlowEnd(5, 1, "hedge")
+	inner := s.Span(0, "inner")
+	inner.End()
+	outer.End()
+
+	byName := map[string][]chromeEvent{}
+	for _, ev := range s.Tracer.events {
+		byName[ev.Name] = append(byName[ev.Name], ev)
+	}
+	if evs := byName["marker"]; len(evs) != 1 || evs[0].Ph != "i" || evs[0].S != "t" {
+		t.Errorf("instant = %+v", evs)
+	} else if evs[0].Args["trace"] != TraceID(5) {
+		t.Errorf("instant trace arg = %v", evs[0].Args)
+	}
+	flows := byName["hedge"]
+	if len(flows) != 2 {
+		t.Fatalf("flow events = %+v", flows)
+	}
+	if flows[0].Ph != "s" || flows[0].ID != 5 || flows[0].BP != "" {
+		t.Errorf("flow start = %+v", flows[0])
+	}
+	if flows[1].Ph != "f" || flows[1].ID != 5 || flows[1].BP != "e" || flows[1].TID != 1 {
+		t.Errorf("flow finish = %+v", flows[1])
+	}
+	// Flow/instant events must not become span parents: inner's parent is
+	// outer, not any of the marker events.
+	for _, ev := range s.Tracer.events {
+		if ev.Name == "inner" && ev.Args["parent"] != uint64(1) {
+			t.Errorf("inner parent = %v, want 1 (outer)", ev.Args["parent"])
+		}
+	}
+
+	var nilS *Session
+	nilS.Instant(0, "x", Ctx{})
+	nilS.FlowBegin(1, 0, "x")
+	nilS.FlowEnd(1, 0, "x")
+}

@@ -17,6 +17,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
+	hists    map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
@@ -25,6 +26,7 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		timers:   map[string]*Timer{},
+		hists:    map[string]*Histogram{},
 	}
 }
 
@@ -77,6 +79,26 @@ func (r *Registry) Timer(name string) *Timer {
 		r.timers[name] = t
 	}
 	return t
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with the
+// given bounds if needed. The bounds of the first creation win; later calls
+// with different bounds get the existing instrument (names identify
+// instruments, so one name means one bucket layout).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
 }
 
 // Counter is a monotonically increasing atomic count.
@@ -209,6 +231,7 @@ type Snapshot struct {
 	Counters []CounterSnap `json:"counters"`
 	Gauges   []GaugeSnap   `json:"gauges"`
 	Timers   []TimerStats  `json:"timers"`
+	Hists    []HistSnap    `json:"histograms,omitempty"`
 }
 
 // Snapshot summarises all instruments, sorted by name.
@@ -226,6 +249,10 @@ func (r *Registry) Snapshot() *Snapshot {
 	for k, v := range r.timers {
 		timers[k] = v
 	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
 	r.mu.RUnlock()
 
 	snap := &Snapshot{}
@@ -237,6 +264,9 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for _, name := range sortedKeys(timers) {
 		snap.Timers = append(snap.Timers, timers[name].stats(name))
+	}
+	for _, name := range sortedKeys(hists) {
+		snap.Hists = append(snap.Hists, hists[name].snap(name))
 	}
 	return snap
 }

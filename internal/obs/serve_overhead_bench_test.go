@@ -1,0 +1,53 @@
+package obs_test
+
+// Overhead benchmark for the serving-path instrumentation: replays the same
+// deterministic load test three ways — no session, a disabled session, and
+// an enabled session — so the cost of the request-scoped tracing call sites
+// (trace minting at admission, histogram exemplars on completion, flight
+// events on shed) can be compared against the uninstrumented path. ISSUE
+// acceptance: disabled overhead <= 2%.
+//
+// Run: go test ./internal/obs -bench Overhead -benchtime 2s
+// (make bench-obs; the numbers for BENCH_obs.json come from these plus the
+// training benchmark in overhead_bench_test.go).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// benchLoadConfig is a fixed sub-knee open-loop profile: nothing shed, so
+// every request walks the full admit -> batch -> complete instrumentation
+// path.
+func benchLoadConfig(sess *obs.Session) serve.LoadConfig {
+	return serve.LoadConfig{
+		Requests:   4000,
+		RatePerSec: 3200, // 80% of the 2x8 pool's 4000 rps capacity
+		Replicas:   2,
+		MaxBatch:   8,
+		MaxLinger:  2 * time.Millisecond,
+		QueueCap:   64,
+		Seed:       7,
+		Obs:        sess,
+	}
+}
+
+func benchServe(b *testing.B, sess *obs.Session) {
+	b.ResetTimer()
+	requests := 0
+	for i := 0; i < b.N; i++ {
+		rep, err := serve.RunLoad(benchLoadConfig(sess))
+		if err != nil {
+			b.Fatal(err)
+		}
+		requests += rep.Completed
+	}
+	b.ReportMetric(float64(requests)/b.Elapsed().Seconds(), "reqs/sec")
+}
+
+func BenchmarkServeOverheadNone(b *testing.B)     { benchServe(b, nil) }
+func BenchmarkServeOverheadDisabled(b *testing.B) { benchServe(b, disabledSession()) }
+func BenchmarkServeOverheadEnabled(b *testing.B)  { benchServe(b, obs.NewSession()) }

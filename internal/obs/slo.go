@@ -1,0 +1,396 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Objective is one declarative service-level objective: a target fraction
+// of "good" events over all events. Two flavours:
+//
+//   - availability: good/total events are fed directly via Record (or bound
+//     to registry counters with GoodCounter/TotalCounter);
+//   - latency: an event is good when its latency is <= Latency seconds, fed
+//     via RecordLatency (or bound to a registry histogram with Histogram —
+//     good = CountBelow(Latency), total = Count).
+//
+// Targets are fractions like 0.999 ("three nines"). The error budget is
+// 1-Target; burn rate is how fast the budget is being consumed relative to
+// steady exact-target burn (burn 1 = budget exhausts exactly at window end).
+type Objective struct {
+	Name    string  `json:"name"`
+	Target  float64 `json:"target"`
+	Latency float64 `json:"latency,omitempty"` // seconds; >0 marks a latency objective
+
+	// Optional registry bindings used by TickFromRegistry.
+	GoodCounter  string `json:"good_counter,omitempty"`
+	TotalCounter string `json:"total_counter,omitempty"`
+	Histogram    string `json:"histogram,omitempty"`
+}
+
+// BurnRule is one multi-window burn-rate alert rule: fire when the burn
+// rate over BOTH the long and the short window is at least Factor. The long
+// window gives the alert its significance (enough budget actually burned);
+// the short window makes it resolve quickly once the incident stops.
+type BurnRule struct {
+	Name   string        `json:"name"`
+	Long   time.Duration `json:"long"`
+	Short  time.Duration `json:"short"`
+	Factor float64       `json:"factor"`
+}
+
+// DefaultBurnRules is the classic two-rule page configuration (Google SRE
+// workbook): a fast rule catching sharp burns and a slow rule catching
+// sustained moderate burns. Deterministic simulations with seconds-scale
+// runs should pass rules with proportionally scaled windows instead.
+func DefaultBurnRules() []BurnRule {
+	return []BurnRule{
+		{Name: "fast", Long: time.Hour, Short: 5 * time.Minute, Factor: 14.4},
+		{Name: "slow", Long: 6 * time.Hour, Short: 30 * time.Minute, Factor: 6},
+	}
+}
+
+// ScaledBurnRules returns the default two rules with windows scaled so the
+// "fast" long window equals horizon — the right shape for a simulated run
+// that lasts seconds instead of days.
+func ScaledBurnRules(horizon time.Duration) []BurnRule {
+	return []BurnRule{
+		{Name: "fast", Long: horizon, Short: horizon / 12, Factor: 14.4},
+		{Name: "slow", Long: 6 * horizon, Short: horizon / 2, Factor: 6},
+	}
+}
+
+// AlertEvent is one transition in the alert timeline.
+type AlertEvent struct {
+	T         float64 `json:"t"` // seconds
+	Objective string  `json:"objective"`
+	Rule      string  `json:"rule"`
+	State     string  `json:"state"` // "fire" or "resolve"
+	BurnLong  float64 `json:"burn_long"`
+	BurnShort float64 `json:"burn_short"`
+}
+
+// SLOStatus is the end-of-run summary for one objective.
+type SLOStatus struct {
+	Objective string  `json:"objective"`
+	Target    float64 `json:"target"`
+	Good      uint64  `json:"good"`
+	Total     uint64  `json:"total"`
+	Ratio     float64 `json:"ratio"`
+	Met       bool    `json:"met"`
+}
+
+// sloSample is one cumulative (good, total) observation at time t.
+type sloSample struct {
+	t           float64
+	good, total uint64
+}
+
+// objState is the monitor's per-objective bookkeeping.
+type objState struct {
+	obj         Objective
+	good, total uint64      // live cumulative counts (Record*)
+	samples     []sloSample // one per Tick
+	firing      map[string]bool
+}
+
+// SLOMonitor evaluates burn-rate rules over a set of objectives on an
+// explicit clock: the driver calls Record/RecordLatency as events happen
+// and Tick(t) at a fixed cadence. Time is whatever the driver says it is —
+// the load simulator passes virtual seconds, so two runs with the same seed
+// produce byte-identical alert timelines. A nil *SLOMonitor is a valid
+// disabled monitor: every method no-ops.
+type SLOMonitor struct {
+	mu       sync.Mutex
+	objs     []*objState
+	byName   map[string]*objState
+	rules    []BurnRule
+	timeline []AlertEvent
+}
+
+// NewSLOMonitor creates a monitor over the given objectives and rules.
+// Returns nil (a valid disabled monitor) when objectives are empty.
+func NewSLOMonitor(objs []Objective, rules []BurnRule) *SLOMonitor {
+	if len(objs) == 0 {
+		return nil
+	}
+	if len(rules) == 0 {
+		rules = DefaultBurnRules()
+	}
+	m := &SLOMonitor{byName: map[string]*objState{}, rules: rules}
+	for _, o := range objs {
+		st := &objState{obj: o, firing: map[string]bool{}}
+		m.objs = append(m.objs, st)
+		m.byName[o.Name] = st
+	}
+	return m
+}
+
+// Record counts one event against the named objective.
+func (m *SLOMonitor) Record(obj string, good bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if st := m.byName[obj]; st != nil {
+		st.total++
+		if good {
+			st.good++
+		}
+	}
+	m.mu.Unlock()
+}
+
+// RecordAvailability counts one event against every availability objective
+// (those without a latency threshold or registry binding).
+func (m *SLOMonitor) RecordAvailability(good bool) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	for _, st := range m.objs {
+		o := st.obj
+		if o.Latency > 0 || o.Histogram != "" || o.GoodCounter != "" {
+			continue
+		}
+		st.total++
+		if good {
+			st.good++
+		}
+	}
+	m.mu.Unlock()
+}
+
+// RecordLatency counts one latency observation against every latency
+// objective: good when seconds <= the objective's threshold.
+func (m *SLOMonitor) RecordLatency(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	for _, st := range m.objs {
+		if st.obj.Latency <= 0 {
+			continue
+		}
+		st.total++
+		if seconds <= st.obj.Latency {
+			st.good++
+		}
+	}
+	m.mu.Unlock()
+}
+
+// Tick snapshots cumulative counts at time t (seconds) and evaluates every
+// rule, appending fire/resolve transitions to the timeline. Call at a fixed
+// cadence with monotonically non-decreasing t.
+func (m *SLOMonitor) Tick(t float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	for _, st := range m.objs {
+		st.samples = append(st.samples, sloSample{t: t, good: st.good, total: st.total})
+		m.evaluateLocked(st, t)
+	}
+	m.mu.Unlock()
+}
+
+// TickFromRegistry reads each objective's registry bindings (counters or
+// histogram), overwrites its cumulative counts, then ticks at t. Use when
+// the signal already lives in the registry instead of flowing through
+// Record.
+func (m *SLOMonitor) TickFromRegistry(t float64, r *Registry) {
+	if m == nil || r == nil {
+		return
+	}
+	m.mu.Lock()
+	for _, st := range m.objs {
+		o := st.obj
+		switch {
+		case o.Histogram != "" && o.Latency > 0:
+			h := r.Histogram(o.Histogram, DefLatencyBuckets)
+			st.good, st.total = h.CountBelow(o.Latency), h.Count()
+		case o.GoodCounter != "" && o.TotalCounter != "":
+			st.good = uint64(r.Counter(o.GoodCounter).Value())
+			st.total = uint64(r.Counter(o.TotalCounter).Value())
+		}
+		st.samples = append(st.samples, sloSample{t: t, good: st.good, total: st.total})
+		m.evaluateLocked(st, t)
+	}
+	m.mu.Unlock()
+}
+
+// burnLocked computes the burn rate over the trailing window ending at the
+// latest sample: (bad fraction in window) / (1 - target). A window reaching
+// past the first sample is measured from a zero baseline (the whole run so
+// far), which is the natural behaviour at run start.
+func (st *objState) burnLocked(t, window float64) float64 {
+	if len(st.samples) == 0 {
+		return 0
+	}
+	last := st.samples[len(st.samples)-1]
+	cutoff := t - window
+	// Latest sample with sample.t <= cutoff is the window's baseline.
+	var base sloSample
+	i := sort.Search(len(st.samples), func(i int) bool { return st.samples[i].t > cutoff })
+	if i > 0 {
+		base = st.samples[i-1]
+	}
+	total := last.total - base.total
+	if total == 0 {
+		return 0
+	}
+	bad := float64((last.total - last.good) - (base.total - base.good))
+	budget := 1 - st.obj.Target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return (bad / float64(total)) / budget
+}
+
+// evaluateLocked runs every rule against st at time t.
+func (m *SLOMonitor) evaluateLocked(st *objState, t float64) {
+	for _, rule := range m.rules {
+		bl := st.burnLocked(t, rule.Long.Seconds())
+		bs := st.burnLocked(t, rule.Short.Seconds())
+		cond := bl >= rule.Factor && bs >= rule.Factor
+		switch {
+		case cond && !st.firing[rule.Name]:
+			st.firing[rule.Name] = true
+			m.timeline = append(m.timeline, AlertEvent{T: t, Objective: st.obj.Name,
+				Rule: rule.Name, State: "fire", BurnLong: bl, BurnShort: bs})
+		case !cond && st.firing[rule.Name]:
+			st.firing[rule.Name] = false
+			m.timeline = append(m.timeline, AlertEvent{T: t, Objective: st.obj.Name,
+				Rule: rule.Name, State: "resolve", BurnLong: bl, BurnShort: bs})
+		}
+	}
+}
+
+// Timeline returns the fire/resolve transitions in order.
+func (m *SLOMonitor) Timeline() []AlertEvent {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]AlertEvent(nil), m.timeline...)
+}
+
+// Firing returns the currently firing "objective/rule" pairs, sorted.
+func (m *SLOMonitor) Firing() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, st := range m.objs {
+		for rule, on := range st.firing {
+			if on {
+				out = append(out, st.obj.Name+"/"+rule)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Status summarises each objective's cumulative compliance.
+func (m *SLOMonitor) Status() []SLOStatus {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SLOStatus, 0, len(m.objs))
+	for _, st := range m.objs {
+		s := SLOStatus{Objective: st.obj.Name, Target: st.obj.Target,
+			Good: st.good, Total: st.total}
+		if st.total > 0 {
+			s.Ratio = float64(st.good) / float64(st.total)
+		}
+		s.Met = st.total == 0 || s.Ratio >= st.obj.Target
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteTimeline writes the alert timeline as deterministic text, one line
+// per transition, suitable for golden-file comparison.
+func (m *SLOMonitor) WriteTimeline(w io.Writer) error {
+	if m == nil {
+		_, err := io.WriteString(w, "# no slo monitor\n")
+		return err
+	}
+	return WriteAlertTimeline(w, m.Timeline())
+}
+
+// WriteAlertTimeline renders a slice of alert transitions as deterministic
+// text (the golden-file format the E14 experiment byte-compares).
+func WriteAlertTimeline(w io.Writer, timeline []AlertEvent) error {
+	var b strings.Builder
+	if len(timeline) == 0 {
+		b.WriteString("# no alerts\n")
+	}
+	for _, ev := range timeline {
+		fmt.Fprintf(&b, "t=%08.3fs %-7s %s/%s burn_long=%.2f burn_short=%.2f\n",
+			ev.T, strings.ToUpper(ev.State), ev.Objective, ev.Rule, ev.BurnLong, ev.BurnShort)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ParseSLOSpec parses a compact objective spec like
+// "avail=0.999,p99=25ms" or "p99=25ms@0.99":
+//
+//   - "avail=<target>" declares an availability objective;
+//   - "p99=<duration>[@target]" declares a latency objective whose good
+//     events complete within the duration (target defaults to 0.99).
+//
+// Registry bindings are left empty; callers wire them to their own series.
+func ParseSLOSpec(spec string) ([]Objective, error) {
+	var out []Objective
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("obs: slo spec %q: want key=value", part)
+		}
+		switch k {
+		case "avail":
+			var target float64
+			if _, err := fmt.Sscanf(v, "%g", &target); err != nil || target <= 0 || target >= 1 {
+				return nil, fmt.Errorf("obs: slo spec %q: bad availability target", part)
+			}
+			out = append(out, Objective{Name: "availability", Target: target})
+		case "p99":
+			target := 0.99
+			durStr := v
+			if ds, ts, ok := strings.Cut(v, "@"); ok {
+				durStr = ds
+				if _, err := fmt.Sscanf(ts, "%g", &target); err != nil || target <= 0 || target >= 1 {
+					return nil, fmt.Errorf("obs: slo spec %q: bad latency target", part)
+				}
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("obs: slo spec %q: bad latency threshold", part)
+			}
+			out = append(out, Objective{Name: "latency_p99", Target: target, Latency: d.Seconds()})
+		default:
+			return nil, fmt.Errorf("obs: slo spec %q: unknown key (want avail or p99)", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("obs: empty slo spec")
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testRules is a single easy-to-reason-about rule: fire when the burn over
+// both the trailing 10s and the trailing 2s is >= 2.
+func testRules() []BurnRule {
+	return []BurnRule{{Name: "r", Long: 10 * time.Second, Short: 2 * time.Second, Factor: 2}}
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	m := NewSLOMonitor([]Objective{{Name: "avail", Target: 0.9}}, testRules())
+	// 10 events, 5 bad → bad fraction 0.5, budget 0.1 → burn 5.
+	for i := 0; i < 10; i++ {
+		m.RecordAvailability(i%2 == 0)
+	}
+	m.Tick(1)
+	st := m.objs[0]
+	if burn := st.burnLocked(1, 10); math.Abs(burn-5) > 1e-9 {
+		t.Errorf("burn = %g, want 5", burn)
+	}
+	// Window with no events (baseline == latest sample) burns 0.
+	m.Tick(2)
+	if burn := st.burnLocked(2, 0.5); burn != 0 {
+		t.Errorf("empty-window burn = %g, want 0", burn)
+	}
+}
+
+func TestSLOFireResolve(t *testing.T) {
+	m := NewSLOMonitor([]Objective{{Name: "avail", Target: 0.99}}, testRules())
+	// Healthy first: 100 good events over 4 ticks.
+	for tk := 1; tk <= 4; tk++ {
+		for i := 0; i < 25; i++ {
+			m.RecordAvailability(true)
+		}
+		m.Tick(float64(tk))
+	}
+	if f := m.Firing(); len(f) != 0 {
+		t.Fatalf("firing while healthy: %v", f)
+	}
+	// Incident: everything bad. Burn = 1/0.01 = 100 >= 2 over both windows.
+	for i := 0; i < 50; i++ {
+		m.RecordAvailability(false)
+	}
+	m.Tick(5)
+	if f := m.Firing(); len(f) != 1 || f[0] != "avail/r" {
+		t.Fatalf("firing = %v, want [avail/r]", f)
+	}
+	// Recovery: all good again. The short 2s window goes clean first; once
+	// it does, the multi-window AND resolves the alert.
+	for tk := 6; tk <= 9; tk++ {
+		for i := 0; i < 100; i++ {
+			m.RecordAvailability(true)
+		}
+		m.Tick(float64(tk))
+	}
+	if f := m.Firing(); len(f) != 0 {
+		t.Fatalf("still firing after recovery: %v", f)
+	}
+	tl := m.Timeline()
+	if len(tl) != 2 || tl[0].State != "fire" || tl[1].State != "resolve" {
+		t.Fatalf("timeline = %+v, want fire then resolve", tl)
+	}
+	if tl[0].T != 5 || tl[1].T <= tl[0].T {
+		t.Errorf("timeline times = %g, %g", tl[0].T, tl[1].T)
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "FIRE") || !strings.Contains(lines[1], "RESOLVE") {
+		t.Errorf("timeline text:\n%s", buf.String())
+	}
+}
+
+func TestSLOLatencyObjective(t *testing.T) {
+	m := NewSLOMonitor([]Objective{
+		{Name: "p99", Target: 0.5, Latency: 0.025},
+		{Name: "avail", Target: 0.5},
+	}, testRules())
+	m.RecordLatency(0.010) // good
+	m.RecordLatency(0.025) // good (<=)
+	m.RecordLatency(0.100) // bad
+	m.RecordAvailability(true)
+	m.Tick(1)
+	status := m.Status()
+	if len(status) != 2 {
+		t.Fatalf("status = %+v", status)
+	}
+	if s := status[0]; s.Objective != "p99" || s.Good != 2 || s.Total != 3 {
+		t.Errorf("latency status = %+v, want good 2 total 3", s)
+	}
+	// RecordLatency must not count against the availability objective and
+	// vice versa.
+	if s := status[1]; s.Objective != "avail" || s.Good != 1 || s.Total != 1 {
+		t.Errorf("availability status = %+v, want good 1 total 1", s)
+	}
+}
+
+func TestSLOTickFromRegistry(t *testing.T) {
+	r := NewRegistry()
+	m := NewSLOMonitor([]Objective{
+		{Name: "lat", Target: 0.5, Latency: 1, Histogram: "h"},
+		{Name: "ok", Target: 0.5, GoodCounter: "good", TotalCounter: "total"},
+	}, testRules())
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	r.Counter("good").Add(3)
+	r.Counter("total").Add(4)
+	m.TickFromRegistry(1, r)
+	status := m.Status()
+	if s := status[0]; s.Good != 1 || s.Total != 2 {
+		t.Errorf("histogram-bound status = %+v, want good 1 total 2", s)
+	}
+	if s := status[1]; s.Good != 3 || s.Total != 4 {
+		t.Errorf("counter-bound status = %+v, want good 3 total 4", s)
+	}
+}
+
+func TestSLONilMonitor(t *testing.T) {
+	var m *SLOMonitor
+	m.Record("x", true)
+	m.RecordAvailability(true)
+	m.RecordLatency(1)
+	m.Tick(1)
+	m.TickFromRegistry(1, NewRegistry())
+	if m.Timeline() != nil || m.Firing() != nil || m.Status() != nil {
+		t.Error("nil monitor returned data")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteTimeline(&buf); err != nil || buf.String() != "# no slo monitor\n" {
+		t.Errorf("nil timeline = %q, %v", buf.String(), err)
+	}
+	if NewSLOMonitor(nil, nil) != nil {
+		t.Error("empty objectives should yield a nil monitor")
+	}
+}
+
+func TestWriteAlertTimelineEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAlertTimeline(&buf, nil); err != nil || buf.String() != "# no alerts\n" {
+		t.Errorf("empty timeline = %q, %v", buf.String(), err)
+	}
+}
+
+func TestParseSLOSpec(t *testing.T) {
+	objs, err := ParseSLOSpec("avail=0.999,p99=25ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("objs = %+v", objs)
+	}
+	if o := objs[0]; o.Name != "availability" || o.Target != 0.999 || o.Latency != 0 {
+		t.Errorf("avail = %+v", o)
+	}
+	if o := objs[1]; o.Name != "latency_p99" || o.Target != 0.99 || o.Latency != 0.025 {
+		t.Errorf("p99 = %+v", o)
+	}
+
+	objs, err = ParseSLOSpec("p99=100ms@0.95")
+	if err != nil || len(objs) != 1 || objs[0].Target != 0.95 || objs[0].Latency != 0.1 {
+		t.Errorf("explicit target = %+v, %v", objs, err)
+	}
+
+	for _, bad := range []string{
+		"", "nonsense", "avail=2", "avail=0", "p99=xyz", "p99=25ms@1.5", "lat=5",
+	} {
+		if _, err := ParseSLOSpec(bad); err == nil {
+			t.Errorf("ParseSLOSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestScaledBurnRules(t *testing.T) {
+	rules := ScaledBurnRules(12 * time.Second)
+	if len(rules) != 2 {
+		t.Fatalf("rules = %+v", rules)
+	}
+	if rules[0].Long != 12*time.Second || rules[0].Short != time.Second {
+		t.Errorf("fast rule = %+v", rules[0])
+	}
+	if rules[1].Long != 72*time.Second || rules[1].Short != 6*time.Second {
+		t.Errorf("slow rule = %+v", rules[1])
+	}
+}

@@ -30,8 +30,11 @@ func NewTracer() *Tracer {
 	return &Tracer{maxEvents: defaultMaxEvents, open: map[int][]uint64{}}
 }
 
-// chromeEvent is one Chrome-trace "complete" (ph=X) event. Timestamps and
-// durations are microseconds, per the trace-event format.
+// chromeEvent is one Chrome-trace event: "complete" (ph=X) spans, "instant"
+// (ph=i) markers, and flow arrows (ph=s/f). Timestamps and durations are
+// microseconds, per the trace-event format. ID/BP/S only apply to flow and
+// instant events and must stay omitempty so span-only traces keep their
+// historical byte-for-byte shape.
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
@@ -40,6 +43,9 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur"`
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"` // flow binding id
+	BP   string         `json:"bp,omitempty"` // flow binding point ("e")
+	S    string         `json:"s,omitempty"`  // instant scope ("t")
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -121,6 +127,48 @@ func (sp *Span) End() {
 		t.dropped++
 	}
 	t.mu.Unlock()
+}
+
+// record appends one ready-made event, honouring the event cap. Unlike
+// spans, instant and flow events never touch the per-tid open stacks, so
+// they are safe to emit from any goroutine.
+func (t *Tracer) record(ev chromeEvent) {
+	t.mu.Lock()
+	if len(t.events) < t.maxEvents {
+		t.events = append(t.events, ev)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// instant records a thread-scoped instant marker; a valid Ctx is attached
+// as a trace arg.
+func (t *Tracer) instant(clock func() time.Duration, tid int, name string, c Ctx) {
+	ev := chromeEvent{
+		Name: name, Cat: "obs", Ph: "i",
+		TS:  float64(clock()) / float64(time.Microsecond),
+		PID: 1, TID: tid, S: "t",
+	}
+	if c.Valid() {
+		ev.Args = map[string]any{"trace": c.String()}
+	}
+	t.record(ev)
+}
+
+// flow records one endpoint of a flow arrow: ph "s" starts it, ph "f" with
+// the same id finishes it (binding point "e" attaches the arrowhead to the
+// enclosing slice, the usual convention for request stitching).
+func (t *Tracer) flow(clock func() time.Duration, ph string, id uint64, tid int, name string) {
+	ev := chromeEvent{
+		Name: name, Cat: "flow", Ph: ph,
+		TS:  float64(clock()) / float64(time.Microsecond),
+		PID: 1, TID: tid, ID: id,
+	}
+	if ph == "f" {
+		ev.BP = "e"
+	}
+	t.record(ev)
 }
 
 // NumEvents returns the number of recorded (not dropped) events.

@@ -252,6 +252,14 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 					// Bucketed path: overlap submits buckets from the
 					// backward hook; otherwise they all queue here. Either
 					// way drain leaves the averaged gradients in place.
+					if instr {
+						// One trace per step: every bucket span this step
+						// carries it, and the bucket-time histogram exemplars
+						// point back at the step that produced them.
+						c := o.NewTrace()
+						c.Baggage = fmt.Sprintf("rank%d.step%d", id, e*stepsPerEpoch+s)
+						bs.reducer.SetCtx(c)
+					}
 					var hook func(int)
 					if cfg.Overlap {
 						hook = bs.onLayerDone

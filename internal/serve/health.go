@@ -12,8 +12,11 @@ package serve
 // that keeps a borderline replica from flapping in and out of the fleet.
 
 import (
+	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // HealthConfig parameterises replica health scoring. The zero value disables
@@ -129,6 +132,8 @@ func (p *pool) noteLatency(r int, elapsed time.Duration) {
 			if p.s.obs.Enabled() {
 				p.s.obs.Count("serve.replica_ejected", 1)
 				p.s.obs.SetGauge("serve.healthy_replicas", float64(p.healthyLocked()))
+				p.s.obs.RecordFlight("replica_ejected", obs.Ctx{},
+					fmt.Sprintf("replica=%d ewma=%.6fs median=%.6fs", r, p.ewma[r], med))
 			}
 		}
 	default:
@@ -149,6 +154,8 @@ func (p *pool) noteLatency(r int, elapsed time.Duration) {
 			if p.s.obs.Enabled() {
 				p.s.obs.Count("serve.replica_readmitted", 1)
 				p.s.obs.SetGauge("serve.healthy_replicas", float64(p.healthyLocked()))
+				p.s.obs.RecordFlight("replica_readmitted", obs.Ctx{},
+					fmt.Sprintf("replica=%d sample=%.6fs", r, sample))
 			}
 		}
 	}

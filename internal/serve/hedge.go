@@ -29,6 +29,11 @@ type HedgeConfig struct {
 
 func (h HedgeConfig) enabled() bool { return h.After > 0 }
 
+// hedgeTID is the Chrome-trace track the hedge flow events live on: flow
+// arrows (ph=s/f) never touch the tracer's per-tid span stacks, so a shared
+// track is safe from any goroutine.
+const hedgeTID = 1000
+
 // armHedge starts the hedge watcher for an admitted request (no-op when
 // hedging is disabled).
 func (s *Server) armHedge(req *request) {
@@ -55,6 +60,11 @@ func (s *Server) hedgeWatch(req *request) {
 	}
 	s.nHedged.Add(1)
 	s.obs.Count("serve.hedged", 1)
+	req.hedged.Store(true)
+	// Start a flow arrow keyed by the trace id; the settle winner's
+	// completion ends it, stitching the hedged pair in the trace viewer.
+	s.obs.FlowBegin(req.trace.Trace, hedgeTID, "hedge")
+	s.obs.RecordFlight("hedged", req.trace, "")
 	// A one-request batch straight to the pool: least-loaded placement steers
 	// it away from the replica the original is queued or executing on. If the
 	// pool is closed or drained this push fails the request, which the settle

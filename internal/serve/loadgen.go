@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -101,18 +102,61 @@ type LoadConfig struct {
 	// completion wins, and the loser is cancelled before service when
 	// possible. 0 disables.
 	HedgeAfter time.Duration
+
+	// Phases, when non-empty, replaces RatePerSec with a piecewise-constant
+	// open-loop rate profile (diurnal ramp, flash crowd); Requests is then
+	// derived from the profile instead of configured. Open loop only.
+	Phases []LoadPhase
+	// SLO, when non-empty, attaches an SLO monitor to the run: availability
+	// objectives count completed vs shed+expired, latency objectives judge
+	// each completion against their threshold. Burn-rate rules (SLORules,
+	// default obs.DefaultBurnRules) are evaluated every SLOTick of virtual
+	// time (default 250ms), so the alert timeline in the report is a pure
+	// function of the seed.
+	SLO      []obs.Objective
+	SLORules []obs.BurnRule
+	SLOTick  time.Duration
+	// Obs, when enabled, receives the simulator's request stream: the
+	// serve.latency.hist histogram (with per-arrival trace-id exemplars) and
+	// the serve.submitted/completed/shed/deadline_missed counters. This is
+	// how a simulated campaign exercises the same exposition path as the
+	// live server.
+	Obs *obs.Session
+}
+
+// LoadPhase is one segment of a phased open-loop load profile.
+type LoadPhase struct {
+	// Duration is the phase length in virtual time.
+	Duration time.Duration
+	// RatePerSec is the offered load during the phase (0 = idle gap).
+	RatePerSec float64
 }
 
 func (c *LoadConfig) withDefaults() error {
-	if c.Requests <= 0 {
+	if len(c.Phases) > 0 {
+		if c.Closed {
+			return fmt.Errorf("serve: phased load profiles are open loop only")
+		}
+		for i, ph := range c.Phases {
+			if ph.Duration <= 0 {
+				return fmt.Errorf("serve: phase %d needs Duration > 0", i)
+			}
+			if ph.RatePerSec < 0 {
+				return fmt.Errorf("serve: phase %d has negative rate", i)
+			}
+		}
+	} else if c.Requests <= 0 {
 		return fmt.Errorf("serve: load test needs Requests > 0")
 	}
 	if c.Closed {
 		if c.Clients <= 0 {
 			c.Clients = 8
 		}
-	} else if c.RatePerSec <= 0 {
+	} else if c.RatePerSec <= 0 && len(c.Phases) == 0 {
 		return fmt.Errorf("serve: open-loop load test needs RatePerSec > 0")
+	}
+	if len(c.SLO) > 0 && c.SLOTick <= 0 {
+		c.SLOTick = 250 * time.Millisecond
 	}
 	if c.Replicas <= 0 {
 		c.Replicas = 1
@@ -163,10 +207,10 @@ type LoadReport struct {
 	LatencyP99Ms  float64 `json:"latency_p99_ms"`
 	LatencyMaxMs  float64 `json:"latency_max_ms"`
 
-	Replicas  int     `json:"replicas"`
-	MaxBatch  int     `json:"max_batch"`
-	LingerMs  float64 `json:"linger_ms"`
-	QueueCap  int     `json:"queue_cap"`
+	Replicas   int     `json:"replicas"`
+	MaxBatch   int     `json:"max_batch"`
+	LingerMs   float64 `json:"linger_ms"`
+	QueueCap   int     `json:"queue_cap"`
 	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 
 	// Gray-failure fields (omitted when the corresponding knob is off, so
@@ -184,6 +228,12 @@ type LoadReport struct {
 	// DuplicatedWorkPct is serviced duplicate copies as a percentage of
 	// completed requests — the price paid for the hedged tail.
 	DuplicatedWorkPct float64 `json:"duplicated_work_pct,omitempty"`
+
+	// Phased-profile and SLO fields (omitted when the corresponding config
+	// is off, so pre-existing committed reports stay byte-identical).
+	Phases    int              `json:"phases,omitempty"`
+	SLOStatus []obs.SLOStatus  `json:"slo,omitempty"`
+	SLOAlerts []obs.AlertEvent `json:"slo_alerts,omitempty"`
 }
 
 // event kinds, ordered for deterministic tie-breaking at equal times.
@@ -192,15 +242,16 @@ const (
 	evLinger
 	evDone
 	evHedge
+	evTick // SLO evaluation tick
 )
 
 type simEvent struct {
-	at   time.Time
-	seq  int // arrival order; breaks time ties deterministically
-	kind int
-	req  *request // evArrival, evHedge
-	gen  int      // evLinger: policy generation that armed this timer
-	b    []*request
+	at    time.Time
+	seq   int // arrival order; breaks time ties deterministically
+	kind  int
+	req   *request // evArrival, evHedge
+	gen   int      // evLinger: policy generation that armed this timer
+	b     []*request
 	cl    int  // closed loop: client issuing/completing
 	rep   int  // evDone: replica that served the batch
 	hedge bool // evDone: the batch was a hedge duplicate
@@ -222,8 +273,8 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*simEvent)) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*simEvent)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -241,10 +292,10 @@ type loadSim struct {
 	seq   int
 	queue eventHeap
 
-	admission []*request // bounded by QueueCap
+	admission []*request  // bounded by QueueCap
 	blocked   []*simEvent // closed-loop arrivals waiting for admission space
 	pol       batchPolicy
-	polGen    int        // invalidates linger timers of flushed batches
+	polGen    int // invalidates linger timers of flushed batches
 	batchQ    []simBatch
 	stalled   []*request // batch the batcher holds while the pool is full
 	freeRep   int
@@ -266,7 +317,46 @@ type loadSim struct {
 	hedgeCancelled int
 	hedgeWasted    int
 	dupServed      int
+
+	// SLO monitoring (nil when cfg.SLO is empty)
+	slo    *obs.SLOMonitor
+	arrSeq uint64 // arrival order = deterministic trace id
 }
+
+// noteShed accounts one shed request in every sink: the report counter, the
+// SLO monitor, and the mirrored obs session.
+func (s *loadSim) noteShed(req *request) {
+	s.shed++
+	s.slo.RecordAvailability(false)
+	if s.cfg.Obs.Enabled() {
+		s.cfg.Obs.Count("serve.shed", 1)
+		s.cfg.Obs.RecordFlight("shed", req.trace, "admission queue full")
+	}
+}
+
+// noteExpired accounts one deadline miss.
+func (s *loadSim) noteExpired(req *request) {
+	s.expired++
+	s.slo.RecordAvailability(false)
+	if s.cfg.Obs.Enabled() {
+		s.cfg.Obs.Count("serve.deadline_missed", 1)
+		s.cfg.Obs.RecordFlight("deadline_missed", req.trace, "")
+	}
+}
+
+// noteCompleted accounts one completion with its latency (seconds).
+func (s *loadSim) noteCompleted(req *request, lat float64) {
+	s.slo.RecordAvailability(true)
+	s.slo.RecordLatency(lat)
+	if s.cfg.Obs.Enabled() {
+		s.cfg.Obs.Count("serve.completed", 1)
+		s.cfg.Obs.Registry.Histogram("serve.latency.hist", obs.DefLatencyBuckets).
+			ObserveTrace(lat, req.trace.Trace)
+	}
+}
+
+// vt returns the simulation's virtual time in seconds since its epoch.
+func (s *loadSim) vt() float64 { return s.now.Sub(time.Unix(0, 0).UTC()).Seconds() }
 
 // RunLoad executes one deterministic load test and returns its report.
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
@@ -274,17 +364,23 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		return nil, err
 	}
 	s := &loadSim{
-		cfg: cfg,
-		r:   rng.New(cfg.Seed).Split("serve-load"),
-		now: time.Unix(0, 0).UTC(),
-		pol: batchPolicy{maxBatch: cfg.MaxBatch, maxLinger: cfg.MaxLinger},
+		cfg:     cfg,
+		r:       rng.New(cfg.Seed).Split("serve-load"),
+		now:     time.Unix(0, 0).UTC(),
+		pol:     batchPolicy{maxBatch: cfg.MaxBatch, maxLinger: cfg.MaxLinger},
 		freeRep: cfg.Replicas,
 		busy:    make([]bool, cfg.Replicas),
 	}
 	if cfg.HedgeAfter > 0 {
 		s.servedOnce = make(map[*request]bool, cfg.Requests)
 	}
+	if len(cfg.SLO) > 0 {
+		s.slo = obs.NewSLOMonitor(cfg.SLO, cfg.SLORules)
+	}
 	s.seed()
+	if s.slo != nil {
+		s.push(&simEvent{at: s.now.Add(cfg.SLOTick), kind: evTick})
+	}
 	for s.queue.Len() > 0 {
 		e := heap.Pop(&s.queue).(*simEvent)
 		s.now = e.at
@@ -303,6 +399,13 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			s.done(e)
 		case evHedge:
 			s.fireHedge(e)
+		case evTick:
+			s.slo.Tick(s.vt())
+			// Reschedule only while other work remains: the tick chain
+			// must not keep an otherwise-drained simulation alive.
+			if s.queue.Len() > 0 {
+				s.push(&simEvent{at: s.now.Add(s.cfg.SLOTick), kind: evTick})
+			}
 		}
 	}
 	return s.report(), nil
@@ -310,6 +413,32 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 
 // seed schedules the initial arrivals.
 func (s *loadSim) seed() {
+	if len(s.cfg.Phases) > 0 {
+		// Piecewise-constant rate profile: exponential interarrivals at each
+		// phase's rate until the phase boundary. Crossing a boundary resets
+		// the residual interarrival, which is fine at the rates and phase
+		// lengths this models (one arrival of slack per phase).
+		arr := s.r.Split("arrivals")
+		t := s.now
+		phaseEnd := s.now
+		for _, ph := range s.cfg.Phases {
+			phaseEnd = phaseEnd.Add(ph.Duration)
+			if ph.RatePerSec <= 0 {
+				t = phaseEnd
+				continue
+			}
+			for {
+				t = t.Add(time.Duration(arr.Exp(ph.RatePerSec / float64(time.Second))))
+				if t.After(phaseEnd) {
+					t = phaseEnd
+					break
+				}
+				s.issued++
+				s.push(&simEvent{at: t, kind: evArrival, cl: -1})
+			}
+		}
+		return
+	}
 	if s.cfg.Closed {
 		think := s.r.Split("think")
 		for c := 0; c < s.cfg.Clients && s.issued < s.cfg.Requests; c++ {
@@ -348,17 +477,22 @@ func (s *loadSim) push(e *simEvent) {
 // arrive admits one request, shedding (open loop) or blocking the client
 // (closed loop) when the admission queue is full.
 func (s *loadSim) arrive(e *simEvent) {
-	req := &request{arrived: s.now, deadline: s.deadlineFrom(s.now)}
+	s.arrSeq++
+	req := &request{arrived: s.now, deadline: s.deadlineFrom(s.now),
+		trace: obs.Ctx{Trace: s.arrSeq}} // arrival order = deterministic trace id
 	e.req = req
 	if len(s.admission) >= s.cfg.QueueCap {
 		if s.cfg.Closed {
 			s.blocked = append(s.blocked, e) // Infer blocks: backpressure
 			return
 		}
-		s.shed++ // Submit sheds: ErrOverloaded
+		s.noteShed(req) // Submit sheds: ErrOverloaded
 		return
 	}
 	s.admission = append(s.admission, req)
+	if s.cfg.Obs.Enabled() {
+		s.cfg.Obs.Count("serve.submitted", 1)
+	}
 	s.armHedge(req)
 	s.pump()
 }
@@ -403,7 +537,7 @@ func (s *loadSim) pump() {
 		s.admission = s.admission[1:]
 		s.unblockOne()
 		if req.expired(s.now) {
-			s.expired++
+			s.noteExpired(req)
 			continue
 		}
 		first := s.pol.pending() == 0
@@ -445,7 +579,7 @@ func (s *loadSim) dispatch(b []*request) {
 	alive := b[:0]
 	for _, r := range b {
 		if r.expired(s.now) {
-			s.expired++
+			s.noteExpired(r)
 			continue
 		}
 		alive = append(alive, r)
@@ -473,7 +607,7 @@ func (s *loadSim) startService(b simBatch) {
 	alive := b.reqs[:0]
 	for _, r := range b.reqs {
 		if r.expired(s.now) {
-			s.expired++
+			s.noteExpired(r)
 			continue
 		}
 		if r.settled.Load() {
@@ -521,7 +655,9 @@ func (s *loadSim) done(e *simEvent) {
 		if e.hedge {
 			s.hedgeWins++
 		}
-		s.latencies = append(s.latencies, s.now.Sub(req.arrived).Seconds())
+		lat := s.now.Sub(req.arrived).Seconds()
+		s.latencies = append(s.latencies, lat)
+		s.noteCompleted(req, lat)
 		s.clientNext(req)
 	}
 	s.lastDone = s.now
@@ -564,16 +700,16 @@ func (s *loadSim) clientNext(req *request) {
 
 func (s *loadSim) report() *LoadReport {
 	rep := &LoadReport{
-		Seed:     s.cfg.Seed,
-		Requests: s.cfg.Requests,
-		Completed: s.completed,
-		Shed:     s.shed,
-		Expired:  s.expired,
-		Batches:  s.batches,
-		Replicas: s.cfg.Replicas,
-		MaxBatch: s.cfg.MaxBatch,
-		LingerMs: float64(s.cfg.MaxLinger) / float64(time.Millisecond),
-		QueueCap: s.cfg.QueueCap,
+		Seed:        s.cfg.Seed,
+		Requests:    s.cfg.Requests,
+		Completed:   s.completed,
+		Shed:        s.shed,
+		Expired:     s.expired,
+		Batches:     s.batches,
+		Replicas:    s.cfg.Replicas,
+		MaxBatch:    s.cfg.MaxBatch,
+		LingerMs:    float64(s.cfg.MaxLinger) / float64(time.Millisecond),
+		QueueCap:    s.cfg.QueueCap,
 		CapacityRPS: s.cfg.Service.CapacityRPS(s.cfg.Replicas, s.cfg.MaxBatch),
 	}
 	rep.Mode = "open"
@@ -581,6 +717,22 @@ func (s *loadSim) report() *LoadReport {
 	if s.cfg.Closed {
 		rep.Mode = "closed"
 		rep.OfferedRPS = 0
+	}
+	if len(s.cfg.Phases) > 0 {
+		rep.Phases = len(s.cfg.Phases)
+		rep.Requests = s.issued // derived from the profile, not configured
+		var dur, weighted float64
+		for _, ph := range s.cfg.Phases {
+			dur += ph.Duration.Seconds()
+			weighted += ph.RatePerSec * ph.Duration.Seconds()
+		}
+		if dur > 0 {
+			rep.OfferedRPS = weighted / dur // profile-mean offered load
+		}
+	}
+	if s.slo != nil {
+		rep.SLOStatus = s.slo.Status()
+		rep.SLOAlerts = s.slo.Timeline()
 	}
 	if s.cfg.Deadline > 0 {
 		rep.DeadlineMs = float64(s.cfg.Deadline) / float64(time.Millisecond)

@@ -1,12 +1,18 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
+
+// replicaTIDBase offsets replica span tracks away from trainer ranks and
+// the hedge flow track in a merged Chrome trace.
+const replicaTIDBase = 2000
 
 // batch is one formed tensor batch travelling from the batcher to a replica.
 type batch struct {
@@ -239,6 +245,7 @@ func (p *pool) die(r int, inflight *batch) {
 	p.pending -= len(backlog) // re-enqueue below re-counts them
 	toMove := append([]*batch{inflight}, backlog...)
 	var orphaned []*request
+	requeued := 0
 	for _, b := range toMove {
 		if p.nLive == 0 {
 			orphaned = append(orphaned, b.reqs...)
@@ -246,10 +253,14 @@ func (p *pool) die(r int, inflight *batch) {
 		}
 		p.enqueueLocked(b)
 		p.requeued++
+		requeued++
 	}
 	if p.s.obs.Enabled() {
 		p.s.obs.Count("serve.replica_killed", 1)
+		p.s.obs.Count("serve.requeued", int64(requeued))
 		p.s.obs.SetGauge("serve.live_replicas", float64(p.nLive))
+		p.s.obs.RecordFlight("replica_killed", obs.Ctx{},
+			fmt.Sprintf("replica=%d requeued=%d live=%d", r, requeued, p.nLive))
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
@@ -281,11 +292,20 @@ func (p *pool) execute(r int, b *batch) {
 	if len(alive) == 0 {
 		return
 	}
+	// One exec span per batch on the replica's own track (tid 2000+r keeps
+	// the single-goroutine-per-tid discipline: replica r is one goroutine).
+	// The first request's trace id links the span to a concrete trace.
+	sp := p.s.obs.Span(replicaTIDBase+r, "serve.exec")
+	sp.SetArg("batch", len(alive))
+	if alive[0].trace.Valid() {
+		sp.SetArg("trace", alive[0].trace.String())
+	}
 	in := tensor.New(len(alive), p.s.cfg.InDim)
 	for i, req := range alive {
 		copy(in.Row(i).Data, req.x)
 	}
 	out := p.nets[r].Forward(in, false)
+	sp.End()
 	for i, req := range alive {
 		row := append([]float64(nil), out.Row(i).Data...)
 		p.s.complete(req, row, len(alive))

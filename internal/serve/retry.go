@@ -21,6 +21,7 @@ package serve
 // deterministic.
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -120,12 +121,19 @@ func retryable(err error) bool { return err == ErrOverloaded }
 // final Result: the first success, or the last error once attempts or budget
 // run out.
 func (rt *Retrier) Do(x []float64, deadline time.Time) Result {
+	// One trace for the whole retry chain: every attempt submits with the
+	// same context, so exemplars and flight events from a third attempt
+	// still point at the logical request, not just the final submit.
+	c := rt.s.obs.NewTrace()
 	var res Result
 	for attempt := 0; ; attempt++ {
 		rt.mu.Lock()
 		rt.att++
 		rt.mu.Unlock()
-		res = <-rt.s.Submit(x, deadline)
+		if attempt > 0 {
+			rt.s.obs.RecordFlight("retry", c, fmt.Sprintf("attempt=%d", attempt+1))
+		}
+		res = <-rt.s.SubmitCtx(x, deadline, c)
 		if res.Err == nil {
 			rt.mu.Lock()
 			rt.tokens += rt.pol.BudgetRatio

@@ -158,13 +158,21 @@ type request struct {
 	arrived  time.Time
 	done     chan Result
 
+	// trace is the request's trace context, minted at admission (or carried
+	// in from the caller via SubmitCtx so retry attempts share one trace).
+	// It rides the request through the batcher, replica, and hedge copies,
+	// ending up as the exemplar on the latency-histogram bucket it lands in.
+	trace obs.Ctx
+
 	// Hedged execution can put the same request in two batches on two
 	// replicas. settled arbitrates: the first fail/complete wins the CAS and
 	// answers the caller; the loser is dropped (and counted). settledCh is
 	// non-nil only when a hedge watcher is armed — settling closes it so the
-	// watcher can stand down without a timer tick.
+	// watcher can stand down without a timer tick. hedged marks that a
+	// duplicate was actually launched (the flow-event stitch point).
 	settled   atomic.Bool
 	settledCh chan struct{}
+	hedged    atomic.Bool
 }
 
 func (r *request) expired(now time.Time) bool {
@@ -264,6 +272,21 @@ func New(net *nn.Net, cfg Config) (*Server, error) {
 		obs:   cfg.Obs,
 		in:    make(chan *request, cfg.QueueCap),
 	}
+	// Pre-register every counter the pipeline can touch so a metrics dump
+	// (OpenMetrics, SLO rules bound to counters) sees explicit zeros instead
+	// of absent series on paths that never fired this run.
+	if s.obs.Enabled() {
+		for _, name := range []string{
+			"serve.submitted", "serve.completed", "serve.shed",
+			"serve.deadline_missed", "serve.batches", "serve.steals",
+			"serve.requeued", "serve.replica_killed", "serve.hedged",
+			"serve.hedge_cancelled", "serve.hedge_wasted",
+			"serve.replica_ejected", "serve.replica_readmitted",
+		} {
+			s.obs.Count(name, 0)
+		}
+		s.obs.Flight.TriggerOn("replica_killed", "replica_ejected")
+	}
 	s.pool = newPool(s, net)
 	s.batcherWG.Add(1)
 	go func() {
@@ -277,7 +300,14 @@ func New(net *nn.Net, cfg Config) (*Server, error) {
 // (capacity 1) delivers the Result; a full admission queue delivers
 // ErrOverloaded immediately.
 func (s *Server) Submit(x []float64, deadline time.Time) <-chan Result {
-	req := s.newRequest(x, deadline)
+	return s.SubmitCtx(x, deadline, obs.Ctx{})
+}
+
+// SubmitCtx is Submit with a caller-provided trace context: a Retrier
+// passes the same context on every attempt so the whole retry chain shares
+// one trace id. The zero Ctx mints a fresh trace at admission.
+func (s *Server) SubmitCtx(x []float64, deadline time.Time, c obs.Ctx) <-chan Result {
+	req := s.newRequest(x, deadline, c)
 	done := req.done
 	if len(x) != s.cfg.InDim {
 		done <- Result{Err: ErrBadInput}
@@ -293,12 +323,14 @@ func (s *Server) Submit(x []float64, deadline time.Time) <-chan Result {
 	case s.in <- req:
 		s.mu.RUnlock()
 		s.nSubmitted.Add(1)
+		s.obs.Count("serve.submitted", 1)
 		s.armHedge(req)
 		s.observeQueueDepth()
 	default:
 		s.mu.RUnlock()
 		s.nShed.Add(1)
 		s.obs.Count("serve.shed", 1)
+		s.obs.RecordFlight("shed", req.trace, "admission queue full")
 		done <- Result{Err: ErrOverloaded}
 	}
 	return done
@@ -318,7 +350,7 @@ func (s *Server) InferDeadline(x []float64, deadline time.Time) Result {
 }
 
 func (s *Server) submitBlocking(x []float64, deadline time.Time) <-chan Result {
-	req := s.newRequest(x, deadline)
+	req := s.newRequest(x, deadline, obs.Ctx{})
 	done := req.done
 	if len(x) != s.cfg.InDim {
 		done <- Result{Err: ErrBadInput}
@@ -333,15 +365,21 @@ func (s *Server) submitBlocking(x []float64, deadline time.Time) <-chan Result {
 	s.in <- req // blocks under load: admission backpressure
 	s.mu.RUnlock()
 	s.nSubmitted.Add(1)
+	s.obs.Count("serve.submitted", 1)
 	s.armHedge(req)
 	s.observeQueueDepth()
 	return done
 }
 
 // newRequest builds one request; when hedging is enabled it carries a
-// settledCh so the hedge watcher can be cancelled by the first answer.
-func (s *Server) newRequest(x []float64, deadline time.Time) *request {
-	req := &request{x: x, deadline: deadline, arrived: s.clock.Now(), done: make(chan Result, 1)}
+// settledCh so the hedge watcher can be cancelled by the first answer. An
+// invalid (zero) trace context mints a fresh trace.
+func (s *Server) newRequest(x []float64, deadline time.Time, c obs.Ctx) *request {
+	if !c.Valid() {
+		c = s.obs.NewTrace()
+	}
+	req := &request{x: x, deadline: deadline, arrived: s.clock.Now(),
+		done: make(chan Result, 1), trace: c}
 	if s.cfg.Hedge.enabled() {
 		req.settledCh = make(chan struct{})
 	}
@@ -403,6 +441,7 @@ func (s *Server) fail(req *request, err error) {
 	if err == ErrDeadline {
 		s.nExpired.Add(1)
 		s.obs.Count("serve.deadline_missed", 1)
+		s.obs.RecordFlight("deadline_missed", req.trace, "")
 	}
 	req.done <- Result{Err: err}
 }
@@ -419,7 +458,14 @@ func (s *Server) complete(req *request, y []float64, batchSize int) {
 	lat := s.clock.Now().Sub(req.arrived)
 	s.nCompleted.Add(1)
 	if s.obs.Enabled() {
+		s.obs.Count("serve.completed", 1)
 		s.obs.Observe("serve.latency", lat)
+		s.obs.ObserveLatencyTrace("serve.latency.hist", lat, req.trace)
+		if req.hedged.Load() {
+			// Terminate the flow arrow the hedge watcher started: the
+			// winning copy's completion is the stitch point.
+			s.obs.FlowEnd(req.trace.Trace, hedgeTID, "hedge")
+		}
 	}
 	req.done <- Result{Y: y, BatchSize: batchSize, Latency: lat}
 }

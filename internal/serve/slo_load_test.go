@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// phasedSLOConfig is a short spike profile over a 2-replica pool (capacity
+// 4000 rps): calm, a 2.5x-capacity spike, calm again.
+func phasedSLOConfig(seed uint64) LoadConfig {
+	return LoadConfig{
+		Phases: []LoadPhase{
+			{Duration: 2 * time.Second, RatePerSec: 1000},
+			{Duration: time.Second, RatePerSec: 10000},
+			{Duration: 2 * time.Second, RatePerSec: 1000},
+		},
+		Replicas:  2,
+		MaxBatch:  8,
+		MaxLinger: 2 * time.Millisecond,
+		QueueCap:  64,
+		Seed:      seed,
+		SLO: []obs.Objective{
+			{Name: "availability", Target: 0.999},
+			{Name: "latency_p99", Target: 0.99, Latency: 0.025},
+		},
+		SLORules: obs.ScaledBurnRules(2 * time.Second),
+	}
+}
+
+// TestLoadPhasedProfileDeterministic pins the phased generator: identical
+// seeds give identical reports (including the alert timeline), different
+// seeds differ, and the request count comes from the profile.
+func TestLoadPhasedProfileDeterministic(t *testing.T) {
+	a, err := RunLoad(phasedSLOConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoad(phasedSLOConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed gave different reports:\n%+v\n%+v", a, b)
+	}
+	c, err := RunLoad(phasedSLOConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Requests == c.Requests && reflect.DeepEqual(a.SLOAlerts, c.SLOAlerts) {
+		t.Error("different seeds gave an identical run")
+	}
+	if a.Phases != 3 {
+		t.Errorf("phases = %d, want 3", a.Phases)
+	}
+	// 2s*1000 + 1s*10000 + 2s*1000 = 14000 expected arrivals.
+	if a.Requests < 10000 || a.Requests > 18000 {
+		t.Errorf("profile issued %d requests, want ~14000", a.Requests)
+	}
+	if a.OfferedRPS != 14000.0/5 {
+		t.Errorf("offered rps = %g, want profile mean 2800", a.OfferedRPS)
+	}
+}
+
+// TestLoadSLOAlertsFireAndResolve checks the spike fires burn-rate alerts
+// and calm traffic resolves them, all on virtual time.
+func TestLoadSLOAlertsFireAndResolve(t *testing.T) {
+	rep, err := RunLoad(phasedSLOConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SLOStatus) != 2 {
+		t.Fatalf("slo status = %+v", rep.SLOStatus)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("spike at 2.5x capacity shed nothing; profile broken")
+	}
+	var fires, resolves int
+	for _, ev := range rep.SLOAlerts {
+		switch ev.State {
+		case "fire":
+			fires++
+			if ev.T < 2 || ev.T > 3.5 {
+				t.Errorf("alert fired at t=%gs, outside the spike window", ev.T)
+			}
+		case "resolve":
+			resolves++
+		}
+	}
+	if fires == 0 {
+		t.Error("spike fired no alerts")
+	}
+	if resolves != fires {
+		t.Errorf("fires=%d resolves=%d; every alert must resolve after the spike", fires, resolves)
+	}
+}
+
+// TestLoadObsMirrors checks the simulator mirrors its accounting into an
+// attached obs session: counters match the report and the latency histogram
+// carries per-arrival trace exemplars.
+func TestLoadObsMirrors(t *testing.T) {
+	sess := obs.NewSession()
+	cfg := phasedSLOConfig(3)
+	cfg.Obs = sess
+	rep, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sess.Registry
+	if got := reg.Counter("serve.completed").Value(); got != int64(rep.Completed) {
+		t.Errorf("serve.completed = %d, report says %d", got, rep.Completed)
+	}
+	if got := reg.Counter("serve.shed").Value(); got != int64(rep.Shed) {
+		t.Errorf("serve.shed = %d, report says %d", got, rep.Shed)
+	}
+	if got := reg.Counter("serve.submitted").Value(); got != int64(rep.Requests-rep.Shed) {
+		t.Errorf("serve.submitted = %d, want admitted %d", got, rep.Requests-rep.Shed)
+	}
+	h := reg.Histogram("serve.latency.hist", obs.DefLatencyBuckets)
+	if got := h.Count(); got != uint64(rep.Completed) {
+		t.Errorf("histogram count = %d, report says %d", got, rep.Completed)
+	}
+	var exemplars int
+	for _, b := range reg.Snapshot().Hists[0].Buckets {
+		if b.Exemplar != nil {
+			exemplars++
+			if b.Exemplar.Trace == 0 || b.Exemplar.Trace > uint64(rep.Requests) {
+				t.Errorf("exemplar trace %d outside arrival-id range [1,%d]",
+					b.Exemplar.Trace, rep.Requests)
+			}
+		}
+	}
+	if exemplars == 0 {
+		t.Error("no trace exemplars recorded")
+	}
+	// Shed requests land in the flight recorder with their trace ids.
+	var sheds int
+	for _, ev := range sess.Flight.Events() {
+		if ev.Kind == "shed" && ev.Trace != 0 {
+			sheds++
+		}
+	}
+	if sheds == 0 {
+		t.Error("no shed events in the flight recorder")
+	}
+}

@@ -15,8 +15,11 @@ GO="${GO:-go}"
 # layers are where an uncovered branch is a resilience hole (an untested
 # retransmit or ejection path only fires during an incident); the parallel
 # trainer and the compression codecs carry the bucketed-overlap equivalence
-# guarantees, where an uncovered branch is a silent-divergence hole.
+# guarantees, where an uncovered branch is a silent-divergence hole; the obs
+# layer is the instrument everything else is read through — an uncovered
+# branch there is a blind spot that silently corrupts every dashboard.
 declare -A FLOOR=(
+  [repro/internal/obs]=70
   [repro/internal/serve]=70
   [repro/internal/tensor]=70
   [repro/internal/nn]=70
