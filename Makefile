@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test chaos fuzz cover bench-overhead bench-obs bench-checkpoint bench bench-serve bench-resil bench-comm clean
+.PHONY: check vet build test chaos fuzz cover bench-overhead bench-obs bench-checkpoint bench bench-serve bench-resil bench-comm bench-kernels clean
 
 check: vet build test chaos cover bench-overhead
 
@@ -41,14 +41,18 @@ bench-resil:
 	$(GO) run ./cmd/candleserve -resil -json BENCH_resil.json
 
 # Fuzz the blocked tensor kernels against the naive references in
-# internal/tensor/ref_test.go. Short budgets per target: the seed corpus
-# already pins the block boundaries, so CI just buys a little exploration.
+# internal/tensor/ref_test.go, and the float32 backend registry against the
+# flat float32 reference (every registered backend per input). Short budgets
+# per target: the seed corpus already pins the block/panel boundaries, so CI
+# just buys a little exploration.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzMatMul$$' -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz '^FuzzMatMulTransA$$' -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz '^FuzzMatMulTransB$$' -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz '^FuzzConv$$' -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run '^$$' -fuzz '^FuzzMatMulF32$$' -fuzztime $(FUZZTIME) ./internal/tensor
+	$(GO) test -run '^$$' -fuzz '^FuzzConvF32$$' -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz '^FuzzCommFrame$$' -fuzztime $(FUZZTIME) ./internal/comm
 	$(GO) test -run '^$$' -fuzz '^FuzzCompressRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lowp
 
@@ -89,6 +93,14 @@ bench-comm:
 # fails if the committed copy drifts.
 bench-serve:
 	$(GO) run ./cmd/candleserve -bench -json BENCH_serve.json
+
+# Regenerate the committed float32 kernel-engine profile
+# (BENCH_kernels.json): GFLOP/s per registered backend and the ComputeF32
+# training uplift, measured on this host. Wall-clock numbers, so the
+# artifact test asserts the committed headline invariants (packed f32 >= 2x
+# f64 blocked at 512³, train speedup > 1) and schema currency, not bytes.
+bench-kernels:
+	$(GO) run ./cmd/candlebench -kernels BENCH_kernels.json
 
 # Regenerate every experiment table + micro-benchmarks.
 bench:

@@ -46,6 +46,7 @@ func BenchmarkE11Serving(b *testing.B)    { benchExperiment(b, "E11") }
 func BenchmarkE12Resilience(b *testing.B) { benchExperiment(b, "E12") }
 func BenchmarkE13Comm(b *testing.B)       { benchExperiment(b, "E13") }
 func BenchmarkE14SLO(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkE15Kernels(b *testing.B)    { benchExperiment(b, "E15") }
 
 // benchAblation regenerates one design-choice ablation table per iteration.
 func benchAblation(b *testing.B, id string) {

@@ -66,6 +66,22 @@ type Tensor = tensor.Tensor
 // NewTensor allocates a zero tensor with the given shape.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 
+// F32 is a dense row-major float32 array, the storage type of the kernel
+// backends (see internal/tensor's README for the registry and the
+// precision contract).
+type F32 = tensor.F32
+
+// NewF32 allocates a zero float32 tensor with the given shape.
+func NewF32(shape ...int) *F32 { return tensor.NewF32(shape...) }
+
+// Float32 kernel backend registry: backends are selected by name and pinned
+// process-wide; KernelBackends lists what is registered ("naive", "blocked",
+// "packed").
+var (
+	KernelBackends   = tensor.BackendNames
+	SetKernelBackend = tensor.SetBackend
+)
+
 // Net is an ordered layer stack trained end to end.
 type Net = nn.Net
 

@@ -79,14 +79,14 @@ func TestPublicMachineAndStorage(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(candle.Experiments()) != 14 {
+	if len(candle.Experiments()) != 15 {
 		t.Fatal("experiment suite incomplete")
 	}
 	if candle.ExperimentByID("E1") == nil {
 		t.Fatal("E1 missing")
 	}
-	if candle.ExperimentByID("E14") == nil {
-		t.Fatal("E14 missing")
+	if candle.ExperimentByID("E15") == nil {
+		t.Fatal("E15 missing")
 	}
 }
 

@@ -1,10 +1,11 @@
-// Command candlebench runs the paper-reproduction experiment suite (E1-E14)
+// Command candlebench runs the paper-reproduction experiment suite (E1-E15)
 // and prints one result table per experiment.
 //
 // Usage:
 //
 //	candlebench [-quick] [-seed N] [-only E3,E8] [-csv dir] [-json dir]
 //	            [-metrics m.jsonl] [-trace t.json] [-comm BENCH_comm.json]
+//	            [-kernels BENCH_kernels.json]
 //
 // Each experiment reproduces one architectural claim of Stevens' HPDC 2017
 // keynote; DESIGN.md maps claims to experiments and EXPERIMENTS.md records
@@ -39,6 +40,7 @@ func main() {
 	omOut := flag.String("metrics-out", "", "write suite counters/gauges/histograms in OpenMetrics (Prometheus) text format to this file")
 	traceOut := flag.String("trace", "", "write a chrome://tracing span trace (JSON) to this file")
 	commOut := flag.String("comm", "", "write the deterministic gradient-communication profile (BENCH_comm.json) to this file and exit")
+	kernelsOut := flag.String("kernels", "", "measure the float32 kernel-engine profile (BENCH_kernels.json) on this host, write it to this file, and exit")
 	flag.Parse()
 
 	if *commOut != "" {
@@ -46,6 +48,15 @@ func main() {
 		// same bytes, so the artifact can be byte-compared in tests.
 		writeTo(*commOut, experiments.CommBench().WriteJSON)
 		fmt.Printf("comm profile: %s\n", *commOut)
+		return
+	}
+	if *kernelsOut != "" {
+		// Wall-clock measurement: the artifact test asserts the committed
+		// headline invariants rather than byte-comparing a regeneration.
+		rep := experiments.KernelsBench(*quick)
+		writeTo(*kernelsOut, rep.WriteJSON)
+		fmt.Printf("kernels profile: %s (packed f32 %.2fx f64 blocked at %d³, train x%.2f)\n",
+			*kernelsOut, rep.PackedVsF64, rep.HeadlineSize, rep.TrainSpeedupF32)
 		return
 	}
 

@@ -7,6 +7,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 // buildCandlebench compiles the command once into a temp dir.
@@ -124,5 +126,59 @@ func TestCommittedCommArtifactIsCurrent(t *testing.T) {
 	}
 	if !bytes.Equal(committed, got) {
 		t.Fatal("BENCH_comm.json is stale: regenerate with `make bench-comm`")
+	}
+}
+
+// TestCommittedKernelsArtifactIsCurrent checks BENCH_kernels.json two ways.
+// The numbers are wall-clock measurements, so unlike BENCH_comm.json the file
+// cannot be byte-compared against a fresh run; instead (1) decoding it into
+// the current KernelsReport and re-encoding must reproduce it byte-for-byte,
+// which pins the committed file to the current schema and field order, and
+// (2) the committed numbers must still carry the headline claims: every
+// registered backend measured at the headline size, packed-f32 at least 2x
+// the f64 blocked GEMM at 512³, and a real training uplift from ComputeF32.
+func TestCommittedKernelsArtifactIsCurrent(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "BENCH_kernels.json"))
+	if err != nil {
+		t.Skipf("no committed BENCH_kernels.json: %v", err)
+	}
+	var rep experiments.KernelsReport
+	if err := json.Unmarshal(committed, &rep); err != nil {
+		t.Fatalf("kernels JSON does not parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, buf.Bytes()) {
+		t.Fatal("BENCH_kernels.json does not match the current schema: regenerate with `make bench-kernels`")
+	}
+
+	if rep.HeadlineSize != 512 {
+		t.Fatalf("headline size %d, want the 512³ acceptance shape", rep.HeadlineSize)
+	}
+	want := map[string]bool{"naive": false, "blocked": false, "packed": false}
+	for _, r := range rep.Gemm {
+		if r.GFLOPs <= 0 {
+			t.Fatalf("non-positive GFLOP/s row: %+v", r)
+		}
+		if _, ok := want[r.Backend]; ok && r.Size == rep.HeadlineSize {
+			want[r.Backend] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("backend %s not measured at the headline size", name)
+		}
+	}
+	if rep.PackedVsF64 < 2 {
+		t.Fatalf("packed f32 only %.2fx the f64 blocked GEMM at %d³; the engine's 2x claim is gone",
+			rep.PackedVsF64, rep.HeadlineSize)
+	}
+	if rep.TrainSpeedupF32 <= 1 {
+		t.Fatalf("ComputeF32 training speedup %.2fx not above 1", rep.TrainSpeedupF32)
+	}
+	if len(rep.Train) != 2 || rep.Train[0].Mode != "f64" || rep.Train[1].Mode != "f32-compute" {
+		t.Fatalf("train rows %+v missing the f64/f32-compute pair", rep.Train)
 	}
 }

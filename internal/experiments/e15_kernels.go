@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// E15 measures the float32 kernel engine against the float64 baseline on
+// this host: GFLOP/s for every registered GEMM backend across square sizes
+// and worker counts, plus end-to-end training throughput with the mixed-
+// precision compute path (f32 kernels, f64 master weights) switched on.
+//
+// Unlike E13's machine-model profile, every number here is a wall-clock
+// measurement, so BENCH_kernels.json cannot be byte-compared against a
+// regeneration. Instead the committed artifact carries its headline shape —
+// packed-f32 at least 2x the f64 blocked GEMM at 512³, training faster with
+// ComputeF32 — and cmd/candlebench's artifact test re-asserts those
+// invariants (and schema currency via remarshal) on the committed numbers.
+
+// KernelsGemmRow is one measured GEMM configuration. Backend "f64-blocked"
+// is the float64 baseline; the rest are registered float32 backends.
+type KernelsGemmRow struct {
+	Backend string  `json:"backend"`
+	Size    int     `json:"size"` // square M = N = K
+	Procs   int     `json:"procs"`
+	GFLOPs  float64 `json:"gflops"`
+}
+
+// KernelsTrainRow is one measured training configuration: the same MLP and
+// data, with and without the float32 compute path.
+type KernelsTrainRow struct {
+	Mode        string  `json:"mode"` // "f64" or "f32-compute"
+	StepsPerSec float64 `json:"steps_per_sec"`
+	Speedup     float64 `json:"speedup_vs_f64"`
+}
+
+// KernelsReport is the committed BENCH_kernels.json document.
+type KernelsReport struct {
+	GoMaxProcs int              `json:"gomaxprocs"`
+	Backends   []string         `json:"backends"`
+	Gemm       []KernelsGemmRow `json:"gemm"`
+	// Headline comparison at the largest measured square size, one worker.
+	HeadlineSize    int               `json:"headline_size"`
+	F64BlockedGF    float64           `json:"f64_blocked_gflops"`
+	PackedF32GF     float64           `json:"packed_f32_gflops"`
+	PackedVsF64     float64           `json:"packed_vs_f64"`
+	Train           []KernelsTrainRow `json:"train"`
+	TrainSpeedupF32 float64           `json:"train_speedup_f32"`
+}
+
+// WriteJSON writes the report as indented JSON (stable field order).
+func (r *KernelsReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// kernelsSizes returns the square GEMM sizes to sweep. The full sweep ends
+// at 512 — the headline shape the acceptance claim names; quick stays small
+// enough for `go test -bench` regeneration.
+func kernelsSizes(quick bool) []int {
+	if quick {
+		return []int{48, 96}
+	}
+	return []int{128, 256, 512}
+}
+
+// kernelsProcs returns the worker counts to sweep: serial always, plus the
+// host's full parallelism when it has more than one core.
+func kernelsProcs() []int {
+	procs := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		procs = append(procs, p)
+	}
+	return procs
+}
+
+// measureGFLOPs times fn (which performs flops floating-point operations per
+// call) with best-of-trials adaptive repetition and returns GFLOP/s. The
+// best trial, not the mean, is the right estimator on a shared host: noise
+// only ever makes a trial slower.
+func measureGFLOPs(fn func(), flops float64, budget time.Duration) float64 {
+	fn() // warm caches, pools, and the scheduler
+	start := time.Now()
+	fn()
+	once := time.Since(start)
+	reps := 1
+	if once > 0 {
+		if r := int(budget / once); r > 1 {
+			reps = r
+		}
+	}
+	best := once
+	for trial := 0; trial < 3; trial++ {
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			fn()
+		}
+		if d := time.Since(start) / time.Duration(reps); d < best {
+			best = d
+		}
+	}
+	return flops / best.Seconds() / 1e9
+}
+
+// kernelsTrainNet builds the throughput-benchmark MLP and batch: wide enough
+// that the Dense GEMMs dominate the step, so the kernel swap is visible
+// end-to-end and not buried under framework overhead.
+func kernelsTrainNet(quick bool, seed uint64) (*nn.Net, *tensor.Tensor, *tensor.Tensor) {
+	r := rng.New(seed).Split("e15-train")
+	in, batch := 256, 64
+	hidden := []int{512, 512}
+	if quick {
+		in, batch, hidden = 128, 32, []int{256}
+	}
+	net := nn.MLP(in, hidden, 8, nn.ReLU, r.Split("w"))
+	x := tensor.New(batch, in)
+	x.FillRandNorm(r.Split("x"), 1)
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = i % 8
+	}
+	return net, x, nn.OneHot(labels, 8)
+}
+
+// kernelsTrainRate measures optimizer steps per second for one compute mode.
+func kernelsTrainRate(quick bool, seed uint64, f32 bool) float64 {
+	net, x, y := kernelsTrainNet(quick, seed)
+	cfg := nn.TrainConfig{Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdam(0.001),
+		ComputeF32: f32}
+	if f32 {
+		net.SetComputeF32(true)
+	}
+	steps := 12
+	if quick {
+		steps = 4
+	}
+	nn.TrainStep(net, x, y, cfg, nil, nil) // warm: buffer allocation, im2col caches
+	best := 0.0
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			nn.TrainStep(net, x, y, cfg, nil, nil)
+		}
+		if rate := float64(steps) / time.Since(start).Seconds(); rate > best {
+			best = rate
+		}
+	}
+	return best
+}
+
+// KernelsBench measures the kernel-engine profile this host produces. In the
+// full (non-quick) configuration it panics if the committed headline shape
+// is lost outright — packed-f32 no faster than the f64 baseline, or training
+// slower with the fast path — so a kernel regression cannot silently
+// regenerate an artifact that contradicts the engine's reason to exist. The
+// ≥2x margin itself is asserted on the committed numbers by the artifact
+// test, not here, so one noisy generation run cannot fail tier-1.
+func KernelsBench(quick bool) *KernelsReport {
+	budget := 120 * time.Millisecond
+	if quick {
+		budget = 15 * time.Millisecond
+	}
+	rep := &KernelsReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Backends:   tensor.BackendNames(),
+	}
+	sizes := kernelsSizes(quick)
+	rep.HeadlineSize = sizes[len(sizes)-1]
+
+	savedProcs := tensor.MaxProcs
+	defer func() { tensor.MaxProcs = savedProcs }()
+	root := rng.New(7).Split("e15-gemm")
+
+	for _, size := range sizes {
+		flops := 2 * float64(size) * float64(size) * float64(size)
+		a64 := tensor.New(size, size)
+		b64 := tensor.New(size, size)
+		c64 := tensor.New(size, size)
+		a64.FillRandNorm(root.Split("a"), 1)
+		b64.FillRandNorm(root.Split("b"), 1)
+		a32 := tensor.NewF32(size, size)
+		b32 := tensor.NewF32(size, size)
+		c32 := tensor.NewF32(size, size)
+		a32.FillRandNorm(root.Split("a32"), 1)
+		b32.FillRandNorm(root.Split("b32"), 1)
+
+		for _, procs := range kernelsProcs() {
+			tensor.MaxProcs = procs
+			gf := measureGFLOPs(func() { tensor.MatMul(c64, a64, b64) }, flops, budget)
+			rep.Gemm = append(rep.Gemm, KernelsGemmRow{
+				Backend: "f64-blocked", Size: size, Procs: procs, GFLOPs: gf})
+			if size == rep.HeadlineSize && procs == 1 {
+				rep.F64BlockedGF = gf
+			}
+			for _, name := range rep.Backends {
+				bk, err := tensor.BackendByName(name)
+				if err != nil {
+					panic(err)
+				}
+				gf := measureGFLOPs(func() { bk.MatMulF32(c32, a32, b32) }, flops, budget)
+				rep.Gemm = append(rep.Gemm, KernelsGemmRow{
+					Backend: name, Size: size, Procs: procs, GFLOPs: gf})
+				if name == "packed" && size == rep.HeadlineSize && procs == 1 {
+					rep.PackedF32GF = gf
+				}
+			}
+		}
+	}
+	if rep.F64BlockedGF > 0 {
+		rep.PackedVsF64 = rep.PackedF32GF / rep.F64BlockedGF
+	}
+
+	// Training throughput, serial kernels: the single-core uplift is the
+	// honest per-core number and the one the headline GEMM ratio predicts.
+	tensor.MaxProcs = 1
+	f64Rate := kernelsTrainRate(quick, 7, false)
+	f32Rate := kernelsTrainRate(quick, 7, true)
+	rep.Train = []KernelsTrainRow{
+		{Mode: "f64", StepsPerSec: f64Rate, Speedup: 1},
+		{Mode: "f32-compute", StepsPerSec: f32Rate, Speedup: f32Rate / f64Rate},
+	}
+	rep.TrainSpeedupF32 = f32Rate / f64Rate
+
+	if !quick {
+		if rep.PackedF32GF <= rep.F64BlockedGF {
+			panic("experiments: KernelsBench lost its shape: packed f32 GEMM no faster than f64 blocked")
+		}
+		if rep.TrainSpeedupF32 <= 1 {
+			panic("experiments: KernelsBench lost its shape: ComputeF32 training no faster than f64")
+		}
+	}
+	return rep
+}
+
+// E15Kernels renders the kernel-engine profile as an experiment table: one
+// row per measured GEMM configuration and one per training mode.
+func E15Kernels(cfg Config) *trace.Table {
+	t := trace.NewTable("E15 float32 kernel engine vs float64 baseline",
+		"kind", "backend/mode", "size", "procs", "gflops", "steps/s", "speedup")
+	rep := KernelsBench(cfg.Quick)
+	for _, r := range rep.Gemm {
+		t.AddRow("gemm", r.Backend, r.Size, r.Procs, r.GFLOPs, 0.0, 0.0)
+	}
+	for _, r := range rep.Train {
+		t.AddRow("train", r.Mode, 0, 1, 0.0, r.StepsPerSec, r.Speedup)
+	}
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Emit("e15.packed_vs_f64", rep.PackedVsF64, nil)
+		cfg.Obs.Emit("e15.train_speedup_f32", rep.TrainSpeedupF32, nil)
+	}
+	return t
+}

@@ -1,4 +1,4 @@
-// Package experiments implements the paper's reproduction suite E1-E11.
+// Package experiments implements the paper's reproduction suite E1-E15.
 //
 // The paper (an HPDC'17 keynote abstract) contains no numbered tables or
 // figures; DESIGN.md maps each of its falsifiable architectural claims to
@@ -50,6 +50,7 @@ func All() []Experiment {
 		{"E12", "at the paper's scale something is always slow without being dead: a single gray straggler poisons the serving tail, and hedged execution buys the p99 back for a few percent of duplicated work", E12Resilience},
 		{"E13", "data-parallel gradient exchange need not sit on the critical path: bucketing the allreduce behind backward hides most of it, and error-feedback compression shrinks what is left", E13Comm},
 		{"E14", "a production inference service needs declarative SLOs: multi-window burn-rate monitors catch a flash crowd burning the error budget within seconds of onset and resolve once it passes — deterministically on the simulator's virtual clock", E14SLO},
+		{"E15", "they rarely require 64bit or even 32bits of precision — and the win is real on commodity cores, not just accelerators: a packed float32 GEMM doubles per-core throughput over the float64 baseline and carries through to end-to-end training with float64 master weights", E15Kernels},
 	}
 }
 

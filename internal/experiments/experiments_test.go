@@ -5,6 +5,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/tensor"
 )
 
 // runQuick executes an experiment in quick mode and returns its table text.
@@ -23,8 +25,8 @@ func runQuick(t *testing.T, id string) (*Experiment, string) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(all))
+	if len(all) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -471,5 +473,48 @@ func TestE11Shape(t *testing.T) {
 	// pins near rate*linger instead of tracking MaxBatch.
 	if mb := f(t, last[6]); mb > 8 {
 		t.Fatalf("mean batch %v kept tracking MaxBatch past the linger bound:\n%s", mb, out)
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	_, out := runQuick(t, "E15")
+	rows := tableRows(out)
+	// Columns: kind backend/mode size procs gflops steps/s speedup.
+	gemmBackends := map[string]bool{}
+	var trainF64, trainF32 []string
+	for _, r := range rows {
+		switch r[0] {
+		case "gemm":
+			gemmBackends[r[1]] = true
+			if gf := f(t, r[4]); gf <= 0 {
+				t.Fatalf("gemm row %v has non-positive GFLOP/s:\n%s", r, out)
+			}
+		case "train":
+			switch r[1] {
+			case "f64":
+				trainF64 = r
+			case "f32-compute":
+				trainF32 = r
+			}
+		}
+	}
+	// Every registered f32 backend plus the f64 baseline must be measured.
+	for _, want := range append([]string{"f64-blocked"}, tensor.BackendNames()...) {
+		if !gemmBackends[want] {
+			t.Fatalf("no gemm rows for backend %s:\n%s", want, out)
+		}
+	}
+	if trainF64 == nil || trainF32 == nil {
+		t.Fatalf("missing train rows:\n%s", out)
+	}
+	// Throughput magnitudes are hardware-dependent; assert only shapes.
+	if f(t, trainF64[5]) <= 0 || f(t, trainF32[5]) <= 0 {
+		t.Fatalf("non-positive training throughput:\n%s", out)
+	}
+	if f(t, trainF64[6]) != 1 {
+		t.Fatalf("f64 train row is not the speedup baseline:\n%s", out)
+	}
+	if f(t, trainF32[6]) <= 0 {
+		t.Fatalf("f32-compute speedup not positive:\n%s", out)
 	}
 }

@@ -1,0 +1,44 @@
+package lowp
+
+import "repro/internal/tensor"
+
+// Float32 storage conversions for the mixed-precision training path: the
+// kernel backends in internal/tensor compute in real float32 (storage AND
+// arithmetic), while the float64 Tensor remains the master-weight and
+// optimizer precision. These helpers are the only crossing points, so the
+// precision contract stays auditable: narrowing uses the same
+// round-to-nearest-even as Round(v, FP32), and widening is exact.
+
+// F32FromTensor rounds src (float64) into dst (float32) element by element.
+// Element counts must match; shapes are the caller's contract.
+func F32FromTensor(dst *tensor.F32, src *tensor.Tensor) {
+	if len(dst.Data) != len(src.Data) {
+		panic("lowp: F32FromTensor size mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = float32(v)
+	}
+}
+
+// TensorFromF32 widens src (float32) into dst (float64) exactly — every
+// float32 is representable as a float64, so this direction loses nothing.
+func TensorFromF32(dst *tensor.Tensor, src *tensor.F32) {
+	if len(dst.Data) != len(src.Data) {
+		panic("lowp: TensorFromF32 size mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = float64(v)
+	}
+}
+
+// AddTensorFromF32 accumulates src (float32, widened exactly) into dst
+// (float64). Gradient buffers accumulate across micro-batches in float64
+// even when the producing GEMM ran in float32; this is that crossing.
+func AddTensorFromF32(dst *tensor.Tensor, src *tensor.F32) {
+	if len(dst.Data) != len(src.Data) {
+		panic("lowp: AddTensorFromF32 size mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += float64(v)
+	}
+}

@@ -19,6 +19,7 @@ type Conv2D struct {
 	dW, dB          *tensor.Tensor
 	oh, ow          int
 	cols            []*tensor.Tensor
+	f32             *conv2DF32 // non-nil when the float32 compute path is on
 }
 
 // NewConv2D creates a 2-D convolution layer with He initialisation.
@@ -57,6 +58,9 @@ func (c *Conv2D) OutDim(inDim int) int {
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
+	if c.f32 != nil {
+		return c.forwardF32(x, n)
+	}
 	y := tensor.New(n, c.Filters*c.oh*c.ow)
 	if len(c.cols) < n {
 		c.cols = make([]*tensor.Tensor, n)
@@ -87,6 +91,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n := dout.Dim(0)
+	if c.f32 != nil {
+		return c.backwardF32(dout, n)
+	}
 	dx := tensor.New(n, c.Channels*c.H*c.W)
 	kk := c.Channels * c.Kernel * c.Kernel
 	out2 := c.oh * c.ow
@@ -132,12 +139,14 @@ func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} 
 
 // Clone implements Layer.
 func (c *Conv2D) Clone() Layer {
-	return &Conv2D{Channels: c.Channels, H: c.H, W: c.W, Filters: c.Filters,
+	cl := &Conv2D{Channels: c.Channels, H: c.H, W: c.W, Filters: c.Filters,
 		Kernel: c.Kernel, Stride: c.Stride, Pad: c.Pad,
 		Wt: c.Wt.Clone(), B: c.B.Clone(),
 		dW: tensor.New(c.Filters, c.Channels*c.Kernel*c.Kernel),
 		dB: tensor.New(c.Filters),
 		oh: c.oh, ow: c.ow}
+	cl.SetComputeF32(c.f32 != nil) // same compute mode, fresh buffers
+	return cl
 }
 
 // MaxPool2D max-pools (N, C*H*W) inputs channelwise with a square window.

@@ -1,0 +1,200 @@
+package nn
+
+// Equivalence tests for the float32 compute path: with SetComputeF32(true)
+// the Dense/Conv2D outputs and gradients must track the float64 path within
+// float32 rounding of the reduction depth, master weights must stay exactly
+// float64 (the optimizer sees no narrowing), and end-to-end training must
+// still learn.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/lowp"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// close32 fails where got and want diverge beyond float32 rounding scaled by
+// the reduction depth k.
+func close32(t *testing.T, got, want *tensor.Tensor, k int, label string) {
+	t.Helper()
+	tol := 1e-5 * float64(k+1)
+	for i := range got.Data {
+		d := math.Abs(got.Data[i] - want.Data[i])
+		if math.IsNaN(got.Data[i]) || math.IsNaN(want.Data[i]) || d > tol {
+			t.Fatalf("%s: element %d got %v want %v (tol %v)", label, i, got.Data[i], want.Data[i], tol)
+		}
+	}
+}
+
+func TestDenseF32MatchesF64(t *testing.T) {
+	r := rng.New(50)
+	n, in, out := 9, 37, 21
+	d64 := NewDense(in, out, r.Split("w"))
+	d32 := d64.Clone().(*Dense)
+	d32.SetComputeF32(true)
+
+	x := tensor.New(n, in)
+	x.FillRandNorm(r, 1)
+	y64 := d64.Forward(x, true)
+	y32 := d32.Forward(x, true)
+	close32(t, y32, y64, in, "Dense forward")
+
+	dout := tensor.New(n, out)
+	dout.FillRandNorm(r, 1)
+	dx64 := d64.Backward(dout)
+	dx32 := d32.Backward(dout)
+	close32(t, dx32, dx64, out, "Dense dx")
+	close32(t, d32.dW, d64.dW, n, "Dense dW")
+	close32(t, d32.dB, d64.dB, n, "Dense dB")
+}
+
+// TestDenseF32MasterWeightsStayF64 pins the precision contract: the f32 path
+// narrows a COPY of the weights each forward; the float64 masters must be
+// bit-identical before and after, and an optimizer step on the masters must
+// be visible to the next f32 forward.
+func TestDenseF32MasterWeightsStayF64(t *testing.T) {
+	r := rng.New(51)
+	d := NewDense(8, 4, r)
+	d.SetComputeF32(true)
+	before := d.W.Clone()
+	x := tensor.New(3, 8)
+	x.FillRandNorm(r, 1)
+	d.Forward(x, true)
+	for i := range d.W.Data {
+		if d.W.Data[i] != before.Data[i] {
+			t.Fatalf("master weight %d changed: %v -> %v", i, before.Data[i], d.W.Data[i])
+		}
+	}
+	// A master update must flow into the next forward through re-narrowing.
+	d.W.Fill(0)
+	d.B.Fill(0)
+	y := d.Forward(x, true)
+	for i, v := range y.Data {
+		if v != 0 {
+			t.Fatalf("zeroed masters not picked up by f32 forward: y[%d]=%v", i, v)
+		}
+	}
+}
+
+func TestConv2DF32MatchesF64(t *testing.T) {
+	r := rng.New(52)
+	n, channels, h, w, filters, kernel := 4, 3, 10, 9, 5, 3
+	c64 := NewConv2D(channels, h, w, filters, kernel, 1, 1, r.Split("w"))
+	c32 := c64.Clone().(*Conv2D)
+	c32.SetComputeF32(true)
+
+	x := tensor.New(n, channels*h*w)
+	x.FillRandNorm(r, 1)
+	y64 := c64.Forward(x, true)
+	y32 := c32.Forward(x, true)
+	kk := channels * kernel * kernel
+	close32(t, y32, y64, kk, "Conv2D forward")
+
+	dout := tensor.New(n, y64.Dim(1))
+	dout.FillRandNorm(r, 1)
+	dx64 := c64.Backward(dout)
+	dx32 := c32.Backward(dout)
+	oh, ow := c64.OutDims()
+	close32(t, dx32, dx64, filters*kernel*kernel, "Conv2D dx")
+	close32(t, c32.dW, c64.dW, n*oh*ow, "Conv2D dW")
+	close32(t, c32.dB, c64.dB, n*oh*ow, "Conv2D dB")
+}
+
+func TestNetSetComputeF32CountsLayers(t *testing.T) {
+	r := rng.New(53)
+	net := NewNet(
+		NewConv2D(1, 8, 8, 4, 3, 1, 1, r.Split("c")),
+		NewActivation(ReLU),
+		NewFlatten(),
+		NewDense(4*8*8, 10, r.Split("d")),
+	)
+	if got := net.SetComputeF32(true); got != 2 {
+		t.Fatalf("SetComputeF32 switched %d layers, want 2 (Conv2D, Dense)", got)
+	}
+	if got := net.SetComputeF32(false); got != 2 {
+		t.Fatalf("SetComputeF32(false) switched %d layers, want 2", got)
+	}
+}
+
+// TestTrainComputeF32Learns runs the standard train smoke on the f32 compute
+// path: a small MLP on a separable problem must reduce its loss, and the
+// master weights must remain float64-precise (not representable exactly in
+// float32 after an Adam step — probabilistically certain for some weight).
+func TestTrainComputeF32Learns(t *testing.T) {
+	r := rng.New(54)
+	n, in := 64, 6
+	x := tensor.New(n, in)
+	x.FillRandNorm(r, 1)
+	y := tensor.New(n, 2)
+	for i := 0; i < n; i++ {
+		cls := 0
+		if x.At(i, 0)+x.At(i, 1) > 0 {
+			cls = 1
+		}
+		y.Set(1, i, cls)
+	}
+	net := MLP(in, []int{16}, 2, ReLU, r.Split("mlp"))
+	res, err := Train(net, x, y, TrainConfig{
+		Loss:       SoftmaxCELoss{},
+		Optimizer:  NewAdam(0.01),
+		BatchSize:  16,
+		Epochs:     20,
+		ComputeF32: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.EpochLoss[0], res.FinalLoss
+	if !(last < first*0.7) {
+		t.Fatalf("f32-compute training did not learn: first %v last %v", first, last)
+	}
+	// Master weights carry more precision than float32 storage would allow.
+	sub32 := false
+	for _, p := range net.Params() {
+		for _, v := range p.Data {
+			if v != 0 && float64(float32(v)) != v {
+				sub32 = true
+			}
+		}
+	}
+	if !sub32 {
+		t.Fatal("every master weight is exactly float32-representable; masters appear narrowed")
+	}
+}
+
+// TestLowpConvertRoundTrip pins the conversion contract: narrowing matches
+// Round(FP32) and widening is exact.
+func TestLowpConvertRoundTrip(t *testing.T) {
+	r := rng.New(55)
+	src := tensor.New(97)
+	src.FillRandNorm(r, 1)
+	f := tensor.NewF32(97)
+	lowp.F32FromTensor(f, src)
+	back := tensor.New(97)
+	lowp.TensorFromF32(back, f)
+	for i := range src.Data {
+		if back.Data[i] != float64(float32(src.Data[i])) {
+			t.Fatalf("element %d: round trip %v from %v", i, back.Data[i], src.Data[i])
+		}
+	}
+	acc := tensor.New(97)
+	acc.Fill(1)
+	lowp.AddTensorFromF32(acc, f)
+	for i := range acc.Data {
+		if acc.Data[i] != 1+float64(f.Data[i]) {
+			t.Fatalf("accumulate element %d wrong", i)
+		}
+	}
+	// Size mismatches must panic rather than truncate.
+	defer expectPanicNN(t, "F32FromTensor size mismatch")
+	lowp.F32FromTensor(tensor.NewF32(3), src)
+}
+
+func expectPanicNN(t *testing.T, label string) {
+	t.Helper()
+	if recover() == nil {
+		t.Errorf("%s: did not panic", label)
+	}
+}

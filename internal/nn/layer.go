@@ -49,6 +49,7 @@ type Dense struct {
 	W, B    *tensor.Tensor
 	dW, dB  *tensor.Tensor
 	x       *tensor.Tensor // cached input for backward
+	f32     *denseF32      // non-nil when the float32 compute path is on
 }
 
 // NewDense creates a dense layer with He-normal weight initialisation.
@@ -75,6 +76,9 @@ func (d *Dense) OutDim(inDim int) int {
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Dim(0)
 	d.x = x
+	if d.f32 != nil {
+		return d.forwardF32(x, n)
+	}
 	y := tensor.New(n, d.Out)
 	tensor.MatMul(y, x.Reshape(n, d.In), d.W)
 	tensor.AddRowVector(y, y, d.B)
@@ -84,6 +88,9 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n := dout.Dim(0)
+	if d.f32 != nil {
+		return d.backwardF32(dout, n)
+	}
 	x := d.x.Reshape(n, d.In)
 	// dW += xᵀ·dout ; accumulate so replicas can micro-batch.
 	dW := tensor.New(d.In, d.Out)
@@ -105,9 +112,11 @@ func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
 
 // Clone implements Layer.
 func (d *Dense) Clone() Layer {
-	return &Dense{In: d.In, Out: d.Out,
+	c := &Dense{In: d.In, Out: d.Out,
 		W: d.W.Clone(), B: d.B.Clone(),
 		dW: tensor.New(d.In, d.Out), dB: tensor.New(d.Out)}
+	c.SetComputeF32(d.f32 != nil) // same compute mode, fresh buffers
+	return c
 }
 
 // Activation kinds supported by the Activation layer.

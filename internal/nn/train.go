@@ -23,6 +23,12 @@ type TrainConfig struct {
 	Precision lowp.Precision
 	// LossScale enables dynamic loss scaling (meaningful for FP16).
 	LossScale bool
+	// ComputeF32 runs the GEMM-heavy layers (Dense, Conv2D) on the float32
+	// kernel backend pinned in internal/tensor, keeping float64 master
+	// weights and optimizer state — mixed-precision compute, as opposed to
+	// Precision, which emulates reduced STORAGE by rounding at tensor
+	// boundaries. The two compose.
+	ComputeF32 bool
 	// ClipNorm, when > 0, clips the global gradient norm per step.
 	ClipNorm float64
 	// Shuffle reshuffles the sample order each epoch using RNG.
@@ -83,6 +89,9 @@ func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error)
 		return nil, fmt.Errorf("nn: CheckpointEvery requires a Checkpoint func")
 	}
 
+	if cfg.ComputeF32 {
+		net.SetComputeF32(true)
+	}
 	var scaler *lowp.LossScaler
 	if cfg.LossScale {
 		scaler = lowp.NewLossScaler()

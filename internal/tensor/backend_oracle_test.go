@@ -1,0 +1,310 @@
+package tensor
+
+// Differential oracle for the float32 kernel backend registry.
+//
+// Every registered backend is enumerated from the registry itself and checked
+// against independent flat-index float32 references over both the edge-shape
+// table (0, 1, blockM-1, blockM, blockM+1 per dimension) and seeded random
+// shapes that cross the packed kernel's kc/mc panel boundaries. The naive
+// backend must match the reference BITWISE — it defines the canonical
+// k-ordered float32 accumulation. Tiled backends reorder the summation, so
+// they match within a small ULP budget, with a K-scaled absolute escape for
+// cancellation (a sum near zero can sit many ULPs from the reference while
+// both are correct to within rounding).
+//
+// oracleULP below is the completeness gate: registering a backend without
+// adding it there fails TestBackendRegistryComplete, so no backend can ship
+// without oracle coverage.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// oracleULP maps every registered backend to its ULP budget against the
+// naive-order reference. 0 means bitwise.
+var oracleULP = map[string]int64{
+	"naive":   0,
+	"blocked": 16,
+	"packed":  16,
+}
+
+func TestBackendRegistryComplete(t *testing.T) {
+	names := BackendNames()
+	for _, n := range names {
+		if _, ok := oracleULP[n]; !ok {
+			t.Errorf("backend %q is registered but has no oracle ULP budget; add it to oracleULP and cover it", n)
+		}
+	}
+	if len(names) != len(oracleULP) {
+		t.Errorf("registry has %d backends %v, oracleULP covers %d; the two must enumerate the same set",
+			len(names), names, len(oracleULP))
+	}
+}
+
+// refMatMulF32 computes a (M x K) @ b (K x N) with flat indices and a single
+// k-ordered float32 accumulator per element — the canonical result.
+func refMatMulF32(a, b *F32) *F32 {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := NewF32(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a.Data[i*k+kk] * b.Data[kk*n+j]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// refMatMulTransAF32 computes aᵀ @ b for a (K x M), b (K x N).
+func refMatMulTransAF32(a, b *F32) *F32 {
+	k, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := NewF32(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a.Data[kk*m+i] * b.Data[kk*n+j]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// refMatMulTransBF32 computes a @ bᵀ for a (M x K), b (N x K).
+func refMatMulTransBF32(a, b *F32) *F32 {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	out := NewF32(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a.Data[i*k+kk] * b.Data[j*k+kk]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func randF32(r *rng.Stream, shape ...int) *F32 {
+	t := NewF32(shape...)
+	t.FillRandNorm(r, 1)
+	return t
+}
+
+// poisonedF32 pre-fills with NaN so any element a backend fails to overwrite
+// fails the comparison (every compare path rejects NaN).
+func poisonedF32(shape ...int) *F32 {
+	t := NewF32(shape...)
+	t.Fill(float32(math.NaN()))
+	return t
+}
+
+// ulpDist32 returns the distance between a and b in float32 ULPs, treating
+// the floats as points on the ordered-integer number line (so +0 and -0 are
+// 0 apart and values straddling zero get the sum of their magnitudes' ranks).
+func ulpDist32(a, b float32) int64 {
+	oa, ob := orderedBits32(a), orderedBits32(b)
+	if oa > ob {
+		return oa - ob
+	}
+	return ob - oa
+}
+
+func orderedBits32(f float32) int64 {
+	b := int64(math.Float32bits(f))
+	if b&0x80000000 != 0 {
+		b = 0x80000000 - b
+	}
+	return b
+}
+
+// expectOracle checks got against the reference under the backend's ULP
+// budget. ulpTol 0 demands bitwise equality. Non-zero budgets also get a
+// K-scaled absolute escape for catastrophic cancellation, where relative
+// (ULP) distance is meaningless.
+func expectOracle(t *testing.T, got, want *F32, k int, ulpTol int64, label string) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v vs %v", label, got.Shape(), want.Shape())
+	}
+	absTol := 1e-5 * float64(k+1)
+	for i := range got.Data {
+		g, w := got.Data[i], want.Data[i]
+		if math.IsNaN(float64(g)) || math.IsNaN(float64(w)) {
+			t.Fatalf("%s: element %d got %v want %v (NaN leak)", label, i, g, w)
+		}
+		if math.Float32bits(g) == math.Float32bits(w) {
+			continue
+		}
+		if ulpTol == 0 {
+			t.Fatalf("%s: element %d got %x want %x (bitwise contract)",
+				label, i, math.Float32bits(g), math.Float32bits(w))
+		}
+		if ulpDist32(g, w) > ulpTol && math.Abs(float64(g-w)) > absTol {
+			t.Fatalf("%s: element %d got %v want %v (ulp %d > %d, |diff| %v > %v)",
+				label, i, g, w, ulpDist32(g, w), ulpTol, math.Abs(float64(g-w)), absTol)
+		}
+	}
+}
+
+// forEachBackend runs fn once per registered backend as a named subtest,
+// passing the backend's oracle ULP budget.
+func forEachBackend(t *testing.T, fn func(t *testing.T, bk Backend, ulpTol int64)) {
+	for _, name := range BackendNames() {
+		bk, err := BackendByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ulpTol, ok := oracleULP[name]
+		if !ok {
+			t.Fatalf("backend %q missing from oracleULP", name)
+		}
+		t.Run(name, func(t *testing.T) { fn(t, bk, ulpTol) })
+	}
+}
+
+// oracleShapes returns the (m, k, n) triples every backend is checked on:
+// the full edge table plus seeded shapes crossing the packed kernel's micro-
+// and cache-panel boundaries (mr/nr remainders, multiple mc row panels,
+// multiple kc k-panels with partial-tile accumulation).
+func oracleShapes() [][3]int {
+	var shapes [][3]int
+	for _, m := range edgeDims {
+		for _, k := range edgeDims {
+			for _, n := range edgeDims {
+				shapes = append(shapes, [3]int{m, k, n})
+			}
+		}
+	}
+	shapes = append(shapes,
+		[3]int{mcF32 + 1, 2*kcF32 + 3, nrF32 + 1},     // multi k-panel accumulate, row-panel + nr remainders
+		[3]int{2*mcF32 + mrF32 + 1, kcF32, 2 * nrF32}, // exact kc boundary, odd mr remainder
+		[3]int{mrF32 - 1, kcF32 + 1, nrF32 - 1},       // sub-microtile output
+		[3]int{97, 131, 89},                           // primes: nothing divides anything
+	)
+	return shapes
+}
+
+func TestBackendOracleMatMulF32(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, bk Backend, ulpTol int64) {
+		r := rng.New(30)
+		for _, s := range oracleShapes() {
+			m, k, n := s[0], s[1], s[2]
+			a, b := randF32(r, m, k), randF32(r, k, n)
+			dst := poisonedF32(m, n)
+			bk.MatMulF32(dst, a, b)
+			expectOracle(t, dst, refMatMulF32(a, b), k, ulpTol,
+				"MatMulF32 "+shapeLabel(m, k, n))
+		}
+	})
+}
+
+func TestBackendOracleMatMulTransAF32(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, bk Backend, ulpTol int64) {
+		r := rng.New(31)
+		for _, s := range oracleShapes() {
+			m, k, n := s[0], s[1], s[2]
+			a, b := randF32(r, k, m), randF32(r, k, n) // a stored transposed
+			dst := poisonedF32(m, n)
+			bk.MatMulTransAF32(dst, a, b)
+			expectOracle(t, dst, refMatMulTransAF32(a, b), k, ulpTol,
+				"MatMulTransAF32 "+shapeLabel(m, k, n))
+		}
+	})
+}
+
+func TestBackendOracleMatMulTransBF32(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, bk Backend, ulpTol int64) {
+		r := rng.New(32)
+		for _, s := range oracleShapes() {
+			m, k, n := s[0], s[1], s[2]
+			a, b := randF32(r, m, k), randF32(r, n, k) // b stored transposed
+			dst := poisonedF32(m, n)
+			bk.MatMulTransBF32(dst, a, b)
+			expectOracle(t, dst, refMatMulTransBF32(a, b), k, ulpTol,
+				"MatMulTransBF32 "+shapeLabel(m, k, n))
+		}
+	})
+}
+
+// TestBackendOracleParallel re-runs the headline op with kernel parallelism
+// forced on, so the oracle also covers the ParallelFor code paths (and data
+// races surface under -race even on a single-core host).
+func TestBackendOracleParallel(t *testing.T) {
+	saved := MaxProcs
+	MaxProcs = 4
+	defer func() { MaxProcs = saved }()
+	forEachBackend(t, func(t *testing.T, bk Backend, ulpTol int64) {
+		r := rng.New(33)
+		m, k, n := 2*mcF32+3, kcF32+5, 3*nrF32+1
+		a, b := randF32(r, m, k), randF32(r, k, n)
+		dst := poisonedF32(m, n)
+		bk.MatMulF32(dst, a, b)
+		expectOracle(t, dst, refMatMulF32(a, b), k, ulpTol, "parallel MatMulF32")
+	})
+}
+
+func TestSetBackendRoundTrip(t *testing.T) {
+	saved := CurrentBackend().Name()
+	defer func() {
+		if err := SetBackend(saved); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, name := range BackendNames() {
+		if err := SetBackend(name); err != nil {
+			t.Fatal(err)
+		}
+		if got := CurrentBackend().Name(); got != name {
+			t.Fatalf("SetBackend(%q) then CurrentBackend().Name() = %q", name, got)
+		}
+		// The package-level dispatcher must route to the pinned backend:
+		// under naive the result is bitwise the reference.
+		r := rng.New(34)
+		a, b := randF32(r, 5, 7), randF32(r, 7, 3)
+		dst := poisonedF32(5, 3)
+		MatMulF32(dst, a, b)
+		expectOracle(t, dst, refMatMulF32(a, b), 7, oracleULP[name], "dispatch "+name)
+	}
+}
+
+func TestSetBackendUnknown(t *testing.T) {
+	if err := SetBackend("no-such-backend"); err == nil {
+		t.Fatal("SetBackend on an unknown name must error")
+	}
+	if _, err := BackendByName("no-such-backend"); err == nil {
+		t.Fatal("BackendByName on an unknown name must error")
+	}
+}
+
+func TestRegisterBackendPanics(t *testing.T) {
+	for _, c := range []struct {
+		label string
+		bk    Backend
+	}{
+		{"duplicate name", naiveBackend{}},
+		{"empty name", emptyNameBackend{}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RegisterBackend with %s did not panic", c.label)
+				}
+			}()
+			RegisterBackend(c.bk)
+		}()
+	}
+}
+
+// emptyNameBackend exists only to probe RegisterBackend's name validation.
+type emptyNameBackend struct{ naiveBackend }
+
+func (emptyNameBackend) Name() string { return "" }

@@ -1,0 +1,69 @@
+package tensor
+
+import "fmt"
+
+// Float32 convolution lowering: the f32 ports of Im2Col2D/Col2Im2D. Output
+// geometry comes from the shared Conv2DOutDims; only element storage
+// differs, so the float64 references in ref_test.go remain the oracle for
+// the lowering itself (fuzzed by FuzzConvF32).
+
+// Im2Col2DF32 lowers one sample of a 2-D convolution (square kernel) to a
+// matrix of shape (C*K*K, OH*OW); a weight matrix (F, C*K*K) then yields the
+// output as W @ col. in is (C, H, W) flattened. Positions outside the input
+// contribute zeros (zero padding); every col element is overwritten.
+func Im2Col2DF32(col, in *F32, channels, h, w, kernel, stride, pad int) {
+	oh, ow := Conv2DOutDims(h, w, kernel, stride, pad)
+	if col.Len() != channels*kernel*kernel*oh*ow || in.Len() != channels*h*w {
+		panic(fmt.Sprintf("tensor: Im2Col2DF32 sizes col=%d in=%d want %d,%d",
+			col.Len(), in.Len(), channels*kernel*kernel*oh*ow, channels*h*w))
+	}
+	for c := 0; c < channels; c++ {
+		for ky := 0; ky < kernel; ky++ {
+			for kx := 0; kx < kernel; kx++ {
+				rowOff := ((c*kernel+ky)*kernel + kx) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride + ky - pad
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride + kx - pad
+						dst := rowOff + oy*ow + ox
+						if sy >= 0 && sy < h && sx >= 0 && sx < w {
+							col.Data[dst] = in.Data[(c*h+sy)*w+sx]
+						} else {
+							col.Data[dst] = 0
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im2DF32 is the adjoint of Im2Col2DF32, accumulating into din
+// (C, H, W). din is NOT zeroed first so callers can accumulate across
+// samples; zero it when that is not wanted.
+func Col2Im2DF32(din, col *F32, channels, h, w, kernel, stride, pad int) {
+	oh, ow := Conv2DOutDims(h, w, kernel, stride, pad)
+	if col.Len() != channels*kernel*kernel*oh*ow || din.Len() != channels*h*w {
+		panic("tensor: Col2Im2DF32 size mismatch")
+	}
+	for c := 0; c < channels; c++ {
+		for ky := 0; ky < kernel; ky++ {
+			for kx := 0; kx < kernel; kx++ {
+				rowOff := ((c*kernel+ky)*kernel + kx) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					sy := oy*stride + ky - pad
+					if sy < 0 || sy >= h {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						sx := ox*stride + kx - pad
+						if sx < 0 || sx >= w {
+							continue
+						}
+						din.Data[(c*h+sy)*w+sx] += col.Data[rowOff+oy*ow+ox]
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// F32 is a dense, contiguous, row-major n-dimensional array of float32 — the
+// storage type of the fast kernel path. The float64 Tensor remains the
+// master-weight/optimizer precision (see the package README's precision
+// contract); F32 exists so the GEMM/convolution hot loops can run at real
+// float32 width and memory traffic, selected through the kernel backend
+// registry in backend.go.
+type F32 struct {
+	Data  []float32
+	shape []int
+}
+
+// NewF32 allocates a zero-filled float32 tensor with the given shape.
+func NewF32(shape ...int) *F32 {
+	n := shapeLen(shape, "NewF32")
+	return &F32{Data: make([]float32, n), shape: append([]int(nil), shape...)}
+}
+
+// F32FromSlice wraps data (not copied) in a float32 tensor with the given
+// shape. It panics if the shape has a negative dimension or len(data) does
+// not match the shape's element count.
+func F32FromSlice(data []float32, shape ...int) *F32 {
+	n := shapeLen(shape, "F32FromSlice")
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: F32FromSlice data length %d does not match shape %v", len(data), shape))
+	}
+	return &F32{Data: data, shape: append([]int(nil), shape...)}
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *F32) Shape() []int { return t.shape }
+
+// Dim returns the size of axis i.
+func (t *F32) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of axes.
+func (t *F32) Rank() int { return len(t.shape) }
+
+// Len returns the total element count.
+func (t *F32) Len() int { return len(t.Data) }
+
+// SameShape reports whether t and u have identical shapes.
+func (t *F32) SameShape(u *F32) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reshape returns a view of t with a new shape (same element count, shared
+// storage). It panics on negative dimensions or element-count mismatch.
+func (t *F32) Reshape(shape ...int) *F32 {
+	n := shapeLen(shape, "Reshape")
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &F32{Data: t.Data, shape: append([]int(nil), shape...)}
+}
+
+// Row returns a view of row i of a rank-2 tensor (shared storage).
+func (t *F32) Row(i int) *F32 {
+	if len(t.shape) != 2 {
+		panic("tensor: Row requires rank 2")
+	}
+	c := t.shape[1]
+	return &F32{Data: t.Data[i*c : (i+1)*c], shape: []int{c}}
+}
+
+// SliceRows returns a view of rows [lo,hi) along axis 0 (shared storage).
+func (t *F32) SliceRows(lo, hi int) *F32 {
+	if len(t.shape) < 1 {
+		panic("tensor: SliceRows on scalar")
+	}
+	if lo < 0 || hi > t.shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows[%d:%d] out of range for axis size %d", lo, hi, t.shape[0]))
+	}
+	stride := 1
+	for _, d := range t.shape[1:] {
+		stride *= d
+	}
+	shape := append([]int{hi - lo}, t.shape[1:]...)
+	return &F32{Data: t.Data[lo*stride : hi*stride], shape: shape}
+}
+
+// Clone returns an independent deep copy of t.
+func (t *F32) Clone() *F32 {
+	d := make([]float32, len(t.Data))
+	copy(d, t.Data)
+	return &F32{Data: d, shape: append([]int(nil), t.shape...)}
+}
+
+// CopyFrom copies u's elements into t (element counts must match).
+func (t *F32) CopyFrom(u *F32) {
+	if len(t.Data) != len(u.Data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.Data, u.Data)
+}
+
+// Fill sets every element to v.
+func (t *F32) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *F32) Zero() { clear(t.Data) }
+
+// FillRandNorm fills t with N(0, std) variates from r, rounded to float32.
+func (t *F32) FillRandNorm(r *rng.Stream, std float64) {
+	for i := range t.Data {
+		t.Data[i] = float32(r.Norm() * std)
+	}
+}
+
+// String renders small tensors fully and large ones as a summary.
+func (t *F32) String() string {
+	if len(t.Data) <= 16 {
+		return fmt.Sprintf("F32%v%v", t.shape, t.Data)
+	}
+	return fmt.Sprintf("F32%v[%d elems]", t.shape, len(t.Data))
+}

@@ -1,0 +1,224 @@
+package tensor
+
+// Float32 GEMM backends: naive (the flat-index reference every other backend
+// is checked against) and blocked (the cache-tiled port of the float64
+// gemmKernel). The panel-packed microkernel backend lives in packed32.go.
+//
+// Accumulation order is part of each backend's definition: naive accumulates
+// each output element in a single k-ordered float32 sum, which is the
+// canonical result the oracle suite compares against bitwise; blocked and
+// packed reorder the summation across k tiles, so they match the reference
+// only within a K-scaled ULP bound.
+
+// naiveBackend is the flat-index i-j-k triple loop. It exists as the
+// correctness oracle and the floor of the BENCH_kernels GFLOP/s table, not
+// as a production kernel.
+type naiveBackend struct{}
+
+// Name implements Backend.
+func (naiveBackend) Name() string { return "naive" }
+
+// MatMulF32 implements Backend.
+func (naiveBackend) MatMulF32(dst, a, b *F32) {
+	m, k, n := checkMatMulF32(dst, a, b, false, false)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a.Data[i*k+kk] * b.Data[kk*n+j]
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
+}
+
+// MatMulTransAF32 implements Backend.
+func (naiveBackend) MatMulTransAF32(dst, a, b *F32) {
+	m, k, n := checkMatMulF32(dst, a, b, true, false)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a.Data[kk*m+i] * b.Data[kk*n+j]
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
+}
+
+// MatMulTransBF32 implements Backend.
+func (naiveBackend) MatMulTransBF32(dst, a, b *F32) {
+	m, k, n := checkMatMulF32(dst, a, b, false, true)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a.Data[i*k+kk] * b.Data[j*k+kk]
+			}
+			dst.Data[i*n+j] = s
+		}
+	}
+}
+
+// blockedBackend is the float32 port of the float64 production kernels:
+// cache-tiled in blockM x blockN x blockK tiles, parallel over dst row
+// blocks. Each entry point takes a closure-free serial path when a single
+// worker (or a single row block) is in play, so a warmed-up call allocates
+// nothing (see alloc32_test.go).
+type blockedBackend struct{}
+
+// Name implements Backend.
+func (blockedBackend) Name() string { return "blocked" }
+
+// MatMulF32 implements Backend.
+func (blockedBackend) MatMulF32(dst, a, b *F32) {
+	m, k, n := checkMatMulF32(dst, a, b, false, false)
+	dst.Zero()
+	nb := (m + blockM - 1) / blockM
+	if nWorkers() <= 1 || nb <= 1 {
+		blockedF32Range(dst.Data, a.Data, b.Data, 0, nb, m, k, n)
+		return
+	}
+	ParallelFor(nb, func(lo, hi int) {
+		blockedF32Range(dst.Data, a.Data, b.Data, lo, hi, m, k, n)
+	})
+}
+
+// blockedF32Range processes dst row blocks [blo,bhi) of the tiled GEMM.
+func blockedF32Range(dst, a, b []float32, blo, bhi, m, k, n int) {
+	for bi := blo; bi < bhi; bi++ {
+		i0 := bi * blockM
+		i1 := min(i0+blockM, m)
+		for k0 := 0; k0 < k; k0 += blockK {
+			k1 := min(k0+blockK, k)
+			for j0 := 0; j0 < n; j0 += blockN {
+				j1 := min(j0+blockN, n)
+				gemmKernelF32(dst, a, b, i0, i1, j0, j1, k0, k1, k, n)
+			}
+		}
+	}
+}
+
+// gemmKernelF32 computes the dst tile [i0:i1, j0:j1] +=
+// A[i0:i1,k0:k1] @ B[k0:k1,j0:j1] with the same i-k-j loop order as the
+// float64 gemmKernel.
+func gemmKernelF32(dst, a, b []float32, i0, i1, j0, j1, k0, k1, lda, ldc int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*lda : i*lda+k1]
+		crow := dst[i*ldc : i*ldc+j1]
+		for kk := k0; kk < k1; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*ldc : kk*ldc+j1]
+			for j := j0; j < j1; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulTransAF32 implements Backend.
+func (blockedBackend) MatMulTransAF32(dst, a, b *F32) {
+	m, k, n := checkMatMulF32(dst, a, b, true, false)
+	dst.Zero()
+	nb := (m + blockM - 1) / blockM
+	if nWorkers() <= 1 || nb <= 1 {
+		blockedTransAF32Range(dst.Data, a.Data, b.Data, 0, nb, m, k, n)
+		return
+	}
+	ParallelFor(nb, func(lo, hi int) {
+		blockedTransAF32Range(dst.Data, a.Data, b.Data, lo, hi, m, k, n)
+	})
+}
+
+// blockedTransAF32Range is the float32 port of MatMulTransA's kernel:
+// workers own disjoint dst row blocks; k streams over both operands.
+func blockedTransAF32Range(dst, a, b []float32, blo, bhi, m, k, n int) {
+	for bi := blo; bi < bhi; bi++ {
+		i0 := bi * blockM
+		i1 := min(i0+blockM, m)
+		for kk := 0; kk < k; kk++ {
+			arow := a[kk*m : (kk+1)*m]
+			brow := b[kk*n : (kk+1)*n]
+			for i := i0; i < i1; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := dst[i*n : (i+1)*n]
+				for j := 0; j < n; j++ {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransBF32 implements Backend.
+func (blockedBackend) MatMulTransBF32(dst, a, b *F32) {
+	m, k, n := checkMatMulF32(dst, a, b, false, true)
+	dst.Zero()
+	nb := (m + blockM - 1) / blockM
+	if nWorkers() <= 1 || nb <= 1 {
+		blockedTransBF32Range(dst.Data, a.Data, b.Data, 0, nb, m, k, n)
+		return
+	}
+	ParallelFor(nb, func(lo, hi int) {
+		blockedTransBF32Range(dst.Data, a.Data, b.Data, lo, hi, m, k, n)
+	})
+}
+
+// blockedTransBF32Range tiles the a @ bᵀ product like gemmKernelTransB: the
+// inner loop is a pure dot product over the k tile.
+func blockedTransBF32Range(dst, a, b []float32, blo, bhi, m, k, n int) {
+	for bi := blo; bi < bhi; bi++ {
+		i0 := bi * blockM
+		i1 := min(i0+blockM, m)
+		for k0 := 0; k0 < k; k0 += blockK {
+			k1 := min(k0+blockK, k)
+			for j0 := 0; j0 < n; j0 += blockN {
+				j1 := min(j0+blockN, n)
+				for i := i0; i < i1; i++ {
+					arow := a[i*k+k0 : i*k+k1]
+					crow := dst[i*n : i*n+j1]
+					for j := j0; j < j1; j++ {
+						brow := b[j*k+k0 : j*k+k1]
+						var s float32
+						for kk, av := range arow {
+							s += av * brow[kk]
+						}
+						crow[j] += s
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulF32Serial runs the blocked f32 GEMM single-threaded regardless of
+// MaxProcs. It exists for callers that are already inside a ParallelFor
+// region (the per-sample im2col convolution in internal/nn), where nested
+// kernel parallelism would oversubscribe the worker pool.
+func MatMulF32Serial(dst, a, b *F32) {
+	m, k, n := checkMatMulF32(dst, a, b, false, false)
+	dst.Zero()
+	blockedF32Range(dst.Data, a.Data, b.Data, 0, (m+blockM-1)/blockM, m, k, n)
+}
+
+// MatMulTransAF32Serial is the single-threaded aᵀ @ b counterpart of
+// MatMulF32Serial.
+func MatMulTransAF32Serial(dst, a, b *F32) {
+	m, k, n := checkMatMulF32(dst, a, b, true, false)
+	dst.Zero()
+	blockedTransAF32Range(dst.Data, a.Data, b.Data, 0, (m+blockM-1)/blockM, m, k, n)
+}
+
+// MatMulTransBF32Serial is the single-threaded a @ bᵀ counterpart of
+// MatMulF32Serial.
+func MatMulTransBF32Serial(dst, a, b *F32) {
+	m, k, n := checkMatMulF32(dst, a, b, false, true)
+	dst.Zero()
+	blockedTransBF32Range(dst.Data, a.Data, b.Data, 0, (m+blockM-1)/blockM, m, k, n)
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package tensor
+
+// raceEnabled reports whether the race detector is active. The alloc pins
+// skip under -race: the detector makes sync.Pool drop entries at random to
+// expose misuse, so pooled scratch buffers legitimately re-allocate.
+const raceEnabled = false

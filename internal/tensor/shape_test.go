@@ -1,0 +1,95 @@
+package tensor
+
+// Table tests for the shape/element-count validation shared by every tensor
+// constructor and Reshape. Before shapeLen, FromSlice([]float64{1}, -1, -1)
+// built a corrupt tensor (negative dims multiply to a positive count) and
+// mismatched FromSlice lengths surfaced later as index panics far from the
+// construction site.
+
+import "testing"
+
+func TestFromSliceShapeMismatchPanics(t *testing.T) {
+	cases := []struct {
+		label string
+		data  int // element count of the backing slice
+		shape []int
+	}{
+		{"too few elements", 3, []int{2, 2}},
+		{"too many elements", 5, []int{2, 2}},
+		{"zero shape nonzero data", 1, []int{0}},
+		{"negative dim", 1, []int{-1}},
+		{"negative dims multiplying positive", 1, []int{-1, -1}},
+		{"negative dim with zero", 0, []int{-1, 0}},
+	}
+	for _, c := range cases {
+		t.Run("f64 "+c.label, func(t *testing.T) {
+			defer expectPanic(t, "FromSlice "+c.label)
+			FromSlice(make([]float64, c.data), c.shape...)
+		})
+		t.Run("f32 "+c.label, func(t *testing.T) {
+			defer expectPanic(t, "F32FromSlice "+c.label)
+			F32FromSlice(make([]float32, c.data), c.shape...)
+		})
+	}
+}
+
+func TestReshapeMismatchPanics(t *testing.T) {
+	cases := []struct {
+		label string
+		shape []int
+	}{
+		{"wrong count", []int{5}},
+		{"negative dim", []int{-1, 6}},
+		{"negative dims multiplying to count", []int{-2, -3}},
+	}
+	for _, c := range cases {
+		t.Run("f64 "+c.label, func(t *testing.T) {
+			defer expectPanic(t, "Reshape "+c.label)
+			New(2, 3).Reshape(c.shape...)
+		})
+		t.Run("f32 "+c.label, func(t *testing.T) {
+			defer expectPanic(t, "F32 Reshape "+c.label)
+			NewF32(2, 3).Reshape(c.shape...)
+		})
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	t.Run("f64", func(t *testing.T) {
+		defer expectPanic(t, "New negative dim")
+		New(2, -3)
+	})
+	t.Run("f32", func(t *testing.T) {
+		defer expectPanic(t, "NewF32 negative dim")
+		NewF32(2, -3)
+	})
+}
+
+// TestShapeValidationAccepts pins the happy paths the checks must not
+// reject: empty shapes (scalars with one element) and zero-sized axes.
+func TestShapeValidationAccepts(t *testing.T) {
+	if got := FromSlice([]float64{7}).Len(); got != 1 {
+		t.Fatalf("scalar FromSlice Len = %d", got)
+	}
+	if got := F32FromSlice([]float32{7}).Len(); got != 1 {
+		t.Fatalf("scalar F32FromSlice Len = %d", got)
+	}
+	if got := New(0, 5).Len(); got != 0 {
+		t.Fatalf("New(0,5) Len = %d", got)
+	}
+	if got := NewF32(3, 0).Len(); got != 0 {
+		t.Fatalf("NewF32(3,0) Len = %d", got)
+	}
+	if got := New(0, 6).Reshape(6, 0); got.Len() != 0 {
+		t.Fatal("zero-element reshape should succeed")
+	}
+}
+
+// expectPanic is used as `defer expectPanic(t, label)`: it runs as the
+// deferred function itself, so its recover() observes the test's panic.
+func expectPanic(t *testing.T, label string) {
+	t.Helper()
+	if recover() == nil {
+		t.Errorf("%s: did not panic", label)
+	}
+}

@@ -20,25 +20,33 @@ type Tensor struct {
 	shape []int
 }
 
-// New allocates a zero-filled tensor with the given shape.
-func New(shape ...int) *Tensor {
+// shapeLen validates shape and returns its element count. Every constructor
+// and reshape path funnels through it: a negative dimension always panics,
+// even when the (signed) product happens to match the data length — before
+// this check FromSlice([]float64{1}, -1, -1) built a corrupt tensor whose
+// shape no kernel could index.
+func shapeLen(shape []int, op string) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+			panic(fmt.Sprintf("tensor: %s: negative dimension %d in shape %v", op, d, shape))
 		}
 		n *= d
 	}
+	return n
+}
+
+// New allocates a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := shapeLen(shape, "New")
 	return &Tensor{Data: make([]float64, n), shape: append([]int(nil), shape...)}
 }
 
 // FromSlice wraps data (not copied) in a tensor with the given shape.
-// It panics if len(data) does not match the shape's element count.
+// It panics if the shape has a negative dimension or len(data) does not
+// match the shape's element count.
 func FromSlice(data []float64, shape ...int) *Tensor {
-	n := 1
-	for _, d := range shape {
-		n *= d
-	}
+	n := shapeLen(shape, "FromSlice")
 	if n != len(data) {
 		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
 	}
@@ -92,12 +100,10 @@ func (t *Tensor) offset(idx []int) int {
 }
 
 // Reshape returns a view of t with a new shape (same element count,
-// shared storage).
+// shared storage). It panics on negative dimensions or element-count
+// mismatch.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
-	n := 1
-	for _, d := range shape {
-		n *= d
-	}
+	n := shapeLen(shape, "Reshape")
 	if n != len(t.Data) {
 		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
 	}
