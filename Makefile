@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test chaos fuzz cover bench-overhead bench-obs bench-checkpoint bench bench-serve bench-resil bench-comm bench-kernels clean
+.PHONY: check vet build test chaos fuzz cover bench-overhead bench-obs bench-checkpoint bench bench-serve bench-resil bench-comm bench-kernels bench-data clean
 
 check: vet build test chaos cover bench-overhead
 
@@ -22,7 +22,9 @@ test:
 # degraded-replica ejection, hedged execution, retry budgets
 # (internal/serve), flaky-link collectives and CRC framing (internal/comm),
 # and overlapped bucketed allreduce under worker kills and flaky links
-# (internal/parallel Chaos*, internal/comm Bucket*).
+# (internal/parallel Chaos*, internal/comm Bucket*), and the streaming data
+# plane under decode-worker kills and silently corrupted staged shards
+# (internal/data Chaos*).
 # Redundant with `test` on a full run, but kept as an explicit gate so the
 # fault paths can be exercised alone (`make chaos`) and stay race-clean.
 chaos:
@@ -32,6 +34,7 @@ chaos:
 	$(GO) test -race ./internal/parallel -run 'Elastic|Chaos|Overlapped|Bucket'
 	$(GO) test -race ./internal/serve -run 'Chaos|Fault|Gray|Retry|Hedge'
 	$(GO) test -race ./internal/comm -run 'Flaky|Frame|Watchdog|Timeout|Bucket'
+	$(GO) test -race ./internal/data -run 'Chaos|Kill|Corrupt'
 
 # Regenerate the committed gray-failure resilience artifact
 # (BENCH_resil.json): the hedging frontier under a 10x degraded replica.
@@ -55,6 +58,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzConvF32$$' -fuzztime $(FUZZTIME) ./internal/tensor
 	$(GO) test -run '^$$' -fuzz '^FuzzCommFrame$$' -fuzztime $(FUZZTIME) ./internal/comm
 	$(GO) test -run '^$$' -fuzz '^FuzzCompressRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lowp
+	$(GO) test -run '^$$' -fuzz '^FuzzShardManifest$$' -fuzztime $(FUZZTIME) ./internal/data
 
 # Coverage gate: per-package floors (70% for serve, tensor, nn, fault, comm,
 # parallel, lowp) with a coverage-vs-floor delta table. See scripts/cover.sh.
@@ -101,6 +105,13 @@ bench-serve:
 # f64 blocked at 512³, train speedup > 1) and schema currency, not bytes.
 bench-kernels:
 	$(GO) run ./cmd/candlebench -kernels BENCH_kernels.json
+
+# Regenerate the committed tiered-staging data-plane profile
+# (BENCH_data.json): E7's NVRAM crossover re-derived by executing the sharded
+# streaming loader on its virtual clock. Deterministic, so byte-stable;
+# TestCommittedDataArtifactIsCurrent fails if the committed copy drifts.
+bench-data:
+	$(GO) run ./cmd/candlebench -data BENCH_data.json
 
 # Regenerate every experiment table + micro-benchmarks.
 bench:

@@ -47,6 +47,7 @@ func BenchmarkE12Resilience(b *testing.B) { benchExperiment(b, "E12") }
 func BenchmarkE13Comm(b *testing.B)       { benchExperiment(b, "E13") }
 func BenchmarkE14SLO(b *testing.B)        { benchExperiment(b, "E14") }
 func BenchmarkE15Kernels(b *testing.B)    { benchExperiment(b, "E15") }
+func BenchmarkE16Data(b *testing.B)       { benchExperiment(b, "E16") }
 
 // benchAblation regenerates one design-choice ablation table per iteration.
 func benchAblation(b *testing.B, id string) {

@@ -17,7 +17,7 @@
 //     energy) and the tiered-storage/NVRAM staging simulator;
 //   - the inference serving subsystem (dynamic micro-batching, replica
 //     pool, admission control) and its deterministic load simulator;
-//   - the E1-E14 experiment suite that reproduces each of the paper's
+//   - the E1-E16 experiment suite that reproduces each of the paper's
 //     architectural claims.
 //
 // Quick start:
@@ -36,6 +36,7 @@ import (
 	"repro/internal/biodata"
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/hpo"
@@ -340,15 +341,78 @@ type StorageConfig = storage.Config
 // SimulateStorage runs the staging timeline simulator.
 var SimulateStorage = storage.Simulate
 
+// ---- streaming data plane ----------------------------------------------------
+
+// ShardManifest names, sizes, and checksums the shards of a dataset
+// (see internal/data's README for the wire format and tier semantics).
+type ShardManifest = data.Manifest
+
+// Shard is one named, checksummed sample range of a manifest.
+type Shard = data.Shard
+
+// ShardStore holds the authoritative (PFS-resident) shard payloads.
+type ShardStore = data.Store
+
+// BuildShards tiles a dataset into a manifest plus its payload store.
+var BuildShards = data.Build
+
+// ShardBuildOptions sizes the shards and their logical bytes.
+type ShardBuildOptions = data.BuildOptions
+
+// DecodeShardManifest decodes a CRC-framed manifest (never panics on
+// arbitrary bytes; see FuzzShardManifest).
+var DecodeShardManifest = data.DecodeManifest
+
+// Loader streams seed-deterministic training batches from a shard store
+// through tiered DRAM/NVRAM caches with prefetch, pricing every read on a
+// virtual clock. It plugs into TrainConfig.Data.
+type Loader = data.Loader
+
+// LoaderConfig configures a streaming loader.
+type LoaderConfig = data.LoaderConfig
+
+// NewLoader builds a loader over every shard of a manifest.
+var NewLoader = data.NewLoader
+
+// LoaderEpochStats is the virtual-clock account of one consumed epoch.
+type LoaderEpochStats = data.EpochStats
+
+// TierSpec prices loader reads against a DRAM/NVRAM/PFS hierarchy.
+type TierSpec = data.TierSpec
+
+// TiersFromNode extracts a TierSpec from a machine node, derating the PFS
+// by the number of nodes sharing it.
+var TiersFromNode = data.TiersFromNode
+
+// ShardPartition assigns disjoint shard subsets to data-parallel ranks; it
+// plugs into DataParallelConfig.Data.
+type ShardPartition = data.Partition
+
+// NewShardPartition round-robins a manifest's shards over ranks.
+var NewShardPartition = data.NewPartition
+
+// TierCache is a capacity-bounded byte cache with a pluggable eviction
+// policy, reusable beyond the loader (e.g. a serving feature cache).
+type TierCache = data.Cache
+
+// NewTierCache builds a cache with the given policy (nil means LRU).
+var NewTierCache = data.NewCache
+
+// Eviction policies for TierCache.
+var (
+	NewLRU           = data.NewLRU
+	NewDoorkeeperLRU = data.NewDoorkeeperLRU
+)
+
 // ---- experiments ------------------------------------------------------------------
 
-// Experiment is one paper-claim reproduction (E1-E14).
+// Experiment is one paper-claim reproduction (E1-E16).
 type Experiment = experiments.Experiment
 
 // ExperimentConfig sizes an experiment run.
 type ExperimentConfig = experiments.Config
 
-// Experiments returns the full E1-E14 suite.
+// Experiments returns the full E1-E16 suite.
 var Experiments = experiments.All
 
 // ExperimentByID finds one experiment.

@@ -79,14 +79,14 @@ func TestPublicMachineAndStorage(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(candle.Experiments()) != 15 {
+	if len(candle.Experiments()) != 16 {
 		t.Fatal("experiment suite incomplete")
 	}
 	if candle.ExperimentByID("E1") == nil {
 		t.Fatal("E1 missing")
 	}
-	if candle.ExperimentByID("E15") == nil {
-		t.Fatal("E15 missing")
+	if candle.ExperimentByID("E16") == nil {
+		t.Fatal("E16 missing")
 	}
 }
 
@@ -139,5 +139,55 @@ func TestPublicFaultAPI(t *testing.T) {
 	}
 	if d := candle.DalyInterval(60, 3600); d <= 0 {
 		t.Fatal("Daly interval not positive")
+	}
+}
+
+// TestPublicDataPlaneAPI shards a workload through the public facade,
+// streams it into Train via TrainConfig.Data, and checks the tier caches
+// and virtual clock are reachable from outside.
+func TestPublicDataPlaneAPI(t *testing.T) {
+	w, err := candle.WorkloadByName("tumor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, _ := w.Generate(candle.Tiny, candle.NewRNG(1))
+	man, store, err := candle.BuildShards(train, candle.ShardBuildOptions{ShardSamples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := man.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := candle.DecodeShardManifest(enc); err != nil {
+		t.Fatal(err)
+	}
+	tiers, err := candle.TiersFromNode(&candle.MachineGPU2017(1).Node, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := candle.NewLoader(man, store, candle.LoaderConfig{
+		Batch: 16, Seed: 7, Prefetch: 2,
+		NVRAMBytes: man.TotalBytes(), NVRAMPolicy: candle.NewLRU,
+		Tiers: tiers, ComputePerBatch: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	net := w.NewModel(w.DefaultConfig(), train.Dim(), train.OutDim(), candle.NewRNG(2))
+	if _, err := candle.Train(net, nil, nil, candle.TrainConfig{
+		Loss: candle.SoftmaxCELoss{}, Optimizer: candle.NewAdam(0.003), Epochs: 2, Data: l,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := l.LastEpoch()
+	if !ok || st.Seconds <= 0 || st.Batches != l.BatchesPerEpoch() {
+		t.Fatalf("loader epoch stats %+v not populated", st)
+	}
+	c := candle.NewTierCache("feature", 2, candle.NewDoorkeeperLRU(0))
+	c.Put("k", nil, 1)
+	if !c.Put("k", nil, 1) || !c.Contains("k") {
+		t.Fatal("public doorkeeper cache rejected a repeat key")
 	}
 }

@@ -1,11 +1,11 @@
-// Command candlebench runs the paper-reproduction experiment suite (E1-E15)
+// Command candlebench runs the paper-reproduction experiment suite (E1-E16)
 // and prints one result table per experiment.
 //
 // Usage:
 //
 //	candlebench [-quick] [-seed N] [-only E3,E8] [-csv dir] [-json dir]
 //	            [-metrics m.jsonl] [-trace t.json] [-comm BENCH_comm.json]
-//	            [-kernels BENCH_kernels.json]
+//	            [-kernels BENCH_kernels.json] [-data BENCH_data.json]
 //
 // Each experiment reproduces one architectural claim of Stevens' HPDC 2017
 // keynote; DESIGN.md maps claims to experiments and EXPERIMENTS.md records
@@ -41,6 +41,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a chrome://tracing span trace (JSON) to this file")
 	commOut := flag.String("comm", "", "write the deterministic gradient-communication profile (BENCH_comm.json) to this file and exit")
 	kernelsOut := flag.String("kernels", "", "measure the float32 kernel-engine profile (BENCH_kernels.json) on this host, write it to this file, and exit")
+	dataOut := flag.String("data", "", "write the deterministic tiered-staging data-plane profile (BENCH_data.json) to this file and exit")
 	flag.Parse()
 
 	if *commOut != "" {
@@ -48,6 +49,13 @@ func main() {
 		// same bytes, so the artifact can be byte-compared in tests.
 		writeTo(*commOut, experiments.CommBench().WriteJSON)
 		fmt.Printf("comm profile: %s\n", *commOut)
+		return
+	}
+	if *dataOut != "" {
+		// Virtual-clock output of a seeded run through the real streaming
+		// loader: same binary, same bytes, byte-compared in tests.
+		writeTo(*dataOut, experiments.DataBench().WriteJSON)
+		fmt.Printf("data-plane profile: %s\n", *dataOut)
 		return
 	}
 	if *kernelsOut != "" {

@@ -129,6 +129,114 @@ func TestCommittedCommArtifactIsCurrent(t *testing.T) {
 	}
 }
 
+// TestDataProfileIsBitIdentical generates the tiered-staging data-plane
+// profile twice and requires byte-identical JSON — everything in it is
+// virtual-clock output of a seeded run through the real streaming loader —
+// then checks the E7 crossover shape survives end-to-end execution: warm
+// NVRAM staging must crush direct-PFS once the dataset exceeds DRAM, and
+// the prefetched warm epoch must sit at max(compute, stage-in).
+func TestDataProfileIsBitIdentical(t *testing.T) {
+	bin := buildCandlebench(t)
+	dir := t.TempDir()
+	j1 := filepath.Join(dir, "a.json")
+	j2 := filepath.Join(dir, "b.json")
+
+	runCandlebench(t, bin, "-data", j1)
+	runCandlebench(t, bin, "-data", j2)
+
+	b1, err := os.ReadFile(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two runs produced different data-plane JSON:\n%s\n---\n%s", b1, b2)
+	}
+
+	var rep experiments.DataBenchReport
+	if err := json.Unmarshal(b1, &rep); err != nil {
+		t.Fatalf("data JSON does not parse: %v", err)
+	}
+	checkDataReport(t, &rep)
+}
+
+// checkDataReport asserts the headline invariants on a data-plane report.
+func checkDataReport(t *testing.T, rep *experiments.DataBenchReport) {
+	t.Helper()
+	row := func(dsGB float64, policy string) experiments.DataBenchRow {
+		for _, r := range rep.Rows {
+			if r.DatasetGB == dsGB && r.Policy == policy {
+				return r
+			}
+		}
+		t.Fatalf("no row for %gGB/%s", dsGB, policy)
+		return experiments.DataBenchRow{}
+	}
+	// Fits DRAM: the warm epoch is compute-bound out of the DRAM cache.
+	if r := row(32, "dram-lru"); r.WarmDRAMHits != r.Shards || r.WarmStallFrac > 0.05 {
+		t.Fatalf("32GB warm epoch not DRAM-resident and compute-bound: %+v", r)
+	}
+	// Exceeds DRAM, fits NVRAM: staged NVRAM beats direct PFS by >10x.
+	nv, direct := row(256, "nvram-staged"), row(256, "direct-pfs+prefetch")
+	if !(nv.WarmEpochS*10 < direct.WarmEpochS) {
+		t.Fatalf("NVRAM staging %.1fs not >10x faster than direct PFS %.1fs at 256GB",
+			nv.WarmEpochS, direct.WarmEpochS)
+	}
+	// Prefetch>0 collapses the warm epoch to ~max(compute, stage-in).
+	bound := nv.WarmComputeS
+	if nv.WarmStageS > bound {
+		bound = nv.WarmStageS
+	}
+	if nv.WarmEpochS < bound-1e-9 || nv.WarmEpochS > 1.05*bound {
+		t.Fatalf("prefetched warm epoch %.2fs is not ~max(compute %.2fs, stage %.2fs)",
+			nv.WarmEpochS, nv.WarmComputeS, nv.WarmStageS)
+	}
+	// Exceeds NVRAM: tiering helps, but the PFS is back on the clock.
+	t2000, d2000 := row(2000, "tiered-dram-nvram"), row(2000, "direct-pfs+prefetch")
+	if !(t2000.WarmEpochS < 0.9*d2000.WarmEpochS) || t2000.WarmPFSReads == 0 {
+		t.Fatalf("2TB tiering %.0fs vs direct %.0fs (PFS reads %d): crossover gone",
+			t2000.WarmEpochS, d2000.WarmEpochS, t2000.WarmPFSReads)
+	}
+}
+
+// TestCommittedDataArtifactIsCurrent regenerates BENCH_data.json and
+// compares it byte-for-byte with the committed copy (the profile is pure
+// virtual-clock output, so it can never legitimately drift), then re-checks
+// the committed numbers still carry the E7 crossover.
+func TestCommittedDataArtifactIsCurrent(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "BENCH_data.json"))
+	if err != nil {
+		t.Skipf("no committed BENCH_data.json: %v", err)
+	}
+	bin := buildCandlebench(t)
+	fresh := filepath.Join(t.TempDir(), "fresh.json")
+	runCandlebench(t, bin, "-data", fresh)
+	got, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, got) {
+		t.Fatal("BENCH_data.json is stale: regenerate with `make bench-data`")
+	}
+	// Schema currency: decoding into the current report type and re-encoding
+	// must reproduce the committed bytes exactly.
+	var rep experiments.DataBenchReport
+	if err := json.Unmarshal(committed, &rep); err != nil {
+		t.Fatalf("data JSON does not parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, buf.Bytes()) {
+		t.Fatal("BENCH_data.json does not match the current schema: regenerate with `make bench-data`")
+	}
+	checkDataReport(t, &rep)
+}
+
 // TestCommittedKernelsArtifactIsCurrent checks BENCH_kernels.json two ways.
 // The numbers are wall-clock measurements, so unlike BENCH_comm.json the file
 // cannot be byte-compared against a fresh run; instead (1) decoding it into

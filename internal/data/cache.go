@@ -1,0 +1,286 @@
+package data
+
+import "fmt"
+
+// EvictionPolicy decides which resident entries a full cache sacrifices and
+// whether a missing entry is worth admitting at all. The cache core calls it
+// under the cache's single-threaded discipline (the loader's dispatcher), so
+// implementations need no locking.
+//
+// The admission half exists because staging is not free: a scan-heavy trace
+// (every shard touched once per epoch, dataset >> cache) churns an
+// admit-everything cache without ever producing a hit. A policy that admits
+// only re-referenced keys keeps the cache for the shards that earn it. The
+// same contract will back the serving feature cache.
+type EvictionPolicy interface {
+	// Name identifies the policy in stats and reports.
+	Name() string
+	// Admit reports whether a missing key should be inserted.
+	Admit(key string, bytes int64) bool
+	// Touch notifies a hit on a resident key.
+	Touch(key string)
+	// Added notifies that key became resident.
+	Added(key string, bytes int64)
+	// Removed notifies that key left the cache (evicted or dropped).
+	Removed(key string)
+	// Victim names the next entry to evict (ok=false when empty).
+	Victim() (key string, ok bool)
+}
+
+// lruPolicy is least-recently-used with admit-everything: a doubly-linked
+// recency list over resident keys. LRU's inclusion property is what makes
+// cache hit-rate monotone non-decreasing in capacity on a fixed trace of
+// equal-sized entries — the property test pins exactly that.
+type lruPolicy struct {
+	nodes map[string]*lruNode
+	head  *lruNode // most recent
+	tail  *lruNode // least recent
+}
+
+type lruNode struct {
+	key        string
+	prev, next *lruNode
+}
+
+// NewLRU returns an admit-everything least-recently-used policy.
+func NewLRU() EvictionPolicy { return &lruPolicy{nodes: map[string]*lruNode{}} }
+
+func (p *lruPolicy) Name() string             { return "lru" }
+func (p *lruPolicy) Admit(string, int64) bool { return true }
+func (p *lruPolicy) Touch(key string)         { p.moveFront(p.nodes[key]) }
+func (p *lruPolicy) Added(key string, bytes int64) {
+	n := &lruNode{key: key}
+	p.nodes[key] = n
+	p.pushFront(n)
+}
+
+func (p *lruPolicy) Removed(key string) {
+	n := p.nodes[key]
+	if n == nil {
+		return
+	}
+	delete(p.nodes, key)
+	p.unlink(n)
+}
+
+func (p *lruPolicy) Victim() (string, bool) {
+	if p.tail == nil {
+		return "", false
+	}
+	return p.tail.key, true
+}
+
+func (p *lruPolicy) pushFront(n *lruNode) {
+	n.prev, n.next = nil, p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *lruPolicy) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (p *lruPolicy) moveFront(n *lruNode) {
+	if n == nil || p.head == n {
+		return
+	}
+	p.unlink(n)
+	p.pushFront(n)
+}
+
+// doorkeeperLRU is LRU recency with TinyLFU-style admission: a key is
+// admitted only the second time it asks (the doorkeeper remembers prior
+// misses), so a one-pass scan over a dataset larger than the cache cannot
+// flush entries that have proven reuse.
+type doorkeeperLRU struct {
+	lruPolicy
+	seen    map[string]bool
+	maxSeen int
+}
+
+// NewDoorkeeperLRU returns an LRU policy that admits a key only on its
+// second admission request. maxSeen bounds the doorkeeper set (<= 0 means
+// 4096); when full it resets, which at worst delays admissions.
+func NewDoorkeeperLRU(maxSeen int) EvictionPolicy {
+	if maxSeen <= 0 {
+		maxSeen = 4096
+	}
+	return &doorkeeperLRU{
+		lruPolicy: lruPolicy{nodes: map[string]*lruNode{}},
+		seen:      map[string]bool{},
+		maxSeen:   maxSeen,
+	}
+}
+
+func (p *doorkeeperLRU) Name() string { return "doorkeeper-lru" }
+
+func (p *doorkeeperLRU) Admit(key string, bytes int64) bool {
+	if p.seen[key] {
+		delete(p.seen, key)
+		return true
+	}
+	if len(p.seen) >= p.maxSeen {
+		p.seen = map[string]bool{}
+	}
+	p.seen[key] = true
+	return false
+}
+
+// CacheStats counts one cache's traffic.
+type CacheStats struct {
+	Hits      int
+	Misses    int
+	Admitted  int
+	Rejected  int // admission declined
+	Evictions int
+	BytesIn   int64 // logical bytes admitted
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 when untouched.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a byte-budgeted key-value cache with a pluggable eviction policy.
+// Values are opaque byte slices (shard payload copies here; feature vectors
+// later); the accounted size is the caller-declared logical size, so a
+// megabyte of real bytes can stand in for a terabyte of modelled ones.
+//
+// Not safe for concurrent use: the loader funnels every access through its
+// single dispatcher, which is also what makes cache-state evolution
+// deterministic.
+type Cache struct {
+	name    string
+	cap     int64
+	used    int64
+	entries map[string]*cacheEntry
+	policy  EvictionPolicy
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	val   []byte
+	bytes int64
+}
+
+// NewCache returns a cache holding at most capacity logical bytes under the
+// given policy (nil means NewLRU()).
+func NewCache(name string, capacity int64, policy EvictionPolicy) *Cache {
+	if policy == nil {
+		policy = NewLRU()
+	}
+	return &Cache{name: name, cap: capacity, entries: map[string]*cacheEntry{}, policy: policy}
+}
+
+// Name returns the cache's tier name.
+func (c *Cache) Name() string { return c.name }
+
+// Capacity returns the byte budget.
+func (c *Cache) Capacity() int64 { return c.cap }
+
+// Used returns the resident logical bytes.
+func (c *Cache) Used() int64 { return c.used }
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Policy returns the eviction policy's name.
+func (c *Cache) Policy() string { return c.policy.Name() }
+
+// Get returns the cached value and whether it was resident, updating hit /
+// miss counters and recency.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.policy.Touch(key)
+	return e.val, true
+}
+
+// Peek returns the cached value without touching counters or recency.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Contains reports residency without touching counters or recency.
+func (c *Cache) Contains(key string) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put offers (key, val) at the given logical size. The policy may decline
+// admission; otherwise victims are evicted until the entry fits. Entries
+// larger than the whole cache are rejected. Returns whether the entry is
+// resident afterwards.
+func (c *Cache) Put(key string, val []byte, bytes int64) bool {
+	if bytes > c.cap {
+		c.stats.Rejected++
+		return false
+	}
+	if _, ok := c.entries[key]; ok {
+		// Refresh in place (same logical size class by construction).
+		c.entries[key].val = val
+		c.policy.Touch(key)
+		return true
+	}
+	if !c.policy.Admit(key, bytes) {
+		c.stats.Rejected++
+		return false
+	}
+	for c.used+bytes > c.cap {
+		victim, ok := c.policy.Victim()
+		if !ok {
+			panic(fmt.Sprintf("data: cache %s over budget with no victim", c.name))
+		}
+		c.remove(victim)
+		c.stats.Evictions++
+	}
+	c.entries[key] = &cacheEntry{val: val, bytes: bytes}
+	c.used += bytes
+	c.policy.Added(key, bytes)
+	c.stats.Admitted++
+	c.stats.BytesIn += bytes
+	return true
+}
+
+// Drop removes key if resident (used for detected corruption).
+func (c *Cache) Drop(key string) {
+	if _, ok := c.entries[key]; ok {
+		c.remove(key)
+	}
+}
+
+func (c *Cache) remove(key string) {
+	e := c.entries[key]
+	delete(c.entries, key)
+	c.used -= e.bytes
+	c.policy.Removed(key)
+}

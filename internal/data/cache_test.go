@@ -1,0 +1,132 @@
+package data
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCacheLRUEvictsLeastRecent(t *testing.T) {
+	c := NewCache("t", 3, NewLRU())
+	for _, k := range []string{"a", "b", "c"} {
+		if !c.Put(k, []byte(k), 1) {
+			t.Fatalf("put %q rejected", k)
+		}
+	}
+	if _, ok := c.Get("a"); !ok { // a becomes most recent; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Put("d", []byte("d"), 1)
+	if c.Contains("b") {
+		t.Fatal("b should have been the LRU victim")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !c.Contains(k) {
+			t.Fatalf("%q missing after eviction", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Admitted != 4 {
+		t.Fatalf("stats %+v: want 1 eviction, 4 admissions", st)
+	}
+	if c.Used() != 3 || c.Len() != 3 {
+		t.Fatalf("used %d len %d, want 3/3", c.Used(), c.Len())
+	}
+}
+
+func TestCacheRejectsOversizeEntry(t *testing.T) {
+	c := NewCache("t", 10, nil)
+	if c.Put("big", nil, 11) {
+		t.Fatal("entry larger than the cache admitted")
+	}
+	if c.Stats().Rejected != 1 {
+		t.Fatal("oversize rejection not counted")
+	}
+}
+
+func TestCacheDoorkeeperAdmitsOnSecondRequest(t *testing.T) {
+	c := NewCache("t", 4, NewDoorkeeperLRU(0))
+	if c.Put("a", nil, 1) {
+		t.Fatal("doorkeeper admitted a first-time key")
+	}
+	if !c.Put("a", nil, 1) {
+		t.Fatal("doorkeeper rejected a second-time key")
+	}
+	if !c.Contains("a") {
+		t.Fatal("a not resident after second put")
+	}
+	if c.Policy() != "doorkeeper-lru" {
+		t.Fatalf("policy name %q", c.Policy())
+	}
+}
+
+func TestCacheDropRemovesEntry(t *testing.T) {
+	c := NewCache("t", 2, nil)
+	c.Put("a", []byte("x"), 1)
+	c.Drop("a")
+	if c.Contains("a") || c.Used() != 0 {
+		t.Fatal("drop left the entry or its bytes behind")
+	}
+	c.Drop("a") // idempotent
+	// The policy must have forgotten it too: filling the cache again must
+	// not try to evict the dropped key.
+	c.Put("b", nil, 1)
+	c.Put("c", nil, 1)
+	c.Put("d", nil, 1)
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+func TestCachePeekDoesNotTouchStats(t *testing.T) {
+	c := NewCache("t", 2, nil)
+	c.Put("a", []byte("v"), 1)
+	before := c.Stats()
+	if v, ok := c.Peek("a"); !ok || string(v) != "v" {
+		t.Fatal("peek failed")
+	}
+	if _, ok := c.Peek("zz"); ok {
+		t.Fatal("peek found a ghost")
+	}
+	if c.Stats() != before {
+		t.Fatal("peek moved the counters")
+	}
+}
+
+// TestCacheHitRateMonotoneInCapacity pins LRU's inclusion property: on a
+// fixed trace of equal-sized entries, a larger LRU cache's hit rate is never
+// worse than a smaller one's.
+func TestCacheHitRateMonotoneInCapacity(t *testing.T) {
+	const keys = 120
+	r := rng.New(42)
+	trace := make([]string, 6000)
+	for i := range trace {
+		k := r.Intn(keys)
+		if r.Bernoulli(0.7) { // skew towards a hot set
+			k = r.Intn(12)
+		}
+		trace[i] = fmt.Sprintf("k%03d", k)
+	}
+	run := func(capacity int64) float64 {
+		c := NewCache("t", capacity, NewLRU())
+		for _, k := range trace {
+			if _, ok := c.Get(k); !ok {
+				c.Put(k, nil, 1)
+			}
+		}
+		return c.Stats().HitRate()
+	}
+	prev := -1.0
+	for capacity := int64(1); capacity <= keys; capacity += 7 {
+		hr := run(capacity)
+		if hr < prev {
+			t.Fatalf("hit rate dropped from %.4f to %.4f when capacity grew to %d",
+				prev, hr, capacity)
+		}
+		prev = hr
+	}
+	if prev < 0.97 { // full-size cache only misses compulsory first touches
+		t.Fatalf("full-capacity hit rate %.4f suspiciously low", prev)
+	}
+}

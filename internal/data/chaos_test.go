@@ -1,0 +1,126 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/leakcheck"
+)
+
+// TestChaosWorkerKills drives the loader while a fault plan kills decode
+// workers mid-epoch — including every worker — and asserts the batch stream
+// is byte-identical to the kill-free run, with no goroutine left behind.
+func TestChaosWorkerKills(t *testing.T) {
+	defer leakcheck.Check(t)()
+	man, store := mustBuild(t, 100, 16)
+
+	clean := mustLoader(t, man, store, LoaderConfig{Batch: 8, Seed: 21, Prefetch: 3, Workers: 3})
+	var want [2]string
+	for e := range want {
+		want[e] = digestEpoch(t, clean, e)
+	}
+	clean.Close()
+
+	cases := map[string]*fault.Plan{
+		"one worker":   fault.NewPlan().Kill(1, 3),
+		"two workers":  fault.NewPlan().Kill(0, 2).Kill(2, 5),
+		"all workers":  fault.NewPlan().Kill(0, 1).Kill(1, 4).Kill(2, 6),
+		"first fetch":  fault.NewPlan().Kill(0, 0),
+		"second epoch": fault.NewPlan().Kill(1, 9),
+	}
+	for name, plan := range cases {
+		l := mustLoader(t, man, store, LoaderConfig{
+			Batch: 8, Seed: 21, Prefetch: 3, Workers: 3, Plan: plan,
+		})
+		for e := range want {
+			if digestEpoch(t, l, e) != want[e] {
+				t.Fatalf("%s: epoch %d stream diverged under worker kills", name, e)
+			}
+		}
+		l.Close()
+	}
+}
+
+// TestChaosSilentCorruption flips a bit in staged shard copies and asserts
+// the checksum catches it: the shard is re-staged from the tier below and
+// the delivered batches never change.
+func TestChaosSilentCorruption(t *testing.T) {
+	defer leakcheck.Check(t)()
+	man, store := mustBuild(t, 96, 16)
+
+	clean := mustLoader(t, man, store, LoaderConfig{Batch: 8, Seed: 31})
+	defer clean.Close()
+	l := mustLoader(t, man, store, LoaderConfig{
+		Batch: 8, Seed: 31, Prefetch: 2, Workers: 2, NVRAMBytes: man.TotalBytes(),
+	})
+	defer l.Close()
+
+	// Warm the NVRAM tier, then corrupt three staged copies in place.
+	if digestEpoch(t, l, 0) != digestEpoch(t, clean, 0) {
+		t.Fatal("warm-up epoch diverged")
+	}
+	for _, id := range []int{0, 2, 5} {
+		if !l.InjectCorruption(id) {
+			t.Fatalf("shard %d not staged, cannot corrupt", id)
+		}
+	}
+	if digestEpoch(t, l, 1) != digestEpoch(t, clean, 1) {
+		t.Fatal("corrupted staged copies leaked into the batch stream")
+	}
+	st, _ := l.LastEpoch()
+	if st.Restaged != 3 {
+		t.Fatalf("detected %d corrupted copies, want 3", st.Restaged)
+	}
+	if st.PFSReads != 3 || st.NVRAMHits != 3 {
+		t.Fatalf("served %+v, want 3 re-stages from PFS and 3 clean NVRAM hits", st)
+	}
+	// The re-staged copies are clean again.
+	digestEpoch(t, l, 2)
+	st, _ = l.LastEpoch()
+	if st.Restaged != 0 || st.NVRAMHits != 6 {
+		t.Fatalf("after re-stage: %+v, want 6 clean NVRAM hits", st)
+	}
+}
+
+// TestChaosSeededCorruptionDeterministic runs the probabilistic gray-failure
+// model: staged copies are corrupted at a seeded rate, every corruption is
+// caught, and two identical runs agree on both the stream and the fault
+// counters.
+func TestChaosSeededCorruptionDeterministic(t *testing.T) {
+	defer leakcheck.Check(t)()
+	man, store := mustBuild(t, 96, 16)
+
+	run := func() ([3]string, int, int) {
+		l := mustLoader(t, man, store, LoaderConfig{
+			Batch: 8, Seed: 41, Prefetch: 3, Workers: 2,
+			NVRAMBytes: man.TotalBytes(), CorruptProb: 0.5,
+		})
+		defer l.Close()
+		var digests [3]string
+		corrupted, restaged := 0, 0
+		for e := range digests {
+			digests[e] = digestEpoch(t, l, e)
+			st, _ := l.LastEpoch()
+			corrupted += st.Corrupted
+			restaged += st.Restaged
+		}
+		return digests, corrupted, restaged
+	}
+	d1, c1, r1 := run()
+	d2, c2, r2 := run()
+	if d1 != d2 || c1 != c2 || r1 != r2 {
+		t.Fatalf("seeded corruption runs disagree: %d/%d vs %d/%d corruptions/re-stages",
+			c1, r1, c2, r2)
+	}
+	if c1 == 0 || r1 == 0 {
+		t.Fatalf("CorruptProb=0.5 over 3 epochs produced %d corruptions, %d re-stages", c1, r1)
+	}
+
+	clean := mustLoader(t, man, store, LoaderConfig{Batch: 8, Seed: 41})
+	defer clean.Close()
+	for e := range d1 {
+		if digestEpoch(t, clean, e) != d1[e] {
+			t.Fatalf("epoch %d: corruption changed the delivered batches", e)
+		}
+	}
+}

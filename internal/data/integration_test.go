@@ -1,0 +1,198 @@
+package data_test
+
+import (
+	"testing"
+
+	"repro/internal/biodata"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/leakcheck"
+	"repro/internal/nn"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+func buildPlane(t testing.TB, samples, shardSamples int) (*biodata.Dataset, *data.Manifest, *data.Store) {
+	t.Helper()
+	cfg := biodata.TumorConfig{Samples: samples, Genes: 12, Classes: 3,
+		Informative: 6, Separation: 1.4, Noise: 1, PathwayBlocks: 2}
+	ds := biodata.Tumor(cfg, rng.New(7))
+	man, store, err := data.Build(ds, data.BuildOptions{ShardSamples: shardSamples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, man, store
+}
+
+func trainNet(seed uint64) *nn.Net {
+	r := rng.New(seed)
+	return nn.NewNet(nn.NewDense(12, 16, r), nn.NewActivation(nn.ReLU), nn.NewDense(16, 3, r))
+}
+
+// TestTrainOnLoader trains through TrainConfig.Data and checks the model
+// actually learns from the streamed batches.
+func TestTrainOnLoader(t *testing.T) {
+	ds, man, store := buildPlane(t, 384, 32)
+	l, err := data.NewLoader(man, store, data.LoaderConfig{Batch: 16, Seed: 3, Prefetch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	net := trainNet(1)
+	res, err := nn.Train(net, nil, nil, nn.TrainConfig{
+		Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdam(0.01), Epochs: 8, Data: l,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Steps, 8*l.BatchesPerEpoch(); got != want {
+		t.Fatalf("took %d optimizer steps, want %d", got, want)
+	}
+	first, last := res.EpochLoss[0], res.FinalLoss
+	if !(last < 0.7*first) {
+		t.Fatalf("streamed training did not learn: loss %.4f -> %.4f", first, last)
+	}
+	acc := nn.EvaluateClassifier(net, ds.X, ds.Labels)
+	if acc < 0.6 {
+		t.Fatalf("train accuracy %.3f after streamed training", acc)
+	}
+}
+
+func TestTrainDataPathValidation(t *testing.T) {
+	_, man, store := buildPlane(t, 64, 16)
+	l, err := data.NewLoader(man, store, data.LoaderConfig{Batch: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ds := biodata.Tumor(biodata.TumorConfig{Samples: 8, Genes: 12, Classes: 3,
+		Informative: 4, Separation: 1, Noise: 1}, rng.New(1))
+	base := nn.TrainConfig{Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewSGD(0.1), Epochs: 1, Data: l}
+
+	cfg := base
+	if _, err := nn.Train(trainNet(1), ds.X, ds.Y, cfg); err == nil {
+		t.Fatal("Data plus in-memory tensors accepted")
+	}
+	cfg = base
+	cfg.Shuffle = true
+	cfg.RNG = rng.New(1)
+	if _, err := nn.Train(trainNet(1), nil, nil, cfg); err == nil {
+		t.Fatal("Data plus Shuffle accepted")
+	}
+}
+
+// TestTrainOnLoaderResumeBitwise checkpoints mid-run and resumes into a
+// fresh net and a fresh loader: because the loader's epochs are pure
+// functions of (seed, epoch), the resumed run must match the uninterrupted
+// one bit for bit.
+func TestTrainOnLoaderResumeBitwise(t *testing.T) {
+	_, man, store := buildPlane(t, 192, 32)
+	mkLoader := func() *data.Loader {
+		l, err := data.NewLoader(man, store, data.LoaderConfig{Batch: 16, Seed: 17, Prefetch: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	mkCfg := func(l *data.Loader) nn.TrainConfig {
+		return nn.TrainConfig{
+			Loss: nn.SoftmaxCELoss{}, Optimizer: nn.NewAdam(0.01), Epochs: 6, Data: l,
+		}
+	}
+
+	refLoader := mkLoader()
+	defer refLoader.Close()
+	refNet := trainNet(9)
+	blobs := map[int][]byte{}
+	cfg := mkCfg(refLoader)
+	cfg.CheckpointEvery = 2
+	cfg.Checkpoint = func(epoch int, state []byte) error {
+		blobs[epoch] = append([]byte(nil), state...)
+		return nil
+	}
+	refRes, err := nn.Train(refNet, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resLoader := mkLoader()
+	defer resLoader.Close()
+	resNet := trainNet(9)
+	rcfg := mkCfg(resLoader)
+	rcfg.Resume = blobs[4]
+	resRes, err := nn.Train(resNet, nil, nil, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRes.FinalLoss != refRes.FinalLoss {
+		t.Fatalf("resumed final loss %v != reference %v", resRes.FinalLoss, refRes.FinalLoss)
+	}
+	refP, resP := refNet.Params(), resNet.Params()
+	for i := range refP {
+		for j := range refP[i].Data {
+			if refP[i].Data[j] != resP[i].Data[j] {
+				t.Fatalf("param %d[%d] diverged after resume: %v != %v",
+					i, j, resP[i].Data[j], refP[i].Data[j])
+			}
+		}
+	}
+}
+
+// TestDataParallelOnPartition trains the data-parallel trainer from a shard
+// partition: replicas stay in sync, the loss falls, and no goroutine leaks.
+func TestDataParallelOnPartition(t *testing.T) {
+	defer leakcheck.Check(t)()
+	_, man, store := buildPlane(t, 384, 32) // 12 shards over 4 ranks
+	p, err := data.NewPartition(man, store, 4, data.LoaderConfig{Batch: 16, Seed: 23, Prefetch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	net := trainNet(5)
+	res, err := parallel.TrainDataParallel(net, nil, nil, parallel.DataParallelConfig{
+		Replicas: 4,
+		Algo:     comm.ARTree,
+		Loss:     nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer {
+			return nn.NewSGD(0.05)
+		},
+		Epochs: 4,
+		Data:   p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Steps, 4*p.StepsPerEpoch(); got != want {
+		t.Fatalf("ran %d steps, want %d", got, want)
+	}
+	if len(res.EpochLoss) != 4 {
+		t.Fatalf("epoch losses %v, want 4 entries", res.EpochLoss)
+	}
+	if !(res.EpochLoss[3] < res.EpochLoss[0]) {
+		t.Fatalf("sharded data-parallel training did not learn: %v", res.EpochLoss)
+	}
+	// Every rank consumed its own shard subset through its own caches.
+	for r := 0; r < 4; r++ {
+		if n := p.Loader(r).NumShards(); n != 3 {
+			t.Fatalf("rank %d owns %d shards, want 3", r, n)
+		}
+	}
+}
+
+func TestDataParallelPartitionValidation(t *testing.T) {
+	_, man, store := buildPlane(t, 384, 32)
+	p, err := data.NewPartition(man, store, 3, data.LoaderConfig{Batch: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	cfg := parallel.DataParallelConfig{
+		Replicas: 4, Algo: comm.ARTree, Loss: nn.SoftmaxCELoss{},
+		NewOptimizer: func() nn.Optimizer { return nn.NewSGD(0.1) },
+		Data:         p,
+	}
+	if _, err := parallel.TrainDataParallel(trainNet(1), nil, nil, cfg); err == nil {
+		t.Fatal("rank-count mismatch accepted")
+	}
+}

@@ -1,0 +1,664 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/machine"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TierSpec is the memory/storage hierarchy the loader charges reads against:
+// DRAM over NVRAM over the parallel file system. A zero-bandwidth tier makes
+// its reads free, so a loader built with the zero TierSpec streams batches
+// without any virtual-time accounting.
+type TierSpec struct {
+	DRAM  machine.MemTier
+	NVRAM machine.MemTier
+	PFS   machine.MemTier
+}
+
+// TiersFromNode extracts the DRAM/NVRAM/PFS tiers from a machine node and
+// derates the PFS bandwidth by the number of nodes sharing the file system
+// (the same contention model storage.Simulate uses).
+func TiersFromNode(node *machine.Node, sharedPFSNodes int) (TierSpec, error) {
+	var ts TierSpec
+	var ok bool
+	if ts.DRAM, ok = node.TierByName("DRAM"); !ok {
+		return ts, fmt.Errorf("data: node %q has no DRAM tier", node.Name)
+	}
+	if ts.NVRAM, ok = node.TierByName("NVRAM"); !ok {
+		return ts, fmt.Errorf("data: node %q has no NVRAM tier", node.Name)
+	}
+	if ts.PFS, ok = node.TierByName("PFS"); !ok {
+		return ts, fmt.Errorf("data: node %q has no PFS tier", node.Name)
+	}
+	if sharedPFSNodes > 1 {
+		ts.PFS.BandwidthBps /= float64(sharedPFSNodes)
+	}
+	return ts, nil
+}
+
+// readCost is the virtual seconds to read bytes from a tier; a tier with no
+// bandwidth configured costs nothing (timing disabled).
+func readCost(t machine.MemTier, bytes int64) float64 {
+	if t.BandwidthBps <= 0 {
+		return 0
+	}
+	return t.LatencySec + float64(bytes)/t.BandwidthBps
+}
+
+// LoaderConfig configures a streaming loader.
+type LoaderConfig struct {
+	// Batch is the samples per training batch (required). Batches never span
+	// shards, so a shard whose sample count is not a multiple ends with a
+	// short batch.
+	Batch int
+	// Seed drives every random choice: the per-epoch shard order, the
+	// within-shard sample order, and the corruption draws. Same seed, same
+	// byte stream — regardless of prefetch depth, worker count, or
+	// goroutine scheduling.
+	Seed uint64
+	// Prefetch is the readahead depth in shards: how many shards beyond the
+	// one being consumed may be in flight. 0 means synchronous staging
+	// (fetch k starts only when shard k-1 is fully consumed); with depth D,
+	// up to D+1 buffer slots overlap stage-in with compute and epoch time
+	// approaches max(compute, stage-in).
+	Prefetch int
+	// Workers is the number of decode worker goroutines when Prefetch > 0
+	// (<= 0 means min(Prefetch, 4)). With Prefetch == 0 everything runs
+	// inline on the caller's goroutine.
+	Workers int
+	// DRAMBytes and NVRAMBytes are the per-tier cache budgets in logical
+	// bytes; 0 disables the tier (DRAMBytes == NVRAMBytes == 0 is the
+	// direct-PFS policy).
+	DRAMBytes  int64
+	NVRAMBytes int64
+	// DRAMPolicy and NVRAMPolicy construct the eviction policy for each
+	// tier cache (nil means NewLRU). A constructor, not an instance, so
+	// Partition can give every rank its own policy state.
+	DRAMPolicy  func() EvictionPolicy
+	NVRAMPolicy func() EvictionPolicy
+	// Tiers prices the reads on the virtual clock. The zero value disables
+	// timing.
+	Tiers TierSpec
+	// ComputePerBatch is the virtual seconds of training compute one batch
+	// consumes; it is what stage-in overlaps against.
+	ComputePerBatch float64
+	// Plan optionally kills decode workers: worker w dies when it picks up
+	// the fetch job whose global sequence number matches Plan.KillAt(w, seq).
+	// Killed workers stay dead; the loader re-issues the orphaned job to a
+	// survivor, or decodes inline when none remain.
+	Plan *fault.Plan
+	// CorruptProb is the probability that staging a shard copy into a tier
+	// cache silently flips one bit of the copy (the gray-failure model).
+	// The next read of that copy fails checksum verification and the shard
+	// is re-staged from the tier below.
+	CorruptProb float64
+}
+
+// EpochStats is the virtual-clock account of one fully consumed epoch.
+type EpochStats struct {
+	// Epoch is the epoch number passed to Reset.
+	Epoch int
+	// Batches is the number of batches delivered.
+	Batches int
+	// Seconds is the virtual wall time of the epoch.
+	Seconds float64
+	// ComputeSeconds is the pure training compute (Batches x ComputePerBatch).
+	ComputeSeconds float64
+	// StageSeconds is the fetch-channel busy time (sum of all read costs).
+	StageSeconds float64
+	// StallSeconds is time the consumer spent waiting on fetches.
+	StallSeconds float64
+	// StallFraction is StallSeconds / Seconds.
+	StallFraction float64
+	// DRAMHits, NVRAMHits and PFSReads count where each shard fetch was
+	// served from.
+	DRAMHits  int
+	NVRAMHits int
+	PFSReads  int
+	// Corrupted counts staged copies the gray-failure model flipped a bit
+	// in; Restaged counts corrupted copies that were detected by checksum
+	// and discarded (then re-fetched from the tier below).
+	Corrupted int
+	Restaged  int
+}
+
+// fetchJob carries one shard fetch through the worker pool. The dispatcher
+// decides everything ahead of time — source bytes (always the immutable PFS
+// blob), sample order, virtual timings — so workers only do the pure
+// blob-to-tensor decode and scheduling cannot affect results.
+type fetchJob struct {
+	seq      int // global fetch sequence number (fault.Plan step index)
+	orderIdx int // position in this epoch's shard order
+	shard    int // shard ID
+	blob     []byte
+	perm     []int // within-shard sample order for this epoch
+}
+
+type fetchResult struct {
+	orderIdx int
+	batches  []batch
+}
+
+type batch struct {
+	x, y *tensor.Tensor
+}
+
+// Loader streams deterministic training batches from a sharded store through
+// the tier caches, charging every byte moved to a virtual clock. It
+// implements nn.BatchIterator. Not safe for concurrent use: one consumer
+// goroutine drives Reset/Next/Close, and that single dispatcher serialises
+// all cache decisions, checksum checks and corruption draws — which is what
+// makes two same-seed runs byte-identical even with a racing worker pool.
+type Loader struct {
+	man    *Manifest
+	store  *Store
+	cfg    LoaderConfig
+	shards []int // shard IDs this loader owns (a subset under Partition)
+
+	dram  *Cache // nil when the tier is disabled
+	nvram *Cache
+
+	workers int
+	live    atomic.Int32
+	jobs    chan fetchJob
+	requeue chan fetchJob
+	results chan fetchResult
+	closed  bool
+
+	// Epoch state, owned by the dispatcher.
+	started      bool
+	epoch        int
+	order        []int // permutation of indexes into shards
+	corruptR     *rng.Stream
+	seq          int
+	nextDispatch int
+	nextConsume  int
+	pending      map[int][]batch // orderIdx -> decoded batches
+	fetchEndAt   map[int]float64 // orderIdx -> virtual fetch completion
+	cur          []batch
+	curBatch     int
+
+	// Virtual clock (absolute; carries across epochs so warm-cache epochs
+	// start where the previous one ended).
+	fetchEndV   float64
+	consumeEndV float64
+	epochStartV float64
+	stats       EpochStats
+	finalized   bool
+	history     []EpochStats
+}
+
+// NewLoader builds a loader over every shard of the manifest.
+func NewLoader(man *Manifest, store *Store, cfg LoaderConfig) (*Loader, error) {
+	ids := make([]int, man.NumShards())
+	for i := range ids {
+		ids[i] = i
+	}
+	return newLoader(man, store, ids, cfg)
+}
+
+func newLoader(man *Manifest, store *Store, shardIDs []int, cfg LoaderConfig) (*Loader, error) {
+	if man == nil || store == nil {
+		return nil, fmt.Errorf("data: loader needs a manifest and a store")
+	}
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("data: Batch must be > 0, got %d", cfg.Batch)
+	}
+	if cfg.Prefetch < 0 {
+		return nil, fmt.Errorf("data: Prefetch must be >= 0, got %d", cfg.Prefetch)
+	}
+	if cfg.CorruptProb < 0 || cfg.CorruptProb > 1 {
+		return nil, fmt.Errorf("data: CorruptProb %v outside [0,1]", cfg.CorruptProb)
+	}
+	if len(shardIDs) == 0 {
+		return nil, fmt.Errorf("data: loader owns no shards")
+	}
+	l := &Loader{man: man, store: store, cfg: cfg, shards: shardIDs}
+	if cfg.DRAMBytes > 0 {
+		l.dram = NewCache("dram", cfg.DRAMBytes, newPolicy(cfg.DRAMPolicy))
+	}
+	if cfg.NVRAMBytes > 0 {
+		l.nvram = NewCache("nvram", cfg.NVRAMBytes, newPolicy(cfg.NVRAMPolicy))
+	}
+	if cfg.Prefetch > 0 {
+		l.workers = cfg.Workers
+		if l.workers <= 0 {
+			l.workers = min(cfg.Prefetch, 4)
+		}
+		// Outstanding jobs never exceed the prefetch window, so these
+		// capacities guarantee neither dispatcher nor workers ever block
+		// on a channel send.
+		depth := cfg.Prefetch + 1 + l.workers
+		l.jobs = make(chan fetchJob, depth)
+		l.results = make(chan fetchResult, depth)
+		l.requeue = make(chan fetchJob, l.workers)
+		l.live.Store(int32(l.workers))
+		for i := 0; i < l.workers; i++ {
+			go l.workerLoop(i)
+		}
+	}
+	return l, nil
+}
+
+func newPolicy(f func() EvictionPolicy) EvictionPolicy {
+	if f == nil {
+		return NewLRU()
+	}
+	return f()
+}
+
+// Manifest returns the loader's manifest.
+func (l *Loader) Manifest() *Manifest { return l.man }
+
+// NumShards returns how many shards this loader owns.
+func (l *Loader) NumShards() int { return len(l.shards) }
+
+// BatchesPerEpoch returns the batches one epoch delivers.
+func (l *Loader) BatchesPerEpoch() int {
+	n := 0
+	for _, id := range l.shards {
+		n += (l.man.Shards[id].Samples() + l.cfg.Batch - 1) / l.cfg.Batch
+	}
+	return n
+}
+
+// SamplesPerEpoch returns the samples one epoch delivers.
+func (l *Loader) SamplesPerEpoch() int {
+	n := 0
+	for _, id := range l.shards {
+		n += l.man.Shards[id].Samples()
+	}
+	return n
+}
+
+// DRAM and NVRAM expose the tier caches (nil when disabled).
+func (l *Loader) DRAM() *Cache  { return l.dram }
+func (l *Loader) NVRAM() *Cache { return l.nvram }
+
+// Clock returns the loader's virtual now in seconds.
+func (l *Loader) Clock() float64 { return l.consumeEndV }
+
+// History returns the stats of every fully consumed epoch, in order.
+func (l *Loader) History() []EpochStats {
+	out := make([]EpochStats, len(l.history))
+	copy(out, l.history)
+	return out
+}
+
+// LastEpoch returns the most recently completed epoch's stats.
+func (l *Loader) LastEpoch() (EpochStats, bool) {
+	if len(l.history) == 0 {
+		return EpochStats{}, false
+	}
+	return l.history[len(l.history)-1], true
+}
+
+// Residency reports the highest tier shard id is currently staged in:
+// "dram", "nvram", or "pfs" (authoritative copy only).
+func (l *Loader) Residency(id int) string {
+	name := l.man.Shards[id].Name
+	if l.dram != nil && l.dram.Contains(name) {
+		return "dram"
+	}
+	if l.nvram != nil && l.nvram.Contains(name) {
+		return "nvram"
+	}
+	return "pfs"
+}
+
+// InjectCorruption flips one bit of shard id's staged copy in its highest
+// resident tier, returning whether a copy was resident. A test hook for the
+// chaos suite; call it from the consumer goroutine between batches.
+func (l *Loader) InjectCorruption(id int) bool {
+	name := l.man.Shards[id].Name
+	for _, c := range []*Cache{l.dram, l.nvram} {
+		if c == nil {
+			continue
+		}
+		if v, ok := c.Peek(name); ok && len(v) > 0 {
+			v[0] ^= 1
+			return true
+		}
+	}
+	return false
+}
+
+// stream derives a fresh deterministic stream for a label — a pure function
+// of (Seed, label), independent of how much randomness was drawn before.
+func (l *Loader) stream(label string) *rng.Stream {
+	return rng.New(l.cfg.Seed).Split(label)
+}
+
+// Reset starts (or restarts) an epoch: it drains any in-flight fetches,
+// reseeds the epoch's shard order, sample orders and corruption draws purely
+// from (Seed, epoch), and primes the prefetch window. Resetting the same
+// epoch twice replays it exactly (modulo cache warmth).
+func (l *Loader) Reset(epoch int) {
+	l.drain()
+	l.started = true
+	l.epoch = epoch
+	l.order = l.stream(fmt.Sprintf("e%d.order", epoch)).Perm(len(l.shards))
+	l.corruptR = l.stream(fmt.Sprintf("e%d.corrupt", epoch))
+	l.nextDispatch, l.nextConsume = 0, 0
+	l.cur, l.curBatch = nil, 0
+	l.pending = map[int][]batch{}
+	l.fetchEndAt = map[int]float64{}
+	l.epochStartV = l.consumeEndV
+	l.stats = EpochStats{Epoch: epoch}
+	l.finalized = false
+	for l.nextDispatch < len(l.order) && l.nextDispatch < l.cfg.Prefetch+1 {
+		l.dispatchNext()
+	}
+}
+
+// Next returns the next batch of the epoch, or ok=false when the epoch is
+// exhausted (call Reset to start the next one). Implements nn.BatchIterator.
+func (l *Loader) Next() (x, y *tensor.Tensor, ok bool) {
+	if !l.started {
+		l.Reset(0)
+	}
+	if l.curBatch >= len(l.cur) {
+		if l.nextConsume >= len(l.order) {
+			l.finalize()
+			return nil, nil, false
+		}
+		l.consumeNext()
+	}
+	b := l.cur[l.curBatch]
+	l.curBatch++
+	return b.x, b.y, true
+}
+
+// Close drains in-flight fetches and stops the worker pool. Idempotent.
+func (l *Loader) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	if l.jobs != nil {
+		l.drain()
+		close(l.jobs)
+	}
+}
+
+// consumeNext pops the next shard in order, charges the virtual clock for
+// the wait and the compute, and refills the prefetch window.
+func (l *Loader) consumeNext() {
+	idx := l.nextConsume
+	batches := l.await(idx)
+	l.nextConsume++
+	start := math.Max(l.consumeEndV, l.fetchEndAt[idx])
+	delete(l.fetchEndAt, idx)
+	l.stats.StallSeconds += start - l.consumeEndV
+	compute := float64(len(batches)) * l.cfg.ComputePerBatch
+	l.stats.ComputeSeconds += compute
+	l.stats.Batches += len(batches)
+	l.consumeEndV = start + compute
+	l.cur, l.curBatch = batches, 0
+	// A buffer slot freed: keep up to Prefetch+1 shards in flight.
+	for l.nextDispatch < len(l.order) && l.nextDispatch < l.nextConsume+l.cfg.Prefetch+1 {
+		l.dispatchNext()
+	}
+}
+
+// dispatchNext plans the next shard fetch: the dispatcher serially decides
+// the source tier, mutates the caches, draws any corruption, and books the
+// fetch on the virtual clock; only the pure decode goes to the worker pool.
+func (l *Loader) dispatchNext() {
+	idx := l.nextDispatch
+	l.nextDispatch++
+	shardID := l.shards[l.order[idx]]
+	sh := l.man.Shards[shardID]
+	cost := l.planFetch(sh)
+	start := math.Max(l.fetchEndV, l.consumeEndV)
+	l.fetchEndV = start + cost
+	l.stats.StageSeconds += cost
+	l.fetchEndAt[idx] = l.fetchEndV
+	blob, err := l.store.Blob(shardID)
+	if err != nil {
+		panic(fmt.Sprintf("data: loader: %v", err))
+	}
+	perm := l.stream(fmt.Sprintf("e%d.s%d", l.epoch, shardID)).Perm(sh.Samples())
+	job := fetchJob{seq: l.seq, orderIdx: idx, shard: shardID, blob: blob, perm: perm}
+	l.seq++
+	if l.workers == 0 || l.live.Load() == 0 {
+		l.pending[idx] = l.materialize(job)
+	} else {
+		l.jobs <- job
+	}
+}
+
+// planFetch picks the tier a shard is served from, verifies staged copies,
+// stages/promotes as configured, and returns the read cost. Dispatcher-only.
+func (l *Loader) planFetch(sh Shard) float64 {
+	key := sh.Name
+	if l.dram != nil {
+		if v, ok := l.dram.Get(key); ok {
+			if l.store.VerifyShard(sh.ID, v) {
+				l.stats.DRAMHits++
+				return readCost(l.cfg.Tiers.DRAM, sh.Bytes)
+			}
+			// Silent corruption caught by the checksum: discard, fall
+			// through to the tier below.
+			l.dram.Drop(key)
+			l.stats.Restaged++
+		}
+	}
+	if l.nvram != nil {
+		if v, ok := l.nvram.Get(key); ok {
+			if l.store.VerifyShard(sh.ID, v) {
+				l.stats.NVRAMHits++
+				if l.dram != nil {
+					l.dram.Put(key, l.stageCopy(v), sh.Bytes)
+				}
+				return readCost(l.cfg.Tiers.NVRAM, sh.Bytes)
+			}
+			l.nvram.Drop(key)
+			l.stats.Restaged++
+		}
+	}
+	blob, err := l.store.Blob(sh.ID)
+	if err != nil {
+		panic(fmt.Sprintf("data: loader: %v", err))
+	}
+	l.stats.PFSReads++
+	if l.nvram != nil {
+		l.nvram.Put(key, l.stageCopy(blob), sh.Bytes)
+	} else if l.dram != nil {
+		l.dram.Put(key, l.stageCopy(blob), sh.Bytes)
+	}
+	return readCost(l.cfg.Tiers.PFS, sh.Bytes)
+}
+
+// stageCopy copies src for residence in a tier cache, flipping one bit with
+// probability CorruptProb (the silent-corruption gray-failure model; the
+// flip is found by checksum on the copy's next read, never served).
+func (l *Loader) stageCopy(src []byte) []byte {
+	cp := append([]byte(nil), src...)
+	if l.cfg.CorruptProb > 0 && len(cp) > 0 && l.corruptR.Bernoulli(l.cfg.CorruptProb) {
+		bit := l.corruptR.Intn(len(cp) * 8)
+		cp[bit>>3] ^= 1 << (bit & 7)
+		l.stats.Corrupted++
+	}
+	return cp
+}
+
+// materialize decodes a shard fetch into its epoch batches — a pure function
+// of the job, safe on any goroutine.
+func (l *Loader) materialize(job fetchJob) []batch {
+	xd, yd := l.man.XDim, l.man.YDim
+	n := len(job.perm)
+	batches := make([]batch, 0, (n+l.cfg.Batch-1)/l.cfg.Batch)
+	for lo := 0; lo < n; lo += l.cfg.Batch {
+		hi := min(lo+l.cfg.Batch, n)
+		bx := tensor.New(hi-lo, xd)
+		by := tensor.New(hi-lo, yd)
+		for i := lo; i < hi; i++ {
+			decodeRow(job.blob, job.perm[i], xd, yd,
+				bx.Data[(i-lo)*xd:(i-lo+1)*xd], by.Data[(i-lo)*yd:(i-lo+1)*yd])
+		}
+		batches = append(batches, batch{x: bx, y: by})
+	}
+	return batches
+}
+
+// await blocks until the batches for order index idx are available, handling
+// worker deaths: orphaned jobs from killed workers are re-issued to
+// survivors, or decoded inline when none remain.
+func (l *Loader) await(idx int) []batch {
+	for {
+		if b, ok := l.pending[idx]; ok {
+			delete(l.pending, idx)
+			return b
+		}
+		if l.workers == 0 {
+			panic("data: loader: batch missing with no worker pool")
+		}
+		if l.live.Load() > 0 {
+			select {
+			case res := <-l.results:
+				l.pending[res.orderIdx] = res.batches
+			case job := <-l.requeue:
+				l.reissue(job)
+			}
+			continue
+		}
+		// Every worker is dead: results may still be buffered, and
+		// dispatched jobs may sit unclaimed in the jobs channel.
+		select {
+		case res := <-l.results:
+			l.pending[res.orderIdx] = res.batches
+		case job := <-l.requeue:
+			l.pending[job.orderIdx] = l.materialize(job)
+		case job := <-l.jobs:
+			l.pending[job.orderIdx] = l.materialize(job)
+		}
+	}
+}
+
+// reissue hands a killed worker's job to a survivor, or decodes it inline.
+func (l *Loader) reissue(job fetchJob) {
+	if l.live.Load() > 0 {
+		l.jobs <- job
+	} else {
+		l.pending[job.orderIdx] = l.materialize(job)
+	}
+}
+
+// drain consumes (and discards) every dispatched-but-unconsumed fetch so the
+// loader can be reset or closed without stranding jobs.
+func (l *Loader) drain() {
+	for l.nextConsume < l.nextDispatch {
+		l.await(l.nextConsume)
+		l.nextConsume++
+	}
+}
+
+// finalize seals the epoch's stats once the last batch has been delivered.
+func (l *Loader) finalize() {
+	if l.finalized || !l.started {
+		return
+	}
+	l.finalized = true
+	l.stats.Seconds = l.consumeEndV - l.epochStartV
+	if l.stats.Seconds > 0 {
+		l.stats.StallFraction = l.stats.StallSeconds / l.stats.Seconds
+	}
+	l.history = append(l.history, l.stats)
+}
+
+// workerLoop is one decode worker. On a planned kill it pushes its job to
+// the requeue channel and exits for good — the dispatcher notices via the
+// live counter and routes around it.
+func (l *Loader) workerLoop(id int) {
+	for job := range l.jobs {
+		if l.cfg.Plan.KillAt(id, job.seq) {
+			l.live.Add(-1)
+			l.requeue <- job
+			return
+		}
+		l.results <- fetchResult{orderIdx: job.orderIdx, batches: l.materialize(job)}
+	}
+}
+
+// Partition splits a manifest's shards round-robin across ranks for
+// data-parallel training: rank r owns shards r, r+ranks, r+2*ranks, ... Each
+// rank gets its own Loader (own caches, own seed stream) over its shard
+// subset, and every rank delivers the same number of steps per epoch so the
+// ranks stay in lockstep. Implements parallel.ShardedData.
+type Partition struct {
+	loaders []*Loader
+	steps   int
+	dropped int
+}
+
+// NewPartition builds per-rank loaders over man. Every assigned shard must
+// hold exactly ShardSamples samples; when the shard count is not a multiple
+// of ranks the trailing shards are dropped (see Dropped).
+func NewPartition(man *Manifest, store *Store, ranks int, cfg LoaderConfig) (*Partition, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("data: ranks must be > 0, got %d", ranks)
+	}
+	per := man.NumShards() / ranks
+	if per == 0 {
+		return nil, fmt.Errorf("data: %d shards cannot feed %d ranks", man.NumShards(), ranks)
+	}
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("data: Batch must be > 0, got %d", cfg.Batch)
+	}
+	use := ranks * per
+	for i := 0; i < use; i++ {
+		if man.Shards[i].Samples() != man.ShardSamples {
+			return nil, fmt.Errorf("data: shard %d holds %d samples, want %d: lockstep ranks need equal shards",
+				i, man.Shards[i].Samples(), man.ShardSamples)
+		}
+	}
+	batchesPerShard := (man.ShardSamples + cfg.Batch - 1) / cfg.Batch
+	p := &Partition{steps: per * batchesPerShard, dropped: man.NumShards() - use}
+	root := rng.New(cfg.Seed)
+	for r := 0; r < ranks; r++ {
+		ids := make([]int, 0, per)
+		for i := r; i < use; i += ranks {
+			ids = append(ids, i)
+		}
+		cfgr := cfg
+		cfgr.Seed = root.SplitN(r).Uint64()
+		l, err := newLoader(man, store, ids, cfgr)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.loaders = append(p.loaders, l)
+	}
+	return p, nil
+}
+
+// Workers returns the rank count.
+func (p *Partition) Workers() int { return len(p.loaders) }
+
+// StepsPerEpoch returns the per-rank batches per epoch (equal across ranks).
+func (p *Partition) StepsPerEpoch() int { return p.steps }
+
+// Iterator returns rank r's batch iterator.
+func (p *Partition) Iterator(rank int) nn.BatchIterator { return p.loaders[rank] }
+
+// Loader returns rank r's loader for stats and residency queries.
+func (p *Partition) Loader(rank int) *Loader { return p.loaders[rank] }
+
+// Dropped returns how many trailing shards were left unassigned to keep the
+// ranks' shard counts equal.
+func (p *Partition) Dropped() int { return p.dropped }
+
+// Close closes every rank's loader.
+func (p *Partition) Close() {
+	for _, l := range p.loaders {
+		l.Close()
+	}
+}

@@ -1,0 +1,353 @@
+package data
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/tensor"
+)
+
+// digestEpoch consumes one epoch and hashes every delivered batch byte —
+// shapes and values — so two streams are equal iff the digests are.
+func digestEpoch(t testing.TB, l *Loader, epoch int) string {
+	t.Helper()
+	h := sha256.New()
+	l.Reset(epoch)
+	for {
+		x, y, ok := l.Next()
+		if !ok {
+			break
+		}
+		for _, ten := range []*tensor.Tensor{x, y} {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(ten.Dim(0))<<32|uint64(ten.Dim(1)))
+			h.Write(b[:])
+			for _, v := range ten.Data {
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+				h.Write(b[:])
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func mustLoader(t testing.TB, man *Manifest, store *Store, cfg LoaderConfig) *Loader {
+	t.Helper()
+	l, err := NewLoader(man, store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// TestLoaderSeedDeterminism: same seed => byte-identical epoch batch
+// streams, across fresh loaders and across prefetch/worker configurations
+// (goroutine scheduling must not be observable).
+func TestLoaderSeedDeterminism(t *testing.T) {
+	man, store := mustBuild(t, 100, 16)
+	configs := []LoaderConfig{
+		{Batch: 8, Seed: 11},
+		{Batch: 8, Seed: 11, Prefetch: 3, Workers: 2},
+		{Batch: 8, Seed: 11, Prefetch: 5, Workers: 4, NVRAMBytes: man.TotalBytes()},
+		{Batch: 8, Seed: 11, Prefetch: 2, Workers: 1,
+			DRAMBytes: man.TotalBytes() / 2, NVRAMBytes: man.TotalBytes()},
+	}
+	var want [3]string
+	for ci, cfg := range configs {
+		l := mustLoader(t, man, store, cfg)
+		for e := 0; e < 3; e++ {
+			got := digestEpoch(t, l, e)
+			if ci == 0 {
+				want[e] = got
+			} else if got != want[e] {
+				t.Fatalf("config %d epoch %d stream differs from synchronous baseline", ci, e)
+			}
+		}
+		l.Close()
+	}
+	// Different seed, different stream; different epochs, different streams.
+	l := mustLoader(t, man, store, LoaderConfig{Batch: 8, Seed: 12})
+	defer l.Close()
+	if digestEpoch(t, l, 0) == want[0] {
+		t.Fatal("seed 12 reproduced seed 11's stream")
+	}
+	if want[0] == want[1] {
+		t.Fatal("epochs 0 and 1 delivered identical streams (no reshuffle)")
+	}
+}
+
+// TestLoaderEpochReplay: resetting the same epoch replays the identical
+// stream — the property checkpoint/resume at epoch boundaries relies on.
+func TestLoaderEpochReplay(t *testing.T) {
+	man, store := mustBuild(t, 64, 16)
+	l := mustLoader(t, man, store, LoaderConfig{Batch: 8, Seed: 3, Prefetch: 2, NVRAMBytes: man.TotalBytes()})
+	defer l.Close()
+	first := digestEpoch(t, l, 5)
+	if digestEpoch(t, l, 5) != first {
+		t.Fatal("replaying epoch 5 produced a different stream")
+	}
+}
+
+// TestLoaderEpochIsExactCover: one epoch delivers every dataset sample
+// exactly once (as a multiset of (x,y) rows), for full and short shards.
+func TestLoaderEpochIsExactCover(t *testing.T) {
+	ds := testDataset(100)
+	man, store, err := Build(ds, BuildOptions{ShardSamples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := mustLoader(t, man, store, LoaderConfig{Batch: 8, Seed: 9, Prefetch: 3, Workers: 2})
+	defer l.Close()
+
+	rowKey := func(x, y []float64) string {
+		b := make([]byte, 0, 8*(len(x)+len(y)))
+		for _, v := range append(append([]float64{}, x...), y...) {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return string(b)
+	}
+	want := map[string]int{}
+	for i := 0; i < ds.N(); i++ {
+		want[rowKey(ds.X.Row(i).Data, ds.Y.Row(i).Data)]++
+	}
+	got := map[string]int{}
+	samples := 0
+	l.Reset(0)
+	for {
+		x, y, ok := l.Next()
+		if !ok {
+			break
+		}
+		for r := 0; r < x.Dim(0); r++ {
+			got[rowKey(x.Row(r).Data, y.Row(r).Data)]++
+			samples++
+		}
+	}
+	if samples != ds.N() {
+		t.Fatalf("epoch delivered %d samples, dataset has %d", samples, ds.N())
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("sample multiplicity %d in epoch, %d in dataset", got[k], n)
+		}
+	}
+}
+
+// clockFixture builds a 6-shard dataset where every shard costs exactly
+// pfsSec to stage from PFS and computeSec to train on.
+func clockFixture(t *testing.T, pfsSec, computePerBatch float64) (*Manifest, *Store, LoaderConfig) {
+	t.Helper()
+	man, store := mustBuild(t, 96, 16) // 6 equal shards, 2 batches each at Batch=8
+	shardBytes := float64(man.Shards[0].Bytes)
+	cfg := LoaderConfig{
+		Batch: 8, Seed: 5,
+		Tiers:           TierSpec{PFS: machine.MemTier{Name: "PFS", BandwidthBps: shardBytes / pfsSec}},
+		ComputePerBatch: computePerBatch,
+	}
+	return man, store, cfg
+}
+
+// TestLoaderClockSynchronous: prefetch 0 serialises stage-in and compute,
+// so epoch time is exactly S*(fetch+compute).
+func TestLoaderClockSynchronous(t *testing.T) {
+	man, store, cfg := clockFixture(t, 2.0, 0.25) // fetch 2.0, compute 0.5 per shard
+	l := mustLoader(t, man, store, cfg)
+	defer l.Close()
+	digestEpoch(t, l, 0)
+	st, ok := l.LastEpoch()
+	if !ok {
+		t.Fatal("no epoch stats")
+	}
+	if want := 6 * 2.5; math.Abs(st.Seconds-want) > 1e-9 {
+		t.Fatalf("synchronous epoch %.6f s, want %.6f", st.Seconds, want)
+	}
+	if math.Abs(st.Seconds-(st.ComputeSeconds+st.StallSeconds)) > 1e-9 {
+		t.Fatalf("clock identity broken: %.6f != %.6f + %.6f",
+			st.Seconds, st.ComputeSeconds, st.StallSeconds)
+	}
+	if st.PFSReads != 6 || st.DRAMHits != 0 || st.NVRAMHits != 0 {
+		t.Fatalf("tier counters %+v, want 6 PFS reads", st)
+	}
+}
+
+// TestLoaderClockOverlap: with prefetch, epoch time collapses to
+// max(compute, stage-in) plus one pipeline-fill bubble.
+func TestLoaderClockOverlap(t *testing.T) {
+	// Stage-bound: fetch 2.0/shard vs compute 0.5/shard.
+	man, store, cfg := clockFixture(t, 2.0, 0.25)
+	cfg.Prefetch, cfg.Workers = 2, 2
+	l := mustLoader(t, man, store, cfg)
+	digestEpoch(t, l, 0)
+	st, _ := l.LastEpoch()
+	l.Close()
+	if want := 6*2.0 + 0.5; math.Abs(st.Seconds-want) > 1e-9 {
+		t.Fatalf("stage-bound epoch %.6f s, want S*fetch+compute = %.6f", st.Seconds, want)
+	}
+	if st.StallFraction < 0.7 {
+		t.Fatalf("stage-bound stall fraction %.3f, want > 0.7", st.StallFraction)
+	}
+
+	// Compute-bound: fetch 2.0/shard vs compute 4.0/shard.
+	man, store, cfg = clockFixture(t, 2.0, 2.0)
+	cfg.Prefetch, cfg.Workers = 2, 2
+	l = mustLoader(t, man, store, cfg)
+	digestEpoch(t, l, 0)
+	st, _ = l.LastEpoch()
+	l.Close()
+	if want := 2.0 + 6*4.0; math.Abs(st.Seconds-want) > 1e-9 {
+		t.Fatalf("compute-bound epoch %.6f s, want fetch+S*compute = %.6f", st.Seconds, want)
+	}
+	if want := 2.0 / 26.0; math.Abs(st.StallFraction-want) > 1e-9 {
+		t.Fatalf("compute-bound stall fraction %.4f, want %.4f (fill bubble only)",
+			st.StallFraction, want)
+	}
+}
+
+// TestLoaderTierStaging: cold epoch reads PFS, staged epochs hit NVRAM then
+// get promoted into DRAM, and residency reports the climb.
+func TestLoaderTierStaging(t *testing.T) {
+	man, store := mustBuild(t, 96, 16)
+	node := machine.GPU2017(1).Node
+	tiers, err := TiersFromNode(&node, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := mustLoader(t, man, store, LoaderConfig{
+		Batch: 8, Seed: 2, Prefetch: 2,
+		DRAMBytes: man.TotalBytes(), NVRAMBytes: man.TotalBytes(),
+		Tiers: tiers, ComputePerBatch: 0.01,
+	})
+	defer l.Close()
+
+	digestEpoch(t, l, 0)
+	cold, _ := l.LastEpoch()
+	if cold.PFSReads != 6 || cold.NVRAMHits != 0 || cold.DRAMHits != 0 {
+		t.Fatalf("cold epoch served %+v, want 6 PFS reads", cold)
+	}
+	for id := range man.Shards {
+		if r := l.Residency(id); r != "nvram" {
+			t.Fatalf("after cold epoch shard %d resident in %q, want nvram", id, r)
+		}
+	}
+
+	digestEpoch(t, l, 1)
+	warm, _ := l.LastEpoch()
+	if warm.NVRAMHits != 6 || warm.PFSReads != 0 {
+		t.Fatalf("warm epoch served %+v, want 6 NVRAM hits", warm)
+	}
+	for id := range man.Shards {
+		if r := l.Residency(id); r != "dram" {
+			t.Fatalf("after warm epoch shard %d resident in %q, want dram (promoted)", id, r)
+		}
+	}
+
+	digestEpoch(t, l, 2)
+	hot, _ := l.LastEpoch()
+	if hot.DRAMHits != 6 || hot.NVRAMHits != 0 || hot.PFSReads != 0 {
+		t.Fatalf("hot epoch served %+v, want 6 DRAM hits", hot)
+	}
+	if !(hot.Seconds < warm.Seconds && warm.Seconds < cold.Seconds) {
+		t.Fatalf("epoch times not improving up the hierarchy: cold %.4f warm %.4f hot %.4f",
+			cold.Seconds, warm.Seconds, hot.Seconds)
+	}
+}
+
+// TestLoaderCapacityPressure: an NVRAM cache half the dataset still serves
+// part of the epoch from NVRAM without breaking the stream.
+func TestLoaderCapacityPressure(t *testing.T) {
+	man, store := mustBuild(t, 96, 16)
+	clean := mustLoader(t, man, store, LoaderConfig{Batch: 8, Seed: 4})
+	defer clean.Close()
+	l := mustLoader(t, man, store, LoaderConfig{
+		Batch: 8, Seed: 4, NVRAMBytes: man.TotalBytes() / 2,
+	})
+	defer l.Close()
+	for e := 0; e < 3; e++ {
+		if digestEpoch(t, l, e) != digestEpoch(t, clean, e) {
+			t.Fatalf("epoch %d stream changed under cache pressure", e)
+		}
+	}
+	if nv := l.NVRAM(); nv.Used() > nv.Capacity() {
+		t.Fatalf("cache over budget: %d > %d", nv.Used(), nv.Capacity())
+	}
+}
+
+func TestLoaderConfigValidation(t *testing.T) {
+	man, store := mustBuild(t, 32, 16)
+	for name, cfg := range map[string]LoaderConfig{
+		"no batch":     {},
+		"neg prefetch": {Batch: 8, Prefetch: -1},
+		"bad prob":     {Batch: 8, CorruptProb: 1.5},
+	} {
+		if _, err := NewLoader(man, store, cfg); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestPartitionLockstepAndCover(t *testing.T) {
+	ds := testDataset(96) // 6 shards of 16
+	man, store, err := Build(ds, BuildOptions{ShardSamples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition(man, store, 2, LoaderConfig{Batch: 8, Seed: 6, Prefetch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Workers() != 2 || p.StepsPerEpoch() != 6 || p.Dropped() != 0 {
+		t.Fatalf("workers %d steps %d dropped %d, want 2/6/0",
+			p.Workers(), p.StepsPerEpoch(), p.Dropped())
+	}
+	// Per-rank shard sets are disjoint and together cover the dataset.
+	seen := map[int]int{}
+	for r := 0; r < 2; r++ {
+		for _, id := range p.Loader(r).shards {
+			seen[id]++
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("ranks cover %d shards, want 6", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("shard %d assigned %d times", id, n)
+		}
+	}
+	// Both ranks deliver exactly StepsPerEpoch batches.
+	for r := 0; r < 2; r++ {
+		it := p.Iterator(r)
+		it.Reset(0)
+		steps := 0
+		for {
+			_, _, ok := it.Next()
+			if !ok {
+				break
+			}
+			steps++
+		}
+		if steps != p.StepsPerEpoch() {
+			t.Fatalf("rank %d delivered %d steps, want %d", r, steps, p.StepsPerEpoch())
+		}
+	}
+}
+
+func TestPartitionDropsRaggedTail(t *testing.T) {
+	man, store := mustBuild(t, 100, 16) // 6 full shards + 1 short
+	p, err := NewPartition(man, store, 3, LoaderConfig{Batch: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Dropped() != 1 {
+		t.Fatalf("dropped %d shards, want 1 (the short tail)", p.Dropped())
+	}
+	if _, err := NewPartition(man, store, 9, LoaderConfig{Batch: 8}); err == nil {
+		t.Fatal("9 ranks over 7 shards accepted")
+	}
+}

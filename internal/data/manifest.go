@@ -1,0 +1,296 @@
+// Package data is the sharded streaming data plane: it connects the biodata
+// generators and the tiered-storage model (PFS / NVRAM / DRAM) to the real
+// trainers. A dataset is cut into named, checksummed shards described by a
+// Manifest; a Store holds the authoritative (PFS) copy of every shard's
+// encoded bytes; a TierCache stages copies up the hierarchy under a byte
+// budget with pluggable eviction; and a Loader streams deterministic batches
+// to nn.Train / parallel.TrainDataParallel while charging every byte moved
+// to a virtual clock — so epoch time, stage-in time, and stall fraction are
+// measured end to end rather than derived analytically (experiment E16
+// re-derives E7's NVRAM-staging crossover this way).
+//
+// Everything is deterministic in the configured seed: the shard order, the
+// within-shard sample order, the cache-state evolution, and the virtual
+// timeline are all decided serially by the consumer-side dispatcher, so two
+// runs with the same seed produce byte-identical batch streams regardless of
+// how the prefetch worker goroutines are scheduled.
+package data
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/biodata"
+)
+
+// Shard is one named slice of a dataset: Samples consecutive samples of the
+// source (after the manifest's deterministic assignment), with the logical
+// staged size and the checksum of the encoded payload.
+type Shard struct {
+	// ID is the shard's index in the manifest (dense, 0-based).
+	ID int
+	// Name is the shard's stable name ("<dataset>-<id>").
+	Name string
+	// Lo and Hi bound the source sample range [Lo, Hi).
+	Lo, Hi int
+	// Bytes is the shard's logical size in bytes: what staging it costs on
+	// the virtual clock. Defaults to the real encoded payload size; E16
+	// scales it up to model multi-terabyte datasets with small real data.
+	Bytes int64
+	// Checksum is the CRC-32 (IEEE) of the shard's encoded payload. Every
+	// read of a staged copy re-verifies it, which is what turns silent
+	// corruption into a detected re-stage instead of poisoned training data.
+	Checksum uint32
+}
+
+// Samples returns the shard's sample count.
+func (s Shard) Samples() int { return s.Hi - s.Lo }
+
+// Manifest describes a sharded dataset: its dimensions, the shard size, and
+// the shard table. It is a static artifact — per-tier residency is runtime
+// state owned by the loader's TierCache, queryable via Loader.Residency.
+type Manifest struct {
+	// Dataset names the source dataset.
+	Dataset string
+	// Samples is the total sample count across all shards.
+	Samples int
+	// XDim and YDim are the feature and target widths.
+	XDim, YDim int
+	// ShardSamples is the nominal samples per shard (the last shard may be
+	// short when Samples is not a multiple).
+	ShardSamples int
+	// SampleBytes is the logical bytes one sample occupies when staged.
+	SampleBytes int64
+	// Shards is the shard table in ID order.
+	Shards []Shard
+}
+
+// NumShards returns the shard count.
+func (m *Manifest) NumShards() int { return len(m.Shards) }
+
+// TotalBytes returns the dataset's total logical size.
+func (m *Manifest) TotalBytes() int64 {
+	var n int64
+	for _, s := range m.Shards {
+		n += s.Bytes
+	}
+	return n
+}
+
+// String summarises the manifest.
+func (m *Manifest) String() string {
+	return fmt.Sprintf("%s: %d samples x (%d+%d) in %d shards (%d samples/shard, %.1f MB logical)",
+		m.Dataset, m.Samples, m.XDim, m.YDim, len(m.Shards), m.ShardSamples,
+		float64(m.TotalBytes())/1e6)
+}
+
+// BuildOptions tunes manifest construction.
+type BuildOptions struct {
+	// ShardSamples is the samples per shard (required, > 0).
+	ShardSamples int
+	// SampleBytes overrides the logical staged size of one sample; 0 means
+	// the real encoded size ((XDim+YDim) * 8 bytes).
+	SampleBytes int64
+}
+
+// Build cuts a biodata dataset into a manifest + store pair: the manifest
+// names and checksums the shards, the store holds the authoritative encoded
+// payload of each (the PFS copy the loader stages from).
+func Build(ds *biodata.Dataset, opts BuildOptions) (*Manifest, *Store, error) {
+	if opts.ShardSamples <= 0 {
+		return nil, nil, fmt.Errorf("data: ShardSamples must be > 0, got %d", opts.ShardSamples)
+	}
+	n := ds.N()
+	if n == 0 {
+		return nil, nil, fmt.Errorf("data: dataset %q is empty", ds.Name)
+	}
+	xd, yd := ds.Dim(), ds.OutDim()
+	sampleBytes := opts.SampleBytes
+	if sampleBytes <= 0 {
+		sampleBytes = int64(xd+yd) * 8
+	}
+	m := &Manifest{
+		Dataset:      ds.Name,
+		Samples:      n,
+		XDim:         xd,
+		YDim:         yd,
+		ShardSamples: opts.ShardSamples,
+		SampleBytes:  sampleBytes,
+	}
+	store := &Store{man: m}
+	for lo := 0; lo < n; lo += opts.ShardSamples {
+		hi := lo + opts.ShardSamples
+		if hi > n {
+			hi = n
+		}
+		blob := encodeShard(ds, lo, hi)
+		sh := Shard{
+			ID:       len(m.Shards),
+			Name:     fmt.Sprintf("%s-%04d", ds.Name, len(m.Shards)),
+			Lo:       lo,
+			Hi:       hi,
+			Bytes:    int64(hi-lo) * sampleBytes,
+			Checksum: crc32.ChecksumIEEE(blob),
+		}
+		m.Shards = append(m.Shards, sh)
+		store.blobs = append(store.blobs, blob)
+	}
+	return m, store, nil
+}
+
+// ---- wire format ----------------------------------------------------------
+
+// The manifest's frame: magic, a little-endian u32 body length, the body,
+// and the CRC-32 (IEEE) of the body. Decode rejects truncation, trailing
+// garbage, bad magic, and checksum mismatches with errors — never a panic —
+// and every successful decode re-encodes to the identical bytes (canonical
+// framing, pinned by FuzzShardManifest).
+const manifestMagic = "CNDLMAN1"
+
+// Decode errors. Callers that re-stage on corruption match ErrCorrupt.
+var (
+	ErrTruncated = errors.New("data: manifest truncated")
+	ErrCorrupt   = errors.New("data: manifest corrupted")
+)
+
+// Encode serialises the manifest into its framed wire format.
+func (m *Manifest) Encode() ([]byte, error) {
+	if len(m.Dataset) > 0xffff {
+		return nil, fmt.Errorf("data: dataset name %d bytes, max %d", len(m.Dataset), 0xffff)
+	}
+	var body []byte
+	body = appendString(body, m.Dataset)
+	body = binary.LittleEndian.AppendUint32(body, uint32(m.Samples))
+	body = binary.LittleEndian.AppendUint32(body, uint32(m.XDim))
+	body = binary.LittleEndian.AppendUint32(body, uint32(m.YDim))
+	body = binary.LittleEndian.AppendUint32(body, uint32(m.ShardSamples))
+	body = binary.LittleEndian.AppendUint64(body, uint64(m.SampleBytes))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(m.Shards)))
+	for _, s := range m.Shards {
+		if len(s.Name) > 0xffff {
+			return nil, fmt.Errorf("data: shard name %d bytes, max %d", len(s.Name), 0xffff)
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(s.ID))
+		body = appendString(body, s.Name)
+		body = binary.LittleEndian.AppendUint32(body, uint32(s.Lo))
+		body = binary.LittleEndian.AppendUint32(body, uint32(s.Hi))
+		body = binary.LittleEndian.AppendUint64(body, uint64(s.Bytes))
+		body = binary.LittleEndian.AppendUint32(body, s.Checksum)
+	}
+	out := make([]byte, 0, len(manifestMagic)+4+len(body)+4)
+	out = append(out, manifestMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body)), nil
+}
+
+// DecodeManifest parses a framed manifest blob.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	head := len(manifestMagic) + 4
+	if len(b) < head {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTruncated, len(b), head)
+	}
+	if string(b[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(b[len(manifestMagic):head]))
+	if len(b) != head+bodyLen+4 {
+		if len(b) < head+bodyLen+4 {
+			return nil, fmt.Errorf("%w: frame says %d body bytes, %d remain",
+				ErrTruncated, bodyLen, len(b)-head)
+		}
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-head-bodyLen-4)
+	}
+	body := b[head : head+bodyLen]
+	want := binary.LittleEndian.Uint32(b[head+bodyLen:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: body crc %08x, frame says %08x", ErrCorrupt, got, want)
+	}
+	cur := reader{b: body}
+	m := &Manifest{}
+	m.Dataset = cur.str()
+	m.Samples = int(cur.u32())
+	m.XDim = int(cur.u32())
+	m.YDim = int(cur.u32())
+	m.ShardSamples = int(cur.u32())
+	m.SampleBytes = int64(cur.u64())
+	nShards := int(cur.u32())
+	// A shard entry is at least 26 bytes; reject counts the body cannot hold
+	// before allocating (a fuzzer will otherwise ask for gigabytes).
+	if cur.err == nil && nShards > len(cur.b)/26+1 {
+		return nil, fmt.Errorf("%w: %d shards cannot fit in %d bytes", ErrCorrupt, nShards, len(cur.b))
+	}
+	for i := 0; i < nShards && cur.err == nil; i++ {
+		s := Shard{}
+		s.ID = int(cur.u32())
+		s.Name = cur.str()
+		s.Lo = int(cur.u32())
+		s.Hi = int(cur.u32())
+		s.Bytes = int64(cur.u64())
+		s.Checksum = cur.u32()
+		m.Shards = append(m.Shards, s)
+	}
+	if cur.err != nil {
+		return nil, cur.err
+	}
+	if len(cur.b) != 0 {
+		return nil, fmt.Errorf("%w: %d undecoded body bytes", ErrCorrupt, len(cur.b))
+	}
+	return m, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// reader is a bounds-checked cursor over the manifest body; the first
+// overrun latches err and every later read returns zero.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.err = fmt.Errorf("%w: need %d body bytes, have %d", ErrTruncated, n, len(r.b))
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u16() uint16 {
+	if b := r.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if b := r.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *reader) u64() uint64 {
+	if b := r.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+func (r *reader) str() string {
+	n := int(r.u16())
+	if b := r.take(n); b != nil {
+		return string(b)
+	}
+	return ""
+}

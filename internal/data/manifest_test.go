@@ -1,0 +1,184 @@
+package data
+
+import (
+	"bytes"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"repro/internal/biodata"
+	"repro/internal/rng"
+)
+
+// testDataset builds a small deterministic tumor-expression dataset.
+func testDataset(samples int) *biodata.Dataset {
+	cfg := biodata.TumorConfig{Samples: samples, Genes: 12, Classes: 3,
+		Informative: 6, Separation: 1.4, Noise: 1, PathwayBlocks: 2}
+	return biodata.Tumor(cfg, rng.New(7))
+}
+
+func mustBuild(t testing.TB, samples, shardSamples int) (*Manifest, *Store) {
+	t.Helper()
+	man, store, err := Build(testDataset(samples), BuildOptions{ShardSamples: shardSamples})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return man, store
+}
+
+func TestBuildManifestTilesDataset(t *testing.T) {
+	man, store := mustBuild(t, 100, 16)
+	if man.NumShards() != 7 {
+		t.Fatalf("100 samples / 16 per shard: want 7 shards, got %d", man.NumShards())
+	}
+	// The shard table must tile [0, Samples) exactly: dense IDs, consecutive
+	// disjoint ranges, unique names, checksums matching the stored payloads.
+	names := map[string]bool{}
+	next := 0
+	for i, s := range man.Shards {
+		if s.ID != i {
+			t.Fatalf("shard %d has ID %d", i, s.ID)
+		}
+		if s.Lo != next {
+			t.Fatalf("shard %d starts at %d, want %d (tiling broken)", i, s.Lo, next)
+		}
+		if s.Hi <= s.Lo {
+			t.Fatalf("shard %d empty: [%d,%d)", i, s.Lo, s.Hi)
+		}
+		if names[s.Name] {
+			t.Fatalf("duplicate shard name %q", s.Name)
+		}
+		names[s.Name] = true
+		blob, err := store.Blob(s.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crc32.ChecksumIEEE(blob) != s.Checksum {
+			t.Fatalf("shard %d checksum does not match its payload", i)
+		}
+		if !store.VerifyShard(s.ID, blob) {
+			t.Fatalf("VerifyShard rejects shard %d's own payload", i)
+		}
+		if s.Bytes != int64(s.Samples())*man.SampleBytes {
+			t.Fatalf("shard %d logical size %d, want %d", i, s.Bytes, int64(s.Samples())*man.SampleBytes)
+		}
+		next = s.Hi
+	}
+	if next != man.Samples {
+		t.Fatalf("shards cover [0,%d), dataset has %d samples", next, man.Samples)
+	}
+	if last := man.Shards[6]; last.Samples() != 4 {
+		t.Fatalf("trailing shard holds %d samples, want 4", last.Samples())
+	}
+	if man.TotalBytes() != int64(man.Samples)*man.SampleBytes {
+		t.Fatalf("TotalBytes %d, want %d", man.TotalBytes(), int64(man.Samples)*man.SampleBytes)
+	}
+}
+
+func TestBuildLogicalScaling(t *testing.T) {
+	man, _, err := Build(testDataset(64), BuildOptions{ShardSamples: 16, SampleBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.TotalBytes() != 64<<20 {
+		t.Fatalf("logical total %d, want %d", man.TotalBytes(), int64(64<<20))
+	}
+}
+
+func TestBuildRejectsBadOptions(t *testing.T) {
+	if _, _, err := Build(testDataset(10), BuildOptions{}); err == nil {
+		t.Fatal("ShardSamples=0 accepted")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	man, _ := mustBuild(t, 100, 16)
+	enc, err := man.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeManifest(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(man, dec) {
+		t.Fatalf("round trip changed the manifest:\n got %+v\nwant %+v", dec, man)
+	}
+	re, err := dec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatal("re-encode is not byte-identical (framing not canonical)")
+	}
+}
+
+func TestDecodeManifestRejectsEveryTruncation(t *testing.T) {
+	man, _ := mustBuild(t, 48, 16)
+	enc, err := man.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(enc); n++ {
+		if _, err := DecodeManifest(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(enc))
+		}
+	}
+}
+
+func TestDecodeManifestRejectsEveryBitFlip(t *testing.T) {
+	man, _ := mustBuild(t, 48, 16)
+	enc, err := man.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(enc)*8; bit++ {
+		mut := append([]byte(nil), enc...)
+		mut[bit>>3] ^= 1 << (bit & 7)
+		if _, err := DecodeManifest(mut); err == nil {
+			t.Fatalf("bit flip at %d decoded without error", bit)
+		}
+	}
+}
+
+func TestDecodeManifestRejectsTrailingGarbage(t *testing.T) {
+	man, _ := mustBuild(t, 48, 16)
+	enc, _ := man.Encode()
+	if _, err := DecodeManifest(append(enc, 0)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+}
+
+// FuzzShardManifest asserts decode never panics on arbitrary bytes and that
+// every successful decode re-encodes canonically to the identical frame.
+func FuzzShardManifest(f *testing.F) {
+	for _, samples := range []int{16, 100} {
+		man, _, err := Build(testDataset(samples), BuildOptions{ShardSamples: 16})
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc, err := man.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		mut := append([]byte(nil), enc...)
+		mut[len(mut)/3] ^= 0x40
+		f.Add(mut)
+	}
+	f.Add([]byte(manifestMagic))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeManifest(b)
+		if err != nil {
+			return
+		}
+		re, err := m.Encode()
+		if err != nil {
+			t.Fatalf("decoded manifest fails to encode: %v", err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", b, re)
+		}
+	})
+}

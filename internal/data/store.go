@@ -1,0 +1,69 @@
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/biodata"
+)
+
+// Store holds the authoritative encoded payload of every shard — the
+// parallel-file-system copy. Staged copies in the tier caches are always
+// derived from (and re-derivable from) this one, which is why a corrupted
+// staged shard can simply be dropped and re-staged.
+//
+// The payload layout is fixed-width: per sample, XDim float64s then YDim
+// float64s, little-endian bit patterns. Row access is therefore offset
+// arithmetic on the blob, no per-shard decode step.
+type Store struct {
+	man   *Manifest
+	blobs [][]byte
+}
+
+// Manifest returns the store's manifest.
+func (s *Store) Manifest() *Manifest { return s.man }
+
+// Blob returns the authoritative payload of shard id. The slice is shared —
+// callers that stage it into a mutable tier must copy it first.
+func (s *Store) Blob(id int) ([]byte, error) {
+	if id < 0 || id >= len(s.blobs) {
+		return nil, fmt.Errorf("data: shard %d out of range [0,%d)", id, len(s.blobs))
+	}
+	return s.blobs[id], nil
+}
+
+// VerifyShard checks blob against shard id's manifest checksum.
+func (s *Store) VerifyShard(id int, blob []byte) bool {
+	return crc32.ChecksumIEEE(blob) == s.man.Shards[id].Checksum
+}
+
+// encodeShard packs samples [lo, hi) of ds into the fixed-width payload.
+func encodeShard(ds *biodata.Dataset, lo, hi int) []byte {
+	xd, yd := ds.Dim(), ds.OutDim()
+	out := make([]byte, 0, (hi-lo)*(xd+yd)*8)
+	for i := lo; i < hi; i++ {
+		for _, v := range ds.X.Row(i).Data {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+		for _, v := range ds.Y.Row(i).Data {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// decodeRow copies sample `local` of a shard payload into x and y, which
+// must be XDim and YDim long.
+func decodeRow(blob []byte, local, xd, yd int, x, y []float64) {
+	off := local * (xd + yd) * 8
+	for j := range x {
+		x[j] = math.Float64frombits(binary.LittleEndian.Uint64(blob[off:]))
+		off += 8
+	}
+	for j := range y {
+		y[j] = math.Float64frombits(binary.LittleEndian.Uint64(blob[off:]))
+		off += 8
+	}
+}

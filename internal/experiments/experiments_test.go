@@ -25,8 +25,8 @@ func runQuick(t *testing.T, id string) (*Experiment, string) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(all))
+	if len(all) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -516,5 +516,51 @@ func TestE15Shape(t *testing.T) {
 	}
 	if f(t, trainF32[6]) <= 0 {
 		t.Fatalf("f32-compute speedup not positive:\n%s", out)
+	}
+}
+
+// TestE16Shape re-checks E7's staging story on the executed data plane: at
+// the mid dataset (exceeds DRAM, fits NVRAM) the warm NVRAM-staged epoch
+// beats direct PFS, a DRAM-only LRU thrashes to no better than direct, and
+// the fits-DRAM regime warms up to a compute-bound epoch.
+func TestE16Shape(t *testing.T) {
+	_, out := runQuick(t, "E16")
+	rows := tableRows(out)
+	warm := map[string]map[string]float64{} // dataset -> policy -> warm-s
+	stall := map[string]map[string]float64{}
+	for _, r := range rows {
+		if warm[r[0]] == nil {
+			warm[r[0]] = map[string]float64{}
+			stall[r[0]] = map[string]float64{}
+		}
+		warm[r[0]][r[1]] = f(t, r[4])
+		stall[r[0]][r[1]] = f(t, r[5])
+	}
+	if len(warm) != 3 {
+		t.Fatalf("expected 3 dataset regimes:\n%s", out)
+	}
+	mid := warm["256.0"]
+	if !(mid["nvram-staged"]*10 < mid["direct-pfs+prefetch"]) {
+		t.Fatalf("warm NVRAM epoch %v not >10x faster than direct PFS %v:\n%s",
+			mid["nvram-staged"], mid["direct-pfs+prefetch"], out)
+	}
+	if mid["dram-lru"] < mid["direct-pfs+prefetch"] {
+		t.Fatalf("a thrashing 64GB DRAM LRU should not beat direct PFS at 256GB:\n%s", out)
+	}
+	if sf := stall["32.0000"]["dram-lru"]; sf > 0.05 {
+		t.Fatalf("fits-DRAM warm epoch stalls %.3f, want compute-bound:\n%s", sf, out)
+	}
+	// Prefetch overlaps stage-in with compute even without caches.
+	small := warm["32.0000"]
+	if !(small["direct-pfs+prefetch"] < small["direct-pfs"]) {
+		t.Fatalf("prefetch did not overlap direct-PFS staging:\n%s", out)
+	}
+	// Beyond NVRAM capacity tiering still helps but cannot hide the PFS.
+	big := warm["2000.0"]
+	if !(big["tiered-dram-nvram"] < big["direct-pfs+prefetch"]) {
+		t.Fatalf("tiering lost to direct PFS beyond NVRAM capacity:\n%s", out)
+	}
+	if big["tiered-dram-nvram"] < 3*warm["256.0"]["tiered-dram-nvram"] {
+		t.Fatalf("2TB epoch suspiciously close to 256GB epoch — PFS fell off the clock:\n%s", out)
 	}
 }

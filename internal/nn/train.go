@@ -11,12 +11,29 @@ import (
 	"repro/internal/tensor"
 )
 
+// BatchIterator streams training batches from an external data plane (the
+// sharded streaming loader in internal/data implements it). Reset(epoch)
+// must make the following Next sequence a pure function of the iterator's
+// own seed and the epoch number, so a run resumed at an epoch boundary
+// replays the identical batch stream.
+type BatchIterator interface {
+	// Reset rewinds the iterator to the first batch of the given epoch.
+	Reset(epoch int)
+	// Next returns the next batch, or ok=false when the epoch is exhausted.
+	Next() (x, y *tensor.Tensor, ok bool)
+}
+
 // TrainConfig controls the single-process training loop.
 type TrainConfig struct {
 	Loss      Loss
 	Optimizer Optimizer
 	BatchSize int
 	Epochs    int
+	// Data, if non-nil, streams batches from an external iterator instead of
+	// the in-memory (x, y) path; pass nil tensors to Train, and leave
+	// Shuffle unset (the iterator orders its own samples). BatchSize is
+	// likewise the iterator's concern.
+	Data BatchIterator
 	// Precision selects the emulated storage precision for weights,
 	// gradients, and activations at the loss boundary. FP64 (the zero
 	// value) disables emulation.
@@ -66,12 +83,23 @@ type TrainResult struct {
 	FinalLoss    float64
 }
 
-// Train runs mini-batch gradient descent on (x, y) and returns per-epoch
-// statistics. x and y are rank-2 with matching sample counts.
+// Train runs mini-batch gradient descent and returns per-epoch statistics.
+// With the in-memory path, x and y are rank-2 with matching sample counts;
+// with cfg.Data set, batches stream from the iterator and x, y must be nil.
 func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error) {
-	n := x.Dim(0)
-	if y.Dim(0) != n {
-		return nil, fmt.Errorf("nn: %d inputs but %d targets", n, y.Dim(0))
+	n := 0
+	if cfg.Data != nil {
+		if x != nil || y != nil {
+			return nil, fmt.Errorf("nn: Data and in-memory (x, y) are mutually exclusive")
+		}
+		if cfg.Shuffle {
+			return nil, fmt.Errorf("nn: Shuffle is the in-memory path's; Data orders its own samples")
+		}
+	} else {
+		n = x.Dim(0)
+		if y.Dim(0) != n {
+			return nil, fmt.Errorf("nn: %d inputs but %d targets", n, y.Dim(0))
+		}
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 32
@@ -112,8 +140,11 @@ func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error)
 			return nil, err
 		}
 	}
-	xb := tensor.New(cfg.BatchSize, x.Len()/n)
-	yb := tensor.New(cfg.BatchSize, y.Len()/n)
+	var xb, yb *tensor.Tensor
+	if cfg.Data == nil {
+		xb = tensor.New(cfg.BatchSize, x.Len()/n)
+		yb = tensor.New(cfg.BatchSize, y.Len()/n)
+	}
 
 	baseLR := BaseLR(cfg.Optimizer)
 	instr := cfg.Obs.Enabled()
@@ -133,17 +164,30 @@ func Train(net *Net, x, y *tensor.Tensor, cfg TrainConfig) (*TrainResult, error)
 		}
 		epochLoss := 0.0
 		batches := 0
-		for start := 0; start < n; start += cfg.BatchSize {
-			end := start + cfg.BatchSize
-			if end > n {
-				end = n
+		if cfg.Data != nil {
+			cfg.Data.Reset(epoch)
+			for {
+				bx, by, ok := cfg.Data.Next()
+				if !ok {
+					break
+				}
+				epochLoss += TrainStep(net, bx, by, cfg, scaler, res)
+				batches++
 			}
-			bx, by := gatherBatch(xb, yb, x, y, order[start:end])
-			loss := TrainStep(net, bx, by, cfg, scaler, res)
-			epochLoss += loss
-			batches++
+		} else {
+			for start := 0; start < n; start += cfg.BatchSize {
+				end := start + cfg.BatchSize
+				if end > n {
+					end = n
+				}
+				bx, by := gatherBatch(xb, yb, x, y, order[start:end])
+				epochLoss += TrainStep(net, bx, by, cfg, scaler, res)
+				batches++
+			}
 		}
-		epochLoss /= float64(batches)
+		if batches > 0 {
+			epochLoss /= float64(batches)
+		}
 		res.EpochLoss = append(res.EpochLoss, epochLoss)
 		if instr {
 			epochSpan.End()

@@ -45,10 +45,28 @@ func busyImbalance(busy []float64) float64 {
 	return maxB / minB
 }
 
+// ShardedData feeds each rank its own shard-assigned batch stream (the data
+// plane's Partition implements it). Every rank must deliver exactly
+// StepsPerEpoch batches per epoch so the synchronous allreduce stays in
+// lockstep.
+type ShardedData interface {
+	// Workers returns how many ranks the data is partitioned across.
+	Workers() int
+	// StepsPerEpoch returns the per-rank batches per epoch (equal by rank).
+	StepsPerEpoch() int
+	// Iterator returns the given rank's batch iterator.
+	Iterator(rank int) nn.BatchIterator
+}
+
 // DataParallelConfig configures synchronous data-parallel training.
 type DataParallelConfig struct {
 	// Replicas is the number of model replicas (ranks).
 	Replicas int
+	// Data, if non-nil, streams each rank's batches from its shard
+	// assignment instead of the in-memory (x, y) path; pass nil tensors to
+	// TrainDataParallel, and GlobalBatch / RNG are not required (the data
+	// plane owns batch size and sample order).
+	Data ShardedData
 	// Algo selects the gradient allreduce algorithm.
 	Algo comm.AllReduceAlgorithm
 	// Loss and NewOptimizer define the training objective; NewOptimizer is
@@ -138,21 +156,31 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 	if cfg.Loss == nil || cfg.NewOptimizer == nil {
 		return nil, fmt.Errorf("parallel: Loss and NewOptimizer required")
 	}
-	if cfg.GlobalBatch < cfg.Replicas {
-		return nil, fmt.Errorf("parallel: global batch %d < replicas %d", cfg.GlobalBatch, cfg.Replicas)
-	}
 	if cfg.Epochs < 1 {
 		cfg.Epochs = 1
-	}
-	if cfg.RNG == nil {
-		return nil, fmt.Errorf("parallel: RNG required")
 	}
 	if (cfg.Overlap || cfg.Compress != lowp.CompressNone) && cfg.BucketElems <= 0 {
 		return nil, fmt.Errorf("parallel: Overlap/Compress require BucketElems > 0")
 	}
-	n := x.Dim(0)
-	if y.Dim(0) != n {
-		return nil, fmt.Errorf("parallel: %d inputs vs %d targets", n, y.Dim(0))
+	n := 0
+	if cfg.Data != nil {
+		if x != nil || y != nil {
+			return nil, fmt.Errorf("parallel: Data and in-memory (x, y) are mutually exclusive")
+		}
+		if w := cfg.Data.Workers(); w != cfg.Replicas {
+			return nil, fmt.Errorf("parallel: Data partitioned for %d ranks, want %d", w, cfg.Replicas)
+		}
+	} else {
+		if cfg.GlobalBatch < cfg.Replicas {
+			return nil, fmt.Errorf("parallel: global batch %d < replicas %d", cfg.GlobalBatch, cfg.Replicas)
+		}
+		if cfg.RNG == nil {
+			return nil, fmt.Errorf("parallel: RNG required")
+		}
+		n = x.Dim(0)
+		if y.Dim(0) != n {
+			return nil, fmt.Errorf("parallel: %d inputs vs %d targets", n, y.Dim(0))
+		}
 	}
 
 	p := cfg.Replicas
@@ -167,21 +195,31 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 		opts[i] = cfg.NewOptimizer()
 	}
 
-	// Precompute the epoch orders once so all ranks agree.
-	orders := make([][]int, cfg.Epochs)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	for e := range orders {
-		cfg.RNG.ShuffleInts(order)
-		orders[e] = append([]int(nil), order...)
-	}
-
-	perRank := cfg.GlobalBatch / p
-	stepsPerEpoch := n / (perRank * p)
-	if stepsPerEpoch == 0 {
-		stepsPerEpoch = 1
+	// Precompute the epoch orders once so all ranks agree (in-memory path;
+	// the data plane seeds per-rank orders itself).
+	var orders [][]int
+	perRank := 0
+	stepsPerEpoch := 0
+	if cfg.Data != nil {
+		stepsPerEpoch = cfg.Data.StepsPerEpoch()
+		if stepsPerEpoch == 0 {
+			return nil, fmt.Errorf("parallel: Data delivers zero steps per epoch")
+		}
+	} else {
+		orders = make([][]int, cfg.Epochs)
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for e := range orders {
+			cfg.RNG.ShuffleInts(order)
+			orders[e] = append([]int(nil), order...)
+		}
+		perRank = cfg.GlobalBatch / p
+		stepsPerEpoch = n / (perRank * p)
+		if stepsPerEpoch == 0 {
+			stepsPerEpoch = 1
+		}
 	}
 
 	world := comm.NewWorld(p)
@@ -220,25 +258,43 @@ func TrainDataParallel(net *nn.Net, x, y *tensor.Tensor, cfg DataParallelConfig)
 		if plan != nil {
 			bs = newBucketSyncer(rank, plan, grads, cfg)
 		}
+		var it nn.BatchIterator
+		if cfg.Data != nil {
+			it = cfg.Data.Iterator(id)
+		}
 
 		for e := 0; e < cfg.Epochs; e++ {
-			ord := orders[e]
+			var ord []int
+			if it != nil {
+				it.Reset(e)
+			} else {
+				ord = orders[e]
+			}
 			epochTotal := 0.0
 			epochStart := time.Now()
 			for s := 0; s < stepsPerEpoch; s++ {
-				base := s * perRank * p
-				lo := base + id*perRank
-				hi := lo + perRank
-				if hi > n {
-					hi = n
-				}
 				stepStart := time.Now()
 				computeStart := stepStart
 				var sp *obs.Span
 				if instr {
 					sp = o.Span(id, "forward")
 				}
-				bx, by := gather(x, y, ord[lo:hi])
+				var bx, by *tensor.Tensor
+				if it != nil {
+					var ok bool
+					bx, by, ok = it.Next()
+					if !ok {
+						panic(fmt.Sprintf("parallel: rank %d data ran dry at step %d of %d", id, s, stepsPerEpoch))
+					}
+				} else {
+					base := s * perRank * p
+					lo := base + id*perRank
+					hi := lo + perRank
+					if hi > n {
+						hi = n
+					}
+					bx, by = gather(x, y, ord[lo:hi])
+				}
 				model.ZeroGrads()
 				out := model.Forward(bx, true)
 				loss := cfg.Loss.Loss(out, by)

@@ -27,6 +27,8 @@ declare -A FLOOR=(
   [repro/internal/comm]=70
   [repro/internal/parallel]=70
   [repro/internal/lowp]=70
+  [repro/internal/data]=70
+  [repro/internal/storage]=70
 )
 
 out="$("$GO" test -cover ./... 2>&1)" || { echo "$out"; exit 1; }
