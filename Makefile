@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test chaos fuzz cover bench-overhead bench-obs bench-checkpoint bench bench-serve bench-resil bench-comm bench-kernels bench-data clean
+.PHONY: check vet build test chaos fuzz cover bench-overhead bench-obs bench-checkpoint bench bench-serve bench-resil bench-rollout bench-comm bench-kernels bench-data clean
 
 check: vet build test chaos cover bench-overhead
 
@@ -20,7 +20,8 @@ test:
 # (internal/nn), elastic worker-kill recovery (internal/parallel), campaign
 # retry/backoff/quarantine (internal/core), and the gray-failure suites —
 # degraded-replica ejection, hedged execution, retry budgets
-# (internal/serve), flaky-link collectives and CRC framing (internal/comm),
+# and replica kills mid-canary-promotion (internal/serve), flaky-link
+# collectives and CRC framing (internal/comm),
 # and overlapped bucketed allreduce under worker kills and flaky links
 # (internal/parallel Chaos*, internal/comm Bucket*), and the streaming data
 # plane under decode-worker kills and silently corrupted staged shards
@@ -43,6 +44,14 @@ chaos:
 bench-resil:
 	$(GO) run ./cmd/candleserve -resil -json BENCH_resil.json
 
+# Regenerate the committed self-healing control-plane artifact
+# (BENCH_rollout.json): shadow catch, bounded canary rollback, clean
+# promotion, and the flash-crowd autoscaling comparison. Deterministic like
+# bench-serve; TestCommittedRolloutArtifactIsCurrent fails if the committed
+# copy drifts.
+bench-rollout:
+	$(GO) run ./cmd/candleserve -rollout -json BENCH_rollout.json
+
 # Fuzz the blocked tensor kernels against the naive references in
 # internal/tensor/ref_test.go, and the float32 backend registry against the
 # flat float32 reference (every registered backend per input). Short budgets
@@ -59,6 +68,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzCommFrame$$' -fuzztime $(FUZZTIME) ./internal/comm
 	$(GO) test -run '^$$' -fuzz '^FuzzCompressRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lowp
 	$(GO) test -run '^$$' -fuzz '^FuzzShardManifest$$' -fuzztime $(FUZZTIME) ./internal/data
+	$(GO) test -run '^$$' -fuzz '^FuzzSLOSpec$$' -fuzztime $(FUZZTIME) ./internal/obs
 
 # Coverage gate: per-package floors (70% for serve, tensor, nn, fault, comm,
 # parallel, lowp) with a coverage-vs-floor delta table. See scripts/cover.sh.

@@ -48,6 +48,7 @@ func BenchmarkE13Comm(b *testing.B)       { benchExperiment(b, "E13") }
 func BenchmarkE14SLO(b *testing.B)        { benchExperiment(b, "E14") }
 func BenchmarkE15Kernels(b *testing.B)    { benchExperiment(b, "E15") }
 func BenchmarkE16Data(b *testing.B)       { benchExperiment(b, "E16") }
+func BenchmarkE17Rollout(b *testing.B)    { benchExperiment(b, "E17") }
 
 // benchAblation regenerates one design-choice ablation table per iteration.
 func benchAblation(b *testing.B, id string) {

@@ -17,7 +17,7 @@
 //     energy) and the tiered-storage/NVRAM staging simulator;
 //   - the inference serving subsystem (dynamic micro-batching, replica
 //     pool, admission control) and its deterministic load simulator;
-//   - the E1-E16 experiment suite that reproduces each of the paper's
+//   - the E1-E17 experiment suite that reproduces each of the paper's
 //     architectural claims.
 //
 // Quick start:
@@ -406,13 +406,13 @@ var (
 
 // ---- experiments ------------------------------------------------------------------
 
-// Experiment is one paper-claim reproduction (E1-E16).
+// Experiment is one paper-claim reproduction (E1-E17).
 type Experiment = experiments.Experiment
 
 // ExperimentConfig sizes an experiment run.
 type ExperimentConfig = experiments.Config
 
-// Experiments returns the full E1-E16 suite.
+// Experiments returns the full E1-E17 suite.
 var Experiments = experiments.All
 
 // ExperimentByID finds one experiment.
@@ -506,6 +506,35 @@ type Retrier = serve.Retrier
 
 // NewRetrier wraps a server in a budgeted retrier.
 var NewRetrier = serve.NewRetrier
+
+// RolloutConfig configures a versioned model deployment: shadow phase,
+// staged canary traffic splits, per-version burn-rate SLO rules, and the
+// drain bound on rollback (see Server.Deploy).
+type RolloutConfig = serve.RolloutConfig
+
+// RolloutStage is one canary step: a live-traffic fraction held for a
+// duration before advancing.
+type RolloutStage = serve.RolloutStage
+
+// Rollout is the state machine of one deployment: shadowing, canarying,
+// and either promoted or rolled back on SLO breach.
+type Rollout = serve.Rollout
+
+// AutoscaleConfig configures health-driven fleet sizing from queue depth,
+// recent p99, and replica health, with hysteresis and a surge cap (see
+// ServeConfig.Autoscale).
+type AutoscaleConfig = serve.AutoscaleConfig
+
+// Autoscaler is the pure scaling decision state machine.
+type Autoscaler = serve.Autoscaler
+
+// NewAutoscaler validates a config into an Autoscaler.
+var NewAutoscaler = serve.NewAutoscaler
+
+// ResultCacheConfig puts a TTL'd doorkeeper-LRU in front of the batcher:
+// a fresh hit settles at admission without occupying a replica (see
+// ServeConfig.Cache).
+type ResultCacheConfig = serve.ResultCacheConfig
 
 // ---- asynchronous training and strategy comparison -----------------------------
 

@@ -1,4 +1,4 @@
-// Command candlebench runs the paper-reproduction experiment suite (E1-E16)
+// Command candlebench runs the paper-reproduction experiment suite (E1-E17)
 // and prints one result table per experiment.
 //
 // Usage:

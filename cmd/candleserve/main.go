@@ -18,6 +18,7 @@
 //	            [-metrics-out FILE]
 //	candleserve -bench [-json BENCH_serve.json]
 //	candleserve -resil [-json BENCH_resil.json]
+//	candleserve -rollout [-json BENCH_rollout.json]
 //
 // -rate 0 (the default) resolves to 80% of the pool's analytic capacity —
 // just below the knee. -bench runs the committed two-point profile: a
@@ -27,7 +28,13 @@
 // fixes the hedge budget at the healthy p95, then a fleet with one replica
 // degraded 10x is replayed unhedged and hedged at budgets on both sides of
 // the calibration point (0.5x, 1x, 2x, 4x p95), written as one JSON
-// document (this is what generates BENCH_resil.json).
+// document (this is what generates BENCH_resil.json). -rollout runs the
+// committed self-healing control-plane profile (E17): three mid-run deploys
+// — a poisoned candidate caught by shadow traffic, the same candidate rolled
+// back from the live canary stage, a healthy candidate promoted — plus a
+// flash crowd against fixed and autoscaled fleets, written as one JSON
+// document (this is what generates BENCH_rollout.json). -autoscale attaches
+// a health-driven autoscaler to a plain simulator run.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/experiments"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -60,6 +68,8 @@ func main() {
 	live := flag.Bool("live", false, "drive a real concurrent Server (wall clock) instead of the simulator")
 	bench := flag.Bool("bench", false, "run the committed below/above-knee benchmark profile")
 	resil := flag.Bool("resil", false, "run the committed gray-failure resilience profile (hedging frontier)")
+	rollout := flag.Bool("rollout", false, "run the committed self-healing control-plane profile (canary rollout + autoscaling)")
+	autoscale := flag.Bool("autoscale", false, "attach a health-driven autoscaler (Min 1, Max 2x -replicas) to the run (simulator engine only)")
 	jsonOut := flag.String("json", "", "write the report(s) as JSON to this file")
 	sloSpec := flag.String("slo", "", `attach SLO objectives, e.g. "avail=0.999,p99=25ms" (simulator engine only)`)
 	sloWindow := flag.Duration("slo-window", 0, "scale burn-rate alert windows to this horizon (0 = the classic hour-scale rules)")
@@ -99,6 +109,20 @@ func main() {
 		runResil(cfg, *jsonOut)
 		return
 	}
+	if *rollout {
+		runRollout(cfg.Seed, cfg.Requests, *jsonOut)
+		return
+	}
+	if *autoscale {
+		if *live {
+			fail(fmt.Errorf("-autoscale needs the deterministic simulator (drop -live)"))
+		}
+		cfg.Autoscale = &serve.AutoscaleConfig{
+			Min: 1, Max: 2 * cfg.Replicas,
+			QueueHigh: 4, QueueLow: 0.5, SurgeMax: 2,
+		}
+		cfg.Replicas = 1 // start at the floor; the scaler earns the rest
+	}
 
 	if *sloSpec != "" {
 		if *live {
@@ -125,6 +149,7 @@ func main() {
 	rep := run(cfg, *live)
 	render(rep, capacity)
 	renderSLO(rep)
+	renderControl(rep)
 	if *jsonOut != "" {
 		writeJSON(*jsonOut, rep)
 	}
@@ -299,6 +324,54 @@ func runResil(cfg serve.LoadConfig, jsonOut string) {
 		fail(fmt.Errorf("resil profile broken: %.1f%% duplicated work at the p95 budget (> 15%%)",
 			atBudget.DuplicatedWorkPct))
 	}
+	if jsonOut != "" {
+		writeJSON(jsonOut, doc)
+	}
+}
+
+// renderControl prints the rollout outcome and the autoscaler trajectory
+// when the run carried either.
+func renderControl(rep *serve.LoadReport) {
+	if rep.RolloutState != "" {
+		fmt.Printf("rollout state=%s canary=%d shadow=%d mismatches=%d bad-version=%.2f%%\n",
+			rep.RolloutState, rep.CanaryServed, rep.ShadowServed,
+			rep.ShadowMismatches, rep.BadVersionPct)
+		if rep.TimeToDetectS > 0 {
+			fmt.Printf("rollout detect=%.3fs revert=%.3fs\n",
+				rep.TimeToDetectS, rep.TimeToRollbackS)
+		}
+	}
+	if rep.ReplicasPeak > 0 {
+		fmt.Printf("autoscale peak=%d mean=%.2f final=%d ups=%d downs=%d\n",
+			rep.ReplicasPeak, rep.ReplicasMean, rep.ReplicasFinal,
+			rep.ScaleUps, rep.ScaleDowns)
+	}
+}
+
+// runRollout executes the committed E17 self-healing profile. The scenario
+// shapes are pinned inside experiments.RolloutBench, so the artifact depends
+// only on -requests and -seed; RolloutBench fails loudly if any headline
+// invariant — shadow catch with zero live exposure, bounded blast radius,
+// clean promotion, autoscaled SLO compliance below the overprovisioned
+// fleet's cost — regresses.
+func runRollout(seed uint64, requests int, jsonOut string) {
+	doc, err := experiments.RolloutBench(seed, requests)
+	if err != nil {
+		fail(err)
+	}
+	show := func(name string, rep *serve.LoadReport) {
+		fmt.Printf("\n# %s\n", name)
+		fmt.Printf("completed=%d shed=%d expired=%d errors=%d\n",
+			rep.Completed, rep.Shed, rep.Expired, rep.Errors)
+		renderSLO(rep)
+		renderControl(rep)
+	}
+	show("shadow catch: poisoned candidate, shadow phase on", doc.ShadowCatch)
+	show("bad deploy: poisoned candidate, no shadow", doc.BadDeploy)
+	show("good deploy: healthy candidate", doc.GoodDeploy)
+	show("flash crowd: fixed fleet of 1", doc.FlashFixedSmall)
+	show("flash crowd: fixed fleet of 4", doc.FlashFixedBig)
+	show("flash crowd: autoscaled 1..4", doc.FlashAutoscaled)
 	if jsonOut != "" {
 		writeJSON(jsonOut, doc)
 	}

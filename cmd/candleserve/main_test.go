@@ -191,6 +191,140 @@ func TestCommittedResilArtifactIsCurrent(t *testing.T) {
 	}
 }
 
+type rolloutDoc struct {
+	ShadowCatch struct {
+		RolloutState     string  `json:"rollout_state"`
+		CanaryServed     int     `json:"canary_served"`
+		ShadowMismatches int     `json:"shadow_mismatches"`
+		BadVersionPct    float64 `json:"bad_version_pct"`
+	} `json:"shadow_catch"`
+	BadDeploy struct {
+		RolloutState    string  `json:"rollout_state"`
+		TimeToDetectS   float64 `json:"time_to_detect_s"`
+		TimeToRollbackS float64 `json:"time_to_rollback_s"`
+		BadVersionPct   float64 `json:"bad_version_pct"`
+	} `json:"bad_deploy"`
+	GoodDeploy struct {
+		RolloutState string `json:"rollout_state"`
+		Errors       int    `json:"errors"`
+	} `json:"good_deploy"`
+	FlashFixedSmall struct {
+		SLO []struct {
+			Met bool `json:"met"`
+		} `json:"slo"`
+	} `json:"flash_fixed_small"`
+	FlashAutoscaled struct {
+		SLO []struct {
+			Met bool `json:"met"`
+		} `json:"slo"`
+		ReplicasPeak int     `json:"replicas_peak"`
+		ReplicasMean float64 `json:"replicas_mean"`
+		ScaleDowns   int     `json:"scale_downs"`
+	} `json:"flash_autoscaled"`
+}
+
+// TestRolloutProfileIsBitIdentical runs the self-healing control-plane
+// profile twice and requires byte-identical JSON, then checks the headline
+// numbers: the shadow phase catches the poisoned candidate with zero live
+// exposure; without shadow the rollback fires before the bad version serves
+// more than 5% of traffic; the healthy candidate promotes cleanly; and the
+// autoscaler holds the availability SLO the fixed minimal fleet breaches, at
+// a mean fleet below the overprovisioned one.
+func TestRolloutProfileIsBitIdentical(t *testing.T) {
+	bin := buildCandleserve(t)
+	dir := t.TempDir()
+	j1 := filepath.Join(dir, "a.json")
+	j2 := filepath.Join(dir, "b.json")
+
+	runCandleserve(t, bin, "-rollout", "-requests", "3000", "-json", j1)
+	runCandleserve(t, bin, "-rollout", "-requests", "3000", "-json", j2)
+
+	b1, err := os.ReadFile(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed produced different rollout JSON:\n%s\n---\n%s", b1, b2)
+	}
+
+	var doc rolloutDoc
+	if err := json.Unmarshal(b1, &doc); err != nil {
+		t.Fatalf("rollout JSON does not parse: %v", err)
+	}
+	sc := doc.ShadowCatch
+	if sc.RolloutState != "rolled_back" || sc.CanaryServed != 0 || sc.BadVersionPct != 0 {
+		t.Fatalf("shadow catch leaked live traffic to the bad version: %+v", sc)
+	}
+	if sc.ShadowMismatches == 0 {
+		t.Fatalf("shadow phase observed no mismatches: %+v", sc)
+	}
+	bd := doc.BadDeploy
+	if bd.RolloutState != "rolled_back" {
+		t.Fatalf("bad deploy not rolled back: %+v", bd)
+	}
+	if bd.TimeToDetectS <= 0 || bd.TimeToDetectS > 1 || bd.TimeToRollbackS <= 0 {
+		t.Fatalf("detection/rollback not bounded: %+v", bd)
+	}
+	if bd.BadVersionPct <= 0 || bd.BadVersionPct > 5 {
+		t.Fatalf("rollback fired after the bad version served %.2f%% of traffic (want (0, 5]%%)",
+			bd.BadVersionPct)
+	}
+	if doc.GoodDeploy.RolloutState != "promoted" || doc.GoodDeploy.Errors != 0 {
+		t.Fatalf("healthy deploy did not promote cleanly: %+v", doc.GoodDeploy)
+	}
+	if len(doc.FlashFixedSmall.SLO) == 0 || doc.FlashFixedSmall.SLO[0].Met {
+		t.Fatalf("flash crowd did not breach the fixed minimal fleet: %+v", doc.FlashFixedSmall)
+	}
+	as := doc.FlashAutoscaled
+	if len(as.SLO) == 0 || !as.SLO[0].Met {
+		t.Fatalf("autoscaled fleet breached availability: %+v", as)
+	}
+	if as.ReplicasPeak <= 1 || as.ScaleDowns < 1 || as.ReplicasMean >= 4 {
+		t.Fatalf("autoscaler trajectory wrong (want grow, shrink, mean < overprovisioned 4): %+v", as)
+	}
+}
+
+// TestCommittedRolloutArtifactIsCurrent regenerates BENCH_rollout.json and
+// compares it byte-for-byte with the committed copy.
+func TestCommittedRolloutArtifactIsCurrent(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "BENCH_rollout.json"))
+	if err != nil {
+		t.Skipf("no committed BENCH_rollout.json: %v", err)
+	}
+	bin := buildCandleserve(t)
+	fresh := filepath.Join(t.TempDir(), "fresh.json")
+	runCandleserve(t, bin, "-rollout", "-json", fresh)
+	got, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, got) {
+		t.Fatal("BENCH_rollout.json is stale: regenerate with `make bench-rollout`")
+	}
+}
+
+// TestAutoscaleFlagSmokes attaches the autoscaler to a plain simulated run
+// at 3x the single-replica capacity: the fleet must grow and the trajectory
+// must land in the output.
+func TestAutoscaleFlagSmokes(t *testing.T) {
+	bin := buildCandleserve(t)
+	out := runCandleserve(t, bin,
+		"-autoscale", "-requests", "4000", "-rate", "6000", "-replicas", "2")
+	if !strings.Contains(out, "autoscale peak=") {
+		t.Fatalf("missing autoscale trajectory line:\n%s", out)
+	}
+	if strings.Contains(out, "autoscale peak=1 ") {
+		t.Fatalf("overload never grew the fleet:\n%s", out)
+	}
+	if out, err := exec.Command(bin, "-autoscale", "-live").CombinedOutput(); err == nil {
+		t.Fatalf("accepted -autoscale with -live:\n%s", out)
+	}
+}
+
 func TestClosedLoopMode(t *testing.T) {
 	bin := buildCandleserve(t)
 	out := runCandleserve(t, bin, "-mode", "closed", "-requests", "2000", "-clients", "16")

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// E17 measures the self-healing serving control plane end-to-end on the
+// deterministic load simulator: versioned rollout with canary/shadow traffic
+// and SLO-breach auto-rollback on one axis, health-driven autoscaling
+// against a flash crowd on the other. Six seeded scenarios make up the
+// committed BENCH_rollout.json:
+//
+//   - shadow_catch: a 50%-broken candidate deploys behind a shadow phase.
+//     The duplicated traffic burns the canary error budget and the page
+//     rule reverts the rollout before a single live request routes to it.
+//   - bad_deploy: the same candidate without a shadow phase. The first
+//     canary stage (5% of traffic) exposes it; detection and revert are
+//     bounded, and the blast radius — live requests the bad version
+//     answered — stays at a few percent of the run.
+//   - good_deploy: a healthy candidate walks every stage and promotes.
+//   - flash_fixed_small / flash_fixed_big / flash_autoscaled: the same
+//     diurnal-plus-flash-crowd load against a fixed minimal fleet (breaches
+//     the availability SLO), a fixed overprovisioned fleet (holds it by
+//     paying for peak all day), and the autoscaler (holds it at a fraction
+//     of the overprovisioned replica-seconds).
+const (
+	e17Requests = 12000 // rollout scenarios: 6s of virtual time at 2000 rps
+	e17QuickReq = 3000
+)
+
+// e17Target is the availability objective every flash-crowd run carries.
+const e17Target = 0.999
+
+// RolloutBenchReport is the committed BENCH_rollout.json document. Every
+// number is virtual-clock output of a seeded run, which is what lets the
+// artifact live in the repository with a byte-compare test.
+type RolloutBenchReport struct {
+	Seed     uint64 `json:"seed"`
+	Requests int    `json:"requests"`
+
+	ShadowCatch *serve.LoadReport `json:"shadow_catch"`
+	BadDeploy   *serve.LoadReport `json:"bad_deploy"`
+	GoodDeploy  *serve.LoadReport `json:"good_deploy"`
+
+	FlashFixedSmall *serve.LoadReport `json:"flash_fixed_small"`
+	FlashFixedBig   *serve.LoadReport `json:"flash_fixed_big"`
+	FlashAutoscaled *serve.LoadReport `json:"flash_autoscaled"`
+}
+
+// WriteJSON writes the report as indented JSON (stable field order).
+func (r *RolloutBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// e17RolloutCfg is one deploy scenario: an open loop at 2000 rps with a
+// candidate (carrying fault) deployed 200ms in.
+func e17RolloutCfg(seed uint64, requests int, cand fault.VersionFault, shadow time.Duration) serve.LoadConfig {
+	return serve.LoadConfig{
+		Requests:   requests,
+		RatePerSec: 2000,
+		Replicas:   2,
+		MaxBatch:   8,
+		MaxLinger:  2 * time.Millisecond,
+		QueueCap:   64,
+		Seed:       seed,
+		CtrlTick:   100 * time.Millisecond,
+		Rollout: &serve.RolloutSim{
+			DeployAt:  200 * time.Millisecond,
+			Candidate: cand,
+			Config: serve.RolloutConfig{
+				Stages: []serve.RolloutStage{
+					{Fraction: 0.05, Hold: 150 * time.Millisecond},
+					{Fraction: 0.25, Hold: 150 * time.Millisecond},
+					{Fraction: 1.00, Hold: 150 * time.Millisecond},
+				},
+				Shadow:     shadow,
+				Rules:      obs.ScaledBurnRules(time.Second),
+				DrainGrace: 100 * time.Millisecond,
+			},
+		},
+	}
+}
+
+// e17FlashCfg is the flash-crowd profile: calm, a 6x crowd, calm again,
+// with a completion deadline and an availability SLO so overload shows up
+// as budget burn rather than unbounded queueing.
+func e17FlashCfg(seed uint64, replicas int, auto *serve.AutoscaleConfig) serve.LoadConfig {
+	return serve.LoadConfig{
+		Phases: []serve.LoadPhase{
+			{Duration: time.Second, RatePerSec: 500},
+			{Duration: time.Second, RatePerSec: 3000},
+			{Duration: 2 * time.Second, RatePerSec: 500},
+		},
+		Replicas:  replicas,
+		MaxBatch:  8,
+		MaxLinger: 2 * time.Millisecond,
+		QueueCap:  64,
+		Deadline:  50 * time.Millisecond,
+		Seed:      seed,
+		CtrlTick:  100 * time.Millisecond,
+		SLO:       []obs.Objective{{Name: "availability", Target: e17Target}},
+		Autoscale: auto,
+	}
+}
+
+// e17FixedBigReplicas is the overprovisioned fleet sized for the crowd peak.
+const e17FixedBigReplicas = 4
+
+func e17Autoscale() *serve.AutoscaleConfig {
+	return &serve.AutoscaleConfig{
+		Min: 1, Max: e17FixedBigReplicas,
+		Every:     100 * time.Millisecond,
+		QueueHigh: 4, QueueLow: 0.5,
+		SurgeMax: 2,
+	}
+}
+
+// e17Sweep runs all six scenarios.
+func e17Sweep(seed uint64, requests int) (*RolloutBenchReport, error) {
+	rep := &RolloutBenchReport{Seed: seed, Requests: requests}
+	var err error
+	bad := fault.VersionFault{ErrorRate: 0.5}
+
+	if rep.ShadowCatch, err = serve.RunLoad(e17RolloutCfg(seed, requests, bad, 150*time.Millisecond)); err != nil {
+		return nil, fmt.Errorf("shadow_catch: %w", err)
+	}
+	if rep.BadDeploy, err = serve.RunLoad(e17RolloutCfg(seed, requests, bad, 0)); err != nil {
+		return nil, fmt.Errorf("bad_deploy: %w", err)
+	}
+	if rep.GoodDeploy, err = serve.RunLoad(e17RolloutCfg(seed, requests, fault.VersionFault{}, 150*time.Millisecond)); err != nil {
+		return nil, fmt.Errorf("good_deploy: %w", err)
+	}
+	if rep.FlashFixedSmall, err = serve.RunLoad(e17FlashCfg(seed, 1, nil)); err != nil {
+		return nil, fmt.Errorf("flash_fixed_small: %w", err)
+	}
+	if rep.FlashFixedBig, err = serve.RunLoad(e17FlashCfg(seed, e17FixedBigReplicas, nil)); err != nil {
+		return nil, fmt.Errorf("flash_fixed_big: %w", err)
+	}
+	if rep.FlashAutoscaled, err = serve.RunLoad(e17FlashCfg(seed, 1, e17Autoscale())); err != nil {
+		return nil, fmt.Errorf("flash_autoscaled: %w", err)
+	}
+	return rep, nil
+}
+
+// e17Avail finds the availability objective's compliance in a flash run.
+func e17Avail(rep *serve.LoadReport) (obs.SLOStatus, error) {
+	for _, st := range rep.SLOStatus {
+		if st.Objective == "availability" {
+			return st, nil
+		}
+	}
+	return obs.SLOStatus{}, fmt.Errorf("e17: run carries no availability SLO status")
+}
+
+// RolloutBench runs the committed self-healing profile and verifies its
+// headline invariants, so a regression in the rollout controller, the burn
+// rules, or the autoscaler can never silently regenerate a flat artifact:
+//
+//   - the shadow phase catches a poisoned candidate with ZERO live exposure;
+//   - without shadow, detection is sub-second and the bad version answers
+//     at most 5% of live traffic before the revert;
+//   - a healthy candidate promotes with no errors;
+//   - the flash crowd breaches the fixed minimal fleet's availability SLO,
+//     while both the overprovisioned fleet and the autoscaler hold it —
+//     the autoscaler at a strictly lower mean replica count.
+func RolloutBench(seed uint64, requests int) (*RolloutBenchReport, error) {
+	rep, err := e17Sweep(seed, requests)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := rep.ShadowCatch
+	if sc.RolloutState != "rolled_back" || sc.CanaryServed != 0 || sc.ShadowMismatches == 0 {
+		return nil, fmt.Errorf("e17: shadow_catch state=%s canary=%d mismatches=%d, want rollback with zero live exposure",
+			sc.RolloutState, sc.CanaryServed, sc.ShadowMismatches)
+	}
+	bd := rep.BadDeploy
+	if bd.RolloutState != "rolled_back" {
+		return nil, fmt.Errorf("e17: bad_deploy ended %s, want rolled_back", bd.RolloutState)
+	}
+	if bd.TimeToDetectS <= 0 || bd.TimeToDetectS > 1 {
+		return nil, fmt.Errorf("e17: bad_deploy detection took %.3fs, want sub-second", bd.TimeToDetectS)
+	}
+	if bd.BadVersionPct <= 0 || bd.BadVersionPct > 5 {
+		return nil, fmt.Errorf("e17: bad version served %.2f%% of live traffic, want (0, 5]", bd.BadVersionPct)
+	}
+	gd := rep.GoodDeploy
+	if gd.RolloutState != "promoted" || gd.Errors != 0 || gd.CanaryErrors != 0 {
+		return nil, fmt.Errorf("e17: good_deploy state=%s errors=%d/%d, want clean promotion",
+			gd.RolloutState, gd.Errors, gd.CanaryErrors)
+	}
+
+	small, err := e17Avail(rep.FlashFixedSmall)
+	if err != nil {
+		return nil, err
+	}
+	big, err := e17Avail(rep.FlashFixedBig)
+	if err != nil {
+		return nil, err
+	}
+	scaled, err := e17Avail(rep.FlashAutoscaled)
+	if err != nil {
+		return nil, err
+	}
+	if small.Met {
+		return nil, fmt.Errorf("e17: flash crowd did not breach the fixed minimal fleet (ratio %.6f)", small.Ratio)
+	}
+	if !big.Met {
+		return nil, fmt.Errorf("e17: overprovisioned fleet breached availability (ratio %.6f)", big.Ratio)
+	}
+	if !scaled.Met {
+		return nil, fmt.Errorf("e17: autoscaled fleet breached availability (ratio %.6f)", scaled.Ratio)
+	}
+	as := rep.FlashAutoscaled
+	if as.ReplicasPeak <= 1 || as.ScaleUps < 1 || as.ScaleDowns < 1 {
+		return nil, fmt.Errorf("e17: autoscaler trajectory peak=%d ups=%d downs=%d, want a full grow/shrink cycle",
+			as.ReplicasPeak, as.ScaleUps, as.ScaleDowns)
+	}
+	if as.ReplicasMean >= e17FixedBigReplicas {
+		return nil, fmt.Errorf("e17: autoscaled mean fleet %.2f not below the overprovisioned %d",
+			as.ReplicasMean, e17FixedBigReplicas)
+	}
+	return rep, nil
+}
+
+// E17Rollout runs the sweep for the suite table.
+func E17Rollout(cfg Config) *trace.Table {
+	t := trace.NewTable("E17 self-healing control plane: canary rollout, auto-rollback, autoscaling",
+		"scenario", "state/slo", "ttd-s", "ttr-s", "bad-pct", "lost", "replicas peak/mean")
+	requests := e17Requests
+	if cfg.Quick {
+		requests = e17QuickReq
+	}
+	rep, err := RolloutBench(cfg.Seed, requests)
+	if err != nil {
+		t.AddRow("error", err.Error(), "-", "-", "-", "-", "-")
+		return t
+	}
+	deployRow := func(name string, r *serve.LoadReport) {
+		t.AddRow(name, r.RolloutState, r.TimeToDetectS, r.TimeToRollbackS,
+			r.BadVersionPct, r.Shed+r.Expired+r.Errors, "-")
+	}
+	deployRow("shadow-catch", rep.ShadowCatch)
+	deployRow("bad-deploy", rep.BadDeploy)
+	deployRow("good-deploy", rep.GoodDeploy)
+	flashRow := func(name string, r *serve.LoadReport, fixed int) {
+		st, err := e17Avail(r)
+		verdict := fmt.Sprintf("avail %.6f MET", st.Ratio)
+		if err != nil || !st.Met {
+			verdict = fmt.Sprintf("avail %.6f VIOLATED", st.Ratio)
+		}
+		peak, mean := fixed, float64(fixed)
+		if r.ReplicasPeak > 0 {
+			peak, mean = r.ReplicasPeak, r.ReplicasMean
+		}
+		t.AddRow(name, verdict, "-", "-", "-", r.Shed+r.Expired,
+			fmt.Sprintf("%d/%.2f", peak, mean))
+	}
+	flashRow("flash-fixed-small", rep.FlashFixedSmall, 1)
+	flashRow("flash-fixed-big", rep.FlashFixedBig, e17FixedBigReplicas)
+	flashRow("flash-autoscaled", rep.FlashAutoscaled, 0)
+	return t
+}

@@ -25,8 +25,8 @@ func runQuick(t *testing.T, id string) (*Experiment, string) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(all))
+	if len(all) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -562,5 +562,56 @@ func TestE16Shape(t *testing.T) {
 	}
 	if big["tiered-dram-nvram"] < 3*warm["256.0"]["tiered-dram-nvram"] {
 		t.Fatalf("2TB epoch suspiciously close to 256GB epoch — PFS fell off the clock:\n%s", out)
+	}
+}
+
+func TestE17Shape(t *testing.T) {
+	_, out := runQuick(t, "E17")
+	rows := tableRows(out)
+	byName := map[string][]string{}
+	for _, r := range rows {
+		byName[r[0]] = r
+	}
+	if len(byName) != 6 {
+		t.Fatalf("expected 6 scenarios:\n%s", out)
+	}
+	// Deploy rows: scenario state ttd ttr bad-pct lost -
+	for _, name := range []string{"shadow-catch", "bad-deploy"} {
+		if st := byName[name][1]; st != "rolled_back" {
+			t.Fatalf("%s state %q, want rolled_back:\n%s", name, st, out)
+		}
+	}
+	// Shadow traffic catches the bad version before any live canary exposure.
+	if pct := f(t, byName["shadow-catch"][4]); pct != 0 {
+		t.Fatalf("shadow-catch served %v%% live bad-version traffic, want 0:\n%s", pct, out)
+	}
+	bad := byName["bad-deploy"]
+	if ttd := f(t, bad[2]); !(ttd > 0 && ttd <= 1) {
+		t.Fatalf("bad-deploy time-to-detect %vs, want (0, 1]:\n%s", ttd, out)
+	}
+	if pct := f(t, bad[4]); !(pct > 0 && pct <= 5) {
+		t.Fatalf("bad-deploy blast radius %v%%, want (0, 5]:\n%s", pct, out)
+	}
+	if r := byName["good-deploy"]; r[1] != "promoted" || f(t, r[5]) != 0 {
+		t.Fatalf("good deploy should promote without losing requests:\n%s", out)
+	}
+	// Flash rows: scenario avail <ratio> <verdict> - - - lost peak/mean
+	if v := byName["flash-fixed-small"][3]; v != "VIOLATED" {
+		t.Fatalf("one fixed replica should breach the flash-crowd SLO:\n%s", out)
+	}
+	auto := byName["flash-autoscaled"]
+	if auto[3] != "MET" {
+		t.Fatalf("autoscaled fleet should hold the flash-crowd SLO:\n%s", out)
+	}
+	pm := strings.SplitN(auto[8], "/", 2)
+	if len(pm) != 2 {
+		t.Fatalf("malformed replicas peak/mean cell %q:\n%s", auto[8], out)
+	}
+	if peak := f(t, pm[0]); peak < 2 {
+		t.Fatalf("autoscaler never surged above 1 replica:\n%s", out)
+	}
+	if mean := f(t, pm[1]); mean >= e17FixedBigReplicas {
+		t.Fatalf("autoscaled mean fleet %v not below the overprovisioned %d:\n%s",
+			mean, e17FixedBigReplicas, out)
 	}
 }

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -119,7 +120,10 @@ func TestScheduleRespectsMTBF(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	// Fixed source: a 10% bound on a ~2.2%-sd statistic is safe for any
+	// particular seed set but flaky over time-seeded draws.
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -44,6 +44,15 @@ const (
 	// SilentCorruption marks in-transit payload corruption: a bit flip that
 	// no layer reports unless the receiver checks for it.
 	SilentCorruption
+	// BadVersion marks a model deployment that answers a seeded fraction of
+	// its requests wrongly or not at all — the "bad push" a versioned rollout
+	// exists to catch. Scripted via VersionFault; consumed by the serving
+	// rollout controller's canary SLO monitors.
+	BadVersion
+	// LatencyRegression marks a model deployment that is correct but
+	// persistently slower than the baseline it replaces — the gray cousin of
+	// BadVersion. Also scripted via VersionFault.
+	LatencyRegression
 )
 
 // grayString names the gray kinds (called from Kind.String in fault.go).
@@ -55,9 +64,46 @@ func grayString(k Kind) string {
 		return "flaky-link"
 	case SilentCorruption:
 		return "silent-corruption"
+	case BadVersion:
+		return "bad-version"
+	case LatencyRegression:
+		return "latency-regression"
 	default:
 		return "fault?"
 	}
+}
+
+// VersionFault describes what is wrong with a candidate model version: a
+// seeded per-request error rate (BadVersion — the canary's availability
+// objective burns), a service-time multiplier (LatencyRegression — the
+// canary's latency objective burns), or both. The zero value is a healthy
+// version. Consumed by the serving rollout controller and its load
+// simulator: the same seed deploys the same poison, which is what makes
+// time-to-detect and time-to-rollback reproducible numbers rather than
+// anecdotes.
+type VersionFault struct {
+	// ErrorRate is the probability a request served by this version fails
+	// (seeded per request). 0 = never.
+	ErrorRate float64
+	// LatencyFactor multiplies the version's service time; values <= 1 mean
+	// no regression.
+	LatencyFactor float64
+}
+
+// Validate checks the version-fault parameters.
+func (v VersionFault) Validate() error {
+	if v.ErrorRate < 0 || v.ErrorRate >= 1 {
+		return fmt.Errorf("fault: version error rate %g outside [0,1)", v.ErrorRate)
+	}
+	if v.LatencyFactor < 0 {
+		return fmt.Errorf("fault: negative version latency factor %g", v.LatencyFactor)
+	}
+	return nil
+}
+
+// Active reports whether the version injects any fault at all.
+func (v VersionFault) Active() bool {
+	return v.ErrorRate > 0 || v.LatencyFactor > 1
 }
 
 // Degrade scripts a persistent gray slowdown: every unit of work worker

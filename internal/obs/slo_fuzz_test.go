@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSLOSpec drives ParseSLOSpec with arbitrary operator input (the -slo
+// flag is user-facing in candleserve). Properties: the parser never panics;
+// on success every objective is structurally valid — a known kind, a target
+// strictly inside (0,1), a positive latency threshold for latency
+// objectives — and the parsed spec actually works: a burn-rate monitor built
+// from it accepts records and ticks without blowing up.
+func FuzzSLOSpec(f *testing.F) {
+	for _, seed := range []string{
+		"avail=0.999",
+		"p99=25ms",
+		"p99=25ms@0.99",
+		"avail=0.99,p99=10ms",
+		"avail=0.999, p99=1s",
+		"",
+		",",
+		"avail=",
+		"p99=@",
+		"avail=2",
+		"avail=-0.5",
+		"p99=-5ms",
+		"p99=0s",
+		"x=1",
+		"avail=0.999,,p99=1s",
+		"p99=1h@1.5",
+		"avail=0.5=0.6",
+		"p99=9999999999999999999ns",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		objs, err := ParseSLOSpec(spec)
+		if err != nil {
+			if len(objs) != 0 {
+				t.Fatalf("error %v but %d objectives returned", err, len(objs))
+			}
+			return
+		}
+		if len(objs) == 0 {
+			t.Fatalf("nil error but no objectives for spec %q", spec)
+		}
+		for _, o := range objs {
+			if o.Name != "availability" && o.Name != "latency_p99" {
+				t.Fatalf("spec %q: unknown objective name %q", spec, o.Name)
+			}
+			if !(o.Target > 0 && o.Target < 1) {
+				t.Fatalf("spec %q: target %g outside (0,1)", spec, o.Target)
+			}
+			if o.Name == "latency_p99" && o.Latency <= 0 {
+				t.Fatalf("spec %q: latency objective with threshold %g", spec, o.Latency)
+			}
+			if o.Name == "availability" && o.Latency != 0 {
+				t.Fatalf("spec %q: availability objective carries latency %g", spec, o.Latency)
+			}
+			if strings.TrimSpace(o.Name) != o.Name {
+				t.Fatalf("spec %q: unclean objective name %q", spec, o.Name)
+			}
+		}
+		// A successfully parsed spec must yield a usable monitor.
+		m := NewSLOMonitor(objs, DefaultBurnRules())
+		if m == nil {
+			t.Fatalf("spec %q: nil monitor from valid objectives", spec)
+		}
+		m.RecordAvailability(true)
+		m.RecordAvailability(false)
+		m.RecordLatency(0.001)
+		m.Tick(1)
+		m.Tick(2)
+		_ = m.Firing()
+	})
+}

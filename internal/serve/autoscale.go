@@ -1,0 +1,231 @@
+package serve
+
+// Health-driven autoscaling: the capacity half of the serving control
+// plane. Like Rollout and batchPolicy, the Autoscaler is a pure decision
+// machine on explicit time — the concurrent Server's control loop and the
+// discrete-event load simulator both feed it the same inputs (queue depth,
+// p99 latency, busy-replica utilisation, healthy-replica count) and apply
+// whatever target it returns to their own replica pools.
+//
+// The policy is deliberately boring, because boring is what pages less:
+//
+//   - Scale UP when the queue per healthy replica exceeds QueueHigh or the
+//     observed p99 exceeds P99High. Step size is proportional to the queue
+//     overhang but capped by SurgeMax per decision, so a flash crowd is
+//     answered in a few decisive steps rather than one panicked leap or a
+//     hundred timid ones.
+//   - Scale DOWN one replica at a time, and only when the queue is near
+//     empty, the utilisation EWMA is below UtilLow, and p99 is comfortable.
+//   - Hysteresis everywhere: separate up/down cooldowns, and a down
+//     decision additionally requires the up cooldown to have lapsed, so
+//     the scaler never saws (up, down, up) across consecutive evaluations.
+
+import (
+	"fmt"
+	"time"
+)
+
+// AutoscaleConfig parameterises the replica autoscaler.
+type AutoscaleConfig struct {
+	// Min and Max bound the replica count (defaults 1 and 16).
+	Min int
+	Max int
+	// Every is the evaluation cadence (default 250ms). The driver owns the
+	// timer; Evaluate itself just enforces cooldowns in units of time.
+	Every time.Duration
+	// QueueHigh scales up when queued requests per healthy replica exceed it
+	// (default 4).
+	QueueHigh float64
+	// QueueLow permits scale-down only when queue per healthy replica is
+	// below it (default 0.5).
+	QueueLow float64
+	// P99High scales up when the observed p99 exceeds it (0 disables the
+	// latency trigger).
+	P99High time.Duration
+	// UtilLow permits scale-down only when the busy-fraction EWMA is below
+	// it (default 0.3).
+	UtilLow float64
+	// UtilAlpha is the EWMA smoothing factor for utilisation (default 0.3).
+	UtilAlpha float64
+	// SurgeMax caps replicas added per decision (default 2).
+	SurgeMax int
+	// UpCooldown and DownCooldown are the minimum times between consecutive
+	// scale-ups / scale-downs (defaults Every and 4*Every).
+	UpCooldown   time.Duration
+	DownCooldown time.Duration
+}
+
+func (c *AutoscaleConfig) withDefaults() error {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 16
+	}
+	if c.Max < c.Min {
+		return fmt.Errorf("serve: autoscale Max %d < Min %d", c.Max, c.Min)
+	}
+	if c.Every <= 0 {
+		c.Every = 250 * time.Millisecond
+	}
+	if c.QueueHigh <= 0 {
+		c.QueueHigh = 4
+	}
+	if c.QueueLow <= 0 {
+		c.QueueLow = 0.5
+	}
+	if c.QueueLow >= c.QueueHigh {
+		return fmt.Errorf("serve: autoscale QueueLow %g must be below QueueHigh %g",
+			c.QueueLow, c.QueueHigh)
+	}
+	if c.P99High < 0 {
+		return fmt.Errorf("serve: negative autoscale P99High %v", c.P99High)
+	}
+	if c.UtilLow <= 0 {
+		c.UtilLow = 0.3
+	}
+	if c.UtilAlpha <= 0 || c.UtilAlpha > 1 {
+		c.UtilAlpha = 0.3
+	}
+	if c.SurgeMax <= 0 {
+		c.SurgeMax = 2
+	}
+	if c.UpCooldown <= 0 {
+		c.UpCooldown = c.Every
+	}
+	if c.DownCooldown <= 0 {
+		c.DownCooldown = 4 * c.Every
+	}
+	return nil
+}
+
+// AutoscaleInput is one evaluation's observation of the pool.
+type AutoscaleInput struct {
+	// Queue is the number of requests waiting (admission queue + formed
+	// batches not yet executing).
+	Queue int
+	// P99 is the observed request p99 (0 = unknown; disables the latency
+	// trigger for this evaluation).
+	P99 time.Duration
+	// Busy is the number of replicas currently executing a batch.
+	Busy int
+	// Replicas is the current pool size (the scaler's previous target once
+	// the pool has converged).
+	Replicas int
+	// Healthy is the number of live, non-ejected replicas (≤ Replicas).
+	Healthy int
+}
+
+// ScaleEvent is one autoscaler decision that changed the target.
+type ScaleEvent struct {
+	T      float64 `json:"t"` // seconds
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Reason string  `json:"reason"`
+}
+
+// Autoscaler holds the hysteresis state between evaluations. Not
+// concurrency-safe: drive it from one control loop (the Server's ctrl
+// goroutine, or the simulator event loop).
+type Autoscaler struct {
+	cfg      AutoscaleConfig
+	utilEWMA float64
+	utilInit bool
+	lastUp   float64
+	lastDown float64
+	hasUp    bool
+	hasDown  bool
+	ups      int
+	downs    int
+	events   []ScaleEvent
+}
+
+// NewAutoscaler validates cfg and returns a ready scaler.
+func NewAutoscaler(cfg AutoscaleConfig) (*Autoscaler, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	return &Autoscaler{cfg: cfg}, nil
+}
+
+// Config returns the validated configuration.
+func (a *Autoscaler) Config() AutoscaleConfig { return a.cfg }
+
+// Evaluate consumes one observation at time t (seconds) and returns the
+// replica target. Returning in.Replicas means "no change".
+func (a *Autoscaler) Evaluate(t float64, in AutoscaleInput) int {
+	healthy := in.Healthy
+	if healthy <= 0 {
+		healthy = 1
+	}
+	util := float64(in.Busy) / float64(healthy)
+	if !a.utilInit {
+		a.utilEWMA, a.utilInit = util, true
+	} else {
+		a.utilEWMA += a.cfg.UtilAlpha * (util - a.utilEWMA)
+	}
+	queuePer := float64(in.Queue) / float64(healthy)
+
+	cur := in.Replicas
+	hot := queuePer > a.cfg.QueueHigh
+	slow := a.cfg.P99High > 0 && in.P99 > a.cfg.P99High
+	if (hot || slow) && cur < a.cfg.Max {
+		if a.hasUp && t-a.lastUp < a.cfg.UpCooldown.Seconds() {
+			return cur
+		}
+		// Step toward the replica count that would bring the queue back
+		// under QueueHigh, but never more than SurgeMax at once.
+		step := 1
+		if hot {
+			want := int(float64(in.Queue)/a.cfg.QueueHigh) + 1
+			if want-cur > step {
+				step = want - cur
+			}
+		}
+		if step > a.cfg.SurgeMax {
+			step = a.cfg.SurgeMax
+		}
+		to := cur + step
+		if to > a.cfg.Max {
+			to = a.cfg.Max
+		}
+		a.lastUp, a.hasUp = t, true
+		a.ups++
+		reason := "queue"
+		if !hot {
+			reason = "p99"
+		}
+		a.events = append(a.events, ScaleEvent{T: t, From: cur, To: to, Reason: reason})
+		return to
+	}
+
+	if cur > a.cfg.Min &&
+		queuePer < a.cfg.QueueLow &&
+		a.utilEWMA < a.cfg.UtilLow &&
+		!slow {
+		if a.hasDown && t-a.lastDown < a.cfg.DownCooldown.Seconds() {
+			return cur
+		}
+		// Never saw: a recent scale-up vetoes the scale-down too.
+		if a.hasUp && t-a.lastUp < a.cfg.DownCooldown.Seconds() {
+			return cur
+		}
+		to := cur - 1
+		a.lastDown, a.hasDown = t, true
+		a.downs++
+		a.events = append(a.events, ScaleEvent{T: t, From: cur, To: to, Reason: "idle"})
+		return to
+	}
+	return cur
+}
+
+// Util returns the current utilisation EWMA.
+func (a *Autoscaler) Util() float64 { return a.utilEWMA }
+
+// Counts returns (scale-ups, scale-downs) so far.
+func (a *Autoscaler) Counts() (ups, downs int) { return a.ups, a.downs }
+
+// Events returns the decision trajectory so far.
+func (a *Autoscaler) Events() []ScaleEvent {
+	return append([]ScaleEvent(nil), a.events...)
+}

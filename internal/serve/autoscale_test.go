@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func mustScaler(t *testing.T, cfg AutoscaleConfig) *Autoscaler {
+	t.Helper()
+	a, err := NewAutoscaler(cfg)
+	if err != nil {
+		t.Fatalf("NewAutoscaler: %v", err)
+	}
+	return a
+}
+
+func TestAutoscaleConfigValidation(t *testing.T) {
+	if _, err := NewAutoscaler(AutoscaleConfig{Min: 4, Max: 2}); err == nil {
+		t.Error("Max < Min accepted")
+	}
+	if _, err := NewAutoscaler(AutoscaleConfig{QueueHigh: 1, QueueLow: 2}); err == nil {
+		t.Error("QueueLow >= QueueHigh accepted")
+	}
+	if _, err := NewAutoscaler(AutoscaleConfig{P99High: -time.Second}); err == nil {
+		t.Error("negative P99High accepted")
+	}
+	a := mustScaler(t, AutoscaleConfig{})
+	cfg := a.Config()
+	if cfg.Min != 1 || cfg.Max != 16 || cfg.QueueHigh != 4 || cfg.SurgeMax != 2 ||
+		cfg.UpCooldown != cfg.Every || cfg.DownCooldown != 4*cfg.Every {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+// TestAutoscaleQueueTriggerStepsProportionally: the up step is sized to the
+// queue overhang but capped by SurgeMax, and clamped to Max.
+func TestAutoscaleQueueTriggerStepsProportionally(t *testing.T) {
+	a := mustScaler(t, AutoscaleConfig{Min: 1, Max: 4, QueueHigh: 4, SurgeMax: 2})
+
+	// Queue 40 against 1 healthy replica wants 40/4+1 = 11 replicas, but
+	// SurgeMax caps the step at +2.
+	if got := a.Evaluate(0, AutoscaleInput{Queue: 40, Busy: 1, Replicas: 1, Healthy: 1}); got != 3 {
+		t.Fatalf("surge step target = %d, want 3 (1 + SurgeMax)", got)
+	}
+	// Next evaluation after the cooldown: still hot, +2 would exceed Max=4.
+	if got := a.Evaluate(1, AutoscaleInput{Queue: 40, Busy: 3, Replicas: 3, Healthy: 3}); got != 4 {
+		t.Fatalf("clamped target = %d, want Max 4", got)
+	}
+	// At Max and still hot: no change possible.
+	if got := a.Evaluate(2, AutoscaleInput{Queue: 40, Busy: 4, Replicas: 4, Healthy: 4}); got != 4 {
+		t.Fatalf("target above Max: %d", got)
+	}
+	// Mild overhang takes a single step, not the surge cap.
+	b := mustScaler(t, AutoscaleConfig{Min: 1, Max: 8, QueueHigh: 4, SurgeMax: 4})
+	if got := b.Evaluate(0, AutoscaleInput{Queue: 5, Busy: 1, Replicas: 1, Healthy: 1}); got != 2 {
+		t.Fatalf("mild overhang target = %d, want 2", got)
+	}
+	ev := b.Events()
+	if len(ev) != 1 || ev[0].Reason != "queue" || ev[0].From != 1 || ev[0].To != 2 {
+		t.Fatalf("event = %+v, want queue 1->2", ev)
+	}
+}
+
+// TestAutoscaleP99Trigger: a comfortable queue with a breached latency SLO
+// still scales up, tagged with the p99 reason.
+func TestAutoscaleP99Trigger(t *testing.T) {
+	a := mustScaler(t, AutoscaleConfig{Min: 1, Max: 8, P99High: 50 * time.Millisecond})
+	got := a.Evaluate(0, AutoscaleInput{
+		Queue: 0, P99: 80 * time.Millisecond, Busy: 1, Replicas: 2, Healthy: 2,
+	})
+	if got != 3 {
+		t.Fatalf("p99 trigger target = %d, want 3", got)
+	}
+	ev := a.Events()
+	if len(ev) != 1 || ev[0].Reason != "p99" {
+		t.Fatalf("event = %+v, want reason p99", ev)
+	}
+	// P99High zero disables the trigger entirely.
+	b := mustScaler(t, AutoscaleConfig{Min: 1, Max: 8})
+	if got := b.Evaluate(0, AutoscaleInput{Queue: 0, P99: time.Hour, Busy: 1, Replicas: 2, Healthy: 2}); got != 2 {
+		t.Fatalf("disabled p99 trigger scaled to %d", got)
+	}
+}
+
+// TestAutoscaleUpCooldownGates: consecutive hot evaluations inside the up
+// cooldown must not stack scale-ups.
+func TestAutoscaleUpCooldownGates(t *testing.T) {
+	a := mustScaler(t, AutoscaleConfig{
+		Min: 1, Max: 8, QueueHigh: 2, SurgeMax: 1, UpCooldown: time.Second,
+	})
+	hot := AutoscaleInput{Queue: 20, Busy: 1, Replicas: 1, Healthy: 1}
+	if got := a.Evaluate(0, hot); got != 2 {
+		t.Fatalf("first up target = %d, want 2", got)
+	}
+	hot.Replicas, hot.Healthy = 2, 2
+	if got := a.Evaluate(0.5, hot); got != 2 {
+		t.Fatalf("inside cooldown target = %d, want unchanged 2", got)
+	}
+	if got := a.Evaluate(1.5, hot); got != 3 {
+		t.Fatalf("after cooldown target = %d, want 3", got)
+	}
+	if ups, _ := a.Counts(); ups != 2 {
+		t.Fatalf("ups = %d, want 2", ups)
+	}
+}
+
+// TestAutoscaleDownRequiresIdleAndCooldowns: scale-down is one replica at a
+// time, gated on empty queue, low utilisation EWMA, healthy latency, its own
+// cooldown, and Min.
+func TestAutoscaleDownRequiresIdleAndCooldowns(t *testing.T) {
+	cfg := AutoscaleConfig{
+		Min: 1, Max: 8, QueueHigh: 4, QueueLow: 0.5,
+		UtilLow: 0.3, UtilAlpha: 1, // EWMA tracks the instant value
+		P99High:      50 * time.Millisecond,
+		DownCooldown: 2 * time.Second,
+	}
+	idle := AutoscaleInput{Queue: 0, Busy: 0, Replicas: 4, Healthy: 4}
+
+	a := mustScaler(t, cfg)
+	if got := a.Evaluate(0, idle); got != 3 {
+		t.Fatalf("idle pool target = %d, want 3", got)
+	}
+	ev := a.Events()
+	if len(ev) != 1 || ev[0].Reason != "idle" {
+		t.Fatalf("event = %+v, want reason idle", ev)
+	}
+	// Inside the down cooldown: no further shrink.
+	idle.Replicas, idle.Healthy = 3, 3
+	if got := a.Evaluate(1, idle); got != 3 {
+		t.Fatalf("inside down cooldown target = %d, want 3", got)
+	}
+	if got := a.Evaluate(2.5, idle); got != 2 {
+		t.Fatalf("after down cooldown target = %d, want 2", got)
+	}
+
+	// High utilisation blocks the shrink even with an empty queue.
+	b := mustScaler(t, cfg)
+	if got := b.Evaluate(0, AutoscaleInput{Queue: 0, Busy: 4, Replicas: 4, Healthy: 4}); got != 4 {
+		t.Fatalf("busy pool shrank to %d", got)
+	}
+	// A slow p99 doesn't just block the shrink — an idle-looking pool that
+	// is breaching its latency SLO scales up.
+	c := mustScaler(t, cfg)
+	if got := c.Evaluate(0, AutoscaleInput{Queue: 0, Busy: 0, P99: time.Second, Replicas: 4, Healthy: 4}); got != 5 {
+		t.Fatalf("slow pool target = %d, want 5 (p99 breach wins over idleness)", got)
+	}
+	// Min floor.
+	d := mustScaler(t, cfg)
+	if got := d.Evaluate(0, AutoscaleInput{Queue: 0, Busy: 0, Replicas: 1, Healthy: 1}); got != 1 {
+		t.Fatalf("pool shrank below Min to %d", got)
+	}
+}
+
+// TestAutoscaleNeverSaws: a recent scale-up vetoes a scale-down for a full
+// DownCooldown, so up→down→up oscillation across consecutive evaluations is
+// impossible by construction.
+func TestAutoscaleNeverSaws(t *testing.T) {
+	a := mustScaler(t, AutoscaleConfig{
+		Min: 1, Max: 8, QueueHigh: 2, QueueLow: 0.5,
+		UtilLow: 0.5, UtilAlpha: 1,
+		UpCooldown: 100 * time.Millisecond, DownCooldown: 2 * time.Second,
+	})
+	// Burst: scale up at t=0.
+	if got := a.Evaluate(0, AutoscaleInput{Queue: 20, Busy: 1, Replicas: 1, Healthy: 1}); got <= 1 {
+		t.Fatalf("burst did not scale up (target %d)", got)
+	}
+	// Burst gone immediately after: an idle snapshot inside DownCooldown of
+	// the up must NOT shrink.
+	for _, tm := range []float64{0.25, 0.5, 1.0, 1.9} {
+		if got := a.Evaluate(tm, AutoscaleInput{Queue: 0, Busy: 0, Replicas: 3, Healthy: 3}); got != 3 {
+			t.Fatalf("t=%g: shrank to %d within DownCooldown of an up", tm, got)
+		}
+	}
+	// Once the veto lapses the shrink proceeds.
+	if got := a.Evaluate(2.5, AutoscaleInput{Queue: 0, Busy: 0, Replicas: 3, Healthy: 3}); got != 2 {
+		t.Fatalf("t=2.5: target = %d, want 2", got)
+	}
+}
+
+// TestAutoscaleUsesHealthyDenominator: queue pressure is measured per
+// *healthy* replica — a pool of 4 with 3 ejected is as overloaded as a pool
+// of 1.
+func TestAutoscaleUsesHealthyDenominator(t *testing.T) {
+	a := mustScaler(t, AutoscaleConfig{Min: 1, Max: 8, QueueHigh: 4, SurgeMax: 8})
+	// Queue 6 over 4 healthy = 1.5 per replica: calm.
+	if got := a.Evaluate(0, AutoscaleInput{Queue: 6, Busy: 2, Replicas: 4, Healthy: 4}); got != 4 {
+		t.Fatalf("calm pool target = %d, want 4", got)
+	}
+	// Same queue with 1 healthy = 6 per replica: hot.
+	b := mustScaler(t, AutoscaleConfig{Min: 1, Max: 8, QueueHigh: 4, SurgeMax: 8})
+	if got := b.Evaluate(0, AutoscaleInput{Queue: 6, Busy: 1, Replicas: 4, Healthy: 1}); got <= 4 {
+		t.Fatalf("degraded pool target = %d, want > 4", got)
+	}
+}

@@ -58,57 +58,87 @@ func (p *batchPolicy) take() []*request {
 func (p *batchPolicy) pending() int { return len(p.forming) }
 
 // batchLoop is the batcher goroutine: it drains the admission queue through
-// the batchPolicy and dispatches formed batches to the replica pool. All
-// waiting is on channels — the admission queue and a linger timer from the
-// injected clock — never on a sleep.
+// per-version batchPolicies and dispatches formed batches to the replica
+// pool. All waiting is on channels — the admission queue and one linger timer
+// per forming batch from the injected clock — never on a sleep.
+//
+// With a rollout in flight the batcher is also the traffic splitter's second
+// half: routeRequest assigned each request's version at submit time, and the
+// batcher keeps one forming batch per version (batches never mix versions —
+// a batch executes against exactly one model) and materialises the shadow
+// copies that ride candidate batches with their answers discarded.
 func (s *Server) batchLoop() {
-	pol := &batchPolicy{maxBatch: s.cfg.MaxBatch, maxLinger: s.cfg.MaxLinger}
-	var lingerC <-chan time.Time
+	pols := [2]*batchPolicy{
+		{maxBatch: s.cfg.MaxBatch, maxLinger: s.cfg.MaxLinger},
+		{maxBatch: s.cfg.MaxBatch, maxLinger: s.cfg.MaxLinger},
+	}
+	var lingerC [2]<-chan time.Time
 
-	flush := func() {
-		b := pol.take()
-		lingerC = nil
+	flush := func(v int) {
+		b := pols[v].take()
+		lingerC[v] = nil
 		if len(b) > 0 {
-			s.dispatch(b)
+			s.dispatch(b, v)
 		}
 	}
 
-	// sizeFlush dispatches a batch the policy already took on size flush.
-	sizeFlush := func(b []*request) {
-		lingerC = nil
-		s.dispatch(b)
+	// admitVer feeds one request to its version's policy, dispatching on size
+	// flush and arming that version's linger timer when a new batch starts.
+	// lingerC[v] == nil exactly when pols[v] was empty, so the timer is armed
+	// at the forming batch's firstAt in both the idle and the select branch.
+	// BlockUntilWaiters on a VirtualClock observes the arm, which is what
+	// makes the linger tests race-free.
+	admitVer := func(req *request, v int) {
+		if v == VersionCandidate {
+			s.nCanaryInflight.Add(1)
+			s.nCanaryServed.Add(1)
+		}
+		if b := s.admit(pols[v], req); b != nil {
+			lingerC[v] = nil
+			s.dispatch(b, v)
+		} else if pols[v].pending() > 0 && lingerC[v] == nil {
+			lingerC[v] = s.clock.After(s.cfg.MaxLinger)
+		}
+	}
+
+	// handle admits one routed request, materialising the shadow copy the
+	// router asked for: same features, deadline and trace, but the answer
+	// goes to a channel nobody reads and only the candidate's SLO monitor
+	// sees the outcome.
+	handle := func(req *request) {
+		admitVer(req, req.version)
+		if req.wantShadow && s.rollout.Load() != nil {
+			sh := &request{x: req.x, deadline: req.deadline, arrived: req.arrived,
+				done: make(chan Result, 1), trace: req.trace,
+				version: VersionCandidate, shadow: true}
+			admitVer(sh, VersionCandidate)
+		}
 	}
 
 	for {
-		if pol.pending() == 0 {
-			// Idle: nothing forming, so no timer — just wait for work.
+		if pols[0].pending() == 0 && pols[1].pending() == 0 {
+			// Idle: nothing forming, so no timers — just wait for work.
 			req, ok := <-s.in
 			if !ok {
 				return
 			}
-			if b := s.admit(pol, req); b != nil {
-				sizeFlush(b)
-			} else if pol.pending() > 0 {
-				// First request of a new batch: arm the linger timer once.
-				// BlockUntilWaiters(1) on a VirtualClock observes this arm,
-				// which is what makes the linger tests race-free.
-				lingerC = s.clock.After(s.cfg.MaxLinger)
-			}
+			handle(req)
 			continue
 		}
 		select {
 		case req, ok := <-s.in:
 			if !ok {
-				flush() // drain: the partial batch still ships
+				flush(VersionBaseline) // drain: partial batches still ship
+				flush(VersionCandidate)
 				return
 			}
-			if b := s.admit(pol, req); b != nil {
-				sizeFlush(b)
-			}
-		case <-lingerC:
+			handle(req)
+		case <-lingerC[0]:
 			// The timer was armed at firstAt, so firing means the oldest
 			// request has lingered exactly MaxLinger.
-			flush()
+			flush(0)
+		case <-lingerC[1]:
+			flush(1)
 		}
 	}
 }
@@ -123,11 +153,11 @@ func (s *Server) admit(pol *batchPolicy, req *request) []*request {
 	return pol.admit(req, s.clock.Now())
 }
 
-// dispatch ships one formed batch to the replica pool, dropping requests
-// whose deadline passed while the batch was forming. Blocks while the pool
-// backlog is at MaxPendingBatches — that stall is what backs pressure up
-// into the admission queue.
-func (s *Server) dispatch(reqs []*request) {
+// dispatch ships one formed batch (all of one model version) to the replica
+// pool, dropping requests whose deadline passed while the batch was forming.
+// Blocks while the pool backlog is at MaxPendingBatches — that stall is what
+// backs pressure up into the admission queue.
+func (s *Server) dispatch(reqs []*request, ver int) {
 	now := s.clock.Now()
 	alive := reqs[:0]
 	for _, r := range reqs {
@@ -148,5 +178,5 @@ func (s *Server) dispatch(reqs []*request) {
 		// request count as the "seconds" value.
 		s.obs.Registry.Timer("serve.batch_size").ObserveSeconds(float64(len(alive)))
 	}
-	s.pool.push(&batch{reqs: alive})
+	s.pool.push(&batch{reqs: alive, ver: ver})
 }

@@ -3,11 +3,13 @@ package serve
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/leakcheck"
+	"repro/internal/obs"
 )
 
 // waitPending blocks (on the pool's condition variable, not a sleep) until
@@ -238,5 +240,97 @@ func TestChaosOpenLoopAccountingBalances(t *testing.T) {
 	}
 	if st.Submitted != ok {
 		t.Fatalf("submitted = %d, want %d (every admitted request completed)", st.Submitted, ok)
+	}
+}
+
+// TestChaosKillDuringCanaryPromotion deploys a healthy candidate behind a
+// fast canary schedule while concurrent clients hammer the server on the
+// real clock, and a scripted fault kills a replica almost immediately — so
+// the kill lands while the rollout is mid-flight. The properties under test:
+// the rollout must still reach a terminal state (no wedge waiting on the
+// dead replica), it must promote (a kill is an infrastructure fault, not a
+// candidate SLO breach — re-homing means no request fails), every admitted
+// request completes, and no goroutine leaks across the replica death, the
+// control loop, and the rollout.
+func TestChaosKillDuringCanaryPromotion(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv, err := New(testNet(3), Config{
+		InDim:             3,
+		Replicas:          4,
+		MaxBatch:          4,
+		MaxLinger:         time.Millisecond,
+		QueueCap:          256,
+		MaxPendingBatches: 16,
+		CtrlEvery:         time.Millisecond,
+		// Replica 0 is least-loaded placement's tie-break favourite, so its
+		// 4th batch — and the kill — lands within the rollout's first
+		// milliseconds, while stages are still advancing.
+		Faults: fault.NewPlan().Kill(0, 3),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	ro, err := srv.Deploy(candNet(3), RolloutConfig{
+		Stages: []RolloutStage{
+			{Fraction: 0.25, Hold: 2 * time.Millisecond},
+			{Fraction: 1.0, Hold: 2 * time.Millisecond},
+		},
+		Shadow:     time.Millisecond,
+		Rules:      obs.ScaledBurnRules(time.Second),
+		DrainGrace: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var sent, failed int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				atomic.AddInt64(&sent, 1)
+				if _, err := srv.Infer([]float64{float64(g), float64(i), 0}); err != nil {
+					atomic.AddInt64(&failed, 1)
+				}
+			}
+		}(g)
+	}
+
+	// The rollout must terminate and the scripted kill must have fired; a
+	// wedged promotion (e.g. the control loop waiting on the dead replica)
+	// shows up here as the timeout.
+	deadline := time.Now().Add(10 * time.Second)
+	for !(ro.State().Terminal() && srv.Stats().ReplicaKills >= 1) {
+		if time.Now().After(deadline) {
+			t.Fatalf("rollout wedged: state=%s kills=%d after 10s",
+				ro.State(), srv.Stats().ReplicaKills)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if st := ro.State(); st != RolloutPromoted {
+		t.Fatalf("rollout ended %s, want promoted (a replica kill is not an SLO breach)", st)
+	}
+	if n := atomic.LoadInt64(&failed); n != 0 {
+		t.Fatalf("%d of %d requests failed across the kill", n, atomic.LoadInt64(&sent))
+	}
+	st := srv.Stats()
+	if st.ReplicaKills != 1 || st.LiveReplicas != 3 {
+		t.Fatalf("kills=%d live=%d, want exactly one dead replica", st.ReplicaKills, st.LiveReplicas)
+	}
+	if st.CanaryServed == 0 {
+		t.Fatal("no canary traffic observed during the rollout")
 	}
 }

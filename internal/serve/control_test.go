@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/leakcheck"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// candNet builds a candidate model distinct from testNet — same shape,
+// different weights, so baseline and candidate answers differ.
+func candNet(inDim int) *nn.Net {
+	return nn.MLP(inDim, []int{4}, 2, nn.ReLU, rng.New(23))
+}
+
+// ctrlTick advances the virtual clock by exactly one control interval once
+// the control goroutine (plus extra pre-armed timers) is parked on it.
+func ctrlTick(vc *VirtualClock, every time.Duration, waiters int) {
+	vc.BlockUntilWaiters(waiters)
+	vc.Advance(every)
+}
+
+// TestServerResultCacheHitAndTTL: the second identical query is answered
+// from the cache without a forward pass; after the TTL lapses the entry is
+// stale and the query recomputes.
+func TestServerResultCacheHitAndTTL(t *testing.T) {
+	defer leakcheck.Check(t)()
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	srv, err := New(testNet(3), Config{
+		InDim:    3,
+		MaxBatch: 1,
+		Clock:    vc,
+		Cache:    &ResultCacheConfig{TTL: 500 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	x := []float64{1, 2, 3}
+	y1, err := srv.Infer(x)
+	if err != nil {
+		t.Fatalf("Infer 1: %v", err)
+	}
+	y2, err := srv.Infer(x)
+	if err != nil {
+		t.Fatalf("Infer 2: %v", err)
+	}
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("cached answer differs: %v vs %v", y1, y2)
+		}
+	}
+	st := srv.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("hits=%d misses=%d after repeat query, want 1/1", st.CacheHits, st.CacheMisses)
+	}
+	if st.Completed != 1 {
+		t.Fatalf("Completed = %d, want 1 (the hit must not reach a replica)", st.Completed)
+	}
+
+	// A different key is a miss even with the cache warm.
+	if _, err := srv.Infer([]float64{4, 5, 6}); err != nil {
+		t.Fatalf("Infer 3: %v", err)
+	}
+	if st := srv.Stats(); st.CacheMisses != 2 {
+		t.Fatalf("misses = %d after distinct query, want 2", st.CacheMisses)
+	}
+
+	// Past the TTL the original entry is stale: recompute, not serve.
+	vc.Advance(time.Second)
+	if _, err := srv.Infer(x); err != nil {
+		t.Fatalf("Infer 4: %v", err)
+	}
+	st = srv.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 3 || st.Completed != 3 {
+		t.Fatalf("stats after TTL = hits %d misses %d completed %d, want 1/3/3",
+			st.CacheHits, st.CacheMisses, st.Completed)
+	}
+}
+
+// TestServerDeployPromotesHealthyCandidate drives a clean candidate through
+// the staged canary on the virtual clock: control ticks advance the stages,
+// the rollout ends promoted, and new traffic then routes to the candidate.
+func TestServerDeployPromotesHealthyCandidate(t *testing.T) {
+	defer leakcheck.Check(t)()
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	srv, err := New(testNet(3), Config{
+		InDim:     3,
+		MaxBatch:  1,
+		Clock:     vc,
+		CtrlEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	ro, err := srv.Deploy(candNet(3), RolloutConfig{
+		Stages: []RolloutStage{
+			{Fraction: 0.5, Hold: 300 * time.Millisecond},
+			{Fraction: 1.0, Hold: 300 * time.Millisecond},
+		},
+		Rules: obs.ScaledBurnRules(time.Second),
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if srv.Rollout() != ro {
+		t.Fatal("Rollout() does not return the deployed controller")
+	}
+	// A second deploy while one is in flight must be refused.
+	if _, err := srv.Deploy(candNet(3), RolloutConfig{}); err == nil {
+		t.Fatal("concurrent Deploy accepted")
+	}
+
+	for i := 0; i < 50 && !ro.State().Terminal(); i++ {
+		ctrlTick(vc, 100*time.Millisecond, 1)
+	}
+	if st := ro.State(); st != RolloutPromoted {
+		t.Fatalf("clean candidate ended %s, want promoted", st)
+	}
+	if f := ro.CanaryFraction(); f != 1 {
+		t.Fatalf("promoted canary fraction = %g, want 1", f)
+	}
+
+	// All post-promotion traffic is candidate traffic.
+	for i := 0; i < 5; i++ {
+		if _, err := srv.Infer([]float64{float64(i), 0, 0}); err != nil {
+			t.Fatalf("Infer after promote: %v", err)
+		}
+	}
+	st := srv.Stats()
+	if st.CanaryServed != 5 || st.Completed != 5 {
+		t.Fatalf("canary=%d completed=%d after promote, want 5/5", st.CanaryServed, st.Completed)
+	}
+}
+
+// TestServerRollbackRevertsTraffic poisons the candidate's SLO and checks
+// the control loop pages, rolls back, and pins all subsequent traffic to the
+// baseline.
+func TestServerRollbackRevertsTraffic(t *testing.T) {
+	defer leakcheck.Check(t)()
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	srv, err := New(testNet(3), Config{
+		InDim:     3,
+		MaxBatch:  1,
+		Clock:     vc,
+		CtrlEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	ro, err := srv.Deploy(candNet(3), RolloutConfig{
+		Stages: []RolloutStage{{Fraction: 0.5, Hold: time.Hour}},
+		Rules: []obs.BurnRule{
+			{Name: "fast", Long: 500 * time.Millisecond, Short: 100 * time.Millisecond, Factor: 2},
+			{Name: "slow", Long: 500 * time.Millisecond, Short: 100 * time.Millisecond, Factor: 1e18},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+
+	// Report a burst of candidate failures into the rollout's SLO monitor
+	// (the data path would do this on error completions).
+	for i := 0; i < 20; i++ {
+		ro.RecordServed(VersionCandidate, false, -1)
+	}
+	// One tick fires the page rule and starts reverting; the next sees the
+	// canary drained (nothing in flight) and completes the rollback. The
+	// extra BlockUntilWaiters after each advance waits for the control
+	// goroutine to finish the step and re-arm its timer, so the state read
+	// below is ordered after the step that produced it.
+	for i := 0; i < 6 && ro.State() != RolloutRolledBack; i++ {
+		ctrlTick(vc, 100*time.Millisecond, 1)
+		vc.BlockUntilWaiters(1)
+	}
+	if st := ro.State(); st != RolloutRolledBack {
+		t.Fatalf("state after breach = %s, want rolled_back", st)
+	}
+	if f := ro.CanaryFraction(); f != 0 {
+		t.Fatalf("canary fraction after rollback = %g, want 0", f)
+	}
+	if _, ok := ro.TimeToDetect(); !ok {
+		t.Fatal("no detection time recorded")
+	}
+	if _, ok := ro.TimeToRollback(); !ok {
+		t.Fatal("no rollback time recorded")
+	}
+
+	// Every request after the rollback is served by the baseline.
+	for i := 0; i < 10; i++ {
+		if _, err := srv.Infer([]float64{float64(i), 0, 0}); err != nil {
+			t.Fatalf("Infer after rollback: %v", err)
+		}
+	}
+	st := srv.Stats()
+	if st.CanaryServed != 0 {
+		t.Fatalf("CanaryServed = %d after rollback, want 0", st.CanaryServed)
+	}
+	if st.Completed != 10 {
+		t.Fatalf("Completed = %d, want 10", st.Completed)
+	}
+
+	// A terminal rollout can be replaced by a fresh deploy.
+	if _, err := srv.Deploy(candNet(3), RolloutConfig{
+		Stages: []RolloutStage{{Fraction: 1, Hold: time.Hour}},
+		Rules:  obs.ScaledBurnRules(time.Second),
+	}); err != nil {
+		t.Fatalf("redeploy after rollback: %v", err)
+	}
+}
+
+// TestServerAutoscaleGrowsAndShrinks wedges the only replica, piles up a
+// queue, and checks the control loop grows the pool (new replicas steal and
+// drain the backlog), then shrinks it back to Min once idle — all on the
+// virtual clock, with leak checking across the spawn/retire lifecycle.
+func TestServerAutoscaleGrowsAndShrinks(t *testing.T) {
+	defer leakcheck.Check(t)()
+	vc := NewVirtualClock(time.Unix(0, 0).UTC())
+	srv, err := New(testNet(3), Config{
+		InDim:             3,
+		Replicas:          1,
+		MaxBatch:          1,
+		QueueCap:          64,
+		MaxPendingBatches: 64,
+		Clock:             vc,
+		CtrlEvery:         100 * time.Millisecond,
+		Faults:            fault.NewPlan().Hang(0, 0, time.Hour),
+		Autoscale: &AutoscaleConfig{
+			Min: 1, Max: 4,
+			Every:     100 * time.Millisecond,
+			QueueHigh: 1, QueueLow: 0.5,
+			UtilLow: 0.9, UtilAlpha: 1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	// 8 open-loop submits: replica 0 takes the first batch and hangs on it
+	// for an hour; the other 7 park in the pool backlog.
+	const n = 8
+	results := make(chan Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ch := srv.Submit([]float64{float64(i), 0, 0}, time.Time{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- <-ch
+		}()
+	}
+	waitPending(srv.pool, n-1)
+
+	// Two waiters: the hang timer and the control timer. One control tick
+	// sees queue-per-healthy 7 and scales up; the new replicas steal the
+	// parked batches and drain them with no further clock movement.
+	ctrlTick(vc, 100*time.Millisecond, 2)
+	for i := 0; i < n-1; i++ {
+		if res := <-results; res.Err != nil {
+			t.Fatalf("drained request failed: %v", res.Err)
+		}
+	}
+	if st := srv.Stats(); st.ScaleUps < 1 || st.LiveReplicas < 2 {
+		t.Fatalf("after burst: ups=%d live=%d, want a scale-up", st.ScaleUps, st.LiveReplicas)
+	}
+
+	// Idle ticks: hysteresis (down cooldown + up veto) takes a few, then the
+	// pool shrinks one replica at a time back to Min.
+	for i := 0; i < 60 && srv.Stats().LiveReplicas > 1; i++ {
+		ctrlTick(vc, 100*time.Millisecond, 2)
+	}
+	st := srv.Stats()
+	if st.LiveReplicas != 1 || st.ScaleDowns < 1 {
+		t.Fatalf("after idle: live=%d downs=%d, want pool back at Min", st.LiveReplicas, st.ScaleDowns)
+	}
+
+	// Release the hung replica: the first request completes; nothing lost.
+	vc.BlockUntilWaiters(2)
+	vc.Advance(time.Hour)
+	if res := <-results; res.Err != nil {
+		t.Fatalf("unwedged request failed: %v", res.Err)
+	}
+	wg.Wait()
+	if st := srv.Stats(); st.Completed != n {
+		t.Fatalf("Completed = %d, want %d", st.Completed, n)
+	}
+}

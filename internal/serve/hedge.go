@@ -69,5 +69,5 @@ func (s *Server) hedgeWatch(req *request) {
 	// it away from the replica the original is queued or executing on. If the
 	// pool is closed or drained this push fails the request, which the settle
 	// CAS turns into a no-op when the original copy got there first.
-	s.pool.push(&batch{reqs: []*request{req}})
+	s.pool.push(&batch{reqs: []*request{req}, ver: req.version})
 }

@@ -4,8 +4,11 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
+	"repro/internal/data"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/rng"
 )
@@ -122,6 +125,54 @@ type LoadConfig struct {
 	// how a simulated campaign exercises the same exposition path as the
 	// live server.
 	Obs *obs.Session
+
+	// Rollout, when non-nil, deploys a candidate model version mid-run and
+	// runs the versioned-rollout controller on the control tick: canary
+	// routing, shadow duplication, and SLO-breach auto-rollback all happen
+	// inside the simulation, so time-to-detect and time-to-rollback are pure
+	// functions of the seed.
+	Rollout *RolloutSim
+	// Autoscale, when non-nil, runs the replica autoscaler on the control
+	// tick: the pool grows and shrinks between Autoscale.Min and
+	// Autoscale.Max, starting from Replicas.
+	Autoscale *AutoscaleConfig
+	// Cache, when non-nil, puts an inference result cache (doorkeeper-LRU
+	// with TTL admission, the serving reuse of data.Cache) in front of the
+	// batcher: requests draw skewed keys, hits answer instantly without
+	// touching a replica.
+	Cache *CacheSimConfig
+	// CtrlTick is the control-plane cadence for Rollout and Autoscale
+	// evaluation (default 250ms).
+	CtrlTick time.Duration
+}
+
+// RolloutSim scripts one versioned deployment inside a load test.
+type RolloutSim struct {
+	// Config parameterises the rollout controller (stages, shadow phase,
+	// SLO, burn rules).
+	Config RolloutConfig
+	// DeployAt is the virtual time at which the candidate deploys.
+	DeployAt time.Duration
+	// Candidate is what is wrong with the candidate version (zero value =
+	// a healthy deploy that should promote).
+	Candidate fault.VersionFault
+}
+
+// CacheSimConfig models the inference result cache and the key locality of
+// the request stream.
+type CacheSimConfig struct {
+	// CapacityEntries is how many results the cache holds.
+	CapacityEntries int
+	// TTL is each entry's lifetime on the virtual clock (results go stale).
+	TTL time.Duration
+	// Keys is the number of distinct request keys in the workload.
+	Keys int
+	// Skew shapes key popularity: 0 = uniform, larger = hotter head (key is
+	// drawn as floor(Keys * u^(1+Skew))).
+	Skew float64
+	// Doorkeeper, when positive, uses the doorkeeper-LRU admission policy
+	// with this many tracked first-sightings; 0 = plain LRU.
+	Doorkeeper int
 }
 
 // LoadPhase is one segment of a phased open-loop load profile.
@@ -182,6 +233,36 @@ func (c *LoadConfig) withDefaults() error {
 	if c.HedgeAfter < 0 {
 		return fmt.Errorf("serve: negative hedge budget %v", c.HedgeAfter)
 	}
+	if c.Rollout != nil {
+		if err := c.Rollout.Config.withDefaults(); err != nil {
+			return err
+		}
+		if c.Rollout.DeployAt < 0 {
+			return fmt.Errorf("serve: negative rollout deploy time %v", c.Rollout.DeployAt)
+		}
+		if err := c.Rollout.Candidate.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Autoscale != nil {
+		if err := c.Autoscale.withDefaults(); err != nil {
+			return err
+		}
+	}
+	if c.Cache != nil {
+		if c.Cache.CapacityEntries <= 0 || c.Cache.Keys <= 0 {
+			return fmt.Errorf("serve: cache sim needs CapacityEntries > 0 and Keys > 0")
+		}
+		if c.Cache.TTL <= 0 {
+			return fmt.Errorf("serve: cache sim needs TTL > 0")
+		}
+		if c.Cache.Skew < 0 {
+			return fmt.Errorf("serve: negative cache key skew %g", c.Cache.Skew)
+		}
+	}
+	if (c.Rollout != nil || c.Autoscale != nil) && c.CtrlTick <= 0 {
+		c.CtrlTick = 250 * time.Millisecond
+	}
 	return nil
 }
 
@@ -234,6 +315,41 @@ type LoadReport struct {
 	Phases    int              `json:"phases,omitempty"`
 	SLOStatus []obs.SLOStatus  `json:"slo,omitempty"`
 	SLOAlerts []obs.AlertEvent `json:"slo_alerts,omitempty"`
+
+	// Rollout fields (omitted when LoadConfig.Rollout is nil).
+	RolloutState  string         `json:"rollout_state,omitempty"`
+	RolloutEvents []RolloutEvent `json:"rollout_events,omitempty"`
+	// CanaryServed counts live (non-shadow) requests answered by the
+	// candidate; CanaryErrors how many of those the candidate got wrong.
+	CanaryServed int `json:"canary_served,omitempty"`
+	CanaryErrors int `json:"canary_errors,omitempty"`
+	// BadVersionPct is CanaryServed as a percentage of all answered live
+	// requests — the headline "how much traffic did the bad push touch".
+	BadVersionPct float64 `json:"bad_version_pct,omitempty"`
+	// ShadowServed counts duplicated shadow requests the candidate answered;
+	// ShadowMismatches how many disagreed with the baseline (modelled as the
+	// candidate's seeded error draw).
+	ShadowServed     int `json:"shadow_served,omitempty"`
+	ShadowMismatches int `json:"shadow_mismatches,omitempty"`
+	// TimeToDetectS is deploy → first page-severity burn on the canary;
+	// TimeToRollbackS is that page → rollback complete.
+	TimeToDetectS   float64 `json:"time_to_detect_s,omitempty"`
+	TimeToRollbackS float64 `json:"time_to_rollback_s,omitempty"`
+	// Errors counts live requests answered wrongly (candidate error draws).
+	Errors int `json:"errors,omitempty"`
+
+	// Autoscaler fields (omitted when LoadConfig.Autoscale is nil).
+	ReplicasFinal int          `json:"replicas_final,omitempty"`
+	ReplicasPeak  int          `json:"replicas_peak,omitempty"`
+	ReplicasMean  float64      `json:"replicas_mean,omitempty"` // time-weighted
+	ScaleUps      int          `json:"scale_ups,omitempty"`
+	ScaleDowns    int          `json:"scale_downs,omitempty"`
+	ScaleEvents   []ScaleEvent `json:"scale_events,omitempty"`
+
+	// Result-cache fields (omitted when LoadConfig.Cache is nil).
+	CacheHits    int     `json:"cache_hits,omitempty"`
+	CacheMisses  int     `json:"cache_misses,omitempty"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // event kinds, ordered for deterministic tie-breaking at equal times.
@@ -242,7 +358,9 @@ const (
 	evLinger
 	evDone
 	evHedge
-	evTick // SLO evaluation tick
+	evTick   // SLO evaluation tick
+	evDeploy // rollout: candidate version deploys
+	evCtrl   // control-plane tick: rollout + autoscaler evaluation
 )
 
 type simEvent struct {
@@ -254,13 +372,16 @@ type simEvent struct {
 	b     []*request
 	cl    int  // closed loop: client issuing/completing
 	rep   int  // evDone: replica that served the batch
+	ver   int  // evLinger/evDone: model version of the policy/batch
 	hedge bool // evDone: the batch was a hedge duplicate
 }
 
-// simBatch is one pool-queue entry: the formed requests plus whether the
-// batch is a hedge duplicate (hedge batches skip the batcher).
+// simBatch is one pool-queue entry: the formed requests, the model version
+// that will serve them, and whether the batch is a hedge duplicate (hedge
+// batches skip the batcher).
 type simBatch struct {
 	reqs  []*request
+	ver   int
 	hedge bool
 }
 
@@ -291,20 +412,23 @@ type loadSim struct {
 	now   time.Time
 	seq   int
 	queue eventHeap
+	work  int // queued events that are not chain ticks (evTick/evCtrl)
 
 	admission []*request  // bounded by QueueCap
 	blocked   []*simEvent // closed-loop arrivals waiting for admission space
-	pol       batchPolicy
-	polGen    int // invalidates linger timers of flushed batches
+	pols      [2]batchPolicy
+	polGen    [2]int // invalidates linger timers of flushed batches, per version
 	batchQ    []simBatch
-	stalled   []*request // batch the batcher holds while the pool is full
-	freeRep   int
-	busy      []bool // per-replica: replica identity matters once one is degraded
+	stalled   *simBatch // batch the batcher holds while the pool is full
+	freeRep   int       // active && !busy replicas
+	busy      []bool    // per-replica: replica identity matters once one is degraded
+	active    []bool    // per-replica: part of the current fleet (autoscaling)
 
 	issued    int
 	completed int
 	shed      int
 	expired   int
+	failed    int // answered wrongly (candidate error draws)
 	batches   int
 	samples   int
 	latencies []float64 // seconds
@@ -321,6 +445,41 @@ type loadSim struct {
 	// SLO monitoring (nil when cfg.SLO is empty)
 	slo    *obs.SLOMonitor
 	arrSeq uint64 // arrival order = deterministic trace id
+
+	// control plane (nil/zero when the corresponding config is off)
+	ro             *Rollout
+	as             *Autoscaler
+	route          *rng.Stream // canary/shadow routing draws
+	verErr         *rng.Stream // candidate error draws
+	canaryInflight int         // candidate requests admitted and unfinished
+	canaryServed   int
+	canaryErrors   int
+	shadowServed   int
+	shadowBad      int
+	curReplicas    int // current fleet size (= cfg.Replicas without autoscale)
+	replicasPeak   int
+	repIntegral    float64 // ∫ replicas dt, for the time-weighted mean
+	lastRepT       time.Time
+
+	// result cache (nil when cfg.Cache is nil)
+	cache       *data.Cache
+	keys        *rng.Stream
+	cacheHits   int
+	cacheMisses int
+}
+
+// finish marks one request finally resolved (answered, failed, or expired)
+// exactly once, maintaining the canary drain count. Returns false if the
+// request was already finished (a hedged twin resolved it first).
+func (s *loadSim) finish(req *request) bool {
+	if req.simDone {
+		return false
+	}
+	req.simDone = true
+	if req.version == VersionCandidate {
+		s.canaryInflight--
+	}
+	return true
 }
 
 // noteShed accounts one shed request in every sink: the report counter, the
@@ -334,10 +493,24 @@ func (s *loadSim) noteShed(req *request) {
 	}
 }
 
-// noteExpired accounts one deadline miss.
+// noteExpired accounts one deadline miss. An expired shadow copy burns the
+// candidate's SLO but is invisible to the user-facing counters; an expired
+// live request counts as before, plus a failure against whichever version
+// let its deadline slip.
 func (s *loadSim) noteExpired(req *request) {
+	if req.shadow {
+		if s.finish(req) {
+			s.shadowServed++
+			s.shadowBad++
+			s.ro.RecordServed(VersionCandidate, false, -1)
+		}
+		return
+	}
 	s.expired++
 	s.slo.RecordAvailability(false)
+	if s.finish(req) && s.ro != nil {
+		s.ro.RecordServed(req.version, false, -1)
+	}
 	if s.cfg.Obs.Enabled() {
 		s.cfg.Obs.Count("serve.deadline_missed", 1)
 		s.cfg.Obs.RecordFlight("deadline_missed", req.trace, "")
@@ -363,13 +536,35 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if err := cfg.withDefaults(); err != nil {
 		return nil, err
 	}
+	maxRep := cfg.Replicas
+	startRep := cfg.Replicas
+	if cfg.Autoscale != nil {
+		if cfg.Autoscale.Max > maxRep {
+			maxRep = cfg.Autoscale.Max
+		}
+		if startRep < cfg.Autoscale.Min {
+			startRep = cfg.Autoscale.Min
+		}
+		if startRep > cfg.Autoscale.Max {
+			startRep = cfg.Autoscale.Max
+		}
+	}
 	s := &loadSim{
-		cfg:     cfg,
-		r:       rng.New(cfg.Seed).Split("serve-load"),
-		now:     time.Unix(0, 0).UTC(),
-		pol:     batchPolicy{maxBatch: cfg.MaxBatch, maxLinger: cfg.MaxLinger},
-		freeRep: cfg.Replicas,
-		busy:    make([]bool, cfg.Replicas),
+		cfg:          cfg,
+		r:            rng.New(cfg.Seed).Split("serve-load"),
+		now:          time.Unix(0, 0).UTC(),
+		freeRep:      startRep,
+		busy:         make([]bool, maxRep),
+		active:       make([]bool, maxRep),
+		curReplicas:  startRep,
+		replicasPeak: startRep,
+		lastRepT:     time.Unix(0, 0).UTC(),
+	}
+	for v := range s.pols {
+		s.pols[v] = batchPolicy{maxBatch: cfg.MaxBatch, maxLinger: cfg.MaxLinger}
+	}
+	for r := 0; r < startRep; r++ {
+		s.active[r] = true
 	}
 	if cfg.HedgeAfter > 0 {
 		s.servedOnce = make(map[*request]bool, cfg.Requests)
@@ -377,12 +572,45 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if len(cfg.SLO) > 0 {
 		s.slo = obs.NewSLOMonitor(cfg.SLO, cfg.SLORules)
 	}
+	if cfg.Rollout != nil {
+		ro, err := NewRollout(cfg.Rollout.Config)
+		if err != nil {
+			return nil, err
+		}
+		s.ro = ro
+		s.route = rng.New(cfg.Seed).Split("serve-route")
+		s.verErr = rng.New(cfg.Seed).Split("serve-version-errors")
+	}
+	if cfg.Autoscale != nil {
+		as, err := NewAutoscaler(*cfg.Autoscale)
+		if err != nil {
+			return nil, err
+		}
+		s.as = as
+	}
+	if cfg.Cache != nil {
+		pol := data.NewLRU()
+		if cfg.Cache.Doorkeeper > 0 {
+			pol = data.NewDoorkeeperLRU(cfg.Cache.Doorkeeper)
+		}
+		s.cache = data.NewCache("serve.results", int64(cfg.Cache.CapacityEntries), pol)
+		s.keys = rng.New(cfg.Seed).Split("serve-cache-keys")
+	}
 	s.seed()
 	if s.slo != nil {
 		s.push(&simEvent{at: s.now.Add(cfg.SLOTick), kind: evTick})
 	}
+	if s.ro != nil {
+		s.push(&simEvent{at: s.now.Add(cfg.Rollout.DeployAt), kind: evDeploy})
+	}
+	if s.ro != nil || s.as != nil {
+		s.push(&simEvent{at: s.now.Add(cfg.CtrlTick), kind: evCtrl})
+	}
 	for s.queue.Len() > 0 {
 		e := heap.Pop(&s.queue).(*simEvent)
+		if e.kind != evTick && e.kind != evCtrl {
+			s.work--
+		}
 		s.now = e.at
 		switch e.kind {
 		case evArrival:
@@ -391,8 +619,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			// A stalled batcher is blocked inside pool.push in the real
 			// server: it only sees the fired timer once unblocked, so the
 			// overdue flush happens in done() instead.
-			if e.gen == s.polGen && s.stalled == nil && s.pol.due(s.now) {
-				s.flush()
+			if e.gen == s.polGen[e.ver] && s.stalled == nil && s.pols[e.ver].due(s.now) {
+				s.flushVer(e.ver)
 				s.pump()
 			}
 		case evDone:
@@ -401,14 +629,157 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			s.fireHedge(e)
 		case evTick:
 			s.slo.Tick(s.vt())
-			// Reschedule only while other work remains: the tick chain
-			// must not keep an otherwise-drained simulation alive.
-			if s.queue.Len() > 0 {
+			// Reschedule only while real work remains: the tick chain must
+			// not keep a drained simulation alive — and a queue holding only
+			// the control-plane tick does not count, or the two chains would
+			// keep re-arming each other forever.
+			if s.work > 0 {
 				s.push(&simEvent{at: s.now.Add(s.cfg.SLOTick), kind: evTick})
 			}
+		case evDeploy:
+			s.ro.Deploy(s.vt())
+		case evCtrl:
+			s.ctrlTick()
 		}
 	}
 	return s.report(), nil
+}
+
+// ctrlTick is one control-plane evaluation: drain detection, rollout state
+// machine, autoscaler. The tick chain stays alive while a deployed rollout
+// is still deciding, even after traffic drains — a rollback's drain grace
+// must be able to expire — but a Pending or terminal rollout does not keep
+// an otherwise-finished simulation running.
+func (s *loadSim) ctrlTick() {
+	t := s.vt()
+	if s.ro != nil {
+		if s.canaryInflight == 0 {
+			s.ro.Drained(t)
+		}
+		s.ro.Tick(t)
+	}
+	if s.as != nil {
+		queued := len(s.admission)
+		for _, b := range s.batchQ {
+			queued += len(b.reqs)
+		}
+		if s.stalled != nil {
+			queued += len(s.stalled.reqs)
+		}
+		busy := 0
+		for _, on := range s.busy {
+			if on {
+				busy++
+			}
+		}
+		target := s.as.Evaluate(t, AutoscaleInput{
+			Queue:    queued,
+			P99:      s.recentP99(),
+			Busy:     busy,
+			Replicas: s.curReplicas,
+			Healthy:  s.curReplicas,
+		})
+		s.scaleTo(target)
+	}
+	rolloutLive := s.ro != nil && s.ro.State() != RolloutPending && !s.ro.State().Terminal()
+	if s.work > 0 || rolloutLive {
+		s.push(&simEvent{at: s.now.Add(s.cfg.CtrlTick), kind: evCtrl})
+	}
+}
+
+// recentP99 is the p99 over the most recent completions (a bounded window,
+// so the autoscaler reacts to now, not to the whole run).
+func (s *loadSim) recentP99() time.Duration {
+	const window = 256
+	n := len(s.latencies)
+	if n == 0 {
+		return 0
+	}
+	lo := 0
+	if n > window {
+		lo = n - window
+	}
+	recent := append([]float64(nil), s.latencies[lo:]...)
+	insertionSort(recent)
+	return time.Duration(percentile(recent, 0.99) * float64(time.Second))
+}
+
+func insertionSort(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// scaleTo applies an autoscaler target to the modelled fleet: scale-up
+// activates the lowest inactive slots and immediately drains queued work
+// onto them; scale-down retires the highest active slots (a busy retiree
+// finishes its in-flight batch first — it simply never picks up new work).
+func (s *loadSim) scaleTo(target int) {
+	if target == s.curReplicas {
+		return
+	}
+	s.repIntegral += float64(s.curReplicas) * s.now.Sub(s.lastRepT).Seconds()
+	s.lastRepT = s.now
+	for target > s.curReplicas {
+		for r := range s.active {
+			if !s.active[r] {
+				s.active[r] = true
+				if !s.busy[r] {
+					s.freeRep++
+				}
+				break
+			}
+		}
+		s.curReplicas++
+	}
+	for target < s.curReplicas {
+		for r := len(s.active) - 1; r >= 0; r-- {
+			if s.active[r] {
+				s.active[r] = false
+				if !s.busy[r] {
+					s.freeRep--
+				}
+				break
+			}
+		}
+		s.curReplicas--
+	}
+	if s.curReplicas > s.replicasPeak {
+		s.replicasPeak = s.curReplicas
+	}
+	s.drainPool()
+}
+
+// drainPool pushes queued batches (and the stalled batcher) onto newly free
+// replicas — the same sequence done() runs after a completion.
+func (s *loadSim) drainPool() {
+	if s.stalled != nil && (s.freeRep > 0 || len(s.batchQ) < s.cfg.MaxPendingBatches) {
+		b := *s.stalled
+		s.stalled = nil
+		if s.freeRep > 0 && len(s.batchQ) == 0 {
+			s.startService(b)
+		} else {
+			s.batchQ = append(s.batchQ, b)
+		}
+	}
+	for s.freeRep > 0 && len(s.batchQ) > 0 {
+		b := s.batchQ[0]
+		s.batchQ = s.batchQ[1:]
+		s.startService(b)
+	}
+	if s.stalled == nil {
+		for v := range s.pols {
+			if s.pols[v].due(s.now) {
+				s.flushVer(v)
+				if s.stalled != nil {
+					break
+				}
+			}
+		}
+	}
+	s.pump()
 }
 
 // seed schedules the initial arrivals.
@@ -471,16 +842,26 @@ func (s *loadSim) scheduleArrival(at time.Time, client int) {
 func (s *loadSim) push(e *simEvent) {
 	e.seq = s.seq
 	s.seq++
+	if e.kind != evTick && e.kind != evCtrl {
+		s.work++
+	}
 	heap.Push(&s.queue, e)
 }
 
 // arrive admits one request, shedding (open loop) or blocking the client
-// (closed loop) when the admission queue is full.
+// (closed loop) when the admission queue is full. With the result cache on,
+// a fresh cached answer settles the request here — no queue slot, no
+// replica. With a rollout in flight, the request is routed to a version at
+// admission (the batcher's coin flip, pulled forward to where the simulator
+// mints requests) and may spawn a shadow duplicate.
 func (s *loadSim) arrive(e *simEvent) {
 	s.arrSeq++
 	req := &request{arrived: s.now, deadline: s.deadlineFrom(s.now),
 		trace: obs.Ctx{Trace: s.arrSeq}} // arrival order = deterministic trace id
 	e.req = req
+	if s.cache != nil && s.cacheLookup(req) {
+		return // served from cache
+	}
 	if len(s.admission) >= s.cfg.QueueCap {
 		if s.cfg.Closed {
 			s.blocked = append(s.blocked, e) // Infer blocks: backpressure
@@ -489,12 +870,86 @@ func (s *loadSim) arrive(e *simEvent) {
 		s.noteShed(req) // Submit sheds: ErrOverloaded
 		return
 	}
+	s.routeVersion(req)
 	s.admission = append(s.admission, req)
 	if s.cfg.Obs.Enabled() {
 		s.cfg.Obs.Count("serve.submitted", 1)
 	}
 	s.armHedge(req)
+	s.shadowCopy(req)
 	s.pump()
+}
+
+// routeVersion assigns the request's serving version by a seeded coin flip
+// against the rollout's current canary fraction.
+func (s *loadSim) routeVersion(req *request) {
+	if s.ro == nil {
+		return
+	}
+	if f := s.ro.CanaryFraction(); f > 0 && s.route.Bernoulli(f) {
+		req.version = VersionCandidate
+		s.canaryInflight++
+	}
+}
+
+// shadowCopy duplicates an admitted baseline request onto the candidate
+// while the rollout is shadowing: the copy goes straight into the
+// candidate's batch policy (it does not occupy an admission slot), its
+// answer is discarded, and its outcome lands on the candidate's SLO
+// monitor. Shadowing is best-effort sampling: while the batcher is stalled
+// on a full pool, no copies are made.
+func (s *loadSim) shadowCopy(req *request) {
+	if s.ro == nil || req.version != VersionBaseline {
+		return
+	}
+	f := s.ro.ShadowFraction()
+	if f <= 0 || s.stalled != nil || !s.route.Bernoulli(f) {
+		return
+	}
+	cp := &request{arrived: s.now, deadline: req.deadline, trace: req.trace,
+		version: VersionCandidate, shadow: true}
+	s.canaryInflight++
+	s.admitPolicy(cp)
+}
+
+// cacheLookup draws the request's key from the skewed popularity model and
+// answers it from the result cache when a fresh entry exists. Returns true
+// when the request was served here.
+func (s *loadSim) cacheLookup(req *request) bool {
+	u := s.keys.Float64()
+	k := int(float64(s.cfg.Cache.Keys) * math.Pow(u, 1+s.cfg.Cache.Skew))
+	if k >= s.cfg.Cache.Keys {
+		k = s.cfg.Cache.Keys - 1
+	}
+	req.ckey = uint64(k) + 1
+	key := strconv.Itoa(k)
+	if val, ok := s.cache.Get(key); ok {
+		exp, err := strconv.ParseInt(string(val), 10, 64)
+		if err == nil && !s.now.After(time.Unix(0, exp).UTC()) {
+			s.cacheHits++
+			s.completed++
+			s.latencies = append(s.latencies, 0)
+			s.noteCompleted(req, 0)
+			s.lastDone = s.now
+			req.settled.Store(true)
+			req.simDone = true
+			s.clientNext(req)
+			return true
+		}
+		s.cache.Drop(key) // stale: expired by TTL on the virtual clock
+	}
+	s.cacheMisses++
+	return false
+}
+
+// cacheStore inserts one computed result with its TTL horizon (admission is
+// the eviction policy's call — a doorkeeper rejects first-timers).
+func (s *loadSim) cacheStore(req *request) {
+	if s.cache == nil || req.ckey == 0 {
+		return
+	}
+	exp := s.now.Add(s.cfg.Cache.TTL).UnixNano()
+	s.cache.Put(strconv.Itoa(int(req.ckey-1)), []byte(strconv.FormatInt(exp, 10)), 1)
 }
 
 // armHedge schedules the hedge timer for one admitted request, mirroring
@@ -514,7 +969,7 @@ func (s *loadSim) fireHedge(e *simEvent) {
 		return // answered within budget: no hedge
 	}
 	s.hedged++
-	b := simBatch{reqs: []*request{e.req}, hedge: true}
+	b := simBatch{reqs: []*request{e.req}, ver: e.req.version, hedge: true}
 	if s.freeRep > 0 {
 		s.startService(b)
 		return
@@ -530,7 +985,8 @@ func (s *loadSim) deadlineFrom(t time.Time) time.Time {
 }
 
 // pump advances the batcher: it drains the admission queue through the
-// policy until the queue is empty or the batcher stalls on a full pool.
+// per-version policies until the queue is empty or the batcher stalls on a
+// full pool.
 func (s *loadSim) pump() {
 	for len(s.admission) > 0 && s.stalled == nil {
 		req := s.admission[0]
@@ -540,15 +996,23 @@ func (s *loadSim) pump() {
 			s.noteExpired(req)
 			continue
 		}
-		first := s.pol.pending() == 0
-		flushed := s.pol.admit(req, s.now)
-		if flushed != nil {
-			s.dispatch(flushed)
-			continue
-		}
-		if first {
-			s.push(&simEvent{at: s.now.Add(s.cfg.MaxLinger), kind: evLinger, gen: s.polGen})
-		}
+		s.admitPolicy(req)
+	}
+}
+
+// admitPolicy feeds one request into its version's batch policy, arming the
+// linger timer when it opens a new batch and dispatching a full one.
+func (s *loadSim) admitPolicy(req *request) {
+	v := req.version
+	first := s.pols[v].pending() == 0
+	flushed := s.pols[v].admit(req, s.now)
+	if flushed != nil {
+		s.dispatch(flushed, v)
+		return
+	}
+	if first {
+		s.push(&simEvent{at: s.now.Add(s.cfg.MaxLinger), kind: evLinger,
+			gen: s.polGen[v], ver: v})
 	}
 }
 
@@ -564,18 +1028,18 @@ func (s *loadSim) unblockOne() {
 	s.armHedge(e.req) // a blocked Infer is admitted now, so its budget starts now
 }
 
-// flush force-dispatches the forming batch (linger fired).
-func (s *loadSim) flush() {
-	if b := s.pol.take(); len(b) > 0 {
-		s.dispatch(b)
+// flushVer force-dispatches version v's forming batch (linger fired).
+func (s *loadSim) flushVer(v int) {
+	if b := s.pols[v].take(); len(b) > 0 {
+		s.dispatch(b, v)
 	}
 }
 
 // dispatch moves one formed batch toward the replicas, mirroring
 // Server.dispatch + pool.push: expired requests drop here, a free replica
 // starts service, a full pool stalls the batcher.
-func (s *loadSim) dispatch(b []*request) {
-	s.polGen++
+func (s *loadSim) dispatch(b []*request, ver int) {
+	s.polGen[ver]++
 	alive := b[:0]
 	for _, r := range b {
 		if r.expired(s.now) {
@@ -589,20 +1053,22 @@ func (s *loadSim) dispatch(b []*request) {
 	}
 	s.batches++
 	s.samples += len(alive)
+	sb := simBatch{reqs: alive, ver: ver}
 	switch {
 	case s.freeRep > 0:
-		s.startService(simBatch{reqs: alive})
+		s.startService(sb)
 	case len(s.batchQ) < s.cfg.MaxPendingBatches:
-		s.batchQ = append(s.batchQ, simBatch{reqs: alive})
+		s.batchQ = append(s.batchQ, sb)
 	default:
-		s.stalled = alive
+		s.stalled = &sb
 	}
 }
 
 // startService begins executing one batch on the lowest-numbered free
-// replica, re-checking deadlines the way pool.execute does and cancelling
-// copies whose twin already answered. A degraded replica multiplies the
-// whole service time by its slowdown factor.
+// active replica, re-checking deadlines the way pool.execute does and
+// cancelling copies whose twin already answered. A degraded replica
+// multiplies the whole service time by its slowdown factor; a candidate
+// version with a latency regression multiplies it by the injected factor.
 func (s *loadSim) startService(b simBatch) {
 	alive := b.reqs[:0]
 	for _, r := range b.reqs {
@@ -621,9 +1087,14 @@ func (s *loadSim) startService(b simBatch) {
 	}
 	rep := 0
 	for ; rep < len(s.busy); rep++ {
-		if !s.busy[rep] {
+		if s.active[rep] && !s.busy[rep] {
 			break
 		}
+	}
+	if rep == len(s.busy) {
+		// No active free replica (caller raced a scale-down): queue it.
+		s.batchQ = append(s.batchQ, b)
+		return
 	}
 	s.busy[rep] = true
 	s.freeRep--
@@ -640,50 +1111,82 @@ func (s *loadSim) startService(b simBatch) {
 	if s.cfg.DegradeFactor > 1 && rep == s.cfg.DegradeReplica {
 		d = time.Duration(float64(d) * s.cfg.DegradeFactor)
 	}
-	s.push(&simEvent{at: s.now.Add(d), kind: evDone, b: alive, rep: rep, hedge: b.hedge})
+	if b.ver == VersionCandidate && s.cfg.Rollout != nil &&
+		s.cfg.Rollout.Candidate.LatencyFactor > 1 {
+		d = time.Duration(float64(d) * s.cfg.Rollout.Candidate.LatencyFactor)
+	}
+	s.push(&simEvent{at: s.now.Add(d), kind: evDone, b: alive, rep: rep,
+		ver: b.ver, hedge: b.hedge})
 }
 
-// done completes a batch: records latencies, frees the replica, and pulls
-// the next work item through the stalled-batcher / pool-queue stages.
+// done completes a batch: resolves each request (shadow ledger, candidate
+// error draw, or a normal completion), frees the replica, and pulls the
+// next work item through the stalled-batcher / pool-queue stages.
 func (s *loadSim) done(e *simEvent) {
 	for _, req := range e.b {
 		if !req.settled.CompareAndSwap(false, true) {
 			s.hedgeWasted++ // serviced in full, beaten to the answer
 			continue
 		}
+		lat := s.now.Sub(req.arrived).Seconds()
+		bad := false
+		if req.version == VersionCandidate && s.cfg.Rollout != nil &&
+			s.cfg.Rollout.Candidate.ErrorRate > 0 {
+			bad = s.verErr.Bernoulli(s.cfg.Rollout.Candidate.ErrorRate)
+		}
+		if req.shadow {
+			// Shadow ledger only: the user never saw this copy. A wrong
+			// answer is an output mismatch against the baseline's response.
+			s.finish(req)
+			s.shadowServed++
+			if bad {
+				s.shadowBad++
+				s.ro.RecordServed(VersionCandidate, false, -1)
+			} else {
+				s.ro.RecordServed(VersionCandidate, true, lat)
+			}
+			continue
+		}
+		s.finish(req)
+		if req.version == VersionCandidate {
+			s.canaryServed++
+		}
+		if bad {
+			s.canaryErrors++
+			s.noteFailed(req)
+			s.ro.RecordServed(req.version, false, -1)
+			s.clientNext(req) // the client got an error reply; it moves on
+			continue
+		}
 		s.completed++
 		if e.hedge {
 			s.hedgeWins++
 		}
-		lat := s.now.Sub(req.arrived).Seconds()
 		s.latencies = append(s.latencies, lat)
 		s.noteCompleted(req, lat)
+		if s.ro != nil {
+			s.ro.RecordServed(req.version, true, lat)
+		}
+		s.cacheStore(req)
 		s.clientNext(req)
 	}
 	s.lastDone = s.now
 	s.busy[e.rep] = false
-	s.freeRep++
-	if s.stalled != nil {
-		b := s.stalled
-		s.stalled = nil
-		switch {
-		case s.freeRep > 0 && len(s.batchQ) == 0:
-			s.startService(simBatch{reqs: b})
-		default:
-			s.batchQ = append(s.batchQ, simBatch{reqs: b})
-		}
+	if s.active[e.rep] {
+		s.freeRep++
 	}
-	for s.freeRep > 0 && len(s.batchQ) > 0 {
-		b := s.batchQ[0]
-		s.batchQ = s.batchQ[1:]
-		s.startService(b)
+	s.drainPool()
+}
+
+// noteFailed accounts one wrong answer (a live request served by a bad
+// version): an availability failure that is not a shed or a deadline miss.
+func (s *loadSim) noteFailed(req *request) {
+	s.failed++
+	s.slo.RecordAvailability(false)
+	if s.cfg.Obs.Enabled() {
+		s.cfg.Obs.Count("serve.errors", 1)
+		s.cfg.Obs.RecordFlight("error", req.trace, "bad model version")
 	}
-	if s.stalled == nil && s.pol.due(s.now) {
-		// The linger timer fired while the batcher was stalled; now that it
-		// is unblocked the overdue batch flushes immediately.
-		s.flush()
-	}
-	s.pump()
 }
 
 // clientNext schedules the closed-loop follow-up request after think time.
@@ -752,6 +1255,45 @@ func (s *loadSim) report() *LoadReport {
 		rep.HedgeWasted = s.hedgeWasted
 		if s.completed > 0 {
 			rep.DuplicatedWorkPct = 100 * float64(s.dupServed) / float64(s.completed)
+		}
+	}
+	if s.ro != nil {
+		rep.RolloutState = s.ro.State().String()
+		rep.RolloutEvents = s.ro.Events()
+		rep.CanaryServed = s.canaryServed
+		rep.CanaryErrors = s.canaryErrors
+		rep.ShadowServed = s.shadowServed
+		rep.ShadowMismatches = s.shadowBad
+		rep.Errors = s.failed
+		if served := s.completed + s.failed; served > 0 {
+			rep.BadVersionPct = 100 * float64(s.canaryServed) / float64(served)
+		}
+		if ttd, ok := s.ro.TimeToDetect(); ok {
+			rep.TimeToDetectS = ttd
+		}
+		if ttr, ok := s.ro.TimeToRollback(); ok {
+			rep.TimeToRollbackS = ttr
+		}
+	}
+	if s.as != nil {
+		rep.ReplicasFinal = s.curReplicas
+		rep.ReplicasPeak = s.replicasPeak
+		end := s.lastDone
+		if end.Before(s.now) {
+			end = s.now
+		}
+		if total := end.Sub(time.Unix(0, 0).UTC()).Seconds(); total > 0 {
+			integral := s.repIntegral + float64(s.curReplicas)*end.Sub(s.lastRepT).Seconds()
+			rep.ReplicasMean = integral / total
+		}
+		rep.ScaleUps, rep.ScaleDowns = s.as.Counts()
+		rep.ScaleEvents = s.as.Events()
+	}
+	if s.cache != nil {
+		rep.CacheHits = s.cacheHits
+		rep.CacheMisses = s.cacheMisses
+		if n := s.cacheHits + s.cacheMisses; n > 0 {
+			rep.CacheHitRate = float64(s.cacheHits) / float64(n)
 		}
 	}
 	wall := s.lastDone.Sub(time.Unix(0, 0).UTC()).Seconds()

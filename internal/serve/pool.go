@@ -15,8 +15,11 @@ import (
 const replicaTIDBase = 2000
 
 // batch is one formed tensor batch travelling from the batcher to a replica.
+// ver selects the model version every request in the batch executes against
+// (batches never mix versions).
 type batch struct {
 	reqs []*request
+	ver  int
 }
 
 // pool runs the model replicas. Each replica is a goroutine owning one
@@ -25,15 +28,29 @@ type batch struct {
 // longest queue. A single mutex guards all queues — batches arrive at
 // micro-batch granularity, so queue operations are far off the hot path
 // compared to the forward passes they schedule.
+//
+// The pool is sized at capacity slots (Replicas, or Autoscale.Max when the
+// autoscaler is on) but only spawns goroutines for the live ones: resize
+// spawns into free slots and retires the highest live slot, so the control
+// loop grows and shrinks the fleet without restarting it. A rollout adds a
+// second net per replica (candNets) that candidate-version batches execute
+// against.
 type pool struct {
-	s    *Server
-	nets []*nn.Net
+	s        *Server
+	capacity int
+	base     *nn.Net // master baseline weights; each spawn clones it
+	cand     *nn.Net // master candidate weights (nil before any Deploy)
+	nets     []*nn.Net
+	candNets []*nn.Net
 
 	mu       sync.Mutex
 	cond     *sync.Cond
 	queues   [][]*batch
 	inflight []int // 0 or 1 per replica, counted in the load metric
 	live     []bool
+	running  []bool // goroutine alive (lags live while a retiree drains)
+	dead     []bool // killed by the fault plan; the slot is never reused
+	retiring []bool // told to exit; cleared when the goroutine is gone
 	nLive    int
 	pending  int // formed-but-unstarted batches across all queues
 	closed   bool
@@ -55,32 +72,176 @@ type pool struct {
 }
 
 func newPool(s *Server, net *nn.Net) *pool {
+	capacity := s.cfg.Replicas
+	if s.cfg.Autoscale != nil && s.cfg.Autoscale.Max > capacity {
+		capacity = s.cfg.Autoscale.Max
+	}
 	p := &pool{
 		s:        s,
-		nets:     make([]*nn.Net, s.cfg.Replicas),
-		queues:   make([][]*batch, s.cfg.Replicas),
-		inflight: make([]int, s.cfg.Replicas),
-		live:     make([]bool, s.cfg.Replicas),
-		nLive:    s.cfg.Replicas,
-		ewma:     make([]float64, s.cfg.Replicas),
-		nObs:     make([]int, s.cfg.Replicas),
-		ejected:  make([]bool, s.cfg.Replicas),
+		capacity: capacity,
+		base:     net.Clone(),
+		nets:     make([]*nn.Net, capacity),
+		candNets: make([]*nn.Net, capacity),
+		queues:   make([][]*batch, capacity),
+		inflight: make([]int, capacity),
+		live:     make([]bool, capacity),
+		running:  make([]bool, capacity),
+		dead:     make([]bool, capacity),
+		retiring: make([]bool, capacity),
+		ewma:     make([]float64, capacity),
+		nObs:     make([]int, capacity),
+		ejected:  make([]bool, capacity),
 	}
 	p.cond = sync.NewCond(&p.mu)
-	// Fully initialise the shared state before the first goroutine starts:
-	// replicas read live[] and nets[] as soon as they run.
-	for r := 0; r < s.cfg.Replicas; r++ {
-		p.nets[r] = net.Clone()
-		p.live[r] = true
+	start := s.cfg.Replicas
+	if s.cfg.Autoscale != nil {
+		if start < s.cfg.Autoscale.Min {
+			start = s.cfg.Autoscale.Min
+		}
+		if start > s.cfg.Autoscale.Max {
+			start = s.cfg.Autoscale.Max
+		}
 	}
-	for r := 0; r < s.cfg.Replicas; r++ {
-		p.wg.Add(1)
-		go func(r int) {
-			defer p.wg.Done()
-			p.replica(r)
-		}(r)
+	p.mu.Lock()
+	for r := 0; r < start; r++ {
+		p.spawnLocked(r)
 	}
+	p.mu.Unlock()
 	return p
+}
+
+// spawnLocked brings slot r to life: fresh clones of the master weights,
+// reset health state, and a new replica goroutine. Caller holds p.mu.
+func (p *pool) spawnLocked(r int) {
+	p.live[r] = true
+	p.running[r] = true
+	p.retiring[r] = false
+	p.nLive++
+	p.nets[r] = p.base.Clone()
+	if p.cand != nil {
+		p.candNets[r] = p.cand.Clone()
+	}
+	p.ewma[r] = 0
+	p.nObs[r] = 0
+	if p.ejected[r] {
+		p.ejected[r] = false
+		p.nEjected--
+	}
+	p.wg.Add(1)
+	go func() {
+		defer func() {
+			p.mu.Lock()
+			p.running[r] = false
+			p.retiring[r] = false
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			p.wg.Done()
+		}()
+		p.replica(r)
+	}()
+}
+
+// retireLocked tells the highest-numbered live slot to exit after its current
+// batch and re-homes its queued backlog onto the survivors. Caller holds p.mu
+// and guarantees at least one replica stays live.
+func (p *pool) retireLocked(r int) {
+	p.retiring[r] = true
+	p.live[r] = false
+	p.nLive--
+	if p.ejected[r] {
+		p.ejected[r] = false
+		p.nEjected--
+	}
+	backlog := p.queues[r]
+	p.queues[r] = nil
+	p.pending -= len(backlog) // enqueueLocked below re-counts them
+	for _, b := range backlog {
+		p.enqueueLocked(b)
+	}
+}
+
+// resize moves the live-replica count toward target (clamped to [1,
+// capacity]), spawning into free slots and retiring from the top. A slot
+// whose retired goroutine has not yet exited is skipped this round — the
+// next control tick retries. Returns the applied delta.
+func (p *pool) resize(target int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0
+	}
+	if target < 1 {
+		target = 1
+	}
+	if target > p.capacity {
+		target = p.capacity
+	}
+	delta := 0
+	for p.nLive < target {
+		slot := -1
+		for r := 0; r < p.capacity; r++ {
+			if !p.live[r] && !p.dead[r] && !p.running[r] && !p.retiring[r] {
+				slot = r
+				break
+			}
+		}
+		if slot < 0 {
+			break // every free slot is dead or still draining; retry next tick
+		}
+		p.spawnLocked(slot)
+		delta++
+	}
+	for p.nLive > target && p.nLive > 1 {
+		slot := -1
+		for r := p.capacity - 1; r >= 0; r-- {
+			if p.live[r] {
+				slot = r
+				break
+			}
+		}
+		if slot < 0 {
+			break
+		}
+		p.retireLocked(slot)
+		delta--
+	}
+	if delta != 0 {
+		p.cond.Broadcast()
+		if p.s.obs.Enabled() {
+			p.s.obs.SetGauge("serve.live_replicas", float64(p.nLive))
+		}
+	}
+	return delta
+}
+
+// installCandidate stages candidate weights for a rollout: one clone per
+// live replica plus a master for replicas spawned later.
+func (p *pool) installCandidate(cand *nn.Net) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cand = cand.Clone()
+	for r := range p.candNets {
+		if p.live[r] {
+			p.candNets[r] = p.cand.Clone()
+		}
+	}
+}
+
+// netFor returns the net replica r must run for a batch of version ver.
+func (p *pool) netFor(r, ver int) *nn.Net {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ver == VersionCandidate && p.candNets[r] != nil {
+		return p.candNets[r]
+	}
+	return p.nets[r]
+}
+
+// loadSnapshot is the control loop's one-lock observation of the pool.
+func (p *pool) loadSnapshot() (pending, busy, live, healthy int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending, p.inflightTotalLocked(), p.nLive, p.healthyLocked()
 }
 
 // push hands one batch to the least loaded live replica, blocking while the
@@ -168,6 +329,13 @@ func (p *pool) replica(r int) {
 		var b *batch
 		var stolen bool
 		for {
+			if p.retiring[r] {
+				// Scaled down: exit without taking new work (retireLocked
+				// already re-homed the queue; the spawn wrapper's defer
+				// marks the slot reusable).
+				p.mu.Unlock()
+				return
+			}
 			b, stolen = p.takeLocked(r)
 			if b != nil {
 				break
@@ -237,6 +405,7 @@ func (p *pool) inflightTotalLocked() int {
 func (p *pool) die(r int, inflight *batch) {
 	p.mu.Lock()
 	p.live[r] = false
+	p.dead[r] = true // killed slots are never reused by resize
 	p.nLive--
 	p.inflight[r] = 0
 	p.kills++
@@ -304,7 +473,7 @@ func (p *pool) execute(r int, b *batch) {
 	for i, req := range alive {
 		copy(in.Row(i).Data, req.x)
 	}
-	out := p.nets[r].Forward(in, false)
+	out := p.netFor(r, b.ver).Forward(in, false)
 	sp.End()
 	for i, req := range alive {
 		row := append([]float64(nil), out.Row(i).Data...)

@@ -15,7 +15,11 @@ func barePool(replicas int) *pool {
 		queues:   make([][]*batch, replicas),
 		inflight: make([]int, replicas),
 		live:     make([]bool, replicas),
+		running:  make([]bool, replicas),
+		dead:     make([]bool, replicas),
+		retiring: make([]bool, replicas),
 		nLive:    replicas,
+		capacity: replicas,
 		ewma:     make([]float64, replicas),
 		nObs:     make([]int, replicas),
 		ejected:  make([]bool, replicas),

@@ -1,0 +1,483 @@
+package serve
+
+// Versioned rollout: the self-healing half of the serving control plane.
+//
+// A Rollout manages one candidate model version moving toward production
+// behind staged canary traffic splits. The controller is a pure state
+// machine on explicit time — the concurrent Server and the discrete-event
+// load simulator both drive this one type, exactly like batchPolicy — and
+// every judgement it makes flows through per-version obs.SLOMonitor
+// burn-rate rules:
+//
+//	Pending ──Deploy──> Shadowing ──hold──> Canarying(stage 0..n) ──> Promoted
+//	                        │                   │        │
+//	                        │ page burn         │ page   │ freeze-rule burn
+//	                        ▼                   ▼        ▼
+//	                    RollingBack <────────── ┘     (frozen: stage timer
+//	                        │ drained/grace            paused until resolve)
+//	                        ▼
+//	                    RolledBack
+//
+// Shadowing duplicates a fraction of live traffic onto the candidate and
+// discards the answers, so a poisoned version can burn its error budget —
+// and be rolled back — before a single user request is routed to it.
+// Canarying walks the configured traffic-split stages, holding each for a
+// soak period; a page-severity burn (the fast rule) on the candidate's
+// monitor at any stage freezes promotion and reverts all traffic to the
+// baseline; a slow burn freezes the stage clock without reverting. Rollback
+// is bounded: the driver reports when the last candidate request drains, and
+// a grace timer forces the RolledBack transition even if it never does.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Model version indices. The data plane routes by these: version 0 is the
+// serving baseline, version 1 the rollout candidate.
+const (
+	VersionBaseline  = 0
+	VersionCandidate = 1
+)
+
+// RolloutStage is one canary step: route Fraction of traffic to the
+// candidate and soak for Hold before advancing.
+type RolloutStage struct {
+	Fraction float64       `json:"fraction"`
+	Hold     time.Duration `json:"hold"`
+}
+
+// DefaultRolloutStages is the classic 1% -> 5% -> 25% -> 100% progression.
+func DefaultRolloutStages(hold time.Duration) []RolloutStage {
+	return []RolloutStage{
+		{Fraction: 0.01, Hold: hold},
+		{Fraction: 0.05, Hold: hold},
+		{Fraction: 0.25, Hold: hold},
+		{Fraction: 1.00, Hold: hold},
+	}
+}
+
+// RolloutConfig parameterises one versioned rollout.
+type RolloutConfig struct {
+	// Stages is the canary progression (default DefaultRolloutStages(2s)).
+	// Fractions must be increasing in (0, 1]; the last stage is the full
+	// promotion target.
+	Stages []RolloutStage
+	// Shadow, when positive, inserts a shadow phase of this length before the
+	// first canary stage: ShadowFraction of requests are duplicated onto the
+	// candidate, answers discarded, outcomes recorded against its SLO.
+	Shadow time.Duration
+	// ShadowFraction is the share of live traffic duplicated while shadowing
+	// (default 0.2 when Shadow > 0).
+	ShadowFraction float64
+	// SLO is the per-version objective set; each version gets its own
+	// monitor over the same objectives (default: 99.9% availability).
+	SLO []obs.Objective
+	// Rules are the burn-rate rules (default obs.DefaultBurnRules; simulated
+	// seconds-scale runs should pass obs.ScaledBurnRules).
+	Rules []obs.BurnRule
+	// PageRule names the rule whose firing on the candidate triggers
+	// automatic rollback (default "fast" — the page-severity rule).
+	PageRule string
+	// FreezeRule names the rule whose firing freezes stage promotion without
+	// reverting traffic (default "slow" — the ticket-severity rule).
+	FreezeRule string
+	// DrainGrace bounds RollingBack: if the driver has not reported the
+	// candidate drained this long after the rollback, the controller declares
+	// RolledBack anyway (default 1s).
+	DrainGrace time.Duration
+}
+
+func (c *RolloutConfig) withDefaults() error {
+	if len(c.Stages) == 0 {
+		c.Stages = DefaultRolloutStages(2 * time.Second)
+	}
+	prev := 0.0
+	for i, st := range c.Stages {
+		if st.Fraction <= prev || st.Fraction > 1 {
+			return fmt.Errorf("serve: rollout stage %d fraction %g must be increasing in (0,1]",
+				i, st.Fraction)
+		}
+		if st.Hold <= 0 {
+			return fmt.Errorf("serve: rollout stage %d needs Hold > 0", i)
+		}
+		prev = st.Fraction
+	}
+	if c.Shadow < 0 {
+		return fmt.Errorf("serve: negative shadow duration %v", c.Shadow)
+	}
+	if c.Shadow > 0 && c.ShadowFraction <= 0 {
+		c.ShadowFraction = 0.2
+	}
+	if c.ShadowFraction < 0 || c.ShadowFraction > 1 {
+		return fmt.Errorf("serve: shadow fraction %g outside [0,1]", c.ShadowFraction)
+	}
+	if len(c.SLO) == 0 {
+		c.SLO = []obs.Objective{{Name: "availability", Target: 0.999}}
+	}
+	if len(c.Rules) == 0 {
+		c.Rules = obs.DefaultBurnRules()
+	}
+	if c.PageRule == "" {
+		c.PageRule = "fast"
+	}
+	if c.FreezeRule == "" {
+		c.FreezeRule = "slow"
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = time.Second
+	}
+	return nil
+}
+
+// RolloutState enumerates the controller's states.
+type RolloutState int
+
+const (
+	// RolloutPending: configured, not yet deployed.
+	RolloutPending RolloutState = iota
+	// RolloutShadowing: candidate receives duplicated traffic only.
+	RolloutShadowing
+	// RolloutCanarying: candidate serves a staged fraction of live traffic.
+	RolloutCanarying
+	// RolloutPromoted: candidate serves 100% (terminal success).
+	RolloutPromoted
+	// RolloutRollingBack: traffic reverted to baseline, candidate draining.
+	RolloutRollingBack
+	// RolloutRolledBack: rollback complete (terminal failure).
+	RolloutRolledBack
+)
+
+// String names the state (the report/JSON spelling).
+func (s RolloutState) String() string {
+	switch s {
+	case RolloutPending:
+		return "pending"
+	case RolloutShadowing:
+		return "shadowing"
+	case RolloutCanarying:
+		return "canarying"
+	case RolloutPromoted:
+		return "promoted"
+	case RolloutRollingBack:
+		return "rolling_back"
+	case RolloutRolledBack:
+		return "rolled_back"
+	default:
+		return "rollout?"
+	}
+}
+
+// Terminal reports whether the rollout has reached an end state.
+func (s RolloutState) Terminal() bool {
+	return s == RolloutPromoted || s == RolloutRolledBack
+}
+
+// RolloutEvent is one transition in the rollout timeline.
+type RolloutEvent struct {
+	T        float64 `json:"t"` // seconds
+	Event    string  `json:"event"`
+	Stage    int     `json:"stage"`
+	Fraction float64 `json:"fraction"`
+	Detail   string  `json:"detail,omitempty"`
+}
+
+// Rollout is the versioned-rollout controller. Drive it with Deploy once,
+// RecordServed per request outcome, Tick at a fixed cadence, and Drained
+// when the data plane reports no candidate requests in flight. All methods
+// are safe for concurrent use; time is whatever the driver passes (virtual
+// seconds in the simulator, clock-derived seconds in the Server).
+type Rollout struct {
+	mu         sync.Mutex
+	cfg        RolloutConfig
+	state      RolloutState
+	stage      int
+	stageStart float64
+	frozen     bool
+	deployedAt float64
+	rolledAt   float64 // rollback trigger time (RollingBack entry)
+	detectedAt float64 // first candidate page fire
+	detected   bool
+	monitors   [2]*obs.SLOMonitor
+	events     []RolloutEvent
+}
+
+// NewRollout validates cfg and returns a controller in RolloutPending.
+func NewRollout(cfg RolloutConfig) (*Rollout, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	ro := &Rollout{cfg: cfg}
+	for v := range ro.monitors {
+		ro.monitors[v] = obs.NewSLOMonitor(cfg.SLO, cfg.Rules)
+	}
+	return ro, nil
+}
+
+// Config returns the validated configuration.
+func (ro *Rollout) Config() RolloutConfig {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return ro.cfg
+}
+
+// Deploy starts the rollout at time t (seconds): Shadowing when a shadow
+// phase is configured, else the first canary stage.
+func (ro *Rollout) Deploy(t float64) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.state != RolloutPending {
+		return
+	}
+	ro.deployedAt = t
+	ro.stageStart = t
+	if ro.cfg.Shadow > 0 {
+		ro.state = RolloutShadowing
+		ro.eventLocked(t, "deploy", "shadowing")
+		return
+	}
+	ro.state = RolloutCanarying
+	ro.eventLocked(t, "deploy", "canary")
+}
+
+// RecordServed feeds one request outcome into the version's SLO monitor:
+// availability (ok) always, latency when latencySeconds >= 0. Shadow
+// completions are recorded exactly like live ones — that is the point of
+// shadowing.
+func (ro *Rollout) RecordServed(version int, ok bool, latencySeconds float64) {
+	if ro == nil || version < 0 || version > 1 {
+		return
+	}
+	ro.mu.Lock()
+	m := ro.monitors[version]
+	ro.mu.Unlock()
+	m.RecordAvailability(ok)
+	if ok && latencySeconds >= 0 {
+		m.RecordLatency(latencySeconds)
+	}
+}
+
+// CanaryFraction returns the share of live traffic the candidate should
+// receive right now (0 while pending/shadowing/rolled back, the stage
+// fraction while canarying, 1 when promoted).
+func (ro *Rollout) CanaryFraction() float64 {
+	if ro == nil {
+		return 0
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	switch ro.state {
+	case RolloutCanarying:
+		return ro.cfg.Stages[ro.stage].Fraction
+	case RolloutPromoted:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ShadowFraction returns the share of live traffic to duplicate onto the
+// candidate right now (non-zero only while shadowing).
+func (ro *Rollout) ShadowFraction() float64 {
+	if ro == nil {
+		return 0
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.state == RolloutShadowing {
+		return ro.cfg.ShadowFraction
+	}
+	return 0
+}
+
+// State returns the current controller state.
+func (ro *Rollout) State() RolloutState {
+	if ro == nil {
+		return RolloutPending
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return ro.state
+}
+
+// Stage returns the current canary stage index (meaningful while canarying).
+func (ro *Rollout) Stage() int {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return ro.stage
+}
+
+// Frozen reports whether promotion is currently frozen by the freeze rule.
+func (ro *Rollout) Frozen() bool {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return ro.frozen
+}
+
+// Events returns the rollout timeline so far.
+func (ro *Rollout) Events() []RolloutEvent {
+	if ro == nil {
+		return nil
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return append([]RolloutEvent(nil), ro.events...)
+}
+
+// Monitor returns the version's SLO monitor (for end-of-run status).
+func (ro *Rollout) Monitor(version int) *obs.SLOMonitor {
+	if ro == nil || version < 0 || version > 1 {
+		return nil
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return ro.monitors[version]
+}
+
+// TimeToDetect returns seconds from deploy to the first candidate page fire
+// (ok=false if no page ever fired).
+func (ro *Rollout) TimeToDetect() (float64, bool) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if !ro.detected {
+		return 0, false
+	}
+	return ro.detectedAt - ro.deployedAt, true
+}
+
+// TimeToRollback returns seconds from the page fire to rollback completion
+// (ok=false unless the rollout ended RolledBack).
+func (ro *Rollout) TimeToRollback() (float64, bool) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.state != RolloutRolledBack || !ro.detected {
+		return 0, false
+	}
+	for _, ev := range ro.events {
+		if ev.Event == "rolled_back" {
+			return ev.T - ro.detectedAt, true
+		}
+	}
+	return 0, false
+}
+
+// Drained tells the controller the data plane has no candidate requests in
+// flight; while RollingBack this completes the rollback.
+func (ro *Rollout) Drained(t float64) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.state == RolloutRollingBack {
+		ro.completeRollbackLocked(t, "drained")
+	}
+}
+
+// Tick advances the controller to time t (seconds): both monitors tick,
+// then the state machine evaluates burns, stage holds, and the drain grace.
+// Call at a fixed cadence with non-decreasing t.
+func (ro *Rollout) Tick(t float64) RolloutState {
+	if ro == nil {
+		return RolloutPending
+	}
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	if ro.state == RolloutPending || ro.state.Terminal() {
+		return ro.state
+	}
+	for _, m := range ro.monitors {
+		m.Tick(t)
+	}
+	paging := ro.ruleFiringLocked(ro.cfg.PageRule)
+	freezing := ro.ruleFiringLocked(ro.cfg.FreezeRule)
+	if paging && !ro.detected {
+		ro.detected = true
+		ro.detectedAt = t
+		ro.eventLocked(t, "page", "candidate "+ro.cfg.PageRule+" burn firing")
+	}
+	switch ro.state {
+	case RolloutShadowing:
+		if paging {
+			ro.rollbackLocked(t, "page burn while shadowing")
+			break
+		}
+		if t-ro.stageStart >= ro.cfg.Shadow.Seconds() {
+			ro.state = RolloutCanarying
+			ro.stage = 0
+			ro.stageStart = t
+			ro.eventLocked(t, "stage", "shadow clean, canary begins")
+		}
+	case RolloutCanarying:
+		if paging {
+			ro.rollbackLocked(t, "page burn while canarying")
+			break
+		}
+		if freezing != ro.frozen {
+			ro.frozen = freezing
+			if freezing {
+				ro.eventLocked(t, "freeze", ro.cfg.FreezeRule+" burn firing")
+			} else {
+				ro.eventLocked(t, "unfreeze", ro.cfg.FreezeRule+" burn resolved")
+			}
+			// A freeze restarts the soak: the stage must hold clean for its
+			// full duration after the burn resolves.
+			ro.stageStart = t
+		}
+		if !ro.frozen && t-ro.stageStart >= ro.cfg.Stages[ro.stage].Hold.Seconds() {
+			if ro.stage == len(ro.cfg.Stages)-1 {
+				ro.state = RolloutPromoted
+				ro.eventLocked(t, "promoted", "")
+				break
+			}
+			ro.stage++
+			ro.stageStart = t
+			ro.eventLocked(t, "stage", "")
+		}
+	case RolloutRollingBack:
+		if t-ro.rolledAt >= ro.cfg.DrainGrace.Seconds() {
+			ro.completeRollbackLocked(t, "drain grace expired")
+		}
+	}
+	return ro.state
+}
+
+// ruleFiringLocked reports whether the named rule is firing for any of the
+// candidate's objectives.
+func (ro *Rollout) ruleFiringLocked(rule string) bool {
+	for _, pair := range ro.monitors[VersionCandidate].Firing() {
+		if len(pair) > len(rule) && pair[len(pair)-len(rule):] == rule &&
+			pair[len(pair)-len(rule)-1] == '/' {
+			return true
+		}
+	}
+	return false
+}
+
+// rollbackLocked reverts all traffic to baseline and starts the drain.
+func (ro *Rollout) rollbackLocked(t float64, reason string) {
+	ro.state = RolloutRollingBack
+	ro.frozen = false
+	ro.rolledAt = t
+	ro.eventLocked(t, "rollback", reason)
+}
+
+// completeRollbackLocked finishes the rollback (terminal).
+func (ro *Rollout) completeRollbackLocked(t float64, reason string) {
+	ro.state = RolloutRolledBack
+	ro.eventLocked(t, "rolled_back", reason)
+}
+
+// eventLocked appends one timeline event at the current stage/fraction.
+func (ro *Rollout) eventLocked(t float64, kind, detail string) {
+	frac := 0.0
+	switch ro.state {
+	case RolloutCanarying:
+		frac = ro.cfg.Stages[ro.stage].Fraction
+	case RolloutPromoted:
+		frac = 1
+	}
+	ro.events = append(ro.events, RolloutEvent{
+		T: t, Event: kind, Stage: ro.stage, Fraction: frac, Detail: detail,
+	})
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// rolloutLoadCfg is a 2s open-loop run with a mid-run deploy of a candidate
+// carrying the given version fault.
+func rolloutLoadCfg(seed uint64, cand fault.VersionFault) LoadConfig {
+	return LoadConfig{
+		Requests:   4000,
+		RatePerSec: 2000,
+		Replicas:   2,
+		MaxBatch:   8,
+		MaxLinger:  2 * time.Millisecond,
+		QueueCap:   64,
+		Seed:       seed,
+		CtrlTick:   100 * time.Millisecond,
+		Rollout: &RolloutSim{
+			DeployAt:  200 * time.Millisecond,
+			Candidate: cand,
+			Config: RolloutConfig{
+				Stages: []RolloutStage{
+					{Fraction: 0.05, Hold: 150 * time.Millisecond},
+					{Fraction: 0.25, Hold: 150 * time.Millisecond},
+					{Fraction: 1.00, Hold: 150 * time.Millisecond},
+				},
+				Shadow:     150 * time.Millisecond,
+				Rules:      obs.ScaledBurnRules(time.Second),
+				DrainGrace: 100 * time.Millisecond,
+			},
+		},
+	}
+}
+
+// TestSimRolloutHealthyDeployPromotes: a clean candidate shadows, walks the
+// canary stages, and ends promoted with zero wrong answers.
+func TestSimRolloutHealthyDeployPromotes(t *testing.T) {
+	rep, err := RunLoad(rolloutLoadCfg(7, fault.VersionFault{}))
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.RolloutState != "promoted" {
+		t.Fatalf("rollout state = %q, want promoted (events: %+v)", rep.RolloutState, rep.RolloutEvents)
+	}
+	if rep.ShadowServed == 0 {
+		t.Fatal("no shadow traffic during the shadow phase")
+	}
+	if rep.ShadowMismatches != 0 || rep.CanaryErrors != 0 || rep.Errors != 0 {
+		t.Fatalf("healthy candidate produced errors: mismatches=%d canaryErrs=%d errs=%d",
+			rep.ShadowMismatches, rep.CanaryErrors, rep.Errors)
+	}
+	if rep.CanaryServed == 0 {
+		t.Fatal("no live canary traffic served")
+	}
+	if rep.TimeToDetectS != 0 || rep.TimeToRollbackS != 0 {
+		t.Fatalf("healthy deploy recorded detection/rollback times: %g/%g",
+			rep.TimeToDetectS, rep.TimeToRollbackS)
+	}
+	// Promotion routes everything to the candidate: the majority of traffic
+	// after the final stage is canary-served.
+	if rep.BadVersionPct < 20 {
+		t.Fatalf("BadVersionPct = %.1f after full promotion, want a substantial share", rep.BadVersionPct)
+	}
+}
+
+// TestSimRolloutBadDeployShadowCatchesBeforeLiveTraffic: with a shadow
+// phase, a candidate with a 50% error rate burns its budget on duplicated
+// traffic and is rolled back before a single live request routes to it.
+func TestSimRolloutBadDeployShadowCatchesBeforeLiveTraffic(t *testing.T) {
+	rep, err := RunLoad(rolloutLoadCfg(7, fault.VersionFault{ErrorRate: 0.5}))
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.RolloutState != "rolled_back" {
+		t.Fatalf("rollout state = %q, want rolled_back (events: %+v)", rep.RolloutState, rep.RolloutEvents)
+	}
+	if rep.ShadowServed == 0 || rep.ShadowMismatches == 0 {
+		t.Fatalf("shadow=%d mismatches=%d, want the shadow traffic to expose the fault",
+			rep.ShadowServed, rep.ShadowMismatches)
+	}
+	if rep.CanaryServed != 0 || rep.BadVersionPct != 0 {
+		t.Fatalf("canary=%d pct=%.2f, want zero live exposure when the shadow phase catches it",
+			rep.CanaryServed, rep.BadVersionPct)
+	}
+	if rep.TimeToDetectS <= 0 || rep.TimeToDetectS > 1 {
+		t.Fatalf("TimeToDetectS = %g, want sub-second detection", rep.TimeToDetectS)
+	}
+}
+
+// TestSimRolloutBadDeployRollsBackBounded: without a shadow phase the bad
+// candidate does take live traffic, but the early canary stage plus the
+// burn-rate page bound its blast radius to a few percent of all requests.
+func TestSimRolloutBadDeployRollsBackBounded(t *testing.T) {
+	cfg := rolloutLoadCfg(7, fault.VersionFault{ErrorRate: 0.5})
+	cfg.Rollout.Config.Shadow = 0
+	rep, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.RolloutState != "rolled_back" {
+		t.Fatalf("rollout state = %q, want rolled_back (events: %+v)", rep.RolloutState, rep.RolloutEvents)
+	}
+	if rep.TimeToDetectS <= 0 || rep.TimeToDetectS > 1 {
+		t.Fatalf("TimeToDetectS = %g, want sub-second detection", rep.TimeToDetectS)
+	}
+	if rep.TimeToRollbackS <= 0 {
+		t.Fatalf("TimeToRollbackS = %g, want > 0", rep.TimeToRollbackS)
+	}
+	// The canary stage caps exposure: the bad version saw live traffic, but
+	// only a small slice of the run.
+	if rep.BadVersionPct <= 0 || rep.BadVersionPct > 5 {
+		t.Fatalf("BadVersionPct = %.2f, want in (0, 5] — canary did not bound the blast radius",
+			rep.BadVersionPct)
+	}
+	if rep.CanaryErrors == 0 {
+		t.Fatal("bad candidate served live traffic without a single recorded error")
+	}
+	var sawPage, sawRollback bool
+	for _, ev := range rep.RolloutEvents {
+		sawPage = sawPage || ev.Event == "page"
+		sawRollback = sawRollback || ev.Event == "rolled_back"
+	}
+	if !sawPage || !sawRollback {
+		t.Fatalf("timeline missing page/rolled_back: %+v", rep.RolloutEvents)
+	}
+}
+
+// flashCrowdCfg is a three-phase profile: calm, a 6x flash crowd, calm.
+func flashCrowdCfg(seed uint64, auto *AutoscaleConfig) LoadConfig {
+	return LoadConfig{
+		Phases: []LoadPhase{
+			{Duration: 400 * time.Millisecond, RatePerSec: 500},
+			{Duration: 400 * time.Millisecond, RatePerSec: 3000},
+			{Duration: 800 * time.Millisecond, RatePerSec: 500},
+		},
+		Replicas:  1,
+		MaxBatch:  8,
+		MaxLinger: 2 * time.Millisecond,
+		QueueCap:  64,
+		Deadline:  50 * time.Millisecond,
+		Seed:      seed,
+		CtrlTick:  100 * time.Millisecond,
+		Autoscale: auto,
+	}
+}
+
+// TestSimAutoscaleAbsorbsFlashCrowd: the same flash crowd that forces a
+// fixed single-replica pool to shed/expire is absorbed by the autoscaler,
+// which then returns the fleet toward Min when the crowd leaves.
+func TestSimAutoscaleAbsorbsFlashCrowd(t *testing.T) {
+	fixed, err := RunLoad(flashCrowdCfg(11, nil))
+	if err != nil {
+		t.Fatalf("fixed RunLoad: %v", err)
+	}
+	scaled, err := RunLoad(flashCrowdCfg(11, &AutoscaleConfig{
+		Min: 1, Max: 8,
+		Every:     100 * time.Millisecond,
+		QueueHigh: 4, QueueLow: 0.5,
+		SurgeMax: 2,
+	}))
+	if err != nil {
+		t.Fatalf("autoscaled RunLoad: %v", err)
+	}
+
+	fixedLost := fixed.Shed + fixed.Expired
+	scaledLost := scaled.Shed + scaled.Expired
+	if fixedLost == 0 {
+		t.Fatalf("flash crowd did not stress the fixed pool (lost=0); test profile too gentle")
+	}
+	if scaledLost >= fixedLost {
+		t.Fatalf("autoscaler lost %d requests vs fixed pool's %d — scaling did not help",
+			scaledLost, fixedLost)
+	}
+	if scaled.ReplicasPeak <= 1 || scaled.ScaleUps < 1 {
+		t.Fatalf("peak=%d ups=%d, want the crowd to force a scale-up", scaled.ReplicasPeak, scaled.ScaleUps)
+	}
+	if scaled.ScaleDowns < 1 || scaled.ReplicasFinal >= scaled.ReplicasPeak {
+		t.Fatalf("downs=%d final=%d peak=%d, want the fleet to shrink after the crowd",
+			scaled.ScaleDowns, scaled.ReplicasFinal, scaled.ReplicasPeak)
+	}
+	if scaled.ReplicasMean >= float64(scaled.ReplicasPeak) {
+		t.Fatalf("mean=%g peak=%d, want time-weighted mean below peak", scaled.ReplicasMean, scaled.ReplicasPeak)
+	}
+}
+
+// TestSimCacheSkewDrivesHitRate: a hot-headed key distribution against a
+// small result cache yields a healthy hit rate, and hits+misses account for
+// every admitted request; a uniform distribution over many more keys hits
+// less.
+func TestSimCacheSkewDrivesHitRate(t *testing.T) {
+	base := LoadConfig{
+		Requests:   3000,
+		RatePerSec: 2000,
+		Replicas:   2,
+		MaxBatch:   8,
+		MaxLinger:  2 * time.Millisecond,
+		QueueCap:   64,
+		Seed:       5,
+	}
+	hot := base
+	hot.Cache = &CacheSimConfig{CapacityEntries: 128, TTL: time.Second, Keys: 64, Skew: 2}
+	hotRep, err := RunLoad(hot)
+	if err != nil {
+		t.Fatalf("hot RunLoad: %v", err)
+	}
+	if hotRep.CacheHits == 0 || hotRep.CacheHitRate <= 0 {
+		t.Fatalf("hot workload never hit the cache: %+v", hotRep)
+	}
+	if hotRep.CacheHitRate >= 1 {
+		t.Fatalf("hit rate %g ≥ 1", hotRep.CacheHitRate)
+	}
+
+	cold := base
+	cold.Cache = &CacheSimConfig{CapacityEntries: 16, TTL: 100 * time.Millisecond, Keys: 4096}
+	coldRep, err := RunLoad(cold)
+	if err != nil {
+		t.Fatalf("cold RunLoad: %v", err)
+	}
+	if coldRep.CacheHitRate >= hotRep.CacheHitRate {
+		t.Fatalf("cold hit rate %g ≥ hot hit rate %g — skew/capacity have no effect",
+			coldRep.CacheHitRate, hotRep.CacheHitRate)
+	}
+}
+
+// TestSimControlPlaneDeterminism: the full control-plane stack (rollout +
+// autoscaler + cache) is a pure function of its config — identical seeds
+// give byte-identical reports, different seeds differ.
+func TestSimControlPlaneDeterminism(t *testing.T) {
+	cfg := func(seed uint64) LoadConfig {
+		c := rolloutLoadCfg(seed, fault.VersionFault{ErrorRate: 0.3})
+		c.Autoscale = &AutoscaleConfig{Min: 1, Max: 4, Every: 100 * time.Millisecond}
+		c.Cache = &CacheSimConfig{CapacityEntries: 64, TTL: 500 * time.Millisecond, Keys: 32, Skew: 1}
+		return c
+	}
+	a, err := RunLoad(cfg(3))
+	if err != nil {
+		t.Fatalf("run a: %v", err)
+	}
+	b, err := RunLoad(cfg(3))
+	if err != nil {
+		t.Fatalf("run b: %v", err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("same seed, different reports:\n%s\n%s", ja, jb)
+	}
+	c, err := RunLoad(cfg(4))
+	if err != nil {
+		t.Fatalf("run c: %v", err)
+	}
+	jc, _ := json.Marshal(c)
+	if bytes.Equal(ja, jc) {
+		t.Fatal("different seeds produced identical reports — seed is not wired through")
+	}
+}

@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// quickStages is a small, fast canary progression for state-machine tests.
+func quickStages() []RolloutStage {
+	return []RolloutStage{
+		{Fraction: 0.01, Hold: time.Second},
+		{Fraction: 0.05, Hold: time.Second},
+		{Fraction: 0.25, Hold: time.Second},
+		{Fraction: 1.00, Hold: time.Second},
+	}
+}
+
+func TestRolloutConfigValidation(t *testing.T) {
+	bad := []RolloutConfig{
+		{Stages: []RolloutStage{{Fraction: 0, Hold: time.Second}}},
+		{Stages: []RolloutStage{{Fraction: 1.5, Hold: time.Second}}},
+		{Stages: []RolloutStage{{Fraction: 0.5, Hold: time.Second}, {Fraction: 0.25, Hold: time.Second}}},
+		{Stages: []RolloutStage{{Fraction: 0.5, Hold: 0}}},
+		{Shadow: -time.Second},
+		{ShadowFraction: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := NewRollout(cfg); err == nil {
+			t.Errorf("config %d: invalid rollout accepted: %+v", i, cfg)
+		}
+	}
+	ro, err := NewRollout(RolloutConfig{})
+	if err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	cfg := ro.Config()
+	if len(cfg.Stages) != 4 || cfg.PageRule != "fast" || cfg.FreezeRule != "slow" {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if ro.State() != RolloutPending || ro.CanaryFraction() != 0 {
+		t.Fatalf("fresh rollout not pending with zero canary traffic")
+	}
+}
+
+// TestRolloutHealthyPromotion walks a clean candidate through every stage:
+// the canary fraction must follow the configured schedule exactly and end
+// promoted at 100%.
+func TestRolloutHealthyPromotion(t *testing.T) {
+	ro, err := NewRollout(RolloutConfig{
+		Stages: quickStages(),
+		Rules:  obs.ScaledBurnRules(time.Second),
+	})
+	if err != nil {
+		t.Fatalf("NewRollout: %v", err)
+	}
+	ro.Deploy(0)
+	if ro.State() != RolloutCanarying || ro.CanaryFraction() != 0.01 {
+		t.Fatalf("after deploy: state=%s frac=%g, want canarying at 1%%", ro.State(), ro.CanaryFraction())
+	}
+
+	now := 0.0
+	wantFrac := []float64{0.01, 0.05, 0.25, 1.00}
+	for tick := 0; tick < 100 && !ro.State().Terminal(); tick++ {
+		// Clean traffic on both versions every control tick.
+		for i := 0; i < 10; i++ {
+			ro.RecordServed(VersionBaseline, true, 0.002)
+			ro.RecordServed(VersionCandidate, true, 0.002)
+		}
+		now += 0.25
+		ro.Tick(now)
+		if st := ro.State(); st == RolloutCanarying {
+			if f := ro.CanaryFraction(); f != wantFrac[ro.Stage()] {
+				t.Fatalf("stage %d fraction = %g, want %g", ro.Stage(), f, wantFrac[ro.Stage()])
+			}
+		}
+	}
+	if ro.State() != RolloutPromoted {
+		t.Fatalf("clean candidate ended %s, want promoted", ro.State())
+	}
+	if ro.CanaryFraction() != 1 {
+		t.Fatalf("promoted fraction = %g, want 1", ro.CanaryFraction())
+	}
+	if _, ok := ro.TimeToDetect(); ok {
+		t.Fatal("clean rollout reported a detection time")
+	}
+	// Timeline: deploy, three stage advances, promoted.
+	events := ro.Events()
+	var kinds []string
+	for _, ev := range events {
+		kinds = append(kinds, ev.Event)
+	}
+	want := []string{"deploy", "stage", "stage", "stage", "promoted"}
+	if fmt.Sprint(kinds) != fmt.Sprint(want) {
+		t.Fatalf("timeline %v, want %v", kinds, want)
+	}
+}
+
+// TestRolloutShadowBreachRollsBackBeforeCanary poisons the candidate during
+// the shadow phase: the rollout must roll back without the candidate ever
+// having received live traffic (canary fraction stays 0 throughout).
+func TestRolloutShadowBreachRollsBackBeforeCanary(t *testing.T) {
+	ro, err := NewRollout(RolloutConfig{
+		Stages: quickStages(),
+		Shadow: 2 * time.Second,
+		Rules:  obs.ScaledBurnRules(time.Second),
+	})
+	if err != nil {
+		t.Fatalf("NewRollout: %v", err)
+	}
+	ro.Deploy(0)
+	if ro.State() != RolloutShadowing {
+		t.Fatalf("state = %s, want shadowing", ro.State())
+	}
+	if sf := ro.ShadowFraction(); sf != 0.2 {
+		t.Fatalf("shadow fraction = %g, want default 0.2", sf)
+	}
+
+	now := 0.0
+	for tick := 0; tick < 40 && !ro.State().Terminal(); tick++ {
+		if f := ro.CanaryFraction(); f != 0 {
+			t.Fatalf("canary fraction = %g during shadow-phase breach, want 0 always", f)
+		}
+		for i := 0; i < 10; i++ {
+			ro.RecordServed(VersionBaseline, true, 0.002)
+			ro.RecordServed(VersionCandidate, false, -1) // shadow copies failing
+		}
+		now += 0.25
+		ro.Tick(now)
+		ro.Drained(now)
+	}
+	if ro.State() != RolloutRolledBack {
+		t.Fatalf("poisoned shadow ended %s, want rolled_back", ro.State())
+	}
+	if _, ok := ro.TimeToDetect(); !ok {
+		t.Fatal("no detection time recorded")
+	}
+}
+
+// TestRolloutFreezeHoldsStageWithoutReverting drives a burn that fires only
+// the freeze rule: promotion must pause (stage and fraction unchanged) while
+// traffic keeps flowing to the canary, then resume and promote after the
+// burn resolves.
+func TestRolloutFreezeHoldsStageWithoutReverting(t *testing.T) {
+	ro, err := NewRollout(RolloutConfig{
+		Stages: []RolloutStage{{Fraction: 0.05, Hold: time.Second}, {Fraction: 1, Hold: time.Second}},
+		Rules: []obs.BurnRule{
+			// Page rule that can never fire; freeze rule that fires on any
+			// error within its windows.
+			{Name: "fast", Long: time.Second, Short: 250 * time.Millisecond, Factor: 1e18},
+			{Name: "slow", Long: time.Second, Short: 250 * time.Millisecond, Factor: 1},
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewRollout: %v", err)
+	}
+	ro.Deploy(0)
+
+	now := 0.0
+	step := func(ok bool) {
+		for i := 0; i < 10; i++ {
+			ro.RecordServed(VersionCandidate, ok, 0.002)
+		}
+		now += 0.25
+		ro.Tick(now)
+	}
+
+	// Two bad ticks: freeze fires, stage must not advance past its hold.
+	step(false)
+	step(false)
+	if !ro.Frozen() {
+		t.Fatal("freeze rule burning but rollout not frozen")
+	}
+	if ro.State() != RolloutCanarying || ro.Stage() != 0 {
+		t.Fatalf("state=%s stage=%d during freeze, want canarying stage 0", ro.State(), ro.Stage())
+	}
+	if f := ro.CanaryFraction(); f != 0.05 {
+		t.Fatalf("freeze reverted traffic: fraction = %g, want 0.05 (freeze pauses, not reverts)", f)
+	}
+	// Soak far past the nominal hold while frozen: still stage 0.
+	for i := 0; i < 8; i++ {
+		step(false)
+	}
+	if ro.Stage() != 0 {
+		t.Fatalf("frozen stage advanced to %d", ro.Stage())
+	}
+
+	// Clean traffic: the burn resolves, the soak restarts, and the rollout
+	// must eventually promote.
+	for i := 0; i < 40 && !ro.State().Terminal(); i++ {
+		step(true)
+		ro.Drained(now)
+	}
+	if ro.State() != RolloutPromoted {
+		t.Fatalf("recovered rollout ended %s, want promoted", ro.State())
+	}
+	var sawFreeze, sawUnfreeze bool
+	for _, ev := range ro.Events() {
+		sawFreeze = sawFreeze || ev.Event == "freeze"
+		sawUnfreeze = sawUnfreeze || ev.Event == "unfreeze"
+	}
+	if !sawFreeze || !sawUnfreeze {
+		t.Fatalf("timeline missing freeze/unfreeze: %+v", ro.Events())
+	}
+}
+
+// TestRolloutDrainGraceBoundsRollback: if the data plane never reports the
+// candidate drained, the grace timer must still complete the rollback.
+func TestRolloutDrainGraceBoundsRollback(t *testing.T) {
+	ro, err := NewRollout(RolloutConfig{
+		Stages:     quickStages(),
+		Rules:      obs.ScaledBurnRules(time.Second),
+		DrainGrace: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewRollout: %v", err)
+	}
+	ro.Deploy(0)
+	now := 0.0
+	for tick := 0; tick < 40 && ro.State() != RolloutRollingBack; tick++ {
+		for i := 0; i < 10; i++ {
+			ro.RecordServed(VersionCandidate, false, -1)
+		}
+		now += 0.25
+		ro.Tick(now) // never Drained
+	}
+	if ro.State() != RolloutRollingBack {
+		t.Fatalf("state = %s, want rolling_back", ro.State())
+	}
+	rolledAt := now
+	for tick := 0; tick < 10 && ro.State() != RolloutRolledBack; tick++ {
+		now += 0.25
+		ro.Tick(now)
+	}
+	if ro.State() != RolloutRolledBack {
+		t.Fatal("drain grace expired but rollback never completed")
+	}
+	if now-rolledAt > 0.75+1e-9 {
+		t.Fatalf("rollback took %.2fs past the trigger, want <= grace + one tick", now-rolledAt)
+	}
+}
+
+// TestRolloutPropertySustainedBreachAlwaysRollsBack is the bounded-recovery
+// property: from ANY rollout stage (shadowing or any canary stage), once the
+// candidate starts breaching its SLO persistently, the controller must reach
+// RolledBack with 100% of traffic on the baseline within a bounded number of
+// control ticks. Breach intensity and per-tick traffic are seeded, so every
+// case is reproducible.
+func TestRolloutPropertySustainedBreachAlwaysRollsBack(t *testing.T) {
+	const (
+		tickS     = 0.1 // 100ms control cadence
+		maxBreach = 40  // bounded-recovery budget, in ticks
+	)
+	stages := []struct {
+		name  string
+		stage int // -1 = breach during shadowing
+	}{
+		{"shadowing", -1},
+		{"canary-stage-0", 0},
+		{"canary-stage-1", 1},
+		{"canary-stage-2", 2},
+		{"canary-stage-3", 3},
+	}
+	for _, entry := range stages {
+		for seed := uint64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", entry.name, seed), func(t *testing.T) {
+				ro, err := NewRollout(RolloutConfig{
+					Stages:     quickStages(),
+					Shadow:     500 * time.Millisecond,
+					Rules:      obs.ScaledBurnRules(time.Second),
+					DrainGrace: 250 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatalf("NewRollout: %v", err)
+				}
+				ro.Deploy(0)
+				r := rng.New(seed).Split("breach")
+				now := 0.0
+				step := func(errRate float64) {
+					n := 1 + int(r.Float64()*20)
+					for i := 0; i < n; i++ {
+						ro.RecordServed(VersionCandidate, !r.Bernoulli(errRate), 0.002)
+						ro.RecordServed(VersionBaseline, true, 0.002)
+					}
+					now += tickS
+					ro.Tick(now)
+				}
+
+				// Drive cleanly to the target stage.
+				for guard := 0; entry.stage >= 0; guard++ {
+					if guard > 500 {
+						t.Fatalf("never reached canary stage %d (state %s stage %d)",
+							entry.stage, ro.State(), ro.Stage())
+					}
+					if ro.State() == RolloutCanarying && ro.Stage() == entry.stage {
+						break
+					}
+					step(0)
+				}
+
+				// Sustained breach at a seeded error rate in [0.5, 1].
+				errRate := 0.5 + 0.5*r.Float64()
+				breachStart := now
+				for guard := 0; ro.State() != RolloutRolledBack; guard++ {
+					if guard > maxBreach {
+						t.Fatalf("still %s after %d breach ticks (err rate %.2f) — recovery not bounded",
+							ro.State(), guard, errRate)
+					}
+					step(errRate)
+					ro.Drained(now) // data plane reports the canary drained
+				}
+
+				if f := ro.CanaryFraction(); f != 0 {
+					t.Fatalf("rolled back but canary fraction = %g, want 0 (100%% baseline)", f)
+				}
+				if sf := ro.ShadowFraction(); sf != 0 {
+					t.Fatalf("rolled back but shadow fraction = %g, want 0", sf)
+				}
+				ttd, ok := ro.TimeToDetect()
+				if !ok || ttd < 0 {
+					t.Fatalf("detection time missing after breach (ok=%v ttd=%g)", ok, ttd)
+				}
+				ttr, ok := ro.TimeToRollback()
+				if !ok || ttr < 0 || ttr > (now-breachStart)+1e-9 {
+					t.Fatalf("rollback time bad: ok=%v ttr=%g window=%g", ok, ttr, now-breachStart)
+				}
+				// Terminal means terminal: further ticks and records change nothing.
+				ro.RecordServed(VersionCandidate, true, 0.001)
+				ro.Tick(now + 10)
+				if ro.State() != RolloutRolledBack || ro.CanaryFraction() != 0 {
+					t.Fatal("rolled-back state not sticky")
+				}
+			})
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/obs"
+	"repro/internal/rng"
 )
 
 // Typed serving errors. Callers distinguish shed load (retry later, the
@@ -95,6 +96,19 @@ type Config struct {
 	// Health enables replica health scoring with ejection and re-admission
 	// (zero value: disabled). See HealthConfig.
 	Health HealthConfig
+	// Autoscale, when non-nil, runs the replica autoscaler on the control
+	// loop: the pool grows toward Autoscale.Max and shrinks toward
+	// Autoscale.Min around the configured Replicas starting point.
+	Autoscale *AutoscaleConfig
+	// Cache, when non-nil, puts an inference result cache in front of the
+	// batcher (see ResultCacheConfig).
+	Cache *ResultCacheConfig
+	// CtrlEvery is the control-loop cadence for rollout and autoscaler
+	// evaluation (default 250ms).
+	CtrlEvery time.Duration
+	// RouteSeed seeds the submit-time canary/shadow routing stream (default
+	// 1) so versioned traffic splits are reproducible under a VirtualClock.
+	RouteSeed uint64
 }
 
 func (c *Config) withDefaults() error {
@@ -131,6 +145,20 @@ func (c *Config) withDefaults() error {
 	}
 	if c.Hedge.After < 0 {
 		return fmt.Errorf("serve: negative hedge budget %v", c.Hedge.After)
+	}
+	if c.Autoscale != nil {
+		if err := c.Autoscale.withDefaults(); err != nil {
+			return err
+		}
+	}
+	if c.Cache != nil {
+		c.Cache.withDefaults()
+	}
+	if c.CtrlEvery <= 0 {
+		c.CtrlEvery = 250 * time.Millisecond
+	}
+	if c.RouteSeed == 0 {
+		c.RouteSeed = 1
 	}
 	c.Health.withDefaults()
 	if c.Health.enabled() && c.Health.EjectFactor <= 1 {
@@ -173,6 +201,26 @@ type request struct {
 	settled   atomic.Bool
 	settledCh chan struct{}
 	hedged    atomic.Bool
+
+	// Versioned rollout: which model version serves this request, and
+	// whether it is a shadow duplicate (answer discarded, outcome recorded
+	// against the candidate's SLO only). The server assigns version and
+	// wantShadow at submit time (routeRequest), before the request enters any
+	// concurrent path, so the hedge watcher and completing replica read them
+	// race-free; the simulator assigns version at its own admission event.
+	// Immutable after assignment.
+	version    int
+	shadow     bool
+	wantShadow bool
+
+	// ckey is the result-cache key (0 = no cache; cacheKey never returns 0).
+	// Set at admission when the result cache is enabled so the winning
+	// completion can populate the cache.
+	ckey uint64
+
+	// simDone is the load simulator's single-threaded "finally resolved"
+	// flag (the event loop's analogue of settled + drop accounting).
+	simDone bool
 }
 
 func (r *request) expired(now time.Time) bool {
@@ -206,6 +254,31 @@ type Server struct {
 
 	batcherWG sync.WaitGroup
 	hedgeWG   sync.WaitGroup
+
+	// control plane (see control.go)
+	start          time.Time
+	rollout        atomic.Pointer[Rollout]
+	scaler         *Autoscaler // touched only by the control goroutine
+	ctrlOn         bool        // guarded by mu
+	ctrlStop       chan struct{}
+	ctrlWG         sync.WaitGroup
+	routeMu        sync.Mutex // guards route against concurrent submitters
+	route          *rng.Stream
+	nCanaryInflight atomic.Int64
+	nCanaryServed   atomic.Int64
+	nShadowServed   atomic.Int64
+	nScaleUps       atomic.Int64
+	nScaleDowns     atomic.Int64
+
+	// recent-latency ring feeding the autoscaler's p99 input
+	latMu    sync.Mutex
+	latRing  []float64
+	latCount int
+
+	// result cache (nil when cfg.Cache is nil)
+	cache        *resultCache
+	nCacheHits   atomic.Int64
+	nCacheMisses atomic.Int64
 
 	// counters (atomic; see Stats)
 	nSubmitted      atomic.Int64
@@ -255,6 +328,16 @@ type Stats struct {
 	Ejections       int64
 	Readmissions    int64
 	HealthyReplicas int
+	// CanaryServed counts requests routed to a rollout candidate (including
+	// shadow copies); ShadowServed the shadow copies among them.
+	CanaryServed int64
+	ShadowServed int64
+	// CacheHits/CacheMisses count result-cache lookups (zero with no cache).
+	CacheHits   int64
+	CacheMisses int64
+	// ScaleUps/ScaleDowns count autoscaler decisions applied to the pool.
+	ScaleUps   int
+	ScaleDowns int
 }
 
 // New builds a Server over net. The net is cloned once per replica; the
@@ -267,10 +350,24 @@ func New(net *nn.Net, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:   cfg,
-		clock: cfg.Clock,
-		obs:   cfg.Obs,
-		in:    make(chan *request, cfg.QueueCap),
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		obs:      cfg.Obs,
+		in:       make(chan *request, cfg.QueueCap),
+		start:    cfg.Clock.Now(),
+		ctrlStop: make(chan struct{}),
+		route:    rng.New(cfg.RouteSeed).Split("serve-route"),
+	}
+	if cfg.Autoscale != nil {
+		as, err := NewAutoscaler(*cfg.Autoscale)
+		if err != nil {
+			return nil, err
+		}
+		s.scaler = as
+		s.latRing = make([]float64, 256)
+	}
+	if cfg.Cache != nil {
+		s.cache = newResultCache(*cfg.Cache)
 	}
 	// Pre-register every counter the pipeline can touch so a metrics dump
 	// (OpenMetrics, SLO rules bound to counters) sees explicit zeros instead
@@ -293,6 +390,11 @@ func New(net *nn.Net, cfg Config) (*Server, error) {
 		defer s.batcherWG.Done()
 		s.batchLoop()
 	}()
+	if s.scaler != nil {
+		s.mu.Lock()
+		s.startCtrlLocked()
+		s.mu.Unlock()
+	}
 	return s, nil
 }
 
@@ -313,6 +415,10 @@ func (s *Server) SubmitCtx(x []float64, deadline time.Time, c obs.Ctx) <-chan Re
 		done <- Result{Err: ErrBadInput}
 		return done
 	}
+	if s.cacheLookup(req) {
+		return done
+	}
+	s.routeRequest(req)
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -356,6 +462,10 @@ func (s *Server) submitBlocking(x []float64, deadline time.Time) <-chan Result {
 		done <- Result{Err: ErrBadInput}
 		return done
 	}
+	if s.cacheLookup(req) {
+		return done
+	}
+	s.routeRequest(req)
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -395,8 +505,15 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	ctrlOn := s.ctrlOn
 	close(s.in)
 	s.mu.Unlock()
+	// Stop the control loop first so no resize or rollout transition races
+	// the drain below.
+	if ctrlOn {
+		close(s.ctrlStop)
+		s.ctrlWG.Wait()
+	}
 	s.batcherWG.Wait()
 	s.pool.close()
 	// Every admitted request has now settled, so every hedge watcher has
@@ -422,6 +539,12 @@ func (s *Server) Stats() Stats {
 	st.HedgeWasted = s.nHedgeWasted.Load()
 	st.ReplicaKills, st.Requeued, st.Steals, st.LiveReplicas = s.pool.counters()
 	st.Ejections, st.Readmissions, st.HealthyReplicas = s.pool.healthCounters()
+	st.CanaryServed = s.nCanaryServed.Load()
+	st.ShadowServed = s.nShadowServed.Load()
+	st.CacheHits = s.nCacheHits.Load()
+	st.CacheMisses = s.nCacheMisses.Load()
+	st.ScaleUps = int(s.nScaleUps.Load())
+	st.ScaleDowns = int(s.nScaleDowns.Load())
 	return st
 }
 
@@ -436,6 +559,18 @@ func (s *Server) observeQueueDepth() {
 // winner answers (and is counted).
 func (s *Server) fail(req *request, err error) {
 	if !req.settle() {
+		return
+	}
+	if req.version == VersionCandidate {
+		s.nCanaryInflight.Add(-1)
+	}
+	if ro := s.rollout.Load(); ro != nil {
+		ro.RecordServed(req.version, false, -1)
+	}
+	if req.shadow {
+		// Shadow copies never answer callers; their failure was recorded
+		// against the candidate's SLO above and that is their whole job.
+		s.nShadowServed.Add(1)
 		return
 	}
 	if err == ErrDeadline {
@@ -456,6 +591,20 @@ func (s *Server) complete(req *request, y []float64, batchSize int) {
 		return
 	}
 	lat := s.clock.Now().Sub(req.arrived)
+	if req.version == VersionCandidate {
+		s.nCanaryInflight.Add(-1)
+	}
+	if ro := s.rollout.Load(); ro != nil {
+		ro.RecordServed(req.version, true, lat.Seconds())
+	}
+	if req.shadow {
+		s.nShadowServed.Add(1)
+		return
+	}
+	s.noteLatencySample(lat)
+	if s.cache != nil && req.ckey != 0 {
+		s.cache.put(req.ckey, y, s.clock.Now())
+	}
 	s.nCompleted.Add(1)
 	if s.obs.Enabled() {
 		s.obs.Count("serve.completed", 1)
