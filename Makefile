@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test chaos fuzz cover bench-overhead bench-obs bench-checkpoint bench bench-serve bench-resil bench-rollout bench-comm bench-kernels bench-data clean
+.PHONY: check vet build test chaos fuzz cover bench-overhead bench-obs bench-checkpoint bench bench-serve bench-resil bench-rollout bench-comm bench-kernels bench-data bench-search clean
 
 check: vet build test chaos cover bench-overhead
 
@@ -18,7 +18,9 @@ test:
 # Deterministic chaos suite under the race detector: failure-injection
 # schedules (internal/fault), checkpoint/resume bitwise-continue
 # (internal/nn), elastic worker-kill recovery (internal/parallel), campaign
-# retry/backoff/quarantine (internal/core), and the gray-failure suites —
+# retry/backoff/quarantine and the sharded multi-tenant fleet scheduler
+# under scripted shard kills, gray degradation, preemption and work
+# stealing (internal/core Fleet*), and the gray-failure suites —
 # degraded-replica ejection, hedged execution, retry budgets
 # and replica kills mid-canary-promotion (internal/serve), flaky-link
 # collectives and CRC framing (internal/comm),
@@ -30,7 +32,7 @@ test:
 # fault paths can be exercised alone (`make chaos`) and stay race-clean.
 chaos:
 	$(GO) test -race ./internal/fault ./internal/core \
-		-run 'Fault|Campaign|Schedule|Attempt|Plan|Daly|Simulate|Gray|Link|Backoff|Quarantine|Poison'
+		-run 'Fault|Campaign|Schedule|Attempt|Plan|Daly|Simulate|Gray|Link|Backoff|Quarantine|Poison|Fleet|Steal|Preempt|Tenant'
 	$(GO) test -race ./internal/nn -run 'Resume|TrainState|Checkpoint'
 	$(GO) test -race ./internal/parallel -run 'Elastic|Chaos|Overlapped|Bucket'
 	$(GO) test -race ./internal/serve -run 'Chaos|Fault|Gray|Retry|Hedge'
@@ -69,9 +71,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzCompressRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lowp
 	$(GO) test -run '^$$' -fuzz '^FuzzShardManifest$$' -fuzztime $(FUZZTIME) ./internal/data
 	$(GO) test -run '^$$' -fuzz '^FuzzSLOSpec$$' -fuzztime $(FUZZTIME) ./internal/obs
+	$(GO) test -run '^$$' -fuzz '^FuzzArchDSL$$' -fuzztime $(FUZZTIME) ./internal/hpo
 
 # Coverage gate: per-package floors (70% for serve, tensor, nn, fault, comm,
-# parallel, lowp) with a coverage-vs-floor delta table. See scripts/cover.sh.
+# parallel, lowp, data, storage, core, hpo) with a coverage-vs-floor delta
+# table. See scripts/cover.sh.
 cover:
 	bash scripts/cover.sh
 
@@ -122,6 +126,15 @@ bench-kernels:
 # TestCommittedDataArtifactIsCurrent fails if the committed copy drifts.
 bench-data:
 	$(GO) run ./cmd/candlebench -data BENCH_data.json
+
+# Regenerate the committed search-at-scale profile (BENCH_search.json):
+# delivered eval throughput of the sharded multi-tenant fleet under shard
+# kills and gray faults at 1k-100k modelled nodes, and the random/RL/PBT
+# search-quality comparison at the eval budget each scale delivers.
+# Virtual-clock plus analytic landscape, so byte-stable;
+# TestCommittedSearchArtifactIsCurrent fails if the committed copy drifts.
+bench-search:
+	$(GO) run ./cmd/candlebench -search BENCH_search.json
 
 # Regenerate every experiment table + micro-benchmarks.
 bench:

@@ -49,6 +49,7 @@ func BenchmarkE14SLO(b *testing.B)        { benchExperiment(b, "E14") }
 func BenchmarkE15Kernels(b *testing.B)    { benchExperiment(b, "E15") }
 func BenchmarkE16Data(b *testing.B)       { benchExperiment(b, "E16") }
 func BenchmarkE17Rollout(b *testing.B)    { benchExperiment(b, "E17") }
+func BenchmarkE18SearchScale(b *testing.B) { benchExperiment(b, "E18") }
 
 // benchAblation regenerates one design-choice ablation table per iteration.
 func benchAblation(b *testing.B, id string) {

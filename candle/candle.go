@@ -230,6 +230,80 @@ type (
 // AllStrategies returns one of each strategy with defaults.
 var AllStrategies = hpo.AllStrategies
 
+// Learning searchers over the architecture DSL.
+type (
+	// RLController is a policy-gradient (REINFORCE) controller: seeded
+	// categorical policies per decision, updated from eval rewards.
+	RLController = hpo.RLController
+	// PBT is population-based training: exploit/explore with checkpoint
+	// inheritance through a TrainableObjective.
+	PBT = hpo.PBT
+	// TrainableObjective carries training state (an encoded nn.TrainState)
+	// across PBT rounds so exploited members resume training.
+	TrainableObjective = hpo.TrainableObjective
+)
+
+// LearningStrategies returns the learning searchers with defaults; they are
+// kept out of AllStrategies so classic-strategy artifacts stay stable.
+var LearningStrategies = hpo.LearningStrategies
+
+// StrategyByName resolves any built-in or learning strategy by name.
+var StrategyByName = hpo.StrategyByName
+
+// Architecture DSL: slash-separated "units:act[:dropout]" layers, the
+// vocabulary the learning searchers explore.
+type (
+	// Arch is a parsed architecture.
+	Arch = hpo.Arch
+	// ArchLayer is one hidden layer of the DSL.
+	ArchLayer = hpo.ArchLayer
+)
+
+// Architecture DSL helpers.
+var (
+	// ParseArch parses and validates the DSL form.
+	ParseArch = hpo.ParseArch
+	// ArchSpace returns the DSL as a search space of categorical decisions.
+	ArchSpace = hpo.ArchSpace
+	// ArchFromConfig decodes an ArchSpace configuration.
+	ArchFromConfig = hpo.ArchFromConfig
+	// ConfigFromArch encodes an architecture as an ArchSpace configuration.
+	ConfigFromArch = hpo.ConfigFromArch
+)
+
+// ---- campaign fleet ---------------------------------------------------------
+
+// CampaignConfig configures a single-tenant search campaign on the modelled
+// machine (see RunCampaign).
+type CampaignConfig = core.CampaignConfig
+
+// CampaignResult reports a campaign run.
+type CampaignResult = core.CampaignResult
+
+// RunCampaign simulates one search campaign on the modelled machine.
+var RunCampaign = core.RunCampaign
+
+// FleetConfig configures the sharded multi-tenant fleet scheduler:
+// concurrent campaigns with fair-share weights, priority preemption, and
+// work stealing across modelled node shards (see RunFleet).
+type FleetConfig = core.FleetConfig
+
+// TenantConfig is one campaign tenant submitted to the fleet.
+type TenantConfig = core.TenantConfig
+
+// FleetResult reports a fleet run with per-tenant and per-shard stats.
+type FleetResult = core.FleetResult
+
+// RunFleet simulates concurrent campaigns on the sharded fleet.
+var RunFleet = core.RunFleet
+
+// ShardPlan scripts deterministic shard outages, gray degradation, and
+// repairs for the fleet scheduler (see FleetConfig.Faults).
+type ShardPlan = fault.ShardPlan
+
+// RandomShardPlan draws a seeded shard fault plan.
+var RandomShardPlan = fault.RandomShardPlan
+
 // ---- parallel training -----------------------------------------------------------
 
 // DataParallelConfig configures synchronous data-parallel SGD.

@@ -79,14 +79,14 @@ func TestPublicMachineAndStorage(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(candle.Experiments()) != 17 {
+	if len(candle.Experiments()) != 18 {
 		t.Fatal("experiment suite incomplete")
 	}
 	if candle.ExperimentByID("E1") == nil {
 		t.Fatal("E1 missing")
 	}
-	if candle.ExperimentByID("E17") == nil {
-		t.Fatal("E17 missing")
+	if candle.ExperimentByID("E18") == nil {
+		t.Fatal("E18 missing")
 	}
 }
 

@@ -42,6 +42,7 @@ func main() {
 	commOut := flag.String("comm", "", "write the deterministic gradient-communication profile (BENCH_comm.json) to this file and exit")
 	kernelsOut := flag.String("kernels", "", "measure the float32 kernel-engine profile (BENCH_kernels.json) on this host, write it to this file, and exit")
 	dataOut := flag.String("data", "", "write the deterministic tiered-staging data-plane profile (BENCH_data.json) to this file and exit")
+	searchOut := flag.String("search", "", "write the deterministic search-at-scale profile (BENCH_search.json) to this file and exit")
 	flag.Parse()
 
 	if *commOut != "" {
@@ -56,6 +57,19 @@ func main() {
 		// loader: same binary, same bytes, byte-compared in tests.
 		writeTo(*dataOut, experiments.DataBench().WriteJSON)
 		fmt.Printf("data-plane profile: %s\n", *dataOut)
+		return
+	}
+	if *searchOut != "" {
+		// Virtual-clock fleet scheduling plus analytic search landscape:
+		// same binary, same bytes, byte-compared in tests. SearchBench also
+		// gates the headline invariants (fault layer on, throughput grows
+		// with nodes, learning searchers beat random at equal budget).
+		rep, err := experiments.SearchBench(*seed, nil)
+		if err != nil {
+			fail(err)
+		}
+		writeTo(*searchOut, rep.WriteJSON)
+		fmt.Printf("search-at-scale profile: %s\n", *searchOut)
 		return
 	}
 	if *kernelsOut != "" {

@@ -290,3 +290,102 @@ func TestCommittedKernelsArtifactIsCurrent(t *testing.T) {
 		t.Fatalf("train rows %+v missing the f64/f32-compute pair", rep.Train)
 	}
 }
+
+// checkSearchReport asserts the headline invariants on a search-at-scale
+// report (SearchBench already gates them at generation time; re-checking
+// here pins the committed numbers, not just the generator).
+func checkSearchReport(t *testing.T, rep *experiments.SearchBenchReport) {
+	t.Helper()
+	if len(rep.Rows) < 3 {
+		t.Fatalf("expected at least 3 machine sizes, got %d", len(rep.Rows))
+	}
+	prevBudget := 0.0
+	for _, row := range rep.Rows {
+		if row.ShardKills == 0 || row.Interrupted == 0 || row.Steals == 0 || row.Retries == 0 {
+			t.Fatalf("fault layer idle at %d nodes: %+v", row.Nodes, row)
+		}
+		if row.EvalBudget <= prevBudget {
+			t.Fatalf("eval budget not growing with machine size at %d nodes", row.Nodes)
+		}
+		prevBudget = row.EvalBudget
+		best := map[string]float64{}
+		for _, s := range row.Strategies {
+			best[s.Strategy] = s.TrueBest
+			if s.Budget != row.EvalBudget || s.CostUsed > s.Budget+1e-9 {
+				t.Fatalf("%s at %d nodes: budget %v cost %v (row budget %v)",
+					s.Strategy, row.Nodes, s.Budget, s.CostUsed, row.EvalBudget)
+			}
+		}
+		for _, name := range []string{"rl", "pbt"} {
+			if best[name] >= best["random"] {
+				t.Fatalf("%s true best %.4f not below random %.4f at %d nodes",
+					name, best[name], best["random"], row.Nodes)
+			}
+		}
+	}
+}
+
+// TestSearchProfileIsBitIdentical generates the search-at-scale profile
+// twice and requires byte-identical JSON — the fleet is a deterministic
+// discrete-event simulation and the search landscape is analytic, so the
+// artifact can live in the repository — then checks the headline shape.
+func TestSearchProfileIsBitIdentical(t *testing.T) {
+	bin := buildCandlebench(t)
+	dir := t.TempDir()
+	j1 := filepath.Join(dir, "a.json")
+	j2 := filepath.Join(dir, "b.json")
+
+	runCandlebench(t, bin, "-search", j1)
+	runCandlebench(t, bin, "-search", j2)
+
+	b1, err := os.ReadFile(j1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two runs produced different search JSON:\n%s\n---\n%s", b1, b2)
+	}
+
+	var rep experiments.SearchBenchReport
+	if err := json.Unmarshal(b1, &rep); err != nil {
+		t.Fatalf("search JSON does not parse: %v", err)
+	}
+	checkSearchReport(t, &rep)
+}
+
+// TestCommittedSearchArtifactIsCurrent regenerates BENCH_search.json and
+// compares it byte-for-byte with the committed copy, then re-checks the
+// committed numbers still carry the search-at-scale claims.
+func TestCommittedSearchArtifactIsCurrent(t *testing.T) {
+	committed, err := os.ReadFile(filepath.Join("..", "..", "BENCH_search.json"))
+	if err != nil {
+		t.Skipf("no committed BENCH_search.json: %v", err)
+	}
+	bin := buildCandlebench(t)
+	fresh := filepath.Join(t.TempDir(), "fresh.json")
+	runCandlebench(t, bin, "-search", fresh)
+	got, err := os.ReadFile(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, got) {
+		t.Fatal("BENCH_search.json is stale: regenerate with `make bench-search`")
+	}
+	// Schema currency: decode + re-encode must reproduce the bytes.
+	var rep experiments.SearchBenchReport
+	if err := json.Unmarshal(committed, &rep); err != nil {
+		t.Fatalf("search JSON does not parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(committed, buf.Bytes()) {
+		t.Fatal("BENCH_search.json does not match the current schema: regenerate with `make bench-search`")
+	}
+	checkSearchReport(t, &rep)
+}

@@ -28,7 +28,7 @@ import (
 func main() {
 	workload := flag.String("workload", "tumor", "driver problem name")
 	strategy := flag.String("strategy", "hyperband",
-		"search strategy: random, grid, hyperband, genetic, tpe, surrogate, generative")
+		"search strategy: random, grid, hyperband, genetic, tpe, surrogate, generative, rl, pbt")
 	budget := flag.Float64("budget", 24, "search budget in full-training equivalents")
 	par := flag.Int("parallel", 4, "evaluation worker pool size")
 	scaleFlag := flag.String("scale", "tiny", "dataset scale: tiny, small, full")
@@ -57,13 +57,8 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown scale %q", *scaleFlag))
 	}
-	var strat hpo.Strategy
-	for _, s := range hpo.AllStrategies() {
-		if s.Name() == *strategy {
-			strat = s
-		}
-	}
-	if strat == nil {
+	strat, ok := hpo.StrategyByName(*strategy)
+	if !ok {
 		fail(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 

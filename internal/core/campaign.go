@@ -179,19 +179,43 @@ func rest(boffs []float64) []float64 {
 	return boffs[1:]
 }
 
-// RunCampaign simulates the campaign and returns makespan and utilization.
-func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
-	if cfg.Configs <= 0 || cfg.Nodes <= 0 {
-		return CampaignResult{}, fmt.Errorf("core: campaign needs configs and nodes")
+// preparedCampaign is one campaign's seeded workload, sampled up front: the
+// heterogeneous evaluation durations, the failure schedule as per-config
+// attempt segments, the retry backoffs, and the resulting retry/quarantine/
+// poison decisions. Both RunCampaign and the sharded fleet scheduler
+// (RunFleet) consume this, so for a given seed they make bit-for-bit
+// identical decisions about what runs, what retries, and what is pulled —
+// which is what the fleet-vs-campaign differential tests pin.
+type preparedCampaign struct {
+	durations []float64
+	total     float64
+	// attempts[i] is nil when config i runs failure-free; otherwise every
+	// segment but possibly the last ends in a crash.
+	attempts [][]float64
+	// backoffs[i][k] is the wait before config i's k-th restart.
+	backoffs [][]float64
+	// cfgOK[i] is config i's final outcome: false only when every attempt
+	// crashed (quarantined/abandoned/poison).
+	cfgOK []bool
+
+	failures, retries                               int
+	abandonedConfigs, quarantinedConfigs, poisonCfg int
+	lostEvalSeconds, backoffSeconds                 float64
+}
+
+// prepareCampaign samples the campaign workload from cfg.RNG. The draw order
+// is fixed (durations, then faults, then poison, then backoffs, each from a
+// split stream), so the schedule is a function of the seed alone — identical
+// under every scheduler and under the sharded fleet.
+func prepareCampaign(cfg *CampaignConfig) (*preparedCampaign, error) {
+	if cfg.Configs <= 0 {
+		return nil, fmt.Errorf("core: campaign needs configs")
 	}
 	if cfg.MeanEvalTime <= 0 {
-		return CampaignResult{}, fmt.Errorf("core: campaign needs positive eval time")
+		return nil, fmt.Errorf("core: campaign needs positive eval time")
 	}
 	if cfg.RNG == nil {
-		return CampaignResult{}, fmt.Errorf("core: campaign needs RNG")
-	}
-	if cfg.GroupSize <= 0 {
-		cfg.GroupSize = 64
+		return nil, fmt.Errorf("core: campaign needs RNG")
 	}
 
 	// Sample heterogeneous durations: lognormal with the requested mean.
@@ -201,155 +225,175 @@ func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
 	if maxT <= 0 {
 		maxT = 10 * cfg.MeanEvalTime
 	}
-	durations := make([]float64, cfg.Configs)
-	total := 0.0
-	for i := range durations {
+	p := &preparedCampaign{
+		durations: make([]float64, cfg.Configs),
+		attempts:  make([][]float64, cfg.Configs),
+		backoffs:  make([][]float64, cfg.Configs),
+		cfgOK:     make([]bool, cfg.Configs),
+	}
+	for i := range p.durations {
 		d := cfg.RNG.LogNormal(mu, sigma)
 		if d > maxT {
 			d = maxT
 		}
-		durations[i] = d
-		total += d
+		p.durations[i] = d
+		p.total += d
 	}
+	for i := range p.cfgOK {
+		p.cfgOK[i] = true
+	}
+	if cfg.Faults == nil {
+		return p, nil
+	}
+
+	if cfg.Faults.MTBF <= 0 {
+		return nil, fmt.Errorf("core: campaign faults need MTBF > 0")
+	}
+	if cfg.PoisonFraction < 0 || cfg.PoisonFraction >= 1 {
+		return nil, fmt.Errorf("core: PoisonFraction %v outside [0, 1)", cfg.PoisonFraction)
+	}
+	if cfg.PoisonFraction > 0 && cfg.QuarantineAfter <= 0 && cfg.MaxRetries <= 0 {
+		return nil, fmt.Errorf("core: poison pills never complete; bound them with QuarantineAfter or MaxRetries")
+	}
+	// A retry budget and a quarantine threshold both cap attempts; the
+	// tighter one binds.
+	maxRetries := -1 // retry until completion
+	if cfg.MaxRetries > 0 {
+		maxRetries = cfg.MaxRetries
+	}
+	if q := cfg.QuarantineAfter; q > 0 && (maxRetries < 0 || q-1 < maxRetries) {
+		maxRetries = q - 1
+	}
+	jitter := cfg.RetryBackoffJitter
+	if jitter < 0 {
+		jitter = 0
+	} else if jitter >= 1 {
+		jitter = math.Nextafter(1, 0)
+	}
+	backoffCap := cfg.RetryBackoffCap
+	if backoffCap <= 0 {
+		backoffCap = 8 * cfg.RetryBackoffBase
+	}
+	poisonFrac := cfg.PoisonRunFraction
+	if poisonFrac <= 0 {
+		poisonFrac = 0.25
+	}
+	fr := cfg.RNG.Split("campaign-faults")
+	var pr, br *rng.Stream
+	if cfg.PoisonFraction > 0 {
+		pr = cfg.RNG.Split("campaign-poison")
+	}
+	if cfg.RetryBackoffBase > 0 {
+		br = cfg.RNG.Split("campaign-backoff")
+	}
+	for i, d := range p.durations {
+		var segs []float64
+		completed := false
+		if pr != nil && pr.Bernoulli(cfg.PoisonFraction) {
+			// Poison pill: every attempt crashes at the same point, and
+			// the retry loop runs to whichever bound binds first.
+			p.poisonCfg++
+			cfg.Obs.RecordFlight("poison", obs.Ctx{Trace: uint64(i + 1)},
+				fmt.Sprintf("config=%d attempts=%d", i, maxRetries+1))
+			segs = make([]float64, maxRetries+1)
+			for j := range segs {
+				segs[j] = poisonFrac * d
+			}
+		} else {
+			segs, completed = fault.AttemptSegments(fr, d, cfg.Faults.MTBF, maxRetries)
+			if len(segs) == 1 && completed {
+				continue // no crash touched this evaluation
+			}
+		}
+		p.attempts[i] = segs
+		p.retries += len(segs) - 1
+		if completed {
+			p.failures += len(segs) - 1
+			for _, s := range segs[:len(segs)-1] {
+				p.lostEvalSeconds += s
+			}
+		} else {
+			// Every attempt crashed and the retry loop gave up: the whole
+			// evaluation is lost work. Attribute the drop to quarantine
+			// when the quarantine threshold is what stopped the retries.
+			p.failures += len(segs)
+			p.cfgOK[i] = false
+			if q := cfg.QuarantineAfter; q > 0 && len(segs) >= q {
+				p.quarantinedConfigs++
+				cfg.Obs.RecordFlight("quarantine", obs.Ctx{Trace: uint64(i + 1)},
+					fmt.Sprintf("config=%d crashes=%d", i, len(segs)))
+			} else {
+				p.abandonedConfigs++
+				cfg.Obs.RecordFlight("abandoned", obs.Ctx{Trace: uint64(i + 1)},
+					fmt.Sprintf("config=%d crashes=%d", i, len(segs)))
+			}
+			for _, s := range segs {
+				p.lostEvalSeconds += s
+			}
+		}
+		if br != nil && len(segs) > 1 {
+			bs := make([]float64, len(segs)-1)
+			for k := range bs {
+				b := cfg.RetryBackoffBase * math.Pow(2, float64(k))
+				if b > backoffCap {
+					b = backoffCap
+				}
+				if jitter > 0 {
+					b *= br.Uniform(1-jitter, 1+jitter)
+				}
+				bs[k] = b
+				p.backoffSeconds += b
+			}
+			p.backoffs[i] = bs
+		}
+	}
+	return p, nil
+}
+
+// localCost is the effective node-seconds of config i for schedulers that
+// restart locally: all attempt segments plus one restart overhead per retry,
+// plus the retry backoff (the relaunch is pinned to the owning node or
+// group, so the slot waits out the backoff in place).
+func (p *preparedCampaign) localCost(i int, restartOverhead float64) float64 {
+	if p.attempts[i] == nil {
+		return p.durations[i]
+	}
+	c := float64(len(p.attempts[i])-1) * restartOverhead
+	for _, s := range p.attempts[i] {
+		c += s
+	}
+	for _, b := range p.backoffs[i] {
+		c += b
+	}
+	return c
+}
+
+// RunCampaign simulates the campaign and returns makespan and utilization.
+func RunCampaign(cfg CampaignConfig) (CampaignResult, error) {
+	if cfg.Configs <= 0 || cfg.Nodes <= 0 {
+		return CampaignResult{}, fmt.Errorf("core: campaign needs configs and nodes")
+	}
+	if cfg.GroupSize <= 0 {
+		cfg.GroupSize = 64
+	}
+	prep, err := prepareCampaign(&cfg)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	durations, attempts, backoffs, cfgOK := prep.durations, prep.attempts, prep.backoffs, prep.cfgOK
 
 	res := CampaignResult{
-		Scheduler: cfg.Scheduler, TotalWork: total,
-		IdealMakespan: total / float64(cfg.Nodes),
+		Scheduler: cfg.Scheduler, TotalWork: prep.total,
+		IdealMakespan:      prep.total / float64(cfg.Nodes),
+		Failures:           prep.failures,
+		Retries:            prep.retries,
+		LostEvalSeconds:    prep.lostEvalSeconds,
+		AbandonedConfigs:   prep.abandonedConfigs,
+		BackoffSeconds:     prep.backoffSeconds,
+		QuarantinedConfigs: prep.quarantinedConfigs,
+		PoisonConfigs:      prep.poisonCfg,
 	}
-
-	// Under failure injection every evaluation becomes a retry loop: sample
-	// the attempt segments for all configs up front from a split stream so
-	// the failure schedule is a function of the seed alone, identical under
-	// every scheduler. attempts[i] is nil when config i runs failure-free;
-	// backoffs[i][k] is the wait before config i's k-th restart.
-	attempts := make([][]float64, cfg.Configs)
-	backoffs := make([][]float64, cfg.Configs)
-	// cfgOK[i] is config i's final outcome for the SLO monitor: false only
-	// when every attempt crashed (quarantined/abandoned/poison).
-	cfgOK := make([]bool, cfg.Configs)
-	for i := range cfgOK {
-		cfgOK[i] = true
-	}
-	if cfg.Faults != nil {
-		if cfg.Faults.MTBF <= 0 {
-			return CampaignResult{}, fmt.Errorf("core: campaign faults need MTBF > 0")
-		}
-		if cfg.PoisonFraction < 0 || cfg.PoisonFraction >= 1 {
-			return CampaignResult{}, fmt.Errorf("core: PoisonFraction %v outside [0, 1)", cfg.PoisonFraction)
-		}
-		if cfg.PoisonFraction > 0 && cfg.QuarantineAfter <= 0 && cfg.MaxRetries <= 0 {
-			return CampaignResult{}, fmt.Errorf("core: poison pills never complete; bound them with QuarantineAfter or MaxRetries")
-		}
-		// A retry budget and a quarantine threshold both cap attempts; the
-		// tighter one binds.
-		maxRetries := -1 // retry until completion
-		if cfg.MaxRetries > 0 {
-			maxRetries = cfg.MaxRetries
-		}
-		if q := cfg.QuarantineAfter; q > 0 && (maxRetries < 0 || q-1 < maxRetries) {
-			maxRetries = q - 1
-		}
-		jitter := cfg.RetryBackoffJitter
-		if jitter < 0 {
-			jitter = 0
-		} else if jitter >= 1 {
-			jitter = math.Nextafter(1, 0)
-		}
-		backoffCap := cfg.RetryBackoffCap
-		if backoffCap <= 0 {
-			backoffCap = 8 * cfg.RetryBackoffBase
-		}
-		poisonFrac := cfg.PoisonRunFraction
-		if poisonFrac <= 0 {
-			poisonFrac = 0.25
-		}
-		fr := cfg.RNG.Split("campaign-faults")
-		var pr, br *rng.Stream
-		if cfg.PoisonFraction > 0 {
-			pr = cfg.RNG.Split("campaign-poison")
-		}
-		if cfg.RetryBackoffBase > 0 {
-			br = cfg.RNG.Split("campaign-backoff")
-		}
-		for i, d := range durations {
-			var segs []float64
-			completed := false
-			if pr != nil && pr.Bernoulli(cfg.PoisonFraction) {
-				// Poison pill: every attempt crashes at the same point, and
-				// the retry loop runs to whichever bound binds first.
-				res.PoisonConfigs++
-				cfg.Obs.RecordFlight("poison", obs.Ctx{Trace: uint64(i + 1)},
-					fmt.Sprintf("config=%d attempts=%d", i, maxRetries+1))
-				segs = make([]float64, maxRetries+1)
-				for j := range segs {
-					segs[j] = poisonFrac * d
-				}
-			} else {
-				segs, completed = fault.AttemptSegments(fr, d, cfg.Faults.MTBF, maxRetries)
-				if len(segs) == 1 && completed {
-					continue // no crash touched this evaluation
-				}
-			}
-			attempts[i] = segs
-			res.Retries += len(segs) - 1
-			if completed {
-				res.Failures += len(segs) - 1
-				for _, s := range segs[:len(segs)-1] {
-					res.LostEvalSeconds += s
-				}
-			} else {
-				// Every attempt crashed and the retry loop gave up: the whole
-				// evaluation is lost work. Attribute the drop to quarantine
-				// when the quarantine threshold is what stopped the retries.
-				res.Failures += len(segs)
-				cfgOK[i] = false
-				if q := cfg.QuarantineAfter; q > 0 && len(segs) >= q {
-					res.QuarantinedConfigs++
-					cfg.Obs.RecordFlight("quarantine", obs.Ctx{Trace: uint64(i + 1)},
-						fmt.Sprintf("config=%d crashes=%d", i, len(segs)))
-				} else {
-					res.AbandonedConfigs++
-					cfg.Obs.RecordFlight("abandoned", obs.Ctx{Trace: uint64(i + 1)},
-						fmt.Sprintf("config=%d crashes=%d", i, len(segs)))
-				}
-				for _, s := range segs {
-					res.LostEvalSeconds += s
-				}
-			}
-			if br != nil && len(segs) > 1 {
-				bs := make([]float64, len(segs)-1)
-				for k := range bs {
-					b := cfg.RetryBackoffBase * math.Pow(2, float64(k))
-					if b > backoffCap {
-						b = backoffCap
-					}
-					if jitter > 0 {
-						b *= br.Uniform(1-jitter, 1+jitter)
-					}
-					bs[k] = b
-					res.BackoffSeconds += b
-				}
-				backoffs[i] = bs
-			}
-		}
-	}
-	// Effective node-seconds per config for schedulers that restart locally:
-	// all attempt segments plus one restart overhead per retry, plus the
-	// retry backoff (the relaunch is pinned to the owning node or group, so
-	// the slot waits out the backoff in place).
-	localCost := func(i int) float64 {
-		if attempts[i] == nil {
-			return durations[i]
-		}
-		c := float64(len(attempts[i])-1) * cfg.RestartOverhead
-		for _, s := range attempts[i] {
-			c += s
-		}
-		for _, b := range backoffs[i] {
-			c += b
-		}
-		return c
-	}
+	localCost := func(i int) float64 { return prep.localCost(i, cfg.RestartOverhead) }
 
 	// noteDone collects per-config completion events (virtual time, outcome)
 	// for the SLO monitor; each scheduler reports them as it finishes work.

@@ -334,6 +334,101 @@ func (w *Workload) Objective(scale Scale) hpo.Objective {
 	}
 }
 
+// TrainableObjective adapts the workload into an hpo.TrainableObjective for
+// population-based training: each call resumes from the given nn.TrainState
+// checkpoint blob (nil = fresh weights), trains `step` more of the full
+// epoch budget, and returns the test loss plus the new checkpoint. A blob
+// the restore machinery rejects (wrong shapes, wrong optimizer) surfaces as
+// an error so PBT can fall back to fresh training.
+func (w *Workload) TrainableObjective(scale Scale) hpo.TrainableObjective {
+	return func(cfg hpo.Config, state []byte, step float64, seed uint64) (float64, []byte, error) {
+		r := rng.New(seed)
+		dataR := rng.New(0xDA7A).Split(w.Name + scale.String())
+		train, test := w.Generate(scale, dataR)
+		net := w.NewModel(cfg, train.Dim(), train.OutDim(), r.Split("model"))
+		add := int(math.Ceil(float64(w.Epochs) * step))
+		if add < 1 {
+			add = 1
+		}
+		target := add
+		if state != nil {
+			st, err := nn.DecodeTrainState(state)
+			if err != nil {
+				return 0, nil, err
+			}
+			target = st.Epoch + add
+		}
+		var loss nn.Loss
+		if w.Classification {
+			loss = nn.SoftmaxCELoss{}
+		} else {
+			loss = nn.MSELoss{}
+		}
+		var ckpt []byte
+		_, err := nn.Train(net, train.X, train.Y, nn.TrainConfig{
+			Loss: loss, Optimizer: optimizerFor(cfg),
+			BatchSize: 32, Epochs: target,
+			Shuffle: true, RNG: r.Split("shuffle"),
+			Resume:          state,
+			CheckpointEvery: 1,
+			Checkpoint:      func(epoch int, blob []byte) error { ckpt = blob; return nil },
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		var testLoss float64
+		if w.Classification {
+			testLoss = 1 - nn.EvaluateClassifier(net, test.X, test.Labels)
+		} else {
+			testLoss = nn.EvaluateRegression(net, test.X, test.Y)
+		}
+		return testLoss, ckpt, nil
+	}
+}
+
+// BuildArchNet materialises an architecture-DSL program as a network over
+// the existing layer builders.
+func BuildArchNet(a hpo.Arch, inDim, outDim int, r *rng.Stream) *nn.Net {
+	var layers []nn.Layer
+	prev := inDim
+	for i, l := range a.Layers {
+		act, err := nn.ParseAct(l.Act)
+		if err != nil {
+			act = nn.ReLU
+		}
+		layers = append(layers,
+			nn.NewDense(prev, l.Units, r.Split(fmt.Sprintf("d%d", i))),
+			nn.NewActivation(act))
+		if l.Dropout > 0 {
+			layers = append(layers, nn.NewDropout(l.Dropout, r.Split(fmt.Sprintf("dr%d", i))))
+		}
+		prev = l.Units
+	}
+	layers = append(layers, nn.NewDense(prev, outDim, r.Split("out")))
+	return nn.NewNet(layers...)
+}
+
+// ArchWorkload rebinds a workload onto the architecture DSL: same data and
+// epoch budget, but the search space becomes hpo.ArchSpace() and the model
+// builder decodes DSL configurations — the space the RL controller and PBT
+// search over.
+func ArchWorkload(base *Workload) *Workload {
+	w := *base
+	w.Name = base.Name + "-arch"
+	w.Description = base.Description + " (architecture-DSL space)"
+	w.Space = hpo.ArchSpace()
+	w.NewModel = func(cfg hpo.Config, inDim, outDim int, r *rng.Stream) *nn.Net {
+		a, err := hpo.ArchFromConfig(cfg)
+		if err != nil {
+			// An out-of-DSL config (fuzzed or clamped) degrades to the
+			// smallest valid network rather than panicking mid-search.
+			a = hpo.Arch{Layers: []hpo.ArchLayer{{Units: hpo.ArchUnits[0], Act: hpo.ArchActs[0]}}}
+		}
+		return BuildArchNet(a, inDim, outDim, r)
+	}
+	return &w
+}
+
 // DefaultConfig returns the mid-point of the workload's search space:
 // arithmetic midpoints for linear ranges, geometric midpoints for log
 // ranges, the first choice for categoricals, with dropout kept light.

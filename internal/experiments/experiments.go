@@ -53,6 +53,7 @@ func All() []Experiment {
 		{"E15", "they rarely require 64bit or even 32bits of precision — and the win is real on commodity cores, not just accelerators: a packed float32 GEMM doubles per-core throughput over the float64 baseline and carries through to end-to-end training with float64 master weights", E15Kernels},
 		{"E16", "large-quantities of training data ... at each node, thus providing opportunities for NVRAM — re-derived by execution: a sharded streaming loader with tiered DRAM/NVRAM caches and prefetch reproduces E7's staging crossover on its virtual clock, batch stream and all", E16Data},
 		{"E17", "a production inference service must survive its own deploys and its own traffic: staged canary rollout with shadow comparison and burn-rate auto-rollback bounds a bad version's blast radius to a few percent of requests, and health-driven autoscaling holds the availability SLO through a flash crowd at a fraction of an overprovisioned fleet's replica-seconds", E17Rollout},
+		{"E18", "HPC architectures that can support these large-scale intelligent search methods ... are needed — quantified end to end: a sharded multi-tenant fleet under shard kills and gray faults still delivers eval throughput that grows with machine size, and at every scale the learning searchers (REINFORCE controller, population-based training) convert that budget into strictly better true best-found loss than naive random search", E18SearchScale},
 	}
 }
 

@@ -25,8 +25,8 @@ func runQuick(t *testing.T, id string) (*Experiment, string) {
 
 func TestSuiteComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(all))
+	if len(all) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(all))
 	}
 	for i, e := range all {
 		want := "E" + strconv.Itoa(i+1)
@@ -562,6 +562,47 @@ func TestE16Shape(t *testing.T) {
 	}
 	if big["tiered-dram-nvram"] < 3*warm["256.0"]["tiered-dram-nvram"] {
 		t.Fatalf("2TB epoch suspiciously close to 256GB epoch — PFS fell off the clock:\n%s", out)
+	}
+}
+
+// TestE18Shape checks the search-at-scale sweep in quick mode: the fault
+// layer must be genuinely on at every scale, delivered eval budget must
+// grow with machine size, and both learning searchers must beat random on
+// true best-found loss at equal budget.
+func TestE18Shape(t *testing.T) {
+	_, out := runQuick(t, "E18")
+	rows := tableRows(out)
+	// Columns: nodes strategy budget trials observed-best true-best
+	// evals/h util kills steals preempt interrupted.
+	if len(rows) != 6 {
+		t.Fatalf("expected 2 scales x 3 strategies, got %d rows:\n%s", len(rows), out)
+	}
+	trueBest := map[string]map[string]float64{} // nodes -> strategy -> true-best
+	budget := map[string]float64{}
+	for _, r := range rows {
+		if trueBest[r[0]] == nil {
+			trueBest[r[0]] = map[string]float64{}
+		}
+		trueBest[r[0]][r[1]] = f(t, r[5])
+		budget[r[0]] = f(t, r[2])
+		if f(t, r[8]) == 0 || f(t, r[9]) == 0 || f(t, r[11]) == 0 {
+			t.Fatalf("fault layer idle in row %v:\n%s", r, out)
+		}
+	}
+	if len(trueBest) != 2 {
+		t.Fatalf("expected 2 machine sizes:\n%s", out)
+	}
+	if budget["3000"] <= budget["1000"] {
+		t.Fatalf("eval budget did not grow with machine size (%v -> %v):\n%s",
+			budget["1000"], budget["3000"], out)
+	}
+	for nodes, by := range trueBest {
+		for _, name := range []string{"rl", "pbt"} {
+			if by[name] >= by["random"] {
+				t.Fatalf("%s true best %v not below random %v at %s nodes:\n%s",
+					name, by[name], by["random"], nodes, out)
+			}
+		}
 	}
 }
 

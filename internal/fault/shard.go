@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// ShardEventKind classifies a scripted event against a modelled node shard —
+// the failure domain of the sharded multi-tenant campaign scheduler
+// (core.RunFleet). A shard is a group of nodes behind one shard manager;
+// shard-level faults are the campaign-scheduler analogue of the serving
+// layer's replica kills and gray degradations.
+type ShardEventKind int
+
+const (
+	// ShardKill takes the whole shard down at Time for Down seconds: every
+	// evaluation running on it is interrupted and requeued (attempt history
+	// intact), and its manager stops dispatching until the shard restores.
+	// Queued work remains visible to work stealing while the shard is down.
+	ShardKill ShardEventKind = iota
+	// ShardDegrade is the gray failure: from Time on, evaluations dispatched
+	// on the shard run Factor times slower (Factor > 1) without anything
+	// reporting an error — the shard is slow, not dead.
+	ShardDegrade
+	// ShardRepair clears a previous ShardDegrade at Time (factor back to 1).
+	ShardRepair
+)
+
+// String names the event kind.
+func (k ShardEventKind) String() string {
+	switch k {
+	case ShardKill:
+		return "shard-kill"
+	case ShardDegrade:
+		return "shard-degrade"
+	case ShardRepair:
+		return "shard-repair"
+	default:
+		return "shard?"
+	}
+}
+
+// ShardEvent is one scripted shard-level fault.
+type ShardEvent struct {
+	// Shard is the target shard index.
+	Shard int
+	// Time is seconds from the start of the fleet run (simulated time).
+	Time float64
+	// Kind selects kill, gray degrade, or repair.
+	Kind ShardEventKind
+	// Down is the outage duration for ShardKill events (seconds, > 0).
+	Down float64
+	// Factor is the slowdown multiplier for ShardDegrade events (> 1).
+	Factor float64
+}
+
+// ShardPlan scripts deterministic shard-level faults for a fleet run. Build
+// the plan before the run starts; the scheduler reads it as a sorted
+// timeline. The zero value (or nil) injects nothing.
+type ShardPlan struct {
+	Events []ShardEvent
+}
+
+// NewShardPlan returns an empty plan.
+func NewShardPlan() *ShardPlan { return &ShardPlan{} }
+
+// Kill schedules shard to go down at t for down seconds. Returns the plan
+// for chaining.
+func (p *ShardPlan) Kill(shard int, t, down float64) *ShardPlan {
+	p.Events = append(p.Events, ShardEvent{Shard: shard, Time: t, Kind: ShardKill, Down: down})
+	return p
+}
+
+// Degrade schedules a gray slowdown of the shard by factor from t on.
+func (p *ShardPlan) Degrade(shard int, t, factor float64) *ShardPlan {
+	p.Events = append(p.Events, ShardEvent{Shard: shard, Time: t, Kind: ShardDegrade, Factor: factor})
+	return p
+}
+
+// Repair clears the shard's gray slowdown at t.
+func (p *ShardPlan) Repair(shard int, t float64) *ShardPlan {
+	p.Events = append(p.Events, ShardEvent{Shard: shard, Time: t, Kind: ShardRepair})
+	return p
+}
+
+// Validate checks every event against the shard count and the per-kind
+// parameter constraints.
+func (p *ShardPlan) Validate(shards int) error {
+	if p == nil {
+		return nil
+	}
+	for i, ev := range p.Events {
+		if ev.Shard < 0 || ev.Shard >= shards {
+			return fmt.Errorf("fault: shard event %d targets shard %d of %d", i, ev.Shard, shards)
+		}
+		if ev.Time < 0 {
+			return fmt.Errorf("fault: shard event %d at negative time %g", i, ev.Time)
+		}
+		switch ev.Kind {
+		case ShardKill:
+			if ev.Down <= 0 {
+				return fmt.Errorf("fault: shard kill %d needs Down > 0", i)
+			}
+		case ShardDegrade:
+			if ev.Factor <= 1 {
+				return fmt.Errorf("fault: shard degrade %d needs Factor > 1, got %g", i, ev.Factor)
+			}
+		case ShardRepair:
+			// no parameters
+		default:
+			return fmt.Errorf("fault: shard event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Sorted returns the events ordered by (time, shard, kind) — the replay
+// order the fleet scheduler uses, stable for a given plan.
+func (p *ShardPlan) Sorted() []ShardEvent {
+	if p == nil {
+		return nil
+	}
+	out := append([]ShardEvent(nil), p.Events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		if out[i].Shard != out[j].Shard {
+			return out[i].Shard < out[j].Shard
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// NumKills counts the scripted shard outages.
+func (p *ShardPlan) NumKills() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, ev := range p.Events {
+		if ev.Kind == ShardKill {
+			n++
+		}
+	}
+	return n
+}
+
+// RandomShardPlan derives a plan from a seeded stream: each shard suffers
+// Poisson outages with the given mean time between kills over the horizon
+// (outage length exponential with mean meanDown), and with probability
+// degradeProb starts a gray slowdown of 1.5–4x at a uniform time, repaired
+// halfway to the horizon later. Deterministic for a given stream state.
+func RandomShardPlan(r *rng.Stream, shards int, horizon, mtbk, meanDown, degradeProb float64) (*ShardPlan, error) {
+	if shards <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("fault: RandomShardPlan needs shards and horizon > 0")
+	}
+	if mtbk <= 0 || meanDown <= 0 {
+		return nil, fmt.Errorf("fault: RandomShardPlan needs mtbk and meanDown > 0")
+	}
+	if degradeProb < 0 || degradeProb > 1 {
+		return nil, fmt.Errorf("fault: degradeProb %g outside [0,1]", degradeProb)
+	}
+	plan := NewShardPlan()
+	for s := 0; s < shards; s++ {
+		sr := r.SplitN(s)
+		for t := sr.Exp(1 / mtbk); t < horizon; t += sr.Exp(1 / mtbk) {
+			plan.Kill(s, t, sr.Exp(1/meanDown))
+		}
+		if degradeProb > 0 && sr.Bernoulli(degradeProb) {
+			start := sr.Uniform(0, horizon/2)
+			plan.Degrade(s, start, sr.Uniform(1.5, 4))
+			plan.Repair(s, start+horizon/2)
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestShardPlanValidate(t *testing.T) {
+	p := NewShardPlan().Kill(0, 10, 5).Degrade(1, 3, 2).Repair(1, 8)
+	if err := p.Validate(2); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if err := p.Validate(1); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	if err := NewShardPlan().Kill(0, 1, 0).Validate(1); err == nil {
+		t.Fatal("zero-length outage accepted")
+	}
+	if err := NewShardPlan().Degrade(0, 1, 1).Validate(1); err == nil {
+		t.Fatal("non-slowing degrade factor accepted")
+	}
+	if err := NewShardPlan().Kill(0, -1, 2).Validate(1); err == nil {
+		t.Fatal("negative event time accepted")
+	}
+	var nilPlan *ShardPlan
+	if err := nilPlan.Validate(4); err != nil {
+		t.Fatalf("nil plan should validate: %v", err)
+	}
+	if nilPlan.NumKills() != 0 || nilPlan.Sorted() != nil {
+		t.Fatal("nil plan not empty")
+	}
+}
+
+func TestShardPlanSortedStable(t *testing.T) {
+	p := NewShardPlan().Kill(1, 5, 1).Kill(0, 5, 1).Degrade(0, 2, 3)
+	ev := p.Sorted()
+	if len(ev) != 3 {
+		t.Fatalf("got %d events", len(ev))
+	}
+	if ev[0].Kind != ShardDegrade || ev[1].Shard != 0 || ev[2].Shard != 1 {
+		t.Fatalf("sort order wrong: %+v", ev)
+	}
+	// Sorted must not mutate the plan's own ordering.
+	if p.Events[0].Shard != 1 {
+		t.Fatal("Sorted mutated the plan")
+	}
+}
+
+// Property: a random shard plan is deterministic in the seed, always
+// validates against its own shard count, and every kill has a positive
+// outage. quick.Check is explicitly seeded (same flake class as the
+// internal/fault pin in PR 9) so -count=100 replays the same cases.
+func TestQuickRandomShardPlan(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, err := RandomShardPlan(rng.New(seed), 8, 1000, 300, 20, 0.3)
+		if err != nil {
+			return false
+		}
+		b, _ := RandomShardPlan(rng.New(seed), 8, 1000, 300, 20, 0.3)
+		if len(a.Events) != len(b.Events) {
+			return false
+		}
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				return false
+			}
+		}
+		if a.Validate(8) != nil {
+			return false
+		}
+		for _, ev := range a.Events {
+			if ev.Kind == ShardKill && ev.Down <= 0 {
+				return false
+			}
+			if ev.Time < 0 || ev.Time >= 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomShardPlanValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := RandomShardPlan(r, 0, 100, 10, 5, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if _, err := RandomShardPlan(r, 4, 100, 0, 5, 0); err == nil {
+		t.Fatal("zero mtbk accepted")
+	}
+	if _, err := RandomShardPlan(r, 4, 100, 10, 5, 2); err == nil {
+		t.Fatal("degradeProb > 1 accepted")
+	}
+}
+
+func TestShardEventKindString(t *testing.T) {
+	for k, want := range map[ShardEventKind]string{
+		ShardKill: "shard-kill", ShardDegrade: "shard-degrade",
+		ShardRepair: "shard-repair", ShardEventKind(99): "shard?",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("String(%d)=%q want %q", k, got, want)
+		}
+	}
+}

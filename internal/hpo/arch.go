@@ -1,0 +1,215 @@
+package hpo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The architecture DSL is the vocabulary the learning searchers (the RL
+// controller and PBT) explore: a variable-depth MLP described as a compact
+// string — slash-separated layers, each "units[:act[:dropout]]", e.g.
+// "128:relu:0.1/64:tanh/32". It maps losslessly onto an hpo search space of
+// categorical decisions (ArchSpace), which is exactly the shape a seeded
+// categorical policy emits token by token.
+
+// ArchMaxLayers bounds DSL depth.
+const ArchMaxLayers = 3
+
+// ArchUnits are the allowed layer widths.
+var ArchUnits = []int{8, 16, 32, 64, 128}
+
+// ArchActs are the allowed activations.
+var ArchActs = []string{"relu", "tanh", "gelu"}
+
+// ArchDropouts are the allowed dropout rates.
+var ArchDropouts = []float64{0, 0.1, 0.3}
+
+// ArchLayer is one hidden layer of the DSL.
+type ArchLayer struct {
+	Units   int
+	Act     string
+	Dropout float64
+}
+
+// Arch is a parsed architecture.
+type Arch struct {
+	Layers []ArchLayer
+}
+
+// String renders the canonical DSL form: dropout is printed only when
+// non-zero, activation always. ParseArch(a.String()) == a for valid archs.
+func (a Arch) String() string {
+	var sb strings.Builder
+	for i, l := range a.Layers {
+		if i > 0 {
+			sb.WriteByte('/')
+		}
+		fmt.Fprintf(&sb, "%d:%s", l.Units, l.Act)
+		if l.Dropout > 0 {
+			fmt.Fprintf(&sb, ":%s", strconv.FormatFloat(l.Dropout, 'g', -1, 64))
+		}
+	}
+	return sb.String()
+}
+
+// Validate checks the architecture against the DSL vocabulary.
+func (a Arch) Validate() error {
+	if len(a.Layers) == 0 {
+		return fmt.Errorf("hpo: empty architecture")
+	}
+	if len(a.Layers) > ArchMaxLayers {
+		return fmt.Errorf("hpo: %d layers exceeds max %d", len(a.Layers), ArchMaxLayers)
+	}
+	for i, l := range a.Layers {
+		if idxOfInt(ArchUnits, l.Units) < 0 {
+			return fmt.Errorf("hpo: layer %d units %d not in %v", i, l.Units, ArchUnits)
+		}
+		if idxOfString(ArchActs, l.Act) < 0 {
+			return fmt.Errorf("hpo: layer %d activation %q not in %v", i, l.Act, ArchActs)
+		}
+		if idxOfFloat(ArchDropouts, l.Dropout) < 0 {
+			return fmt.Errorf("hpo: layer %d dropout %g not in %v", i, l.Dropout, ArchDropouts)
+		}
+	}
+	return nil
+}
+
+// ParseArch parses the DSL. The result is always validated.
+func ParseArch(s string) (Arch, error) {
+	var a Arch
+	if strings.TrimSpace(s) == "" {
+		return a, fmt.Errorf("hpo: empty architecture string")
+	}
+	for _, part := range strings.Split(s, "/") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 1 || len(fields) > 3 {
+			return Arch{}, fmt.Errorf("hpo: bad layer %q", part)
+		}
+		units, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+		if err != nil {
+			return Arch{}, fmt.Errorf("hpo: bad units in %q: %v", part, err)
+		}
+		l := ArchLayer{Units: units, Act: "relu"}
+		if len(fields) > 1 {
+			l.Act = strings.TrimSpace(fields[1])
+		}
+		if len(fields) > 2 {
+			d, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+			if err != nil {
+				return Arch{}, fmt.Errorf("hpo: bad dropout in %q: %v", part, err)
+			}
+			l.Dropout = d
+		}
+		a.Layers = append(a.Layers, l)
+	}
+	if err := a.Validate(); err != nil {
+		return Arch{}, err
+	}
+	return a, nil
+}
+
+// ArchSpace returns the DSL as an hpo search space: one depth decision,
+// per-slot categorical width/activation/dropout decisions, and log-uniform
+// optimizer parameters. Slots beyond the chosen depth are ignored by
+// ArchFromConfig, so every point of the space decodes to a valid Arch.
+func ArchSpace() *Space {
+	params := []Param{
+		{Name: "depth", Kind: Integer, Lo: 1, Hi: ArchMaxLayers},
+	}
+	unitChoices := make([]string, len(ArchUnits))
+	for i, u := range ArchUnits {
+		unitChoices[i] = strconv.Itoa(u)
+	}
+	dropChoices := make([]string, len(ArchDropouts))
+	for i, d := range ArchDropouts {
+		dropChoices[i] = strconv.FormatFloat(d, 'g', -1, 64)
+	}
+	for l := 1; l <= ArchMaxLayers; l++ {
+		params = append(params,
+			Param{Name: fmt.Sprintf("units%d", l), Kind: Categorical, Choices: unitChoices},
+			Param{Name: fmt.Sprintf("act%d", l), Kind: Categorical, Choices: append([]string(nil), ArchActs...)},
+			Param{Name: fmt.Sprintf("drop%d", l), Kind: Categorical, Choices: dropChoices},
+		)
+	}
+	params = append(params,
+		Param{Name: "lr", Kind: LogContinuous, Lo: 1e-4, Hi: 0.1},
+		Param{Name: "decay", Kind: LogContinuous, Lo: 1e-6, Hi: 1e-2},
+	)
+	return MustSpace(params...)
+}
+
+// ArchFromConfig decodes an ArchSpace configuration into an Arch.
+func ArchFromConfig(c Config) (Arch, error) {
+	depth := c.Int("depth")
+	if depth < 1 || depth > ArchMaxLayers {
+		return Arch{}, fmt.Errorf("hpo: depth %d outside [1,%d]", depth, ArchMaxLayers)
+	}
+	var a Arch
+	for l := 1; l <= depth; l++ {
+		ui := clampIdx(c.Int(fmt.Sprintf("units%d", l)), len(ArchUnits))
+		ai := clampIdx(c.Int(fmt.Sprintf("act%d", l)), len(ArchActs))
+		di := clampIdx(c.Int(fmt.Sprintf("drop%d", l)), len(ArchDropouts))
+		a.Layers = append(a.Layers, ArchLayer{
+			Units: ArchUnits[ui], Act: ArchActs[ai], Dropout: ArchDropouts[di],
+		})
+	}
+	return a, a.Validate()
+}
+
+// ConfigFromArch encodes an Arch (plus optimizer parameters) as an
+// ArchSpace configuration; unused slots repeat the last layer so the config
+// is fully specified.
+func ConfigFromArch(a Arch, lr, decay float64) (Config, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	c := Config{"depth": float64(len(a.Layers)), "lr": lr, "decay": decay}
+	for l := 1; l <= ArchMaxLayers; l++ {
+		src := a.Layers[len(a.Layers)-1]
+		if l <= len(a.Layers) {
+			src = a.Layers[l-1]
+		}
+		c[fmt.Sprintf("units%d", l)] = float64(idxOfInt(ArchUnits, src.Units))
+		c[fmt.Sprintf("act%d", l)] = float64(idxOfString(ArchActs, src.Act))
+		c[fmt.Sprintf("drop%d", l)] = float64(idxOfFloat(ArchDropouts, src.Dropout))
+	}
+	return c, nil
+}
+
+func idxOfInt(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func idxOfString(xs []string, v string) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func idxOfFloat(xs []float64, v float64) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,436 @@
+package hpo
+
+import (
+	"math"
+)
+
+// The learning searchers: a policy-gradient RL controller (Balaprakash-
+// style — a seeded categorical policy over discretized parameter decisions,
+// updated from evaluation rewards with REINFORCE) and population-based
+// training (exploit/explore over a training population with checkpoint
+// inheritance). Both are deterministic in Options.RNG.
+
+// LearningStrategies returns the learning searchers with default settings.
+// They are deliberately not part of AllStrategies(): the committed E8
+// artifact pins the classic strategy set, and the search experiment (E18)
+// asks for the learners explicitly.
+func LearningStrategies() []Strategy {
+	return []Strategy{RLController{}, PBT{}}
+}
+
+// StrategyByName resolves a strategy from the built-in set plus the
+// learning searchers.
+func StrategyByName(name string) (Strategy, bool) {
+	for _, s := range AllStrategies() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	for _, s := range LearningStrategies() {
+		if s.Name() == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// ---- Policy-gradient RL controller ---------------------------------------
+
+// RLController emits configurations decision by decision from independent
+// categorical policies (one per parameter; continuous parameters are
+// discretized into bins) and updates the policy logits with REINFORCE
+// against a moving-average baseline after every evaluated batch.
+type RLController struct {
+	// Bins discretizes continuous/log parameters (default 7).
+	Bins int
+	// Batch is the number of proposals per policy update (default
+	// max(4, Parallelism)).
+	Batch int
+	// LearnRate is the policy-gradient step size (default 0.5).
+	LearnRate float64
+	// EvalBudget is the per-trial training budget in (0,1] (default 1).
+	EvalBudget float64
+	// Baseline is the EMA factor for the reward baseline (default 0.7).
+	Baseline float64
+}
+
+// Name implements Strategy.
+func (RLController) Name() string { return "rl" }
+
+// axisValues enumerates the candidate value per (parameter, action index).
+func axisValues(p Param, bins int) []float64 {
+	switch p.Kind {
+	case Categorical:
+		out := make([]float64, len(p.Choices))
+		for i := range out {
+			out[i] = float64(i)
+		}
+		return out
+	case Integer:
+		span := int(p.Hi-p.Lo) + 1
+		n := span
+		if n > bins {
+			n = bins
+		}
+		out := make([]float64, n)
+		for i := range out {
+			frac := 0.5
+			if n > 1 {
+				frac = float64(i) / float64(n-1)
+			}
+			out[i] = math.Round(p.Lo + frac*(p.Hi-p.Lo))
+		}
+		return out
+	case LogContinuous:
+		out := make([]float64, bins)
+		for i := range out {
+			frac := (float64(i) + 0.5) / float64(bins)
+			out[i] = math.Exp(math.Log(p.Lo) + frac*(math.Log(p.Hi)-math.Log(p.Lo)))
+		}
+		return out
+	default: // Continuous
+		out := make([]float64, bins)
+		for i := range out {
+			frac := (float64(i) + 0.5) / float64(bins)
+			out[i] = p.Lo + frac*(p.Hi-p.Lo)
+		}
+		return out
+	}
+}
+
+func softmax(logits []float64) []float64 {
+	max := math.Inf(-1)
+	for _, l := range logits {
+		if l > max {
+			max = l
+		}
+	}
+	sum := 0.0
+	probs := make([]float64, len(logits))
+	for i, l := range logits {
+		probs[i] = math.Exp(l - max)
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// Search implements Strategy.
+func (c RLController) Search(obj Objective, opts Options) (*Result, error) {
+	bins := c.Bins
+	if bins < 2 {
+		bins = 7
+	}
+	lr := c.LearnRate
+	if lr <= 0 {
+		lr = 0.5
+	}
+	evalB := c.EvalBudget
+	if evalB <= 0 || evalB > 1 {
+		evalB = 1
+	}
+	ema := c.Baseline
+	if ema <= 0 || ema >= 1 {
+		ema = 0.7
+	}
+	r, err := newRun("rl", obj, opts)
+	if err != nil {
+		return nil, err
+	}
+	batch := c.Batch
+	if batch <= 0 {
+		batch = opts.Parallelism
+		if batch < 4 {
+			batch = 4
+		}
+	}
+
+	axes := make([][]float64, len(opts.Space.Params))
+	logits := make([][]float64, len(opts.Space.Params))
+	for i, p := range opts.Space.Params {
+		axes[i] = axisValues(p, bins)
+		logits[i] = make([]float64, len(axes[i]))
+	}
+
+	baseline := math.NaN()
+	for r.remaining() >= evalB-1e-9 {
+		configs := make([]Config, batch)
+		choices := make([][]int, batch)
+		for b := 0; b < batch; b++ {
+			cfg := make(Config, len(opts.Space.Params))
+			choice := make([]int, len(opts.Space.Params))
+			for i, p := range opts.Space.Params {
+				probs := softmax(logits[i])
+				u := opts.RNG.Uniform(0, 1)
+				a := len(probs) - 1
+				acc := 0.0
+				for j, pr := range probs {
+					acc += pr
+					if u <= acc {
+						a = j
+						break
+					}
+				}
+				choice[i] = a
+				cfg[p.Name] = axes[i][a]
+			}
+			configs[b] = opts.Space.Clamp(cfg)
+			choices[b] = choice
+		}
+		trials := r.evalBatchChunked(configs, evalB)
+		if len(trials) == 0 {
+			break
+		}
+		// REINFORCE in trial order: reward is negative loss, advantage
+		// against the EMA baseline, gradient of log softmax per decision.
+		for t, trial := range trials {
+			if math.IsNaN(trial.Loss) || math.IsInf(trial.Loss, 0) {
+				continue
+			}
+			reward := -trial.Loss
+			if math.IsNaN(baseline) {
+				baseline = reward
+			}
+			adv := reward - baseline
+			baseline = ema*baseline + (1-ema)*reward
+			for i := range logits {
+				probs := softmax(logits[i])
+				a := choices[t][i]
+				for j := range logits[i] {
+					ind := 0.0
+					if j == a {
+						ind = 1
+					}
+					logits[i][j] += lr * adv * (ind - probs[j])
+				}
+			}
+		}
+		if len(trials) < batch {
+			break // budget exhausted mid-batch
+		}
+	}
+	return r.result, nil
+}
+
+// ---- Population-based training -------------------------------------------
+
+// TrainableObjective is an objective with resumable training state: it
+// trains cfg for `step` more budget starting from `state` (nil = from
+// scratch) and returns the loss plus the new checkpoint blob. PBT uses it
+// to inherit checkpoints across exploit/explore steps.
+type TrainableObjective func(cfg Config, state []byte, step float64, seed uint64) (loss float64, newState []byte, err error)
+
+// PBT is population-based training: a population trains in steps; after
+// each round the worst quantile copies the configuration, training progress
+// and checkpoint of a random member of the best quantile (exploit) and
+// perturbs its continuous parameters (explore). With a Trainable objective
+// the discrete parameters — the architecture decisions — are inherited
+// unchanged, so the copied checkpoint's weight shapes always match and
+// training resumes via the nn.TrainState machinery; a checkpoint the
+// trainable objective rejects falls back to fresh training instead of
+// failing the search. Stateless PBT carries no checkpoint, so explore is
+// free to resample discrete decisions too, which keeps the population's
+// architecture diversity from freezing at its initial draw.
+type PBT struct {
+	// PopSize is the population size (default 8).
+	PopSize int
+	// Step is each member's per-round training budget (default 0.25).
+	Step float64
+	// ExploitFrac is the quantile copied/replaced per round (default 0.25).
+	ExploitFrac float64
+	// Perturb are the explore factors applied to continuous parameters
+	// (default {0.8, 1.25}).
+	Perturb []float64
+	// Trainable, if set, carries training state across rounds. Without it
+	// PBT degrades gracefully: members re-evaluate at their cumulative
+	// budget (no state reuse), which keeps the strategy usable with plain
+	// objectives.
+	Trainable TrainableObjective
+}
+
+// Name implements Strategy.
+func (PBT) Name() string { return "pbt" }
+
+type pbtMember struct {
+	cfg     Config
+	state   []byte
+	trained float64
+	loss    float64
+}
+
+func copyConfig(c Config) Config {
+	out := make(Config, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Search implements Strategy.
+func (p PBT) Search(obj Objective, opts Options) (*Result, error) {
+	pop := p.PopSize
+	if pop <= 0 {
+		pop = 8
+	}
+	step := p.Step
+	if step <= 0 || step > 1 {
+		step = 0.25
+	}
+	exploit := p.ExploitFrac
+	if exploit <= 0 || exploit >= 0.5 {
+		exploit = 0.25
+	}
+	perturb := p.Perturb
+	if len(perturb) == 0 {
+		perturb = []float64{0.8, 1.25}
+	}
+	r, err := newRun("pbt", obj, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	members := make([]*pbtMember, pop)
+	for i := range members {
+		members[i] = &pbtMember{cfg: opts.Space.Sample(opts.RNG), loss: math.Inf(1)}
+	}
+
+	for {
+		evaluated := 0
+		var waveCost float64
+		for _, m := range members {
+			if !r.admit(step) {
+				break
+			}
+			seed := r.nextSeed()
+			var loss float64
+			if p.Trainable != nil {
+				var st []byte
+				loss, st, err = p.Trainable(m.cfg, m.state, step, seed)
+				if err != nil && m.state != nil {
+					// Rejected checkpoint (e.g. incompatible shapes after an
+					// exotic explore): retrain from scratch instead of dying.
+					loss, st, err = p.Trainable(m.cfg, nil, step, seed)
+				}
+				if err != nil {
+					loss, st = math.Inf(1), nil
+				}
+				m.state = st
+				m.trained += step
+			} else {
+				m.trained = math.Min(1, m.trained+step)
+				loss = r.obj(m.cfg, m.trained, seed)
+			}
+			m.loss = loss
+			budget := math.Min(1, m.trained)
+			r.recordTrial(Trial{Config: copyConfig(m.cfg), Loss: loss, Budget: budget, Seed: seed}, step)
+			if r.opts.CostModel != nil {
+				if d := r.opts.CostModel(m.cfg, step); d > waveCost {
+					waveCost = d
+				}
+			}
+			evaluated++
+		}
+		if r.opts.CostModel != nil && evaluated > 0 {
+			// One synchronous population round: waves of Parallelism members,
+			// each wave costing its slowest evaluation.
+			waves := (evaluated + r.opts.Parallelism - 1) / r.opts.Parallelism
+			r.mu.Lock()
+			r.result.SimTime += float64(waves) * waveCost
+			r.mu.Unlock()
+		}
+		if evaluated < len(members) {
+			break // budget exhausted
+		}
+
+		// Exploit/explore: rank members (NaN last), replace the bottom
+		// quantile with perturbed copies of random top-quantile members.
+		order := make([]int, len(members))
+		for i := range order {
+			order[i] = i
+		}
+		// Insertion sort keeps this dependency-free and stable.
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0; j-- {
+				a, b := members[order[j]].loss, members[order[j-1]].loss
+				if !math.IsNaN(a) && (math.IsNaN(b) || a < b) {
+					order[j], order[j-1] = order[j-1], order[j]
+				} else {
+					break
+				}
+			}
+		}
+		k := int(float64(pop) * exploit)
+		if k < 1 {
+			k = 1
+		}
+		for _, worst := range order[len(order)-k:] {
+			donor := members[order[opts.RNG.Intn(k)]]
+			m := members[worst]
+			m.cfg = copyConfig(donor.cfg)
+			m.state = append([]byte(nil), donor.state...)
+			if donor.state == nil {
+				m.state = nil
+			}
+			m.trained = donor.trained
+			m.loss = donor.loss
+			var fresh Config
+			if p.Trainable == nil {
+				fresh = opts.Space.Sample(opts.RNG)
+			}
+			for _, prm := range opts.Space.Params {
+				if prm.Kind != Continuous && prm.Kind != LogContinuous {
+					// Trainable runs inherit architecture decisions as-is so
+					// the copied checkpoint's shapes match; stateless runs
+					// have no checkpoint and may explore them.
+					if fresh != nil && opts.RNG.Float64() < 0.25 {
+						m.cfg[prm.Name] = fresh[prm.Name]
+					}
+					continue
+				}
+				f := perturb[opts.RNG.Intn(len(perturb))]
+				m.cfg[prm.Name] *= f
+			}
+			opts.Space.Clamp(m.cfg)
+		}
+	}
+	return r.result, nil
+}
+
+// admit reserves `cost` budget for one evaluation, mirroring evalBatch's
+// admission rule for strategies that schedule their own evaluations.
+func (r *run) admit(cost float64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.result.CostUsed+cost <= r.opts.TotalBudget+1e-9
+}
+
+func (r *run) nextSeed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seedCt++
+	return r.seedCt
+}
+
+// recordTrial appends one externally-evaluated trial with the same
+// bookkeeping as evalBatch: cost accounting, incumbent-best eligibility,
+// and the progress curve.
+func (r *run) recordTrial(t Trial, cost float64) {
+	r.mu.Lock()
+	r.result.CostUsed += cost
+	r.result.Trials = append(r.result.Trials, t)
+	if !math.IsNaN(t.Loss) && t.Loss < r.result.Best.Loss && t.Budget >= budgetForBest {
+		r.result.Best = t
+	}
+	r.result.Progress = append(r.result.Progress,
+		ProgressPoint{Cost: r.result.CostUsed, Best: r.result.Best.Loss})
+	best := r.result.Best.Loss
+	r.mu.Unlock()
+	if o := r.opts.Obs; o.Enabled() {
+		o.Count("hpo.trials", 1)
+		if !math.IsInf(best, 1) {
+			o.OnEval("hpo.best_loss", best)
+		}
+	}
+}

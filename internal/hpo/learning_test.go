@@ -1,0 +1,217 @@
+package hpo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestParseArchRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"64:relu", "128:relu:0.1/64:tanh", "8:gelu:0.3/16:tanh:0.1/32:relu",
+	} {
+		a, err := ParseArch(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		if got := a.String(); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+		b, err := ParseArch(a.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != a.String() {
+			t.Fatalf("reparse diverged: %q vs %q", b, a)
+		}
+	}
+}
+
+func TestParseArchRejects(t *testing.T) {
+	for _, s := range []string{
+		"", "  ", "x:relu", "64:relu:0.1:extra", "64:swish", "63:relu",
+		"64:relu:0.2", "64:relu/32:tanh/16:gelu/8:relu", "64:relu:-1",
+		"64:relu:nope",
+	} {
+		if a, err := ParseArch(s); err == nil {
+			t.Fatalf("accepted %q as %v", s, a)
+		}
+	}
+	// "64" without an activation is valid DSL (relu default) — but prints
+	// canonically with the activation.
+	a, err := ParseArch("64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "64:relu" {
+		t.Fatalf("default activation: %q", a)
+	}
+}
+
+// Property: every point of ArchSpace decodes to a valid architecture whose
+// DSL string round-trips, and ConfigFromArch inverts ArchFromConfig.
+// quick.Check is explicitly seeded so -count=100 replays the same cases.
+func TestQuickArchSpaceDecodes(t *testing.T) {
+	space := ArchSpace()
+	f := func(seed uint64) bool {
+		cfg := space.Sample(rng.New(seed))
+		a, err := ArchFromConfig(cfg)
+		if err != nil {
+			return false
+		}
+		if a.Validate() != nil {
+			return false
+		}
+		b, err := ParseArch(a.String())
+		if err != nil || b.String() != a.String() {
+			return false
+		}
+		c2, err := ConfigFromArch(a, cfg.Float("lr"), cfg.Float("decay"))
+		if err != nil {
+			return false
+		}
+		a2, err := ArchFromConfig(c2)
+		return err == nil && a2.String() == a.String()
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func learnOpts(seed uint64, budget float64) Options {
+	return Options{
+		Space: testSpace(), TotalBudget: budget,
+		Parallelism: 4, RNG: rng.New(seed),
+	}
+}
+
+// The RL controller's policy should concentrate on the bowl optimum: with a
+// moderate budget it beats random search at equal cost on average.
+func TestRLControllerBeatsRandomOnBowl(t *testing.T) {
+	rlWins, seeds := 0.0, []uint64{1, 2, 3, 4, 5}
+	for _, seed := range seeds {
+		rl, err := RLController{}.Search(bowl, learnOpts(seed, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := RandomSearch{}.Search(bowl, learnOpts(seed+100, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rl.Best.Loss <= rd.Best.Loss {
+			rlWins++
+		}
+		if rl.CostUsed > 60+1e-9 {
+			t.Fatalf("rl overspent: %v", rl.CostUsed)
+		}
+	}
+	if rlWins < 3 {
+		t.Fatalf("rl won only %v/%d seeds against random", rlWins, len(seeds))
+	}
+}
+
+// PBT without a trainable objective still searches: members converge on
+// the bowl and never overspend the budget.
+func TestPBTStatelessOnBowl(t *testing.T) {
+	res, err := PBT{PopSize: 8, Step: 0.25}.Search(bowl, learnOpts(3, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostUsed > 60+1e-9 {
+		t.Fatalf("pbt overspent: %v", res.CostUsed)
+	}
+	if res.Best.Loss > 1.0 {
+		t.Fatalf("pbt best %.3f did not approach the bowl optimum", res.Best.Loss)
+	}
+	if res.Best.Budget < budgetForBest {
+		t.Fatalf("incumbent best at budget %v below eligibility floor", res.Best.Budget)
+	}
+	// Trials record cumulative training budget, so later trials of a
+	// surviving member carry larger budgets than round one.
+	maxB := 0.0
+	for _, tr := range res.Trials {
+		if tr.Budget > maxB {
+			maxB = tr.Budget
+		}
+	}
+	if maxB <= 0.25 {
+		t.Fatalf("no member accumulated training budget: max %v", maxB)
+	}
+}
+
+// A stateful PBT run routes evaluation through the trainable objective and
+// inherits checkpoint state on exploit. The fake trainable objective tags
+// each fresh lineage in its state blob; after an exploit step two
+// population slots carry the same lineage tag in the same round — that
+// duplicate is checkpoint inheritance made visible.
+func TestPBTCheckpointInheritance(t *testing.T) {
+	const pop = 6
+	nextTag := byte(0)
+	var tagLog []byte
+	trainable := func(cfg Config, state []byte, step float64, seed uint64) (float64, []byte, error) {
+		var tag byte
+		if len(state) == 0 {
+			nextTag++
+			tag = nextTag
+		} else {
+			tag = state[0]
+		}
+		tagLog = append(tagLog, tag)
+		loss := bowl(cfg, 1, seed)/2 + 2/(1+float64(len(state)))
+		return loss, append([]byte{tag}, state...), nil
+	}
+	res, err := PBT{PopSize: pop, Step: 0.25, Trainable: trainable}.Search(bowl, learnOpts(7, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostUsed > 30+1e-9 {
+		t.Fatalf("overspent: %v", res.CostUsed)
+	}
+	inherited := false
+	for lo := pop; lo+pop <= len(tagLog); lo += pop {
+		seen := map[byte]bool{}
+		for _, tag := range tagLog[lo : lo+pop] {
+			if seen[tag] {
+				inherited = true
+			}
+			seen[tag] = true
+		}
+	}
+	if !inherited {
+		t.Fatalf("no round shared a lineage tag — exploit never inherited a checkpoint: %v", tagLog)
+	}
+}
+
+// A trainable objective that rejects inherited state must not kill the
+// search: PBT retrains from scratch.
+func TestPBTBadCheckpointFallsBack(t *testing.T) {
+	calls, fresh := 0, 0
+	trainable := func(cfg Config, state []byte, step float64, seed uint64) (float64, []byte, error) {
+		calls++
+		if state != nil {
+			return 0, nil, errRejected
+		}
+		fresh++
+		return bowl(cfg, 1, seed), []byte{1}, nil
+	}
+	res, err := PBT{PopSize: 4, Step: 0.5, Trainable: trainable}.Search(bowl, learnOpts(9, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == 0 || len(res.Trials) == 0 {
+		t.Fatal("fallback to fresh training never happened")
+	}
+	if math.IsInf(res.Best.Loss, 1) {
+		t.Fatal("no usable best despite fallback")
+	}
+}
+
+var errRejected = errInterface("checkpoint rejected")
+
+type errInterface string
+
+func (e errInterface) Error() string { return string(e) }

@@ -1,0 +1,196 @@
+package hpo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// inSpace reports whether cfg assigns every parameter a value inside its
+// domain (integers and categorical indices must also be integral).
+func inSpace(s *Space, cfg Config) bool {
+	for _, p := range s.Params {
+		v, ok := cfg[p.Name]
+		if !ok {
+			return false
+		}
+		switch p.Kind {
+		case Continuous, LogContinuous:
+			if v < p.Lo || v > p.Hi {
+				return false
+			}
+		case Integer:
+			if v != math.Round(v) || v < p.Lo || v > p.Hi {
+				return false
+			}
+		case Categorical:
+			if v != math.Round(v) || v < 0 || v > float64(len(p.Choices)-1) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// propertyStrategies is the set under the generic property contract: the
+// naive baselines, the adaptive classics, and the learning searchers.
+func propertyStrategies() []Strategy {
+	return []Strategy{
+		RandomSearch{}, GridSearch{}, Hyperband{},
+		RLController{}, PBT{},
+	}
+}
+
+// Property: every configuration a strategy evaluates lies inside the search
+// space, whatever the seed. quick.Check is explicitly seeded (same flake
+// class as the internal/fault pin in PR 9) so -count=100 replays the same
+// cases.
+func TestQuickStrategiesSampleInSpace(t *testing.T) {
+	space := testSpace()
+	for _, strat := range propertyStrategies() {
+		strat := strat
+		t.Run(strat.Name(), func(t *testing.T) {
+			f := func(seed uint64) bool {
+				res, err := strat.Search(bowl, Options{
+					Space: space, TotalBudget: 12, Parallelism: 3,
+					RNG: rng.New(seed),
+				})
+				if err != nil || len(res.Trials) == 0 {
+					return false
+				}
+				for _, tr := range res.Trials {
+					if !inSpace(space, tr.Config) {
+						return false
+					}
+					if tr.Budget <= 0 || tr.Budget > 1+1e-9 {
+						return false
+					}
+				}
+				return res.CostUsed <= 12+1e-9
+			}
+			cfg := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(31))}
+			if err := quick.Check(f, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: a fixed seed yields the identical trial sequence — configs,
+// losses, budgets, and seeds — across reruns, for every strategy. This is
+// what makes campaign results replayable from a seed alone.
+func TestStrategiesFixedSeedIdenticalTrials(t *testing.T) {
+	space := testSpace()
+	run := func(s Strategy, seed uint64) *Result {
+		res, err := s.Search(bowl, Options{
+			Space: space, TotalBudget: 15, Parallelism: 4,
+			RNG: rng.New(seed),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		return res
+	}
+	strategies := propertyStrategies()
+	strategies = append(strategies, Genetic{}, TPE{}, Surrogate{}, Generative{})
+	for _, strat := range strategies {
+		strat := strat
+		t.Run(strat.Name(), func(t *testing.T) {
+			a, b := run(strat, 77), run(strat, 77)
+			if len(a.Trials) != len(b.Trials) {
+				t.Fatalf("trial counts differ: %d vs %d", len(a.Trials), len(b.Trials))
+			}
+			if len(a.Trials) == 0 {
+				t.Fatal("no trials")
+			}
+			for i := range a.Trials {
+				ta, tb := a.Trials[i], b.Trials[i]
+				if ta.Loss != tb.Loss || ta.Budget != tb.Budget || ta.Seed != tb.Seed {
+					t.Fatalf("trial %d diverged: %+v vs %+v", i, ta, tb)
+				}
+				for k, v := range ta.Config {
+					if tb.Config[k] != v {
+						t.Fatalf("trial %d config[%s] diverged: %v vs %v", i, k, v, tb.Config[k])
+					}
+				}
+			}
+			if a.Best.Loss != b.Best.Loss || a.CostUsed != b.CostUsed {
+				t.Fatalf("summary diverged: %+v vs %+v", a.Best, b.Best)
+			}
+		})
+	}
+}
+
+// Property: Compare's per-strategy rows do not depend on the order the
+// strategies are listed — each strategy's RNG is split from its name, so
+// rankings are permutation-invariant.
+func TestCompareRankingPermutationInvariant(t *testing.T) {
+	opts := Options{Space: testSpace(), TotalBudget: 10, Parallelism: 2}
+	seeds := []uint64{1, 2, 3}
+	fwd := []Strategy{RandomSearch{}, Hyperband{}, RLController{}, PBT{}}
+	rev := []Strategy{PBT{}, RLController{}, Hyperband{}, RandomSearch{}}
+	rowsF, err := Compare(fwd, bowl, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsR, err := Compare(rev, bowl, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ComparisonRow{}
+	for _, row := range rowsR {
+		byName[row.Strategy] = row
+	}
+	for _, row := range rowsF {
+		other, ok := byName[row.Strategy]
+		if !ok {
+			t.Fatalf("strategy %s missing from reversed run", row.Strategy)
+		}
+		if row.MeanBest != other.MeanBest || row.StdBest != other.StdBest ||
+			row.MeanCost != other.MeanCost || row.Wins != other.Wins {
+			t.Fatalf("%s row depends on listing order:\n%+v\n%+v", row.Strategy, row, other)
+		}
+	}
+}
+
+// FuzzArchDSL fuzzes the architecture-DSL decoder: any input either errors
+// or yields a validated architecture whose canonical string round-trips and
+// whose ArchSpace config encodes/decodes back to the same architecture.
+func FuzzArchDSL(f *testing.F) {
+	f.Add("64:relu")
+	f.Add("128:relu:0.1/64:tanh")
+	f.Add("8:gelu:0.3/16:tanh:0.1/32:relu")
+	f.Add("64")
+	f.Add("64:relu:0.30000000001")
+	f.Add("9999999999999999999999:relu")
+	f.Add(":::/:::")
+	f.Add("64:relu/")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseArch(s)
+		if err != nil {
+			return
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("ParseArch(%q) returned invalid arch: %v", s, err)
+		}
+		canon := a.String()
+		b, err := ParseArch(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v", canon, err)
+		}
+		if b.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, b.String())
+		}
+		cfg, err := ConfigFromArch(a, 0.01, 1e-4)
+		if err != nil {
+			t.Fatalf("valid arch %q rejected by ConfigFromArch: %v", canon, err)
+		}
+		a2, err := ArchFromConfig(cfg)
+		if err != nil || a2.String() != canon {
+			t.Fatalf("config round trip %q -> %q (%v)", canon, a2.String(), err)
+		}
+	})
+}

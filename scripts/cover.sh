@@ -17,7 +17,9 @@ GO="${GO:-go}"
 # trainer and the compression codecs carry the bucketed-overlap equivalence
 # guarantees, where an uncovered branch is a silent-divergence hole; the obs
 # layer is the instrument everything else is read through — an uncovered
-# branch there is a blind spot that silently corrupts every dashboard.
+# branch there is a blind spot that silently corrupts every dashboard; the
+# campaign/fleet scheduler and the search strategies decide where every
+# node-hour goes, so an uncovered branch there quietly wastes the machine.
 declare -A FLOOR=(
   [repro/internal/obs]=70
   [repro/internal/serve]=70
@@ -29,6 +31,8 @@ declare -A FLOOR=(
   [repro/internal/lowp]=70
   [repro/internal/data]=70
   [repro/internal/storage]=70
+  [repro/internal/core]=70
+  [repro/internal/hpo]=70
 )
 
 out="$("$GO" test -cover ./... 2>&1)" || { echo "$out"; exit 1; }
